@@ -1,0 +1,131 @@
+// Command histcheck runs randomized strict-serializability checking
+// (Theorem 5.3 of the paper) against the boosted set implementations: it
+// drives concurrent multi-operation transactions — a fraction of which
+// deliberately abort — records the history, replays committed transactions
+// in commit order against the sequential Set specification, and verifies
+// every recorded response, plus the invisibility of aborted transactions
+// (Theorem 5.4).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"sync"
+	"time"
+
+	"tboost/internal/core"
+	"tboost/internal/histories"
+	"tboost/internal/stm"
+)
+
+func main() {
+	var (
+		rounds   = flag.Int("rounds", 20, "independent rounds per flavour")
+		threads  = flag.Int("threads", 8, "concurrent transactions per round")
+		txPerG   = flag.Int("tx", 50, "transactions per thread per round")
+		opsPerTx = flag.Int("ops", 4, "set operations per transaction")
+		keyRange = flag.Int64("keyrange", 16, "key range (small = contended)")
+		seed     = flag.Uint64("seed", 1, "base PRNG seed")
+	)
+	flag.Parse()
+
+	flavours := []struct {
+		name string
+		make func() *core.Set
+	}{
+		{"skiplist-keyed", core.NewSkipListSet},
+		{"skiplist-coarse", core.NewSkipListSetCoarse},
+		{"rbtree-coarse", core.NewRBTreeSet},
+		{"hashset-keyed", core.NewHashSet},
+		{"linkedlist-keyed", core.NewLinkedListSet},
+	}
+	specs := map[string]histories.Spec{"set": histories.SetSpec{}}
+	failures := 0
+	for _, f := range flavours {
+		for round := 0; round < *rounds; round++ {
+			h, finalPresent := runRound(f.make(), *threads, *txPerG, *opsPerTx, *keyRange, *seed+uint64(round))
+			if err := histories.CheckStrictSerializability(h, specs); err != nil {
+				fmt.Printf("FAIL %s round %d: %v\n", f.name, round, err)
+				failures++
+				continue
+			}
+			finals, err := histories.FinalStates(h, specs)
+			if err != nil {
+				fmt.Printf("FAIL %s round %d: %v\n", f.name, round, err)
+				failures++
+				continue
+			}
+			ok := true
+			for k := int64(0); k < *keyRange; k++ {
+				want, _, _ := finals["set"].Apply("contains", []int64{k})
+				if finalPresent(k) != want.OK {
+					fmt.Printf("FAIL %s round %d: key %d base=%v, history=%v\n",
+						f.name, round, k, finalPresent(k), want.OK)
+					ok = false
+				}
+			}
+			if !ok {
+				failures++
+			}
+		}
+		fmt.Printf("ok   %s: %d rounds strictly serializable\n", f.name, *rounds)
+	}
+	if failures > 0 {
+		fmt.Printf("%d failures\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("all histories strictly serializable; aborted transactions invisible")
+}
+
+func runRound(s *core.Set, threads, txPerG, opsPerTx int, keyRange int64, seed uint64) (histories.History, func(int64) bool) {
+	rec := histories.NewRecorder()
+	sys := stm.NewSystem(stm.Config{LockTimeout: 100 * time.Millisecond})
+	giveUp := errors.New("deliberate abort")
+	var wg sync.WaitGroup
+	for g := 0; g < threads; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := rand.New(rand.NewPCG(seed, uint64(g)))
+			for i := 0; i < txPerG; i++ {
+				fail := r.IntN(4) == 0
+				type op struct {
+					kind int
+					key  int64
+				}
+				ops := make([]op, opsPerTx)
+				for j := range ops {
+					ops[j] = op{r.IntN(3), r.Int64N(keyRange)}
+				}
+				_ = sys.Atomic(func(tx *stm.Tx) error {
+					rec.Init(tx.ID())
+					for _, o := range ops {
+						switch o.kind {
+						case 0:
+							v := s.Add(tx, o.key)
+							rec.RecordCall(tx.ID(), "set", "add", []int64{o.key}, histories.Resp{OK: v})
+						case 1:
+							v := s.Remove(tx, o.key)
+							rec.RecordCall(tx.ID(), "set", "remove", []int64{o.key}, histories.Resp{OK: v})
+						default:
+							v := s.Contains(tx, o.key)
+							rec.RecordCall(tx.ID(), "set", "contains", []int64{o.key}, histories.Resp{OK: v})
+						}
+					}
+					if fail {
+						tx.OnAbort(func() { rec.Aborted(tx.ID()) })
+						return giveUp
+					}
+					tx.AtCommit(func() { rec.Commit(tx.ID()) })
+					return nil
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	return rec.History(), func(k int64) bool { return s.Base().Contains(k) }
+}

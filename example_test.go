@@ -1,0 +1,92 @@
+package tboost_test
+
+import (
+	"errors"
+	"fmt"
+
+	"tboost"
+)
+
+// The simplest boosted object: a transactional set over a lock-free skip
+// list. Everything inside Atomic commits or rolls back together.
+func Example() {
+	set := tboost.NewSkipListSet()
+	_ = tboost.Atomic(func(tx *tboost.Tx) error {
+		set.Add(tx, 2)
+		set.Add(tx, 4)
+		return nil
+	})
+	tboost.MustAtomic(func(tx *tboost.Tx) error {
+		fmt.Println(set.Contains(tx, 2), set.Contains(tx, 3))
+		return nil
+	})
+	// Output: true false
+}
+
+// Aborting a transaction runs the logged inverse operations in reverse, so
+// the set is exactly as before.
+func ExampleAtomic_abort() {
+	set := tboost.NewSkipListSet()
+	errNo := errors.New("changed my mind")
+	err := tboost.Atomic(func(tx *tboost.Tx) error {
+		set.Add(tx, 99)
+		return errNo
+	})
+	tboost.MustAtomic(func(tx *tboost.Tx) error {
+		fmt.Println(err == errNo, set.Contains(tx, 99))
+		return nil
+	})
+	// Output: true false
+}
+
+// A nested transaction rolls back alone, leaving the parent's work intact.
+func ExampleTx_Nested() {
+	set := tboost.NewSkipListSet()
+	errChild := errors.New("child failed")
+	_ = tboost.Atomic(func(tx *tboost.Tx) error {
+		set.Add(tx, 1) // parent's work
+		_ = tx.Nested(func(tx *tboost.Tx) error {
+			set.Add(tx, 2)  // rolled back
+			return errChild // only the child aborts
+		})
+		return nil // parent commits
+	})
+	tboost.MustAtomic(func(tx *tboost.Tx) error {
+		fmt.Println(set.Contains(tx, 1), set.Contains(tx, 2))
+		return nil
+	})
+	// Output: true false
+}
+
+// Parallel runs branches concurrently inside one transaction: abstract
+// locks synchronize against other transactions, the base object
+// synchronizes the branches.
+func ExampleTx_Parallel() {
+	set := tboost.NewSkipListSet()
+	_ = tboost.Atomic(func(tx *tboost.Tx) error {
+		return tx.Parallel(
+			func(tx *tboost.Tx) error { set.Add(tx, 1); return nil },
+			func(tx *tboost.Tx) error { set.Add(tx, 2); return nil },
+		)
+	})
+	tboost.MustAtomic(func(tx *tboost.Tx) error {
+		fmt.Println(set.Contains(tx, 1), set.Contains(tx, 2))
+		return nil
+	})
+	// Output: true true
+}
+
+// A transactional semaphore: the release is disposable — it takes effect
+// only when the transaction commits.
+func ExampleSemaphore() {
+	sem := tboost.NewSemaphore(0)
+	_ = tboost.Atomic(func(tx *tboost.Tx) error {
+		sem.Release(tx)
+		fmt.Println("during tx:", sem.Value())
+		return nil
+	})
+	fmt.Println("after commit:", sem.Value())
+	// Output:
+	// during tx: 0
+	// after commit: 1
+}

@@ -1,0 +1,107 @@
+// Bank: concurrent account transfers over a boosted transactional map.
+//
+// Transfers between different account pairs commute, so they run in
+// parallel under per-key abstract locks; transfers touching the same
+// account serialize. A sweep transaction occasionally reads every account
+// and checks the conservation invariant *inside* a transaction — it must
+// always see a consistent total.
+//
+// Run: go run ./examples/bank
+package main
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+
+	"tboost"
+)
+
+const (
+	accounts       = 16
+	initialBalance = 1_000
+	workers        = 8
+	transfersPerW  = 500
+)
+
+var errInsufficient = errors.New("insufficient funds")
+
+func main() {
+	bank := tboost.NewRBTreeMap[int64]()
+
+	tboost.MustAtomic(func(tx *tboost.Tx) error {
+		for a := int64(0); a < accounts; a++ {
+			bank.Put(tx, a, initialBalance)
+		}
+		return nil
+	})
+
+	var wg sync.WaitGroup
+	var declined, audits int
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := rand.New(rand.NewPCG(uint64(w), 7))
+			for i := 0; i < transfersPerW; i++ {
+				if i%100 == 50 {
+					// Audit: snapshot every balance in one transaction.
+					total := int64(0)
+					tboost.MustAtomic(func(tx *tboost.Tx) error {
+						total = 0
+						for a := int64(0); a < accounts; a++ {
+							v, _ := bank.Get(tx, a)
+							total += v
+						}
+						return nil
+					})
+					if total != accounts*initialBalance {
+						fmt.Printf("AUDIT FAILED: total = %d\n", total)
+						return
+					}
+					mu.Lock()
+					audits++
+					mu.Unlock()
+					continue
+				}
+				from := r.Int64N(accounts)
+				to := r.Int64N(accounts)
+				if from == to {
+					continue
+				}
+				amount := int64(r.IntN(50) + 1)
+				err := tboost.Atomic(func(tx *tboost.Tx) error {
+					f, _ := bank.Get(tx, from)
+					if f < amount {
+						return errInsufficient // abort: no partial transfer
+					}
+					bank.Put(tx, from, f-amount)
+					t, _ := bank.Get(tx, to)
+					bank.Put(tx, to, t+amount)
+					return nil
+				})
+				if errors.Is(err, errInsufficient) {
+					mu.Lock()
+					declined++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	total := int64(0)
+	tboost.MustAtomic(func(tx *tboost.Tx) error {
+		total = 0
+		for a := int64(0); a < accounts; a++ {
+			v, _ := bank.Get(tx, a)
+			total += v
+		}
+		return nil
+	})
+	fmt.Printf("final total = %d (expected %d); %d transfers declined; %d audits passed\n",
+		total, accounts*initialBalance, declined, audits)
+}

@@ -1,0 +1,80 @@
+// Pipeline: the paper's §3.3 example — a three-stage transactional pipeline
+// connected by boosted BlockingQueues with transactional semaphores.
+//
+// Stage 1 produces integers, stage 2 squares them, stage 3 prints a
+// summary. Each stage handles one item per transaction. Items offered by a
+// transaction become visible to the next stage only after that transaction
+// commits; a mid-pipeline abort (simulated below for every 10th item)
+// leaves both queues exactly as they were.
+//
+// Run: go run ./examples/pipeline
+package main
+
+import (
+	"errors"
+	"fmt"
+
+	"tboost"
+)
+
+const items = 100
+
+func main() {
+	q1 := tboost.NewQueue[int](8)
+	q2 := tboost.NewQueue[int](8)
+
+	// Stage 1: producer.
+	go func() {
+		for i := 1; i <= items; i++ {
+			i := i
+			tboost.MustAtomic(func(tx *tboost.Tx) error {
+				q1.Offer(tx, i)
+				return nil
+			})
+		}
+	}()
+
+	// Stage 2: transformer. Every 10th first attempt aborts after doing
+	// its work, demonstrating that the take and the offer are undone
+	// together — no item is lost or duplicated.
+	flake := errors.New("transient stage-2 failure")
+	go func() {
+		for i := 1; i <= items; i++ {
+			flaky := i%10 == 0
+			first := true
+			for {
+				err := tboost.Atomic(func(tx *tboost.Tx) error {
+					v := q1.Take(tx)
+					q2.Offer(tx, v*v)
+					if flaky && first {
+						first = false
+						return flake // undo: item returns to q1's front
+					}
+					return nil
+				})
+				if err == nil {
+					break
+				}
+			}
+		}
+	}()
+
+	// Stage 3: consumer, in the main goroutine.
+	sum := 0
+	for i := 1; i <= items; i++ {
+		var v int
+		tboost.MustAtomic(func(tx *tboost.Tx) error {
+			v = q2.Take(tx)
+			return nil
+		})
+		want := i * i
+		if v != want {
+			fmt.Printf("FIFO violated: item %d = %d, want %d\n", i, v, want)
+			return
+		}
+		sum += v
+	}
+	fmt.Printf("pipeline delivered %d items in order; sum of squares = %d\n", items, sum)
+	// Output:
+	// pipeline delivered 100 items in order; sum of squares = 338350
+}

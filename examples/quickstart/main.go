@@ -1,0 +1,48 @@
+// Quickstart: a boosted transactional set in ten lines, plus a look at what
+// happens on abort.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"errors"
+	"fmt"
+
+	"tboost"
+)
+
+func main() {
+	set := tboost.NewSkipListSet()
+
+	// A transaction that commits: both inserts become visible atomically.
+	err := tboost.Atomic(func(tx *tboost.Tx) error {
+		set.Add(tx, 2)
+		set.Add(tx, 4)
+		return nil
+	})
+	fmt.Println("commit err:", err)
+
+	// A transaction that aborts: the runtime replays inverse operations
+	// (remove(6), re-add(2)) in reverse order, so nothing leaks.
+	failed := errors.New("changed my mind")
+	err = tboost.Atomic(func(tx *tboost.Tx) error {
+		set.Add(tx, 6)    // inverse: remove(6)
+		set.Remove(tx, 2) // inverse: add(2)
+		return failed
+	})
+	fmt.Println("abort err:", err)
+
+	// Observe the final state transactionally.
+	tboost.MustAtomic(func(tx *tboost.Tx) error {
+		for _, k := range []int64{2, 4, 6} {
+			fmt.Printf("contains(%d) = %v\n", k, set.Contains(tx, k))
+		}
+		return nil
+	})
+	// Output:
+	// commit err: <nil>
+	// abort err: changed my mind
+	// contains(2) = true
+	// contains(4) = true
+	// contains(6) = false
+}

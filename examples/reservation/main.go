@@ -1,0 +1,125 @@
+// Reservation: closed nested transactions over boosted objects.
+//
+// A trip booking reserves one seat on a flight and one room at a hotel,
+// atomically. Hotels are tried one at a time inside *nested* transactions:
+// when a hotel is full, only the hotel part rolls back and the parent
+// transaction tries the next hotel — the flight reservation made earlier in
+// the same transaction survives. If no hotel works, the whole transaction
+// aborts and the flight seat is released by its logged inverse.
+//
+// Run: go run ./examples/reservation
+package main
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"tboost"
+)
+
+var errFull = errors.New("no capacity")
+
+// inventory is a boosted map from resource id to remaining capacity.
+type inventory struct {
+	m *tboost.Map[int64]
+}
+
+func newInventory(capacities map[int64]int64) *inventory {
+	inv := &inventory{m: tboost.NewRBTreeMap[int64]()}
+	tboost.MustAtomic(func(tx *tboost.Tx) error {
+		for id, c := range capacities {
+			inv.m.Put(tx, id, c)
+		}
+		return nil
+	})
+	return inv
+}
+
+// reserve takes one unit of the resource or fails the (sub)transaction.
+func (inv *inventory) reserve(tx *tboost.Tx, id int64) error {
+	c, _ := inv.m.Get(tx, id)
+	if c == 0 {
+		return errFull
+	}
+	inv.m.Put(tx, id, c-1)
+	return nil
+}
+
+func (inv *inventory) remaining(id int64) int64 {
+	var v int64
+	tboost.MustAtomic(func(tx *tboost.Tx) error {
+		v, _ = inv.m.Get(tx, id)
+		return nil
+	})
+	return v
+}
+
+const (
+	flightA int64 = 1
+	hotelX  int64 = 100
+	hotelY  int64 = 101
+	hotelZ  int64 = 102
+)
+
+func main() {
+	flights := newInventory(map[int64]int64{flightA: 30})
+	hotels := newInventory(map[int64]int64{hotelX: 5, hotelY: 10, hotelZ: 20})
+	hotelPref := []int64{hotelX, hotelY, hotelZ}
+
+	booked := make(map[int64]int)
+	var mu sync.Mutex
+	var failed int
+
+	var wg sync.WaitGroup
+	for traveler := 0; traveler < 40; traveler++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := tboost.Atomic(func(tx *tboost.Tx) error {
+				// Reserve the flight first; its inverse (seat back)
+				// is logged automatically via the boosted map.
+				if err := flights.reserve(tx, flightA); err != nil {
+					return err
+				}
+				// Try hotels in preference order, each in a nested
+				// transaction: a full hotel rolls back only itself.
+				for _, h := range hotelPref {
+					h := h
+					err := tx.Nested(func(tx *tboost.Tx) error {
+						return hotels.reserve(tx, h)
+					})
+					if err == nil {
+						mu.Lock()
+						booked[h]++
+						mu.Unlock()
+						return nil // flight + this hotel commit together
+					}
+				}
+				return errFull // aborts: flight seat restored
+			})
+			if err != nil {
+				mu.Lock()
+				failed++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	total := 0
+	for _, h := range hotelPref {
+		total += booked[h]
+	}
+	fmt.Printf("booked %d trips (X=%d Y=%d Z=%d), %d travelers unserved\n",
+		total, booked[hotelX], booked[hotelY], booked[hotelZ], failed)
+	fmt.Printf("flight seats left: %d (started 30)\n", flights.remaining(flightA))
+	fmt.Printf("hotel rooms left:  X=%d Y=%d Z=%d (started 5/10/20)\n",
+		hotels.remaining(hotelX), hotels.remaining(hotelY), hotels.remaining(hotelZ))
+
+	// Conservation: flight seats used must equal trips booked, and no
+	// hotel may be oversold.
+	if int64(total) != 30-flights.remaining(flightA) {
+		fmt.Println("INCONSISTENT: flight seats do not match bookings")
+	}
+}

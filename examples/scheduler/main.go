@@ -1,0 +1,130 @@
+// Scheduler: a transactional priority-queue task scheduler over the boosted
+// heap (§3.2), combining three boosted objects in single transactions:
+//
+//   - a Heap holding pending tasks ordered by deadline,
+//   - a UniqueID generator stamping tasks (never a conflict hot-spot), and
+//   - a Map recording task state.
+//
+// Workers atomically claim the most urgent task and mark it running; if a
+// worker decides the task is malformed it aborts, and the task reappears at
+// the head of the queue for someone else — the removeMin's inverse puts it
+// back.
+//
+// Run: go run ./examples/scheduler
+package main
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+
+	"tboost"
+)
+
+type task struct {
+	id       int64
+	deadline int64
+}
+
+const (
+	producers     = 2
+	tasksPerProd  = 100
+	workers       = 4
+	statusPending = 1
+	statusDone    = 2
+)
+
+func main() {
+	queue := tboost.NewHeap[task](tboost.RWLocked)
+	ids := tboost.NewUniqueID()
+	status := tboost.NewRBTreeMap[int]()
+
+	var wg sync.WaitGroup
+	// Producers submit tasks: stamping the ID, enqueueing, and recording
+	// status is one atomic step.
+	for p := 0; p < producers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := rand.New(rand.NewPCG(uint64(p), 11))
+			for i := 0; i < tasksPerProd; i++ {
+				deadline := int64(r.IntN(10_000))
+				tboost.MustAtomic(func(tx *tboost.Tx) error {
+					id := ids.AssignID(tx)
+					queue.Add(tx, deadline, task{id: id, deadline: deadline})
+					status.Put(tx, id, statusPending)
+					return nil
+				})
+			}
+		}()
+	}
+
+	// Workers claim tasks. A simulated transient failure aborts the claim,
+	// which atomically returns the task to the queue.
+	total := producers * tasksPerProd
+	var processed sync.Map
+	var claimed int64
+	var mu sync.Mutex
+	flake := errors.New("worker hiccup")
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := rand.New(rand.NewPCG(uint64(w), 13))
+			for {
+				mu.Lock()
+				if claimed >= int64(total) {
+					mu.Unlock()
+					return
+				}
+				mu.Unlock()
+				var got *task
+				err := tboost.Atomic(func(tx *tboost.Tx) error {
+					got = nil
+					_, t, ok := queue.RemoveMin(tx)
+					if !ok {
+						return nil // queue momentarily empty
+					}
+					if r.IntN(10) == 0 {
+						return flake // abort: task goes back
+					}
+					status.Put(tx, t.id, statusDone)
+					got = &t
+					return nil
+				})
+				if errors.Is(err, flake) {
+					continue
+				}
+				if got != nil {
+					if _, dup := processed.LoadOrStore(got.id, true); dup {
+						fmt.Printf("TASK %d PROCESSED TWICE\n", got.id)
+						return
+					}
+					mu.Lock()
+					claimed++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Verify: every task done exactly once, none pending.
+	done := 0
+	tboost.MustAtomic(func(tx *tboost.Tx) error {
+		done = 0
+		for id := int64(1); id <= int64(total); id++ {
+			if s, ok := status.Get(tx, id); ok && s == statusDone {
+				done++
+			}
+		}
+		return nil
+	})
+	fmt.Printf("scheduled %d tasks across %d workers; %d completed exactly once\n",
+		total, workers, done)
+	// Output:
+	// scheduled 200 tasks across 4 workers; 200 completed exactly once
+}

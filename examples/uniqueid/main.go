@@ -1,0 +1,82 @@
+// UniqueID: the paper's §3.4 example. A shared counter is the classic
+// read/write-conflict hot-spot: every transaction that increments it
+// conflicts with every other. The boosted generator never conflicts,
+// because any two assignID calls returning different IDs commute — and the
+// release of an aborted assignment is disposable, so the implementation may
+// simply abandon it (the counter never reuses IDs).
+//
+// This example measures both designs under identical concurrency: the
+// boosted generator versus a counter in the read/write STM.
+//
+// Run: go run ./examples/uniqueid
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"tboost"
+	"tboost/internal/rwstm"
+	"tboost/internal/stm"
+)
+
+const (
+	workers = 8
+	perW    = 2000
+)
+
+func main() {
+	// Boosted: commutativity says no lock is needed at all.
+	boostSys := tboost.NewSystem(tboost.Config{LockTimeout: 50 * time.Millisecond})
+	gen := tboost.NewUniqueID()
+	// As in the paper's experiments, each transaction does a little other
+	// work after the call, widening the window in which a conflicting
+	// commit could invalidate it.
+	boostElapsed, _ := run(func(wg *sync.WaitGroup) {
+		defer wg.Done()
+		for i := 0; i < perW; i++ {
+			stm.MustAtomicOn(boostSys, func(tx *stm.Tx) {
+				gen.AssignID(tx)
+				time.Sleep(5 * time.Microsecond)
+			})
+		}
+	})
+	bs := boostSys.Stats()
+
+	// Baseline: a counter variable in the read/write-conflict STM. Every
+	// increment read-modify-writes the same variable: constant conflicts.
+	rwSys := tboost.NewSystem(tboost.Config{LockTimeout: 50 * time.Millisecond})
+	counter := rwstm.NewVar[int64](0)
+	rwElapsed, _ := run(func(wg *sync.WaitGroup) {
+		defer wg.Done()
+		for i := 0; i < perW; i++ {
+			stm.MustAtomicOn(rwSys, func(tx *stm.Tx) {
+				v := counter.Read(tx)
+				time.Sleep(5 * time.Microsecond)
+				counter.Write(tx, v+1)
+			})
+		}
+	})
+	rs := rwSys.Stats()
+
+	fmt.Printf("assigned %d unique IDs\n", gen.Assigned())
+	fmt.Printf("boosted generator:   %8v  aborts=%d (%.1f%%)\n",
+		boostElapsed.Round(time.Millisecond), bs.Aborts, 100*bs.AbortRatio())
+	fmt.Printf("read/write counter:  %8v  aborts=%d (%.1f%%), final=%d\n",
+		rwElapsed.Round(time.Millisecond), rs.Aborts, 100*rs.AbortRatio(), counter.ReadDirect())
+	if bs.Aborts == 0 {
+		fmt.Println("boosted assignID never conflicted, as commutativity predicts")
+	}
+}
+
+func run(worker func(*sync.WaitGroup)) (time.Duration, struct{}) {
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go worker(&wg)
+	}
+	wg.Wait()
+	return time.Since(start), struct{}{}
+}

@@ -1,0 +1,163 @@
+// Warehouse: a flagship example composing six boosted objects in single
+// transactions — an in-memory order-processing system.
+//
+//   - OrderedSet: a price index (range queries under interval locks)
+//   - Map:        price -> stock level
+//   - UniqueID:   order ids (never a conflict hot-spot)
+//   - Map:        order id -> fulfillment state
+//   - Queue:      fulfillment pipeline (orders visible only after commit)
+//   - Counter:    revenue (increments commute; the audit read serializes)
+//
+// Each customer transaction finds an affordable product through the price
+// index, decrements its stock, records the order, enqueues fulfillment
+// work, and adds revenue — atomically; if anything fails the whole step
+// rolls back. A fulfillment worker drains the queue. At the end the books
+// must balance exactly.
+//
+// Run: go run ./examples/warehouse
+package main
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+
+	"tboost"
+)
+
+const (
+	products      = 64
+	initialStock  = 10
+	customers     = 8
+	ordersPerCust = 100
+	statusPlaced  = 1
+	statusShipped = 2
+)
+
+var errNoStock = errors.New("nothing affordable in stock")
+
+func main() {
+	// Product p has price 10p+5; the price doubles as the product key.
+	priceIndex := tboost.NewOrderedSet()
+	stock := tboost.NewRBTreeMap[int64]() // price -> units remaining
+	orderIDs := tboost.NewUniqueID()
+	orders := tboost.NewRBTreeMap[int]() // order id -> status
+	fulfill := tboost.NewQueue[int64](32)
+	revenue := tboost.NewCounter(0)
+
+	tboost.MustAtomic(func(tx *tboost.Tx) error {
+		for p := int64(0); p < products; p++ {
+			price := 10*p + 5
+			priceIndex.Add(tx, price)
+			stock.Put(tx, price, initialStock)
+		}
+		return nil
+	})
+
+	// Fulfillment worker: marks orders shipped, one per transaction. A
+	// poison pill (-1) enqueued after all customers finish shuts it down;
+	// FIFO order guarantees every real order precedes it.
+	var shipped sync.WaitGroup
+	shipped.Add(1)
+	go func() {
+		defer shipped.Done()
+		for {
+			var id int64
+			tboost.MustAtomic(func(tx *tboost.Tx) error {
+				id = fulfill.Take(tx)
+				if id >= 0 {
+					orders.Put(tx, id, statusShipped)
+				}
+				return nil
+			})
+			if id < 0 {
+				return
+			}
+		}
+	}()
+
+	// Customers: each transaction buys the cheapest product within a
+	// random budget that still has stock.
+	var placed, declined int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for c := 0; c < customers; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := rand.New(rand.NewPCG(uint64(c), 99))
+			for i := 0; i < ordersPerCust; i++ {
+				budget := int64(r.IntN(10*products)) + 5
+				err := tboost.Atomic(func(tx *tboost.Tx) error {
+					// Range query: affordable prices, cheapest first.
+					for _, price := range priceIndex.KeysRange(tx, 0, budget) {
+						units, _ := stock.Get(tx, price)
+						if units == 0 {
+							continue
+						}
+						stock.Put(tx, price, units-1)
+						id := orderIDs.AssignID(tx)
+						orders.Put(tx, id, statusPlaced)
+						fulfill.Offer(tx, id)
+						revenue.Add(tx, price)
+						return nil
+					}
+					return errNoStock // abort: nothing touched
+				})
+				mu.Lock()
+				if err == nil {
+					placed++
+				} else {
+					declined++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	tboost.MustAtomic(func(tx *tboost.Tx) error {
+		fulfill.Offer(tx, -1) // poison pill
+		return nil
+	})
+	shipped.Wait()
+
+	// Audit, all in one transaction: every unit sold is an order; revenue
+	// equals the sum of sold prices; every order shipped.
+	var soldUnits, expectedRevenue, gotRevenue int64
+	var shippedCount int
+	tboost.MustAtomic(func(tx *tboost.Tx) error {
+		soldUnits, expectedRevenue, shippedCount = 0, 0, 0
+		for _, price := range priceIndex.KeysRange(tx, 0, 10*products+5) {
+			units, _ := stock.Get(tx, price)
+			sold := int64(initialStock) - units
+			soldUnits += sold
+			expectedRevenue += sold * price
+		}
+		// Order ids may have gaps (an id assigned by a transaction that
+		// later aborted is abandoned, per §3.4), so scan the full range.
+		for id := int64(1); id <= orderIDs.Assigned(); id++ {
+			if s, ok := orders.Get(tx, id); ok && s == statusShipped {
+				shippedCount++
+			}
+		}
+		gotRevenue = revenue.Get(tx)
+		return nil
+	})
+
+	fmt.Printf("orders placed: %d, declined: %d\n", placed, declined)
+	fmt.Printf("units sold:    %d (must equal orders placed)\n", soldUnits)
+	fmt.Printf("revenue:       %d (expected %d)\n", gotRevenue, expectedRevenue)
+	fmt.Printf("shipped:       %d of %d\n", shippedCount, placed)
+	switch {
+	case soldUnits != placed:
+		fmt.Println("AUDIT FAILED: stock does not match orders")
+	case gotRevenue != expectedRevenue:
+		fmt.Println("AUDIT FAILED: revenue mismatch")
+	case int64(shippedCount) != placed:
+		fmt.Println("AUDIT FAILED: unshipped orders")
+	default:
+		fmt.Println("audit passed: books balance")
+	}
+}

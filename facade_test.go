@@ -1,0 +1,126 @@
+package tboost_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"tboost"
+)
+
+// TestFacadeConstructors exercises every public constructor end to end
+// through the facade, so the public API surface is known to be wired.
+func TestFacadeConstructors(t *testing.T) {
+	sets := map[string]*tboost.Set{
+		"skiplist":        tboost.NewSkipListSet(),
+		"skiplist-coarse": tboost.NewSkipListSetCoarse(),
+		"rbtree":          tboost.NewRBTreeSet(),
+		"hashset":         tboost.NewHashSet(),
+		"linkedlist":      tboost.NewLinkedListSet(),
+	}
+	for name, s := range sets {
+		s := s
+		if err := tboost.Atomic(func(tx *tboost.Tx) error {
+			if !s.Add(tx, 1) || !s.Contains(tx, 1) || !s.Remove(tx, 1) {
+				t.Errorf("%s: basic ops failed", name)
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+
+	m := tboost.NewRBTreeMap[string]()
+	h := tboost.NewHeap[string](tboost.RWLocked)
+	he := tboost.NewHeap[string](tboost.Exclusive)
+	q := tboost.NewQueue[string](4)
+	sem := tboost.NewSemaphore(1)
+	uid := tboost.NewUniqueID()
+	rc := tboost.NewRefCount(1, nil)
+	pool := tboost.NewPool(func() int { return 1 })
+	bag := tboost.NewMultiset()
+	ctr := tboost.NewCounter(0)
+
+	if err := tboost.Atomic(func(tx *tboost.Tx) error {
+		m.Put(tx, 1, "one")
+		if v, ok := m.Get(tx, 1); !ok || v != "one" {
+			t.Error("map broken")
+		}
+		h.Add(tx, 5, "five")
+		he.Add(tx, 5, "five")
+		if k, v, ok := h.Min(tx); !ok || k != 5 || v != "five" {
+			t.Error("heap broken")
+		}
+		q.Offer(tx, "item")
+		sem.Acquire(tx)
+		sem.Release(tx)
+		if uid.AssignID(tx) == 0 {
+			t.Error("uid broken")
+		}
+		rc.Inc(tx)
+		rc.Dec(tx)
+		v := pool.Alloc(tx)
+		pool.Free(tx, v)
+		bag.Add(tx, 3)
+		ctr.Add(tx, 10)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sem.Value() != 1 {
+		t.Errorf("semaphore = %d", sem.Value())
+	}
+	if rc.Value() != 1 {
+		t.Errorf("refcount = %d", rc.Value())
+	}
+	if ctr.ValueQuiescent() != 10 {
+		t.Errorf("counter = %d", ctr.ValueQuiescent())
+	}
+	if bag.Base().Count(3) != 1 {
+		t.Errorf("multiset count = %d", bag.Base().Count(3))
+	}
+}
+
+func TestFacadeCustomBaseAndSystem(t *testing.T) {
+	sys := tboost.NewSystem(tboost.Config{LockTimeout: 20 * time.Millisecond, MaxRetries: 5})
+	s := tboost.NewCoarseSet(fakeBase{})
+	if err := sys.Atomic(func(tx *tboost.Tx) error {
+		if !s.Add(tx, 9) {
+			t.Error("custom base Add failed")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st := sys.Stats()
+	if st.Commits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	keyed := tboost.NewKeyedSet(fakeBase{})
+	tboost.MustAtomic(func(tx *tboost.Tx) error {
+		keyed.Add(tx, 1)
+		return nil
+	})
+}
+
+// fakeBase is a trivial linearizable set (always empty semantics) proving
+// the black-box contract: any BaseSet can be boosted.
+type fakeBase struct{}
+
+func (fakeBase) Add(key int64) bool      { return true }
+func (fakeBase) Remove(key int64) bool   { return false }
+func (fakeBase) Contains(key int64) bool { return false }
+
+func TestFacadeErrorsExported(t *testing.T) {
+	sys := tboost.NewSystem(tboost.Config{MaxRetries: 1})
+	err := sys.Atomic(func(tx *tboost.Tx) error {
+		tx.Abort(nil)
+		return nil
+	})
+	if !errors.Is(err, tboost.ErrTooManyRetries) {
+		t.Fatalf("err = %v", err)
+	}
+	if tboost.ErrAborted == nil {
+		t.Fatal("ErrAborted not exported")
+	}
+}

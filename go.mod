@@ -1,0 +1,3 @@
+module tboost
+
+go 1.24

@@ -1,0 +1,255 @@
+// Package bench is the experiment harness for the paper's evaluation (§4).
+// It reproduces the methodology of the paper's experiments: each thread
+// repeatedly starts a transaction, calls a method (or a few), sleeps a
+// configurable "think time" simulating work on other objects — inside the
+// transaction, which is what makes transactional delays long and conflicts
+// expensive — and then tries to commit. The harness measures committed
+// transactions over a fixed duration, plus abort counts.
+//
+// The same experiment definitions drive both the cmd/boostbench CLI and the
+// root-level testing.B benchmarks, so tables and figures are regenerated
+// from one source of truth.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tboost/internal/stm"
+)
+
+// Workload describes one benchmark configuration.
+type Workload struct {
+	// Threads is the number of concurrent worker goroutines.
+	Threads int
+	// Duration is how long the measurement runs.
+	Duration time.Duration
+	// ThinkTime is slept inside each transaction after its method calls,
+	// simulating work on other objects (the paper used 100 ms; the
+	// default here is shorter so runs finish quickly).
+	ThinkTime time.Duration
+	// KeyRange bounds the keys drawn by workload generators.
+	KeyRange int64
+	// OpsPerTx is how many object operations each transaction performs.
+	OpsPerTx int
+	// ReadPct and AddPct split operations into contains/add/remove for
+	// set workloads: ReadPct% contains, then half the rest adds.
+	ReadPct int
+	AddPct  int
+}
+
+// WithDefaults fills zero fields with sensible defaults.
+func (w Workload) WithDefaults() Workload {
+	if w.Threads <= 0 {
+		w.Threads = 4
+	}
+	if w.Duration <= 0 {
+		w.Duration = 500 * time.Millisecond
+	}
+	if w.ThinkTime < 0 {
+		w.ThinkTime = 0
+	}
+	if w.KeyRange <= 0 {
+		w.KeyRange = 1 << 12
+	}
+	if w.OpsPerTx <= 0 {
+		w.OpsPerTx = 1
+	}
+	if w.ReadPct <= 0 && w.AddPct <= 0 {
+		w.ReadPct = 60
+		w.AddPct = 20
+	}
+	return w
+}
+
+// Target is one system under test: a fresh stm.System plus a transaction
+// body. Prepare (optional) runs once before measurement to pre-populate.
+type Target struct {
+	Name    string
+	Sys     *stm.System
+	Prepare func(w Workload)
+	// TxBody performs one transaction's object operations. It must use
+	// only tx-safe state; r is a per-worker PRNG.
+	TxBody func(tx *stm.Tx, r *rand.Rand, w Workload)
+}
+
+// Result is one measurement.
+type Result struct {
+	Target     string
+	Threads    int
+	Duration   time.Duration
+	Commits    int64
+	Aborts     int64
+	Starts     int64
+	Throughput float64 // commits per second
+	// P50 and P99 are per-transaction commit latencies, measured per
+	// Atomic call (retries and backoff included — the latency a caller
+	// actually experiences under contention).
+	P50, P99 time.Duration
+}
+
+// AbortRatio returns aborted attempts / started attempts.
+func (r Result) AbortRatio() float64 {
+	if r.Starts == 0 {
+		return 0
+	}
+	return float64(r.Aborts) / float64(r.Starts)
+}
+
+// Run measures one target under one workload.
+func Run(t Target, w Workload) Result {
+	w = w.WithDefaults()
+	if t.Prepare != nil {
+		t.Prepare(w)
+	}
+	t.Sys.ResetStats()
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	latencies := make([][]time.Duration, w.Threads)
+	start := time.Now()
+	for g := 0; g < w.Threads; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := rand.New(rand.NewPCG(uint64(g)+1, uint64(time.Now().UnixNano())))
+			var lat []time.Duration
+			for !stop.Load() {
+				t0 := time.Now()
+				_ = t.Sys.Atomic(func(tx *stm.Tx) error {
+					t.TxBody(tx, r, w)
+					if w.ThinkTime > 0 {
+						time.Sleep(w.ThinkTime)
+					}
+					return nil
+				})
+				lat = append(lat, time.Since(t0))
+			}
+			latencies[g] = lat
+		}()
+	}
+	time.Sleep(w.Duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) time.Duration {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)-1))
+		return all[i]
+	}
+
+	st := t.Sys.Stats()
+	return Result{
+		Target:     t.Name,
+		Threads:    w.Threads,
+		Duration:   elapsed,
+		Commits:    st.Commits,
+		Aborts:     st.Aborts,
+		Starts:     st.Starts,
+		Throughput: float64(st.Commits) / elapsed.Seconds(),
+		P50:        pct(0.50),
+		P99:        pct(0.99),
+	}
+}
+
+// Sweep measures every target at every thread count. makeTargets must return
+// fresh targets (fresh objects and stats) per call, so measurements are
+// independent.
+func Sweep(makeTargets func() []Target, threads []int, w Workload) []Result {
+	var out []Result
+	for _, n := range threads {
+		wi := w
+		wi.Threads = n
+		for _, t := range makeTargets() {
+			out = append(out, Run(t, wi))
+		}
+	}
+	return out
+}
+
+// PrintSeries writes results grouped per target as "threads throughput
+// aborts abortRatio" lines — the series behind a figure.
+func PrintSeries(out io.Writer, results []Result) {
+	byTarget := map[string][]Result{}
+	var names []string
+	for _, r := range results {
+		if _, ok := byTarget[r.Target]; !ok {
+			names = append(names, r.Target)
+		}
+		byTarget[r.Target] = append(byTarget[r.Target], r)
+	}
+	for _, name := range names {
+		fmt.Fprintf(out, "# %s\n", name)
+		fmt.Fprintf(out, "%-8s %14s %10s %10s %12s %12s\n",
+			"threads", "commits/sec", "aborts", "abort%", "p50", "p99")
+		rs := byTarget[name]
+		sort.Slice(rs, func(i, j int) bool { return rs[i].Threads < rs[j].Threads })
+		for _, r := range rs {
+			fmt.Fprintf(out, "%-8d %14.1f %10d %9.1f%% %12v %12v\n",
+				r.Threads, r.Throughput, r.Aborts, 100*r.AbortRatio(),
+				r.P50.Round(time.Microsecond), r.P99.Round(time.Microsecond))
+		}
+		fmt.Fprintln(out)
+	}
+}
+
+// PrintComparison writes a table with one row per thread count and one
+// throughput column per target, plus a ratio column (first target /
+// second) when there are exactly two targets.
+func PrintComparison(out io.Writer, results []Result) {
+	byThreads := map[int]map[string]Result{}
+	var names []string
+	seen := map[string]bool{}
+	var threads []int
+	for _, r := range results {
+		if byThreads[r.Threads] == nil {
+			byThreads[r.Threads] = map[string]Result{}
+			threads = append(threads, r.Threads)
+		}
+		byThreads[r.Threads][r.Target] = r
+		if !seen[r.Target] {
+			seen[r.Target] = true
+			names = append(names, r.Target)
+		}
+	}
+	sort.Ints(threads)
+
+	fmt.Fprintf(out, "%-8s", "threads")
+	for _, n := range names {
+		fmt.Fprintf(out, " %20s", n)
+	}
+	if len(names) == 2 {
+		fmt.Fprintf(out, " %10s", "ratio")
+	}
+	fmt.Fprintln(out)
+	for _, th := range threads {
+		fmt.Fprintf(out, "%-8d", th)
+		for _, n := range names {
+			fmt.Fprintf(out, " %20.1f", byThreads[th][n].Throughput)
+		}
+		if len(names) == 2 {
+			a := byThreads[th][names[0]].Throughput
+			b := byThreads[th][names[1]].Throughput
+			ratio := 0.0
+			if b > 0 {
+				ratio = a / b
+			}
+			fmt.Fprintf(out, " %9.2fx", ratio)
+		}
+		fmt.Fprintln(out)
+	}
+}

@@ -1,0 +1,235 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// quickWorkload is small enough for unit tests but real enough to exercise
+// the full measurement path.
+func quickWorkload(threads int) Workload {
+	return Workload{
+		Threads:   threads,
+		Duration:  80 * time.Millisecond,
+		ThinkTime: 100 * time.Microsecond,
+		KeyRange:  256,
+		OpsPerTx:  1,
+		ReadPct:   60,
+		AddPct:    20,
+	}
+}
+
+func TestWorkloadDefaults(t *testing.T) {
+	w := Workload{}.WithDefaults()
+	if w.Threads <= 0 || w.Duration <= 0 || w.KeyRange <= 0 || w.OpsPerTx <= 0 {
+		t.Fatalf("defaults missing: %+v", w)
+	}
+	if w.ReadPct+w.AddPct > 100 {
+		t.Fatalf("op mix exceeds 100%%: %+v", w)
+	}
+}
+
+func TestRunMeasuresCommits(t *testing.T) {
+	targets := Fig10Targets()
+	res := Run(targets[1], quickWorkload(4)) // lock-per-key skip list
+	if res.Commits <= 0 {
+		t.Fatalf("no commits measured: %+v", res)
+	}
+	if res.Throughput <= 0 {
+		t.Fatalf("throughput = %v", res.Throughput)
+	}
+	if res.Starts < res.Commits {
+		t.Fatalf("starts %d < commits %d", res.Starts, res.Commits)
+	}
+	if res.Target != "skiplist-lock-per-key" || res.Threads != 4 {
+		t.Fatalf("labels wrong: %+v", res)
+	}
+	if res.P50 <= 0 || res.P99 < res.P50 {
+		t.Fatalf("latency percentiles wrong: p50=%v p99=%v", res.P50, res.P99)
+	}
+}
+
+func TestSweepProducesAllCells(t *testing.T) {
+	results := Sweep(Fig11Targets, []int{1, 2}, quickWorkload(0))
+	if len(results) != 4 { // 2 targets x 2 thread counts
+		t.Fatalf("got %d results, want 4", len(results))
+	}
+	seen := map[string]bool{}
+	for _, r := range results {
+		seen[r.Target+"@"+itoa(r.Threads)] = true
+		if r.Commits <= 0 {
+			t.Errorf("%s@%d: no commits", r.Target, r.Threads)
+		}
+	}
+	if len(seen) != 4 {
+		t.Fatalf("duplicate cells: %v", seen)
+	}
+}
+
+func TestFig9TargetsRun(t *testing.T) {
+	for _, target := range Fig9Targets() {
+		res := Run(target, quickWorkload(2))
+		if res.Commits <= 0 {
+			t.Errorf("%s: no commits", target.Name)
+		}
+	}
+}
+
+func TestAblationStripesTargets(t *testing.T) {
+	targets := AblationLockMapStripes([]int{1, 64})
+	if len(targets) != 2 {
+		t.Fatalf("targets = %d", len(targets))
+	}
+	if targets[0].Name != "stripes-1" || targets[1].Name != "stripes-64" {
+		t.Fatalf("names = %s, %s", targets[0].Name, targets[1].Name)
+	}
+	for _, target := range targets {
+		if res := Run(target, quickWorkload(2)); res.Commits <= 0 {
+			t.Errorf("%s: no commits", target.Name)
+		}
+	}
+}
+
+func TestPrintSeriesFormat(t *testing.T) {
+	results := []Result{
+		{Target: "a", Threads: 1, Commits: 10, Starts: 12, Aborts: 2, Throughput: 100},
+		{Target: "a", Threads: 2, Commits: 20, Starts: 20, Throughput: 200},
+		{Target: "b", Threads: 1, Commits: 5, Starts: 5, Throughput: 50},
+	}
+	var buf bytes.Buffer
+	PrintSeries(&buf, results)
+	out := buf.String()
+	for _, want := range []string{"# a", "# b", "commits/sec", "100.0", "200.0", "50.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("series output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrintComparisonRatio(t *testing.T) {
+	results := []Result{
+		{Target: "fast", Threads: 1, Throughput: 300},
+		{Target: "slow", Threads: 1, Throughput: 100},
+		{Target: "fast", Threads: 4, Throughput: 1000},
+		{Target: "slow", Threads: 4, Throughput: 100},
+	}
+	var buf bytes.Buffer
+	PrintComparison(&buf, results)
+	out := buf.String()
+	if !strings.Contains(out, "3.00x") || !strings.Contains(out, "10.00x") {
+		t.Errorf("ratios missing:\n%s", out)
+	}
+	if !strings.Contains(out, "threads") {
+		t.Errorf("header missing:\n%s", out)
+	}
+}
+
+func TestAbortRatio(t *testing.T) {
+	r := Result{Starts: 10, Aborts: 4}
+	if got := r.AbortRatio(); got != 0.4 {
+		t.Fatalf("AbortRatio = %v", got)
+	}
+	if got := (Result{}).AbortRatio(); got != 0 {
+		t.Fatalf("empty AbortRatio = %v", got)
+	}
+}
+
+func TestItoa(t *testing.T) {
+	for n, want := range map[int]string{0: "0", 7: "7", 42: "42", 1234: "1234"} {
+		if got := itoa(n); got != want {
+			t.Errorf("itoa(%d) = %q", n, got)
+		}
+	}
+}
+
+// TestShapeFig10PerKeyBeatsSingleLock asserts the Fig. 10 direction: with
+// think time inside transactions, the per-key discipline must clearly beat
+// the single abstract lock once threads contend.
+func TestShapeFig10PerKeyBeatsSingleLock(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test needs a real measurement window")
+	}
+	w := Workload{
+		Threads:   8,
+		Duration:  400 * time.Millisecond,
+		ThinkTime: 200 * time.Microsecond,
+		KeyRange:  1 << 12,
+		OpsPerTx:  1,
+		ReadPct:   60,
+		AddPct:    20,
+	}
+	targets := Fig10Targets()
+	single := Run(targets[0], w)
+	perKey := Run(targets[1], w)
+	t.Logf("single: %.0f commits/s (%.1f%% aborts)", single.Throughput, 100*single.AbortRatio())
+	t.Logf("perkey: %.0f commits/s (%.1f%% aborts)", perKey.Throughput, 100*perKey.AbortRatio())
+	if perKey.Throughput < 2*single.Throughput {
+		t.Errorf("per-key (%.0f/s) not clearly above single lock (%.0f/s)",
+			perKey.Throughput, single.Throughput)
+	}
+	if perKey.Aborts > single.Aborts {
+		t.Errorf("per-key aborted more (%d) than single lock (%d)", perKey.Aborts, single.Aborts)
+	}
+}
+
+// TestShapeFig11RWLockNoWorse asserts the Fig. 11 direction on its stable
+// axis: the readers/writer discipline must not abort more than the
+// exclusive one on the 50/50 heap workload.
+func TestShapeFig11RWLockNoWorse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test needs a real measurement window")
+	}
+	w := Workload{
+		Threads:   16,
+		Duration:  400 * time.Millisecond,
+		ThinkTime: 200 * time.Microsecond,
+		KeyRange:  1 << 10,
+		OpsPerTx:  1,
+	}
+	targets := Fig11Targets()
+	rw := Run(targets[0], w)
+	ex := Run(targets[1], w)
+	t.Logf("rw:        %.0f commits/s (%.1f%% aborts)", rw.Throughput, 100*rw.AbortRatio())
+	t.Logf("exclusive: %.0f commits/s (%.1f%% aborts)", ex.Throughput, 100*ex.AbortRatio())
+	// Allow slack: single-CPU scheduling noise swamps small differences.
+	if rw.AbortRatio() > ex.AbortRatio()+0.10 {
+		t.Errorf("rw lock aborted more (%.2f) than exclusive (%.2f)", rw.AbortRatio(), ex.AbortRatio())
+	}
+	if rw.Throughput < 0.6*ex.Throughput {
+		t.Errorf("rw throughput (%.0f) far below exclusive (%.0f)", rw.Throughput, ex.Throughput)
+	}
+}
+
+// TestShapeBoostingBeatsShadowUnderContention is the Fig. 9 shape assertion:
+// under contention the boosted tree must commit more transactions per second
+// than the shadow-copy tree, and abort far less. Thresholds are generous —
+// the claim is the *direction*, not the magnitude.
+func TestShapeBoostingBeatsShadowUnderContention(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test needs a real measurement window")
+	}
+	w := Workload{
+		Threads:   8,
+		Duration:  400 * time.Millisecond,
+		ThinkTime: 0,
+		KeyRange:  128, // small range: heavy contention
+		OpsPerTx:  4,
+		ReadPct:   34,
+		AddPct:    33,
+	}
+	targets := Fig9Targets()
+	boosted := Run(targets[0], w)
+	shadow := Run(targets[1], w)
+	t.Logf("boosted: %.0f commits/s (abort %.2f%%)", boosted.Throughput, 100*boosted.AbortRatio())
+	t.Logf("shadow:  %.0f commits/s (abort %.2f%%)", shadow.Throughput, 100*shadow.AbortRatio())
+	if boosted.AbortRatio() > shadow.AbortRatio() {
+		t.Errorf("boosted abort ratio %.3f exceeds shadow %.3f",
+			boosted.AbortRatio(), shadow.AbortRatio())
+	}
+	if boosted.Throughput < 3*shadow.Throughput {
+		t.Errorf("boosted (%.0f/s) not clearly above shadow (%.0f/s) in the CPU-bound regime",
+			boosted.Throughput, shadow.Throughput)
+	}
+}

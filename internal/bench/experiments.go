@@ -1,0 +1,355 @@
+package bench
+
+import (
+	"math/rand/v2"
+	"time"
+
+	"tboost/internal/core"
+	"tboost/internal/pairheap"
+	"tboost/internal/shadowtree"
+	"tboost/internal/skiplist"
+	"tboost/internal/stm"
+)
+
+// benchSystem returns an stm.System tuned for benchmarking: a generous lock
+// timeout so conflicting boosted transactions mostly wait (as the paper's
+// blocking abstract locks do) instead of thrashing on aborts.
+func benchSystem() *stm.System {
+	return stm.NewSystem(stm.Config{LockTimeout: 100 * time.Millisecond})
+}
+
+// setOp performs one mixed set operation drawn from the workload's
+// contains/add/remove distribution.
+func setOp(tx *stm.Tx, r *rand.Rand, w Workload, s *core.Set) {
+	k := r.Int64N(w.KeyRange)
+	p := r.IntN(100)
+	switch {
+	case p < w.ReadPct:
+		s.Contains(tx, k)
+	case p < w.ReadPct+w.AddPct:
+		s.Add(tx, k)
+	default:
+		s.Remove(tx, k)
+	}
+}
+
+// shadowOp performs the same mixed operation against the shadow-copy tree.
+func shadowOp(tx *stm.Tx, r *rand.Rand, w Workload, t *shadowtree.Tree[struct{}]) {
+	k := r.Int64N(w.KeyRange)
+	p := r.IntN(100)
+	switch {
+	case p < w.ReadPct:
+		t.Contains(tx, k)
+	case p < w.ReadPct+w.AddPct:
+		t.Insert(tx, k, struct{}{})
+	default:
+		t.Delete(tx, k)
+	}
+}
+
+// prepopulateSet inserts every other key up to KeyRange/2 so lookups hit
+// half the time.
+func prepopulateSet(sys *stm.System, s *core.Set, w Workload) {
+	stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+		for k := int64(0); k < w.KeyRange; k += 2 {
+			s.Add(tx, k)
+		}
+	})
+}
+
+// Fig9Targets builds the red-black tree comparison (Fig. 9): a boosted
+// synchronized sequential tree behind one coarse two-phase lock, versus the
+// same tree re-implemented on the read/write-conflict STM with shadow
+// copies.
+func Fig9Targets() []Target {
+	boostSys := benchSystem()
+	boosted := core.NewRBTreeSet()
+
+	shadowSys := benchSystem()
+	shadow := shadowtree.New[struct{}]()
+
+	return []Target{
+		{
+			Name: "boosted-rbtree",
+			Sys:  boostSys,
+			Prepare: func(w Workload) {
+				prepopulateSet(boostSys, boosted, w)
+			},
+			TxBody: func(tx *stm.Tx, r *rand.Rand, w Workload) {
+				for i := 0; i < w.OpsPerTx; i++ {
+					setOp(tx, r, w, boosted)
+				}
+			},
+		},
+		{
+			Name: "shadow-rbtree",
+			Sys:  shadowSys,
+			Prepare: func(w Workload) {
+				// Populate in modest chunks: one giant transaction
+				// would hold an enormous write set.
+				for base := int64(0); base < w.KeyRange; base += 256 {
+					end := base + 256
+					stm.MustAtomicOn(shadowSys, func(tx *stm.Tx) {
+						for k := base; k < end && k < w.KeyRange; k += 2 {
+							shadow.Insert(tx, k, struct{}{})
+						}
+					})
+				}
+			},
+			TxBody: func(tx *stm.Tx, r *rand.Rand, w Workload) {
+				for i := 0; i < w.OpsPerTx; i++ {
+					shadowOp(tx, r, w, shadow)
+				}
+			},
+		},
+	}
+}
+
+// Fig10Targets builds the skip-list lock-granularity comparison (Fig. 10):
+// the same lock-free base class boosted with a single transactional lock
+// versus a lock per key. Any throughput difference is attributable entirely
+// to abstract-lock granularity.
+func Fig10Targets() []Target {
+	coarseSys := benchSystem()
+	coarse := core.NewSkipListSetCoarse()
+
+	keyedSys := benchSystem()
+	keyed := core.NewSkipListSet()
+
+	return []Target{
+		{
+			Name:    "skiplist-single-lock",
+			Sys:     coarseSys,
+			Prepare: func(w Workload) { prepopulateSet(coarseSys, coarse, w) },
+			TxBody: func(tx *stm.Tx, r *rand.Rand, w Workload) {
+				for i := 0; i < w.OpsPerTx; i++ {
+					setOp(tx, r, w, coarse)
+				}
+			},
+		},
+		{
+			Name:    "skiplist-lock-per-key",
+			Sys:     keyedSys,
+			Prepare: func(w Workload) { prepopulateSet(keyedSys, keyed, w) },
+			TxBody: func(tx *stm.Tx, r *rand.Rand, w Workload) {
+				for i := 0; i < w.OpsPerTx; i++ {
+					setOp(tx, r, w, keyed)
+				}
+			},
+		},
+	}
+}
+
+// Fig11Targets builds the concurrent-heap comparison (Fig. 11): half add()
+// calls and half removeMin() calls, with the base heap's abstract lock
+// either discriminating readers/writers (adds share) or fully exclusive.
+func Fig11Targets() []Target {
+	rwSys := benchSystem()
+	rwHeap := core.NewHeap[struct{}](core.RWLocked)
+
+	exSys := benchSystem()
+	exHeap := core.NewHeap[struct{}](core.Exclusive)
+
+	prepare := func(sys *stm.System, h *core.Heap[struct{}]) func(Workload) {
+		return func(w Workload) {
+			stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+				for k := int64(0); k < w.KeyRange/2; k++ {
+					h.Add(tx, k, struct{}{})
+				}
+			})
+		}
+	}
+	body := func(h *core.Heap[struct{}]) func(*stm.Tx, *rand.Rand, Workload) {
+		return func(tx *stm.Tx, r *rand.Rand, w Workload) {
+			for i := 0; i < w.OpsPerTx; i++ {
+				if r.IntN(2) == 0 {
+					h.Add(tx, r.Int64N(w.KeyRange), struct{}{})
+				} else {
+					h.RemoveMin(tx)
+				}
+			}
+		}
+	}
+	return []Target{
+		{Name: "heap-rwlock", Sys: rwSys, Prepare: prepare(rwSys, rwHeap), TxBody: body(rwHeap)},
+		{Name: "heap-exclusive", Sys: exSys, Prepare: prepare(exSys, exHeap), TxBody: body(exHeap)},
+	}
+}
+
+// AblationHeapBases compares the boosted heap over its two base objects —
+// the fine-grained Hunt heap vs the coarse-locked pairing heap — under the
+// Fig. 11 workload. The transactional behaviour is identical (same abstract
+// locks, same inverses); only thread-level synchronization inside the black
+// box differs.
+func AblationHeapBases() []Target {
+	huntSys := benchSystem()
+	hunt := core.NewHeap[struct{}](core.RWLocked)
+
+	pairSys := benchSystem()
+	pair := core.NewHeapFromBase[struct{}](pairheap.NewSync[*core.Holder[struct{}]](), core.RWLocked)
+
+	prepare := func(sys *stm.System, h *core.Heap[struct{}]) func(Workload) {
+		return func(w Workload) {
+			stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+				for k := int64(0); k < w.KeyRange/2; k++ {
+					h.Add(tx, k, struct{}{})
+				}
+			})
+		}
+	}
+	body := func(h *core.Heap[struct{}]) func(*stm.Tx, *rand.Rand, Workload) {
+		return func(tx *stm.Tx, r *rand.Rand, w Workload) {
+			if r.IntN(2) == 0 {
+				h.Add(tx, r.Int64N(w.KeyRange), struct{}{})
+			} else {
+				h.RemoveMin(tx)
+			}
+		}
+	}
+	return []Target{
+		{Name: "base-hunt-finegrained", Sys: huntSys, Prepare: prepare(huntSys, hunt), TxBody: body(hunt)},
+		{Name: "base-pairing-coarse", Sys: pairSys, Prepare: prepare(pairSys, pair), TxBody: body(pair)},
+	}
+}
+
+// AblationLockMapStripes builds targets that vary the LockMap stripe count,
+// quantifying the cost of lock-table contention (an engineering knob the
+// paper leaves implicit in ConcurrentHashMap).
+func AblationLockMapStripes(stripes []int) []Target {
+	var out []Target
+	for _, n := range stripes {
+		n := n
+		sys := benchSystem()
+		s := core.NewKeyedSetStripes(skiplist.New(), n)
+		out = append(out, Target{
+			Name:    "stripes-" + itoa(n),
+			Sys:     sys,
+			Prepare: func(w Workload) { prepopulateSet(sys, s, w) },
+			TxBody: func(tx *stm.Tx, r *rand.Rand, w Workload) {
+				setOp(tx, r, w, s)
+			},
+		})
+	}
+	return out
+}
+
+// PipelineTargets builds the §3.3 pipeline benchmark: a linear pipeline of
+// the given number of stages connected by boosted Queues of the given
+// capacity. Each "transaction" measured is one end-to-end item: the
+// producer's offer counts as the committed unit, and sink consumption is
+// driven by background stages outside the measured system. Throughput
+// therefore reports sustainable pipeline feed rate.
+func PipelineTargets(stages, capacity int) []Target {
+	sys := benchSystem()
+	queues := make([]*core.Queue[int64], stages+1)
+	for i := range queues {
+		queues[i] = core.NewQueueTimeout[int64](capacity, 10*time.Second)
+	}
+	stageSys := benchSystem()
+	var started bool
+	return []Target{{
+		Name: "pipeline-" + itoa(stages) + "stages-cap" + itoa(capacity),
+		Sys:  sys,
+		Prepare: func(w Workload) {
+			if started {
+				return
+			}
+			started = true
+			// Interior stages: move items along, one per transaction.
+			for s := 0; s < stages; s++ {
+				in, out := queues[s], queues[s+1]
+				go func() {
+					for {
+						err := stageSys.Atomic(func(tx *stm.Tx) error {
+							v := in.Take(tx)
+							out.Offer(tx, v)
+							return nil
+						})
+						if err != nil {
+							return
+						}
+					}
+				}()
+			}
+			// Sink: drain the last queue.
+			go func() {
+				for {
+					err := stageSys.Atomic(func(tx *stm.Tx) error {
+						queues[stages].Take(tx)
+						return nil
+					})
+					if err != nil {
+						return
+					}
+				}
+			}()
+		},
+		TxBody: func(tx *stm.Tx, r *rand.Rand, w Workload) {
+			queues[0].Offer(tx, r.Int64N(1<<20))
+		},
+	}}
+}
+
+// AblationContentionPolicy compares deadlock-handling policies on a
+// deadlock-prone workload: each transaction touches several keys from a
+// small range in random order while holding think time, so waits-for cycles
+// form constantly. TimeoutOnly stalls out the full timeout before
+// recovering; WoundWait resolves cycles immediately by age.
+func AblationContentionPolicy(timeout time.Duration) []Target {
+	mk := func(name string, s *core.Set, sys *stm.System) Target {
+		return Target{
+			Name:    name,
+			Sys:     sys,
+			Prepare: func(w Workload) { prepopulateSet(sys, s, w) },
+			TxBody: func(tx *stm.Tx, r *rand.Rand, w Workload) {
+				for i := 0; i < w.OpsPerTx; i++ {
+					setOp(tx, r, w, s)
+					if w.ThinkTime > 0 {
+						time.Sleep(w.ThinkTime / time.Duration(w.OpsPerTx))
+					}
+				}
+			},
+		}
+	}
+	toSys := stm.NewSystem(stm.Config{LockTimeout: timeout})
+	wwSys := stm.NewSystem(stm.Config{LockTimeout: timeout})
+	return []Target{
+		mk("timeout-only", core.NewKeyedSet(skiplist.New()), toSys),
+		mk("wound-wait", core.NewKeyedSetWoundWait(skiplist.New()), wwSys),
+	}
+}
+
+// AblationLockTimeout builds targets varying the abstract-lock acquisition
+// timeout on a contended coarse-lock workload: too short wastes work on
+// spurious aborts, too long stalls on real deadlock-free contention.
+func AblationLockTimeout(timeouts []time.Duration) []Target {
+	var out []Target
+	for _, d := range timeouts {
+		d := d
+		sys := stm.NewSystem(stm.Config{LockTimeout: d})
+		s := core.NewSkipListSetCoarse()
+		out = append(out, Target{
+			Name:    "timeout-" + d.String(),
+			Sys:     sys,
+			Prepare: func(w Workload) { prepopulateSet(sys, s, w) },
+			TxBody: func(tx *stm.Tx, r *rand.Rand, w Workload) {
+				setOp(tx, r, w, s)
+			},
+		})
+	}
+	return out
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"tboost/internal/hashset"
+	"tboost/internal/linkedlist"
+	"tboost/internal/rbtree"
+	"tboost/internal/skiplist"
+)
+
+// rbSetAdapter presents the synchronized red-black tree as a BaseSet.
+type rbSetAdapter struct{ tree *rbtree.Sync[struct{}] }
+
+func (a rbSetAdapter) Add(key int64) bool      { return a.tree.Insert(key, struct{}{}) }
+func (a rbSetAdapter) Remove(key int64) bool   { _, ok := a.tree.Delete(key); return ok }
+func (a rbSetAdapter) Contains(key int64) bool { return a.tree.Contains(key) }
+
+// NewRBTreeSet boosts a synchronized sequential red-black tree with a single
+// coarse abstract lock — the boosted configuration of the Fig. 9 experiment
+// (no thread-level concurrency in the base, no transactional concurrency in
+// the wrapper, yet it beats the shadow-copy STM).
+func NewRBTreeSet() *Set {
+	return NewCoarseSet(rbSetAdapter{tree: rbtree.NewSync[struct{}]()})
+}
+
+// NewSkipListSet boosts the lock-free skip list with per-key abstract locks
+// — the paper's SkipListKey class (§3.1.1, the fast variant of Fig. 10).
+func NewSkipListSet() *Set {
+	return NewKeyedSet(skiplist.New())
+}
+
+// NewSkipListSetCoarse boosts the same lock-free skip list with a single
+// abstract lock — the slow variant of Fig. 10. Identical base object, so any
+// throughput difference is attributable purely to abstract-lock granularity.
+func NewSkipListSetCoarse() *Set {
+	return NewCoarseSet(skiplist.New())
+}
+
+// NewHashSet boosts the striped concurrent hash set with per-key abstract
+// locks (the black-box transactional hash table of the paper's related-work
+// discussion).
+func NewHashSet() *Set {
+	return NewKeyedSet(hashset.New())
+}
+
+// NewLinkedListSet boosts the lock-coupling sorted linked list — the
+// introduction's motivating example of synchronization that transactions
+// based on read/write conflicts cannot express.
+func NewLinkedListSet() *Set {
+	return NewKeyedSet(linkedlist.New())
+}
+
+// NewRBTreeMap boosts a synchronized red-black tree as a transactional map
+// with per-key abstract locks.
+func NewRBTreeMap[V any]() *Map[V] {
+	return NewMap[V](rbtree.NewSync[V]())
+}
+
+// Interface conformance checks for the substrates used as black boxes.
+var (
+	_ BaseSet = (*skiplist.Set)(nil)
+	_ BaseSet = (*hashset.Set)(nil)
+	_ BaseSet = (*linkedlist.Set)(nil)
+	_ BaseSet = rbSetAdapter{}
+)

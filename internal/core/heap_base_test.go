@@ -1,0 +1,122 @@
+package core
+
+import (
+	"errors"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tboost/internal/cheap"
+	"tboost/internal/pairheap"
+	"tboost/internal/stm"
+)
+
+// heapBases enumerates the linearizable base heaps the boosted Heap runs
+// over — the black-box claim for priority queues.
+func heapBases() map[string]func() BaseHeap[*Holder[int64]] {
+	return map[string]func() BaseHeap[*Holder[int64]]{
+		"hunt":     func() BaseHeap[*Holder[int64]] { return cheap.New[*Holder[int64]]() },
+		"pairheap": func() BaseHeap[*Holder[int64]] { return pairheap.NewSync[*Holder[int64]]() },
+	}
+}
+
+func TestHeapBlackBoxBases(t *testing.T) {
+	for name, mk := range heapBases() {
+		t.Run(name, func(t *testing.T) {
+			h := NewHeapFromBase[int64](mk(), RWLocked)
+			sys := newSys()
+			stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+				h.Add(tx, 3, 30)
+				h.Add(tx, 1, 10)
+				h.Add(tx, 2, 20)
+			})
+			stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+				for want := int64(1); want <= 3; want++ {
+					k, v, ok := h.RemoveMin(tx)
+					if !ok || k != want || v != want*10 {
+						t.Errorf("RemoveMin = %d,%d,%v; want %d", k, v, ok, want)
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestHeapBlackBoxAbortSemantics(t *testing.T) {
+	for name, mk := range heapBases() {
+		t.Run(name, func(t *testing.T) {
+			h := NewHeapFromBase[int64](mk(), RWLocked)
+			sys := newSys()
+			stm.MustAtomicOn(sys, func(tx *stm.Tx) { h.Add(tx, 5, 50) })
+			boom := errors.New("boom")
+			_ = sys.Atomic(func(tx *stm.Tx) error {
+				h.Add(tx, 1, 10)     // undo: holder marked deleted
+				h.RemoveMin(tx)      // removes 1 (own); undo: re-add
+				k, _, _ := h.Min(tx) // sees 5
+				if k != 5 {
+					t.Errorf("Min mid-tx = %d", k)
+				}
+				return boom
+			})
+			stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+				k, v, ok := h.RemoveMin(tx)
+				if !ok || k != 5 || v != 50 {
+					t.Errorf("after abort RemoveMin = %d,%d,%v; want 5,50", k, v, ok)
+				}
+				if _, _, ok := h.RemoveMin(tx); ok {
+					t.Error("ghost item after abort")
+				}
+			})
+		})
+	}
+}
+
+func TestHeapBlackBoxConcurrentAccounting(t *testing.T) {
+	for name, mk := range heapBases() {
+		t.Run(name, func(t *testing.T) {
+			h := NewHeapFromBase[int64](mk(), RWLocked)
+			sys := stm.NewSystem(stm.Config{LockTimeout: 200 * time.Millisecond})
+			var addSum, remSum atomic.Int64
+			var wg sync.WaitGroup
+			for g := 0; g < 6; g++ {
+				g := g
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					r := rand.New(rand.NewPCG(uint64(g), 6))
+					for i := 0; i < 150; i++ {
+						if r.IntN(2) == 0 {
+							k := int64(r.IntN(1000) + 1)
+							_ = sys.Atomic(func(tx *stm.Tx) error {
+								h.Add(tx, k, k)
+								tx.OnCommit(func() { addSum.Add(k) })
+								return nil
+							})
+						} else {
+							_ = sys.Atomic(func(tx *stm.Tx) error {
+								if k, _, ok := h.RemoveMin(tx); ok {
+									tx.OnCommit(func() { remSum.Add(k) })
+								}
+								return nil
+							})
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			rest := h.DrainQuiescent()
+			if !sort.SliceIsSorted(rest, func(i, j int) bool { return rest[i] < rest[j] }) {
+				t.Fatalf("drain unsorted: %v", rest)
+			}
+			for _, k := range rest {
+				remSum.Add(k)
+			}
+			if addSum.Load() != remSum.Load() {
+				t.Fatalf("%s: added %d != removed %d", name, addSum.Load(), remSum.Load())
+			}
+		})
+	}
+}

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"errors"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tboost/internal/stm"
+)
+
+func TestHeapBasicOrder(t *testing.T) {
+	for _, mode := range []HeapMode{RWLocked, Exclusive} {
+		h := NewHeap[string](mode)
+		sys := newSys()
+		stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+			h.Add(tx, 3, "three")
+			h.Add(tx, 1, "one")
+			h.Add(tx, 2, "two")
+		})
+		stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+			k, v, ok := h.Min(tx)
+			if !ok || k != 1 || v != "one" {
+				t.Errorf("Min = %d,%q,%v", k, v, ok)
+			}
+			for want := int64(1); want <= 3; want++ {
+				k, _, ok := h.RemoveMin(tx)
+				if !ok || k != want {
+					t.Errorf("RemoveMin = %d,%v, want %d", k, ok, want)
+				}
+			}
+			if _, _, ok := h.RemoveMin(tx); ok {
+				t.Error("RemoveMin on empty = ok")
+			}
+			if _, _, ok := h.Min(tx); ok {
+				t.Error("Min on empty = ok")
+			}
+		})
+	}
+}
+
+func TestHeapAddUndoViaDeletedFlag(t *testing.T) {
+	h := NewHeap[int](RWLocked)
+	sys := newSys()
+	boom := errors.New("boom")
+	_ = sys.Atomic(func(tx *stm.Tx) error {
+		h.Add(tx, 5, 5)
+		h.Add(tx, 6, 6)
+		return boom
+	})
+	// The holders are still physically in the base heap (the paper's lazy
+	// deletion), but logically dead.
+	if h.LenQuiescent() != 2 {
+		t.Fatalf("base holders = %d, want 2 (lazy deletion)", h.LenQuiescent())
+	}
+	stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+		if _, _, ok := h.RemoveMin(tx); ok {
+			t.Error("aborted adds visible to RemoveMin")
+		}
+	})
+}
+
+func TestHeapRemoveMinUndoRestores(t *testing.T) {
+	h := NewHeap[int](RWLocked)
+	sys := newSys()
+	stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+		h.Add(tx, 1, 10)
+		h.Add(tx, 2, 20)
+	})
+	boom := errors.New("boom")
+	_ = sys.Atomic(func(tx *stm.Tx) error {
+		k, v, ok := h.RemoveMin(tx)
+		if !ok || k != 1 || v != 10 {
+			t.Errorf("RemoveMin = %d,%d,%v", k, v, ok)
+		}
+		return boom
+	})
+	stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+		k, v, ok := h.RemoveMin(tx)
+		if !ok || k != 1 || v != 10 {
+			t.Errorf("after abort, RemoveMin = %d,%d,%v; want 1,10,true", k, v, ok)
+		}
+	})
+}
+
+func TestHeapPaperAbortExample(t *testing.T) {
+	// Paper §5.3: "consider the transaction over a heap that calls add(63)
+	// and then removeMin(). If the transaction aborts after calling
+	// add(63) ... 63 will be removed from the heap."
+	h := NewHeap[int](RWLocked)
+	sys := newSys()
+	boom := errors.New("boom")
+	_ = sys.Atomic(func(tx *stm.Tx) error {
+		h.Add(tx, 63, 63)
+		return boom
+	})
+	stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+		if _, _, ok := h.Min(tx); ok {
+			t.Error("63 still observable after abort")
+		}
+	})
+}
+
+func TestHeapDuplicateKeys(t *testing.T) {
+	h := NewHeap[int](RWLocked)
+	sys := newSys()
+	stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+		h.Add(tx, 7, 1)
+		h.Add(tx, 7, 2)
+	})
+	stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+		k1, _, ok1 := h.RemoveMin(tx)
+		k2, _, ok2 := h.RemoveMin(tx)
+		if !ok1 || !ok2 || k1 != 7 || k2 != 7 {
+			t.Errorf("duplicates: %d,%v %d,%v", k1, ok1, k2, ok2)
+		}
+	})
+}
+
+func TestHeapConcurrentAddsShareLock(t *testing.T) {
+	// Two transactions can both hold the shared add lock at once in
+	// RWLocked mode.
+	h := NewHeap[int](RWLocked)
+	sys := stm.NewSystem(stm.Config{LockTimeout: 50 * time.Millisecond, MaxRetries: 1})
+	inFlight := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- sys.Atomic(func(tx *stm.Tx) error {
+			h.Add(tx, 1, 1)
+			close(inFlight)
+			<-release
+			return nil
+		})
+	}()
+	<-inFlight
+	if err := sys.Atomic(func(tx *stm.Tx) error {
+		h.Add(tx, 2, 2) // concurrent add must not block
+		return nil
+	}); err != nil {
+		t.Fatalf("concurrent add blocked in RWLocked mode: %v", err)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeapExclusiveModeAddsConflict(t *testing.T) {
+	h := NewHeap[int](Exclusive)
+	sys := stm.NewSystem(stm.Config{LockTimeout: 10 * time.Millisecond, MaxRetries: 1})
+	inFlight := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- sys.Atomic(func(tx *stm.Tx) error {
+			h.Add(tx, 1, 1)
+			close(inFlight)
+			<-release
+			return nil
+		})
+	}()
+	<-inFlight
+	err := sys.Atomic(func(tx *stm.Tx) error {
+		h.Add(tx, 2, 2)
+		return nil
+	})
+	close(release)
+	if !errors.Is(err, stm.ErrTooManyRetries) {
+		t.Fatalf("exclusive mode let adds overlap: %v", err)
+	}
+	<-done
+}
+
+func TestHeapRemoveMinExcludesAdd(t *testing.T) {
+	h := NewHeap[int](RWLocked)
+	sys := stm.NewSystem(stm.Config{LockTimeout: 10 * time.Millisecond, MaxRetries: 1})
+	stm.MustAtomicOn(newSys(), func(tx *stm.Tx) { h.Add(tx, 1, 1) })
+	inFlight := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- sys.Atomic(func(tx *stm.Tx) error {
+			h.RemoveMin(tx) // exclusive
+			close(inFlight)
+			<-release
+			return nil
+		})
+	}()
+	<-inFlight
+	err := sys.Atomic(func(tx *stm.Tx) error {
+		h.Add(tx, 2, 2) // shared vs exclusive: must abort
+		return nil
+	})
+	close(release)
+	if !errors.Is(err, stm.ErrTooManyRetries) {
+		t.Fatalf("add overlapped with removeMin: %v", err)
+	}
+	<-done
+}
+
+func TestHeapConcurrentMixedAccounting(t *testing.T) {
+	h := NewHeap[int64](RWLocked)
+	sys := stm.NewSystem(stm.Config{LockTimeout: 200 * time.Millisecond})
+	var addedSum, removedSum atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := rand.New(rand.NewPCG(uint64(g), 5))
+			for i := 0; i < 200; i++ {
+				if r.IntN(2) == 0 {
+					k := int64(r.IntN(1000) + 1)
+					err := sys.Atomic(func(tx *stm.Tx) error {
+						h.Add(tx, k, k)
+						tx.OnCommit(func() { addedSum.Add(k) })
+						return nil
+					})
+					if err != nil {
+						t.Errorf("add: %v", err)
+					}
+				} else {
+					err := sys.Atomic(func(tx *stm.Tx) error {
+						if k, v, ok := h.RemoveMin(tx); ok {
+							if k != v {
+								t.Errorf("payload mismatch: %d vs %d", k, v)
+							}
+							tx.OnCommit(func() { removedSum.Add(k) })
+						}
+						return nil
+					})
+					if err != nil {
+						t.Errorf("removeMin: %v", err)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	rest := h.DrainQuiescent()
+	for _, k := range rest {
+		removedSum.Add(k)
+	}
+	if addedSum.Load() != removedSum.Load() {
+		t.Fatalf("sum added %d != sum removed %d", addedSum.Load(), removedSum.Load())
+	}
+}
+
+func TestHeapDrainSorted(t *testing.T) {
+	h := NewHeap[int](RWLocked)
+	sys := newSys()
+	var want []int64
+	r := rand.New(rand.NewPCG(1, 2))
+	stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+		for i := 0; i < 200; i++ {
+			k := int64(r.IntN(100))
+			want = append(want, k)
+			h.Add(tx, k, 0)
+		}
+	})
+	got := h.DrainQuiescent()
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(got) != len(want) {
+		t.Fatalf("drained %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("drain[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"tboost/internal/stm"
+)
+
+func TestMapPutGetDelete(t *testing.T) {
+	m := NewRBTreeMap[string]()
+	sys := newSys()
+	stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+		if _, existed := m.Put(tx, 1, "one"); existed {
+			t.Error("Put on fresh key reported existing")
+		}
+		old, existed := m.Put(tx, 1, "ONE")
+		if !existed || old != "one" {
+			t.Errorf("Put overwrite = %q,%v", old, existed)
+		}
+		v, ok := m.Get(tx, 1)
+		if !ok || v != "ONE" {
+			t.Errorf("Get = %q,%v", v, ok)
+		}
+		v, ok = m.Delete(tx, 1)
+		if !ok || v != "ONE" {
+			t.Errorf("Delete = %q,%v", v, ok)
+		}
+		if _, ok := m.Get(tx, 1); ok {
+			t.Error("Get after delete = ok")
+		}
+	})
+}
+
+func TestMapUndoRestoresBindings(t *testing.T) {
+	m := NewRBTreeMap[string]()
+	sys := newSys()
+	stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+		m.Put(tx, 1, "one")
+		m.Put(tx, 2, "two")
+	})
+	boom := errors.New("boom")
+	_ = sys.Atomic(func(tx *stm.Tx) error {
+		m.Put(tx, 1, "uno")  // inverse: restore "one"
+		m.Delete(tx, 2)      // inverse: restore "two"
+		m.Put(tx, 3, "tres") // inverse: delete 3
+		return boom
+	})
+	stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+		if v, _ := m.Get(tx, 1); v != "one" {
+			t.Errorf("key 1 = %q, want one", v)
+		}
+		if v, ok := m.Get(tx, 2); !ok || v != "two" {
+			t.Errorf("key 2 = %q,%v, want two", v, ok)
+		}
+		if _, ok := m.Get(tx, 3); ok {
+			t.Error("aborted Put(3) left a binding")
+		}
+	})
+}
+
+func TestMapUpdateReadModifyWrite(t *testing.T) {
+	m := NewRBTreeMap[int]()
+	sys := newSys()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+					m.Update(tx, 42, func(v int, _ bool) int { return v + 1 })
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	var final int
+	stm.MustAtomicOn(sys, func(tx *stm.Tx) { final, _ = m.Get(tx, 42) })
+	if final != 800 {
+		t.Fatalf("counter = %d, want 800 (lost read-modify-write)", final)
+	}
+}
+
+func TestMapTransferInvariant(t *testing.T) {
+	// The bank workload: concurrent transfers preserve the total balance.
+	m := NewRBTreeMap[int]()
+	sys := newSys()
+	const accounts = 8
+	const initial = 1000
+	stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+		for a := int64(0); a < accounts; a++ {
+			m.Put(tx, a, initial)
+		}
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				from := int64((g + i) % accounts)
+				to := int64((g + i + 1) % accounts)
+				if from == to {
+					continue
+				}
+				stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+					f, _ := m.Get(tx, from)
+					if f == 0 {
+						return
+					}
+					m.Put(tx, from, f-1)
+					tv, _ := m.Get(tx, to)
+					m.Put(tx, to, tv+1)
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	total := 0
+	stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+		total = 0
+		for a := int64(0); a < accounts; a++ {
+			v, _ := m.Get(tx, a)
+			total += v
+		}
+	})
+	if total != accounts*initial {
+		t.Fatalf("total = %d, want %d (atomicity violated)", total, accounts*initial)
+	}
+}
+
+func TestMapBaseAccessor(t *testing.T) {
+	m := NewRBTreeMap[int]()
+	sys := newSys()
+	stm.MustAtomicOn(sys, func(tx *stm.Tx) { m.Put(tx, 5, 50) })
+	if v, ok := m.Base().Get(5); !ok || v != 50 {
+		t.Fatalf("base Get = %d,%v", v, ok)
+	}
+}

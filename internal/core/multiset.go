@@ -1,0 +1,54 @@
+package core
+
+import (
+	"tboost/internal/hashset"
+	"tboost/internal/lockmgr"
+	"tboost/internal/stm"
+)
+
+// Multiset is a boosted transactional bag of int64 keys. Unlike the Set,
+// add(x) always changes the bag (multisets admit duplicates), so its
+// inverse is unconditional: removeOne(x). Per-key abstract locking gives
+// the same commutativity-based concurrency as the boosted Set: operations
+// on distinct keys never conflict.
+type Multiset struct {
+	base  *hashset.MultiSet
+	locks *lockmgr.LockMap[int64]
+}
+
+// NewMultiset returns a boosted bag over a striped concurrent multiset.
+func NewMultiset() *Multiset {
+	return &Multiset{base: hashset.NewMultiSet(), locks: lockmgr.NewLockMap[int64]()}
+}
+
+// Add inserts one occurrence of key and returns the resulting count.
+// Inverse: removeOne(key).
+func (m *Multiset) Add(tx *stm.Tx, key int64) int {
+	m.locks.Lock(tx, key)
+	n := m.base.Add(key)
+	tx.Log(func() { m.base.RemoveOne(key) })
+	return n
+}
+
+// RemoveOne deletes one occurrence of key, reporting whether one existed.
+// Inverse: add(key) when an occurrence was removed; noop otherwise.
+func (m *Multiset) RemoveOne(tx *stm.Tx, key int64) bool {
+	m.locks.Lock(tx, key)
+	ok := m.base.RemoveOne(key)
+	if ok {
+		tx.Log(func() { m.base.Add(key) })
+	}
+	return ok
+}
+
+// Count returns the number of occurrences of key. Read-only; the key's
+// abstract lock still serializes it against concurrent mutators of the
+// same key.
+func (m *Multiset) Count(tx *stm.Tx, key int64) int {
+	m.locks.Lock(tx, key)
+	return m.base.Count(key)
+}
+
+// Base returns the underlying linearizable multiset for quiescent
+// inspection.
+func (m *Multiset) Base() *hashset.MultiSet { return m.base }

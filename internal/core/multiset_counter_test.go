@@ -1,0 +1,222 @@
+package core
+
+import (
+	"errors"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tboost/internal/stm"
+)
+
+// --- Multiset ---
+
+func TestMultisetBasics(t *testing.T) {
+	m := NewMultiset()
+	sys := newSys()
+	stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+		if n := m.Add(tx, 5); n != 1 {
+			t.Errorf("first Add = %d", n)
+		}
+		if n := m.Add(tx, 5); n != 2 {
+			t.Errorf("second Add = %d", n)
+		}
+		if c := m.Count(tx, 5); c != 2 {
+			t.Errorf("Count = %d", c)
+		}
+		if !m.RemoveOne(tx, 5) {
+			t.Error("RemoveOne = false")
+		}
+		if c := m.Count(tx, 5); c != 1 {
+			t.Errorf("Count after remove = %d", c)
+		}
+		if m.RemoveOne(tx, 99) {
+			t.Error("RemoveOne on absent = true")
+		}
+	})
+}
+
+func TestMultisetUndoRestoresCounts(t *testing.T) {
+	m := NewMultiset()
+	sys := newSys()
+	stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+		m.Add(tx, 1)
+		m.Add(tx, 1)
+	})
+	boom := errors.New("boom")
+	_ = sys.Atomic(func(tx *stm.Tx) error {
+		m.Add(tx, 1)       // 3
+		m.RemoveOne(tx, 1) // 2
+		m.RemoveOne(tx, 1) // 1
+		m.Add(tx, 2)
+		return boom
+	})
+	if c := m.Base().Count(1); c != 2 {
+		t.Fatalf("count(1) = %d after abort, want 2", c)
+	}
+	if c := m.Base().Count(2); c != 0 {
+		t.Fatalf("count(2) = %d after abort, want 0", c)
+	}
+}
+
+func TestMultisetConcurrentAccounting(t *testing.T) {
+	m := NewMultiset()
+	sys := stm.NewSystem(stm.Config{LockTimeout: 200 * time.Millisecond})
+	var net [8]atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := rand.New(rand.NewPCG(uint64(g), 3))
+			for i := 0; i < 400; i++ {
+				k := int64(r.IntN(8))
+				add := r.IntN(2) == 0
+				_ = sys.Atomic(func(tx *stm.Tx) error {
+					if add {
+						m.Add(tx, k)
+						tx.OnCommit(func() { net[k].Add(1) })
+					} else if m.RemoveOne(tx, k) {
+						tx.OnCommit(func() { net[k].Add(-1) })
+					}
+					return nil
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	for k := 0; k < 8; k++ {
+		if got := int64(m.Base().Count(int64(k))); got != net[k].Load() {
+			t.Errorf("key %d: count = %d, committed net = %d", k, got, net[k].Load())
+		}
+	}
+}
+
+// --- Counter ---
+
+func TestCounterAddAndGet(t *testing.T) {
+	c := NewCounter(10)
+	sys := newSys()
+	stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+		c.Add(tx, 5)
+		c.Add(tx, -2)
+		if v := c.Get(tx); v != 13 {
+			t.Errorf("Get = %d", v)
+		}
+	})
+	if c.ValueQuiescent() != 13 {
+		t.Fatalf("final = %d", c.ValueQuiescent())
+	}
+}
+
+func TestCounterAbortRestores(t *testing.T) {
+	c := NewCounter(100)
+	sys := newSys()
+	boom := errors.New("boom")
+	_ = sys.Atomic(func(tx *stm.Tx) error {
+		c.Add(tx, 7)
+		c.Add(tx, 3)
+		return boom
+	})
+	if c.ValueQuiescent() != 100 {
+		t.Fatalf("after abort = %d, want 100", c.ValueQuiescent())
+	}
+}
+
+func TestCounterConcurrentAddsNeverConflict(t *testing.T) {
+	c := NewCounter(0)
+	sys := newSys()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				stm.MustAtomicOn(sys, func(tx *stm.Tx) { c.Add(tx, 1) })
+			}
+		}()
+	}
+	wg.Wait()
+	if c.ValueQuiescent() != 8*500 {
+		t.Fatalf("counter = %d, want %d", c.ValueQuiescent(), 8*500)
+	}
+	if st := sys.Stats(); st.Aborts != 0 {
+		t.Fatalf("adds aborted %d times; increments must never conflict", st.Aborts)
+	}
+}
+
+func TestCounterGetExcludesAdd(t *testing.T) {
+	c := NewCounter(0)
+	sys := stm.NewSystem(stm.Config{LockTimeout: 10 * time.Millisecond, MaxRetries: 1})
+	inFlight := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- sys.Atomic(func(tx *stm.Tx) error {
+			c.Add(tx, 1) // shared mode held through the body
+			close(inFlight)
+			<-release
+			return nil
+		})
+	}()
+	<-inFlight
+	err := sys.Atomic(func(tx *stm.Tx) error {
+		c.Get(tx) // exclusive: must conflict with the in-flight Add
+		return nil
+	})
+	close(release)
+	if !errors.Is(err, stm.ErrTooManyRetries) {
+		t.Fatalf("Get overlapped an uncommitted Add: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounterGetSeesNoUncommittedValue(t *testing.T) {
+	// Get serializes after in-flight Adds (or they abort), so a committed
+	// Get can never observe a value from a transaction that later aborts.
+	c := NewCounter(0)
+	sys := stm.NewSystem(stm.Config{LockTimeout: 300 * time.Millisecond})
+	var observed []int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	boom := errors.New("boom")
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if g%2 == 0 {
+					// Half the adders abort: their +1000 must never
+					// be visible to a committed Get.
+					_ = sys.Atomic(func(tx *stm.Tx) error {
+						c.Add(tx, 1000)
+						return boom
+					})
+					stm.MustAtomicOn(sys, func(tx *stm.Tx) { c.Add(tx, 1) })
+				} else {
+					stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+						v := c.Get(tx)
+						mu.Lock()
+						observed = append(observed, v)
+						mu.Unlock()
+					})
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, v := range observed {
+		if v >= 1000 {
+			t.Fatalf("committed Get observed uncommitted increment: %d", v)
+		}
+	}
+	if c.ValueQuiescent() != 200 {
+		t.Fatalf("final = %d, want 200", c.ValueQuiescent())
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"errors"
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"time"
+
+	"tboost/internal/stm"
+)
+
+func TestOrderedSetBasics(t *testing.T) {
+	s := NewOrderedSet()
+	sys := newSys()
+	stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+		for _, k := range []int64{5, 1, 9, 3, 7} {
+			if !s.Add(tx, k) {
+				t.Errorf("Add(%d) = false", k)
+			}
+		}
+		if s.CountRange(tx, 2, 8) != 3 { // 3,5,7
+			t.Errorf("CountRange(2,8) = %d", s.CountRange(tx, 2, 8))
+		}
+		keys := s.KeysRange(tx, 0, 100)
+		want := []int64{1, 3, 5, 7, 9}
+		if len(keys) != len(want) {
+			t.Fatalf("KeysRange = %v", keys)
+		}
+		for i := range want {
+			if keys[i] != want[i] {
+				t.Fatalf("KeysRange = %v, want %v", keys, want)
+			}
+		}
+		if s.SumRange(tx, 1, 9) != 25 {
+			t.Errorf("SumRange = %d", s.SumRange(tx, 1, 9))
+		}
+		if !s.Remove(tx, 5) || !s.Contains(tx, 7) || s.Contains(tx, 5) {
+			t.Error("point ops broken")
+		}
+	})
+}
+
+func TestOrderedSetRangeQueryVsOutsideUpdateNoConflict(t *testing.T) {
+	s := NewOrderedSet()
+	sys := stm.NewSystem(stm.Config{LockTimeout: 50 * time.Millisecond, MaxRetries: 1})
+	held := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- sys.Atomic(func(tx *stm.Tx) error {
+			s.CountRange(tx, 0, 100) // holds [0,100]
+			close(held)
+			<-release
+			return nil
+		})
+	}()
+	<-held
+	if err := sys.Atomic(func(tx *stm.Tx) error {
+		s.Add(tx, 500) // outside the range: must not block
+		return nil
+	}); err != nil {
+		t.Fatalf("outside-range update blocked by range query: %v", err)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderedSetRangeQueryVsInsideUpdateConflicts(t *testing.T) {
+	s := NewOrderedSet()
+	sys := stm.NewSystem(stm.Config{LockTimeout: 10 * time.Millisecond, MaxRetries: 1})
+	held := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- sys.Atomic(func(tx *stm.Tx) error {
+			s.CountRange(tx, 0, 100)
+			close(held)
+			<-release
+			return nil
+		})
+	}()
+	<-held
+	err := sys.Atomic(func(tx *stm.Tx) error {
+		s.Add(tx, 50) // inside the locked range: conflict
+		return nil
+	})
+	close(release)
+	if !errors.Is(err, stm.ErrTooManyRetries) {
+		t.Fatalf("inside-range update did not conflict: %v", err)
+	}
+	<-done
+}
+
+func TestOrderedSetRangeAtomicity(t *testing.T) {
+	// Writers move a pair of keys between the low and high half atomically
+	// (remove one side, add the other); a ranged reader must always see a
+	// constant total across [0, 2N).
+	s := NewOrderedSet()
+	sys := stm.NewSystem(stm.Config{LockTimeout: 500 * time.Millisecond})
+	const n = 32
+	stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+		for k := int64(0); k < n; k++ {
+			s.Add(tx, k) // all start in the low half
+		}
+	})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := rand.New(rand.NewPCG(uint64(w), 17))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := int64(r.IntN(n))
+				_ = sys.Atomic(func(tx *stm.Tx) error {
+					if s.Contains(tx, k) {
+						s.Remove(tx, k)
+						s.Add(tx, k+n)
+					} else if s.Contains(tx, k+n) {
+						s.Remove(tx, k+n)
+						s.Add(tx, k)
+					}
+					return nil
+				})
+			}
+		}()
+	}
+	for i := 0; i < 300; i++ {
+		var total int
+		err := sys.Atomic(func(tx *stm.Tx) error {
+			total = s.CountRange(tx, 0, 2*n-1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("range query: %v", err)
+		}
+		if total != n {
+			t.Fatalf("iteration %d: CountRange = %d, want %d (atomicity broken)", i, total, n)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestOrderedSetUndoRestores(t *testing.T) {
+	s := NewOrderedSet()
+	sys := newSys()
+	stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+		s.Add(tx, 1)
+		s.Add(tx, 2)
+	})
+	boom := errors.New("boom")
+	_ = sys.Atomic(func(tx *stm.Tx) error {
+		s.Add(tx, 3)
+		s.Remove(tx, 1)
+		return boom
+	})
+	stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+		if got := s.KeysRange(tx, 0, 10); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+			t.Errorf("after abort KeysRange = %v, want [1 2]", got)
+		}
+	})
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tboost/internal/stm"
+)
+
+func TestPrivatizerAccessorCountLifecycle(t *testing.T) {
+	p := NewPrivatizer()
+	sys := newSys()
+	during := make(chan int, 1)
+	stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+		p.Access(tx)
+		during <- p.Accessors()
+	})
+	if v := <-during; v != 1 {
+		t.Fatalf("accessors during tx = %d, want 1", v)
+	}
+	if p.Accessors() != 0 {
+		t.Fatalf("accessors after commit = %d, want 0 (disposable exit ran)", p.Accessors())
+	}
+}
+
+func TestPrivatizerAbortUndoesAccess(t *testing.T) {
+	p := NewPrivatizer()
+	sys := newSys()
+	boom := errors.New("boom")
+	_ = sys.Atomic(func(tx *stm.Tx) error {
+		p.Access(tx)
+		return boom
+	})
+	if p.Accessors() != 0 {
+		t.Fatalf("accessors after abort = %d", p.Accessors())
+	}
+	// And no double-exit: a subsequent normal cycle stays balanced.
+	stm.MustAtomicOn(sys, func(tx *stm.Tx) { p.Access(tx) })
+	if p.Accessors() != 0 {
+		t.Fatalf("accessors unbalanced: %d", p.Accessors())
+	}
+}
+
+func TestPrivatizeWaitsForAccessorsToDrain(t *testing.T) {
+	p := NewPrivatizer()
+	sys := newSys()
+	inTx := make(chan struct{})
+	releaseTx := make(chan struct{})
+	go func() {
+		stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+			p.Access(tx)
+			close(inTx)
+			<-releaseTx
+		})
+	}()
+	<-inTx
+	privatized := make(chan func(), 1)
+	go func() { privatized <- p.Privatize() }()
+	select {
+	case <-privatized:
+		t.Fatal("Privatize returned while a transactional accessor is active")
+	case <-time.After(30 * time.Millisecond):
+	}
+	close(releaseTx)
+	select {
+	case release := <-privatized:
+		release()
+	case <-time.After(5 * time.Second):
+		t.Fatal("Privatize never completed after accessor drained")
+	}
+}
+
+func TestPrivatizedBlocksTransactions(t *testing.T) {
+	p := NewPrivatizer()
+	sys := stm.NewSystem(stm.Config{LockTimeout: 10 * time.Millisecond, MaxRetries: 2})
+	release := p.Privatize()
+	err := sys.Atomic(func(tx *stm.Tx) error {
+		p.Access(tx) // must time out while privatized
+		return nil
+	})
+	if !errors.Is(err, stm.ErrTooManyRetries) {
+		t.Fatalf("transaction ran during privatization: %v", err)
+	}
+	release()
+	if err := sys.Atomic(func(tx *stm.Tx) error {
+		p.Access(tx)
+		return nil
+	}); err != nil {
+		t.Fatalf("transaction blocked after release: %v", err)
+	}
+}
+
+func TestPrivatizerExclusionInvariant(t *testing.T) {
+	// The real guarantee: non-transactional private sections never overlap
+	// transactional access to the protected value.
+	p := NewPrivatizer()
+	sys := stm.NewSystem(stm.Config{LockTimeout: 200 * time.Millisecond})
+	var txActive, privActive atomic.Int32
+	var violations atomic.Int32
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	time.AfterFunc(300*time.Millisecond, func() { close(stop) })
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = sys.Atomic(func(tx *stm.Tx) error {
+					p.Access(tx)
+					txActive.Add(1)
+					if privActive.Load() > 0 {
+						violations.Add(1)
+					}
+					txActive.Add(-1)
+					return nil
+				})
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			release := p.Privatize()
+			privActive.Add(1)
+			if txActive.Load() > 0 {
+				violations.Add(1)
+			}
+			time.Sleep(time.Millisecond)
+			privActive.Add(-1)
+			release()
+		}
+	}()
+	wg.Wait()
+	if violations.Load() > 0 {
+		t.Fatalf("%d overlaps between private and transactional access", violations.Load())
+	}
+}
+
+func TestPrivatizerTwoPrivatizersQueue(t *testing.T) {
+	p := NewPrivatizer()
+	r1 := p.Privatize()
+	second := make(chan func(), 1)
+	go func() { second <- p.Privatize() }()
+	select {
+	case <-second:
+		t.Fatal("second Privatize succeeded while first held")
+	case <-time.After(20 * time.Millisecond):
+	}
+	r1()
+	select {
+	case r2 := <-second:
+		r2()
+	case <-time.After(5 * time.Second):
+		t.Fatal("second privatizer never acquired")
+	}
+}

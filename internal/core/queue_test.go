@@ -1,0 +1,179 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"tboost/internal/stm"
+)
+
+func TestQueueOfferTakeRoundTrip(t *testing.T) {
+	q := NewQueue[int](4)
+	sys := newSys()
+	stm.MustAtomicOn(sys, func(tx *stm.Tx) { q.Offer(tx, 42) })
+	var got int
+	stm.MustAtomicOn(sys, func(tx *stm.Tx) { got = q.Take(tx) })
+	if got != 42 {
+		t.Fatalf("Take = %d", got)
+	}
+}
+
+func TestQueueFIFOAcrossTransactions(t *testing.T) {
+	q := NewQueue[int](8)
+	sys := newSys()
+	for i := 0; i < 5; i++ {
+		i := i
+		stm.MustAtomicOn(sys, func(tx *stm.Tx) { q.Offer(tx, i) })
+	}
+	for i := 0; i < 5; i++ {
+		var got int
+		stm.MustAtomicOn(sys, func(tx *stm.Tx) { got = q.Take(tx) })
+		if got != i {
+			t.Fatalf("Take #%d = %d", i, got)
+		}
+	}
+}
+
+func TestQueueItemInvisibleUntilCommit(t *testing.T) {
+	q := NewQueueTimeout[int](4, 30*time.Millisecond)
+	sys := stm.NewSystem(stm.Config{LockTimeout: 30 * time.Millisecond, MaxRetries: 1})
+	offered := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- sys.Atomic(func(tx *stm.Tx) error {
+			q.Offer(tx, 1)
+			close(offered)
+			<-release
+			return nil
+		})
+	}()
+	<-offered
+	// Consumer must block (and abort on semaphore timeout): the item is
+	// not committed yet.
+	err := sys.Atomic(func(tx *stm.Tx) error {
+		q.Take(tx)
+		return nil
+	})
+	if !errors.Is(err, stm.ErrTooManyRetries) {
+		t.Fatalf("uncommitted item was consumable: %v", err)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// Now committed: take succeeds.
+	var got int
+	stm.MustAtomicOn(sys, func(tx *stm.Tx) { got = q.Take(tx) })
+	if got != 1 {
+		t.Fatalf("Take = %d", got)
+	}
+}
+
+func TestQueueAbortedOfferLeavesNothing(t *testing.T) {
+	q := NewQueue[int](4)
+	sys := newSys()
+	boom := errors.New("boom")
+	_ = sys.Atomic(func(tx *stm.Tx) error {
+		q.Offer(tx, 9)
+		return boom
+	})
+	if q.LenCommitted() != 0 {
+		t.Fatalf("LenCommitted = %d after aborted offer", q.LenCommitted())
+	}
+	// Full capacity must be restored (the full semaphore's acquire was
+	// undone).
+	stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+		for i := 0; i < q.Cap(); i++ {
+			q.Offer(tx, i)
+		}
+	})
+}
+
+func TestQueueAbortedTakeRestoresFront(t *testing.T) {
+	q := NewQueue[int](4)
+	sys := newSys()
+	stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+		q.Offer(tx, 1)
+		q.Offer(tx, 2)
+	})
+	boom := errors.New("boom")
+	_ = sys.Atomic(func(tx *stm.Tx) error {
+		if v := q.Take(tx); v != 1 {
+			t.Errorf("Take = %d", v)
+		}
+		return boom
+	})
+	// FIFO order preserved after the abort.
+	var a, b int
+	stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+		a = q.Take(tx)
+		b = q.Take(tx)
+	})
+	if a != 1 || b != 2 {
+		t.Fatalf("after abort: took %d,%d; want 1,2", a, b)
+	}
+}
+
+func TestQueueCapacityBlocksProducer(t *testing.T) {
+	q := NewQueueTimeout[int](1, 20*time.Millisecond)
+	sys := stm.NewSystem(stm.Config{LockTimeout: 20 * time.Millisecond, MaxRetries: 1})
+	stm.MustAtomicOn(newSys(), func(tx *stm.Tx) { q.Offer(tx, 1) })
+	err := sys.Atomic(func(tx *stm.Tx) error {
+		q.Offer(tx, 2) // full: must block then abort
+		return nil
+	})
+	if !errors.Is(err, stm.ErrTooManyRetries) {
+		t.Fatalf("offer to full queue: %v", err)
+	}
+}
+
+func TestQueuePipelineThreeStages(t *testing.T) {
+	// The paper's pipeline: stage1 -> q1 -> stage2 -> q2 -> stage3. Each
+	// stage processes one item per transaction; all items must arrive in
+	// order, transformed by both stages.
+	q1 := NewQueueTimeout[int](4, 5*time.Second)
+	q2 := NewQueueTimeout[int](4, 5*time.Second)
+	sys := newSys()
+	const n = 200
+	go func() { // stage 1: produce
+		for i := 0; i < n; i++ {
+			i := i
+			stm.MustAtomicOn(sys, func(tx *stm.Tx) { q1.Offer(tx, i) })
+		}
+	}()
+	go func() { // stage 2: transform
+		for i := 0; i < n; i++ {
+			stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+				v := q1.Take(tx)
+				q2.Offer(tx, v*10)
+			})
+		}
+	}()
+	// stage 3: consume and verify order
+	doneCh := make(chan struct{})
+	go func() {
+		defer close(doneCh)
+		for i := 0; i < n; i++ {
+			var v int
+			stm.MustAtomicOn(sys, func(tx *stm.Tx) { v = q2.Take(tx) })
+			if v != i*10 {
+				t.Errorf("stage3 item %d = %d, want %d", i, v, i*10)
+				return
+			}
+		}
+	}()
+	select {
+	case <-doneCh:
+	case <-time.After(60 * time.Second):
+		t.Fatal("pipeline stalled")
+	}
+}
+
+func TestQueueCapClamped(t *testing.T) {
+	q := NewQueue[int](0)
+	if q.Cap() != 1 {
+		t.Fatalf("Cap = %d, want 1", q.Cap())
+	}
+}

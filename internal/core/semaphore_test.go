@@ -1,0 +1,184 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"tboost/internal/stm"
+)
+
+func TestSemaphoreAcquireImmediate(t *testing.T) {
+	s := NewSemaphore(2)
+	sys := newSys()
+	probe := make(chan int, 1)
+	stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+		s.Acquire(tx)
+		probe <- s.Value() // decrement visible before commit
+	})
+	if v := <-probe; v != 1 {
+		t.Fatalf("count during tx = %d, want 1 (acquire is immediate)", v)
+	}
+	if s.Value() != 1 {
+		t.Fatalf("count after commit = %d", s.Value())
+	}
+}
+
+func TestSemaphoreReleaseDeferredToCommit(t *testing.T) {
+	s := NewSemaphore(0)
+	sys := newSys()
+	during := make(chan int, 1)
+	stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+		s.Release(tx)
+		during <- s.Value()
+	})
+	if v := <-during; v != 0 {
+		t.Fatalf("count during tx = %d, want 0 (release is disposable)", v)
+	}
+	if s.Value() != 1 {
+		t.Fatalf("count after commit = %d, want 1", s.Value())
+	}
+}
+
+func TestSemaphoreAcquireUndoneOnAbort(t *testing.T) {
+	s := NewSemaphore(1)
+	sys := newSys()
+	boom := errors.New("boom")
+	_ = sys.Atomic(func(tx *stm.Tx) error {
+		s.Acquire(tx)
+		return boom
+	})
+	if s.Value() != 1 {
+		t.Fatalf("count after aborted acquire = %d, want 1", s.Value())
+	}
+}
+
+func TestSemaphoreReleaseDroppedOnAbort(t *testing.T) {
+	s := NewSemaphore(0)
+	sys := newSys()
+	boom := errors.New("boom")
+	_ = sys.Atomic(func(tx *stm.Tx) error {
+		s.Release(tx)
+		return boom
+	})
+	if s.Value() != 0 {
+		t.Fatalf("count after aborted release = %d, want 0", s.Value())
+	}
+}
+
+func TestSemaphoreBlocksUntilCommittedRelease(t *testing.T) {
+	s := NewSemaphoreTimeout(0, 5*time.Second)
+	sys := newSys()
+	acquired := make(chan struct{})
+	go func() {
+		stm.MustAtomicOn(sys, func(tx *stm.Tx) { s.Acquire(tx) })
+		close(acquired)
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("acquired a zero semaphore")
+	case <-time.After(30 * time.Millisecond):
+	}
+	// A releasing transaction that is still open must not wake the waiter...
+	holdOpen := make(chan struct{})
+	released := make(chan struct{})
+	go func() {
+		stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+			s.Release(tx)
+			close(released)
+			<-holdOpen
+		})
+	}()
+	<-released
+	select {
+	case <-acquired:
+		t.Fatal("waiter woke before the releasing transaction committed")
+	case <-time.After(30 * time.Millisecond):
+	}
+	close(holdOpen) // ...but its commit must.
+	select {
+	case <-acquired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never woke after commit")
+	}
+}
+
+func TestSemaphoreTimeoutAborts(t *testing.T) {
+	s := NewSemaphoreTimeout(0, 5*time.Millisecond)
+	sys := stm.NewSystem(stm.Config{LockTimeout: 10 * time.Millisecond, MaxRetries: 2})
+	err := sys.Atomic(func(tx *stm.Tx) error {
+		s.Acquire(tx)
+		return nil
+	})
+	if !errors.Is(err, stm.ErrTooManyRetries) {
+		t.Fatalf("err = %v, want retry exhaustion from semaphore timeouts", err)
+	}
+	if st := sys.Stats(); st.LockTimeouts != 2 {
+		t.Fatalf("LockTimeouts = %d, want 2", st.LockTimeouts)
+	}
+	if s.Value() != 0 {
+		t.Fatalf("count corrupted by timeouts: %d", s.Value())
+	}
+}
+
+func TestSemaphoreManyWaitersAllWake(t *testing.T) {
+	s := NewSemaphoreTimeout(0, 10*time.Second)
+	sys := newSys()
+	const waiters = 8
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			stm.MustAtomicOn(sys, func(tx *stm.Tx) { s.Acquire(tx) })
+		}()
+	}
+	for i := 0; i < waiters; i++ {
+		stm.MustAtomicOn(sys, func(tx *stm.Tx) { s.Release(tx) })
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("not all waiters woke")
+	}
+	if s.Value() != 0 {
+		t.Fatalf("final count = %d, want 0", s.Value())
+	}
+}
+
+func TestSemaphoreNegativeInitialClamped(t *testing.T) {
+	s := NewSemaphore(-5)
+	if s.Value() != 0 {
+		t.Fatalf("Value = %d, want 0", s.Value())
+	}
+}
+
+func TestSemaphoreCountNeverNegative(t *testing.T) {
+	s := NewSemaphoreTimeout(1, 50*time.Millisecond)
+	sys := stm.NewSystem(stm.Config{LockTimeout: 30 * time.Millisecond, MaxRetries: 3})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_ = sys.Atomic(func(tx *stm.Tx) error {
+					s.Acquire(tx)
+					s.Release(tx)
+					return nil
+				})
+				if s.Value() < 0 {
+					t.Error("semaphore went negative")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Value() != 1 {
+		t.Fatalf("final count = %d, want 1", s.Value())
+	}
+}

@@ -1,0 +1,374 @@
+package core
+
+import (
+	"errors"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tboost/internal/skiplist"
+	"tboost/internal/stm"
+)
+
+func newSys() *stm.System {
+	return stm.NewSystem(stm.Config{LockTimeout: 30 * time.Millisecond})
+}
+
+// each boosted set flavour, so every test can run against all of them
+var setFlavours = []struct {
+	name string
+	make func() *Set
+}{
+	{"skiplist-keyed", NewSkipListSet},
+	{"skiplist-coarse", NewSkipListSetCoarse},
+	{"rbtree-coarse", NewRBTreeSet},
+	{"hashset-keyed", NewHashSet},
+	{"linkedlist-keyed", NewLinkedListSet},
+}
+
+func TestSetBasicSemantics(t *testing.T) {
+	for _, f := range setFlavours {
+		t.Run(f.name, func(t *testing.T) {
+			s := f.make()
+			sys := newSys()
+			stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+				if !s.Add(tx, 5) {
+					t.Error("Add(5) = false on empty set")
+				}
+				if s.Add(tx, 5) {
+					t.Error("duplicate Add(5) = true")
+				}
+				if !s.Contains(tx, 5) {
+					t.Error("Contains(5) = false")
+				}
+				if s.Contains(tx, 6) {
+					t.Error("Contains(6) = true")
+				}
+				if !s.Remove(tx, 5) {
+					t.Error("Remove(5) = false")
+				}
+				if s.Remove(tx, 5) {
+					t.Error("second Remove(5) = true")
+				}
+			})
+		})
+	}
+}
+
+func TestSetUndoOnAbort(t *testing.T) {
+	for _, f := range setFlavours {
+		t.Run(f.name, func(t *testing.T) {
+			s := f.make()
+			sys := newSys()
+			stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+				s.Add(tx, 1)
+				s.Add(tx, 2)
+			})
+			boom := errors.New("boom")
+			err := sys.Atomic(func(tx *stm.Tx) error {
+				s.Add(tx, 3)    // inverse: remove(3)
+				s.Remove(tx, 1) // inverse: add(1)
+				s.Add(tx, 3)    // false: no inverse
+				s.Remove(tx, 9) // false: no inverse
+				return boom
+			})
+			if !errors.Is(err, boom) {
+				t.Fatalf("err = %v", err)
+			}
+			// Rule 3: the base object is exactly as before the transaction.
+			base := s.Base()
+			if !base.Contains(1) {
+				t.Error("aborted Remove(1) left 1 missing")
+			}
+			if !base.Contains(2) {
+				t.Error("key 2 lost")
+			}
+			if base.Contains(3) {
+				t.Error("aborted Add(3) left 3 present")
+			}
+		})
+	}
+}
+
+func TestSetUndoOrderIsReverse(t *testing.T) {
+	// add(7); remove(7) inside one tx, then abort: replaying inverses in
+	// the wrong order would leave 7 present.
+	s := NewSkipListSet()
+	sys := newSys()
+	boom := errors.New("boom")
+	_ = sys.Atomic(func(tx *stm.Tx) error {
+		s.Add(tx, 7)
+		s.Remove(tx, 7)
+		return boom
+	})
+	if s.Base().Contains(7) {
+		t.Fatal("abort of add+remove left key present (undo order wrong)")
+	}
+}
+
+func TestSetCommitKeepsEffects(t *testing.T) {
+	s := NewSkipListSet()
+	sys := newSys()
+	stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+		s.Add(tx, 10)
+		s.Add(tx, 20)
+		s.Remove(tx, 10)
+	})
+	if s.Base().Contains(10) || !s.Base().Contains(20) {
+		t.Fatal("committed effects wrong")
+	}
+}
+
+func TestKeyedSetDisjointKeysDoNotConflict(t *testing.T) {
+	// Paper §1: add(2) and add(4) have no inherent conflict; the boosted
+	// skip list must run them concurrently. We hold one transaction open
+	// mid-flight and verify another on a different key completes.
+	s := NewSkipListSet()
+	sys := stm.NewSystem(stm.Config{LockTimeout: 50 * time.Millisecond, MaxRetries: 1})
+	inFlight := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- sys.Atomic(func(tx *stm.Tx) error {
+			s.Add(tx, 2)
+			close(inFlight)
+			<-release
+			return nil
+		})
+	}()
+	<-inFlight
+	if err := sys.Atomic(func(tx *stm.Tx) error {
+		s.Add(tx, 4)
+		return nil
+	}); err != nil {
+		t.Fatalf("disjoint-key transaction blocked: %v", err)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyedSetSameKeyConflicts(t *testing.T) {
+	s := NewSkipListSet()
+	sys := stm.NewSystem(stm.Config{LockTimeout: 10 * time.Millisecond, MaxRetries: 1})
+	inFlight := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- sys.Atomic(func(tx *stm.Tx) error {
+			s.Add(tx, 2)
+			close(inFlight)
+			<-release
+			return nil
+		})
+	}()
+	<-inFlight
+	err := sys.Atomic(func(tx *stm.Tx) error {
+		s.Remove(tx, 2) // same key: must wait, time out, abort
+		return nil
+	})
+	close(release)
+	if !errors.Is(err, stm.ErrTooManyRetries) {
+		t.Fatalf("same-key op: err = %v, want timeout abort", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoarseSetAnyKeysConflict(t *testing.T) {
+	s := NewSkipListSetCoarse()
+	sys := stm.NewSystem(stm.Config{LockTimeout: 10 * time.Millisecond, MaxRetries: 1})
+	inFlight := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- sys.Atomic(func(tx *stm.Tx) error {
+			s.Add(tx, 2)
+			close(inFlight)
+			<-release
+			return nil
+		})
+	}()
+	<-inFlight
+	err := sys.Atomic(func(tx *stm.Tx) error {
+		s.Add(tx, 4) // different key, same coarse lock: conflict
+		return nil
+	})
+	close(release)
+	if !errors.Is(err, stm.ErrTooManyRetries) {
+		t.Fatalf("coarse lock let disjoint keys through: %v", err)
+	}
+	<-done
+}
+
+func TestSetLockReleasedAfterCommitAllowsNextTx(t *testing.T) {
+	s := NewSkipListSet()
+	sys := newSys()
+	for i := 0; i < 50; i++ {
+		stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+			s.Add(tx, 1)
+			s.Remove(tx, 1)
+		})
+	}
+	if st := sys.Stats(); st.Aborts != 0 {
+		t.Fatalf("sequential same-key transactions aborted %d times", st.Aborts)
+	}
+}
+
+func TestSetConcurrentAccounting(t *testing.T) {
+	for _, f := range setFlavours {
+		t.Run(f.name, func(t *testing.T) {
+			s := f.make()
+			sys := stm.NewSystem(stm.Config{LockTimeout: 100 * time.Millisecond})
+			const keyRange = 32
+			const goroutines = 8
+			const opsPerG = 300
+			var adds, removes [keyRange]atomic.Int64
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				g := g
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					r := rand.New(rand.NewPCG(uint64(g), 42))
+					for i := 0; i < opsPerG; i++ {
+						k := int64(r.IntN(keyRange))
+						isAdd := r.IntN(2) == 0
+						err := sys.Atomic(func(tx *stm.Tx) error {
+							var changed bool
+							if isAdd {
+								changed = s.Add(tx, k)
+							} else {
+								changed = s.Remove(tx, k)
+							}
+							// Record the committed effect; OnCommit runs only
+							// if this attempt commits, and the response was
+							// decided under the key's abstract lock.
+							if changed {
+								tx.OnCommit(func() {
+									if isAdd {
+										adds[k].Add(1)
+									} else {
+										removes[k].Add(1)
+									}
+								})
+							}
+							return nil
+						})
+						if err != nil {
+							t.Errorf("Atomic: %v", err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			for k := 0; k < keyRange; k++ {
+				present := int64(0)
+				if s.Base().Contains(int64(k)) {
+					present = 1
+				}
+				if d := adds[k].Load() - removes[k].Load(); d != present {
+					t.Errorf("key %d: committed adds-removes = %d, present = %d", k, d, present)
+				}
+			}
+		})
+	}
+}
+
+func TestSetAbortStorm(t *testing.T) {
+	// A third of transactions deliberately fail after mutating hot keys.
+	// Rolled-back work must leave per-key semantics intact. Every
+	// operation is recorded — in lock-acquisition order, which IS the
+	// serialization order for same-key calls — together with its
+	// transaction id; after the run, the committed subsequence of each
+	// key's log must be a legal Set history.
+	type event struct {
+		txID    uint64
+		isAdd   bool
+		changed bool
+	}
+	s := NewSkipListSet()
+	sys := stm.NewSystem(stm.Config{LockTimeout: 100 * time.Millisecond})
+	const keyRange = 8
+	var logMu [keyRange]sync.Mutex
+	var logs [keyRange][]event
+	var committed sync.Map // txID -> struct{}
+	giveUp := errors.New("refuse")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := rand.New(rand.NewPCG(uint64(g), 1000))
+			for i := 0; i < 400; i++ {
+				k := int64(r.IntN(keyRange))
+				isAdd := r.IntN(2) == 0
+				fail := r.IntN(3) == 0
+				err := sys.Atomic(func(tx *stm.Tx) error {
+					var changed bool
+					if isAdd {
+						changed = s.Add(tx, k)
+					} else {
+						changed = s.Remove(tx, k)
+					}
+					// Record while the key's abstract lock is held,
+					// so the log order matches serialization order.
+					logMu[k].Lock()
+					logs[k] = append(logs[k], event{tx.ID(), isAdd, changed})
+					logMu[k].Unlock()
+					if fail {
+						return giveUp // rolls back; never marked committed
+					}
+					tx.OnCommit(func() { committed.Store(tx.ID(), struct{}{}) })
+					return nil
+				})
+				if err != nil && !errors.Is(err, giveUp) {
+					t.Errorf("Atomic: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for k := 0; k < keyRange; k++ {
+		present := false
+		for i, ev := range logs[k] {
+			if _, ok := committed.Load(ev.txID); !ok {
+				continue // aborted: must leave no trace (Theorem 5.4)
+			}
+			want := ev.isAdd != present // add changes iff absent; remove iff present
+			if ev.changed != want {
+				t.Fatalf("key %d, committed event %d (txID %d, isAdd=%v): changed=%v, want %v — illegal committed history",
+					k, i, ev.txID, ev.isAdd, ev.changed, want)
+			}
+			if ev.isAdd {
+				present = true
+			} else {
+				present = false
+			}
+		}
+		if got := s.Base().Contains(int64(k)); got != present {
+			t.Errorf("key %d: base Contains = %v, committed history implies %v", k, got, present)
+		}
+	}
+}
+
+func TestSkipListBaseStaysLockFreeUnderBoost(t *testing.T) {
+	// Sanity: the boosted wrapper really uses the given base object.
+	base := skiplist.New()
+	s := NewKeyedSet(base)
+	sys := newSys()
+	stm.MustAtomicOn(sys, func(tx *stm.Tx) { s.Add(tx, 77) })
+	if !base.Contains(77) {
+		t.Fatal("base object unaffected by boosted Add")
+	}
+	if s.Base() != BaseSet(base) {
+		t.Fatal("Base() identity lost")
+	}
+}

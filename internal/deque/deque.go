@@ -1,0 +1,242 @@
+// Package deque implements a bounded blocking double-ended queue, the Go
+// analogue of java.util.concurrent.LinkedBlockingDeque that the paper's
+// pipeline example (§3.3) uses as the linearizable base for its boosted
+// BlockingQueue.
+//
+// The deque exists because BlockingQueue itself provides no inverses: a
+// transactional offer() maps to the base offerLast(), whose inverse is
+// takeLast(); a transactional take() maps to takeFirst(), whose inverse is
+// offerFirst(). Both ends must therefore be addressable.
+package deque
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrTimeout is returned by the timed operations when the deadline expires
+// before the operation can proceed.
+var ErrTimeout = errors.New("deque: operation timed out")
+
+// ErrFull is returned by TryOffer* when the deque is at capacity.
+var ErrFull = errors.New("deque: full")
+
+// ErrEmpty is returned by TryTake* when the deque is empty.
+var ErrEmpty = errors.New("deque: empty")
+
+// Deque is a bounded blocking double-ended queue. All methods are safe for
+// concurrent use. Create with New.
+type Deque[T any] struct {
+	mu       sync.Mutex
+	notFull  *sync.Cond
+	notEmpty *sync.Cond
+	items    []T // ring buffer
+	head     int // index of first item
+	size     int
+	capacity int
+}
+
+// New returns an empty deque with the given capacity (minimum 1).
+func New[T any](capacity int) *Deque[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	d := &Deque[T]{
+		items:    make([]T, capacity),
+		capacity: capacity,
+	}
+	d.notFull = sync.NewCond(&d.mu)
+	d.notEmpty = sync.NewCond(&d.mu)
+	return d
+}
+
+// Len returns the number of items currently queued.
+func (d *Deque[T]) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.size
+}
+
+// Cap returns the capacity.
+func (d *Deque[T]) Cap() int { return d.capacity }
+
+func (d *Deque[T]) idx(i int) int {
+	return (d.head + i + d.capacity) % d.capacity
+}
+
+// locked-section primitives
+
+func (d *Deque[T]) pushFirst(v T) {
+	d.head = d.idx(-1)
+	d.items[d.head] = v
+	d.size++
+	d.notEmpty.Broadcast()
+}
+
+func (d *Deque[T]) pushLast(v T) {
+	d.items[d.idx(d.size)] = v
+	d.size++
+	d.notEmpty.Broadcast()
+}
+
+func (d *Deque[T]) popFirst() T {
+	v := d.items[d.head]
+	var zero T
+	d.items[d.head] = zero
+	d.head = d.idx(1)
+	d.size--
+	d.notFull.Broadcast()
+	return v
+}
+
+func (d *Deque[T]) popLast() T {
+	i := d.idx(d.size - 1)
+	v := d.items[i]
+	var zero T
+	d.items[i] = zero
+	d.size--
+	d.notFull.Broadcast()
+	return v
+}
+
+// OfferFirst enqueues v at the front, blocking while the deque is full.
+func (d *Deque[T]) OfferFirst(v T) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for d.size == d.capacity {
+		d.notFull.Wait()
+	}
+	d.pushFirst(v)
+}
+
+// OfferLast enqueues v at the back, blocking while the deque is full.
+func (d *Deque[T]) OfferLast(v T) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for d.size == d.capacity {
+		d.notFull.Wait()
+	}
+	d.pushLast(v)
+}
+
+// TakeFirst dequeues from the front, blocking while the deque is empty.
+func (d *Deque[T]) TakeFirst() T {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for d.size == 0 {
+		d.notEmpty.Wait()
+	}
+	return d.popFirst()
+}
+
+// TakeLast dequeues from the back, blocking while the deque is empty.
+func (d *Deque[T]) TakeLast() T {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for d.size == 0 {
+		d.notEmpty.Wait()
+	}
+	return d.popLast()
+}
+
+// TryOfferFirst enqueues at the front without blocking; ErrFull on overflow.
+func (d *Deque[T]) TryOfferFirst(v T) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.size == d.capacity {
+		return ErrFull
+	}
+	d.pushFirst(v)
+	return nil
+}
+
+// TryOfferLast enqueues at the back without blocking; ErrFull on overflow.
+func (d *Deque[T]) TryOfferLast(v T) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.size == d.capacity {
+		return ErrFull
+	}
+	d.pushLast(v)
+	return nil
+}
+
+// TryTakeFirst dequeues from the front without blocking; ErrEmpty if empty.
+func (d *Deque[T]) TryTakeFirst() (T, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.size == 0 {
+		var zero T
+		return zero, ErrEmpty
+	}
+	return d.popFirst(), nil
+}
+
+// TryTakeLast dequeues from the back without blocking; ErrEmpty if empty.
+func (d *Deque[T]) TryTakeLast() (T, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.size == 0 {
+		var zero T
+		return zero, ErrEmpty
+	}
+	return d.popLast(), nil
+}
+
+// OfferLastTimeout enqueues at the back, waiting up to timeout for space.
+func (d *Deque[T]) OfferLastTimeout(v T, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for d.size == d.capacity {
+		if !d.waitUntil(d.notFull, deadline) {
+			return ErrTimeout
+		}
+	}
+	d.pushLast(v)
+	return nil
+}
+
+// TakeFirstTimeout dequeues from the front, waiting up to timeout for an item.
+func (d *Deque[T]) TakeFirstTimeout(timeout time.Duration) (T, error) {
+	deadline := time.Now().Add(timeout)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for d.size == 0 {
+		if !d.waitUntil(d.notEmpty, deadline) {
+			var zero T
+			return zero, ErrTimeout
+		}
+	}
+	return d.popFirst(), nil
+}
+
+// waitUntil waits on cond with a deadline, returning false once the deadline
+// has passed. sync.Cond has no timed wait, so a timer goroutine broadcasts
+// at the deadline.
+func (d *Deque[T]) waitUntil(cond *sync.Cond, deadline time.Time) bool {
+	remaining := time.Until(deadline)
+	if remaining <= 0 {
+		return false
+	}
+	timer := time.AfterFunc(remaining, func() {
+		d.mu.Lock()
+		cond.Broadcast()
+		d.mu.Unlock()
+	})
+	cond.Wait()
+	timer.Stop()
+	return time.Now().Before(deadline)
+}
+
+// Snapshot returns the current contents front to back. For tests.
+func (d *Deque[T]) Snapshot() []T {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]T, d.size)
+	for i := 0; i < d.size; i++ {
+		out[i] = d.items[d.idx(i)]
+	}
+	return out
+}

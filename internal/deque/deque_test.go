@@ -1,0 +1,244 @@
+package deque
+
+import (
+	"errors"
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	d := New[int](8)
+	for i := 0; i < 5; i++ {
+		d.OfferLast(i)
+	}
+	for i := 0; i < 5; i++ {
+		if v := d.TakeFirst(); v != i {
+			t.Fatalf("TakeFirst = %d, want %d", v, i)
+		}
+	}
+}
+
+func TestLIFOFromBack(t *testing.T) {
+	d := New[int](8)
+	for i := 0; i < 5; i++ {
+		d.OfferLast(i)
+	}
+	for i := 4; i >= 0; i-- {
+		if v := d.TakeLast(); v != i {
+			t.Fatalf("TakeLast = %d, want %d", v, i)
+		}
+	}
+}
+
+func TestOfferFirstReordersFront(t *testing.T) {
+	d := New[int](8)
+	d.OfferLast(1)
+	d.OfferFirst(0)
+	d.OfferLast(2)
+	got := d.Snapshot()
+	want := []int{0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Snapshot = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCapacityMinimumOne(t *testing.T) {
+	d := New[int](0)
+	if d.Cap() != 1 {
+		t.Fatalf("Cap = %d, want 1", d.Cap())
+	}
+}
+
+func TestTryOperations(t *testing.T) {
+	d := New[int](2)
+	if err := d.TryOfferLast(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.TryOfferFirst(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.TryOfferLast(2); !errors.Is(err, ErrFull) {
+		t.Fatalf("TryOfferLast on full = %v, want ErrFull", err)
+	}
+	if err := d.TryOfferFirst(9); !errors.Is(err, ErrFull) {
+		t.Fatalf("TryOfferFirst on full = %v, want ErrFull", err)
+	}
+	if v, err := d.TryTakeFirst(); err != nil || v != 0 {
+		t.Fatalf("TryTakeFirst = %d,%v", v, err)
+	}
+	if v, err := d.TryTakeLast(); err != nil || v != 1 {
+		t.Fatalf("TryTakeLast = %d,%v", v, err)
+	}
+	if _, err := d.TryTakeFirst(); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("TryTakeFirst on empty = %v, want ErrEmpty", err)
+	}
+	if _, err := d.TryTakeLast(); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("TryTakeLast on empty = %v, want ErrEmpty", err)
+	}
+}
+
+func TestBlockingOfferUnblocksOnTake(t *testing.T) {
+	d := New[int](1)
+	d.OfferLast(1)
+	done := make(chan struct{})
+	go func() {
+		d.OfferLast(2) // blocks until a take
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("OfferLast did not block on full deque")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if v := d.TakeFirst(); v != 1 {
+		t.Fatalf("TakeFirst = %d", v)
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("OfferLast never unblocked")
+	}
+	if v := d.TakeFirst(); v != 2 {
+		t.Fatalf("TakeFirst = %d", v)
+	}
+}
+
+func TestBlockingTakeUnblocksOnOffer(t *testing.T) {
+	d := New[int](1)
+	got := make(chan int)
+	go func() { got <- d.TakeFirst() }()
+	select {
+	case v := <-got:
+		t.Fatalf("TakeFirst returned %d from empty deque", v)
+	case <-time.After(20 * time.Millisecond):
+	}
+	d.OfferLast(7)
+	select {
+	case v := <-got:
+		if v != 7 {
+			t.Fatalf("TakeFirst = %d", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("TakeFirst never unblocked")
+	}
+}
+
+func TestTimeoutOperations(t *testing.T) {
+	d := New[int](1)
+	if _, err := d.TakeFirstTimeout(10 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("TakeFirstTimeout on empty = %v, want ErrTimeout", err)
+	}
+	d.OfferLast(1)
+	if err := d.OfferLastTimeout(2, 10*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("OfferLastTimeout on full = %v, want ErrTimeout", err)
+	}
+	if v, err := d.TakeFirstTimeout(time.Second); err != nil || v != 1 {
+		t.Fatalf("TakeFirstTimeout = %d,%v", v, err)
+	}
+	if err := d.OfferLastTimeout(3, time.Second); err != nil {
+		t.Fatalf("OfferLastTimeout with room = %v", err)
+	}
+}
+
+func TestWrapAroundRing(t *testing.T) {
+	d := New[int](3)
+	next := 0
+	for round := 0; round < 50; round++ {
+		d.OfferLast(next)
+		next++
+		d.OfferLast(next)
+		next++
+		if v := d.TakeFirst(); v != next-2 {
+			t.Fatalf("round %d: got %d, want %d", round, v, next-2)
+		}
+		if v := d.TakeFirst(); v != next-1 {
+			t.Fatalf("round %d: got %d, want %d", round, v, next-1)
+		}
+	}
+}
+
+func TestConcurrentProducersConsumers(t *testing.T) {
+	d := New[int](16)
+	const producers = 4
+	const consumers = 4
+	const perP = 2000
+	var wg sync.WaitGroup
+	sums := make(chan int, consumers)
+	for p := 0; p < producers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perP; i++ {
+				d.OfferLast(p*perP + i)
+			}
+		}()
+	}
+	var cwg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			sum := 0
+			for i := 0; i < producers*perP/consumers; i++ {
+				sum += d.TakeFirst()
+			}
+			sums <- sum
+		}()
+	}
+	wg.Wait()
+	cwg.Wait()
+	close(sums)
+	total := 0
+	for s := range sums {
+		total += s
+	}
+	n := producers * perP
+	want := n * (n - 1) / 2
+	if total != want {
+		t.Fatalf("sum of consumed = %d, want %d (items lost or duplicated)", total, want)
+	}
+	if d.Len() != 0 {
+		t.Fatalf("Len = %d at end", d.Len())
+	}
+}
+
+func TestConcurrentBothEnds(t *testing.T) {
+	d := New[int](64)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	time.AfterFunc(200*time.Millisecond, func() { close(stop) })
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := rand.New(rand.NewPCG(uint64(w), 1))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch r.IntN(4) {
+				case 0:
+					d.TryOfferFirst(w)
+				case 1:
+					d.TryOfferLast(w)
+				case 2:
+					d.TryTakeFirst()
+				default:
+					d.TryTakeLast()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := d.Len(); n < 0 || n > d.Cap() {
+		t.Fatalf("Len = %d out of bounds", n)
+	}
+}

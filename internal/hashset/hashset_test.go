@@ -1,0 +1,110 @@
+package hashset
+
+import (
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New()
+	if !s.Add(7) || s.Add(7) {
+		t.Fatal("Add semantics wrong")
+	}
+	if !s.Contains(7) || s.Contains(8) {
+		t.Fatal("Contains wrong")
+	}
+	if !s.Remove(7) || s.Remove(7) {
+		t.Fatal("Remove semantics wrong")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestStripesClamped(t *testing.T) {
+	s := NewStripes(-3)
+	s.Add(1)
+	if !s.Contains(1) {
+		t.Fatal("single-stripe set broken")
+	}
+}
+
+func TestLenAndKeys(t *testing.T) {
+	s := New()
+	for k := int64(0); k < 100; k++ {
+		s.Add(k)
+	}
+	if s.Len() != 100 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	seen := map[int64]bool{}
+	for _, k := range s.Keys() {
+		if seen[k] {
+			t.Fatalf("duplicate key %d", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) != 100 {
+		t.Fatalf("Keys returned %d keys", len(seen))
+	}
+}
+
+func TestQuickModelEquivalence(t *testing.T) {
+	s := New()
+	model := map[int64]bool{}
+	f := func(k int64, add bool) bool {
+		if add {
+			got := s.Add(k)
+			want := !model[k]
+			model[k] = true
+			return got == want
+		}
+		got := s.Remove(k)
+		want := model[k]
+		delete(model, k)
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAccounting(t *testing.T) {
+	s := NewStripes(8)
+	const keyRange = 64
+	var adds, removes [keyRange]atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := rand.New(rand.NewPCG(uint64(g), 13))
+			for i := 0; i < 3000; i++ {
+				k := int64(r.IntN(keyRange))
+				if r.IntN(2) == 0 {
+					if s.Add(k) {
+						adds[k].Add(1)
+					}
+				} else {
+					if s.Remove(k) {
+						removes[k].Add(1)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for k := 0; k < keyRange; k++ {
+		present := int64(0)
+		if s.Contains(int64(k)) {
+			present = 1
+		}
+		if d := adds[k].Load() - removes[k].Load(); d != present {
+			t.Errorf("key %d: adds-removes = %d, present = %d", k, d, present)
+		}
+	}
+}

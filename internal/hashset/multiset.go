@@ -1,0 +1,87 @@
+package hashset
+
+import (
+	"hash/maphash"
+	"sync"
+)
+
+// MultiSet is a concurrent multiset (bag) of int64 keys with per-stripe
+// locking: a linearizable base object for a boosted transactional bag.
+type MultiSet struct {
+	seed    maphash.Seed
+	stripes []multiStripe
+}
+
+type multiStripe struct {
+	mu     sync.RWMutex
+	counts map[int64]int
+	_      [32]byte
+}
+
+// NewMultiSet returns an empty multiset with DefaultStripes stripes.
+func NewMultiSet() *MultiSet { return NewMultiSetStripes(DefaultStripes) }
+
+// NewMultiSetStripes returns an empty multiset with n stripes (minimum 1).
+func NewMultiSetStripes(n int) *MultiSet {
+	if n < 1 {
+		n = 1
+	}
+	m := &MultiSet{seed: maphash.MakeSeed(), stripes: make([]multiStripe, n)}
+	for i := range m.stripes {
+		m.stripes[i].counts = make(map[int64]int)
+	}
+	return m
+}
+
+func (m *MultiSet) stripe(key int64) *multiStripe {
+	h := maphash.Comparable(m.seed, key)
+	return &m.stripes[h%uint64(len(m.stripes))]
+}
+
+// Add inserts one occurrence of key, returning the new count.
+func (m *MultiSet) Add(key int64) int {
+	st := m.stripe(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.counts[key]++
+	return st.counts[key]
+}
+
+// RemoveOne deletes one occurrence of key, reporting whether one existed.
+func (m *MultiSet) RemoveOne(key int64) bool {
+	st := m.stripe(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	c := st.counts[key]
+	if c == 0 {
+		return false
+	}
+	if c == 1 {
+		delete(st.counts, key)
+	} else {
+		st.counts[key] = c - 1
+	}
+	return true
+}
+
+// Count returns the number of occurrences of key.
+func (m *MultiSet) Count(key int64) int {
+	st := m.stripe(key)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.counts[key]
+}
+
+// Len returns the total number of occurrences across all keys.
+func (m *MultiSet) Len() int {
+	n := 0
+	for i := range m.stripes {
+		st := &m.stripes[i]
+		st.mu.RLock()
+		for _, c := range st.counts {
+			n += c
+		}
+		st.mu.RUnlock()
+	}
+	return n
+}

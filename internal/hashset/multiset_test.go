@@ -1,0 +1,114 @@
+package hashset
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestMultiSetBasics(t *testing.T) {
+	m := NewMultiSet()
+	if m.Count(5) != 0 {
+		t.Fatal("fresh count != 0")
+	}
+	if n := m.Add(5); n != 1 {
+		t.Fatalf("Add = %d", n)
+	}
+	if n := m.Add(5); n != 2 {
+		t.Fatalf("Add = %d", n)
+	}
+	if m.Count(5) != 2 {
+		t.Fatalf("Count = %d", m.Count(5))
+	}
+	if !m.RemoveOne(5) || m.Count(5) != 1 {
+		t.Fatal("RemoveOne broken")
+	}
+	if !m.RemoveOne(5) || m.Count(5) != 0 {
+		t.Fatal("second RemoveOne broken")
+	}
+	if m.RemoveOne(5) {
+		t.Fatal("RemoveOne on empty = true")
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestMultiSetLenAcrossKeys(t *testing.T) {
+	m := NewMultiSetStripes(4)
+	for k := int64(0); k < 10; k++ {
+		for i := int64(0); i <= k; i++ {
+			m.Add(k)
+		}
+	}
+	if m.Len() != 55 { // 1+2+...+10
+		t.Fatalf("Len = %d, want 55", m.Len())
+	}
+}
+
+func TestMultiSetStripesClamped(t *testing.T) {
+	m := NewMultiSetStripes(0)
+	m.Add(1)
+	if m.Count(1) != 1 {
+		t.Fatal("single-stripe multiset broken")
+	}
+}
+
+func TestMultiSetQuickModel(t *testing.T) {
+	m := NewMultiSet()
+	model := map[int64]int{}
+	f := func(k int64, add bool) bool {
+		k = k % 32
+		if add {
+			model[k]++
+			return m.Add(k) == model[k]
+		}
+		got := m.RemoveOne(k)
+		want := model[k] > 0
+		if want {
+			model[k]--
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiSetConcurrentNet(t *testing.T) {
+	m := NewMultiSet()
+	const keyRange = 16
+	var net [keyRange]int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := rand.New(rand.NewPCG(uint64(g), 8))
+			local := [keyRange]int64{}
+			for i := 0; i < 2000; i++ {
+				k := int64(r.IntN(keyRange))
+				if r.IntN(2) == 0 {
+					m.Add(k)
+					local[k]++
+				} else if m.RemoveOne(k) {
+					local[k]--
+				}
+			}
+			mu.Lock()
+			for k := range local {
+				net[k] += local[k]
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	for k := 0; k < keyRange; k++ {
+		if got := int64(m.Count(int64(k))); got != net[k] {
+			t.Errorf("key %d: count = %d, net = %d", k, got, net[k])
+		}
+	}
+}

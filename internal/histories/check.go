@@ -1,0 +1,171 @@
+package histories
+
+import (
+	"fmt"
+)
+
+// CheckStrictSerializability verifies Definition 5.1 in the form Theorem 5.3
+// guarantees it: the committed transactions of h, executed sequentially in
+// commit order against the sequential specification of each object, must
+// reproduce every recorded response. specs maps object name to its
+// specification; objects without a spec are an error.
+//
+// It returns nil if the history is strictly serializable in commit order,
+// or an error pinpointing the first divergent method call.
+func CheckStrictSerializability(h History, specs map[string]Spec) error {
+	states := map[string]State{}
+	state := func(obj string) (State, error) {
+		if s, ok := states[obj]; ok {
+			return s, nil
+		}
+		spec, ok := specs[obj]
+		if !ok {
+			return nil, fmt.Errorf("histories: no specification for object %q", obj)
+		}
+		s := spec.Init()
+		states[obj] = s
+		return s, nil
+	}
+
+	committed := map[uint64]bool{}
+	for _, e := range h {
+		if e.Kind == EvCommit {
+			committed[e.Tx] = true
+		}
+	}
+
+	// Replay committed transactions' calls one transaction at a time, in
+	// commit order.
+	for _, tx := range h.CommitOrder() {
+		for _, e := range h.Restrict(tx) {
+			if e.Kind != EvCall {
+				continue
+			}
+			s, err := state(e.Object)
+			if err != nil {
+				return err
+			}
+			resp, next, legal := s.Apply(e.Call.Method, e.Call.Args)
+			if !legal {
+				return fmt.Errorf("histories: tx %d: %s.%s is illegal in state %s",
+					tx, e.Object, e.Call, s)
+			}
+			if resp != e.Call.Resp {
+				return fmt.Errorf("histories: tx %d: %s.%s(%v) responded %v,%v but spec requires %v,%v in state %s",
+					tx, e.Object, e.Call.Method, e.Call.Args,
+					e.Call.Resp.Val, e.Call.Resp.OK, resp.Val, resp.OK, s)
+			}
+			states[e.Object] = next
+		}
+	}
+	_ = committed
+	return nil
+}
+
+// FinalStates replays the committed history in commit order and returns the
+// final abstract state per object. Use to compare against the concrete base
+// object's quiescent state (Theorem 5.4: aborted transactions contribute
+// nothing).
+func FinalStates(h History, specs map[string]Spec) (map[string]State, error) {
+	if err := CheckStrictSerializability(h, specs); err != nil {
+		return nil, err
+	}
+	states := map[string]State{}
+	for obj, spec := range specs {
+		states[obj] = spec.Init()
+	}
+	for _, tx := range h.CommitOrder() {
+		for _, e := range h.Restrict(tx) {
+			if e.Kind != EvCall {
+				continue
+			}
+			_, next, _ := states[e.Object].Apply(e.Call.Method, e.Call.Args)
+			states[e.Object] = next
+		}
+	}
+	return states, nil
+}
+
+// Commute implements Definition 5.4 on a sampled state: method calls c1 and
+// c2 commute at state s if both orders are legal, produce the recorded
+// responses regardless of order, and define the same state. (The paper
+// quantifies over all histories; callers sample states, which suffices to
+// refute commutativity and to check the finite tables of Figs. 1/4/6/8 on
+// representative states.)
+func Commute(s State, c1, c2 Call) bool {
+	r1a, s1, ok := s.Apply(c1.Method, c1.Args)
+	if !ok {
+		return false
+	}
+	r2a, s12, ok := s1.Apply(c2.Method, c2.Args)
+	if !ok {
+		return false
+	}
+	r2b, s2, ok := s.Apply(c2.Method, c2.Args)
+	if !ok {
+		return false
+	}
+	r1b, s21, ok := s2.Apply(c1.Method, c1.Args)
+	if !ok {
+		return false
+	}
+	return r1a == r1b && r2a == r2b && s12.Equal(s21)
+}
+
+// InverseRestores implements Definition 5.3 on a sampled state: applying
+// call then inv from state s must return to a state equal to s. Calls whose
+// recorded responses don't match the state (e.g. add(x)/true on a state
+// already containing x) report false.
+func InverseRestores(s State, call, inv Call) bool {
+	r, s1, ok := s.Apply(call.Method, call.Args)
+	if !ok || r != call.Resp {
+		return false
+	}
+	if inv.Method == "noop" {
+		return s1.Equal(s)
+	}
+	_, s2, ok := s1.Apply(inv.Method, inv.Args)
+	if !ok {
+		return false
+	}
+	return s2.Equal(s)
+}
+
+// SetInverse returns the inverse call for a Set method call per Fig. 1.
+func SetInverse(c Call) Call {
+	switch c.Method {
+	case "add":
+		if c.Resp.OK {
+			return Call{Method: "remove", Args: c.Args, Resp: Resp{OK: true}}
+		}
+		return Call{Method: "noop"}
+	case "remove":
+		if c.Resp.OK {
+			return Call{Method: "add", Args: c.Args, Resp: Resp{OK: true}}
+		}
+		return Call{Method: "noop"}
+	case "contains":
+		return Call{Method: "noop"}
+	default:
+		return Call{Method: "noop"}
+	}
+}
+
+// PQInverse returns the inverse call for a PQueue method call per Fig. 4.
+// add(x) has no natural inverse in most heaps — the implementation
+// synthesizes one via Holders — but at the specification level the inverse
+// of add(x) is "remove this x", modeled here as illegal (nil) and therefore
+// excluded; removeMin()/x has inverse add(x); min needs none.
+func PQInverse(c Call) (Call, bool) {
+	switch c.Method {
+	case "removeMin":
+		if c.Resp.OK {
+			return Call{Method: "add", Args: []int64{c.Resp.Val}, Resp: Resp{OK: true}}, true
+		}
+		return Call{Method: "noop"}, true
+	case "min":
+		return Call{Method: "noop"}, true
+	default:
+		return Call{}, false
+	}
+}

@@ -1,0 +1,197 @@
+// Package histories implements the paper's formal model (§5): events,
+// histories, sequential specifications, and checkers for strict
+// serializability (Theorem 5.3), the invisibility of aborted transactions
+// (Theorem 5.4), method-call commutativity (Definition 5.4), and inverses
+// (Definition 5.3).
+//
+// Tests use the package two ways: concurrent runs over boosted objects are
+// recorded and checked against a sequential specification in commit order,
+// and the commutativity/inverse tables of Figures 1, 4, 6 and 8 are
+// verified mechanically against the specs.
+package histories
+
+import (
+	"fmt"
+	"sync"
+)
+
+// EventKind enumerates the event alphabet of §5.1.
+type EventKind int
+
+const (
+	// EvInit is ⟨T init⟩.
+	EvInit EventKind = iota
+	// EvCall is an invocation ⟨T, x.m(v)⟩ paired with its response ⟨T, r⟩.
+	// The model treats invocation/response pairs as atomic method calls
+	// (the base objects are linearizable), so the recorder logs them as
+	// one event.
+	EvCall
+	// EvCommit is ⟨T commit⟩.
+	EvCommit
+	// EvAbort is ⟨T abort⟩ (the decision to abort; inverses follow).
+	EvAbort
+	// EvAborted is ⟨T aborted⟩ (rollback complete).
+	EvAborted
+)
+
+// String returns the event-kind name.
+func (k EventKind) String() string {
+	switch k {
+	case EvInit:
+		return "init"
+	case EvCall:
+		return "call"
+	case EvCommit:
+		return "commit"
+	case EvAbort:
+		return "abort"
+	case EvAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one history event.
+type Event struct {
+	Kind   EventKind
+	Tx     uint64
+	Object string // which object the call addresses ("" for tx events)
+	Call   Call   // valid when Kind == EvCall
+}
+
+// Call is a method call: invocation (method + args) plus response.
+type Call struct {
+	Method string
+	Args   []int64
+	Resp   Resp
+}
+
+// Resp is a method response: a value and/or a boolean, covering the
+// collection APIs modeled here.
+type Resp struct {
+	Val int64
+	OK  bool
+}
+
+func (c Call) String() string {
+	return fmt.Sprintf("%s(%v)/%v,%v", c.Method, c.Args, c.Resp.Val, c.Resp.OK)
+}
+
+// History is a finite sequence of events (Definition §5.1).
+type History []Event
+
+// Restrict returns the subhistory of transaction tx (h|T).
+func (h History) Restrict(tx uint64) History {
+	var out History
+	for _, e := range h {
+		if e.Tx == tx {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// RestrictObject returns the subhistory addressed to the named object (h|x).
+func (h History) RestrictObject(obj string) History {
+	var out History
+	for _, e := range h {
+		if e.Kind == EvCall && e.Object == obj {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// CommitOrder returns the transaction ids of committed transactions in the
+// order their commit events appear.
+func (h History) CommitOrder() []uint64 {
+	var out []uint64
+	for _, e := range h {
+		if e.Kind == EvCommit {
+			out = append(out, e.Tx)
+		}
+	}
+	return out
+}
+
+// Committed returns the subhistory of committed transactions, preserving
+// event order (committed(h) in the paper).
+func (h History) Committed() History {
+	committed := map[uint64]bool{}
+	for _, e := range h {
+		if e.Kind == EvCommit {
+			committed[e.Tx] = true
+		}
+	}
+	var out History
+	for _, e := range h {
+		if committed[e.Tx] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Aborted returns the set of transactions that finished aborting.
+func (h History) Aborted() map[uint64]bool {
+	out := map[uint64]bool{}
+	for _, e := range h {
+		if e.Kind == EvAborted {
+			out[e.Tx] = true
+		}
+	}
+	return out
+}
+
+// Recorder collects a history from concurrent transactions. All methods are
+// safe for concurrent use. Calls should be recorded while the caller still
+// holds the abstract locks covering them, so that recorded order is
+// consistent with the serialization order of conflicting calls.
+type Recorder struct {
+	mu     sync.Mutex
+	events History
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+func (r *Recorder) append(e Event) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// Init records ⟨tx init⟩.
+func (r *Recorder) Init(tx uint64) { r.append(Event{Kind: EvInit, Tx: tx}) }
+
+// RecordCall records a completed method call on obj by tx.
+func (r *Recorder) RecordCall(tx uint64, obj, method string, args []int64, resp Resp) {
+	r.append(Event{Kind: EvCall, Tx: tx, Object: obj, Call: Call{Method: method, Args: args, Resp: resp}})
+}
+
+// Commit records ⟨tx commit⟩. Call from stm's AtCommit hook so commit events
+// appear in serialization order.
+func (r *Recorder) Commit(tx uint64) { r.append(Event{Kind: EvCommit, Tx: tx}) }
+
+// Abort records ⟨tx abort⟩.
+func (r *Recorder) Abort(tx uint64) { r.append(Event{Kind: EvAbort, Tx: tx}) }
+
+// Aborted records ⟨tx aborted⟩.
+func (r *Recorder) Aborted(tx uint64) { r.append(Event{Kind: EvAborted, Tx: tx}) }
+
+// History returns a snapshot of the recorded history.
+func (r *Recorder) History() History {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(History, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}

@@ -1,0 +1,406 @@
+package histories
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func call(m string, arg int64, val int64, ok bool) Call {
+	return Call{Method: m, Args: []int64{arg}, Resp: Resp{Val: val, OK: ok}}
+}
+
+func TestSetSpecBasics(t *testing.T) {
+	s := SetSpec{}.Init()
+	r, s1, ok := s.Apply("add", []int64{3})
+	if !ok || !r.OK {
+		t.Fatalf("add(3) = %v,%v", r, ok)
+	}
+	r, _, ok = s1.Apply("add", []int64{3})
+	if !ok || r.OK {
+		t.Fatalf("duplicate add(3) = %v,%v", r, ok)
+	}
+	r, s2, _ := s1.Apply("remove", []int64{3})
+	if !r.OK {
+		t.Fatal("remove(3) = false")
+	}
+	if !s2.Equal(s) {
+		t.Fatal("add;remove != initial state")
+	}
+	r, _, _ = s1.Apply("contains", []int64{3})
+	if !r.OK {
+		t.Fatal("contains(3) = false on {3}")
+	}
+	if _, _, ok := s.Apply("frobnicate", []int64{1}); ok {
+		t.Fatal("unknown method legal")
+	}
+	if _, _, ok := s.Apply("add", nil); ok {
+		t.Fatal("arity violation legal")
+	}
+}
+
+func TestPQSpecBasics(t *testing.T) {
+	s := PQSpec{}.Init()
+	_, s, _ = s.Apply("add", []int64{5})
+	_, s, _ = s.Apply("add", []int64{1})
+	_, s, _ = s.Apply("add", []int64{5}) // duplicate keys allowed
+	r, s, ok := s.Apply("removeMin", nil)
+	if !ok || !r.OK || r.Val != 1 {
+		t.Fatalf("removeMin = %v", r)
+	}
+	r, _, _ = s.Apply("min", nil)
+	if !r.OK || r.Val != 5 {
+		t.Fatalf("min = %v", r)
+	}
+	r, s, _ = s.Apply("removeMin", nil)
+	if r.Val != 5 {
+		t.Fatalf("removeMin = %v", r)
+	}
+	r, s, _ = s.Apply("removeMin", nil)
+	if r.Val != 5 {
+		t.Fatalf("removeMin = %v", r)
+	}
+	r, _, _ = s.Apply("removeMin", nil)
+	if r.OK {
+		t.Fatal("removeMin on empty returned ok")
+	}
+}
+
+func TestQueueSpecBasics(t *testing.T) {
+	s := QueueSpec{}.Init()
+	if _, _, ok := s.Apply("take", nil); ok {
+		t.Fatal("take on empty must be illegal (blocking)")
+	}
+	_, s, _ = s.Apply("offer", []int64{1})
+	_, s, _ = s.Apply("offer", []int64{2})
+	r, s, ok := s.Apply("take", nil)
+	if !ok || r.Val != 1 {
+		t.Fatalf("take = %v,%v", r, ok)
+	}
+	r, _, _ = s.Apply("take", nil)
+	if r.Val != 2 {
+		t.Fatalf("take = %v", r)
+	}
+}
+
+func TestIDGenSpecBasics(t *testing.T) {
+	s := IDGenSpec{}.Init()
+	r, s1, ok := s.Apply("assignID", []int64{3})
+	if !ok || r.Val != 3 {
+		t.Fatalf("assignID = %v,%v", r, ok)
+	}
+	if _, _, ok := s1.Apply("assignID", []int64{3}); ok {
+		t.Fatal("assigning a used ID is legal")
+	}
+	_, s2, ok := s1.Apply("releaseID", []int64{3})
+	if !ok {
+		t.Fatal("releaseID(3) illegal")
+	}
+	if !s2.Equal(s) {
+		t.Fatal("assign;release != initial")
+	}
+	if _, _, ok := s.Apply("releaseID", []int64{9}); ok {
+		t.Fatal("releasing an unused ID is legal")
+	}
+}
+
+// TestPaperSerializableExample reproduces §5.1's strictly serializable
+// history: A inserts 3, B reads it, B commits before A — wait, in the paper
+// A's insert precedes B's contains and the history commits B then A and is
+// NOT serializable; the serializable variant commits A first. Both are
+// checked.
+func TestPaperSerializableExample(t *testing.T) {
+	specs := map[string]Spec{"list": SetSpec{}}
+	// Serializable: A commits before B.
+	good := History{
+		{Kind: EvInit, Tx: 1},
+		{Kind: EvInit, Tx: 2},
+		{Kind: EvCall, Tx: 1, Object: "list", Call: call("add", 3, 0, true)},
+		{Kind: EvCall, Tx: 2, Object: "list", Call: call("contains", 3, 0, true)},
+		{Kind: EvCommit, Tx: 1},
+		{Kind: EvCommit, Tx: 2},
+	}
+	if err := CheckStrictSerializability(good, specs); err != nil {
+		t.Fatalf("paper's serializable history rejected: %v", err)
+	}
+	// Not serializable: commit order places B before A, yet B observed A's
+	// insert.
+	bad := History{
+		{Kind: EvInit, Tx: 1},
+		{Kind: EvInit, Tx: 2},
+		{Kind: EvCall, Tx: 1, Object: "list", Call: call("add", 3, 0, true)},
+		{Kind: EvCall, Tx: 2, Object: "list", Call: call("contains", 3, 0, true)},
+		{Kind: EvCommit, Tx: 2},
+		{Kind: EvCommit, Tx: 1},
+	}
+	err := CheckStrictSerializability(bad, specs)
+	if err == nil {
+		t.Fatal("paper's non-serializable history accepted")
+	}
+	if !strings.Contains(err.Error(), "contains") {
+		t.Fatalf("error does not pinpoint the call: %v", err)
+	}
+}
+
+func TestAbortedTransactionsInvisible(t *testing.T) {
+	// Theorem 5.4: an aborted transaction's calls must not affect the
+	// committed replay.
+	specs := map[string]Spec{"set": SetSpec{}}
+	h := History{
+		{Kind: EvInit, Tx: 1},
+		{Kind: EvCall, Tx: 1, Object: "set", Call: call("add", 7, 0, true)},
+		{Kind: EvAbort, Tx: 1},
+		{Kind: EvCall, Tx: 1, Object: "set", Call: call("remove", 7, 0, true)}, // inverse
+		{Kind: EvAborted, Tx: 1},
+		{Kind: EvInit, Tx: 2},
+		{Kind: EvCall, Tx: 2, Object: "set", Call: call("add", 7, 0, true)}, // fresh add must succeed
+		{Kind: EvCommit, Tx: 2},
+	}
+	if err := CheckStrictSerializability(h, specs); err != nil {
+		t.Fatal(err)
+	}
+	finals, err := FinalStates(h, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, _ := SetSpec{}.Init().Apply("add", []int64{7})
+	_ = want
+	r, _, _ := finals["set"].Apply("contains", []int64{7})
+	if !r.OK {
+		t.Fatal("final state lost committed add")
+	}
+	if len(h.Aborted()) != 1 || !h.Aborted()[1] {
+		t.Fatal("Aborted() bookkeeping wrong")
+	}
+}
+
+func TestRestrictAndCommitOrder(t *testing.T) {
+	h := History{
+		{Kind: EvInit, Tx: 1},
+		{Kind: EvInit, Tx: 2},
+		{Kind: EvCall, Tx: 1, Object: "a", Call: call("add", 1, 0, true)},
+		{Kind: EvCall, Tx: 2, Object: "b", Call: call("add", 2, 0, true)},
+		{Kind: EvCommit, Tx: 2},
+		{Kind: EvCommit, Tx: 1},
+	}
+	if got := h.CommitOrder(); len(got) != 2 || got[0] != 2 || got[1] != 1 {
+		t.Fatalf("CommitOrder = %v", got)
+	}
+	if got := h.Restrict(1); len(got) != 3 {
+		t.Fatalf("Restrict(1) = %d events", len(got))
+	}
+	if got := h.RestrictObject("b"); len(got) != 1 || got[0].Call.Args[0] != 2 {
+		t.Fatalf("RestrictObject(b) = %v", got)
+	}
+	if got := h.Committed(); len(got) != 6 {
+		t.Fatalf("Committed lost events: %d", len(got))
+	}
+}
+
+// --- Commutativity tables ---
+
+// setStateWith builds a set state containing the given keys.
+func setStateWith(keys ...int64) State {
+	s := SetSpec{}.Init()
+	for _, k := range keys {
+		_, s, _ = s.Apply("add", []int64{k})
+	}
+	return s
+}
+
+func TestFig1CommutativityTable(t *testing.T) {
+	// add(x)/false <=> add(y)/false, x != y (on a state containing both)
+	s := setStateWith(1, 2)
+	if !Commute(s, call("add", 1, 0, false), call("add", 2, 0, false)) {
+		t.Error("add(x)/false should commute with add(y)/false")
+	}
+	// add(x)/true <=> add(y)/true for x != y (fresh keys)
+	s = SetSpec{}.Init()
+	if !Commute(s, call("add", 1, 0, true), call("add", 2, 0, true)) {
+		t.Error("add(1)/true should commute with add(2)/true")
+	}
+	// remove(x)/false <=> remove(y)/false
+	if !Commute(s, call("remove", 1, 0, false), call("remove", 2, 0, false)) {
+		t.Error("remove(x)/false should commute with remove(y)/false")
+	}
+	// add(x)/false <=> remove(x)/false: impossible to witness on one state
+	// (add fails iff present, remove fails iff absent) — the table row is
+	// about *calls on different states*; on any single state the pair is
+	// never jointly legal, which Commute reports as non-commuting input.
+	// Check instead: contains(x)/false <=> remove(x)/false (both need x absent).
+	if !Commute(s, call("contains", 1, 0, false), call("remove", 1, 0, false)) {
+		t.Error("contains(x)/false should commute with remove(x)/false")
+	}
+	// Non-commuting pairs:
+	if Commute(s, call("add", 1, 0, true), call("remove", 1, 0, true)) {
+		t.Error("add(x)/true must NOT commute with remove(x)/true")
+	}
+	if Commute(s, call("add", 1, 0, true), call("contains", 1, 0, false)) {
+		t.Error("add(x)/true must NOT commute with contains(x)/false")
+	}
+	s = setStateWith(1)
+	if Commute(s, call("remove", 1, 0, true), call("contains", 1, 0, true)) {
+		t.Error("remove(x)/true must NOT commute with contains(x)/true")
+	}
+}
+
+func TestQuickSetDisjointKeysAlwaysCommute(t *testing.T) {
+	// Property: on any state, any two legal Set calls with distinct keys
+	// commute (the justification for per-key abstract locks).
+	f := func(keys []int64, x, y int64, m1, m2 uint8) bool {
+		if x == y {
+			return true
+		}
+		s := setStateWith(keys...)
+		methods := []string{"add", "remove", "contains"}
+		c1m := methods[int(m1)%3]
+		c2m := methods[int(m2)%3]
+		// Determine the legal responses on this state.
+		r1, _, _ := s.Apply(c1m, []int64{x})
+		r2, _, _ := s.Apply(c2m, []int64{y})
+		c1 := Call{Method: c1m, Args: []int64{x}, Resp: r1}
+		c2 := Call{Method: c2m, Args: []int64{y}, Resp: r2}
+		return Commute(s, c1, c2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig4PQCommutativity(t *testing.T) {
+	// add(x) <=> add(y) always (multiset).
+	s := PQSpec{}.Init()
+	if !Commute(s, Call{Method: "add", Args: []int64{3}, Resp: Resp{OK: true}},
+		Call{Method: "add", Args: []int64{5}, Resp: Resp{OK: true}}) {
+		t.Error("pq add/add should commute")
+	}
+	// add(small) does not commute with removeMin that would return it.
+	_, s1, _ := s.Apply("add", []int64{10})
+	if Commute(s1, Call{Method: "add", Args: []int64{1}, Resp: Resp{OK: true}},
+		Call{Method: "removeMin", Resp: Resp{Val: 10, OK: true}}) {
+		t.Error("pq add(1) must not commute with removeMin()/10")
+	}
+	// add(large) DOES commute with removeMin returning the smaller min.
+	if !Commute(s1, Call{Method: "add", Args: []int64{99}, Resp: Resp{OK: true}},
+		Call{Method: "removeMin", Resp: Resp{Val: 10, OK: true}}) {
+		t.Error("pq add(99) should commute with removeMin()/10")
+	}
+}
+
+func TestFig8IDGenCommutativity(t *testing.T) {
+	s := IDGenSpec{}.Init()
+	// assignID()/x <=> assignID()/y for x != y.
+	if !Commute(s, Call{Method: "assignID", Args: []int64{1}, Resp: Resp{Val: 1, OK: true}},
+		Call{Method: "assignID", Args: []int64{2}, Resp: Resp{Val: 2, OK: true}}) {
+		t.Error("assignID/1 should commute with assignID/2")
+	}
+	// assignID()/x does not commute with assignID()/x (same ID twice is
+	// never jointly legal).
+	if Commute(s, Call{Method: "assignID", Args: []int64{1}, Resp: Resp{Val: 1, OK: true}},
+		Call{Method: "assignID", Args: []int64{1}, Resp: Resp{Val: 1, OK: true}}) {
+		t.Error("assignID/x must not commute with assignID/x")
+	}
+	// releaseID(x) commutes with assignID()/y for y != x.
+	_, s1, _ := s.Apply("assignID", []int64{1})
+	if !Commute(s1, Call{Method: "releaseID", Args: []int64{1}, Resp: Resp{Val: 1, OK: true}},
+		Call{Method: "assignID", Args: []int64{2}, Resp: Resp{Val: 2, OK: true}}) {
+		t.Error("releaseID(1) should commute with assignID/2")
+	}
+}
+
+// --- Inverses ---
+
+func TestFig1InverseTable(t *testing.T) {
+	cases := []struct {
+		state State
+		call  Call
+	}{
+		{SetSpec{}.Init(), call("add", 1, 0, true)},
+		{setStateWith(1), call("add", 1, 0, false)},
+		{setStateWith(1), call("remove", 1, 0, true)},
+		{SetSpec{}.Init(), call("remove", 1, 0, false)},
+		{setStateWith(1), call("contains", 1, 0, true)},
+		{SetSpec{}.Init(), call("contains", 1, 0, false)},
+	}
+	for _, c := range cases {
+		inv := SetInverse(c.call)
+		if !InverseRestores(c.state, c.call, inv) {
+			t.Errorf("inverse of %v (%v) does not restore state %v", c.call, inv, c.state)
+		}
+	}
+}
+
+func TestQuickSetInverseAlwaysRestores(t *testing.T) {
+	f := func(keys []int64, x int64, m uint8) bool {
+		s := setStateWith(keys...)
+		methods := []string{"add", "remove", "contains"}
+		method := methods[int(m)%3]
+		r, _, _ := s.Apply(method, []int64{x})
+		c := Call{Method: method, Args: []int64{x}, Resp: r}
+		return InverseRestores(s, c, SetInverse(c))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPQInverse(t *testing.T) {
+	s := PQSpec{}.Init()
+	_, s, _ = s.Apply("add", []int64{4})
+	c := Call{Method: "removeMin", Resp: Resp{Val: 4, OK: true}}
+	inv, ok := PQInverse(c)
+	if !ok || !InverseRestores(s, c, inv) {
+		t.Fatal("removeMin inverse does not restore")
+	}
+	cMin := Call{Method: "min", Resp: Resp{Val: 4, OK: true}}
+	inv, ok = PQInverse(cMin)
+	if !ok || !InverseRestores(s, cMin, inv) {
+		t.Fatal("min needs noop inverse")
+	}
+	if _, ok := PQInverse(Call{Method: "add", Args: []int64{1}, Resp: Resp{OK: true}}); ok {
+		t.Fatal("pq add must report no spec-level inverse")
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 100; i++ {
+			r.RecordCall(1, "set", "add", []int64{int64(i)}, Resp{OK: true})
+		}
+		close(done)
+	}()
+	for i := 0; i < 100; i++ {
+		r.RecordCall(2, "set", "remove", []int64{int64(i)}, Resp{OK: false})
+	}
+	<-done
+	if r.Len() != 200 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	h := r.History()
+	if len(h.Restrict(1)) != 100 || len(h.Restrict(2)) != 100 {
+		t.Fatal("Restrict lost events")
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	for k, want := range map[EventKind]string{
+		EvInit: "init", EvCall: "call", EvCommit: "commit",
+		EvAbort: "abort", EvAborted: "aborted", EventKind(9): "kind(9)",
+	} {
+		if k.String() != want {
+			t.Errorf("String(%d) = %q", k, k.String())
+		}
+	}
+}
+
+func TestMissingSpecIsError(t *testing.T) {
+	h := History{
+		{Kind: EvCall, Tx: 1, Object: "mystery", Call: call("add", 1, 0, true)},
+		{Kind: EvCommit, Tx: 1},
+	}
+	if err := CheckStrictSerializability(h, map[string]Spec{}); err == nil {
+		t.Fatal("missing spec accepted")
+	}
+}

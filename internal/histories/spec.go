@@ -1,0 +1,276 @@
+package histories
+
+import (
+	"fmt"
+	"sort"
+)
+
+// State is an immutable abstract state of a sequential specification.
+// Apply executes one method call's invocation, returning the response the
+// specification demands and the successor state. legal is false when the
+// invocation itself is not permitted in this state (none of the collection
+// specs here have preconditions, but e.g. a bounded queue's offer on a full
+// queue would be illegal rather than blocking in the sequential model).
+type State interface {
+	Apply(method string, args []int64) (resp Resp, next State, legal bool)
+	// Equal reports whether two states are indistinguishable — the
+	// "defines the same state" relation of Definition 5.2, decidable
+	// here because the specs are finite-state value types.
+	Equal(other State) bool
+	String() string
+}
+
+// Spec names a specification and produces initial states.
+type Spec interface {
+	Name() string
+	Init() State
+}
+
+// --- Set specification (Fig. 1) ---
+
+// SetSpec is the abstract Set of integers: add/remove/contains.
+type SetSpec struct{}
+
+func (SetSpec) Name() string { return "Set" }
+
+// Init returns the empty set.
+func (SetSpec) Init() State { return setState{} }
+
+type setState map[int64]struct{}
+
+func (s setState) clone() setState {
+	c := make(setState, len(s))
+	for k := range s {
+		c[k] = struct{}{}
+	}
+	return c
+}
+
+func (s setState) Apply(method string, args []int64) (Resp, State, bool) {
+	if len(args) != 1 {
+		return Resp{}, s, false
+	}
+	k := args[0]
+	_, present := s[k]
+	switch method {
+	case "add":
+		if present {
+			return Resp{OK: false}, s, true
+		}
+		c := s.clone()
+		c[k] = struct{}{}
+		return Resp{OK: true}, c, true
+	case "remove":
+		if !present {
+			return Resp{OK: false}, s, true
+		}
+		c := s.clone()
+		delete(c, k)
+		return Resp{OK: true}, c, true
+	case "contains":
+		return Resp{OK: present}, s, true
+	default:
+		return Resp{}, s, false
+	}
+}
+
+func (s setState) Equal(other State) bool {
+	o, ok := other.(setState)
+	if !ok || len(o) != len(s) {
+		return false
+	}
+	for k := range s {
+		if _, ok := o[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (s setState) String() string {
+	keys := make([]int64, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return fmt.Sprintf("set%v", keys)
+}
+
+// --- Priority queue specification (Fig. 4) ---
+
+// PQSpec is the abstract priority queue: a multiset of keys with add,
+// removeMin and min. Duplicates allowed.
+type PQSpec struct{}
+
+func (PQSpec) Name() string { return "PQueue" }
+
+// Init returns the empty queue.
+func (PQSpec) Init() State { return pqState{} }
+
+type pqState []int64 // kept sorted ascending
+
+func (s pqState) Apply(method string, args []int64) (Resp, State, bool) {
+	switch method {
+	case "add":
+		if len(args) != 1 {
+			return Resp{}, s, false
+		}
+		c := make(pqState, len(s), len(s)+1)
+		copy(c, s)
+		c = append(c, args[0])
+		sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+		return Resp{OK: true}, c, true
+	case "removeMin":
+		if len(s) == 0 {
+			return Resp{OK: false}, s, true
+		}
+		c := make(pqState, len(s)-1)
+		copy(c, s[1:])
+		return Resp{Val: s[0], OK: true}, c, true
+	case "min":
+		if len(s) == 0 {
+			return Resp{OK: false}, s, true
+		}
+		return Resp{Val: s[0], OK: true}, s, true
+	default:
+		return Resp{}, s, false
+	}
+}
+
+func (s pqState) Equal(other State) bool {
+	o, ok := other.(pqState)
+	if !ok || len(o) != len(s) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s pqState) String() string { return fmt.Sprintf("pq%v", []int64(s)) }
+
+// --- FIFO queue specification (Fig. 6, unbounded sequential model) ---
+
+// QueueSpec is the abstract FIFO queue: offer appends, take removes the
+// oldest element (illegal on empty in the sequential model — blocking is a
+// scheduling concern, not a specification one).
+type QueueSpec struct{}
+
+func (QueueSpec) Name() string { return "Queue" }
+
+// Init returns the empty queue.
+func (QueueSpec) Init() State { return queueState{} }
+
+type queueState []int64
+
+func (s queueState) Apply(method string, args []int64) (Resp, State, bool) {
+	switch method {
+	case "offer":
+		if len(args) != 1 {
+			return Resp{}, s, false
+		}
+		c := make(queueState, len(s), len(s)+1)
+		copy(c, s)
+		return Resp{OK: true}, append(c, args[0]), true
+	case "take":
+		if len(s) == 0 {
+			return Resp{}, s, false // take blocks; never legal on empty
+		}
+		c := make(queueState, len(s)-1)
+		copy(c, s[1:])
+		return Resp{Val: s[0], OK: true}, c, true
+	default:
+		return Resp{}, s, false
+	}
+}
+
+func (s queueState) Equal(other State) bool {
+	o, ok := other.(queueState)
+	if !ok || len(o) != len(s) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s queueState) String() string { return fmt.Sprintf("queue%v", []int64(s)) }
+
+// --- Unique ID generator specification (Fig. 8) ---
+
+// IDGenSpec is the abstract pool of unused IDs: assignID returns any unused
+// ID; releaseID returns one. The sequential model tracks the used set.
+type IDGenSpec struct{}
+
+func (IDGenSpec) Name() string { return "IDGen" }
+
+// Init returns the all-unused pool.
+func (IDGenSpec) Init() State { return idgenState{} }
+
+type idgenState map[int64]struct{} // used IDs
+
+func (s idgenState) clone() idgenState {
+	c := make(idgenState, len(s))
+	for k := range s {
+		c[k] = struct{}{}
+	}
+	return c
+}
+
+func (s idgenState) Apply(method string, args []int64) (Resp, State, bool) {
+	switch method {
+	case "assignID":
+		// Nondeterministic in the abstract; the checker verifies a
+		// *recorded* response, so the recorded ID is in args[0] and
+		// the call is legal iff that ID was unused.
+		if len(args) != 1 {
+			return Resp{}, s, false
+		}
+		if _, used := s[args[0]]; used {
+			return Resp{}, s, false
+		}
+		c := s.clone()
+		c[args[0]] = struct{}{}
+		return Resp{Val: args[0], OK: true}, c, true
+	case "releaseID":
+		if len(args) != 1 {
+			return Resp{}, s, false
+		}
+		if _, used := s[args[0]]; !used {
+			return Resp{}, s, false
+		}
+		c := s.clone()
+		delete(c, args[0])
+		return Resp{Val: args[0], OK: true}, c, true
+	default:
+		return Resp{}, s, false
+	}
+}
+
+func (s idgenState) Equal(other State) bool {
+	o, ok := other.(idgenState)
+	if !ok || len(o) != len(s) {
+		return false
+	}
+	for k := range s {
+		if _, ok := o[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (s idgenState) String() string {
+	keys := make([]int64, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return fmt.Sprintf("used%v", keys)
+}

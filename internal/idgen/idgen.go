@@ -1,0 +1,36 @@
+// Package idgen implements the paper's unique-ID generator (§3.4): an
+// abstract pool of unused IDs with assignID/releaseID operations. The
+// linearizable implementation is a fetch-and-add counter — correct, the
+// paper argues, precisely because releaseID is disposable: a released ID
+// may be returned to the pool arbitrarily late, or never, without any
+// transaction being able to observe the delay via assignID.
+package idgen
+
+import "sync/atomic"
+
+// Generator hands out IDs never currently in use. The counter never reuses
+// IDs, which is a legal refinement of the pool specification.
+type Generator struct {
+	next     atomic.Int64
+	released atomic.Int64 // count of releases (observability/testing only)
+}
+
+// New returns a generator whose first ID is 1.
+func New() *Generator { return &Generator{} }
+
+// AssignID removes and returns an ID from the pool of unused IDs.
+func (g *Generator) AssignID() int64 {
+	return g.next.Add(1)
+}
+
+// ReleaseID returns id to the pool. The counter implementation simply
+// abandons it — postponing the return forever, which disposability permits.
+func (g *Generator) ReleaseID(id int64) {
+	g.released.Add(1)
+}
+
+// Assigned reports how many IDs have ever been assigned.
+func (g *Generator) Assigned() int64 { return g.next.Load() }
+
+// Released reports how many IDs have been released back (and abandoned).
+func (g *Generator) Released() int64 { return g.released.Load() }

@@ -1,0 +1,72 @@
+package idgen
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSequentialUnique(t *testing.T) {
+	g := New()
+	seen := map[int64]bool{}
+	for i := 0; i < 1000; i++ {
+		id := g.AssignID()
+		if id <= 0 {
+			t.Fatalf("AssignID = %d, want positive", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %d", id)
+		}
+		seen[id] = true
+	}
+	if g.Assigned() != 1000 {
+		t.Fatalf("Assigned = %d", g.Assigned())
+	}
+}
+
+func TestConcurrentUnique(t *testing.T) {
+	g := New()
+	const goroutines = 16
+	const perG = 2000
+	ids := make([][]int64, goroutines)
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := make([]int64, perG)
+			for i := range out {
+				out[i] = g.AssignID()
+			}
+			ids[w] = out
+		}()
+	}
+	wg.Wait()
+	seen := map[int64]bool{}
+	for _, chunk := range ids {
+		for _, id := range chunk {
+			if seen[id] {
+				t.Fatalf("duplicate id %d across goroutines", id)
+			}
+			seen[id] = true
+		}
+	}
+	if len(seen) != goroutines*perG {
+		t.Fatalf("unique ids = %d, want %d", len(seen), goroutines*perG)
+	}
+}
+
+func TestReleaseIsAbandoned(t *testing.T) {
+	// The disposable release never resurrects an ID: assign after release
+	// still returns fresh IDs.
+	g := New()
+	a := g.AssignID()
+	g.ReleaseID(a)
+	b := g.AssignID()
+	if b == a {
+		t.Fatalf("released id %d was reused", a)
+	}
+	if g.Released() != 1 {
+		t.Fatalf("Released = %d", g.Released())
+	}
+}

@@ -1,0 +1,134 @@
+// Package linkedlist implements a sorted linked-list set of int64 keys with
+// lock coupling (hand-over-hand locking), the motivating structure of the
+// paper's introduction: a thread traversing the list locks each node, then
+// its successor, then releases the first, so that critical sections are
+// short-lived and multiple threads traverse concurrently.
+//
+// The paper argues lock coupling cannot be expressed as properly nested
+// subtransactions in open nesting — but boosting simply treats this list as
+// a black-box linearizable Set.
+package linkedlist
+
+import "sync"
+
+type node struct {
+	mu       sync.Mutex
+	key      int64
+	sentinel int8 // -1 head, +1 tail
+	next     *node
+}
+
+func (n *node) less(key int64) bool {
+	switch n.sentinel {
+	case -1:
+		return true
+	case 1:
+		return false
+	default:
+		return n.key < key
+	}
+}
+
+func (n *node) equals(key int64) bool { return n.sentinel == 0 && n.key == key }
+
+// Set is a sorted linked-list set using lock coupling. Create with New.
+type Set struct {
+	head *node
+	n    counter
+}
+
+type counter struct {
+	mu sync.Mutex
+	v  int
+}
+
+func (c *counter) add(d int) {
+	c.mu.Lock()
+	c.v += d
+	c.mu.Unlock()
+}
+
+func (c *counter) get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// New returns an empty set.
+func New() *Set {
+	tail := &node{sentinel: 1}
+	head := &node{sentinel: -1, next: tail}
+	return &Set{head: head}
+}
+
+// locate traverses with lock coupling, returning pred and curr both locked,
+// where pred.key < key <= curr position (curr may be the tail sentinel).
+func (s *Set) locate(key int64) (pred, curr *node) {
+	pred = s.head
+	pred.mu.Lock()
+	curr = pred.next
+	curr.mu.Lock()
+	for curr.less(key) {
+		pred.mu.Unlock()
+		pred = curr
+		curr = curr.next
+		curr.mu.Lock()
+	}
+	return pred, curr
+}
+
+// Add inserts key, reporting whether the set changed.
+func (s *Set) Add(key int64) bool {
+	pred, curr := s.locate(key)
+	defer pred.mu.Unlock()
+	defer curr.mu.Unlock()
+	if curr.equals(key) {
+		return false
+	}
+	pred.next = &node{key: key, next: curr}
+	s.n.add(1)
+	return true
+}
+
+// Remove deletes key, reporting whether the set changed.
+func (s *Set) Remove(key int64) bool {
+	pred, curr := s.locate(key)
+	defer pred.mu.Unlock()
+	defer curr.mu.Unlock()
+	if !curr.equals(key) {
+		return false
+	}
+	pred.next = curr.next
+	s.n.add(-1)
+	return true
+}
+
+// Contains reports whether key is present.
+func (s *Set) Contains(key int64) bool {
+	pred, curr := s.locate(key)
+	defer pred.mu.Unlock()
+	defer curr.mu.Unlock()
+	return curr.equals(key)
+}
+
+// Len returns the number of keys.
+func (s *Set) Len() int { return s.n.get() }
+
+// Keys returns the keys in ascending order, traversing with lock coupling.
+func (s *Set) Keys() []int64 {
+	var out []int64
+	pred := s.head
+	pred.mu.Lock()
+	curr := pred.next
+	curr.mu.Lock()
+	for curr.sentinel != 1 {
+		out = append(out, curr.key)
+		pred.mu.Unlock()
+		pred = curr
+		curr = curr.next
+		curr.mu.Lock()
+	}
+	pred.mu.Unlock()
+	curr.mu.Unlock()
+	return out
+}

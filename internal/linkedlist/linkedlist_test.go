@@ -1,0 +1,155 @@
+package linkedlist
+
+import (
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New()
+	if s.Contains(1) {
+		t.Fatal("empty set contains 1")
+	}
+	if !s.Add(1) || s.Add(1) {
+		t.Fatal("Add semantics wrong")
+	}
+	if !s.Contains(1) {
+		t.Fatal("Contains(1) = false")
+	}
+	if !s.Remove(1) || s.Remove(1) {
+		t.Fatal("Remove semantics wrong")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestSortedOrder(t *testing.T) {
+	s := New()
+	for _, k := range []int64{5, 1, 3, 2, 4, -10} {
+		s.Add(k)
+	}
+	keys := s.Keys()
+	want := []int64{-10, 1, 2, 3, 4, 5}
+	if len(keys) != len(want) {
+		t.Fatalf("Keys = %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("Keys = %v, want %v", keys, want)
+		}
+	}
+}
+
+func TestMatchesMapModel(t *testing.T) {
+	s := New()
+	model := map[int64]bool{}
+	r := rand.New(rand.NewPCG(5, 6))
+	for i := 0; i < 5000; i++ {
+		k := int64(r.IntN(64))
+		switch r.IntN(3) {
+		case 0:
+			if got, want := s.Add(k), !model[k]; got != want {
+				t.Fatalf("Add(%d) = %v, want %v", k, got, want)
+			}
+			model[k] = true
+		case 1:
+			if got, want := s.Remove(k), model[k]; got != want {
+				t.Fatalf("Remove(%d) = %v, want %v", k, got, want)
+			}
+			delete(model, k)
+		default:
+			if got := s.Contains(k); got != model[k] {
+				t.Fatalf("Contains(%d) = %v, want %v", k, got, model[k])
+			}
+		}
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	s := New()
+	f := func(k int64) bool {
+		s.Add(k)
+		return s.Remove(k) && !s.Contains(k)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAccounting(t *testing.T) {
+	s := New()
+	const keyRange = 32
+	var adds, removes [keyRange]atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := rand.New(rand.NewPCG(uint64(g), 8))
+			for i := 0; i < 2000; i++ {
+				k := int64(r.IntN(keyRange))
+				if r.IntN(2) == 0 {
+					if s.Add(k) {
+						adds[k].Add(1)
+					}
+				} else {
+					if s.Remove(k) {
+						removes[k].Add(1)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for k := 0; k < keyRange; k++ {
+		present := int64(0)
+		if s.Contains(int64(k)) {
+			present = 1
+		}
+		if d := adds[k].Load() - removes[k].Load(); d != present {
+			t.Errorf("key %d: adds-removes = %d, present = %d", k, d, present)
+		}
+	}
+	keys := s.Keys()
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("list corrupted: %v", keys)
+		}
+	}
+}
+
+func TestConcurrentDisjointTraversal(t *testing.T) {
+	// Lock coupling's selling point: concurrent traversals on disjoint
+	// keys all make progress and never corrupt the list.
+	s := New()
+	for k := int64(0); k < 100; k++ {
+		s.Add(k * 2)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := int64((g*500+i)%100)*2 + 1 // odd keys only
+				s.Add(k)
+				s.Remove(k)
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != 100 {
+		t.Fatalf("Len = %d, want 100 even keys", s.Len())
+	}
+	for k := int64(0); k < 100; k++ {
+		if !s.Contains(k * 2) {
+			t.Fatalf("even key %d lost", k*2)
+		}
+	}
+}

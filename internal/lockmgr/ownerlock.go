@@ -1,0 +1,229 @@
+// Package lockmgr implements the abstract locks of transactional boosting:
+// two-phase locks owned by transactions rather than goroutines, acquired with
+// a timeout (timeout -> abort is how the paper's two-phase locking recovers
+// from deadlock), and released by the runtime only when the owning
+// transaction commits or finishes aborting.
+//
+// Three flavours are provided:
+//
+//   - OwnerLock: an exclusive abstract lock (one per boosted object for
+//     coarse-grained boosting, as in the paper's red-black tree).
+//   - RWOwnerLock: a readers/writer abstract lock (the paper's heap uses it
+//     to run add() calls, which commute with each other, in shared mode and
+//     removeMin() in exclusive mode).
+//   - LockMap: a striped map from key to OwnerLock implementing the paper's
+//     LockKey class — the lock-per-key discipline of the boosted skip list.
+package lockmgr
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"tboost/internal/stm"
+)
+
+// ErrTimeout is the cause used to abort a transaction whose timed lock
+// acquisition expired.
+var ErrTimeout = errors.New("lockmgr: abstract lock acquisition timed out")
+
+// ErrWounded is the cause used to abort a transaction that an older
+// transaction wounded while it was waiting for a lock.
+var ErrWounded = errors.New("lockmgr: wounded by an older transaction")
+
+// Policy selects the deadlock-handling discipline of an abstract lock.
+type Policy int
+
+const (
+	// TimeoutOnly recovers from deadlock by timed acquisition (the
+	// paper's discipline: "timeouts avoid deadlock").
+	TimeoutOnly Policy = iota
+	// WoundWait additionally applies the classic wound-wait rule from the
+	// database literature the paper builds on: an older requester
+	// (smaller Birth) dooms a younger lock holder, which aborts at its
+	// next acquisition or commit; a younger requester waits. Deadlocks
+	// cannot form (the waits-for graph is ordered by age); timeouts
+	// remain as a backstop.
+	WoundWait
+)
+
+// OwnerLock is an exclusive two-phase lock owned by a transaction. The zero
+// value is an unlocked lock ready for use. Acquisition is reentrant per
+// transaction; release happens automatically when the owning transaction
+// commits or aborts (the runtime calls Unlock via stm.Unlocker).
+type OwnerLock struct {
+	mu     chanMutex
+	owner  *stm.Tx
+	gen    chan struct{} // closed on each release to wake all waiters
+	policy Policy
+}
+
+// chanMutex is a tiny non-blocking-friendly mutex built on a 1-buffered
+// channel. Using a channel (rather than sync.Mutex) keeps the critical
+// sections explicit and lets the wait loop release/reacquire around selects.
+type chanMutex struct{ ch chan struct{} }
+
+func (m *chanMutex) lock() {
+	if m.ch == nil {
+		// Lazily initialized via sync-free fast path is racy; callers
+		// must Init first. Locks created by constructors are initialized.
+		panic("lockmgr: lock used before initialization; use NewOwnerLock or LockMap")
+	}
+	m.ch <- struct{}{}
+}
+
+func (m *chanMutex) unlock() { <-m.ch }
+
+// NewOwnerLock returns a fresh exclusive abstract lock with the TimeoutOnly
+// policy.
+func NewOwnerLock() *OwnerLock {
+	return NewOwnerLockPolicy(TimeoutOnly)
+}
+
+// NewOwnerLockPolicy returns a fresh exclusive abstract lock with the given
+// deadlock-handling policy.
+func NewOwnerLockPolicy(p Policy) *OwnerLock {
+	return &OwnerLock{mu: chanMutex{ch: make(chan struct{}, 1)}, policy: p}
+}
+
+// TryAcquire attempts to acquire the lock for tx, waiting up to timeout.
+// It returns true on success (including when tx already holds the lock).
+// On success the lock is registered with tx for automatic two-phase release.
+func (l *OwnerLock) TryAcquire(tx *stm.Tx, timeout time.Duration) bool {
+	if !tx.RegisterLock(l) {
+		// Already registered by this transaction. Usually that means the
+		// lock is held (reentrancy), but inside stm.Parallel another
+		// branch may have registered it and still be acquiring: wait for
+		// ownership to land before letting this branch proceed.
+		if l.HeldBy(tx) {
+			return true
+		}
+		return l.waitOwnedBy(tx, timeout)
+	}
+	if l.acquireSlow(tx, timeout) {
+		return true
+	}
+	tx.UnregisterLock(l)
+	return false
+}
+
+// waitOwnedBy waits until tx owns the lock (acquired by a sibling branch of
+// a multi-threaded transaction), or the registration disappears (the
+// sibling's acquisition failed), or the timeout expires.
+func (l *OwnerLock) waitOwnedBy(tx *stm.Tx, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if l.HeldBy(tx) {
+			return true
+		}
+		if !tx.Holds(l) {
+			return false // sibling acquisition failed and unregistered
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		runtime.Gosched()
+	}
+}
+
+func (l *OwnerLock) acquireSlow(tx *stm.Tx, timeout time.Duration) bool {
+	var timer *time.Timer
+	var expired <-chan time.Time
+	for {
+		if tx.Doomed() {
+			return false // wounded while waiting: give way to our elder
+		}
+		l.mu.lock()
+		if l.owner == nil {
+			l.owner = tx
+			l.mu.unlock()
+			if timer != nil {
+				timer.Stop()
+			}
+			return true
+		}
+		if l.policy == WoundWait && l.owner.Birth() > tx.Birth() {
+			// Wound the younger holder; it aborts at its next
+			// acquisition or commit and releases this lock.
+			l.owner.Doom()
+		}
+		if l.gen == nil {
+			l.gen = make(chan struct{})
+		}
+		wait := l.gen
+		l.mu.unlock()
+
+		if timer == nil {
+			timer = time.NewTimer(timeout)
+			expired = timer.C
+		}
+		select {
+		case <-wait:
+			// A release happened; recontend.
+		case <-tx.DoomChan():
+			return false // wounded while waiting
+		case <-expired:
+			return false
+		}
+	}
+}
+
+// Acquire acquires the lock for tx using the system's default lock timeout,
+// aborting tx (which unwinds to stm.Atomic for rollback and retry) if the
+// timeout expires or tx was wounded while waiting. This is the call boosted
+// methods make on every operation.
+func (l *OwnerLock) Acquire(tx *stm.Tx) {
+	if !l.TryAcquire(tx, tx.System().LockTimeout()) {
+		if tx.Doomed() {
+			tx.Abort(ErrWounded)
+		}
+		tx.System().CountLockTimeout()
+		tx.Abort(ErrTimeout)
+	}
+}
+
+// Unlock releases the lock if tx owns it. It is called by the stm runtime
+// during commit/abort; user code should not call it directly (two-phase
+// locking forbids early release).
+func (l *OwnerLock) Unlock(tx *stm.Tx) {
+	l.mu.lock()
+	if l.owner == tx {
+		l.owner = nil
+		if l.gen != nil {
+			close(l.gen)
+			l.gen = nil
+		}
+	}
+	l.mu.unlock()
+}
+
+// HeldBy reports whether tx currently owns the lock. For tests and
+// introspection.
+func (l *OwnerLock) HeldBy(tx *stm.Tx) bool {
+	l.mu.lock()
+	held := l.owner == tx
+	l.mu.unlock()
+	return held
+}
+
+// Locked reports whether any transaction owns the lock.
+func (l *OwnerLock) Locked() bool {
+	l.mu.lock()
+	locked := l.owner != nil
+	l.mu.unlock()
+	return locked
+}
+
+// String describes the lock state for debugging.
+func (l *OwnerLock) String() string {
+	l.mu.lock()
+	defer l.mu.unlock()
+	if l.owner == nil {
+		return "OwnerLock(free)"
+	}
+	return fmt.Sprintf("OwnerLock(owner=tx%d)", l.owner.ID())
+}
+
+// compile-time interface check
+var _ stm.Unlocker = (*OwnerLock)(nil)

@@ -1,0 +1,112 @@
+package lockmgr
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tboost/internal/stm"
+)
+
+// TestParallelBranchesSameLock exercises the sibling-acquisition path: two
+// branches of one transaction race to acquire the same abstract lock. The
+// loser of the registration race must wait until the winner actually owns
+// the lock before proceeding.
+func TestParallelBranchesSameLock(t *testing.T) {
+	sys := stm.NewSystem(stm.Config{LockTimeout: 500 * time.Millisecond})
+	l := NewOwnerLock()
+	var critical atomic.Int32
+	var maxSeen atomic.Int32
+	for round := 0; round < 50; round++ {
+		err := sys.Atomic(func(tx *stm.Tx) error {
+			branch := func(tx *stm.Tx) error {
+				l.Acquire(tx)
+				if !l.HeldBy(tx) {
+					t.Error("branch proceeded without the tx owning the lock")
+				}
+				n := critical.Add(1)
+				if n > maxSeen.Load() {
+					maxSeen.Store(n)
+				}
+				critical.Add(-1)
+				return nil
+			}
+			return tx.Parallel(branch, branch, branch)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.Locked() {
+			t.Fatal("lock leaked after commit")
+		}
+	}
+}
+
+// TestParallelBranchesSameLockAgainstForeignHolder: sibling branches wait on
+// a lock held by another transaction; when it releases, exactly one branch
+// acquires for the whole transaction and all proceed.
+func TestParallelBranchesSameLockAgainstForeignHolder(t *testing.T) {
+	sys := stm.NewSystem(stm.Config{LockTimeout: 2 * time.Second})
+	l := NewOwnerLock()
+	held := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		_ = sys.Atomic(func(tx *stm.Tx) error {
+			l.Acquire(tx)
+			close(held)
+			<-release
+			return nil
+		})
+	}()
+	<-held
+	time.AfterFunc(50*time.Millisecond, func() { close(release) })
+	var entered atomic.Int32
+	err := sys.Atomic(func(tx *stm.Tx) error {
+		branch := func(tx *stm.Tx) error {
+			l.Acquire(tx)
+			entered.Add(1)
+			return nil
+		}
+		return tx.Parallel(branch, branch)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entered.Load() != 2 {
+		t.Fatalf("entered = %d, want 2", entered.Load())
+	}
+}
+
+// TestWaitOwnedByTimesOut: if the sibling that registered the lock never
+// acquires it (foreign holder forever), the waiting branch gives up within
+// its timeout.
+func TestWaitOwnedByTimesOut(t *testing.T) {
+	sys := stm.NewSystem(stm.Config{LockTimeout: 30 * time.Millisecond, MaxRetries: 1})
+	l := NewOwnerLock()
+	blocker := make(chan struct{})
+	heldC := make(chan struct{})
+	go func() {
+		_ = sys.Atomic(func(tx *stm.Tx) error {
+			l.Acquire(tx)
+			close(heldC)
+			<-blocker
+			return nil
+		})
+	}()
+	<-heldC
+	start := time.Now()
+	err := sys.Atomic(func(tx *stm.Tx) error {
+		branch := func(tx *stm.Tx) error {
+			l.Acquire(tx) // both branches race; both time out
+			return nil
+		}
+		return tx.Parallel(branch, branch)
+	})
+	close(blocker)
+	if err == nil {
+		t.Fatal("acquisition against a permanent holder succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timed-out acquisition took %v", elapsed)
+	}
+}

@@ -1,0 +1,189 @@
+package lockmgr
+
+import (
+	"time"
+
+	"tboost/internal/stm"
+)
+
+// RWOwnerLock is a readers/writer two-phase abstract lock owned by
+// transactions. Multiple transactions may hold it in shared (read) mode;
+// exclusive (write) mode excludes all others. A transaction holding the lock
+// in shared mode may upgrade to exclusive mode when it is the only reader.
+//
+// The paper's boosted heap uses an RWOwnerLock to let commuting add() calls
+// run concurrently in shared mode while removeMin() takes exclusive mode.
+type RWOwnerLock struct {
+	mu      chanMutex
+	writer  *stm.Tx
+	readers map[*stm.Tx]struct{}
+	gen     chan struct{}
+}
+
+// NewRWOwnerLock returns a fresh readers/writer abstract lock.
+func NewRWOwnerLock() *RWOwnerLock {
+	return &RWOwnerLock{
+		mu:      chanMutex{ch: make(chan struct{}, 1)},
+		readers: make(map[*stm.Tx]struct{}),
+	}
+}
+
+// TryRLock attempts to acquire the lock in shared mode for tx, waiting up to
+// timeout. A transaction already holding the lock in either mode succeeds
+// immediately.
+func (l *RWOwnerLock) TryRLock(tx *stm.Tx, timeout time.Duration) bool {
+	var timer *time.Timer
+	var expired <-chan time.Time
+	for {
+		l.mu.lock()
+		if l.writer == tx {
+			l.mu.unlock()
+			if timer != nil {
+				timer.Stop()
+			}
+			return true // write mode subsumes read mode
+		}
+		if _, ok := l.readers[tx]; ok {
+			l.mu.unlock()
+			if timer != nil {
+				timer.Stop()
+			}
+			return true
+		}
+		if l.writer == nil {
+			l.readers[tx] = struct{}{}
+			l.mu.unlock()
+			tx.RegisterLock(l)
+			if timer != nil {
+				timer.Stop()
+			}
+			return true
+		}
+		wait := l.waitGen()
+		l.mu.unlock()
+
+		if timer == nil {
+			timer = time.NewTimer(timeout)
+			expired = timer.C
+		}
+		select {
+		case <-wait:
+		case <-expired:
+			return false
+		}
+	}
+}
+
+// TryWLock attempts to acquire the lock in exclusive mode for tx, waiting up
+// to timeout. If tx is the sole reader, the acquisition upgrades in place.
+func (l *RWOwnerLock) TryWLock(tx *stm.Tx, timeout time.Duration) bool {
+	var timer *time.Timer
+	var expired <-chan time.Time
+	for {
+		l.mu.lock()
+		if l.writer == tx {
+			l.mu.unlock()
+			if timer != nil {
+				timer.Stop()
+			}
+			return true
+		}
+		_, isReader := l.readers[tx]
+		others := len(l.readers)
+		if isReader {
+			others--
+		}
+		if l.writer == nil && others == 0 {
+			l.writer = tx
+			if isReader {
+				delete(l.readers, tx) // upgrade
+			}
+			l.mu.unlock()
+			tx.RegisterLock(l)
+			if timer != nil {
+				timer.Stop()
+			}
+			return true
+		}
+		wait := l.waitGen()
+		l.mu.unlock()
+
+		if timer == nil {
+			timer = time.NewTimer(timeout)
+			expired = timer.C
+		}
+		select {
+		case <-wait:
+		case <-expired:
+			return false
+		}
+	}
+}
+
+// waitGen returns the channel closed on the next release. Callers must hold mu.
+func (l *RWOwnerLock) waitGen() chan struct{} {
+	if l.gen == nil {
+		l.gen = make(chan struct{})
+	}
+	return l.gen
+}
+
+// RLock acquires shared mode with the system's default timeout, aborting tx
+// on expiry.
+func (l *RWOwnerLock) RLock(tx *stm.Tx) {
+	if !l.TryRLock(tx, tx.System().LockTimeout()) {
+		tx.System().CountLockTimeout()
+		tx.Abort(ErrTimeout)
+	}
+}
+
+// WLock acquires exclusive mode with the system's default timeout, aborting
+// tx on expiry.
+func (l *RWOwnerLock) WLock(tx *stm.Tx) {
+	if !l.TryWLock(tx, tx.System().LockTimeout()) {
+		tx.System().CountLockTimeout()
+		tx.Abort(ErrTimeout)
+	}
+}
+
+// Unlock releases whatever mode tx holds. Called by the stm runtime at
+// commit/abort.
+func (l *RWOwnerLock) Unlock(tx *stm.Tx) {
+	l.mu.lock()
+	if l.writer == tx {
+		l.writer = nil
+	} else {
+		delete(l.readers, tx)
+	}
+	if l.gen != nil {
+		close(l.gen)
+		l.gen = nil
+	}
+	l.mu.unlock()
+}
+
+// Readers reports the number of transactions holding shared mode.
+func (l *RWOwnerLock) Readers() int {
+	l.mu.lock()
+	n := len(l.readers)
+	l.mu.unlock()
+	return n
+}
+
+// WriteHeldBy reports whether tx holds exclusive mode.
+func (l *RWOwnerLock) WriteHeldBy(tx *stm.Tx) bool {
+	l.mu.lock()
+	held := l.writer == tx
+	l.mu.unlock()
+	return held
+}
+
+// ReadHeldBy reports whether tx holds shared mode.
+func (l *RWOwnerLock) ReadHeldBy(tx *stm.Tx) bool {
+	l.mu.lock()
+	_, held := l.readers[tx]
+	l.mu.unlock()
+	return held
+}
+
+var _ stm.Unlocker = (*RWOwnerLock)(nil)

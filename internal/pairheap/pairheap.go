@@ -1,0 +1,140 @@
+// Package pairheap implements a sequential pairing heap (Fredman, Sedgewick,
+// Sleator, Tarjan 1986) plus a monitor-style synchronized wrapper — an
+// alternative linearizable base object for the boosted priority queue,
+// demonstrating that boosting treats heaps as black boxes: the same wrapper
+// runs over the fine-grained Hunt heap or over this coarse-locked pairing
+// heap without change.
+package pairheap
+
+import "sync"
+
+type node[V any] struct {
+	key            int64
+	val            V
+	child, sibling *node[V]
+}
+
+// Heap is a sequential min pairing heap. Duplicate keys are allowed. Not
+// safe for concurrent use; see Sync.
+type Heap[V any] struct {
+	root *node[V]
+	size int
+}
+
+// New returns an empty heap.
+func New[V any]() *Heap[V] { return &Heap[V]{} }
+
+// Len returns the number of items.
+func (h *Heap[V]) Len() int { return h.size }
+
+func merge[V any](a, b *node[V]) *node[V] {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if b.key < a.key {
+		a, b = b, a
+	}
+	// b becomes a's first child.
+	b.sibling = a.child
+	a.child = b
+	return a
+}
+
+// Add inserts val with the given priority key. It always succeeds (the heap
+// is unbounded) and returns true to satisfy the boosted heap's BaseHeap
+// contract.
+func (h *Heap[V]) Add(key int64, val V) bool {
+	h.root = merge(h.root, &node[V]{key: key, val: val})
+	h.size++
+	return true
+}
+
+// Min returns the smallest key and its value without removing them.
+func (h *Heap[V]) Min() (int64, V, bool) {
+	if h.root == nil {
+		var zero V
+		return 0, zero, false
+	}
+	return h.root.key, h.root.val, true
+}
+
+// RemoveMin removes and returns the item with the smallest key, using the
+// standard two-pass pairing of the root's children.
+func (h *Heap[V]) RemoveMin() (int64, V, bool) {
+	if h.root == nil {
+		var zero V
+		return 0, zero, false
+	}
+	k, v := h.root.key, h.root.val
+	h.root = mergePairs(h.root.child)
+	h.size--
+	return k, v, true
+}
+
+// mergePairs merges a sibling list pairwise left to right, then folds the
+// results right to left (iteratively, to avoid deep recursion on degenerate
+// shapes).
+func mergePairs[V any](first *node[V]) *node[V] {
+	var pairs []*node[V]
+	for first != nil {
+		a := first
+		b := first.sibling
+		var rest *node[V]
+		if b != nil {
+			rest = b.sibling
+			b.sibling = nil
+		}
+		a.sibling = nil
+		pairs = append(pairs, merge(a, b))
+		first = rest
+	}
+	var root *node[V]
+	for i := len(pairs) - 1; i >= 0; i-- {
+		root = merge(root, pairs[i])
+	}
+	return root
+}
+
+// Sync wraps a Heap with a single mutex, yielding a linearizable base
+// object with no thread-level concurrency (the priority-queue analogue of
+// the paper's synchronized red-black tree).
+type Sync[V any] struct {
+	mu   sync.Mutex
+	heap *Heap[V]
+}
+
+// NewSync returns an empty synchronized pairing heap.
+func NewSync[V any]() *Sync[V] {
+	return &Sync[V]{heap: New[V]()}
+}
+
+// Add inserts val with the given priority key.
+func (s *Sync[V]) Add(key int64, val V) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.heap.Add(key, val)
+}
+
+// RemoveMin removes and returns the smallest item.
+func (s *Sync[V]) RemoveMin() (int64, V, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.heap.RemoveMin()
+}
+
+// Min returns the smallest item without removing it.
+func (s *Sync[V]) Min() (int64, V, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.heap.Min()
+}
+
+// Len returns the number of items.
+func (s *Sync[V]) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.heap.Len()
+}

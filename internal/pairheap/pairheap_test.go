@@ -1,0 +1,150 @@
+package pairheap
+
+import (
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	h := New[int]()
+	if _, _, ok := h.RemoveMin(); ok {
+		t.Fatal("RemoveMin on empty = ok")
+	}
+	if _, _, ok := h.Min(); ok {
+		t.Fatal("Min on empty = ok")
+	}
+	if h.Len() != 0 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+}
+
+func TestHeapsort(t *testing.T) {
+	h := New[int]()
+	r := rand.New(rand.NewPCG(3, 4))
+	var want []int64
+	for i := 0; i < 3000; i++ {
+		k := int64(r.IntN(500))
+		want = append(want, k)
+		h.Add(k, i)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i, w := range want {
+		k, _, ok := h.RemoveMin()
+		if !ok || k != w {
+			t.Fatalf("RemoveMin %d = %d,%v, want %d", i, k, ok, w)
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatalf("Len = %d at end", h.Len())
+	}
+}
+
+func TestMinDoesNotRemove(t *testing.T) {
+	h := New[string]()
+	h.Add(2, "two")
+	h.Add(1, "one")
+	for i := 0; i < 3; i++ {
+		k, v, ok := h.Min()
+		if !ok || k != 1 || v != "one" {
+			t.Fatalf("Min = %d,%q,%v", k, v, ok)
+		}
+	}
+	if h.Len() != 2 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+}
+
+func TestAscendingAndDescendingInserts(t *testing.T) {
+	// Degenerate shapes exercise the two-pass merge.
+	for _, dir := range []string{"asc", "desc"} {
+		h := New[int]()
+		const n = 2000
+		for i := 0; i < n; i++ {
+			k := int64(i)
+			if dir == "desc" {
+				k = int64(n - i)
+			}
+			h.Add(k, 0)
+		}
+		prev := int64(-1 << 62)
+		for i := 0; i < n; i++ {
+			k, _, ok := h.RemoveMin()
+			if !ok || k < prev {
+				t.Fatalf("%s: RemoveMin %d = %d (prev %d)", dir, i, k, prev)
+			}
+			prev = k
+		}
+	}
+}
+
+func TestQuickMatchesSortedOrder(t *testing.T) {
+	f := func(keys []int64) bool {
+		h := New[struct{}]()
+		for _, k := range keys {
+			h.Add(k, struct{}{})
+		}
+		sorted := append([]int64(nil), keys...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for _, w := range sorted {
+			k, _, ok := h.RemoveMin()
+			if !ok || k != w {
+				return false
+			}
+		}
+		_, _, ok := h.RemoveMin()
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyncConcurrent(t *testing.T) {
+	s := NewSync[int64]()
+	var addSum, remSum int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := rand.New(rand.NewPCG(uint64(g), 9))
+			localAdd, localRem := int64(0), int64(0)
+			for i := 0; i < 2000; i++ {
+				if r.IntN(2) == 0 {
+					k := int64(r.IntN(1000))
+					s.Add(k, k)
+					localAdd += k
+				} else if k, v, ok := s.RemoveMin(); ok {
+					if k != v {
+						t.Error("payload mismatch")
+						return
+					}
+					localRem += k
+				}
+			}
+			mu.Lock()
+			addSum += localAdd
+			remSum += localRem
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	for {
+		k, _, ok := s.RemoveMin()
+		if !ok {
+			break
+		}
+		remSum += k
+	}
+	if addSum != remSum {
+		t.Fatalf("added %d != removed %d", addSum, remSum)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}

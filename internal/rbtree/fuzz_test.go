@@ -1,0 +1,54 @@
+package rbtree
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// FuzzTreeAgainstModel interprets fuzz bytes as insert/delete/get
+// operations, checking responses against a map model and the red-black
+// invariants after every operation batch.
+// Run continuously with: go test -fuzz FuzzTreeAgainstModel ./internal/rbtree
+func FuzzTreeAgainstModel(f *testing.F) {
+	f.Add([]byte{0x01, 0x41, 0x81})
+	seed := make([]byte, 128)
+	r := rand.New(rand.NewPCG(2, 2))
+	for i := range seed {
+		seed[i] = byte(r.IntN(256))
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		tr := New[int64]()
+		model := map[int64]int64{}
+		for i, b := range ops {
+			k := int64(b & 0x3f)
+			switch b >> 6 {
+			case 0, 3:
+				_, existed := model[k]
+				if isNew := tr.Insert(k, k*3); isNew == existed {
+					t.Fatalf("op %d: Insert(%d) new=%v, existed=%v", i, k, isNew, existed)
+				}
+				model[k] = k * 3
+			case 1:
+				wantV, existed := model[k]
+				v, ok := tr.Delete(k)
+				if ok != existed || (ok && v != wantV) {
+					t.Fatalf("op %d: Delete(%d) = %v,%v want %v,%v", i, k, v, ok, wantV, existed)
+				}
+				delete(model, k)
+			case 2:
+				wantV, existed := model[k]
+				v, ok := tr.Get(k)
+				if ok != existed || (ok && v != wantV) {
+					t.Fatalf("op %d: Get(%d) = %v,%v want %v,%v", i, k, v, ok, wantV, existed)
+				}
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("invariants: %v", err)
+		}
+		if tr.Len() != len(model) {
+			t.Fatalf("Len = %d, model = %d", tr.Len(), len(model))
+		}
+	})
+}

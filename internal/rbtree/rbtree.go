@@ -1,0 +1,408 @@
+// Package rbtree implements a sequential red-black tree (CLRS-style,
+// approximately balanced binary search tree) keyed by int64, plus a
+// monitor-style synchronized wrapper.
+//
+// This is the base object of the paper's first experiment (Fig. 9): the
+// boosted variant wraps the synchronized tree with a single two-phase
+// abstract lock, while the baseline re-implements the same tree on the
+// read/write-conflict STM (package shadowtree).
+package rbtree
+
+import "fmt"
+
+type color bool
+
+const (
+	red   color = false
+	black color = true
+)
+
+type node[V any] struct {
+	key                 int64
+	val                 V
+	left, right, parent *node[V]
+	color               color
+}
+
+// Tree is a sequential ordered map from int64 to V. Not safe for concurrent
+// use; see Sync for a linearizable wrapper.
+type Tree[V any] struct {
+	root *node[V]
+	nil_ *node[V] // shared sentinel leaf (always black)
+	size int
+}
+
+// New returns an empty tree.
+func New[V any]() *Tree[V] {
+	sentinel := &node[V]{color: black}
+	return &Tree[V]{root: sentinel, nil_: sentinel}
+}
+
+// Len returns the number of keys.
+func (t *Tree[V]) Len() int { return t.size }
+
+// Get returns the value stored under key.
+func (t *Tree[V]) Get(key int64) (V, bool) {
+	n := t.root
+	for n != t.nil_ {
+		switch {
+		case key < n.key:
+			n = n.left
+		case key > n.key:
+			n = n.right
+		default:
+			return n.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Contains reports whether key is present.
+func (t *Tree[V]) Contains(key int64) bool {
+	_, ok := t.Get(key)
+	return ok
+}
+
+// Put stores val under key, returning the previous value and whether the key
+// existed. Boosted maps need the old value to build the inverse operation.
+func (t *Tree[V]) Put(key int64, val V) (old V, existed bool) {
+	n := t.root
+	for n != t.nil_ {
+		switch {
+		case key < n.key:
+			n = n.left
+		case key > n.key:
+			n = n.right
+		default:
+			old = n.val
+			n.val = val
+			return old, true
+		}
+	}
+	t.Insert(key, val)
+	var zero V
+	return zero, false
+}
+
+// Insert stores val under key, reporting whether the key is new. An existing
+// key's value is overwritten.
+func (t *Tree[V]) Insert(key int64, val V) bool {
+	parent := t.nil_
+	n := t.root
+	for n != t.nil_ {
+		parent = n
+		switch {
+		case key < n.key:
+			n = n.left
+		case key > n.key:
+			n = n.right
+		default:
+			n.val = val
+			return false
+		}
+	}
+	fresh := &node[V]{key: key, val: val, left: t.nil_, right: t.nil_, parent: parent, color: red}
+	switch {
+	case parent == t.nil_:
+		t.root = fresh
+	case key < parent.key:
+		parent.left = fresh
+	default:
+		parent.right = fresh
+	}
+	t.size++
+	t.insertFixup(fresh)
+	return true
+}
+
+func (t *Tree[V]) rotateLeft(x *node[V]) {
+	y := x.right
+	x.right = y.left
+	if y.left != t.nil_ {
+		y.left.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == t.nil_:
+		t.root = y
+	case x == x.parent.left:
+		x.parent.left = y
+	default:
+		x.parent.right = y
+	}
+	y.left = x
+	x.parent = y
+}
+
+func (t *Tree[V]) rotateRight(x *node[V]) {
+	y := x.left
+	x.left = y.right
+	if y.right != t.nil_ {
+		y.right.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == t.nil_:
+		t.root = y
+	case x == x.parent.right:
+		x.parent.right = y
+	default:
+		x.parent.left = y
+	}
+	y.right = x
+	x.parent = y
+}
+
+func (t *Tree[V]) insertFixup(z *node[V]) {
+	for z.parent.color == red {
+		if z.parent == z.parent.parent.left {
+			uncle := z.parent.parent.right
+			if uncle.color == red {
+				z.parent.color = black
+				uncle.color = black
+				z.parent.parent.color = red
+				z = z.parent.parent
+			} else {
+				if z == z.parent.right {
+					z = z.parent
+					t.rotateLeft(z)
+				}
+				z.parent.color = black
+				z.parent.parent.color = red
+				t.rotateRight(z.parent.parent)
+			}
+		} else {
+			uncle := z.parent.parent.left
+			if uncle.color == red {
+				z.parent.color = black
+				uncle.color = black
+				z.parent.parent.color = red
+				z = z.parent.parent
+			} else {
+				if z == z.parent.left {
+					z = z.parent
+					t.rotateRight(z)
+				}
+				z.parent.color = black
+				z.parent.parent.color = red
+				t.rotateLeft(z.parent.parent)
+			}
+		}
+	}
+	t.root.color = black
+}
+
+// Delete removes key, returning its value and whether it was present.
+func (t *Tree[V]) Delete(key int64) (V, bool) {
+	var zero V
+	z := t.root
+	for z != t.nil_ && z.key != key {
+		if key < z.key {
+			z = z.left
+		} else {
+			z = z.right
+		}
+	}
+	if z == t.nil_ {
+		return zero, false
+	}
+	val := z.val
+	t.deleteNode(z)
+	t.size--
+	return val, true
+}
+
+func (t *Tree[V]) minimum(n *node[V]) *node[V] {
+	for n.left != t.nil_ {
+		n = n.left
+	}
+	return n
+}
+
+func (t *Tree[V]) transplant(u, v *node[V]) {
+	switch {
+	case u.parent == t.nil_:
+		t.root = v
+	case u == u.parent.left:
+		u.parent.left = v
+	default:
+		u.parent.right = v
+	}
+	v.parent = u.parent
+}
+
+func (t *Tree[V]) deleteNode(z *node[V]) {
+	y := z
+	yOriginal := y.color
+	var x *node[V]
+	switch {
+	case z.left == t.nil_:
+		x = z.right
+		t.transplant(z, z.right)
+	case z.right == t.nil_:
+		x = z.left
+		t.transplant(z, z.left)
+	default:
+		y = t.minimum(z.right)
+		yOriginal = y.color
+		x = y.right
+		if y.parent == z {
+			x.parent = y
+		} else {
+			t.transplant(y, y.right)
+			y.right = z.right
+			y.right.parent = y
+		}
+		t.transplant(z, y)
+		y.left = z.left
+		y.left.parent = y
+		y.color = z.color
+	}
+	if yOriginal == black {
+		t.deleteFixup(x)
+	}
+}
+
+func (t *Tree[V]) deleteFixup(x *node[V]) {
+	for x != t.root && x.color == black {
+		if x == x.parent.left {
+			w := x.parent.right
+			if w.color == red {
+				w.color = black
+				x.parent.color = red
+				t.rotateLeft(x.parent)
+				w = x.parent.right
+			}
+			if w.left.color == black && w.right.color == black {
+				w.color = red
+				x = x.parent
+			} else {
+				if w.right.color == black {
+					w.left.color = black
+					w.color = red
+					t.rotateRight(w)
+					w = x.parent.right
+				}
+				w.color = x.parent.color
+				x.parent.color = black
+				w.right.color = black
+				t.rotateLeft(x.parent)
+				x = t.root
+			}
+		} else {
+			w := x.parent.left
+			if w.color == red {
+				w.color = black
+				x.parent.color = red
+				t.rotateRight(x.parent)
+				w = x.parent.left
+			}
+			if w.right.color == black && w.left.color == black {
+				w.color = red
+				x = x.parent
+			} else {
+				if w.left.color == black {
+					w.right.color = black
+					w.color = red
+					t.rotateLeft(w)
+					w = x.parent.left
+				}
+				w.color = x.parent.color
+				x.parent.color = black
+				w.left.color = black
+				t.rotateRight(x.parent)
+				x = t.root
+			}
+		}
+	}
+	x.color = black
+}
+
+// Min returns the smallest key, or false if the tree is empty.
+func (t *Tree[V]) Min() (int64, bool) {
+	if t.root == t.nil_ {
+		return 0, false
+	}
+	return t.minimum(t.root).key, true
+}
+
+// Max returns the largest key, or false if the tree is empty.
+func (t *Tree[V]) Max() (int64, bool) {
+	if t.root == t.nil_ {
+		return 0, false
+	}
+	n := t.root
+	for n.right != t.nil_ {
+		n = n.right
+	}
+	return n.key, true
+}
+
+// Ascend calls fn for each key/value in ascending key order until fn returns
+// false.
+func (t *Tree[V]) Ascend(fn func(key int64, val V) bool) {
+	t.ascend(t.root, fn)
+}
+
+func (t *Tree[V]) ascend(n *node[V], fn func(int64, V) bool) bool {
+	if n == t.nil_ {
+		return true
+	}
+	if !t.ascend(n.left, fn) {
+		return false
+	}
+	if !fn(n.key, n.val) {
+		return false
+	}
+	return t.ascend(n.right, fn)
+}
+
+// Keys returns all keys in ascending order.
+func (t *Tree[V]) Keys() []int64 {
+	out := make([]int64, 0, t.size)
+	t.Ascend(func(k int64, _ V) bool { out = append(out, k); return true })
+	return out
+}
+
+// CheckInvariants verifies the red-black properties: root is black, no red
+// node has a red child, every root-to-leaf path has the same black height,
+// and keys are in strict BST order. It returns an error describing the first
+// violation found. For tests.
+func (t *Tree[V]) CheckInvariants() error {
+	if t.root.color != black {
+		return fmt.Errorf("rbtree: root is red")
+	}
+	_, err := t.check(t.root, nil, nil)
+	return err
+}
+
+func (t *Tree[V]) check(n *node[V], lo, hi *int64) (blackHeight int, err error) {
+	if n == t.nil_ {
+		return 1, nil
+	}
+	if lo != nil && n.key <= *lo {
+		return 0, fmt.Errorf("rbtree: key %d violates BST order (min bound %d)", n.key, *lo)
+	}
+	if hi != nil && n.key >= *hi {
+		return 0, fmt.Errorf("rbtree: key %d violates BST order (max bound %d)", n.key, *hi)
+	}
+	if n.color == red && (n.left.color == red || n.right.color == red) {
+		return 0, fmt.Errorf("rbtree: red node %d has red child", n.key)
+	}
+	lh, err := t.check(n.left, lo, &n.key)
+	if err != nil {
+		return 0, err
+	}
+	rh, err := t.check(n.right, &n.key, hi)
+	if err != nil {
+		return 0, err
+	}
+	if lh != rh {
+		return 0, fmt.Errorf("rbtree: black-height mismatch at %d: %d vs %d", n.key, lh, rh)
+	}
+	if n.color == black {
+		lh++
+	}
+	return lh, nil
+}

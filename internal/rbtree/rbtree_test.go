@@ -1,0 +1,226 @@
+package rbtree
+
+import (
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	tr := New[string]()
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if _, ok := tr.Get(1); ok {
+		t.Fatal("Get on empty returned ok")
+	}
+	if _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty returned ok")
+	}
+	if _, ok := tr.Max(); ok {
+		t.Fatal("Max on empty returned ok")
+	}
+	if _, ok := tr.Delete(1); ok {
+		t.Fatal("Delete on empty returned ok")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertGetDelete(t *testing.T) {
+	tr := New[string]()
+	if !tr.Insert(5, "five") {
+		t.Fatal("Insert new key = false")
+	}
+	if tr.Insert(5, "FIVE") {
+		t.Fatal("Insert existing key = true")
+	}
+	v, ok := tr.Get(5)
+	if !ok || v != "FIVE" {
+		t.Fatalf("Get(5) = %q,%v; want FIVE (overwrite)", v, ok)
+	}
+	v, ok = tr.Delete(5)
+	if !ok || v != "FIVE" {
+		t.Fatalf("Delete(5) = %q,%v", v, ok)
+	}
+	if tr.Contains(5) {
+		t.Fatal("Contains after delete")
+	}
+}
+
+func TestAscendingInsertStaysBalanced(t *testing.T) {
+	tr := New[int]()
+	const n = 4096
+	for i := 0; i < n; i++ {
+		tr.Insert(int64(i), i)
+		if i%256 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("after %d inserts: %v", i+1, err)
+			}
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestMinMaxKeys(t *testing.T) {
+	tr := New[int]()
+	keys := []int64{42, -7, 100, 0, 13}
+	for _, k := range keys {
+		tr.Insert(k, int(k))
+	}
+	if mn, _ := tr.Min(); mn != -7 {
+		t.Fatalf("Min = %d", mn)
+	}
+	if mx, _ := tr.Max(); mx != 100 {
+		t.Fatalf("Max = %d", mx)
+	}
+	got := tr.Keys()
+	want := append([]int64(nil), keys...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(got) != len(want) {
+		t.Fatalf("Keys = %v", got)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Keys = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := New[int]()
+	for i := int64(0); i < 10; i++ {
+		tr.Insert(i, int(i))
+	}
+	var seen []int64
+	tr.Ascend(func(k int64, _ int) bool {
+		seen = append(seen, k)
+		return k < 4
+	})
+	// fn(4) returns false, so traversal stops with seen = 0,1,2,3,4.
+	if seen[len(seen)-1] != 4 || len(seen) != 5 {
+		t.Fatalf("seen = %v, want stop after key 4", seen)
+	}
+}
+
+// TestRandomAgainstModel drives insert/delete randomly, checking responses
+// against a map model and re-validating the red-black invariants.
+func TestRandomAgainstModel(t *testing.T) {
+	tr := New[int64]()
+	model := map[int64]int64{}
+	r := rand.New(rand.NewPCG(3, 4))
+	for i := 0; i < 30000; i++ {
+		k := int64(r.IntN(512))
+		if r.IntN(2) == 0 {
+			_, existed := model[k]
+			if isNew := tr.Insert(k, k*10); isNew == existed {
+				t.Fatalf("op %d: Insert(%d) new=%v, model existed=%v", i, k, isNew, existed)
+			}
+			model[k] = k * 10
+		} else {
+			wantV, existed := model[k]
+			v, ok := tr.Delete(k)
+			if ok != existed || (ok && v != wantV) {
+				t.Fatalf("op %d: Delete(%d) = %v,%v; model %v,%v", i, k, v, ok, wantV, existed)
+			}
+			delete(model, k)
+		}
+		if i%2000 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+		}
+	}
+	if tr.Len() != len(model) {
+		t.Fatalf("Len = %d, model = %d", tr.Len(), len(model))
+	}
+	for k, v := range model {
+		got, ok := tr.Get(k)
+		if !ok || got != v {
+			t.Fatalf("Get(%d) = %v,%v; want %v", k, got, ok, v)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickInsertDeleteBalanced property: any random key multiset inserted
+// then half-deleted preserves the invariants.
+func TestQuickInsertDeleteBalanced(t *testing.T) {
+	f := func(keys []int64) bool {
+		tr := New[struct{}]()
+		for _, k := range keys {
+			tr.Insert(k, struct{}{})
+		}
+		if tr.CheckInvariants() != nil {
+			return false
+		}
+		for i, k := range keys {
+			if i%2 == 0 {
+				tr.Delete(k)
+			}
+		}
+		return tr.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyncConcurrentMixed(t *testing.T) {
+	s := NewSync[int]()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := rand.New(rand.NewPCG(uint64(g), 5))
+			for i := 0; i < 3000; i++ {
+				k := int64(r.IntN(256))
+				switch r.IntN(3) {
+				case 0:
+					s.Insert(k, int(k))
+				case 1:
+					s.Delete(k)
+				default:
+					s.Contains(k)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	keys := s.Keys()
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Fatalf("keys not sorted: %v", keys)
+	}
+	_ = s.Len()
+	if v, ok := s.Get(keys[0]); ok && v != int(keys[0]) {
+		t.Fatalf("Get(%d) = %d", keys[0], v)
+	}
+}
+
+func BenchmarkInsertDelete(b *testing.B) {
+	tr := New[int]()
+	r := rand.New(rand.NewPCG(1, 1))
+	for i := 0; i < b.N; i++ {
+		k := int64(r.IntN(1 << 16))
+		if i%2 == 0 {
+			tr.Insert(k, i)
+		} else {
+			tr.Delete(k)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package rbtree
+
+import "sync"
+
+// Sync wraps a Tree with a single mutex, the Go analogue of making every
+// method synchronized in Java. The result is a linearizable base object with
+// no thread-level concurrency — exactly how the paper prepares the
+// sequential red-black tree for boosting ("we made all the sequential
+// methods synchronized, yielding a linearizable base type").
+type Sync[V any] struct {
+	mu   sync.Mutex
+	tree *Tree[V]
+}
+
+// NewSync returns an empty synchronized tree.
+func NewSync[V any]() *Sync[V] {
+	return &Sync[V]{tree: New[V]()}
+}
+
+// Put stores val under key, returning the previous value and whether the key
+// existed.
+func (s *Sync[V]) Put(key int64, val V) (V, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tree.Put(key, val)
+}
+
+// Insert stores val under key, reporting whether the key is new.
+func (s *Sync[V]) Insert(key int64, val V) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tree.Insert(key, val)
+}
+
+// Delete removes key, returning its value and whether it was present.
+func (s *Sync[V]) Delete(key int64) (V, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tree.Delete(key)
+}
+
+// Get returns the value stored under key.
+func (s *Sync[V]) Get(key int64) (V, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tree.Get(key)
+}
+
+// Contains reports whether key is present.
+func (s *Sync[V]) Contains(key int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tree.Contains(key)
+}
+
+// Len returns the number of keys.
+func (s *Sync[V]) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tree.Len()
+}
+
+// Keys returns all keys in ascending order.
+func (s *Sync[V]) Keys() []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tree.Keys()
+}
+
+// CheckInvariants verifies the red-black properties.
+func (s *Sync[V]) CheckInvariants() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tree.CheckInvariants()
+}

@@ -1,0 +1,190 @@
+package rwstm
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"tboost/internal/stm"
+)
+
+func TestEagerWriteVisibleOnlyAfterCommit(t *testing.T) {
+	v := NewVarEager(1)
+	sys := newSys()
+	if err := sys.Atomic(func(tx *stm.Tx) error {
+		v.Write(tx, 2)
+		if v.Read(tx) != 2 {
+			t.Error("read-own-write failed on eager var")
+		}
+		if v.ReadDirect() != 1 {
+			t.Error("eager write published before commit")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if v.ReadDirect() != 2 {
+		t.Fatal("commit did not publish")
+	}
+}
+
+func TestEagerOwnershipBlocksReaders(t *testing.T) {
+	// While an eager writer holds ownership (e.g. during think time),
+	// any reader must abort — the DSTM2 false-conflict behaviour.
+	v := NewVarEager(1)
+	sys := stm.NewSystem(stm.Config{MaxRetries: 2})
+	owned := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- sys.Atomic(func(tx *stm.Tx) error {
+			v.Write(tx, 2)
+			close(owned)
+			<-release // think time with ownership held
+			return nil
+		})
+	}()
+	<-owned
+	err := sys.Atomic(func(tx *stm.Tx) error {
+		v.Read(tx)
+		return nil
+	})
+	if !errors.Is(err, stm.ErrTooManyRetries) {
+		t.Fatalf("reader against eager owner: %v, want retries exhausted", err)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEagerWriterSeizesAndDoomsOwner(t *testing.T) {
+	// Obstruction-freedom: a later writer takes ownership immediately and
+	// dooms the current owner, who discovers it at commit — after its
+	// think time was wasted.
+	v := NewVarEager(1)
+	sys := newSys()
+	owned := make(chan struct{})
+	seized := make(chan struct{})
+	attempts := 0
+	done := make(chan error, 1)
+	go func() {
+		done <- sys.Atomic(func(tx *stm.Tx) error {
+			attempts++
+			v.Write(tx, 2)
+			if attempts == 1 {
+				close(owned)
+				<-seized // "think time" while doomed
+			}
+			return nil
+		})
+	}()
+	<-owned
+	// Seizing writer proceeds immediately (no waiting) and commits.
+	if err := sys.Atomic(func(tx *stm.Tx) error {
+		v.Write(tx, 3)
+		return nil
+	}); err != nil {
+		t.Fatalf("seizing writer failed: %v", err)
+	}
+	if v.ReadDirect() != 3 {
+		t.Fatalf("seizer's value not committed: %d", v.ReadDirect())
+	}
+	close(seized)
+	// The doomed first writer aborts, retries, and eventually commits.
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if attempts < 2 {
+		t.Fatalf("doomed owner committed on first attempt (attempts=%d)", attempts)
+	}
+	if v.ReadDirect() != 2 {
+		t.Fatalf("final = %d, want retried writer's 2", v.ReadDirect())
+	}
+}
+
+func TestEagerAbortReleasesOwnership(t *testing.T) {
+	v := NewVarEager(1)
+	sys := newSys()
+	boom := errors.New("boom")
+	_ = sys.Atomic(func(tx *stm.Tx) error {
+		v.Write(tx, 99)
+		return boom
+	})
+	if v.ReadDirect() != 1 {
+		t.Fatalf("aborted eager write leaked: %d", v.ReadDirect())
+	}
+	// Ownership must be free again: a fresh writer succeeds immediately.
+	if err := sys.Atomic(func(tx *stm.Tx) error {
+		v.Write(tx, 5)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if v.ReadDirect() != 5 {
+		t.Fatal("post-abort write lost")
+	}
+}
+
+func TestEagerDoubleWriteSingleAcquisition(t *testing.T) {
+	v := NewVarEager(1)
+	sys := newSys()
+	if err := sys.Atomic(func(tx *stm.Tx) error {
+		v.Write(tx, 2)
+		v.Write(tx, 3) // second write must not re-acquire (or deadlock)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if v.ReadDirect() != 3 {
+		t.Fatalf("final = %d", v.ReadDirect())
+	}
+	if v.Version() == 0 {
+		t.Fatal("version not bumped")
+	}
+}
+
+func TestEagerLostUpdatePrevented(t *testing.T) {
+	v := NewVarEager(0)
+	sys := stm.NewSystem(stm.Config{LockTimeout: 20 * time.Millisecond})
+	var wg sync.WaitGroup
+	const goroutines = 8
+	const perG = 300
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				err := sys.Atomic(func(tx *stm.Tx) error {
+					v.Write(tx, v.Read(tx)+1)
+					return nil
+				})
+				if err != nil {
+					t.Errorf("Atomic: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := v.ReadDirect(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestEagerMixedWithLazyVars(t *testing.T) {
+	e := NewVarEager(1)
+	l := NewVar(10)
+	sys := newSys()
+	if err := sys.Atomic(func(tx *stm.Tx) error {
+		e.Write(tx, e.Read(tx)+l.Read(tx))
+		l.Write(tx, 20)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if e.ReadDirect() != 11 || l.ReadDirect() != 20 {
+		t.Fatalf("finals = %d, %d", e.ReadDirect(), l.ReadDirect())
+	}
+}

@@ -1,0 +1,281 @@
+// Package rwstm implements a read/write-conflict software transactional
+// memory in the TL2 style: per-variable versioned locks, a global version
+// clock, commit-time write-back, and read-set validation.
+//
+// It is the repository's stand-in for DSTM2's "shadow factory" baseline in
+// the paper's Figure 9 experiment: every transactional write allocates a
+// shadow copy of the value, and conflicts are detected from raw read/write
+// sets with no knowledge of object semantics. False conflicts — two
+// transactions touching disjoint abstract state through overlapping memory —
+// abort transactions here exactly as they do in DSTM2, which is the effect
+// boosting eliminates.
+//
+// The package integrates with the stm runtime through extension slots and
+// the OnValidate hook, so boosted objects and rwstm objects can in principle
+// coexist inside one transaction.
+package rwstm
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"tboost/internal/stm"
+)
+
+// ErrConflict is the abort cause for stale reads, locked-variable
+// encounters, and failed commit-time validation.
+var ErrConflict = errors.New("rwstm: read/write conflict")
+
+// clock is the global version clock (TL2's GV). Versions only need to be
+// monotone, so one process-wide clock serves every transaction space.
+var clock atomic.Uint64
+
+// meta packs (version << 1 | lockBit) into one atomically updated word.
+const lockBit = 1
+
+func packed(version uint64, locked bool) uint64 {
+	m := version << 1
+	if locked {
+		m |= lockBit
+	}
+	return m
+}
+
+func metaVersion(m uint64) uint64 { return m >> 1 }
+func metaLocked(m uint64) bool    { return m&lockBit != 0 }
+
+// tvar is the type-erased view of a Var used by read/write sets.
+type tvar interface {
+	metaWord() *atomic.Uint64
+	writeBack(val any)
+}
+
+// Var is a transactional variable holding a value of type T. Reads and
+// writes inside a transaction are buffered and validated; every committed
+// write installs a fresh shadow copy. Create with NewVar. Vars are
+// word-granularity transactional objects: a struct made of Vars is the
+// Go equivalent of a DSTM2 shadow-factory object.
+//
+// A Var acquires write ownership in one of two modes, fixed at creation:
+//
+//   - Lazy (NewVar): TL2-style. Writes are buffered; ownership is taken
+//     only during the commit protocol, so conflicts are brief.
+//   - Eager (NewVarEager): DSTM2-style obstruction-free acquisition. The
+//     first write claims exclusive ownership immediately; a later writer
+//     *seizes* ownership and dooms the previous owner, which discovers the
+//     doom at its next access or at commit — after its entire transaction,
+//     think time included, has been wasted. Readers encountering an owned
+//     variable abort politely. This is the acquisition discipline of the
+//     paper's shadow-copy baseline, and it is what makes false conflicts so
+//     expensive there. (Publication correctness is still enforced by the
+//     TL2 commit protocol; ownership is a contention-management layer.)
+type Var[T any] struct {
+	meta  atomic.Uint64
+	val   atomic.Pointer[T]
+	owner atomic.Pointer[stm.Tx] // eager mode: current write owner
+	eager bool
+}
+
+// NewVar returns a lazily-acquired Var initialized to val with version 0.
+func NewVar[T any](val T) *Var[T] {
+	v := &Var[T]{}
+	v.val.Store(&val)
+	return v
+}
+
+// NewVarEager returns an eagerly-acquired Var initialized to val.
+func NewVarEager[T any](val T) *Var[T] {
+	v := &Var[T]{eager: true}
+	v.val.Store(&val)
+	return v
+}
+
+func (v *Var[T]) metaWord() *atomic.Uint64 { return &v.meta }
+
+func (v *Var[T]) writeBack(val any) {
+	t := val.(T)
+	v.val.Store(&t)
+}
+
+// Read returns the variable's value as seen by tx, aborting tx on conflict
+// (the variable is locked by a committing writer, owned by an eager writer,
+// or changed since tx began).
+func (v *Var[T]) Read(tx *stm.Tx) T {
+	s := stateOf(tx)
+	if buffered, ok := s.writes[tvar(v)]; ok {
+		return buffered.(T)
+	}
+	if v.eager {
+		if own := v.owner.Load(); own != nil && own != tx {
+			tx.Abort(ErrConflict) // politely yield to the eager writer
+		}
+	}
+	m1 := v.meta.Load()
+	if metaLocked(m1) {
+		tx.Abort(ErrConflict)
+	}
+	val := v.val.Load()
+	m2 := v.meta.Load()
+	if m1 != m2 || metaVersion(m1) > s.readVersion {
+		tx.Abort(ErrConflict)
+	}
+	s.reads = append(s.reads, v)
+	return *val
+}
+
+// Write buffers val as tx's pending update to the variable. The shared
+// variable's value is untouched until commit-time validation succeeds. For
+// an eager Var, the first write additionally acquires exclusive ownership
+// right now, aborting tx if another transaction owns it or has committed a
+// newer version.
+func (v *Var[T]) Write(tx *stm.Tx, val T) {
+	s := stateOf(tx)
+	if v.eager {
+		if _, mine := s.writes[tvar(v)]; !mine {
+			// Obstruction-free seizure: take ownership unconditionally
+			// and doom whoever held it. The victim finds out later and
+			// throws its transaction away.
+			prev := v.owner.Swap(tx)
+			if prev != nil && prev != tx {
+				prev.Doom()
+			}
+			// Relinquish ownership when tx ends — unless someone has
+			// already seized it from us. The undo log covers abort;
+			// ownedClear covers commit.
+			clear := func() { v.owner.CompareAndSwap(tx, nil) }
+			s.ownedClear = append(s.ownedClear, clear)
+			tx.Log(clear)
+		}
+	}
+	s.writes[tvar(v)] = val
+}
+
+// ReadDirect returns the current committed value without any transaction.
+// For initialization, tests and quiescent inspection.
+func (v *Var[T]) ReadDirect() T {
+	return *v.val.Load()
+}
+
+// WriteDirect installs val outside any transaction. It must not race with
+// active transactions; use for initialization only.
+func (v *Var[T]) WriteDirect(val T) {
+	m := v.meta.Load()
+	v.val.Store(&val)
+	v.meta.Store(packed(metaVersion(m)+1, false))
+}
+
+// Version returns the variable's committed version, for tests.
+func (v *Var[T]) Version() uint64 { return metaVersion(v.meta.Load()) }
+
+// txState is the per-transaction rwstm bookkeeping attached via an stm
+// extension slot.
+type txState struct {
+	readVersion uint64
+	reads       []tvar
+	writes      map[tvar]any
+	ownedClear  []func()         // release eager ownerships at commit
+	visible     map[any]struct{} // VisibleVars tx is registered on
+}
+
+type extKey struct{}
+
+// stateOf returns tx's rwstm state, creating it on first use: the read
+// version is sampled from the global clock and the commit-time validation
+// hook is registered.
+func stateOf(tx *stm.Tx) *txState {
+	if s, ok := tx.Ext(extKey{}).(*txState); ok {
+		return s
+	}
+	s := &txState{
+		readVersion: clock.Load(),
+		writes:      make(map[tvar]any, 8),
+	}
+	tx.SetExt(extKey{}, s)
+	tx.OnValidate(func() error { return s.commit(tx) })
+	return s
+}
+
+// commit runs the TL2 commit protocol: lock the write set (try-lock; any
+// failure aborts, so lock acquisition cannot deadlock), pick a write
+// version, validate the read set, write back shadow copies, and release the
+// locks at the new version.
+func (s *txState) commit(tx *stm.Tx) error {
+	// A transaction doomed by a conflicting writer must not commit even if
+	// its reads would still validate (the writer may not have published
+	// yet).
+	if tx.Doomed() {
+		return ErrDoomed
+	}
+	// Read-only fast path: reads were validated individually against
+	// readVersion, and with no writes there is nothing to publish.
+	if len(s.writes) == 0 {
+		return nil
+	}
+
+	locked := make([]tvar, 0, len(s.writes))
+	release := func(version uint64) {
+		for _, v := range locked {
+			v.metaWord().Store(packed(version, false))
+		}
+	}
+	for v := range s.writes {
+		m := v.metaWord().Load()
+		if metaLocked(m) || metaVersion(m) > s.readVersion ||
+			!v.metaWord().CompareAndSwap(m, packed(metaVersion(m), true)) {
+			// Roll back the acquired locks at their prior versions.
+			// Eager ownerships are released by the undo log when the
+			// runtime rolls the transaction back.
+			for _, lv := range locked {
+				lm := lv.metaWord().Load()
+				lv.metaWord().Store(packed(metaVersion(lm), false))
+			}
+			return ErrConflict
+		}
+		locked = append(locked, v)
+	}
+
+	writeVersion := clock.Add(1)
+
+	// Validate the read set: every variable read must still be at a
+	// version tx observed, and not locked by another committer.
+	for _, v := range s.reads {
+		if _, ours := s.writes[v]; ours {
+			continue
+		}
+		m := v.metaWord().Load()
+		if metaLocked(m) || metaVersion(m) > s.readVersion {
+			for _, lv := range locked {
+				lm := lv.metaWord().Load()
+				lv.metaWord().Store(packed(metaVersion(lm), false))
+			}
+			return ErrConflict
+		}
+	}
+
+	for v, val := range s.writes {
+		v.writeBack(val)
+	}
+	release(writeVersion)
+	for _, clear := range s.ownedClear {
+		clear()
+	}
+	return nil
+}
+
+// ReadSetSize reports how many variables tx has read so far. For tests and
+// instrumentation (the paper contrasts per-field logging with per-method
+// logging).
+func ReadSetSize(tx *stm.Tx) int {
+	if s, ok := tx.Ext(extKey{}).(*txState); ok {
+		return len(s.reads)
+	}
+	return 0
+}
+
+// WriteSetSize reports how many variables tx has written so far.
+func WriteSetSize(tx *stm.Tx) int {
+	if s, ok := tx.Ext(extKey{}).(*txState); ok {
+		return len(s.writes)
+	}
+	return 0
+}

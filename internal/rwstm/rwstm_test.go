@@ -1,0 +1,376 @@
+package rwstm
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"tboost/internal/stm"
+)
+
+func newSys() *stm.System {
+	return stm.NewSystem(stm.Config{LockTimeout: 20 * time.Millisecond})
+}
+
+func TestReadInitialValue(t *testing.T) {
+	v := NewVar(42)
+	sys := newSys()
+	var got int
+	if err := sys.Atomic(func(tx *stm.Tx) error {
+		got = v.Read(tx)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("Read = %d", got)
+	}
+}
+
+func TestWriteVisibleAfterCommit(t *testing.T) {
+	v := NewVar("old")
+	sys := newSys()
+	if err := sys.Atomic(func(tx *stm.Tx) error {
+		v.Write(tx, "new")
+		if v.Read(tx) != "new" {
+			t.Error("read-own-write failed")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if v.ReadDirect() != "new" {
+		t.Fatalf("ReadDirect = %q after commit", v.ReadDirect())
+	}
+	if v.Version() == 0 {
+		t.Fatal("version not bumped by commit")
+	}
+}
+
+func TestWriteInvisibleBeforeCommit(t *testing.T) {
+	v := NewVar(1)
+	sys := newSys()
+	inside := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- sys.Atomic(func(tx *stm.Tx) error {
+			v.Write(tx, 99)
+			close(inside)
+			<-release
+			return nil
+		})
+	}()
+	<-inside
+	if v.ReadDirect() != 1 {
+		t.Fatal("uncommitted write leaked to shared memory")
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if v.ReadDirect() != 99 {
+		t.Fatal("commit did not write back")
+	}
+}
+
+func TestAbortDiscardsWrites(t *testing.T) {
+	v := NewVar(1)
+	sys := newSys()
+	err := sys.Atomic(func(tx *stm.Tx) error {
+		v.Write(tx, 2)
+		return errors.New("user abort")
+	})
+	if err == nil {
+		t.Fatal("expected user error")
+	}
+	if v.ReadDirect() != 1 {
+		t.Fatalf("aborted write leaked: %d", v.ReadDirect())
+	}
+}
+
+func TestTwoVarsAtomicSwap(t *testing.T) {
+	a, b := NewVar(1), NewVar(2)
+	sys := newSys()
+	if err := sys.Atomic(func(tx *stm.Tx) error {
+		av, bv := a.Read(tx), b.Read(tx)
+		a.Write(tx, bv)
+		b.Write(tx, av)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if a.ReadDirect() != 2 || b.ReadDirect() != 1 {
+		t.Fatalf("swap failed: a=%d b=%d", a.ReadDirect(), b.ReadDirect())
+	}
+}
+
+func TestStaleReadAborts(t *testing.T) {
+	// A transaction that read v before a concurrent commit must abort when
+	// it reads another variable afterwards (snapshot consistency) or at
+	// validation.
+	v, w := NewVar(1), NewVar(1)
+	sys := newSys()
+	attempts := 0
+	err := sys.Atomic(func(tx *stm.Tx) error {
+		attempts++
+		_ = v.Read(tx)
+		if attempts == 1 {
+			// Concurrent committer bumps w's version beyond our
+			// read version.
+			if err := sys.Atomic(func(tx2 *stm.Tx) error {
+				w.Write(tx2, 2)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		_ = w.Read(tx) // stale on attempt 1 -> abort -> retry
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (stale read must abort)", attempts)
+	}
+}
+
+func TestWriteWriteConflictSerializes(t *testing.T) {
+	// Concurrent increments must not lose updates.
+	v := NewVar(0)
+	sys := newSys()
+	const goroutines = 8
+	const perG = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				err := sys.Atomic(func(tx *stm.Tx) error {
+					v.Write(tx, v.Read(tx)+1)
+					return nil
+				})
+				if err != nil {
+					t.Errorf("Atomic: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := v.ReadDirect(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d (lost updates)", got, goroutines*perG)
+	}
+}
+
+func TestReadOnlyTransactionsNeverAbortQuiescent(t *testing.T) {
+	v := NewVar(7)
+	sys := newSys()
+	for i := 0; i < 100; i++ {
+		if err := sys.Atomic(func(tx *stm.Tx) error {
+			if v.Read(tx) != 7 {
+				t.Error("wrong value")
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := sys.Stats(); st.Aborts != 0 {
+		t.Fatalf("aborts = %d on quiescent reads", st.Aborts)
+	}
+}
+
+func TestBankInvariantUnderContention(t *testing.T) {
+	// Transfers between accounts preserve the total. This is the classic
+	// STM serializability smoke test.
+	const accounts = 8
+	const initial = 100
+	vars := make([]*Var[int], accounts)
+	for i := range vars {
+		vars[i] = NewVar(initial)
+	}
+	sys := newSys()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				from := (g + i) % accounts
+				to := (g + i + 1 + i%3) % accounts
+				if from == to {
+					continue
+				}
+				err := sys.Atomic(func(tx *stm.Tx) error {
+					f := vars[from].Read(tx)
+					if f == 0 {
+						return nil
+					}
+					vars[from].Write(tx, f-1)
+					vars[to].Write(tx, vars[to].Read(tx)+1)
+					return nil
+				})
+				if err != nil {
+					t.Errorf("Atomic: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	total := 0
+	for _, v := range vars {
+		total += v.ReadDirect()
+	}
+	if total != accounts*initial {
+		t.Fatalf("total = %d, want %d (serializability violated)", total, accounts*initial)
+	}
+}
+
+func TestSnapshotConsistencyInvariant(t *testing.T) {
+	// x and y always satisfy x + y == 0 in committed state. Readers must
+	// never observe a violated invariant inside a transaction.
+	x, y := NewVar(0), NewVar(0)
+	sys := newSys()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			i++
+			_ = sys.Atomic(func(tx *stm.Tx) error {
+				x.Write(tx, i)
+				y.Write(tx, -i)
+				return nil
+			})
+		}
+	}()
+	for i := 0; i < 3000; i++ {
+		err := sys.Atomic(func(tx *stm.Tx) error {
+			xv := x.Read(tx)
+			yv := y.Read(tx)
+			if xv+yv != 0 {
+				t.Errorf("observed x=%d y=%d inside transaction", xv, yv)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestValidationFailureCountsInStats(t *testing.T) {
+	v := NewVar(0)
+	sys := newSys()
+	hold := make(chan struct{})
+	started := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- sys.Atomic(func(tx *stm.Tx) error {
+			if tx.Attempt() == 0 {
+				_ = v.Read(tx)
+				close(started)
+				<-hold // concurrent commit invalidates the read
+			}
+			v.Write(tx, v.Read(tx)+100)
+			return nil
+		})
+	}()
+	<-started
+	if err := sys.Atomic(func(tx *stm.Tx) error {
+		v.Write(tx, 5)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	close(hold)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got := v.ReadDirect(); got != 105 {
+		t.Fatalf("final = %d, want 105", got)
+	}
+}
+
+func TestReadWriteSetSizes(t *testing.T) {
+	a, b, c := NewVar(1), NewVar(2), NewVar(3)
+	sys := newSys()
+	_ = sys.Atomic(func(tx *stm.Tx) error {
+		if ReadSetSize(tx) != 0 || WriteSetSize(tx) != 0 {
+			t.Error("fresh tx has nonempty sets")
+		}
+		a.Read(tx)
+		b.Read(tx)
+		c.Write(tx, 4)
+		if ReadSetSize(tx) != 2 {
+			t.Errorf("ReadSetSize = %d, want 2", ReadSetSize(tx))
+		}
+		if WriteSetSize(tx) != 1 {
+			t.Errorf("WriteSetSize = %d, want 1", WriteSetSize(tx))
+		}
+		return nil
+	})
+}
+
+func TestWriteDirect(t *testing.T) {
+	v := NewVar(1)
+	before := v.Version()
+	v.WriteDirect(9)
+	if v.ReadDirect() != 9 {
+		t.Fatal("WriteDirect lost")
+	}
+	if v.Version() <= before {
+		t.Fatal("WriteDirect did not bump version")
+	}
+}
+
+func TestManyVarsLowContentionFewAborts(t *testing.T) {
+	// Disjoint variables: almost no aborts expected even under concurrency.
+	const n = 256
+	vars := make([]*Var[int], n)
+	for i := range vars {
+		vars[i] = NewVar(0)
+	}
+	sys := newSys()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				slot := (g*n/4 + i%(n/4)) // per-goroutine partition
+				_ = sys.Atomic(func(tx *stm.Tx) error {
+					vars[slot].Write(tx, vars[slot].Read(tx)+1)
+					return nil
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	total := 0
+	for _, v := range vars {
+		total += v.ReadDirect()
+	}
+	if total != 4*500 {
+		t.Fatalf("total = %d, want %d", total, 4*500)
+	}
+	if st := sys.Stats(); st.Aborts > 10 {
+		t.Fatalf("aborts = %d on disjoint vars, want ~0", st.Aborts)
+	}
+}

@@ -1,0 +1,107 @@
+package rwstm
+
+import (
+	"errors"
+	"sync"
+
+	"tboost/internal/stm"
+)
+
+// ErrDoomed is the abort cause when a transaction was asynchronously aborted
+// by a conflicting writer (the DSTM2 contention-management pattern).
+var ErrDoomed = errors.New("rwstm: transaction doomed by conflicting writer")
+
+// VisibleVar is a transactional variable in DSTM2's default discipline:
+// eager write acquisition (first write takes exclusive ownership until
+// commit or abort) plus *visible readers* — every reading transaction
+// registers itself on the variable, and a writer acquiring the variable
+// dooms all registered readers.
+//
+// This is the fidelity point for the paper's Figure 9 baseline: with reads
+// visible and writes eager, any update near the root of the shadow tree
+// aborts every transaction whose traversal passed through it, even ones
+// touching disjoint keys, and each such abort throws away the victim's
+// entire transaction (including its think time). The boosted tree's
+// method-granularity locks eliminate exactly this wasted work.
+type VisibleVar[T any] struct {
+	Var[T]
+	rmu     sync.Mutex
+	readers map[*stm.Tx]struct{}
+}
+
+// NewVisibleVar returns a visible-reader, eager-writer Var initialized to
+// val.
+func NewVisibleVar[T any](val T) *VisibleVar[T] {
+	v := &VisibleVar[T]{readers: make(map[*stm.Tx]struct{}, 4)}
+	v.eager = true
+	v.val.Store(&val)
+	return v
+}
+
+// Read returns the variable's value as seen by tx, registering tx as a
+// visible reader. If a writer owns the variable, or tx has been doomed by
+// one, tx aborts.
+func (v *VisibleVar[T]) Read(tx *stm.Tx) T {
+	if tx.Doomed() {
+		tx.Abort(ErrDoomed)
+	}
+	s := stateOf(tx)
+	if buffered, ok := s.writes[tvar(&v.Var)]; ok {
+		return buffered.(T)
+	}
+	if !s.isVisibleReader(v) {
+		v.rmu.Lock()
+		if own := v.owner.Load(); own != nil && own != tx {
+			v.rmu.Unlock()
+			tx.Abort(ErrConflict) // a writer owns it
+		}
+		v.readers[tx] = struct{}{}
+		v.rmu.Unlock()
+		s.addVisibleReader(v)
+		// Deregister whichever way the transaction ends.
+		unregister := func() {
+			v.rmu.Lock()
+			delete(v.readers, tx)
+			v.rmu.Unlock()
+		}
+		tx.AtCommit(unregister)
+		tx.Log(unregister)
+	}
+	return v.Var.Read(tx)
+}
+
+// Write buffers val and eagerly acquires exclusive ownership on first
+// write, dooming every other visible reader of the variable.
+func (v *VisibleVar[T]) Write(tx *stm.Tx, val T) {
+	if tx.Doomed() {
+		tx.Abort(ErrDoomed)
+	}
+	s := stateOf(tx)
+	_, mine := s.writes[tvar(&v.Var)]
+	v.Var.Write(tx, val) // eager acquisition (aborts tx on conflict)
+	if !mine {
+		// Ownership acquired: abort the visible readers.
+		v.rmu.Lock()
+		for r := range v.readers {
+			if r != tx {
+				r.Doom()
+			}
+		}
+		v.rmu.Unlock()
+	}
+}
+
+func (s *txState) isVisibleReader(v any) bool {
+	if s.visible == nil {
+		return false
+	}
+	_, ok := s.visible[v]
+	return ok
+}
+
+func (s *txState) addVisibleReader(v any) {
+	if s.visible == nil {
+		s.visible = make(map[any]struct{}, 8)
+	}
+	s.visible[v] = struct{}{}
+}

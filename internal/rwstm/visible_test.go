@@ -1,0 +1,198 @@
+package rwstm
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tboost/internal/stm"
+)
+
+func TestVisibleVarBasicReadWrite(t *testing.T) {
+	v := NewVisibleVar(1)
+	sys := newSys()
+	if err := sys.Atomic(func(tx *stm.Tx) error {
+		if v.Read(tx) != 1 {
+			t.Error("Read != 1")
+		}
+		v.Write(tx, 2)
+		if v.Read(tx) != 2 {
+			t.Error("read-own-write failed")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if v.ReadDirect() != 2 {
+		t.Fatal("write not published")
+	}
+}
+
+func TestVisibleWriterDoomsReaders(t *testing.T) {
+	v := NewVisibleVar(1)
+	sys := newSys()
+	readerIn := make(chan struct{})
+	readerGo := make(chan struct{})
+	attempts := 0
+	done := make(chan error, 1)
+	go func() {
+		done <- sys.Atomic(func(tx *stm.Tx) error {
+			attempts++
+			_ = v.Read(tx)
+			if attempts == 1 {
+				close(readerIn)
+				<-readerGo // think time as a registered visible reader
+			}
+			return nil
+		})
+	}()
+	<-readerIn
+	// Writer dooms the sleeping reader and commits immediately.
+	if err := sys.Atomic(func(tx *stm.Tx) error {
+		v.Write(tx, 2)
+		return nil
+	}); err != nil {
+		t.Fatalf("writer failed: %v", err)
+	}
+	close(readerGo)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if attempts < 2 {
+		t.Fatalf("doomed reader committed first try (attempts=%d)", attempts)
+	}
+}
+
+func TestVisibleReaderAbortsAgainstOwner(t *testing.T) {
+	v := NewVisibleVar(1)
+	sys := stm.NewSystem(stm.Config{MaxRetries: 2})
+	owned := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- sys.Atomic(func(tx *stm.Tx) error {
+			v.Write(tx, 2)
+			close(owned)
+			<-release
+			return nil
+		})
+	}()
+	<-owned
+	err := sys.Atomic(func(tx *stm.Tx) error {
+		v.Read(tx)
+		return nil
+	})
+	if !errors.Is(err, stm.ErrTooManyRetries) {
+		t.Fatalf("reader against owner: %v", err)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVisibleReaderDeregisteredOnCommitAndAbort(t *testing.T) {
+	v := NewVisibleVar(1)
+	sys := newSys()
+	// Commit path.
+	if err := sys.Atomic(func(tx *stm.Tx) error {
+		v.Read(tx)
+		v.Read(tx) // second read must not re-register
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	v.rmu.Lock()
+	n := len(v.readers)
+	v.rmu.Unlock()
+	if n != 0 {
+		t.Fatalf("readers after commit = %d, want 0", n)
+	}
+	// Abort path.
+	boom := errors.New("boom")
+	_ = sys.Atomic(func(tx *stm.Tx) error {
+		v.Read(tx)
+		return boom
+	})
+	v.rmu.Lock()
+	n = len(v.readers)
+	v.rmu.Unlock()
+	if n != 0 {
+		t.Fatalf("readers after abort = %d, want 0", n)
+	}
+}
+
+func TestVisibleReadersDoNotDoomEachOther(t *testing.T) {
+	v := NewVisibleVar(7)
+	sys := newSys()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+					if v.Read(tx) != 7 {
+						t.Error("wrong value")
+					}
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if st := sys.Stats(); st.Aborts != 0 {
+		t.Fatalf("read-only visible transactions aborted %d times", st.Aborts)
+	}
+}
+
+func TestVisibleOwnWriteThenReadDoesNotSelfDoom(t *testing.T) {
+	v := NewVisibleVar(1)
+	sys := newSys()
+	if err := sys.Atomic(func(tx *stm.Tx) error {
+		v.Write(tx, 5)
+		if v.Read(tx) != 5 {
+			t.Error("own write invisible")
+		}
+		v.Write(tx, 6) // second write must not doom self
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if v.ReadDirect() != 6 {
+		t.Fatalf("final = %d", v.ReadDirect())
+	}
+}
+
+func TestVisibleLostUpdatePrevented(t *testing.T) {
+	// Even with doom-storms, read-modify-write counters must not lose
+	// updates (correctness comes from TL2 validation, not ownership).
+	v := NewVisibleVar(0)
+	sys := stm.NewSystem(stm.Config{LockTimeout: 50 * time.Millisecond})
+	var wg sync.WaitGroup
+	const goroutines = 4
+	const perG = 200
+	var committed atomic.Int64
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				err := sys.Atomic(func(tx *stm.Tx) error {
+					v.Write(tx, v.Read(tx)+1)
+					return nil
+				})
+				if err != nil {
+					t.Errorf("Atomic: %v", err)
+					return
+				}
+				committed.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := v.ReadDirect(); int64(got) != committed.Load() {
+		t.Fatalf("counter = %d, committed = %d (lost update)", got, committed.Load())
+	}
+}

@@ -1,0 +1,10 @@
+package shadowtree
+
+import (
+	"tboost/internal/rwstm"
+	"tboost/internal/stm"
+)
+
+// readSetProbe exposes the rwstm read-set size for assertions about
+// per-field logging overhead.
+func readSetProbe(tx *stm.Tx) int { return rwstm.ReadSetSize(tx) }

@@ -1,0 +1,408 @@
+// Package shadowtree implements a red-black tree whose every node field is a
+// transactional variable (rwstm.Var). It is the Figure 9 baseline: the same
+// sequential red-black tree as package rbtree, but run through a read/write-
+// conflict STM — the Go equivalent of applying DSTM2's shadow factory to the
+// sequential code, so that "each access to each field of each tree node
+// requires synchronization overhead, and each first write access copies the
+// node".
+//
+// Any two transactions whose traversals overlap near the root conflict here
+// even when they touch disjoint keys; that false-conflict abort traffic is
+// precisely what the boosted tree avoids.
+package shadowtree
+
+import (
+	"fmt"
+
+	"tboost/internal/rwstm"
+	"tboost/internal/stm"
+)
+
+type color bool
+
+const (
+	red   color = false
+	black color = true
+)
+
+type node[V any] struct {
+	key                 int64 // immutable once linked
+	val                 *rwstm.VisibleVar[V]
+	left, right, parent *rwstm.VisibleVar[*node[V]]
+	color               *rwstm.VisibleVar[color]
+}
+
+func newNode[V any](key int64, val V, nilN *node[V], c color) *node[V] {
+	return &node[V]{
+		key:    key,
+		val:    rwstm.NewVisibleVar(val),
+		left:   rwstm.NewVisibleVar(nilN),
+		right:  rwstm.NewVisibleVar(nilN),
+		parent: rwstm.NewVisibleVar(nilN),
+		color:  rwstm.NewVisibleVar(c),
+	}
+}
+
+// Tree is a transactional ordered map from int64 to V on the rwstm baseline.
+// All operations must run inside stm.Atomic. Create with New.
+type Tree[V any] struct {
+	root *rwstm.VisibleVar[*node[V]]
+	nil_ *node[V]
+	size *rwstm.VisibleVar[int]
+}
+
+// New returns an empty tree.
+func New[V any]() *Tree[V] {
+	sentinel := &node[V]{}
+	var zero V
+	sentinel.val = rwstm.NewVisibleVar(zero)
+	sentinel.left = rwstm.NewVisibleVar[*node[V]](nil)
+	sentinel.right = rwstm.NewVisibleVar[*node[V]](nil)
+	sentinel.parent = rwstm.NewVisibleVar[*node[V]](nil)
+	sentinel.color = rwstm.NewVisibleVar(black)
+	return &Tree[V]{
+		root: rwstm.NewVisibleVar(sentinel),
+		nil_: sentinel,
+		size: rwstm.NewVisibleVar(0),
+	}
+}
+
+// Len returns the number of keys as seen by tx.
+func (t *Tree[V]) Len(tx *stm.Tx) int { return t.size.Read(tx) }
+
+// Get returns the value stored under key as seen by tx.
+func (t *Tree[V]) Get(tx *stm.Tx, key int64) (V, bool) {
+	n := t.root.Read(tx)
+	for n != t.nil_ {
+		switch {
+		case key < n.key:
+			n = n.left.Read(tx)
+		case key > n.key:
+			n = n.right.Read(tx)
+		default:
+			return n.val.Read(tx), true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Contains reports whether key is present as seen by tx.
+func (t *Tree[V]) Contains(tx *stm.Tx, key int64) bool {
+	_, ok := t.Get(tx, key)
+	return ok
+}
+
+// Insert stores val under key, reporting whether the key is new.
+func (t *Tree[V]) Insert(tx *stm.Tx, key int64, val V) bool {
+	parent := t.nil_
+	n := t.root.Read(tx)
+	for n != t.nil_ {
+		parent = n
+		switch {
+		case key < n.key:
+			n = n.left.Read(tx)
+		case key > n.key:
+			n = n.right.Read(tx)
+		default:
+			n.val.Write(tx, val)
+			return false
+		}
+	}
+	fresh := newNode(key, val, t.nil_, red)
+	fresh.parent.Write(tx, parent)
+	switch {
+	case parent == t.nil_:
+		t.root.Write(tx, fresh)
+	case key < parent.key:
+		parent.left.Write(tx, fresh)
+	default:
+		parent.right.Write(tx, fresh)
+	}
+	t.size.Write(tx, t.size.Read(tx)+1)
+	t.insertFixup(tx, fresh)
+	return true
+}
+
+func (t *Tree[V]) rotateLeft(tx *stm.Tx, x *node[V]) {
+	y := x.right.Read(tx)
+	yl := y.left.Read(tx)
+	x.right.Write(tx, yl)
+	if yl != t.nil_ {
+		yl.parent.Write(tx, x)
+	}
+	xp := x.parent.Read(tx)
+	y.parent.Write(tx, xp)
+	switch {
+	case xp == t.nil_:
+		t.root.Write(tx, y)
+	case x == xp.left.Read(tx):
+		xp.left.Write(tx, y)
+	default:
+		xp.right.Write(tx, y)
+	}
+	y.left.Write(tx, x)
+	x.parent.Write(tx, y)
+}
+
+func (t *Tree[V]) rotateRight(tx *stm.Tx, x *node[V]) {
+	y := x.left.Read(tx)
+	yr := y.right.Read(tx)
+	x.left.Write(tx, yr)
+	if yr != t.nil_ {
+		yr.parent.Write(tx, x)
+	}
+	xp := x.parent.Read(tx)
+	y.parent.Write(tx, xp)
+	switch {
+	case xp == t.nil_:
+		t.root.Write(tx, y)
+	case x == xp.right.Read(tx):
+		xp.right.Write(tx, y)
+	default:
+		xp.left.Write(tx, y)
+	}
+	y.right.Write(tx, x)
+	x.parent.Write(tx, y)
+}
+
+func (t *Tree[V]) insertFixup(tx *stm.Tx, z *node[V]) {
+	for z.parent.Read(tx).color.Read(tx) == red {
+		zp := z.parent.Read(tx)
+		zpp := zp.parent.Read(tx)
+		if zp == zpp.left.Read(tx) {
+			uncle := zpp.right.Read(tx)
+			if uncle.color.Read(tx) == red {
+				zp.color.Write(tx, black)
+				uncle.color.Write(tx, black)
+				zpp.color.Write(tx, red)
+				z = zpp
+			} else {
+				if z == zp.right.Read(tx) {
+					z = zp
+					t.rotateLeft(tx, z)
+					zp = z.parent.Read(tx)
+					zpp = zp.parent.Read(tx)
+				}
+				zp.color.Write(tx, black)
+				zpp.color.Write(tx, red)
+				t.rotateRight(tx, zpp)
+			}
+		} else {
+			uncle := zpp.left.Read(tx)
+			if uncle.color.Read(tx) == red {
+				zp.color.Write(tx, black)
+				uncle.color.Write(tx, black)
+				zpp.color.Write(tx, red)
+				z = zpp
+			} else {
+				if z == zp.left.Read(tx) {
+					z = zp
+					t.rotateRight(tx, z)
+					zp = z.parent.Read(tx)
+					zpp = zp.parent.Read(tx)
+				}
+				zp.color.Write(tx, black)
+				zpp.color.Write(tx, red)
+				t.rotateLeft(tx, zpp)
+			}
+		}
+	}
+	t.root.Read(tx).color.Write(tx, black)
+}
+
+// Delete removes key, returning its value and whether it was present.
+func (t *Tree[V]) Delete(tx *stm.Tx, key int64) (V, bool) {
+	var zero V
+	z := t.root.Read(tx)
+	for z != t.nil_ && z.key != key {
+		if key < z.key {
+			z = z.left.Read(tx)
+		} else {
+			z = z.right.Read(tx)
+		}
+	}
+	if z == t.nil_ {
+		return zero, false
+	}
+	val := z.val.Read(tx)
+	t.deleteNode(tx, z)
+	t.size.Write(tx, t.size.Read(tx)-1)
+	return val, true
+}
+
+func (t *Tree[V]) minimum(tx *stm.Tx, n *node[V]) *node[V] {
+	for l := n.left.Read(tx); l != t.nil_; l = n.left.Read(tx) {
+		n = l
+	}
+	return n
+}
+
+func (t *Tree[V]) transplant(tx *stm.Tx, u, v *node[V]) {
+	up := u.parent.Read(tx)
+	switch {
+	case up == t.nil_:
+		t.root.Write(tx, v)
+	case u == up.left.Read(tx):
+		up.left.Write(tx, v)
+	default:
+		up.right.Write(tx, v)
+	}
+	v.parent.Write(tx, up)
+}
+
+func (t *Tree[V]) deleteNode(tx *stm.Tx, z *node[V]) {
+	y := z
+	yOriginal := y.color.Read(tx)
+	var x *node[V]
+	zl, zr := z.left.Read(tx), z.right.Read(tx)
+	switch {
+	case zl == t.nil_:
+		x = zr
+		t.transplant(tx, z, zr)
+	case zr == t.nil_:
+		x = zl
+		t.transplant(tx, z, zl)
+	default:
+		y = t.minimum(tx, zr)
+		yOriginal = y.color.Read(tx)
+		x = y.right.Read(tx)
+		if y.parent.Read(tx) == z {
+			x.parent.Write(tx, y)
+		} else {
+			t.transplant(tx, y, x)
+			y.right.Write(tx, zr)
+			zr.parent.Write(tx, y)
+		}
+		t.transplant(tx, z, y)
+		zl = z.left.Read(tx)
+		y.left.Write(tx, zl)
+		zl.parent.Write(tx, y)
+		y.color.Write(tx, z.color.Read(tx))
+	}
+	if yOriginal == black {
+		t.deleteFixup(tx, x)
+	}
+}
+
+func (t *Tree[V]) deleteFixup(tx *stm.Tx, x *node[V]) {
+	for x != t.root.Read(tx) && x.color.Read(tx) == black {
+		xp := x.parent.Read(tx)
+		if x == xp.left.Read(tx) {
+			w := xp.right.Read(tx)
+			if w.color.Read(tx) == red {
+				w.color.Write(tx, black)
+				xp.color.Write(tx, red)
+				t.rotateLeft(tx, xp)
+				xp = x.parent.Read(tx)
+				w = xp.right.Read(tx)
+			}
+			if w.left.Read(tx).color.Read(tx) == black && w.right.Read(tx).color.Read(tx) == black {
+				w.color.Write(tx, red)
+				x = xp
+			} else {
+				if w.right.Read(tx).color.Read(tx) == black {
+					w.left.Read(tx).color.Write(tx, black)
+					w.color.Write(tx, red)
+					t.rotateRight(tx, w)
+					xp = x.parent.Read(tx)
+					w = xp.right.Read(tx)
+				}
+				w.color.Write(tx, xp.color.Read(tx))
+				xp.color.Write(tx, black)
+				w.right.Read(tx).color.Write(tx, black)
+				t.rotateLeft(tx, xp)
+				x = t.root.Read(tx)
+			}
+		} else {
+			w := xp.left.Read(tx)
+			if w.color.Read(tx) == red {
+				w.color.Write(tx, black)
+				xp.color.Write(tx, red)
+				t.rotateRight(tx, xp)
+				xp = x.parent.Read(tx)
+				w = xp.left.Read(tx)
+			}
+			if w.right.Read(tx).color.Read(tx) == black && w.left.Read(tx).color.Read(tx) == black {
+				w.color.Write(tx, red)
+				x = xp
+			} else {
+				if w.left.Read(tx).color.Read(tx) == black {
+					w.right.Read(tx).color.Write(tx, black)
+					w.color.Write(tx, red)
+					t.rotateLeft(tx, w)
+					xp = x.parent.Read(tx)
+					w = xp.left.Read(tx)
+				}
+				w.color.Write(tx, xp.color.Read(tx))
+				xp.color.Write(tx, black)
+				w.left.Read(tx).color.Write(tx, black)
+				t.rotateRight(tx, xp)
+				x = t.root.Read(tx)
+			}
+		}
+	}
+	x.color.Write(tx, black)
+}
+
+// Keys returns all keys in ascending order, reading committed state
+// directly. For quiescent use (tests, verification) only.
+func (t *Tree[V]) Keys() []int64 {
+	var out []int64
+	var walk func(n *node[V])
+	walk = func(n *node[V]) {
+		if n == t.nil_ || n == nil {
+			return
+		}
+		walk(n.left.ReadDirect())
+		out = append(out, n.key)
+		walk(n.right.ReadDirect())
+	}
+	walk(t.root.ReadDirect())
+	return out
+}
+
+// CheckInvariants verifies the red-black properties on committed state.
+// For quiescent use only.
+func (t *Tree[V]) CheckInvariants() error {
+	root := t.root.ReadDirect()
+	if root.color.ReadDirect() != black {
+		return fmt.Errorf("shadowtree: root is red")
+	}
+	_, err := t.check(root, nil, nil)
+	return err
+}
+
+func (t *Tree[V]) check(n *node[V], lo, hi *int64) (int, error) {
+	if n == t.nil_ || n == nil {
+		return 1, nil
+	}
+	if lo != nil && n.key <= *lo {
+		return 0, fmt.Errorf("shadowtree: key %d violates BST order (min %d)", n.key, *lo)
+	}
+	if hi != nil && n.key >= *hi {
+		return 0, fmt.Errorf("shadowtree: key %d violates BST order (max %d)", n.key, *hi)
+	}
+	c := n.color.ReadDirect()
+	l, r := n.left.ReadDirect(), n.right.ReadDirect()
+	if c == red {
+		if (l != t.nil_ && l.color.ReadDirect() == red) || (r != t.nil_ && r.color.ReadDirect() == red) {
+			return 0, fmt.Errorf("shadowtree: red node %d has red child", n.key)
+		}
+	}
+	lh, err := t.check(l, lo, &n.key)
+	if err != nil {
+		return 0, err
+	}
+	rh, err := t.check(r, &n.key, hi)
+	if err != nil {
+		return 0, err
+	}
+	if lh != rh {
+		return 0, fmt.Errorf("shadowtree: black-height mismatch at %d", n.key)
+	}
+	if c == black {
+		lh++
+	}
+	return lh, nil
+}

@@ -1,0 +1,120 @@
+package skiplist
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// dumpBottom walks the bottom level raw (no helping) and reports every node
+// with its mark state. Diagnostic helper for linearizability failures.
+func (s *Set) dumpBottom() string {
+	var b strings.Builder
+	ref := s.head.next[0].Load()
+	for ref.n.sentinel != 1 {
+		next := ref.n.next[0].Load()
+		fmt.Fprintf(&b, "%d(h=%d,marked=%v) ", ref.n.key, len(ref.n.next), next.marked)
+		ref = next
+	}
+	return b.String()
+}
+
+// findRaw reports whether an unmarked node with key exists at the bottom
+// level, walking raw without helping.
+func (s *Set) findRaw(key int64) bool {
+	ref := s.head.next[0].Load()
+	for ref.n.sentinel != 1 {
+		next := ref.n.next[0].Load()
+		if ref.n.key == key && ref.n.sentinel == 0 && !next.marked {
+			return true
+		}
+		ref = next
+	}
+	return false
+}
+
+// TestHuntAlternationBug is the regression test for a subtle helping bug:
+// find()'s snip used instance-identity CAS only, so when the predecessor
+// itself was deleted mid-traversal, the snip would install a fresh
+// *unmarked* link into the dead predecessor's frozen pointer — resurrecting
+// it and losing any node subsequently inserted behind it. (The original
+// Herlihy-Shavit algorithm encodes the expected mark bit in the CAS; the
+// fix restores that check.) The test amplifies the original failure:
+// per-key-serialized operations whose responses are checked against a
+// model, with rich diagnostics on divergence.
+func TestHuntAlternationBug(t *testing.T) {
+	if testing.Short() {
+		t.Skip("amplified stress")
+	}
+	for round := 0; round < 12; round++ {
+		const keyRange = 8
+		const goroutines = 8
+		const ops = 6000
+		s := New()
+		var keyLocks [keyRange]sync.Mutex
+		var present [keyRange]bool
+		var wg sync.WaitGroup
+		var failMu sync.Mutex
+		var failed atomic.Bool
+		for g := 0; g < goroutines; g++ {
+			g := g
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				r := rand.New(rand.NewPCG(uint64(g), uint64(round)))
+				for i := 0; i < ops; i++ {
+					k := r.IntN(keyRange)
+					keyLocks[k].Lock()
+					switch r.IntN(3) {
+					case 0:
+						got := s.Add(int64(k))
+						if got != !present[k] {
+							failMu.Lock()
+							if !failed.Load() {
+								failed.Store(true)
+								t.Errorf("round %d: Add(%d) = %v, present = %v; raw=%v\nbottom: %s",
+									round, k, got, present[k], s.findRaw(int64(k)), s.dumpBottom())
+							}
+							failMu.Unlock()
+						}
+						present[k] = true
+					case 1:
+						got := s.Remove(int64(k))
+						if got != present[k] {
+							failMu.Lock()
+							if !failed.Load() {
+								failed.Store(true)
+								t.Errorf("round %d: Remove(%d) = %v, present = %v; raw=%v\nbottom: %s",
+									round, k, got, present[k], s.findRaw(int64(k)), s.dumpBottom())
+							}
+							failMu.Unlock()
+						}
+						present[k] = false
+					default:
+						got := s.Contains(int64(k))
+						if got != present[k] {
+							failMu.Lock()
+							if !failed.Load() {
+								failed.Store(true)
+								t.Errorf("round %d: Contains(%d) = %v, present = %v; raw=%v\nbottom: %s",
+									round, k, got, present[k], s.findRaw(int64(k)), s.dumpBottom())
+							}
+							failMu.Unlock()
+						}
+					}
+					keyLocks[k].Unlock()
+					if failed.Load() {
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if failed.Load() {
+			return
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package skiplist
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// FuzzOpsAgainstModel interprets fuzz input bytes as an operation sequence
+// (2 bits op, 6 bits key) and checks every response against a map model.
+// Run continuously with: go test -fuzz FuzzOpsAgainstModel ./internal/skiplist
+func FuzzOpsAgainstModel(f *testing.F) {
+	f.Add([]byte{0x01, 0x41, 0x81, 0xc1})
+	f.Add([]byte{0x00, 0x40, 0x00, 0x40, 0x80})
+	seed := make([]byte, 64)
+	r := rand.New(rand.NewPCG(1, 1))
+	for i := range seed {
+		seed[i] = byte(r.IntN(256))
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		s := New()
+		model := map[int64]bool{}
+		for i, b := range ops {
+			k := int64(b & 0x3f)
+			switch b >> 6 {
+			case 0, 3:
+				want := !model[k]
+				if got := s.Add(k); got != want {
+					t.Fatalf("op %d: Add(%d) = %v, want %v", i, k, got, want)
+				}
+				model[k] = true
+			case 1:
+				want := model[k]
+				if got := s.Remove(k); got != want {
+					t.Fatalf("op %d: Remove(%d) = %v, want %v", i, k, got, want)
+				}
+				delete(model, k)
+			case 2:
+				if got := s.Contains(k); got != model[k] {
+					t.Fatalf("op %d: Contains(%d) = %v, want %v", i, k, got, model[k])
+				}
+			}
+		}
+		if s.Len() != len(model) {
+			t.Fatalf("Len = %d, model = %d", s.Len(), len(model))
+		}
+		keys := s.Keys()
+		for i := 1; i < len(keys); i++ {
+			if keys[i-1] >= keys[i] {
+				t.Fatalf("keys unsorted: %v", keys)
+			}
+		}
+	})
+}

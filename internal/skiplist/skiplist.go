@@ -1,0 +1,309 @@
+// Package skiplist implements a lock-free concurrent skip-list set of int64
+// keys, in the style of the java.util.concurrent ConcurrentSkipListSet the
+// paper boosts (Herlihy–Shavit "LockFreeSkipList": CAS-linked levels with
+// logically-deleted marks and helping removal during traversal).
+//
+// The set is linearizable and non-blocking: add, remove and contains
+// synchronize only through compare-and-swap on individual links. Boosting
+// treats it as a black box — the transactional layer never looks inside.
+package skiplist
+
+import (
+	"math/rand/v2"
+	"sync/atomic"
+)
+
+// maxLevel bounds the tower height. 2^32 expected elements is far beyond any
+// benchmark here.
+const maxLevel = 32
+
+// pHeight is the per-level promotion probability.
+const pHeight = 0.5
+
+// succ is a successor reference paired with this node's logical-deletion
+// mark at that level. Go has no AtomicMarkableReference, so the (pointer,
+// mark) pair is boxed and swung atomically as one *succ.
+type succ struct {
+	n      *node
+	marked bool
+}
+
+type node struct {
+	key      int64
+	sentinel int8 // -1 head, +1 tail, 0 ordinary
+	next     []atomic.Pointer[succ]
+}
+
+func newNode(key int64, height int, sentinel int8) *node {
+	return &node{key: key, sentinel: sentinel, next: make([]atomic.Pointer[succ], height)}
+}
+
+// less reports whether a's position precedes key (treating sentinels as
+// ±infinity).
+func (n *node) less(key int64) bool {
+	switch n.sentinel {
+	case -1:
+		return true
+	case 1:
+		return false
+	default:
+		return n.key < key
+	}
+}
+
+func (n *node) equals(key int64) bool {
+	return n.sentinel == 0 && n.key == key
+}
+
+// Set is a lock-free sorted set of int64 keys. Create with New.
+type Set struct {
+	head *node
+	size atomic.Int64
+}
+
+// New returns an empty set.
+func New() *Set {
+	head := newNode(0, maxLevel, -1)
+	tail := newNode(0, maxLevel, 1)
+	for i := range head.next {
+		head.next[i].Store(&succ{n: tail})
+	}
+	return &Set{head: head}
+}
+
+// randomHeight draws a tower height with geometric distribution.
+func randomHeight() int {
+	h := 1
+	for h < maxLevel && rand.Float64() < pHeight {
+		h++
+	}
+	return h
+}
+
+// find locates key, filling preds/succs for levels [0,maxLevel) and
+// physically unlinking any marked nodes encountered (helping). It returns
+// true if an unmarked node with the key is present at the bottom level.
+func (s *Set) find(key int64, preds, succs []*node) bool {
+retry:
+	for {
+		pred := s.head
+		for level := maxLevel - 1; level >= 0; level-- {
+			curr := pred.next[level].Load()
+			for {
+				if curr.marked {
+					// pred itself was deleted under us: its next
+					// pointer is frozen. Snipping through it would
+					// install a fresh unmarked link into a dead node,
+					// resurrecting it (and losing any nodes inserted
+					// behind it). Restart from the head.
+					continue retry
+				}
+				nextRef := curr.n.nextRef(level)
+				for nextRef != nil && nextRef.marked {
+					// curr is logically deleted at this level; help unlink.
+					snipped := pred.next[level].CompareAndSwap(curr, &succ{n: nextRef.n})
+					if !snipped {
+						continue retry
+					}
+					curr = pred.next[level].Load()
+					if curr.marked {
+						continue retry // pred died right after the snip
+					}
+					nextRef = curr.n.nextRef(level)
+				}
+				if curr.n.less(key) {
+					pred = curr.n
+					curr = pred.next[level].Load()
+				} else {
+					break
+				}
+			}
+			preds[level] = pred
+			succs[level] = curr.n
+		}
+		return succs[0].equals(key)
+	}
+}
+
+// nextRef loads the successor reference at level, or nil if the node's tower
+// does not reach that level (tail nodes and short towers).
+func (n *node) nextRef(level int) *succ {
+	if level >= len(n.next) {
+		return nil
+	}
+	return n.next[level].Load()
+}
+
+// Add inserts key, reporting whether the set changed (false if key was
+// already present).
+func (s *Set) Add(key int64) bool {
+	height := randomHeight()
+	var preds, succs [maxLevel]*node
+	for {
+		if s.find(key, preds[:], succs[:]) {
+			return false
+		}
+		n := newNode(key, height, 0)
+		for level := 0; level < height; level++ {
+			n.next[level].Store(&succ{n: succs[level]})
+		}
+		// Linearization point: CAS the bottom-level link.
+		bottom := preds[0].next[0].Load()
+		if bottom.n != succs[0] || bottom.marked {
+			continue
+		}
+		if !preds[0].next[0].CompareAndSwap(bottom, &succ{n: n}) {
+			continue
+		}
+		s.size.Add(1)
+		// Link the upper levels best-effort; find() repairs races.
+		for level := 1; level < height; level++ {
+			for {
+				cur := n.next[level].Load()
+				if cur.marked {
+					return true // concurrently removed; stop linking
+				}
+				pl := preds[level].next[level].Load()
+				if pl.n != succs[level] || pl.marked || cur.n != succs[level] {
+					s.find(key, preds[:], succs[:]) // refresh
+					if !succs[0].equals(key) {
+						return true // node already removed
+					}
+					if succs[level] != n {
+						// re-point our forward link before retrying
+						if !n.next[level].CompareAndSwap(cur, &succ{n: succs[level]}) {
+							continue
+						}
+					}
+					if preds[level].next[level].Load().n == n {
+						break // someone linked us
+					}
+					continue
+				}
+				if preds[level].next[level].CompareAndSwap(pl, &succ{n: n}) {
+					break
+				}
+			}
+		}
+		return true
+	}
+}
+
+// Remove deletes key, reporting whether the set changed (false if key was
+// absent).
+func (s *Set) Remove(key int64) bool {
+	var preds, succs [maxLevel]*node
+	for {
+		if !s.find(key, preds[:], succs[:]) {
+			return false
+		}
+		victim := succs[0]
+		// Mark from the top of the tower down to level 1.
+		for level := len(victim.next) - 1; level >= 1; level-- {
+			ref := victim.next[level].Load()
+			for !ref.marked {
+				victim.next[level].CompareAndSwap(ref, &succ{n: ref.n, marked: true})
+				ref = victim.next[level].Load()
+			}
+		}
+		// Linearization point: mark the bottom level. Only one remover wins.
+		for {
+			ref := victim.next[0].Load()
+			if ref.marked {
+				break // someone else removed it
+			}
+			if victim.next[0].CompareAndSwap(ref, &succ{n: ref.n, marked: true}) {
+				s.size.Add(-1)
+				s.find(key, preds[:], succs[:]) // physical unlink
+				return true
+			}
+		}
+		// Lost the race; the key may be re-addable already.
+		return false
+	}
+}
+
+// Contains reports whether key is in the set. It is wait-free: a single
+// traversal with no helping.
+func (s *Set) Contains(key int64) bool {
+	pred := s.head
+	var curr *succ
+	for level := maxLevel - 1; level >= 0; level-- {
+		curr = pred.next[level].Load()
+		for {
+			ref := curr.n.nextRef(level)
+			for ref != nil && ref.marked {
+				curr = &succ{n: ref.n}
+				ref = curr.n.nextRef(level)
+			}
+			if curr.n.less(key) {
+				pred = curr.n
+				curr = pred.next[level].Load()
+			} else {
+				break
+			}
+		}
+	}
+	return curr.n.equals(key)
+}
+
+// Len returns the current number of keys. It is accurate when quiescent and
+// approximate under concurrency.
+func (s *Set) Len() int {
+	return int(s.size.Load())
+}
+
+// AscendRange calls fn on each key in [lo, hi] in ascending order until fn
+// returns false. The traversal is wait-free and skips logically deleted
+// nodes; under concurrent mutation it observes some linearizable snapshot
+// of each individual key (callers wanting an atomic range view must
+// serialize externally — the boosted ordered set uses a range lock).
+func (s *Set) AscendRange(lo, hi int64, fn func(key int64) bool) {
+	// Descend to the first node >= lo.
+	pred := s.head
+	for level := maxLevel - 1; level >= 0; level-- {
+		curr := pred.next[level].Load()
+		for {
+			ref := curr.n.nextRef(level)
+			for ref != nil && ref.marked {
+				curr = &succ{n: ref.n}
+				ref = curr.n.nextRef(level)
+			}
+			if curr.n.less(lo) {
+				pred = curr.n
+				curr = pred.next[level].Load()
+			} else {
+				break
+			}
+		}
+	}
+	// Walk the bottom level.
+	ref := pred.next[0].Load()
+	for ref.n.sentinel != 1 {
+		next := ref.n.next[0].Load()
+		if ref.n.sentinel == 0 && ref.n.key >= lo {
+			if ref.n.key > hi {
+				return
+			}
+			if !next.marked && !fn(ref.n.key) {
+				return
+			}
+		}
+		ref = &succ{n: next.n}
+	}
+}
+
+// Keys returns the keys in ascending order via a bottom-level traversal.
+// Intended for tests and quiescent snapshots.
+func (s *Set) Keys() []int64 {
+	var out []int64
+	ref := s.head.next[0].Load()
+	for ref.n.sentinel != 1 {
+		next := ref.n.next[0].Load()
+		if !next.marked {
+			out = append(out, ref.n.key)
+		}
+		ref = &succ{n: next.n}
+	}
+	return out
+}

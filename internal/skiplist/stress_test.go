@@ -1,0 +1,62 @@
+package skiplist
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+)
+
+// TestPerKeySerializedAlternation emulates the boosted set's usage pattern:
+// operations on the same key are serialized by an external per-key mutex
+// (the abstract lock), while different keys run fully concurrently. Under
+// that discipline each key's successful add/remove responses must strictly
+// alternate — a violation indicates a linearizability bug in the skip list.
+func TestPerKeySerializedAlternation(t *testing.T) {
+	const keyRange = 8
+	const goroutines = 8
+	const ops = 8000
+	s := New()
+	var keyLocks [keyRange]sync.Mutex
+	var present [keyRange]bool // guarded by keyLocks[k]
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := rand.New(rand.NewPCG(uint64(g), 2024))
+			for i := 0; i < ops; i++ {
+				k := r.IntN(keyRange)
+				keyLocks[k].Lock()
+				switch r.IntN(3) {
+				case 0:
+					got := s.Add(int64(k))
+					if got != !present[k] {
+						t.Errorf("Add(%d) = %v, but present = %v", k, got, present[k])
+					}
+					present[k] = true
+				case 1:
+					got := s.Remove(int64(k))
+					if got != present[k] {
+						t.Errorf("Remove(%d) = %v, but present = %v", k, got, present[k])
+					}
+					present[k] = false
+				default:
+					if got := s.Contains(int64(k)); got != present[k] {
+						t.Errorf("Contains(%d) = %v, but present = %v", k, got, present[k])
+					}
+				}
+				keyLocks[k].Unlock()
+				if t.Failed() {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for k := 0; k < keyRange; k++ {
+		if s.Contains(int64(k)) != present[k] {
+			t.Errorf("final: Contains(%d) = %v, want %v", k, s.Contains(int64(k)), present[k])
+		}
+	}
+}

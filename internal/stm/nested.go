@@ -1,0 +1,108 @@
+package stm
+
+// Closed nested transactions — the extension sketched in the paper's
+// conclusion ("It could encompass STMs based on nested transactions using
+// techniques similar to those employed by LogTM"). The semantics follow
+// Moss-style closed nesting:
+//
+//   - A child transaction runs inside its parent and sees the parent's
+//     effects (same undo log, same lock ownership — abstract locks are
+//     owned by the Tx, so the child reuses them reentrantly).
+//   - If the child completes, its operations, locks, and deferred handlers
+//     merge into the parent; nothing is visible to other transactions until
+//     the top-level transaction commits.
+//   - If the child aborts, only the child's operations are rolled back
+//     (inverse calls in reverse order), only the locks first acquired by
+//     the child are released, and only the child's post-abort disposables
+//     run. The parent continues.
+//
+// Unlike open nesting, a committed child publishes nothing early, so the
+// deadlock and information-leakage pitfalls the paper attributes to open
+// nesting do not arise.
+
+// savepoint captures the transaction's log/lock/handler positions at child
+// entry.
+type savepoint struct {
+	undo, locks, atCommit, onCommit, onAbort, onValidate int
+}
+
+func (tx *Tx) save() savepoint {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	return savepoint{
+		undo:       len(tx.undo),
+		locks:      len(tx.locks),
+		atCommit:   len(tx.atCommit),
+		onCommit:   len(tx.onCommit),
+		onAbort:    len(tx.onAbort),
+		onValidate: len(tx.onValidate),
+	}
+}
+
+// rollbackTo undoes everything logged after the savepoint: inverse
+// operations in reverse order, then release of locks first acquired after
+// the savepoint, then the child's post-abort disposables. Handlers
+// registered by the child are discarded.
+//
+// The segments are detached under the transaction mutex and executed
+// outside it; savepoint indices are only meaningful while no sibling
+// Parallel branch is appending, so a Nested child must not run concurrently
+// with branches that log to the same transaction (see Nested).
+func (tx *Tx) rollbackTo(sp savepoint) {
+	tx.mu.Lock()
+	childUndo := append([]func(){}, tx.undo[sp.undo:]...)
+	tx.undo = tx.undo[:sp.undo]
+
+	childLocks := append([]Unlocker{}, tx.locks[sp.locks:]...)
+	for _, l := range childLocks {
+		delete(tx.lockSet, l)
+	}
+	tx.locks = tx.locks[:sp.locks]
+
+	childOnAbort := append([]func(){}, tx.onAbort[sp.onAbort:]...)
+	tx.atCommit = tx.atCommit[:sp.atCommit]
+	tx.onCommit = tx.onCommit[:sp.onCommit]
+	tx.onAbort = tx.onAbort[:sp.onAbort]
+	tx.onValidate = tx.onValidate[:sp.onValidate]
+	tx.mu.Unlock()
+
+	for i := len(childUndo) - 1; i >= 0; i-- {
+		childUndo[i]()
+	}
+	for i := len(childLocks) - 1; i >= 0; i-- {
+		childLocks[i].Unlock(tx)
+	}
+	for _, f := range childOnAbort {
+		f()
+	}
+}
+
+// Nested runs fn as a closed nested transaction of tx. If fn returns nil,
+// the child's effects merge into tx (publication still awaits the top-level
+// commit). If fn returns an error, the child's effects are rolled back and
+// the error is returned; the parent transaction remains active and may
+// continue, retry the child, or fail itself.
+//
+// A conflict abort inside the child (abstract-lock timeout, tx.Abort)
+// aborts the whole transaction, not just the child — the retry loop in
+// Atomic restarts from the top, which is the standard flattening treatment
+// and is always safe. Nested may be called recursively.
+//
+// Nested relies on log positions, so a child must not run concurrently with
+// sibling Parallel branches that log to the same transaction; run Nested
+// either outside Parallel or as the only logging activity while it runs.
+func (tx *Tx) Nested(fn func(tx *Tx) error) error {
+	sp := tx.save()
+	err := tx.runNested(fn)
+	if err != nil {
+		tx.rollbackTo(sp)
+	}
+	return err
+}
+
+// runNested executes fn, converting a non-abort panic into rollback of the
+// whole transaction as usual (the panic propagates; Atomic's recover
+// handles full rollback, which subsumes the child's).
+func (tx *Tx) runNested(fn func(tx *Tx) error) error {
+	return fn(tx)
+}

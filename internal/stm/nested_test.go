@@ -1,0 +1,228 @@
+package stm
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNestedCommitMerges(t *testing.T) {
+	var undone []int
+	err := Atomic(func(tx *Tx) error {
+		tx.Log(func() { undone = append(undone, 1) })
+		if err := tx.Nested(func(tx *Tx) error {
+			tx.Log(func() { undone = append(undone, 2) })
+			return nil
+		}); err != nil {
+			return err
+		}
+		tx.Log(func() { undone = append(undone, 3) })
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(undone) != 0 {
+		t.Fatalf("undo ran on commit: %v", undone)
+	}
+}
+
+func TestNestedAbortPartialRollback(t *testing.T) {
+	var undone []int
+	child := errors.New("child fails")
+	err := Atomic(func(tx *Tx) error {
+		tx.Log(func() { undone = append(undone, 1) })
+		if err := tx.Nested(func(tx *Tx) error {
+			tx.Log(func() { undone = append(undone, 2) })
+			tx.Log(func() { undone = append(undone, 3) })
+			return child
+		}); !errors.Is(err, child) {
+			t.Errorf("Nested = %v", err)
+		}
+		// Only the child's entries ran, in reverse.
+		if len(undone) != 2 || undone[0] != 3 || undone[1] != 2 {
+			t.Errorf("child rollback = %v, want [3 2]", undone)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(undone) != 2 {
+		t.Fatalf("parent entries rolled back too: %v", undone)
+	}
+}
+
+func TestNestedAbortThenParentAbort(t *testing.T) {
+	var undone []int
+	child := errors.New("child")
+	parent := errors.New("parent")
+	_ = Atomic(func(tx *Tx) error {
+		tx.Log(func() { undone = append(undone, 1) })
+		_ = tx.Nested(func(tx *Tx) error {
+			tx.Log(func() { undone = append(undone, 2) })
+			return child
+		})
+		tx.Log(func() { undone = append(undone, 3) })
+		return parent
+	})
+	// Child entry 2 rolled back first (at child abort), then parent's 3,1.
+	want := []int{2, 3, 1}
+	if len(undone) != 3 || undone[0] != 2 || undone[1] != 3 || undone[2] != 1 {
+		t.Fatalf("undo order = %v, want %v", undone, want)
+	}
+}
+
+func TestNestedLocksReleasedOnChildAbort(t *testing.T) {
+	parentLock := &recordingLock{}
+	childLock := &recordingLock{}
+	child := errors.New("child")
+	err := Atomic(func(tx *Tx) error {
+		tx.RegisterLock(parentLock)
+		_ = tx.Nested(func(tx *Tx) error {
+			tx.RegisterLock(childLock)
+			tx.RegisterLock(parentLock) // held by parent: reentrant, no-op
+			return child
+		})
+		if tx.Holds(childLock) {
+			t.Error("child lock still held after child abort")
+		}
+		if !tx.Holds(parentLock) {
+			t.Error("parent lock lost in child rollback")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(childLock.unlocked) != 1 {
+		t.Fatalf("child lock unlocked %d times, want 1", len(childLock.unlocked))
+	}
+	if len(parentLock.unlocked) != 1 {
+		t.Fatalf("parent lock unlocked %d times, want exactly 1 (at commit)", len(parentLock.unlocked))
+	}
+}
+
+func TestNestedLocksKeptOnChildCommit(t *testing.T) {
+	childLock := &recordingLock{}
+	err := Atomic(func(tx *Tx) error {
+		if err := tx.Nested(func(tx *Tx) error {
+			tx.RegisterLock(childLock)
+			return nil
+		}); err != nil {
+			return err
+		}
+		if !tx.Holds(childLock) {
+			t.Error("child-acquired lock not inherited by parent")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(childLock.unlocked) != 1 {
+		t.Fatalf("inherited lock unlocked %d times, want 1 at top-level commit", len(childLock.unlocked))
+	}
+}
+
+func TestNestedHandlersSegmented(t *testing.T) {
+	var events []string
+	child := errors.New("child")
+	err := Atomic(func(tx *Tx) error {
+		tx.OnCommit(func() { events = append(events, "parent-commit") })
+		_ = tx.Nested(func(tx *Tx) error {
+			tx.OnCommit(func() { events = append(events, "child-commit") })
+			tx.OnAbort(func() { events = append(events, "child-abort") })
+			return child
+		})
+		if err := tx.Nested(func(tx *Tx) error {
+			tx.OnCommit(func() { events = append(events, "child2-commit") })
+			return nil
+		}); err != nil {
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// child-abort fires at child rollback; child-commit is discarded;
+	// child2-commit merges and fires with parent-commit.
+	want := []string{"child-abort", "parent-commit", "child2-commit"}
+	if len(events) != len(want) {
+		t.Fatalf("events = %v, want %v", events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("events = %v, want %v", events, want)
+		}
+	}
+}
+
+func TestNestedRecursive(t *testing.T) {
+	var undone []int
+	inner := errors.New("inner")
+	err := Atomic(func(tx *Tx) error {
+		tx.Log(func() { undone = append(undone, 0) })
+		return tx.Nested(func(tx *Tx) error {
+			tx.Log(func() { undone = append(undone, 1) })
+			_ = tx.Nested(func(tx *Tx) error {
+				tx.Log(func() { undone = append(undone, 2) })
+				return inner
+			})
+			if len(undone) != 1 || undone[0] != 2 {
+				t.Errorf("inner rollback = %v, want [2]", undone)
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(undone) != 1 {
+		t.Fatalf("outer levels rolled back: %v", undone)
+	}
+}
+
+func TestNestedValidationHandlersDiscardedOnChildAbort(t *testing.T) {
+	child := errors.New("child")
+	calls := 0
+	err := Atomic(func(tx *Tx) error {
+		_ = tx.Nested(func(tx *Tx) error {
+			tx.OnValidate(func() error { calls++; return errors.New("stale") })
+			return child
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Fatal("aborted child's validator ran at top-level commit")
+	}
+}
+
+func TestNestedAbortSignalAbortsWholeTransaction(t *testing.T) {
+	attempts := 0
+	var undoneParent bool
+	err := Atomic(func(tx *Tx) error {
+		attempts++
+		tx.Log(func() { undoneParent = true })
+		if attempts == 1 {
+			_ = tx.Nested(func(tx *Tx) error {
+				tx.Abort(nil) // conflict-style abort: flattening
+				return nil
+			})
+			t.Error("unreachable: Abort must unwind past Nested")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (whole-tx retry)", attempts)
+	}
+	if !undoneParent {
+		t.Fatal("parent undo did not run on flattened abort")
+	}
+}

@@ -1,0 +1,63 @@
+package stm
+
+import "sync"
+
+// Parallel runs the given functions concurrently, all on behalf of tx — the
+// multi-threaded-transactions extension from the paper's conclusion
+// ("Transactions could be extended to encompass multiple threads, using
+// abstract locks for transactional synchronization, and relying on the base
+// object for thread-level synchronization").
+//
+// All branches share the transaction's abstract locks, undo log and
+// deferred handlers; the base objects' own thread-level synchronization
+// keeps concurrent branch operations linearizable, exactly as it does for
+// operations of different transactions. Parallel returns after every branch
+// finishes. If any branch returns an error, the first one (in argument
+// order) is returned; the caller decides whether to fail the transaction.
+// If any branch aborts the transaction (lock timeout, tx.Abort), the abort
+// proceeds after all branches have stopped.
+//
+// Parallel supports boosted objects (package core). Objects that keep
+// unsynchronized per-transaction state in extension slots — the rwstm
+// baseline's read/write sets — must not be used from concurrent branches.
+func (tx *Tx) Parallel(fns ...func(tx *Tx) error) error {
+	errs := make([]error, len(fns))
+	panics := make([]any, len(fns))
+	var wg sync.WaitGroup
+	for i, fn := range fns {
+		i, fn := i, fn
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[i] = r
+				}
+			}()
+			errs[i] = fn(tx)
+		}()
+	}
+	wg.Wait()
+
+	// Re-raise an abort (or any foreign panic) on the coordinating
+	// goroutine so Atomic's recovery sees it, now that no branch is
+	// running.
+	var foreign any
+	for _, p := range panics {
+		if sig, ok := p.(abortSignal); ok && sig.tx == tx {
+			panic(sig)
+		}
+		if p != nil && foreign == nil {
+			foreign = p
+		}
+	}
+	if foreign != nil {
+		panic(foreign)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

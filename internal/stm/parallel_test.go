@@ -1,0 +1,159 @@
+package stm
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelAllBranchesRun(t *testing.T) {
+	var ran atomic.Int32
+	err := Atomic(func(tx *Tx) error {
+		return tx.Parallel(
+			func(tx *Tx) error { ran.Add(1); return nil },
+			func(tx *Tx) error { ran.Add(1); return nil },
+			func(tx *Tx) error { ran.Add(1); return nil },
+		)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 3 {
+		t.Fatalf("ran = %d", ran.Load())
+	}
+}
+
+func TestParallelFirstErrorWins(t *testing.T) {
+	e1 := errors.New("one")
+	e2 := errors.New("two")
+	err := Atomic(func(tx *Tx) error {
+		err := tx.Parallel(
+			func(tx *Tx) error { return e1 },
+			func(tx *Tx) error { return e2 },
+		)
+		if !errors.Is(err, e1) {
+			t.Errorf("Parallel = %v, want first error", err)
+		}
+		return nil // transaction itself still commits
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelSharedUndoLogRollsBack(t *testing.T) {
+	var undone atomic.Int32
+	boom := errors.New("boom")
+	_ = Atomic(func(tx *Tx) error {
+		_ = tx.Parallel(
+			func(tx *Tx) error { tx.Log(func() { undone.Add(1) }); return nil },
+			func(tx *Tx) error { tx.Log(func() { undone.Add(1) }); return nil },
+			func(tx *Tx) error { tx.Log(func() { undone.Add(1) }); return nil },
+		)
+		return boom
+	})
+	if undone.Load() != 3 {
+		t.Fatalf("undone = %d, want 3 (all branches' inverses)", undone.Load())
+	}
+}
+
+func TestParallelAbortInBranchAbortsWholeTx(t *testing.T) {
+	attempts := 0
+	var sideEffects atomic.Int32
+	err := Atomic(func(tx *Tx) error {
+		attempts++
+		if attempts == 1 {
+			_ = tx.Parallel(
+				func(tx *Tx) error {
+					tx.Log(func() { sideEffects.Add(-1) })
+					sideEffects.Add(1)
+					return nil
+				},
+				func(tx *Tx) error {
+					tx.Abort(nil)
+					return nil
+				},
+			)
+			t.Error("unreachable: abort must propagate past Parallel")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", attempts)
+	}
+	if sideEffects.Load() != 0 {
+		t.Fatalf("branch effects not rolled back: %d", sideEffects.Load())
+	}
+}
+
+func TestParallelForeignPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "branch panic" {
+			t.Fatalf("recovered %v", r)
+		}
+	}()
+	_ = Atomic(func(tx *Tx) error {
+		return tx.Parallel(func(tx *Tx) error { panic("branch panic") })
+	})
+}
+
+func TestParallelConcurrentLogging(t *testing.T) {
+	// Many branches logging concurrently: all entries must be present.
+	var undone atomic.Int32
+	boom := errors.New("boom")
+	const branches = 8
+	const perBranch = 200
+	_ = Atomic(func(tx *Tx) error {
+		fns := make([]func(*Tx) error, branches)
+		for i := range fns {
+			fns[i] = func(tx *Tx) error {
+				for j := 0; j < perBranch; j++ {
+					tx.Log(func() { undone.Add(1) })
+					tx.OnCommit(func() {})
+					tx.OnAbort(func() {})
+				}
+				return nil
+			}
+		}
+		if err := tx.Parallel(fns...); err != nil {
+			return err
+		}
+		if tx.UndoDepth() != branches*perBranch {
+			t.Errorf("UndoDepth = %d, want %d", tx.UndoDepth(), branches*perBranch)
+		}
+		return boom
+	})
+	if undone.Load() != branches*perBranch {
+		t.Fatalf("undone = %d, want %d", undone.Load(), branches*perBranch)
+	}
+}
+
+func TestParallelNestedInsideBranchlessTx(t *testing.T) {
+	// Parallel composed with Nested: the nested child in one branch rolls
+	// back alone.
+	var undone atomic.Int32
+	child := errors.New("child")
+	err := Atomic(func(tx *Tx) error {
+		return tx.Parallel(
+			func(tx *Tx) error {
+				return nil
+			},
+			func(tx *Tx) error {
+				_ = tx.Nested(func(tx *Tx) error {
+					tx.Log(func() { undone.Add(1) })
+					return child
+				})
+				return nil
+			},
+		)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if undone.Load() != 1 {
+		t.Fatalf("child rollback = %d, want 1", undone.Load())
+	}
+}

@@ -1,0 +1,75 @@
+package stm
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Stats holds a System's monotonically increasing counters. All fields are
+// safe for concurrent update.
+type Stats struct {
+	Starts             atomic.Int64 // transaction attempts begun
+	Commits            atomic.Int64 // attempts that committed
+	Aborts             atomic.Int64 // attempts rolled back and retried
+	UserAborts         atomic.Int64 // attempts rolled back by a user error
+	LockTimeouts       atomic.Int64 // abstract-lock acquisitions that timed out
+	ValidationFailures atomic.Int64 // read-set validations that failed (rwstm)
+}
+
+func (s *Stats) snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Starts:             s.Starts.Load(),
+		Commits:            s.Commits.Load(),
+		Aborts:             s.Aborts.Load(),
+		UserAborts:         s.UserAborts.Load(),
+		LockTimeouts:       s.LockTimeouts.Load(),
+		ValidationFailures: s.ValidationFailures.Load(),
+	}
+}
+
+func (s *Stats) reset() {
+	s.Starts.Store(0)
+	s.Commits.Store(0)
+	s.Aborts.Store(0)
+	s.UserAborts.Store(0)
+	s.LockTimeouts.Store(0)
+	s.ValidationFailures.Store(0)
+}
+
+// StatsSnapshot is a point-in-time copy of a System's counters.
+type StatsSnapshot struct {
+	Starts             int64
+	Commits            int64
+	Aborts             int64
+	UserAborts         int64
+	LockTimeouts       int64
+	ValidationFailures int64
+}
+
+// AbortRatio returns aborts divided by attempts started, in [0,1].
+// It measures wasted work: the paper reports boosted objects abort far less
+// often than read/write-conflict STMs on the same workload.
+func (s StatsSnapshot) AbortRatio() float64 {
+	if s.Starts == 0 {
+		return 0
+	}
+	return float64(s.Aborts) / float64(s.Starts)
+}
+
+// Sub returns the counter deltas s minus earlier, for measuring an interval.
+func (s StatsSnapshot) Sub(earlier StatsSnapshot) StatsSnapshot {
+	return StatsSnapshot{
+		Starts:             s.Starts - earlier.Starts,
+		Commits:            s.Commits - earlier.Commits,
+		Aborts:             s.Aborts - earlier.Aborts,
+		UserAborts:         s.UserAborts - earlier.UserAborts,
+		LockTimeouts:       s.LockTimeouts - earlier.LockTimeouts,
+		ValidationFailures: s.ValidationFailures - earlier.ValidationFailures,
+	}
+}
+
+// String formats the snapshot as a single human-readable line.
+func (s StatsSnapshot) String() string {
+	return fmt.Sprintf("starts=%d commits=%d aborts=%d (ratio %.3f) lockTimeouts=%d validationFailures=%d",
+		s.Starts, s.Commits, s.Aborts, s.AbortRatio(), s.LockTimeouts, s.ValidationFailures)
+}

@@ -1,0 +1,385 @@
+// Package stm provides the transaction runtime that transactional boosting
+// builds on: transaction lifecycle, an operation-level undo log, two-phase
+// lock registration, commit/abort/validation handlers, and a retry loop with
+// randomized exponential backoff.
+//
+// The runtime plays the role DSTM2 plays in the paper (Herlihy & Koskinen,
+// "Transactional Boosting", PPoPP 2008): it serializes transactions in commit
+// order (dynamic atomicity) and lets libraries register handlers that run
+// when a transaction commits or aborts.
+//
+// Transactions are explicit values. Go has no thread-local storage, so the
+// current transaction is passed to every transactional method:
+//
+//	err := stm.Atomic(func(tx *stm.Tx) error {
+//	    set.Add(tx, 42)
+//	    return nil
+//	})
+//
+// Inside the function, a conflict (for example an abstract-lock timeout)
+// aborts the transaction by panicking with a private sentinel; Atomic
+// recovers it, rolls back the undo log in reverse order (Rule 3 of the
+// paper), releases all two-phase locks, runs post-abort handlers (Rule 4),
+// backs off, and retries. Panics never escape Atomic.
+package stm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Status is the lifecycle state of a transaction.
+type Status int32
+
+const (
+	// Active means the transaction is executing its body.
+	Active Status = iota
+	// Validating means the transaction is running its pre-commit
+	// validation handlers (used by the read/write STM baseline).
+	Validating
+	// Committed means the transaction committed; its effects are permanent.
+	Committed
+	// Aborting means the transaction is running inverse operations.
+	Aborting
+	// Aborted means rollback finished; the transaction left no trace.
+	Aborted
+)
+
+// String returns the lower-case name of the status.
+func (s Status) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Validating:
+		return "validating"
+	case Committed:
+		return "committed"
+	case Aborting:
+		return "aborting"
+	case Aborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("status(%d)", int32(s))
+	}
+}
+
+// ErrAborted is the cause reported when a transaction is aborted without a
+// more specific reason.
+var ErrAborted = errors.New("stm: transaction aborted")
+
+// ErrTooManyRetries is returned by Atomic when a transaction exceeded the
+// system's retry budget without committing.
+var ErrTooManyRetries = errors.New("stm: transaction exceeded retry limit")
+
+// Unlocker is a two-phase lock held by a transaction. The lock manager
+// registers each acquired lock with the owning transaction; the runtime calls
+// Unlock exactly once per registered lock after commit or after rollback
+// completes (locks are released only when every inverse has executed, as the
+// paper requires).
+type Unlocker interface {
+	Unlock(tx *Tx)
+}
+
+// txIDs generates unique transaction identifiers.
+var txIDs atomic.Uint64
+
+// Tx is a transaction descriptor, created by Atomic and valid for one
+// attempt. A Tx is driven by one goroutine, except inside Parallel, which
+// lets multiple goroutines work on behalf of the same transaction (the
+// paper's multi-threaded-transactions extension); the descriptor's mutable
+// state is guarded for that case.
+type Tx struct {
+	id      uint64
+	birth   uint64 // first attempt's id; stable across retries (lock priority)
+	attempt int    // 0-based attempt number within one Atomic call
+	status  atomic.Int32
+	system  *System
+
+	mu         sync.Mutex // guards the log/lock/handler state below
+	undo       []func()   // inverse operations, applied in reverse on abort
+	locks      []Unlocker // two-phase locks, released at commit/abort
+	lockSet    map[Unlocker]struct{}
+	atCommit   []func()       // run at the commit point, before lock release
+	onCommit   []func()       // disposable actions deferred to after commit
+	onAbort    []func()       // disposable actions deferred to after abort
+	onValidate []func() error // pre-commit validation (rwstm read-set checks)
+
+	ext map[any]any // extension slots for cooperating packages (e.g. rwstm)
+
+	doomed     atomic.Bool
+	doomCh     chan struct{} // lazily created; closed by Doom (see DoomChan)
+	doomClosed bool
+	abortCause error
+}
+
+// abortSignal is the private panic payload used to unwind an aborting
+// transaction out of user code. It never escapes Atomic.
+type abortSignal struct{ tx *Tx }
+
+// ID returns the transaction's unique identifier. IDs are never reused, and
+// each retry attempt gets a fresh ID.
+func (tx *Tx) ID() uint64 { return tx.id }
+
+// Attempt returns the zero-based retry attempt number of this transaction
+// within its Atomic call.
+func (tx *Tx) Attempt() int { return tx.attempt }
+
+// Birth returns the transaction's age token: the ID of its first attempt,
+// stable across retries. Contention managers (wound-wait) compare Birth so
+// that a transaction's priority rises as it is retried, guaranteeing the
+// oldest transaction eventually wins.
+func (tx *Tx) Birth() uint64 { return tx.birth }
+
+// Status returns the transaction's current lifecycle state.
+func (tx *Tx) Status() Status { return Status(tx.status.Load()) }
+
+// System returns the system this transaction runs under.
+func (tx *Tx) System() *System { return tx.system }
+
+// Doom marks the transaction for asynchronous abort. Unlike Abort, Doom may
+// be called from any goroutine: contention managers use it to make a victim
+// abort itself (DSTM2-style "writer aborts visible readers"). The victim
+// observes the flag at its next transactional access or at validation and
+// unwinds normally.
+func (tx *Tx) Doom() {
+	tx.doomed.Store(true)
+	tx.mu.Lock()
+	if tx.doomCh != nil && !tx.doomClosed {
+		close(tx.doomCh)
+		tx.doomClosed = true
+	}
+	tx.mu.Unlock()
+}
+
+// Doomed reports whether some other transaction has requested this one
+// abort. Cooperating packages poll it on each transactional access.
+func (tx *Tx) Doomed() bool { return tx.doomed.Load() }
+
+// DoomChan returns a channel closed when the transaction is doomed, so lock
+// wait loops can wake immediately instead of discovering the doom at their
+// next poll.
+func (tx *Tx) DoomChan() <-chan struct{} {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if tx.doomCh == nil {
+		tx.doomCh = make(chan struct{})
+		if tx.doomed.Load() {
+			close(tx.doomCh)
+			tx.doomClosed = true
+		}
+	}
+	return tx.doomCh
+}
+
+// Abort aborts the transaction with the given cause and unwinds the calling
+// goroutine back to Atomic, which rolls back and retries. A nil cause is
+// replaced by ErrAborted. Abort never returns.
+func (tx *Tx) Abort(cause error) {
+	if cause == nil {
+		cause = ErrAborted
+	}
+	tx.mu.Lock()
+	if tx.abortCause == nil {
+		tx.abortCause = cause // first cause wins under Parallel
+	}
+	tx.mu.Unlock()
+	panic(abortSignal{tx})
+}
+
+// Cause returns the error that aborted the transaction, or nil while it is
+// alive. Intended for post-abort diagnostics from OnAbort handlers.
+func (tx *Tx) Cause() error {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	return tx.abortCause
+}
+
+// Log appends an inverse operation to the transaction's undo log. If the
+// transaction aborts, logged operations run in reverse order of logging
+// (Rule 3: compensating actions). If it commits, the log is discarded.
+func (tx *Tx) Log(undo func()) {
+	tx.mu.Lock()
+	tx.undo = append(tx.undo, undo)
+	tx.mu.Unlock()
+}
+
+// UndoDepth reports how many inverse operations are currently logged.
+// It exists chiefly for tests and introspection.
+func (tx *Tx) UndoDepth() int {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	return len(tx.undo)
+}
+
+// AtCommit registers a handler to run at the transaction's commit point:
+// after validation succeeds and the transaction is irrevocably committed,
+// but before its two-phase locks are released. Handlers therefore run in
+// serialization order with respect to every conflicting transaction. The
+// history recorder uses this to log commit events in commit order; most
+// code wants OnCommit instead.
+func (tx *Tx) AtCommit(f func()) {
+	tx.mu.Lock()
+	tx.atCommit = append(tx.atCommit, f)
+	tx.mu.Unlock()
+}
+
+// OnCommit registers a disposable action to run after the transaction
+// commits, in registration order. Per Rule 4 such actions must be disposable
+// method calls: postponable without any other transaction observing the
+// delay (for example releasing a transactional semaphore).
+func (tx *Tx) OnCommit(f func()) {
+	tx.mu.Lock()
+	tx.onCommit = append(tx.onCommit, f)
+	tx.mu.Unlock()
+}
+
+// OnAbort registers a disposable action to run after rollback completes,
+// in registration order (for example returning a unique ID to its pool).
+func (tx *Tx) OnAbort(f func()) {
+	tx.mu.Lock()
+	tx.onAbort = append(tx.onAbort, f)
+	tx.mu.Unlock()
+}
+
+// OnValidate registers a pre-commit validation handler. If any handler
+// returns a non-nil error the transaction aborts and retries instead of
+// committing. The read/write-conflict STM baseline uses this to validate
+// its read set; pure boosted objects never need it.
+func (tx *Tx) OnValidate(f func() error) {
+	tx.mu.Lock()
+	tx.onValidate = append(tx.onValidate, f)
+	tx.mu.Unlock()
+}
+
+// RegisterLock records that the transaction holds lock l, returning true if
+// l was not already held. Lock managers use the result to make acquisition
+// reentrant: only the first registration performs a real acquire, mirroring
+// the paper's "if (lockSet.add(lock))" guard.
+func (tx *Tx) RegisterLock(l Unlocker) bool {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if _, held := tx.lockSet[l]; held {
+		return false
+	}
+	if tx.lockSet == nil {
+		tx.lockSet = make(map[Unlocker]struct{}, 8)
+	}
+	tx.lockSet[l] = struct{}{}
+	tx.locks = append(tx.locks, l)
+	return true
+}
+
+// UnregisterLock removes a lock registration made by RegisterLock. Lock
+// managers call it when a timed acquisition fails after registration.
+func (tx *Tx) UnregisterLock(l Unlocker) {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if _, held := tx.lockSet[l]; !held {
+		return
+	}
+	delete(tx.lockSet, l)
+	for i, held := range tx.locks {
+		if held == l {
+			tx.locks = append(tx.locks[:i], tx.locks[i+1:]...)
+			break
+		}
+	}
+}
+
+// Holds reports whether the transaction currently holds lock l.
+func (tx *Tx) Holds(l Unlocker) bool {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	_, held := tx.lockSet[l]
+	return held
+}
+
+// LockCount reports how many distinct locks the transaction holds.
+func (tx *Tx) LockCount() int {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	return len(tx.locks)
+}
+
+// SetExt associates an extension value with the transaction under key.
+// Cooperating packages (such as the rwstm baseline) use extension slots to
+// attach their per-transaction state without the runtime knowing about them.
+func (tx *Tx) SetExt(key, val any) {
+	tx.mu.Lock()
+	if tx.ext == nil {
+		tx.ext = make(map[any]any, 2)
+	}
+	tx.ext[key] = val
+	tx.mu.Unlock()
+}
+
+// Ext returns the extension value stored under key, or nil.
+func (tx *Tx) Ext(key any) any {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	return tx.ext[key]
+}
+
+// releaseLocks releases every registered lock in reverse acquisition order.
+func (tx *Tx) releaseLocks() {
+	for i := len(tx.locks) - 1; i >= 0; i-- {
+		tx.locks[i].Unlock(tx)
+	}
+	tx.locks = nil
+	tx.lockSet = nil
+}
+
+// rollback runs the undo log in reverse, then releases locks, then runs
+// post-abort disposables. The ordering is significant: inverses reuse the
+// transaction's abstract locks (Lemma 5.2 shows they need no new ones), so
+// locks are held until every inverse has executed.
+func (tx *Tx) rollback() {
+	tx.status.Store(int32(Aborting))
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		tx.undo[i]()
+	}
+	tx.undo = nil
+	tx.releaseLocks()
+	tx.status.Store(int32(Aborted))
+	for _, f := range tx.onAbort {
+		f()
+	}
+	tx.onAbort = nil
+	tx.onCommit = nil
+}
+
+// commit validates, then makes the transaction's effects permanent, releases
+// locks, and runs post-commit disposables. It returns false if validation
+// failed or the transaction was doomed by a contention manager, in which
+// case the transaction has been rolled back.
+func (tx *Tx) commit() bool {
+	if tx.doomed.Load() {
+		tx.abortCause = ErrAborted
+		tx.rollback()
+		return false
+	}
+	tx.status.Store(int32(Validating))
+	for _, f := range tx.onValidate {
+		if err := f(); err != nil {
+			tx.abortCause = err
+			tx.system.stats.ValidationFailures.Add(1)
+			tx.rollback()
+			return false
+		}
+	}
+	tx.status.Store(int32(Committed))
+	for _, f := range tx.atCommit {
+		f()
+	}
+	tx.atCommit = nil
+	tx.undo = nil
+	tx.releaseLocks()
+	for _, f := range tx.onCommit {
+		f()
+	}
+	tx.onCommit = nil
+	tx.onAbort = nil
+	return true
+}

@@ -1,0 +1,562 @@
+package stm
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAtomicCommitRunsOnce(t *testing.T) {
+	runs := 0
+	err := Atomic(func(tx *Tx) error {
+		runs++
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Atomic returned %v", err)
+	}
+	if runs != 1 {
+		t.Fatalf("body ran %d times, want 1", runs)
+	}
+}
+
+func TestAtomicReturnsUserError(t *testing.T) {
+	want := errors.New("boom")
+	runs := 0
+	err := Atomic(func(tx *Tx) error {
+		runs++
+		return want
+	})
+	if !errors.Is(err, want) {
+		t.Fatalf("err = %v, want %v", err, want)
+	}
+	if runs != 1 {
+		t.Fatalf("user error must not retry; ran %d times", runs)
+	}
+}
+
+func TestUserErrorRollsBackUndoLog(t *testing.T) {
+	var undone []int
+	_ = Atomic(func(tx *Tx) error {
+		tx.Log(func() { undone = append(undone, 1) })
+		tx.Log(func() { undone = append(undone, 2) })
+		return errors.New("give up")
+	})
+	if len(undone) != 2 || undone[0] != 2 || undone[1] != 1 {
+		t.Fatalf("undo order = %v, want [2 1] (reverse of logging)", undone)
+	}
+}
+
+func TestAbortRetriesAndRollsBackInReverse(t *testing.T) {
+	var undone []int
+	attempts := 0
+	err := Atomic(func(tx *Tx) error {
+		attempts++
+		if attempts == 1 {
+			tx.Log(func() { undone = append(undone, 1) })
+			tx.Log(func() { undone = append(undone, 2) })
+			tx.Log(func() { undone = append(undone, 3) })
+			tx.Abort(nil)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Atomic = %v", err)
+	}
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", attempts)
+	}
+	want := []int{3, 2, 1}
+	if len(undone) != 3 || undone[0] != 3 || undone[1] != 2 || undone[2] != 1 {
+		t.Fatalf("undo order = %v, want %v", undone, want)
+	}
+}
+
+func TestCommitDiscardsUndoLog(t *testing.T) {
+	ran := false
+	if err := Atomic(func(tx *Tx) error {
+		tx.Log(func() { ran = true })
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("undo entry ran on the commit path")
+	}
+}
+
+func TestOnCommitRunsAfterCommitInOrder(t *testing.T) {
+	var order []int
+	var statusAt Status
+	err := Atomic(func(tx *Tx) error {
+		tx.OnCommit(func() { statusAt = tx.Status(); order = append(order, 1) })
+		tx.OnCommit(func() { order = append(order, 2) })
+		tx.OnAbort(func() { t.Error("OnAbort ran on commit path") })
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("OnCommit order = %v, want [1 2]", order)
+	}
+	if statusAt != Committed {
+		t.Fatalf("handler observed status %v, want committed", statusAt)
+	}
+}
+
+func TestOnAbortRunsAfterRollback(t *testing.T) {
+	var events []string
+	attempts := 0
+	err := Atomic(func(tx *Tx) error {
+		attempts++
+		if attempts == 1 {
+			tx.Log(func() { events = append(events, "undo") })
+			tx.OnAbort(func() { events = append(events, "onabort:"+tx.Status().String()) })
+			tx.OnCommit(func() { events = append(events, "oncommit") })
+			tx.Abort(nil)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[0] != "undo" || events[1] != "onabort:aborted" {
+		t.Fatalf("events = %v, want [undo onabort:aborted]", events)
+	}
+}
+
+func TestOnAbortNotCarriedToRetry(t *testing.T) {
+	// A disposable registered on attempt 1 must not fire again when the
+	// retry commits or later aborts.
+	count := 0
+	attempts := 0
+	err := Atomic(func(tx *Tx) error {
+		attempts++
+		if attempts == 1 {
+			tx.OnAbort(func() { count++ })
+			tx.Abort(nil)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("OnAbort fired %d times, want 1", count)
+	}
+}
+
+func TestValidationFailureAbortsAndRetries(t *testing.T) {
+	sys := NewSystem(Config{})
+	attempts := 0
+	undone := false
+	err := sys.Atomic(func(tx *Tx) error {
+		attempts++
+		if attempts == 1 {
+			tx.Log(func() { undone = true })
+			tx.OnValidate(func() error { return errors.New("stale read") })
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", attempts)
+	}
+	if !undone {
+		t.Fatal("validation failure did not roll back the undo log")
+	}
+	st := sys.Stats()
+	if st.ValidationFailures != 1 {
+		t.Fatalf("ValidationFailures = %d, want 1", st.ValidationFailures)
+	}
+	if st.Commits != 1 || st.Aborts != 1 {
+		t.Fatalf("commits/aborts = %d/%d, want 1/1", st.Commits, st.Aborts)
+	}
+}
+
+func TestValidationSuccessCommits(t *testing.T) {
+	calls := 0
+	err := Atomic(func(tx *Tx) error {
+		tx.OnValidate(func() error { calls++; return nil })
+		tx.OnValidate(func() error { calls++; return nil })
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("validators ran %d times, want 2", calls)
+	}
+}
+
+func TestMaxRetries(t *testing.T) {
+	sys := NewSystem(Config{MaxRetries: 3})
+	attempts := 0
+	err := sys.Atomic(func(tx *Tx) error {
+		attempts++
+		tx.Abort(nil)
+		return nil
+	})
+	if !errors.Is(err, ErrTooManyRetries) {
+		t.Fatalf("err = %v, want ErrTooManyRetries", err)
+	}
+	if attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", attempts)
+	}
+}
+
+func TestForeignPanicPropagatesAfterRollback(t *testing.T) {
+	undone := false
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic did not propagate")
+		}
+		if r != "kaboom" {
+			t.Fatalf("recovered %v, want kaboom", r)
+		}
+		if !undone {
+			t.Fatal("foreign panic did not roll back")
+		}
+	}()
+	_ = Atomic(func(tx *Tx) error {
+		tx.Log(func() { undone = true })
+		panic("kaboom")
+	})
+}
+
+type recordingLock struct {
+	mu       sync.Mutex
+	unlocked []uint64
+}
+
+func (l *recordingLock) Unlock(tx *Tx) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.unlocked = append(l.unlocked, tx.ID())
+}
+
+func TestLockRegistrationIsReentrant(t *testing.T) {
+	l := &recordingLock{}
+	err := Atomic(func(tx *Tx) error {
+		if !tx.RegisterLock(l) {
+			t.Error("first RegisterLock returned false")
+		}
+		if tx.RegisterLock(l) {
+			t.Error("second RegisterLock returned true; want reentrant false")
+		}
+		if !tx.Holds(l) {
+			t.Error("Holds = false after registration")
+		}
+		if tx.LockCount() != 1 {
+			t.Errorf("LockCount = %d, want 1", tx.LockCount())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.unlocked) != 1 {
+		t.Fatalf("lock unlocked %d times, want exactly 1", len(l.unlocked))
+	}
+}
+
+func TestLocksReleasedOnAbortAfterUndo(t *testing.T) {
+	var events []string
+	l := &eventLock{events: &events}
+	attempts := 0
+	err := Atomic(func(tx *Tx) error {
+		attempts++
+		if attempts == 1 {
+			tx.RegisterLock(l)
+			tx.Log(func() { events = append(events, "undo") })
+			tx.Abort(nil)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[0] != "undo" || events[1] != "unlock" {
+		t.Fatalf("events = %v, want [undo unlock] (locks released only after inverses)", events)
+	}
+}
+
+type eventLock struct{ events *[]string }
+
+func (l *eventLock) Unlock(tx *Tx) { *l.events = append(*l.events, "unlock") }
+
+func TestLocksReleasedInReverseOrder(t *testing.T) {
+	var order []string
+	a := &namedLock{name: "a", order: &order}
+	b := &namedLock{name: "b", order: &order}
+	if err := Atomic(func(tx *Tx) error {
+		tx.RegisterLock(a)
+		tx.RegisterLock(b)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "b" || order[1] != "a" {
+		t.Fatalf("release order = %v, want [b a]", order)
+	}
+}
+
+type namedLock struct {
+	name  string
+	order *[]string
+}
+
+func (l *namedLock) Unlock(tx *Tx) { *l.order = append(*l.order, l.name) }
+
+func TestUnregisterLock(t *testing.T) {
+	l := &recordingLock{}
+	if err := Atomic(func(tx *Tx) error {
+		tx.RegisterLock(l)
+		tx.UnregisterLock(l)
+		if tx.Holds(l) {
+			t.Error("Holds = true after UnregisterLock")
+		}
+		if tx.LockCount() != 0 {
+			t.Errorf("LockCount = %d, want 0", tx.LockCount())
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(l.unlocked) != 0 {
+		t.Fatalf("unregistered lock was unlocked %d times, want 0", len(l.unlocked))
+	}
+}
+
+func TestExtSlots(t *testing.T) {
+	type key struct{}
+	if err := Atomic(func(tx *Tx) error {
+		if got := tx.Ext(key{}); got != nil {
+			t.Errorf("Ext before set = %v, want nil", got)
+		}
+		tx.SetExt(key{}, 42)
+		if got := tx.Ext(key{}); got != 42 {
+			t.Errorf("Ext = %v, want 42", got)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTxIDsUniqueAcrossRetries(t *testing.T) {
+	seen := map[uint64]bool{}
+	attempts := 0
+	err := Atomic(func(tx *Tx) error {
+		attempts++
+		if seen[tx.ID()] {
+			t.Fatalf("duplicate tx id %d", tx.ID())
+		}
+		seen[tx.ID()] = true
+		if tx.Attempt() != attempts-1 {
+			t.Fatalf("Attempt = %d, want %d", tx.Attempt(), attempts-1)
+		}
+		if attempts < 3 {
+			tx.Abort(nil)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 3 {
+		t.Fatalf("saw %d ids, want 3", len(seen))
+	}
+}
+
+func TestStatusTransitions(t *testing.T) {
+	err := Atomic(func(tx *Tx) error {
+		if tx.Status() != Active {
+			t.Errorf("status during body = %v, want active", tx.Status())
+		}
+		tx.OnValidate(func() error {
+			if tx.Status() != Validating {
+				t.Errorf("status during validate = %v, want validating", tx.Status())
+			}
+			return nil
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	cases := map[Status]string{
+		Active:     "active",
+		Validating: "validating",
+		Committed:  "committed",
+		Aborting:   "aborting",
+		Aborted:    "aborted",
+		Status(99): "status(99)",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("Status(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestAbortNilCauseBecomesErrAborted(t *testing.T) {
+	attempts := 0
+	err := Atomic(func(tx *Tx) error {
+		attempts++
+		if attempts == 1 {
+			defer func() {
+				// Peek at the cause recorded before the panic unwinds.
+			}()
+			tx.Abort(nil)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	sys := NewSystem(Config{})
+	attempts := 0
+	_ = sys.Atomic(func(tx *Tx) error {
+		attempts++
+		if attempts < 3 {
+			tx.Abort(nil)
+		}
+		return nil
+	})
+	st := sys.Stats()
+	if st.Starts != 3 || st.Commits != 1 || st.Aborts != 2 {
+		t.Fatalf("stats = %+v, want starts=3 commits=1 aborts=2", st)
+	}
+	if got := st.AbortRatio(); got < 0.66 || got > 0.67 {
+		t.Fatalf("AbortRatio = %v, want 2/3", got)
+	}
+	sys.ResetStats()
+	if st := sys.Stats(); st.Starts != 0 || st.Commits != 0 {
+		t.Fatalf("stats after reset = %+v, want zeros", st)
+	}
+}
+
+func TestStatsSub(t *testing.T) {
+	a := StatsSnapshot{Starts: 10, Commits: 8, Aborts: 2}
+	b := StatsSnapshot{Starts: 4, Commits: 3, Aborts: 1}
+	d := a.Sub(b)
+	if d.Starts != 6 || d.Commits != 5 || d.Aborts != 1 {
+		t.Fatalf("Sub = %+v", d)
+	}
+	if d.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestAbortRatioZeroStarts(t *testing.T) {
+	if r := (StatsSnapshot{}).AbortRatio(); r != 0 {
+		t.Fatalf("AbortRatio on empty = %v, want 0", r)
+	}
+}
+
+func TestConcurrentAtomicCounter(t *testing.T) {
+	// Transactions from many goroutines must all commit exactly once.
+	sys := NewSystem(Config{})
+	var mu sync.Mutex
+	counter := 0
+	const goroutines = 16
+	const perG = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				err := sys.Atomic(func(tx *Tx) error {
+					mu.Lock()
+					counter++
+					val := counter
+					mu.Unlock()
+					tx.Log(func() {
+						mu.Lock()
+						counter--
+						mu.Unlock()
+					})
+					_ = val
+					return nil
+				})
+				if err != nil {
+					t.Errorf("Atomic: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", counter, goroutines*perG)
+	}
+	if st := sys.Stats(); st.Commits != goroutines*perG {
+		t.Fatalf("commits = %d, want %d", st.Commits, goroutines*perG)
+	}
+}
+
+func TestMustAtomicPanicsOnFailure(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAtomic did not panic on error")
+		}
+	}()
+	MustAtomic(func(tx *Tx) error { return errors.New("nope") })
+}
+
+func TestConfigDefaults(t *testing.T) {
+	sys := NewSystem(Config{})
+	cfg := sys.Config()
+	if cfg.BackoffBase <= 0 || cfg.BackoffCap <= 0 || cfg.LockTimeout <= 0 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+	if sys.LockTimeout() != cfg.LockTimeout {
+		t.Fatal("LockTimeout accessor mismatch")
+	}
+}
+
+func TestBackoffBounded(t *testing.T) {
+	sys := NewSystem(Config{BackoffBase: time.Microsecond, BackoffCap: 50 * time.Microsecond})
+	start := time.Now()
+	for i := 0; i < 40; i++ {
+		sys.backoff(i) // attempts far beyond the cap must stay bounded
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("backoff too slow: %v", elapsed)
+	}
+}
+
+func TestCountLockTimeout(t *testing.T) {
+	sys := NewSystem(Config{})
+	sys.CountLockTimeout()
+	sys.CountLockTimeout()
+	if st := sys.Stats(); st.LockTimeouts != 2 {
+		t.Fatalf("LockTimeouts = %d, want 2", st.LockTimeouts)
+	}
+}
+
+func TestUndoDepth(t *testing.T) {
+	_ = Atomic(func(tx *Tx) error {
+		if tx.UndoDepth() != 0 {
+			t.Errorf("initial UndoDepth = %d", tx.UndoDepth())
+		}
+		tx.Log(func() {})
+		tx.Log(func() {})
+		if tx.UndoDepth() != 2 {
+			t.Errorf("UndoDepth = %d, want 2", tx.UndoDepth())
+		}
+		return nil
+	})
+}

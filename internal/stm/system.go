@@ -1,0 +1,180 @@
+package stm
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// Config controls a System's retry policy.
+type Config struct {
+	// MaxRetries bounds how many times Atomic re-executes an aborted
+	// transaction before giving up with ErrTooManyRetries. Zero means
+	// retry forever (the paper's implicit policy: timeouts break
+	// deadlocks, and the aborted transaction simply runs again).
+	MaxRetries int
+
+	// BackoffBase is the first retry's maximum backoff. Each subsequent
+	// retry doubles the window up to BackoffCap. Zero selects a default
+	// of 1 microsecond.
+	BackoffBase time.Duration
+
+	// BackoffCap bounds the backoff window. Zero selects a default of
+	// 1 millisecond.
+	BackoffCap time.Duration
+
+	// LockTimeout is the default timed-acquisition budget lock managers
+	// should use for abstract locks created under this system. Zero
+	// selects 10 milliseconds. (Timeouts are how two-phase locking
+	// recovers from deadlock, per the paper.)
+	LockTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = time.Microsecond
+	}
+	if c.BackoffCap <= 0 {
+		c.BackoffCap = time.Millisecond
+	}
+	if c.LockTimeout <= 0 {
+		c.LockTimeout = 10 * time.Millisecond
+	}
+	return c
+}
+
+// System is an isolated transaction domain: it owns a retry policy and a set
+// of statistics counters. Independent benchmarks use independent Systems so
+// their abort counts do not mix. The zero value is not usable; call
+// NewSystem.
+type System struct {
+	cfg   Config
+	stats Stats
+}
+
+// NewSystem returns a System with the given configuration.
+func NewSystem(cfg Config) *System {
+	return &System{cfg: cfg.withDefaults()}
+}
+
+// Default is the process-wide system used by the package-level Atomic.
+var Default = NewSystem(Config{})
+
+// Config returns the system's effective configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// LockTimeout returns the system's default abstract-lock acquisition budget.
+func (s *System) LockTimeout() time.Duration { return s.cfg.LockTimeout }
+
+// Stats returns a snapshot of the system's counters.
+func (s *System) Stats() StatsSnapshot { return s.stats.snapshot() }
+
+// ResetStats zeroes the system's counters.
+func (s *System) ResetStats() { s.stats.reset() }
+
+// CountLockTimeout records a timed-out abstract-lock acquisition. Lock
+// managers call it just before aborting the acquiring transaction.
+func (s *System) CountLockTimeout() { s.stats.LockTimeouts.Add(1) }
+
+// Atomic executes fn inside a transaction on the default system.
+// See System.Atomic.
+func Atomic(fn func(tx *Tx) error) error {
+	return Default.Atomic(fn)
+}
+
+// MustAtomic executes fn inside a transaction on the default system and
+// panics if the transaction ultimately fails. It is a convenience for
+// examples and tests whose bodies cannot fail.
+func MustAtomic(fn func(tx *Tx) error) {
+	if err := Atomic(fn); err != nil {
+		panic(err)
+	}
+}
+
+// MustAtomicOn executes fn inside a transaction on sys, retrying until it
+// commits, and panics if the system's retry budget is exhausted. The body
+// cannot return an error; use System.Atomic when it can.
+func MustAtomicOn(sys *System, fn func(tx *Tx)) {
+	if err := sys.Atomic(func(tx *Tx) error { fn(tx); return nil }); err != nil {
+		panic(err)
+	}
+}
+
+// Atomic executes fn inside a transaction, retrying with randomized
+// exponential backoff whenever the transaction aborts (lock timeout,
+// validation failure, or explicit tx.Abort). It returns nil once an attempt
+// commits.
+//
+// If fn returns a non-nil error the transaction rolls back — undoing every
+// logged operation — and the error is returned to the caller without
+// retrying. This gives callers transactional early-exit: "abort and give up"
+// rather than "abort and retry".
+//
+// If fn panics with anything other than the runtime's private abort signal,
+// the transaction rolls back and the panic is re-raised.
+func (s *System) Atomic(fn func(tx *Tx) error) error {
+	birth := uint64(0)
+	for attempt := 0; ; attempt++ {
+		tx := &Tx{id: txIDs.Add(1), attempt: attempt, system: s}
+		if birth == 0 {
+			birth = tx.id
+		}
+		tx.birth = birth
+		s.stats.Starts.Add(1)
+		aborted, err := s.runAttempt(tx, fn)
+		if !aborted {
+			if err != nil {
+				// User error: rolled back, do not retry.
+				s.stats.UserAborts.Add(1)
+				return err
+			}
+			if tx.commit() {
+				s.stats.Commits.Add(1)
+				return nil
+			}
+			// Validation failure: rolled back inside commit.
+			aborted = true
+		}
+		s.stats.Aborts.Add(1)
+		if s.cfg.MaxRetries > 0 && attempt+1 >= s.cfg.MaxRetries {
+			return ErrTooManyRetries
+		}
+		s.backoff(attempt)
+	}
+}
+
+// runAttempt runs one execution of fn, converting an abort panic into a
+// completed rollback. It reports whether the attempt aborted and, if not,
+// the user error (if any, with rollback already performed).
+func (s *System) runAttempt(tx *Tx, fn func(tx *Tx) error) (aborted bool, err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if sig, ok := r.(abortSignal); ok && sig.tx == tx {
+			tx.rollback()
+			aborted = true
+			return
+		}
+		// Foreign panic: roll back and propagate.
+		tx.rollback()
+		panic(r)
+	}()
+	err = fn(tx)
+	if err != nil {
+		tx.rollback()
+	}
+	return false, err
+}
+
+// backoff sleeps for a random duration in an exponentially growing window.
+func (s *System) backoff(attempt int) {
+	window := s.cfg.BackoffBase << uint(min(attempt, 20))
+	if window > s.cfg.BackoffCap {
+		window = s.cfg.BackoffCap
+	}
+	if window <= 0 {
+		return
+	}
+	time.Sleep(time.Duration(rand.Int64N(int64(window))) + 1)
+}

@@ -1,0 +1,207 @@
+// Package tboost is a Go implementation of transactional boosting
+// (Herlihy & Koskinen, "Transactional Boosting: A Methodology for
+// Highly-Concurrent Transactional Objects", PPoPP 2008): a methodology for
+// turning highly-concurrent linearizable objects into equally concurrent
+// transactional objects using commutativity-based abstract locks,
+// operation-level undo logs of inverse method calls, and deferred
+// disposable operations.
+//
+// This package is the public facade; it re-exports the user-facing API from
+// the internal packages. Typical use:
+//
+//	set := tboost.NewSkipListSet()
+//	err := tboost.Atomic(func(tx *tboost.Tx) error {
+//	    if set.Add(tx, 42) {
+//	        // 42 was inserted; if this transaction aborts, the
+//	        // runtime automatically calls the inverse, Remove(42).
+//	    }
+//	    return nil
+//	})
+//
+// Everything inside Atomic executes transactionally: on conflict (an
+// abstract-lock timeout), the transaction rolls back by running logged
+// inverse operations in reverse, releases its two-phase locks, and retries
+// with randomized backoff. Transactions from different goroutines that
+// touch disjoint keys run fully in parallel, synchronizing only inside the
+// lock-free or fine-grained-locking base objects.
+package tboost
+
+import (
+	"tboost/internal/core"
+	"tboost/internal/stm"
+)
+
+// Tx is a transaction descriptor, passed to every transactional method.
+type Tx = stm.Tx
+
+// System is an isolated transaction domain with its own retry policy and
+// statistics.
+type System = stm.System
+
+// Config controls a System's retry policy and default lock timeout.
+type Config = stm.Config
+
+// StatsSnapshot is a point-in-time copy of a System's counters.
+type StatsSnapshot = stm.StatsSnapshot
+
+// Status is a transaction lifecycle state.
+type Status = stm.Status
+
+// ErrAborted is the generic abort cause.
+var ErrAborted = stm.ErrAborted
+
+// ErrTooManyRetries is returned when a transaction exhausts its retry
+// budget.
+var ErrTooManyRetries = stm.ErrTooManyRetries
+
+// Atomic executes fn inside a transaction on the default system, retrying
+// on conflict until it commits. See stm.System.Atomic for the full
+// contract.
+func Atomic(fn func(tx *Tx) error) error { return stm.Atomic(fn) }
+
+// MustAtomic is Atomic for bodies that cannot fail; it panics if the
+// transaction ultimately cannot commit.
+func MustAtomic(fn func(tx *Tx) error) { stm.MustAtomic(fn) }
+
+// NewSystem returns an isolated transaction domain.
+func NewSystem(cfg Config) *System { return stm.NewSystem(cfg) }
+
+// Set is a boosted transactional set of int64 keys.
+type Set = core.Set
+
+// BaseSet is the linearizable black-box interface a set must satisfy to be
+// boosted.
+type BaseSet = core.BaseSet
+
+// NewSkipListSet returns a transactional set backed by a lock-free skip
+// list with one abstract lock per key — the paper's SkipListKey.
+func NewSkipListSet() *Set { return core.NewSkipListSet() }
+
+// NewSkipListSetCoarse is NewSkipListSet with a single abstract lock for
+// all calls (the slow configuration of the paper's Fig. 10).
+func NewSkipListSetCoarse() *Set { return core.NewSkipListSetCoarse() }
+
+// NewRBTreeSet returns a transactional set backed by a synchronized
+// sequential red-black tree behind one coarse abstract lock (the boosted
+// configuration of the paper's Fig. 9).
+func NewRBTreeSet() *Set { return core.NewRBTreeSet() }
+
+// NewHashSet returns a transactional set backed by a striped concurrent
+// hash set with per-key abstract locks.
+func NewHashSet() *Set { return core.NewHashSet() }
+
+// NewLinkedListSet returns a transactional set backed by a lock-coupling
+// sorted linked list with per-key abstract locks.
+func NewLinkedListSet() *Set { return core.NewLinkedListSet() }
+
+// NewKeyedSet boosts any linearizable BaseSet with per-key abstract locks.
+func NewKeyedSet(base BaseSet) *Set { return core.NewKeyedSet(base) }
+
+// NewCoarseSet boosts any linearizable BaseSet with a single abstract lock.
+func NewCoarseSet(base BaseSet) *Set { return core.NewCoarseSet(base) }
+
+// Map is a boosted transactional map from int64 to V.
+type Map[V any] = core.Map[V]
+
+// NewRBTreeMap returns a transactional map backed by a synchronized
+// red-black tree with per-key abstract locks.
+func NewRBTreeMap[V any]() *Map[V] { return core.NewRBTreeMap[V]() }
+
+// Heap is a boosted transactional min-priority queue.
+type Heap[V any] = core.Heap[V]
+
+// HeapMode selects the heap's abstract-lock discipline.
+type HeapMode = core.HeapMode
+
+// Heap lock modes: RWLocked lets commuting add() calls run concurrently in
+// shared mode (the paper's discipline); Exclusive serializes everything.
+const (
+	RWLocked  = core.RWLocked
+	Exclusive = core.Exclusive
+)
+
+// NewHeap returns a boosted min-heap in the given lock mode.
+func NewHeap[V any](mode HeapMode) *Heap[V] { return core.NewHeap[V](mode) }
+
+// BaseHeap is the linearizable black-box interface a priority queue must
+// satisfy to be boosted.
+type BaseHeap[V any] = core.BaseHeap[V]
+
+// Holder wraps a key in the boosted heap so that Add has an inverse
+// (mark-deleted); base heaps store *Holder values.
+type Holder[V any] = core.Holder[V]
+
+// NewHeapFromBase boosts an arbitrary linearizable base heap.
+func NewHeapFromBase[V any](base BaseHeap[*Holder[V]], mode HeapMode) *Heap[V] {
+	return core.NewHeapFromBase[V](base, mode)
+}
+
+// NewKeyedSetWoundWait boosts a BaseSet with per-key locks under wound-wait
+// contention management (deadlocks resolve by transaction age).
+func NewKeyedSetWoundWait(base BaseSet) *Set { return core.NewKeyedSetWoundWait(base) }
+
+// Privatizer manages hand-off of an object between transactional and
+// non-transactional use via disposable accessor counting.
+type Privatizer = core.Privatizer
+
+// NewPrivatizer returns a Privatizer in shared (transactional) mode.
+func NewPrivatizer() *Privatizer { return core.NewPrivatizer() }
+
+// Queue is a boosted bounded FIFO pipeline buffer with transactional
+// conditional synchronization (blocking offer/take).
+type Queue[T any] = core.Queue[T]
+
+// NewQueue returns a pipeline queue with the given capacity.
+func NewQueue[T any](capacity int) *Queue[T] { return core.NewQueue[T](capacity) }
+
+// Semaphore is a transactional counting semaphore: acquires take effect
+// immediately (undone on abort), releases are deferred to commit.
+type Semaphore = core.Semaphore
+
+// NewSemaphore returns a transactional semaphore with the given initial
+// count.
+func NewSemaphore(initial int) *Semaphore { return core.NewSemaphore(initial) }
+
+// OrderedSet is a boosted transactional sorted set with range queries,
+// synchronized by interval-granular abstract locks: range operations
+// conflict exactly with updates inside their interval.
+type OrderedSet = core.OrderedSet
+
+// NewOrderedSet returns a boosted sorted set over a lock-free skip list.
+func NewOrderedSet() *OrderedSet { return core.NewOrderedSet() }
+
+// Multiset is a boosted transactional bag with per-key abstract locks.
+type Multiset = core.Multiset
+
+// NewMultiset returns a boosted bag over a striped concurrent multiset.
+func NewMultiset() *Multiset { return core.NewMultiset() }
+
+// Counter is a boosted transactional accumulator: increments commute and
+// run in parallel; reads serialize against in-flight increments.
+type Counter = core.Counter
+
+// NewCounter returns a counter with the given initial value.
+func NewCounter(initial int64) *Counter { return core.NewCounter(initial) }
+
+// UniqueID is a transactional unique-ID generator whose aborted assignments
+// are released lazily (or never), per the paper's disposability analysis.
+type UniqueID = core.UniqueID
+
+// NewUniqueID returns a transactional unique-ID generator.
+func NewUniqueID() *UniqueID { return core.NewUniqueID() }
+
+// RefCount is a transactional reference count: increments immediate,
+// decrements deferred to commit.
+type RefCount = core.RefCount
+
+// NewRefCount returns a reference count with an optional zero-callback.
+func NewRefCount(initial int64, onZero func()) *RefCount {
+	return core.NewRefCount(initial, onZero)
+}
+
+// Pool is a transactional allocator: allocations immediate (undone on
+// abort), frees deferred to commit.
+type Pool[T any] = core.Pool[T]
+
+// NewPool returns a pool that calls fresh when its free list is empty.
+func NewPool[T any](fresh func() T) *Pool[T] { return core.NewPool[T](fresh) }
