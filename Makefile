@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test test-race test-short vet chaos bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+test-short:
+	$(GO) test -short ./...
+
+vet:
+	$(GO) vet ./...
+
+# One fault-injection run over the boosted set, heap, and pipeline queue with
+# serializability verdicts. Exits nonzero if any history fails to verify.
+chaos:
+	$(GO) run ./cmd/boostbench -experiment chaos
+
+bench:
+	$(GO) test -bench . -benchtime 200ms -run NONE ./...

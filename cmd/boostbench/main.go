@@ -9,6 +9,7 @@
 //	boostbench -experiment fig11  # heap: readers/writer vs exclusive lock
 //	boostbench -experiment aborts # abort-rate comparison (§4.1 claim)
 //	boostbench -experiment stripes # ablation: lock-table striping
+//	boostbench -experiment chaos  # fault-injection run with serializability verdicts
 //	boostbench -experiment all
 //
 // Flags tune the workload; the defaults mirror the paper's methodology
@@ -19,17 +20,21 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math/rand/v2"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"tboost/internal/bench"
+	"tboost/internal/chaos"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig9|fig10|fig11|aborts|stripes|pipeline|timeout|policy|heapbases|all")
+		experiment = flag.String("experiment", "all", "fig9|fig10|fig11|aborts|stripes|pipeline|timeout|policy|heapbases|chaos|all")
+		chaosSeed  = flag.Uint64("chaos-seed", 0, "chaos: use a randomized fault schedule with this seed (0 = default schedule)")
+		chaosTx    = flag.Int("chaos-tx", 0, "chaos: transactions per worker (0 = default)")
 		threads    = flag.String("threads", "1,2,4,8,16,32", "comma-separated thread counts")
 		duration   = flag.Duration("duration", 500*time.Millisecond, "measurement window per cell")
 		think      = flag.Duration("think", 200*time.Microsecond, "think time inside each transaction (paper: 100ms)")
@@ -109,10 +114,31 @@ func main() {
 			wc.AddPct = 33
 			fmt.Printf("workload: %d op/tx, keys [0,%d) (contended), think %v\n\n", wc.OpsPerTx, wc.KeyRange, wc.ThinkTime)
 			results := bench.Sweep(bench.Fig9Targets, threadCounts, wc)
-			fmt.Printf("%-8s %-20s %12s %10s %10s\n", "threads", "target", "commits/sec", "aborts", "abort%")
+			fmt.Printf("%-8s %-20s %12s %10s %10s   %s\n", "threads", "target", "commits/sec", "aborts", "abort%", "by cause")
 			for _, r := range results {
-				fmt.Printf("%-8d %-20s %12.1f %10d %9.1f%%\n",
-					r.Threads, r.Target, r.Throughput, r.Aborts, 100*r.AbortRatio())
+				fmt.Printf("%-8d %-20s %12.1f %10d %9.1f%%   %s\n",
+					r.Threads, r.Target, r.Throughput, r.Aborts, 100*r.AbortRatio(),
+					r.Stats.CauseString())
+			}
+		},
+		"chaos": func() {
+			fmt.Println("=== Chaos: boosted structures under failpoint-injected faults ===")
+			var sched chaos.Schedule
+			if *chaosSeed != 0 {
+				r := rand.New(rand.NewPCG(*chaosSeed, 0xc4a05))
+				sched = chaos.RandomSchedule(r)
+				fmt.Printf("schedule: randomized, seed %d, %d faults armed\n\n", *chaosSeed, len(sched))
+			} else {
+				sched = chaos.DefaultSchedule()
+				fmt.Printf("schedule: default (%d faults: timeout, doom, validation failure, delay)\n\n", len(sched))
+			}
+			rep := chaos.Run(chaos.Config{TxPerG: *chaosTx}, sched)
+			fmt.Print(rep)
+			if rep.Serializable() {
+				fmt.Println("verdict: all histories strictly serializable under injected faults")
+			} else {
+				fmt.Printf("verdict: FAILED: %v\n", rep.Err())
+				os.Exit(1)
 			}
 		},
 		"stripes": func() {
@@ -172,7 +198,7 @@ func main() {
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"fig9", "fig10", "fig11", "aborts", "stripes", "pipeline", "timeout", "policy", "heapbases"} {
+		for _, name := range []string{"fig9", "fig10", "fig11", "aborts", "stripes", "pipeline", "timeout", "policy", "heapbases", "chaos"} {
 			experiments[name]()
 			fmt.Println()
 		}

@@ -91,6 +91,9 @@ type Result struct {
 	// Atomic call (retries and backoff included — the latency a caller
 	// actually experiences under contention).
 	P50, P99 time.Duration
+	// Stats is the full counter snapshot for the measurement interval,
+	// including the per-cause abort breakdown.
+	Stats stm.StatsSnapshot
 }
 
 // AbortRatio returns aborted attempts / started attempts.
@@ -163,6 +166,7 @@ func Run(t Target, w Workload) Result {
 		Throughput: float64(st.Commits) / elapsed.Seconds(),
 		P50:        pct(0.50),
 		P99:        pct(0.99),
+		Stats:      st,
 	}
 }
 

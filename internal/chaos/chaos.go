@@ -1,0 +1,490 @@
+// Package chaos drives the boosted data structures under failpoint-injected
+// fault schedules and checks that every committed history remains strictly
+// serializable (Theorem 5.3) and that aborted transactions leave no trace on
+// the base objects (Theorem 5.4).
+//
+// The paper's correctness argument leans on recovery machinery that ordinary
+// workloads exercise rarely: rollback of multi-entry undo logs, abandonment
+// of registered-but-unacquired locks, dooms landing mid-wait, validation
+// failures at commit. A chaos run forces those paths deterministically — a
+// schedule arms faultpoint sites (see internal/faultpoint) with forced
+// timeouts, dooms, validation failures, and delays — and then demands the
+// same end-to-end guarantees the paper proves for the fault-free case.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tboost/internal/core"
+	"tboost/internal/faultpoint"
+	"tboost/internal/histories"
+	"tboost/internal/stm"
+)
+
+// Fault arms one failpoint site with one trigger.
+type Fault struct {
+	Site    string
+	Trigger faultpoint.Trigger
+}
+
+// Schedule is a set of faults armed together for one chaos run.
+type Schedule []Fault
+
+// Arm installs every fault in the schedule. Callers should defer Disarm.
+func (s Schedule) Arm() {
+	for _, f := range s {
+		faultpoint.Enable(f.Site, f.Trigger)
+	}
+}
+
+// Disarm clears every failpoint in the process (not just this schedule's):
+// chaos runs own the registry while they execute.
+func Disarm() { faultpoint.Reset() }
+
+// DefaultSchedule injects the four distinct fault kinds the acceptance
+// criteria require — forced timeout, forced doom, forced validation failure,
+// and delay — at sites that are hit unconditionally (every lock registration,
+// every commit attempt, every rollback), so each kind fires even in a
+// single-CPU run with little genuine contention. EveryN gating keeps the
+// fault rate low enough that retries make progress.
+func DefaultSchedule() Schedule {
+	return Schedule{
+		{faultpoint.LockRegistered, faultpoint.Trigger{Effect: faultpoint.Timeout, EveryN: 17}},
+		{faultpoint.StmPreCommit, faultpoint.Trigger{Effect: faultpoint.Doom, EveryN: 13}},
+		{faultpoint.StmValidate, faultpoint.Trigger{Effect: faultpoint.FailValidation, EveryN: 11}},
+		{faultpoint.StmMidRollback, faultpoint.Trigger{Effect: faultpoint.Delay, Delay: 200 * time.Microsecond, EveryN: 5}},
+	}
+}
+
+// RandomSchedule derives a randomized schedule from r: every site gets a
+// probabilistic trigger with a random effect drawn from the kinds that make
+// sense there. Rates are kept low so workloads still commit.
+func RandomSchedule(r *rand.Rand) Schedule {
+	var s Schedule
+	effects := []faultpoint.Effect{
+		faultpoint.Delay, faultpoint.Doom,
+		faultpoint.Timeout, faultpoint.FailValidation,
+	}
+	for _, site := range faultpoint.Sites() {
+		if r.IntN(3) == 0 {
+			continue // leave some sites unarmed for variety
+		}
+		eff := effects[r.IntN(len(effects))]
+		t := faultpoint.Trigger{Effect: eff, Prob: 0.02 + 0.06*r.Float64()}
+		if eff == faultpoint.Delay {
+			t.Delay = time.Duration(50+r.IntN(300)) * time.Microsecond
+		}
+		s = append(s, Fault{Site: site, Trigger: t})
+	}
+	return s
+}
+
+// Config sizes a chaos run. The defaults suit a 1-CPU container: enough
+// concurrency to interleave, small enough to finish under the race detector.
+type Config struct {
+	Goroutines  int           // workers per structure (default 4)
+	TxPerG      int           // transactions per worker (default 40)
+	OpsPerTx    int           // operations per transaction (default 3)
+	KeyRange    int           // key universe per structure (default 16)
+	QueueItems  int           // items pushed through the pipeline queue (default 60)
+	LockTimeout time.Duration // abstract-lock budget (default 25ms)
+	MaxRetries  int           // per-Atomic attempt budget (default 50)
+	Seed        uint64        // workload RNG seed (default 1)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Goroutines <= 0 {
+		c.Goroutines = 4
+	}
+	if c.TxPerG <= 0 {
+		c.TxPerG = 40
+	}
+	if c.OpsPerTx <= 0 {
+		c.OpsPerTx = 3
+	}
+	if c.KeyRange <= 0 {
+		c.KeyRange = 16
+	}
+	if c.QueueItems <= 0 {
+		c.QueueItems = 60
+	}
+	if c.LockTimeout <= 0 {
+		c.LockTimeout = 25 * time.Millisecond
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 50
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// StructureReport is the verdict for one boosted structure.
+type StructureReport struct {
+	Name   string
+	Events int               // recorded history length
+	Shed   int               // Atomic calls that gave up (retry budget, collapse)
+	Stats  stm.StatsSnapshot // that structure's private System counters
+	Err    error             // nil iff the history checked out
+}
+
+// Report is the outcome of one chaos run.
+type Report struct {
+	Structures []StructureReport
+	Faults     map[string]faultpoint.SiteCounts // fault firings per site
+}
+
+// Serializable reports whether every structure's history verified.
+func (r Report) Serializable() bool {
+	for _, s := range r.Structures {
+		if s.Err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Err returns the first structure failure, or nil.
+func (r Report) Err() error {
+	for _, s := range r.Structures {
+		if s.Err != nil {
+			return fmt.Errorf("chaos: %s: %w", s.Name, s.Err)
+		}
+	}
+	return nil
+}
+
+// String formats the report for logs.
+func (r Report) String() string {
+	var b strings.Builder
+	for _, s := range r.Structures {
+		verdict := "serializable"
+		if s.Err != nil {
+			verdict = s.Err.Error()
+		}
+		fmt.Fprintf(&b, "%-6s events=%-5d shed=%-3d %s [%s]\n",
+			s.Name, s.Events, s.Shed, s.Stats.String(), verdict)
+	}
+	names := make([]string, 0, len(r.Faults))
+	for name := range r.Faults {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c := r.Faults[name]
+		if c.Hits > 0 {
+			fmt.Fprintf(&b, "faultpoint %-20s hits=%-6d fires=%d\n", name, c.Hits, c.Fires)
+		}
+	}
+	return b.String()
+}
+
+// Run arms sched, drives the boosted skip-list set, heap, and pipeline queue
+// with concurrent transactional workloads, disarms, and verifies each
+// recorded history against its sequential specification. Structures run one
+// after another so each verdict is attributable to one workload.
+func Run(cfg Config, sched Schedule) Report {
+	cfg = cfg.withDefaults()
+	Disarm()
+	sched.Arm()
+	defer Disarm()
+
+	rep := Report{}
+	rep.Structures = append(rep.Structures,
+		runSet(cfg),
+		runHeap(cfg),
+		runQueue(cfg),
+	)
+	rep.Faults = faultpoint.Snapshot()
+	return rep
+}
+
+// shedable reports whether err is an accepted way for an Atomic call to give
+// up under chaos (as opposed to a bug surfacing).
+func shedable(err error) bool {
+	return errors.Is(err, stm.ErrTooManyRetries) ||
+		errors.Is(err, stm.ErrContentionCollapse)
+}
+
+// errOnce keeps the first unexpected workload error across workers.
+type errOnce struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (e *errOnce) set(err error) {
+	e.mu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.mu.Unlock()
+}
+
+func (e *errOnce) get() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+func newSystem(cfg Config) *stm.System {
+	return stm.NewSystem(stm.Config{
+		LockTimeout: cfg.LockTimeout,
+		MaxRetries:  cfg.MaxRetries,
+	})
+}
+
+// runSet drives the boosted skip-list set, recording calls under the
+// abstract locks, and checks strict serializability plus Theorem 5.4 (the
+// quiescent base set equals the committed history's final state).
+func runSet(cfg Config) StructureReport {
+	set := core.NewSkipListSet()
+	rec := histories.NewRecorder()
+	sys := newSystem(cfg)
+	giveUp := errors.New("chaos: deliberate user abort")
+	var shed atomic.Int64
+	var fatal errOnce
+	var wg sync.WaitGroup
+	for g := 0; g < cfg.Goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := rand.New(rand.NewPCG(cfg.Seed, uint64(g)))
+			for i := 0; i < cfg.TxPerG; i++ {
+				fail := r.IntN(5) == 0
+				ops := make([][2]int64, cfg.OpsPerTx)
+				for j := range ops {
+					ops[j] = [2]int64{int64(r.IntN(3)), int64(r.IntN(cfg.KeyRange))}
+				}
+				err := sys.Atomic(func(tx *stm.Tx) error {
+					for _, op := range ops {
+						k := op[1]
+						switch op[0] {
+						case 0:
+							ok := set.Add(tx, k)
+							rec.RecordCall(tx.ID(), "set", "add", []int64{k}, histories.Resp{OK: ok})
+						case 1:
+							ok := set.Remove(tx, k)
+							rec.RecordCall(tx.ID(), "set", "remove", []int64{k}, histories.Resp{OK: ok})
+						default:
+							ok := set.Contains(tx, k)
+							rec.RecordCall(tx.ID(), "set", "contains", []int64{k}, histories.Resp{OK: ok})
+						}
+					}
+					if fail {
+						return giveUp
+					}
+					tx.AtCommit(func() { rec.Commit(tx.ID()) })
+					return nil
+				})
+				if err != nil && !errors.Is(err, giveUp) {
+					if !shedable(err) {
+						fatal.set(fmt.Errorf("set worker: unexpected error: %w", err))
+						return
+					}
+					shed.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	h := rec.History()
+	out := StructureReport{Name: "set", Events: len(h), Shed: int(shed.Load()), Stats: sys.Stats()}
+	if err := fatal.get(); err != nil {
+		out.Err = err
+		return out
+	}
+	specs := map[string]histories.Spec{"set": histories.SetSpec{}}
+	if err := histories.CheckStrictSerializability(h, specs); err != nil {
+		out.Err = err
+		return out
+	}
+	finals, err := histories.FinalStates(h, specs)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	for k := int64(0); k < int64(cfg.KeyRange); k++ {
+		want, _, _ := finals["set"].Apply("contains", []int64{k})
+		if got := set.Base().Contains(k); got != want.OK {
+			out.Err = fmt.Errorf("theorem 5.4 violated at key %d: base=%v history=%v", k, got, want.OK)
+			return out
+		}
+	}
+	return out
+}
+
+// runHeap drives the boosted priority queue (readers/writer abstract lock
+// flavour) and checks its history plus the drained quiescent state.
+func runHeap(cfg Config) StructureReport {
+	h := core.NewHeap[struct{}](core.RWLocked)
+	rec := histories.NewRecorder()
+	sys := newSystem(cfg)
+	giveUp := errors.New("chaos: deliberate user abort")
+	var shed atomic.Int64
+	var fatal errOnce
+	var wg sync.WaitGroup
+	for g := 0; g < cfg.Goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := rand.New(rand.NewPCG(cfg.Seed+1, uint64(g)))
+			for i := 0; i < cfg.TxPerG; i++ {
+				fail := r.IntN(5) == 0
+				ops := make([][2]int64, cfg.OpsPerTx)
+				for j := range ops {
+					ops[j] = [2]int64{int64(r.IntN(3)), int64(r.IntN(cfg.KeyRange * 4))}
+				}
+				err := sys.Atomic(func(tx *stm.Tx) error {
+					for _, op := range ops {
+						switch op[0] {
+						case 0:
+							h.Add(tx, op[1], struct{}{})
+							rec.RecordCall(tx.ID(), "pq", "add", []int64{op[1]}, histories.Resp{OK: true})
+						case 1:
+							k, _, ok := h.RemoveMin(tx)
+							rec.RecordCall(tx.ID(), "pq", "removeMin", nil, histories.Resp{Val: k, OK: ok})
+						default:
+							k, _, ok := h.Min(tx)
+							rec.RecordCall(tx.ID(), "pq", "min", nil, histories.Resp{Val: k, OK: ok})
+						}
+					}
+					if fail {
+						return giveUp
+					}
+					tx.AtCommit(func() { rec.Commit(tx.ID()) })
+					return nil
+				})
+				if err != nil && !errors.Is(err, giveUp) {
+					if !shedable(err) {
+						fatal.set(fmt.Errorf("heap worker: unexpected error: %w", err))
+						return
+					}
+					shed.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	hist := rec.History()
+	out := StructureReport{Name: "heap", Events: len(hist), Shed: int(shed.Load()), Stats: sys.Stats()}
+	if err := fatal.get(); err != nil {
+		out.Err = err
+		return out
+	}
+	specs := map[string]histories.Spec{"pq": histories.PQSpec{}}
+	finals, err := histories.FinalStates(hist, specs)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	var want []int64
+	st := finals["pq"]
+	for {
+		r, next, _ := st.Apply("removeMin", nil)
+		if !r.OK {
+			break
+		}
+		want = append(want, r.Val)
+		st = next
+	}
+	got := h.DrainQuiescent()
+	if len(got) != len(want) {
+		out.Err = fmt.Errorf("theorem 5.4 violated: drained %d keys, history implies %d", len(got), len(want))
+		return out
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			out.Err = fmt.Errorf("theorem 5.4 violated: drain[%d]=%d, history implies %d", i, got[i], want[i])
+			return out
+		}
+	}
+	return out
+}
+
+// runQueue drives the bounded pipeline queue in its intended SPSC topology
+// with a bounded semaphore timeout, so injected faults surface as aborts
+// rather than hangs, and checks the committed FIFO history.
+func runQueue(cfg Config) StructureReport {
+	q := core.NewQueueTimeout[int64](8, 50*time.Millisecond)
+	rec := histories.NewRecorder()
+	sys := newSystem(cfg)
+	var shed atomic.Int64
+	var fatal errOnce
+	var prodDone atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // producer
+		defer wg.Done()
+		defer prodDone.Store(true)
+		for i := int64(0); i < int64(cfg.QueueItems); i++ {
+			for {
+				if fatal.get() != nil {
+					return // consumer died; don't spin on a full queue
+				}
+				err := sys.Atomic(func(tx *stm.Tx) error {
+					q.Offer(tx, i)
+					rec.RecordCall(tx.ID(), "queue", "offer", []int64{i}, histories.Resp{OK: true})
+					tx.AtCommit(func() { rec.Commit(tx.ID()) })
+					return nil
+				})
+				if err == nil {
+					break
+				}
+				if !shedable(err) {
+					fatal.set(fmt.Errorf("queue producer: unexpected error: %w", err))
+					return
+				}
+				shed.Add(1)
+			}
+		}
+	}()
+	go func() { // consumer
+		defer wg.Done()
+		for {
+			if prodDone.Load() && q.LenCommitted() == 0 {
+				return
+			}
+			err := sys.Atomic(func(tx *stm.Tx) error {
+				v := q.Take(tx)
+				rec.RecordCall(tx.ID(), "queue", "take", nil, histories.Resp{Val: v, OK: true})
+				tx.AtCommit(func() { rec.Commit(tx.ID()) })
+				return nil
+			})
+			if err != nil {
+				if !shedable(err) {
+					fatal.set(fmt.Errorf("queue consumer: unexpected error: %w", err))
+					return
+				}
+				shed.Add(1)
+			}
+		}
+	}()
+	wg.Wait()
+
+	h := rec.History()
+	out := StructureReport{Name: "queue", Events: len(h), Shed: int(shed.Load()), Stats: sys.Stats()}
+	if err := fatal.get(); err != nil {
+		out.Err = err
+		return out
+	}
+	if err := histories.CheckStrictSerializability(h, map[string]histories.Spec{"queue": histories.QueueSpec{}}); err != nil {
+		out.Err = err
+		return out
+	}
+	if n := q.LenCommitted(); n != 0 {
+		out.Err = fmt.Errorf("theorem 5.4 violated: %d items left committed after full drain", n)
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package chaos
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"tboost/internal/faultpoint"
+)
+
+// TestDefaultScheduleSerializable is the headline chaos test: the default
+// schedule injects four distinct fault kinds — forced lock timeout, forced
+// doom, forced validation failure, and rollback delay — across the boosted
+// set, heap, and pipeline queue, and every committed history must replay
+// cleanly against its sequential specification.
+func TestDefaultScheduleSerializable(t *testing.T) {
+	sched := DefaultSchedule()
+	rep := Run(Config{}, sched)
+	t.Logf("chaos report:\n%s", rep)
+	if err := rep.Err(); err != nil {
+		t.Fatalf("chaos run violated serializability: %v", err)
+	}
+
+	// Each armed fault kind must actually have fired, otherwise the run
+	// proved nothing about the recovery path it targets.
+	for _, f := range sched {
+		c := rep.Faults[f.Site]
+		if c.Fires == 0 {
+			t.Errorf("fault %v at %s never fired (hits=%d)", f.Trigger.Effect, f.Site, c.Hits)
+		}
+	}
+
+	// The injected faults must have caused real aborts of the right kinds:
+	// timeouts from LockRegistered, dooms from StmPreCommit, validation
+	// failures from StmValidate.
+	var timeouts, doomed, validation int64
+	for _, s := range rep.Structures {
+		timeouts += s.Stats.AbortsLockTimeout
+		doomed += s.Stats.AbortsDoomed
+		validation += s.Stats.AbortsValidation
+	}
+	if timeouts == 0 {
+		t.Error("no lock-timeout aborts despite forced Timeout faults")
+	}
+	if doomed == 0 {
+		t.Error("no doomed aborts despite forced Doom faults")
+	}
+	if validation == 0 {
+		t.Error("no validation aborts despite forced FailValidation faults")
+	}
+}
+
+// TestRandomSchedules runs a few randomized fault schedules; whatever mix of
+// faults lands, serializability must hold.
+func TestRandomSchedules(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep skipped in -short mode")
+	}
+	for seed := uint64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run(map[uint64]string{1: "seed1", 2: "seed2", 3: "seed3"}[seed], func(t *testing.T) {
+			r := rand.New(rand.NewPCG(seed, 0xc4a05))
+			sched := RandomSchedule(r)
+			rep := Run(Config{TxPerG: 25, Seed: seed}, sched)
+			t.Logf("schedule: %d faults; report:\n%s", len(sched), rep)
+			if err := rep.Err(); err != nil {
+				t.Fatalf("random schedule (seed %d) violated serializability: %v", seed, err)
+			}
+		})
+	}
+}
+
+// TestNoFaultBaseline checks the harness itself: with nothing armed the run
+// must be serializable with zero fault fires and the registry disarmed.
+func TestNoFaultBaseline(t *testing.T) {
+	rep := Run(Config{TxPerG: 20}, nil)
+	if err := rep.Err(); err != nil {
+		t.Fatalf("fault-free chaos run failed: %v", err)
+	}
+	for site, c := range rep.Faults {
+		if c.Fires != 0 {
+			t.Errorf("site %s fired %d times with no schedule armed", site, c.Fires)
+		}
+	}
+	if faultpoint.Armed() != 0 {
+		t.Errorf("registry still armed after Run: %d sites", faultpoint.Armed())
+	}
+}

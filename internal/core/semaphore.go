@@ -5,6 +5,8 @@ import (
 	"sync"
 	"time"
 
+	"tboost/internal/faultpoint"
+	"tboost/internal/lockmgr"
 	"tboost/internal/stm"
 )
 
@@ -12,6 +14,10 @@ import (
 // acquisition waits longer than its timeout (the deadlock-recovery story is
 // the same as for abstract locks: abort and retry).
 var ErrSemTimeout = errors.New("core: transactional semaphore acquire timed out")
+
+func init() {
+	stm.RegisterAbortKind(ErrSemTimeout, stm.KindLockTimeout)
+}
 
 // DefaultSemTimeout is the acquire timeout used when none is configured.
 // It is deliberately much longer than the abstract-lock timeout because
@@ -55,14 +61,27 @@ func NewSemaphoreTimeout(initial int, timeout time.Duration) *Semaphore {
 // aborts, the logged inverse restores it. If the wait exceeds the timeout,
 // tx aborts (breaking pipeline deadlocks).
 func (s *Semaphore) Acquire(tx *stm.Tx) {
-	if !s.acquireTimeout(s.timeout) {
+	switch faultpoint.Hit(faultpoint.SemAcquire) {
+	case faultpoint.Timeout:
+		tx.System().CountLockTimeout()
+		tx.Abort(ErrSemTimeout)
+	case faultpoint.Doom:
+		tx.Doom()
+	}
+	if !s.acquireTimeout(tx, s.timeout) {
+		if tx.Doomed() {
+			tx.Abort(lockmgr.ErrWounded)
+		}
+		if err := tx.Context().Err(); err != nil {
+			tx.Abort(err)
+		}
 		tx.System().CountLockTimeout()
 		tx.Abort(ErrSemTimeout)
 	}
 	tx.Log(func() { s.increment() })
 }
 
-func (s *Semaphore) acquireTimeout(timeout time.Duration) bool {
+func (s *Semaphore) acquireTimeout(tx *stm.Tx, timeout time.Duration) bool {
 	var timer *time.Timer
 	var expired <-chan time.Time
 	for {
@@ -87,6 +106,12 @@ func (s *Semaphore) acquireTimeout(timeout time.Duration) bool {
 		}
 		select {
 		case <-wait:
+		case <-tx.DoomChan():
+			timer.Stop()
+			return false
+		case <-tx.Done():
+			timer.Stop()
+			return false
 		case <-expired:
 			return false
 		}

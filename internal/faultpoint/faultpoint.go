@@ -1,0 +1,257 @@
+// Package faultpoint is a failpoint registry for chaos-testing the boosting
+// runtime. The recovery machinery the paper depends on — timed abstract-lock
+// acquisition, inverse-operation undo logs, post-abort disposables,
+// validation — runs rarely in healthy workloads, so the rarest paths are the
+// least exercised. Failpoints let tests and the chaos harness force those
+// paths on demand: a named site woven into a hot path consults the registry
+// and, when a trigger is armed, injects a delay, a doom, a forced lock
+// timeout, or a forced validation failure.
+//
+// The registry is process-global (fault schedules span packages) and
+// zero-overhead when disarmed: Hit is a single atomic load and a predictable
+// branch until at least one site is armed. Callers interpret the returned
+// Effect; the package knows nothing about transactions, so it can sit below
+// every layer of the runtime without import cycles.
+//
+// Sites are identified by name. The canonical site names for the runtime's
+// recovery paths are declared here so that chaos schedules, documentation,
+// and call sites agree on them.
+package faultpoint
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Effect is what a fired trigger asks the call site to do. Sites interpret
+// only the effects that make sense for them and ignore the rest, so a
+// schedule may arm any effect anywhere without breaking invariants.
+type Effect int
+
+const (
+	// None: proceed normally (trigger did not fire, or counting-only).
+	None Effect = iota
+	// Delay: the injected sleep (performed inside Hit) was the whole
+	// fault; proceed normally afterwards.
+	Delay
+	// Doom: asynchronously doom the current transaction, as a contention
+	// manager would.
+	Doom
+	// Timeout: behave as if the timed acquisition expired (forced
+	// ErrTimeout path).
+	Timeout
+	// FailValidation: behave as if pre-commit validation failed.
+	FailValidation
+)
+
+// String returns the effect name.
+func (e Effect) String() string {
+	switch e {
+	case None:
+		return "none"
+	case Delay:
+		return "delay"
+	case Doom:
+		return "doom"
+	case Timeout:
+		return "timeout"
+	case FailValidation:
+		return "fail-validation"
+	default:
+		return fmt.Sprintf("effect(%d)", int(e))
+	}
+}
+
+// Canonical failpoint sites woven through the runtime's recovery paths.
+const (
+	// StmPreCommit is hit at the top of every commit attempt, before the
+	// doomed check. Doom here exercises the doomed-at-commit path.
+	StmPreCommit = "stm/pre-commit"
+	// StmValidate is hit after the transaction enters Validating, before
+	// its validation handlers run. FailValidation here forces the
+	// validation-failure rollback even for transactions with no handlers.
+	StmValidate = "stm/validate"
+	// StmMidRollback is hit once when rollback begins, before the first
+	// inverse runs.
+	StmMidRollback = "stm/mid-rollback"
+	// StmBetweenUndo is hit before each inverse operation of the undo log.
+	StmBetweenUndo = "stm/between-undo"
+	// StmPostAbort is hit after locks are released, before post-abort
+	// disposables run.
+	StmPostAbort = "stm/post-abort"
+	// LockRegistered is hit between a lock's registration with the
+	// transaction and the acquisition attempt. Timeout here forces the
+	// registered-but-never-acquired cleanup path.
+	LockRegistered = "lockmgr/registered"
+	// LockWait is hit inside timed wait loops, between wait-channel setup
+	// and the select. Delay here widens the doom/wakeup race window.
+	LockWait = "lockmgr/wait"
+	// SemAcquire is hit at the top of every transactional semaphore
+	// acquisition (the queue's blocking substrate).
+	SemAcquire = "core/sem-acquire"
+	// RWValidate is hit before the rwstm baseline validates its read set.
+	RWValidate = "rwstm/validate"
+	// RWWriteBack is hit after validation succeeds, before the rwstm
+	// commit protocol writes shadow copies back.
+	RWWriteBack = "rwstm/write-back"
+)
+
+// Sites returns every canonical site name, sorted.
+func Sites() []string {
+	return []string{
+		StmPreCommit, StmValidate, StmMidRollback, StmBetweenUndo,
+		StmPostAbort, LockRegistered, LockWait, SemAcquire,
+		RWValidate, RWWriteBack,
+	}
+}
+
+// Trigger arms a site. The firing condition is the conjunction of the
+// configured gates: an EveryN gate (fire only on every Nth hit), a Prob gate
+// (fire with the given probability), and a OneShot gate (fire at most once).
+// Zero values disable a gate, so the zero Trigger fires on every hit with
+// Effect None (counting only).
+type Trigger struct {
+	// Effect is injected when the trigger fires.
+	Effect Effect
+	// Delay is slept inside Hit when the trigger fires, whatever the
+	// Effect; with Effect Delay the sleep is the whole fault.
+	Delay time.Duration
+	// Prob in (0,1) gates firing with that probability; 0 and >=1 always
+	// pass.
+	Prob float64
+	// EveryN > 1 fires only on hits whose ordinal is a multiple of N.
+	EveryN int64
+	// OneShot disarms the trigger (but keeps counting hits) after its
+	// first firing.
+	OneShot bool
+}
+
+// SiteCounts reports a site's activity since it was armed.
+type SiteCounts struct {
+	Hits  int64 // times the site was reached while armed
+	Fires int64 // times the trigger fired
+}
+
+type site struct {
+	trig  Trigger
+	hits  atomic.Int64
+	fires atomic.Int64
+	spent atomic.Bool // OneShot already fired
+}
+
+var (
+	armed atomic.Int64 // number of armed sites; 0 = fast path everywhere
+	mu    sync.RWMutex
+	table = map[string]*site{}
+)
+
+// Enable arms name with t, replacing any existing trigger (and resetting the
+// site's counters).
+func Enable(name string, t Trigger) {
+	mu.Lock()
+	if _, ok := table[name]; !ok {
+		armed.Add(1)
+	}
+	table[name] = &site{trig: t}
+	mu.Unlock()
+}
+
+// Disable disarms name. Disabling an unarmed site is a no-op.
+func Disable(name string) {
+	mu.Lock()
+	if _, ok := table[name]; ok {
+		delete(table, name)
+		armed.Add(-1)
+	}
+	mu.Unlock()
+}
+
+// Reset disarms every site, restoring the zero-overhead fast path.
+func Reset() {
+	mu.Lock()
+	clear(table)
+	armed.Store(0)
+	mu.Unlock()
+}
+
+// Armed reports how many sites are armed.
+func Armed() int { return int(armed.Load()) }
+
+// Counts returns the hit/fire counters of name (zero if unarmed).
+func Counts(name string) SiteCounts {
+	mu.RLock()
+	st := table[name]
+	mu.RUnlock()
+	if st == nil {
+		return SiteCounts{}
+	}
+	return SiteCounts{Hits: st.hits.Load(), Fires: st.fires.Load()}
+}
+
+// Snapshot returns the counters of every armed site.
+func Snapshot() map[string]SiteCounts {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make(map[string]SiteCounts, len(table))
+	for name, st := range table {
+		out[name] = SiteCounts{Hits: st.hits.Load(), Fires: st.fires.Load()}
+	}
+	return out
+}
+
+// FormatSnapshot renders a snapshot as sorted "site hits/fires" lines.
+func FormatSnapshot(snap map[string]SiteCounts) string {
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	s := ""
+	for _, name := range names {
+		c := snap[name]
+		s += fmt.Sprintf("%-22s hits=%-6d fires=%d\n", name, c.Hits, c.Fires)
+	}
+	return s
+}
+
+// Hit consults the registry at a named site. With nothing armed anywhere it
+// is a single atomic load. When the site's trigger fires, Hit sleeps the
+// trigger's Delay and returns its Effect for the caller to interpret.
+func Hit(name string) Effect {
+	if armed.Load() == 0 {
+		return None
+	}
+	return slowHit(name)
+}
+
+func slowHit(name string) Effect {
+	mu.RLock()
+	st := table[name]
+	mu.RUnlock()
+	if st == nil {
+		return None
+	}
+	n := st.hits.Add(1)
+	t := st.trig
+	if t.OneShot && st.spent.Load() {
+		return None
+	}
+	if t.EveryN > 1 && n%t.EveryN != 0 {
+		return None
+	}
+	if t.Prob > 0 && t.Prob < 1 && rand.Float64() >= t.Prob {
+		return None
+	}
+	if t.OneShot && !st.spent.CompareAndSwap(false, true) {
+		return None // another goroutine used the one shot
+	}
+	st.fires.Add(1)
+	if t.Delay > 0 {
+		time.Sleep(t.Delay)
+	}
+	return t.Effect
+}

@@ -1,0 +1,186 @@
+package faultpoint
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisarmedHitIsNone(t *testing.T) {
+	Reset()
+	if got := Hit(StmPreCommit); got != None {
+		t.Fatalf("disarmed Hit = %v, want None", got)
+	}
+	if c := Counts(StmPreCommit); c.Hits != 0 {
+		t.Fatalf("disarmed site counted hits: %+v", c)
+	}
+}
+
+func TestEnableDisable(t *testing.T) {
+	Reset()
+	Enable(LockWait, Trigger{Effect: Timeout})
+	if Armed() != 1 {
+		t.Fatalf("Armed = %d, want 1", Armed())
+	}
+	if got := Hit(LockWait); got != Timeout {
+		t.Fatalf("Hit = %v, want Timeout", got)
+	}
+	// Unrelated sites are unaffected.
+	if got := Hit(StmPreCommit); got != None {
+		t.Fatalf("unarmed sibling site fired: %v", got)
+	}
+	Disable(LockWait)
+	if Armed() != 0 {
+		t.Fatalf("Armed = %d after Disable, want 0", Armed())
+	}
+	if got := Hit(LockWait); got != None {
+		t.Fatalf("Hit after Disable = %v, want None", got)
+	}
+	Disable(LockWait) // no-op, must not underflow armed
+	if Armed() != 0 {
+		t.Fatalf("Armed = %d after double Disable, want 0", Armed())
+	}
+}
+
+func TestEveryN(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable(StmValidate, Trigger{Effect: FailValidation, EveryN: 3})
+	var fires int
+	for i := 0; i < 9; i++ {
+		if Hit(StmValidate) == FailValidation {
+			fires++
+		}
+	}
+	if fires != 3 {
+		t.Fatalf("EveryN=3 over 9 hits fired %d times, want 3", fires)
+	}
+	if c := Counts(StmValidate); c.Hits != 9 || c.Fires != 3 {
+		t.Fatalf("counts = %+v, want 9 hits / 3 fires", c)
+	}
+}
+
+func TestOneShot(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable(LockRegistered, Trigger{Effect: Doom, OneShot: true})
+	var fires int
+	for i := 0; i < 5; i++ {
+		if Hit(LockRegistered) == Doom {
+			fires++
+		}
+	}
+	if fires != 1 {
+		t.Fatalf("OneShot fired %d times, want 1", fires)
+	}
+	if c := Counts(LockRegistered); c.Hits != 5 || c.Fires != 1 {
+		t.Fatalf("counts = %+v, want 5 hits / 1 fire", c)
+	}
+}
+
+func TestOneShotConcurrent(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable(SemAcquire, Trigger{Effect: Timeout, OneShot: true})
+	var mu sync.Mutex
+	fires := 0
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if Hit(SemAcquire) == Timeout {
+					mu.Lock()
+					fires++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if fires != 1 {
+		t.Fatalf("concurrent OneShot fired %d times, want exactly 1", fires)
+	}
+}
+
+func TestProbability(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable(StmPostAbort, Trigger{Effect: Delay, Prob: 0.5})
+	const n = 2000
+	var fires int
+	for i := 0; i < n; i++ {
+		if Hit(StmPostAbort) == Delay {
+			fires++
+		}
+	}
+	// Binomial(2000, 0.5): 6 sigma is ~134.
+	if fires < n/2-200 || fires > n/2+200 {
+		t.Fatalf("Prob=0.5 fired %d/%d times; far outside expectation", fires, n)
+	}
+	// Prob 0 and >= 1 always pass the gate.
+	Enable(StmPostAbort, Trigger{Effect: Doom, Prob: 1})
+	if Hit(StmPostAbort) != Doom {
+		t.Fatal("Prob=1 did not fire")
+	}
+}
+
+func TestDelayIsSlept(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable(StmMidRollback, Trigger{Effect: Delay, Delay: 20 * time.Millisecond})
+	start := time.Now()
+	if got := Hit(StmMidRollback); got != Delay {
+		t.Fatalf("Hit = %v, want Delay", got)
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("Hit returned after %v, want >= 20ms sleep", elapsed)
+	}
+}
+
+func TestSnapshotAndSites(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable(StmPreCommit, Trigger{})
+	Enable(LockWait, Trigger{Effect: Timeout})
+	Hit(StmPreCommit)
+	Hit(LockWait)
+	snap := Snapshot()
+	if len(snap) != 2 || snap[StmPreCommit].Hits != 1 || snap[LockWait].Fires != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if FormatSnapshot(snap) == "" {
+		t.Fatal("FormatSnapshot empty")
+	}
+	if len(Sites()) < 8 {
+		t.Fatalf("Sites() = %v, expected the canonical list", Sites())
+	}
+}
+
+// BenchmarkHitDisarmed measures the disarmed fast path: the cost every hot
+// path pays in production. It must stay at a single atomic load (sub-ns to
+// low-ns on any modern core).
+func BenchmarkHitDisarmed(b *testing.B) {
+	Reset()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if Hit(StmPreCommit) != None {
+			b.Fatal("fired while disarmed")
+		}
+	}
+}
+
+// BenchmarkHitArmedElsewhere measures the slow path taken when some other
+// site is armed: a map lookup under RLock, still cheap.
+func BenchmarkHitArmedElsewhere(b *testing.B) {
+	Reset()
+	Enable(LockWait, Trigger{Effect: Timeout})
+	defer Reset()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if Hit(StmPreCommit) != None {
+			b.Fatal("unarmed site fired")
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package lockmgr
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"tboost/internal/faultpoint"
+	"tboost/internal/stm"
+)
+
+// holdLock starts a transaction that acquires l and holds it until release is
+// closed, returning once the lock is held.
+func holdLock(t *testing.T, sys *stm.System, l *OwnerLock, wg *sync.WaitGroup, release chan struct{}) {
+	t.Helper()
+	held := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		err := sys.Atomic(func(tx *stm.Tx) error {
+			l.Acquire(tx)
+			close(held)
+			<-release
+			return nil
+		})
+		if err != nil {
+			t.Errorf("holder tx: %v", err)
+		}
+	}()
+	<-held
+}
+
+// TestDoomDuringLockWaitWindow is the regression test for the doom/DoomChan
+// ordering race: a doom landing in the window between DoomChan() creation and
+// the lock manager's select must wake the waiter exactly once, promptly, via
+// the doomed channel — not linger until the lock timeout fires. The window,
+// normally nanoseconds wide, is forced open with a failpoint-injected delay.
+func TestDoomDuringLockWaitWindow(t *testing.T) {
+	faultpoint.Reset()
+	t.Cleanup(faultpoint.Reset)
+	// One-shot: only the waiter's first pass through the wait loop stalls.
+	faultpoint.Enable(faultpoint.LockWait, faultpoint.Trigger{
+		Effect:  faultpoint.Delay,
+		Delay:   150 * time.Millisecond,
+		OneShot: true,
+	})
+
+	sys := stm.NewSystem(stm.Config{LockTimeout: 5 * time.Second, MaxRetries: 1})
+	l := NewOwnerLock()
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	holdLock(t, sys, l, &wg, release)
+
+	var waiterTx *stm.Tx
+	ready := make(chan struct{})
+	go func() {
+		<-ready
+		time.Sleep(30 * time.Millisecond) // land inside the injected delay
+		waiterTx.Doom()
+	}()
+
+	start := time.Now()
+	err := sys.Atomic(func(tx *stm.Tx) error {
+		waiterTx = tx
+		close(ready)
+		l.Acquire(tx) // blocks on the held lock, then gets doomed mid-wait
+		return nil
+	})
+	elapsed := time.Since(start)
+	close(release)
+	wg.Wait()
+
+	if !errors.Is(err, stm.ErrTooManyRetries) {
+		t.Fatalf("waiter err = %v, want ErrTooManyRetries (single doomed attempt)", err)
+	}
+	// The doomed channel, not the 5s lock timeout, must have woken the
+	// waiter: one wounded abort, well before the timeout.
+	if elapsed > time.Second {
+		t.Errorf("waiter woke after %v; doom did not interrupt the lock wait", elapsed)
+	}
+	st := sys.Stats()
+	if st.AbortsWounded != 1 {
+		t.Errorf("wounded aborts = %d, want exactly 1 (%s)", st.AbortsWounded, st.CauseString())
+	}
+	if l.Locked() && waiterTx != nil && l.HeldBy(waiterTx) {
+		t.Error("doomed waiter ended up owning the lock")
+	}
+}
+
+// TestCancelDuringLockWait checks the AtomicCtx acceptance criterion for lock
+// waits: cancelling mid-wait returns ctx.Err() well within one lock-timeout
+// window (here the select wakes on tx.Done() immediately).
+func TestCancelDuringLockWait(t *testing.T) {
+	sys := stm.NewSystem(stm.Config{LockTimeout: 2 * time.Second})
+	l := NewOwnerLock()
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	holdLock(t, sys, l, &wg, release)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := sys.AtomicCtx(ctx, func(tx *stm.Tx) error {
+		l.Acquire(tx)
+		return nil
+	})
+	elapsed := time.Since(start)
+	close(release)
+	wg.Wait()
+
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed > sys.Config().LockTimeout {
+		t.Errorf("cancellation surfaced after %v, want within one lock-timeout window (%v)",
+			elapsed, sys.Config().LockTimeout)
+	}
+}
+
+// TestCancelDuringRWLockWait is the same criterion for the readers/writer
+// lock's wait loop.
+func TestCancelDuringRWLockWait(t *testing.T) {
+	sys := stm.NewSystem(stm.Config{LockTimeout: 2 * time.Second})
+	l := NewRWOwnerLock()
+	release := make(chan struct{})
+	held := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		err := sys.Atomic(func(tx *stm.Tx) error {
+			l.WLock(tx)
+			close(held)
+			<-release
+			return nil
+		})
+		if err != nil {
+			t.Errorf("writer tx: %v", err)
+		}
+	}()
+	<-held
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := sys.AtomicCtx(ctx, func(tx *stm.Tx) error {
+		l.RLock(tx) // blocks behind the writer
+		return nil
+	})
+	elapsed := time.Since(start)
+	close(release)
+	wg.Wait()
+
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed > sys.Config().LockTimeout {
+		t.Errorf("cancellation surfaced after %v, want within %v", elapsed, sys.Config().LockTimeout)
+	}
+}
+
+// TestInjectedTimeoutAtRegistration: a forced Timeout between lock
+// registration and acquisition must exercise the registered-but-never-
+// acquired cleanup — the retry then succeeds with no leaked registration.
+func TestInjectedTimeoutAtRegistration(t *testing.T) {
+	faultpoint.Reset()
+	t.Cleanup(faultpoint.Reset)
+	faultpoint.Enable(faultpoint.LockRegistered, faultpoint.Trigger{
+		Effect:  faultpoint.Timeout,
+		OneShot: true,
+	})
+
+	sys := stm.NewSystem(stm.Config{LockTimeout: 20 * time.Millisecond})
+	l := NewOwnerLock()
+	attempts := 0
+	err := sys.Atomic(func(tx *stm.Tx) error {
+		attempts++
+		l.Acquire(tx) // first attempt hits the forced timeout and aborts
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Atomic: %v", err)
+	}
+	if attempts != 2 {
+		t.Errorf("attempts = %d, want 2 (one injected failure, one success)", attempts)
+	}
+	st := sys.Stats()
+	if st.AbortsLockTimeout != 1 {
+		t.Errorf("lock-timeout aborts = %d, want 1 (%s)", st.AbortsLockTimeout, st.CauseString())
+	}
+	if l.Locked() {
+		t.Error("lock leaked after injected registration failure")
+	}
+}
+
+// TestInjectedDoomAtRegistration: a forced Doom right after registration is
+// discovered in the wait loop / at commit, aborts as wounded, and the retry
+// commits.
+func TestInjectedDoomAtRegistration(t *testing.T) {
+	faultpoint.Reset()
+	t.Cleanup(faultpoint.Reset)
+	faultpoint.Enable(faultpoint.LockRegistered, faultpoint.Trigger{
+		Effect:  faultpoint.Doom,
+		OneShot: true,
+	})
+
+	sys := stm.NewSystem(stm.Config{LockTimeout: 20 * time.Millisecond})
+	l := NewOwnerLock()
+	attempts := 0
+	err := sys.Atomic(func(tx *stm.Tx) error {
+		attempts++
+		l.Acquire(tx)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Atomic: %v", err)
+	}
+	if attempts != 2 {
+		t.Errorf("attempts = %d, want 2", attempts)
+	}
+	if st := sys.Stats(); st.AbortsDoomed+st.AbortsWounded != 1 {
+		t.Errorf("doomed+wounded aborts = %d, want 1 (%s)",
+			st.AbortsDoomed+st.AbortsWounded, st.CauseString())
+	}
+	if l.Locked() {
+		t.Error("lock leaked after injected doom")
+	}
+}

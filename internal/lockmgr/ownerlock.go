@@ -21,6 +21,7 @@ import (
 	"runtime"
 	"time"
 
+	"tboost/internal/faultpoint"
 	"tboost/internal/stm"
 )
 
@@ -31,6 +32,25 @@ var ErrTimeout = errors.New("lockmgr: abstract lock acquisition timed out")
 // ErrWounded is the cause used to abort a transaction that an older
 // transaction wounded while it was waiting for a lock.
 var ErrWounded = errors.New("lockmgr: wounded by an older transaction")
+
+func init() {
+	stm.RegisterAbortKind(ErrTimeout, stm.KindLockTimeout)
+	stm.RegisterAbortKind(ErrWounded, stm.KindWounded)
+}
+
+// abortAcquireFailure aborts tx after a failed timed acquisition, choosing
+// the cause that explains the failure: a wound, the caller's cancelled
+// context, or a plain timeout. It never returns.
+func abortAcquireFailure(tx *stm.Tx) {
+	if tx.Doomed() {
+		tx.Abort(ErrWounded)
+	}
+	if err := tx.Context().Err(); err != nil {
+		tx.Abort(err)
+	}
+	tx.System().CountLockTimeout()
+	tx.Abort(ErrTimeout)
+}
 
 // Policy selects the deadlock-handling discipline of an abstract lock.
 type Policy int
@@ -101,6 +121,16 @@ func (l *OwnerLock) TryAcquire(tx *stm.Tx, timeout time.Duration) bool {
 		}
 		return l.waitOwnedBy(tx, timeout)
 	}
+	// Failpoint between registration and acquisition: a forced Timeout
+	// exercises the registered-but-never-acquired cleanup; a forced Doom
+	// simulates being wounded while about to wait.
+	switch faultpoint.Hit(faultpoint.LockRegistered) {
+	case faultpoint.Timeout:
+		tx.UnregisterLock(l)
+		return false
+	case faultpoint.Doom:
+		tx.Doom()
+	}
 	if l.acquireSlow(tx, timeout) {
 		return true
 	}
@@ -158,11 +188,26 @@ func (l *OwnerLock) acquireSlow(tx *stm.Tx, timeout time.Duration) bool {
 			timer = time.NewTimer(timeout)
 			expired = timer.C
 		}
+		doomed := tx.DoomChan()
+		// Failpoint between DoomChan creation and the select: a Delay
+		// here widens the doom/wakeup race window; Timeout forces the
+		// expired path; Doom simulates a wound landing right now.
+		switch faultpoint.Hit(faultpoint.LockWait) {
+		case faultpoint.Timeout:
+			timer.Stop()
+			return false
+		case faultpoint.Doom:
+			tx.Doom()
+		}
 		select {
 		case <-wait:
 			// A release happened; recontend.
-		case <-tx.DoomChan():
+		case <-doomed:
+			timer.Stop()
 			return false // wounded while waiting
+		case <-tx.Done():
+			timer.Stop()
+			return false // caller's context cancelled
 		case <-expired:
 			return false
 		}
@@ -175,11 +220,7 @@ func (l *OwnerLock) acquireSlow(tx *stm.Tx, timeout time.Duration) bool {
 // methods make on every operation.
 func (l *OwnerLock) Acquire(tx *stm.Tx) {
 	if !l.TryAcquire(tx, tx.System().LockTimeout()) {
-		if tx.Doomed() {
-			tx.Abort(ErrWounded)
-		}
-		tx.System().CountLockTimeout()
-		tx.Abort(ErrTimeout)
+		abortAcquireFailure(tx)
 	}
 }
 

@@ -3,6 +3,7 @@ package lockmgr
 import (
 	"time"
 
+	"tboost/internal/faultpoint"
 	"tboost/internal/stm"
 )
 
@@ -32,6 +33,12 @@ func NewRWOwnerLock() *RWOwnerLock {
 // timeout. A transaction already holding the lock in either mode succeeds
 // immediately.
 func (l *RWOwnerLock) TryRLock(tx *stm.Tx, timeout time.Duration) bool {
+	switch faultpoint.Hit(faultpoint.LockRegistered) {
+	case faultpoint.Timeout:
+		return false
+	case faultpoint.Doom:
+		tx.Doom()
+	}
 	var timer *time.Timer
 	var expired <-chan time.Time
 	for {
@@ -66,9 +73,8 @@ func (l *RWOwnerLock) TryRLock(tx *stm.Tx, timeout time.Duration) bool {
 			timer = time.NewTimer(timeout)
 			expired = timer.C
 		}
-		select {
-		case <-wait:
-		case <-expired:
+		if !l.waitRelease(tx, wait, expired) {
+			timer.Stop()
 			return false
 		}
 	}
@@ -77,6 +83,12 @@ func (l *RWOwnerLock) TryRLock(tx *stm.Tx, timeout time.Duration) bool {
 // TryWLock attempts to acquire the lock in exclusive mode for tx, waiting up
 // to timeout. If tx is the sole reader, the acquisition upgrades in place.
 func (l *RWOwnerLock) TryWLock(tx *stm.Tx, timeout time.Duration) bool {
+	switch faultpoint.Hit(faultpoint.LockRegistered) {
+	case faultpoint.Timeout:
+		return false
+	case faultpoint.Doom:
+		tx.Doom()
+	}
 	var timer *time.Timer
 	var expired <-chan time.Time
 	for {
@@ -112,11 +124,32 @@ func (l *RWOwnerLock) TryWLock(tx *stm.Tx, timeout time.Duration) bool {
 			timer = time.NewTimer(timeout)
 			expired = timer.C
 		}
-		select {
-		case <-wait:
-		case <-expired:
+		if !l.waitRelease(tx, wait, expired) {
+			timer.Stop()
 			return false
 		}
+	}
+}
+
+// waitRelease blocks until the next release (true) or until the wait should
+// be abandoned (false): timeout expiry, a doom, or context cancellation.
+func (l *RWOwnerLock) waitRelease(tx *stm.Tx, wait chan struct{}, expired <-chan time.Time) bool {
+	doomed := tx.DoomChan()
+	switch faultpoint.Hit(faultpoint.LockWait) {
+	case faultpoint.Timeout:
+		return false
+	case faultpoint.Doom:
+		tx.Doom()
+	}
+	select {
+	case <-wait:
+		return true
+	case <-doomed:
+		return false
+	case <-tx.Done():
+		return false
+	case <-expired:
+		return false
 	}
 }
 

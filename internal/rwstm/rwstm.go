@@ -19,12 +19,18 @@ import (
 	"errors"
 	"sync/atomic"
 
+	"tboost/internal/faultpoint"
 	"tboost/internal/stm"
 )
 
 // ErrConflict is the abort cause for stale reads, locked-variable
 // encounters, and failed commit-time validation.
 var ErrConflict = errors.New("rwstm: read/write conflict")
+
+func init() {
+	stm.RegisterAbortKind(ErrConflict, stm.KindValidation)
+	stm.RegisterAbortKind(ErrDoomed, stm.KindDoomed)
+}
 
 // clock is the global version clock (TL2's GV). Versions only need to be
 // monotone, so one process-wide clock serves every transaction space.
@@ -200,6 +206,15 @@ func stateOf(tx *stm.Tx) *txState {
 // version, validate the read set, write back shadow copies, and release the
 // locks at the new version.
 func (s *txState) commit(tx *stm.Tx) error {
+	// Failpoint on read-set validation: a forced FailValidation exercises
+	// the conflict-abort path before any lock is taken; a forced Doom
+	// simulates an eager writer seizing one of our variables right now.
+	switch faultpoint.Hit(faultpoint.RWValidate) {
+	case faultpoint.FailValidation:
+		return ErrConflict
+	case faultpoint.Doom:
+		tx.Doom()
+	}
 	// A transaction doomed by a conflicting writer must not commit even if
 	// its reads would still validate (the writer may not have published
 	// yet).
@@ -252,6 +267,16 @@ func (s *txState) commit(tx *stm.Tx) error {
 		}
 	}
 
+	// Failpoint between validation and write-back: the write set is locked,
+	// so a forced FailValidation here exercises the lock-release rollback,
+	// and a Delay widens the window in which other committers see our locks.
+	if faultpoint.Hit(faultpoint.RWWriteBack) == faultpoint.FailValidation {
+		for _, lv := range locked {
+			lm := lv.metaWord().Load()
+			lv.metaWord().Store(packed(metaVersion(lm), false))
+		}
+		return ErrConflict
+	}
 	for v, val := range s.writes {
 		v.writeBack(val)
 	}

@@ -1,0 +1,217 @@
+package stm
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeTimeout is registered as a contention-kind abort cause so admission and
+// livelock tests can fabricate lock-timeout aborts without a lock manager.
+var fakeTimeout = errors.New("admission_test: fabricated lock timeout")
+
+func init() { RegisterAbortKind(fakeTimeout, KindLockTimeout) }
+
+// blockedTx starts a transaction on sys that holds its admission slot until
+// release is closed, and returns once the transaction is inside its body.
+func blockedTx(t *testing.T, sys *System, wg *sync.WaitGroup, release chan struct{}) {
+	t.Helper()
+	entered := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		err := sys.Atomic(func(tx *Tx) error {
+			close(entered)
+			<-release
+			return nil
+		})
+		if err != nil {
+			t.Errorf("slot-holding tx failed: %v", err)
+		}
+	}()
+	<-entered
+}
+
+// TestAdmissionFailFast: with MaxConcurrent=1 and no AdmissionTimeout, a
+// second concurrent Atomic call is shed immediately with
+// ErrContentionCollapse.
+func TestAdmissionFailFast(t *testing.T) {
+	sys := NewSystem(Config{MaxConcurrent: 1})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	blockedTx(t, sys, &wg, release)
+
+	err := sys.Atomic(func(tx *Tx) error { return nil })
+	if !errors.Is(err, ErrContentionCollapse) {
+		t.Fatalf("err = %v, want ErrContentionCollapse", err)
+	}
+	close(release)
+	wg.Wait()
+	st := sys.Stats()
+	if st.AdmissionWaits != 1 || st.AdmissionRejects != 1 {
+		t.Errorf("admission counters waits=%d rejects=%d, want 1/1", st.AdmissionWaits, st.AdmissionRejects)
+	}
+}
+
+// TestAdmissionQueueThenAdmit: with an AdmissionTimeout the second call
+// queues and runs once the slot frees.
+func TestAdmissionQueueThenAdmit(t *testing.T) {
+	sys := NewSystem(Config{MaxConcurrent: 1, AdmissionTimeout: 2 * time.Second})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	blockedTx(t, sys, &wg, release)
+
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(release)
+	}()
+	ran := false
+	if err := sys.Atomic(func(tx *Tx) error { ran = true; return nil }); err != nil || !ran {
+		t.Fatalf("queued call: err=%v ran=%v, want nil/true", err, ran)
+	}
+	wg.Wait()
+	st := sys.Stats()
+	if st.AdmissionWaits != 1 || st.AdmissionRejects != 0 {
+		t.Errorf("admission counters waits=%d rejects=%d, want 1/0", st.AdmissionWaits, st.AdmissionRejects)
+	}
+}
+
+// TestAdmissionTimeoutRejects: a queued call whose wait outlives
+// AdmissionTimeout is shed.
+func TestAdmissionTimeoutRejects(t *testing.T) {
+	sys := NewSystem(Config{MaxConcurrent: 1, AdmissionTimeout: 10 * time.Millisecond})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	blockedTx(t, sys, &wg, release)
+
+	err := sys.Atomic(func(tx *Tx) error { return nil })
+	if !errors.Is(err, ErrContentionCollapse) {
+		t.Fatalf("err = %v, want ErrContentionCollapse", err)
+	}
+	close(release)
+	wg.Wait()
+}
+
+// TestAdmissionCancelWhileQueued: a cancelled context wins over the admission
+// queue — the caller gets ctx.Err(), not a slot.
+func TestAdmissionCancelWhileQueued(t *testing.T) {
+	sys := NewSystem(Config{MaxConcurrent: 1, AdmissionTimeout: 10 * time.Second})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	blockedTx(t, sys, &wg, release)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := sys.AtomicCtx(ctx, func(tx *Tx) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("cancel took %v to unblock the admission queue", elapsed)
+	}
+	close(release)
+	wg.Wait()
+}
+
+// TestLivelockDetectorSheds: an unbroken streak of contention-kind aborts
+// with no commits anywhere in the system must be shed with
+// ErrContentionCollapse after 2*CollapseAfter aborts, not retried forever.
+func TestLivelockDetectorSheds(t *testing.T) {
+	const collapseAfter = 3
+	sys := NewSystem(Config{
+		CollapseAfter: collapseAfter,
+		BackoffBase:   time.Nanosecond,
+		BackoffCap:    time.Nanosecond,
+	})
+	attempts := 0
+	err := sys.Atomic(func(tx *Tx) error {
+		attempts++
+		tx.Abort(fakeTimeout)
+		return nil
+	})
+	if !errors.Is(err, ErrContentionCollapse) {
+		t.Fatalf("err = %v, want ErrContentionCollapse", err)
+	}
+	if attempts != 2*collapseAfter {
+		t.Errorf("shed after %d attempts, want %d", attempts, 2*collapseAfter)
+	}
+	if st := sys.Stats(); st.Collapses != 1 {
+		t.Errorf("Collapses = %d, want 1", st.Collapses)
+	}
+}
+
+// TestLivelockDetectorToleratesProgress: the same abort streak is NOT
+// collapse while other transactions keep committing — the detector
+// re-baselines and the unlucky call eventually wins.
+func TestLivelockDetectorToleratesProgress(t *testing.T) {
+	sys := NewSystem(Config{
+		CollapseAfter: 3,
+		BackoffBase:   100 * time.Microsecond,
+		BackoffCap:    200 * time.Microsecond,
+	})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // steady committer: the system is making progress
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = sys.Atomic(func(tx *Tx) error { return nil })
+			}
+		}
+	}()
+
+	attempts := 0
+	err := sys.Atomic(func(tx *Tx) error {
+		attempts++
+		if attempts <= 30 { // ten detector windows' worth of contention aborts
+			tx.Abort(fakeTimeout)
+		}
+		return nil
+	})
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("err = %v, want commit (system was making progress)", err)
+	}
+	if st := sys.Stats(); st.Collapses != 0 {
+		t.Errorf("Collapses = %d, want 0", st.Collapses)
+	}
+}
+
+// TestLivelockDetectorResetOnOtherAbortKinds: non-contention aborts break the
+// streak, so mixed abort causes never trip the detector.
+func TestLivelockDetectorResetOnOtherAbortKinds(t *testing.T) {
+	sys := NewSystem(Config{
+		CollapseAfter: 2,
+		BackoffBase:   time.Nanosecond,
+		BackoffCap:    time.Nanosecond,
+	})
+	other := errors.New("user-level conflict")
+	attempts := 0
+	err := sys.Atomic(func(tx *Tx) error {
+		attempts++
+		if attempts <= 12 {
+			if attempts%2 == 0 {
+				tx.Abort(other) // breaks the contention streak
+			}
+			tx.Abort(fakeTimeout)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("err = %v, want commit (streak never matured)", err)
+	}
+	if st := sys.Stats(); st.Collapses != 0 {
+		t.Errorf("Collapses = %d, want 0", st.Collapses)
+	}
+}

@@ -1,0 +1,112 @@
+package stm
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestAtomicCtxPreCancelled: a context cancelled before the call must prevent
+// the body from running at all.
+func TestAtomicCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := AtomicCtx(ctx, func(tx *Tx) error { ran = true; return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Error("body ran despite pre-cancelled context")
+	}
+}
+
+// TestAtomicCtxNilContextCommits: a nil context degrades to plain Atomic.
+func TestAtomicCtxNilContextCommits(t *testing.T) {
+	n := 0
+	if err := AtomicCtx(nil, func(tx *Tx) error { n++; return nil }); err != nil || n != 1 {
+		t.Fatalf("err=%v n=%d, want nil/1", err, n)
+	}
+}
+
+// TestAtomicCtxCancelDuringBackoff: cancelling while the retry loop sleeps in
+// its backoff window must wake the sleeper and return ctx.Err() promptly,
+// long before the backoff window elapses.
+func TestAtomicCtxCancelDuringBackoff(t *testing.T) {
+	sys := NewSystem(Config{
+		BackoffBase: 2 * time.Second, // one giant backoff window
+		BackoffCap:  2 * time.Second,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cause := errors.New("conflict")
+	go func() {
+		time.Sleep(20 * time.Millisecond) // let the first attempt abort and start backing off
+		cancel()
+	}()
+	start := time.Now()
+	err := sys.AtomicCtx(ctx, func(tx *Tx) error {
+		tx.Abort(cause)
+		return nil
+	})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed > time.Second {
+		t.Errorf("cancellation took %v; backoff sleep did not observe ctx", elapsed)
+	}
+}
+
+// TestAtomicCtxDeadline: a context deadline behaves like cancellation and
+// surfaces DeadlineExceeded.
+func TestAtomicCtxDeadline(t *testing.T) {
+	sys := NewSystem(Config{BackoffBase: time.Second, BackoffCap: time.Second})
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Millisecond)
+	defer cancel()
+	cause := errors.New("conflict")
+	err := sys.AtomicCtx(ctx, func(tx *Tx) error {
+		tx.Abort(cause)
+		return nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestAtomicCtxRollbackCompletesOnCancel: cancellation must not interrupt
+// rollback — every logged inverse still runs before ctx.Err() is returned.
+func TestAtomicCtxRollbackCompletesOnCancel(t *testing.T) {
+	sys := NewSystem(Config{BackoffBase: time.Second, BackoffCap: time.Second})
+	ctx, cancel := context.WithCancel(context.Background())
+	undone := 0
+	cause := errors.New("conflict")
+	err := sys.AtomicCtx(ctx, func(tx *Tx) error {
+		tx.Log(func() { undone++ })
+		tx.Log(func() { undone++ })
+		cancel() // cancel mid-body; the abort below must still roll back fully
+		tx.Abort(cause)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if undone != 2 {
+		t.Errorf("ran %d undo entries, want 2 (rollback must finish despite cancel)", undone)
+	}
+}
+
+// TestTxDoneNilWithoutContext: transactions without a context expose a nil
+// Done channel (never selectable), so lock-manager selects can include it
+// unconditionally.
+func TestTxDoneNilWithoutContext(t *testing.T) {
+	MustAtomic(func(tx *Tx) error {
+		if tx.Done() != nil {
+			t.Error("Done() != nil for context-free transaction")
+		}
+		if tx.Context() == nil {
+			t.Error("Context() = nil, want Background")
+		}
+		return nil
+	})
+}

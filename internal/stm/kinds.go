@@ -1,0 +1,90 @@
+package stm
+
+import (
+	"errors"
+	"sync"
+)
+
+// AbortKind classifies abort causes for statistics: chaos runs and
+// benchmarks need to report not just how often transactions aborted but
+// *why* — a lock-timeout storm and a validation-failure storm call for
+// different remedies.
+type AbortKind int
+
+const (
+	// KindOther covers causes no cooperating package has registered
+	// (explicit tx.Abort(nil), application sentinels).
+	KindOther AbortKind = iota
+	// KindLockTimeout: a timed abstract-lock or semaphore acquisition
+	// expired (the paper's deadlock-recovery path).
+	KindLockTimeout
+	// KindWounded: an older transaction wounded this one (wound-wait).
+	KindWounded
+	// KindValidation: a pre-commit validation handler failed (rwstm
+	// read-set conflicts, injected validation faults).
+	KindValidation
+	// KindDoomed: a contention manager asynchronously doomed the
+	// transaction and it discovered the doom at commit.
+	KindDoomed
+)
+
+// String returns the kind's name.
+func (k AbortKind) String() string {
+	switch k {
+	case KindLockTimeout:
+		return "lock-timeout"
+	case KindWounded:
+		return "wounded"
+	case KindValidation:
+		return "validation"
+	case KindDoomed:
+		return "doomed"
+	default:
+		return "other"
+	}
+}
+
+// kindReg maps registered sentinel errors to kinds. Cooperating packages
+// (lockmgr, rwstm, core) register their sentinels in init; the runtime
+// cannot name them directly without an import cycle.
+var kindReg struct {
+	mu      sync.RWMutex
+	entries []kindEntry
+}
+
+type kindEntry struct {
+	err  error
+	kind AbortKind
+}
+
+// RegisterAbortKind associates a sentinel error (matched via errors.Is) with
+// an AbortKind for the per-cause abort counters. Intended to be called from
+// package init functions.
+func RegisterAbortKind(err error, kind AbortKind) {
+	if err == nil {
+		return
+	}
+	kindReg.mu.Lock()
+	kindReg.entries = append(kindReg.entries, kindEntry{err: err, kind: kind})
+	kindReg.mu.Unlock()
+}
+
+// ClassifyAbort maps an abort cause to its kind, KindOther if unregistered.
+func ClassifyAbort(cause error) AbortKind {
+	if cause == nil {
+		return KindOther
+	}
+	kindReg.mu.RLock()
+	defer kindReg.mu.RUnlock()
+	for _, e := range kindReg.entries {
+		if errors.Is(cause, e.err) {
+			return e.kind
+		}
+	}
+	return KindOther
+}
+
+func init() {
+	RegisterAbortKind(ErrDoomed, KindDoomed)
+	RegisterAbortKind(ErrInjectedValidation, KindValidation)
+}

@@ -1,0 +1,109 @@
+package stm
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestMaxRetriesAttemptBudget pins the documented off-by-one: MaxRetries = n
+// means at most n attempts (n-1 retries), after which Atomic returns
+// ErrTooManyRetries.
+func TestMaxRetriesAttemptBudget(t *testing.T) {
+	cause := errors.New("always conflicts")
+	for _, n := range []int{1, 2, 3, 7} {
+		sys := NewSystem(Config{MaxRetries: n, BackoffBase: time.Nanosecond, BackoffCap: time.Nanosecond})
+		attempts := 0
+		err := sys.Atomic(func(tx *Tx) error {
+			attempts++
+			tx.Abort(cause)
+			return nil
+		})
+		if !errors.Is(err, ErrTooManyRetries) {
+			t.Fatalf("MaxRetries=%d: err = %v, want ErrTooManyRetries", n, err)
+		}
+		if attempts != n {
+			t.Errorf("MaxRetries=%d: ran %d attempts, want exactly %d", n, attempts, n)
+		}
+		if st := sys.Stats(); st.Aborts != int64(n) {
+			t.Errorf("MaxRetries=%d: aborts=%d, want %d", n, st.Aborts, n)
+		}
+	}
+}
+
+// TestMaxRetriesLastAttemptCanCommit verifies the budget is not off by one in
+// the other direction: a transaction that succeeds on its n-th attempt (with
+// MaxRetries = n) commits rather than being cut off.
+func TestMaxRetriesLastAttemptCanCommit(t *testing.T) {
+	cause := errors.New("transient conflict")
+	const n = 4
+	sys := NewSystem(Config{MaxRetries: n, BackoffBase: time.Nanosecond, BackoffCap: time.Nanosecond})
+	attempts := 0
+	err := sys.Atomic(func(tx *Tx) error {
+		attempts++
+		if attempts < n {
+			tx.Abort(cause)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("err = %v, want commit on final attempt", err)
+	}
+	if attempts != n {
+		t.Errorf("ran %d attempts, want %d", attempts, n)
+	}
+}
+
+// TestZeroMaxRetriesRetriesForever spot-checks the documented zero meaning:
+// no retry cap, so a transaction needing many attempts still commits.
+func TestZeroMaxRetriesRetriesForever(t *testing.T) {
+	cause := errors.New("transient conflict")
+	sys := NewSystem(Config{BackoffBase: time.Nanosecond, BackoffCap: time.Nanosecond})
+	attempts := 0
+	err := sys.Atomic(func(tx *Tx) error {
+		attempts++
+		if attempts < 100 {
+			tx.Abort(cause)
+		}
+		return nil
+	})
+	if err != nil || attempts != 100 {
+		t.Fatalf("err=%v attempts=%d, want nil/100", err, attempts)
+	}
+}
+
+// TestAbortCauseBreakdown checks the per-cause abort counters: registered
+// causes land in their kind's bucket, unregistered ones in Other, and the
+// buckets sum to Aborts.
+func TestAbortCauseBreakdown(t *testing.T) {
+	myTimeout := errors.New("fake lock timeout")
+	RegisterAbortKind(myTimeout, KindLockTimeout)
+	sys := NewSystem(Config{BackoffBase: time.Nanosecond, BackoffCap: time.Nanosecond})
+
+	attempts := 0
+	_ = sys.Atomic(func(tx *Tx) error {
+		attempts++
+		switch attempts {
+		case 1:
+			tx.Abort(myTimeout)
+		case 2:
+			tx.Abort(errors.New("who knows"))
+		case 3:
+			tx.Doom()
+			// Doomed at commit: classified as KindDoomed.
+		}
+		return nil
+	})
+	// 4th attempt commits.
+	st := sys.Stats()
+	if st.AbortsLockTimeout != 1 || st.AbortsOther != 1 || st.AbortsDoomed != 1 {
+		t.Errorf("breakdown = %s, want timeout=1 other=1 doomed=1", st.CauseString())
+	}
+	sum := st.AbortsLockTimeout + st.AbortsWounded + st.AbortsValidation + st.AbortsDoomed + st.AbortsOther
+	if sum != st.Aborts {
+		t.Errorf("cause buckets sum to %d, Aborts=%d", sum, st.Aborts)
+	}
+	if got := st.AbortsByKind(KindDoomed); got != 1 {
+		t.Errorf("AbortsByKind(KindDoomed) = %d, want 1", got)
+	}
+}

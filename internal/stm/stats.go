@@ -14,6 +14,35 @@ type Stats struct {
 	UserAborts         atomic.Int64 // attempts rolled back by a user error
 	LockTimeouts       atomic.Int64 // abstract-lock acquisitions that timed out
 	ValidationFailures atomic.Int64 // read-set validations that failed (rwstm)
+
+	// Aborts broken down by classified cause (see AbortKind). The sum of
+	// these five equals Aborts.
+	AbortsLockTimeout atomic.Int64
+	AbortsWounded     atomic.Int64
+	AbortsValidation  atomic.Int64
+	AbortsDoomed      atomic.Int64
+	AbortsOther       atomic.Int64
+
+	// Contention-collapse protection.
+	AdmissionWaits   atomic.Int64 // Atomic calls that queued for an admission slot
+	AdmissionRejects atomic.Int64 // Atomic calls shed by admission control
+	Collapses        atomic.Int64 // Atomic calls shed by the livelock detector
+}
+
+// countAbortKind bumps the per-cause counter for one aborted attempt.
+func (s *Stats) countAbortKind(kind AbortKind) {
+	switch kind {
+	case KindLockTimeout:
+		s.AbortsLockTimeout.Add(1)
+	case KindWounded:
+		s.AbortsWounded.Add(1)
+	case KindValidation:
+		s.AbortsValidation.Add(1)
+	case KindDoomed:
+		s.AbortsDoomed.Add(1)
+	default:
+		s.AbortsOther.Add(1)
+	}
 }
 
 func (s *Stats) snapshot() StatsSnapshot {
@@ -24,6 +53,14 @@ func (s *Stats) snapshot() StatsSnapshot {
 		UserAborts:         s.UserAborts.Load(),
 		LockTimeouts:       s.LockTimeouts.Load(),
 		ValidationFailures: s.ValidationFailures.Load(),
+		AbortsLockTimeout:  s.AbortsLockTimeout.Load(),
+		AbortsWounded:      s.AbortsWounded.Load(),
+		AbortsValidation:   s.AbortsValidation.Load(),
+		AbortsDoomed:       s.AbortsDoomed.Load(),
+		AbortsOther:        s.AbortsOther.Load(),
+		AdmissionWaits:     s.AdmissionWaits.Load(),
+		AdmissionRejects:   s.AdmissionRejects.Load(),
+		Collapses:          s.Collapses.Load(),
 	}
 }
 
@@ -34,6 +71,14 @@ func (s *Stats) reset() {
 	s.UserAborts.Store(0)
 	s.LockTimeouts.Store(0)
 	s.ValidationFailures.Store(0)
+	s.AbortsLockTimeout.Store(0)
+	s.AbortsWounded.Store(0)
+	s.AbortsValidation.Store(0)
+	s.AbortsDoomed.Store(0)
+	s.AbortsOther.Store(0)
+	s.AdmissionWaits.Store(0)
+	s.AdmissionRejects.Store(0)
+	s.Collapses.Store(0)
 }
 
 // StatsSnapshot is a point-in-time copy of a System's counters.
@@ -44,6 +89,16 @@ type StatsSnapshot struct {
 	UserAborts         int64
 	LockTimeouts       int64
 	ValidationFailures int64
+
+	AbortsLockTimeout int64
+	AbortsWounded     int64
+	AbortsValidation  int64
+	AbortsDoomed      int64
+	AbortsOther       int64
+
+	AdmissionWaits   int64
+	AdmissionRejects int64
+	Collapses        int64
 }
 
 // AbortRatio returns aborts divided by attempts started, in [0,1].
@@ -56,6 +111,22 @@ func (s StatsSnapshot) AbortRatio() float64 {
 	return float64(s.Aborts) / float64(s.Starts)
 }
 
+// AbortsByKind returns the per-cause abort counter for kind.
+func (s StatsSnapshot) AbortsByKind(kind AbortKind) int64 {
+	switch kind {
+	case KindLockTimeout:
+		return s.AbortsLockTimeout
+	case KindWounded:
+		return s.AbortsWounded
+	case KindValidation:
+		return s.AbortsValidation
+	case KindDoomed:
+		return s.AbortsDoomed
+	default:
+		return s.AbortsOther
+	}
+}
+
 // Sub returns the counter deltas s minus earlier, for measuring an interval.
 func (s StatsSnapshot) Sub(earlier StatsSnapshot) StatsSnapshot {
 	return StatsSnapshot{
@@ -65,11 +136,32 @@ func (s StatsSnapshot) Sub(earlier StatsSnapshot) StatsSnapshot {
 		UserAborts:         s.UserAborts - earlier.UserAborts,
 		LockTimeouts:       s.LockTimeouts - earlier.LockTimeouts,
 		ValidationFailures: s.ValidationFailures - earlier.ValidationFailures,
+		AbortsLockTimeout:  s.AbortsLockTimeout - earlier.AbortsLockTimeout,
+		AbortsWounded:      s.AbortsWounded - earlier.AbortsWounded,
+		AbortsValidation:   s.AbortsValidation - earlier.AbortsValidation,
+		AbortsDoomed:       s.AbortsDoomed - earlier.AbortsDoomed,
+		AbortsOther:        s.AbortsOther - earlier.AbortsOther,
+		AdmissionWaits:     s.AdmissionWaits - earlier.AdmissionWaits,
+		AdmissionRejects:   s.AdmissionRejects - earlier.AdmissionRejects,
+		Collapses:          s.Collapses - earlier.Collapses,
 	}
+}
+
+// CauseString formats the per-cause abort breakdown as one compact segment.
+func (s StatsSnapshot) CauseString() string {
+	return fmt.Sprintf("timeout=%d wounded=%d validation=%d doomed=%d other=%d",
+		s.AbortsLockTimeout, s.AbortsWounded, s.AbortsValidation,
+		s.AbortsDoomed, s.AbortsOther)
 }
 
 // String formats the snapshot as a single human-readable line.
 func (s StatsSnapshot) String() string {
-	return fmt.Sprintf("starts=%d commits=%d aborts=%d (ratio %.3f) lockTimeouts=%d validationFailures=%d",
-		s.Starts, s.Commits, s.Aborts, s.AbortRatio(), s.LockTimeouts, s.ValidationFailures)
+	line := fmt.Sprintf("starts=%d commits=%d aborts=%d (ratio %.3f, %s) lockTimeouts=%d validationFailures=%d",
+		s.Starts, s.Commits, s.Aborts, s.AbortRatio(), s.CauseString(),
+		s.LockTimeouts, s.ValidationFailures)
+	if s.AdmissionRejects > 0 || s.Collapses > 0 || s.AdmissionWaits > 0 {
+		line += fmt.Sprintf(" admissionWaits=%d admissionRejects=%d collapses=%d",
+			s.AdmissionWaits, s.AdmissionRejects, s.Collapses)
+	}
+	return line
 }

@@ -24,10 +24,13 @@
 package stm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"tboost/internal/faultpoint"
 )
 
 // Status is the lifecycle state of a transaction.
@@ -73,6 +76,22 @@ var ErrAborted = errors.New("stm: transaction aborted")
 // system's retry budget without committing.
 var ErrTooManyRetries = errors.New("stm: transaction exceeded retry limit")
 
+// ErrDoomed is the cause reported when a transaction discovers at commit that
+// a contention manager (or an injected fault) doomed it.
+var ErrDoomed = errors.New("stm: transaction doomed by contention manager")
+
+// ErrInjectedValidation is the cause used when a failpoint forces a
+// validation failure (chaos testing).
+var ErrInjectedValidation = errors.New("stm: failpoint-injected validation failure")
+
+// ErrContentionCollapse is returned by Atomic when the system's admission
+// control rejects the transaction, or when the livelock detector concludes
+// that retrying cannot make progress: the transaction kept losing lock
+// conflicts while no transaction anywhere in the system committed. Callers
+// should shed load (fail the request, queue it externally) rather than
+// immediately retrying.
+var ErrContentionCollapse = errors.New("stm: contention collapse, transaction shed")
+
 // Unlocker is a two-phase lock held by a transaction. The lock manager
 // registers each acquired lock with the owning transaction; the runtime calls
 // Unlock exactly once per registered lock after commit or after rollback
@@ -96,6 +115,7 @@ type Tx struct {
 	attempt int    // 0-based attempt number within one Atomic call
 	status  atomic.Int32
 	system  *System
+	ctx     context.Context // non-nil only under AtomicCtx
 
 	mu         sync.Mutex // guards the log/lock/handler state below
 	undo       []func()   // inverse operations, applied in reverse on abort
@@ -137,6 +157,26 @@ func (tx *Tx) Status() Status { return Status(tx.status.Load()) }
 
 // System returns the system this transaction runs under.
 func (tx *Tx) System() *System { return tx.system }
+
+// Context returns the context the transaction runs under: the one passed to
+// AtomicCtx, or context.Background() for plain Atomic. Lock managers consult
+// it so cancellation interrupts waits.
+func (tx *Tx) Context() context.Context {
+	if tx.ctx == nil {
+		return context.Background()
+	}
+	return tx.ctx
+}
+
+// Done returns a channel closed when the transaction's context is cancelled,
+// or nil for transactions without a context (a nil channel never selects, so
+// wait loops can include it unconditionally).
+func (tx *Tx) Done() <-chan struct{} {
+	if tx.ctx == nil {
+		return nil
+	}
+	return tx.ctx.Done()
+}
 
 // Doom marks the transaction for asynchronous abort. Unlike Abort, Doom may
 // be called from any goroutine: contention managers use it to make a victim
@@ -180,12 +220,19 @@ func (tx *Tx) Abort(cause error) {
 	if cause == nil {
 		cause = ErrAborted
 	}
+	tx.setCause(cause)
+	panic(abortSignal{tx})
+}
+
+// setCause records the abort cause. Every write to abortCause goes through
+// here: Cause may be called from other goroutines (Parallel branches, doom
+// diagnostics), so unguarded writes race.
+func (tx *Tx) setCause(cause error) {
 	tx.mu.Lock()
 	if tx.abortCause == nil {
 		tx.abortCause = cause // first cause wins under Parallel
 	}
 	tx.mu.Unlock()
-	panic(abortSignal{tx})
 }
 
 // Cause returns the error that aborted the transaction, or nil while it is
@@ -337,12 +384,15 @@ func (tx *Tx) releaseLocks() {
 // locks are held until every inverse has executed.
 func (tx *Tx) rollback() {
 	tx.status.Store(int32(Aborting))
+	faultpoint.Hit(faultpoint.StmMidRollback) // delay window before inverses
 	for i := len(tx.undo) - 1; i >= 0; i-- {
+		faultpoint.Hit(faultpoint.StmBetweenUndo) // delay window mid-inverse
 		tx.undo[i]()
 	}
 	tx.undo = nil
 	tx.releaseLocks()
 	tx.status.Store(int32(Aborted))
+	faultpoint.Hit(faultpoint.StmPostAbort) // delay window before disposables
 	for _, f := range tx.onAbort {
 		f()
 	}
@@ -355,15 +405,24 @@ func (tx *Tx) rollback() {
 // failed or the transaction was doomed by a contention manager, in which
 // case the transaction has been rolled back.
 func (tx *Tx) commit() bool {
+	if faultpoint.Hit(faultpoint.StmPreCommit) == faultpoint.Doom {
+		tx.Doom() // injected contention-manager doom, discovered below
+	}
 	if tx.doomed.Load() {
-		tx.abortCause = ErrAborted
+		tx.setCause(ErrDoomed)
 		tx.rollback()
 		return false
 	}
 	tx.status.Store(int32(Validating))
+	if faultpoint.Hit(faultpoint.StmValidate) == faultpoint.FailValidation {
+		tx.setCause(ErrInjectedValidation)
+		tx.system.stats.ValidationFailures.Add(1)
+		tx.rollback()
+		return false
+	}
 	for _, f := range tx.onValidate {
 		if err := f(); err != nil {
-			tx.abortCause = err
+			tx.setCause(err)
 			tx.system.stats.ValidationFailures.Add(1)
 			tx.rollback()
 			return false

@@ -531,7 +531,7 @@ func TestBackoffBounded(t *testing.T) {
 	sys := NewSystem(Config{BackoffBase: time.Microsecond, BackoffCap: 50 * time.Microsecond})
 	start := time.Now()
 	for i := 0; i < 40; i++ {
-		sys.backoff(i) // attempts far beyond the cap must stay bounded
+		_ = sys.backoff(nil, i, 0) // attempts far beyond the cap must stay bounded
 	}
 	if elapsed := time.Since(start); elapsed > time.Second {
 		t.Fatalf("backoff too slow: %v", elapsed)

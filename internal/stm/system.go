@@ -1,16 +1,18 @@
 package stm
 
 import (
+	"context"
 	"math/rand/v2"
 	"time"
 )
 
-// Config controls a System's retry policy.
+// Config controls a System's retry policy and overload protection.
 type Config struct {
-	// MaxRetries bounds how many times Atomic re-executes an aborted
-	// transaction before giving up with ErrTooManyRetries. Zero means
-	// retry forever (the paper's implicit policy: timeouts break
-	// deadlocks, and the aborted transaction simply runs again).
+	// MaxRetries bounds how many attempts Atomic gives an aborting
+	// transaction before giving up with ErrTooManyRetries: MaxRetries = n
+	// means at most n attempts (n-1 retries). Zero means retry forever
+	// (the paper's implicit policy: timeouts break deadlocks, and the
+	// aborted transaction simply runs again).
 	MaxRetries int
 
 	// BackoffBase is the first retry's maximum backoff. Each subsequent
@@ -19,7 +21,8 @@ type Config struct {
 	BackoffBase time.Duration
 
 	// BackoffCap bounds the backoff window. Zero selects a default of
-	// 1 millisecond.
+	// 1 millisecond. (The livelock detector may escalate past the cap;
+	// see CollapseAfter.)
 	BackoffCap time.Duration
 
 	// LockTimeout is the default timed-acquisition budget lock managers
@@ -27,6 +30,29 @@ type Config struct {
 	// selects 10 milliseconds. (Timeouts are how two-phase locking
 	// recovers from deadlock, per the paper.)
 	LockTimeout time.Duration
+
+	// MaxConcurrent caps the number of concurrently active transactions
+	// (admission control). Zero means unlimited. When the cap is reached,
+	// a new Atomic call queues for up to AdmissionTimeout and is then
+	// shed with ErrContentionCollapse. Bounding concurrency is the first
+	// line of defence against contention collapse: beyond a point, more
+	// concurrent transactions mean more conflicts per commit, not more
+	// throughput.
+	MaxConcurrent int
+
+	// AdmissionTimeout is how long an Atomic call waits for an admission
+	// slot when MaxConcurrent is reached before failing with
+	// ErrContentionCollapse. Zero sheds immediately (fail-fast).
+	AdmissionTimeout time.Duration
+
+	// CollapseAfter arms the livelock detector: after this many
+	// consecutive contention aborts (lock timeouts or wounds) of one
+	// Atomic call, the detector snapshots the system-wide commit counter
+	// and escalates the backoff cap; if a further CollapseAfter
+	// consecutive contention aborts pass with no transaction anywhere in
+	// the system committing, the call is shed with ErrContentionCollapse
+	// instead of spinning forever. Zero disables the detector.
+	CollapseAfter int
 }
 
 func (c Config) withDefaults() Config {
@@ -49,11 +75,16 @@ func (c Config) withDefaults() Config {
 type System struct {
 	cfg   Config
 	stats Stats
+	slots chan struct{} // admission slots; nil when MaxConcurrent == 0
 }
 
 // NewSystem returns a System with the given configuration.
 func NewSystem(cfg Config) *System {
-	return &System{cfg: cfg.withDefaults()}
+	s := &System{cfg: cfg.withDefaults()}
+	if s.cfg.MaxConcurrent > 0 {
+		s.slots = make(chan struct{}, s.cfg.MaxConcurrent)
+	}
+	return s
 }
 
 // Default is the process-wide system used by the package-level Atomic.
@@ -79,6 +110,12 @@ func (s *System) CountLockTimeout() { s.stats.LockTimeouts.Add(1) }
 // See System.Atomic.
 func Atomic(fn func(tx *Tx) error) error {
 	return Default.Atomic(fn)
+}
+
+// AtomicCtx executes fn inside a transaction on the default system, honouring
+// ctx. See System.AtomicCtx.
+func AtomicCtx(ctx context.Context, fn func(tx *Tx) error) error {
+	return Default.AtomicCtx(ctx, fn)
 }
 
 // MustAtomic executes fn inside a transaction on the default system and
@@ -111,10 +148,46 @@ func MustAtomicOn(sys *System, fn func(tx *Tx)) {
 //
 // If fn panics with anything other than the runtime's private abort signal,
 // the transaction rolls back and the panic is re-raised.
+//
+// Under admission control (Config.MaxConcurrent) or the livelock detector
+// (Config.CollapseAfter), Atomic may instead return ErrContentionCollapse,
+// with the transaction rolled back and no effects applied.
 func (s *System) Atomic(fn func(tx *Tx) error) error {
-	birth := uint64(0)
+	return s.run(nil, fn)
+}
+
+// AtomicCtx is Atomic with deadline and cancellation: backoff sleeps,
+// admission queueing, and abstract-lock waits all observe ctx.Done(), and
+// between attempts the retry loop checks the context, so a cancelled call
+// returns ctx.Err() promptly (at worst within one lock-timeout window)
+// instead of retrying. Cancellation never interrupts a rollback: the attempt
+// in flight always finishes undoing its effects first.
+func (s *System) AtomicCtx(ctx context.Context, fn func(tx *Tx) error) error {
+	if ctx == nil {
+		return s.run(nil, fn)
+	}
+	return s.run(ctx, fn)
+}
+
+func (s *System) run(ctx context.Context, fn func(tx *Tx) error) error {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	if err := s.admit(ctx); err != nil {
+		return err
+	}
+	defer s.releaseSlot()
+
+	var (
+		birth     uint64
+		conStreak int   // consecutive contention aborts (livelock detector)
+		escalate  int   // backoff-cap escalation while the detector is armed
+		baseline  int64 // system-wide commit count when the streak matured
+	)
 	for attempt := 0; ; attempt++ {
-		tx := &Tx{id: txIDs.Add(1), attempt: attempt, system: s}
+		tx := &Tx{id: txIDs.Add(1), attempt: attempt, system: s, ctx: ctx}
 		if birth == 0 {
 			birth = tx.id
 		}
@@ -131,14 +204,83 @@ func (s *System) Atomic(fn func(tx *Tx) error) error {
 				s.stats.Commits.Add(1)
 				return nil
 			}
-			// Validation failure: rolled back inside commit.
+			// Validation failure or doom: rolled back inside commit.
 			aborted = true
 		}
+		kind := ClassifyAbort(tx.Cause())
 		s.stats.Aborts.Add(1)
+		s.stats.countAbortKind(kind)
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		if s.cfg.MaxRetries > 0 && attempt+1 >= s.cfg.MaxRetries {
 			return ErrTooManyRetries
 		}
-		s.backoff(attempt)
+		// Livelock detection: a long run of contention aborts is only
+		// collapse if nobody else is committing either — somebody
+		// winning means the system makes progress and this call merely
+		// needs (escalated) patience.
+		if s.cfg.CollapseAfter > 0 && (kind == KindLockTimeout || kind == KindWounded) {
+			conStreak++
+			switch {
+			case conStreak == s.cfg.CollapseAfter:
+				baseline = s.stats.Commits.Load()
+			case conStreak > s.cfg.CollapseAfter:
+				escalate++
+				if now := s.stats.Commits.Load(); now != baseline {
+					baseline = now
+					conStreak = s.cfg.CollapseAfter // progress: re-arm window
+				} else if conStreak >= 2*s.cfg.CollapseAfter {
+					s.stats.Collapses.Add(1)
+					return ErrContentionCollapse
+				}
+			}
+		} else {
+			conStreak, escalate = 0, 0
+		}
+		if err := s.backoff(ctx, attempt, escalate); err != nil {
+			return err
+		}
+	}
+}
+
+// admit claims an admission slot (queue-or-fail) when MaxConcurrent is set.
+func (s *System) admit(ctx context.Context) error {
+	if s.slots == nil {
+		return nil
+	}
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	s.stats.AdmissionWaits.Add(1)
+	if s.cfg.AdmissionTimeout <= 0 {
+		s.stats.AdmissionRejects.Add(1)
+		return ErrContentionCollapse
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	timer := time.NewTimer(s.cfg.AdmissionTimeout)
+	defer timer.Stop()
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	case <-done:
+		return ctx.Err()
+	case <-timer.C:
+		s.stats.AdmissionRejects.Add(1)
+		return ErrContentionCollapse
+	}
+}
+
+func (s *System) releaseSlot() {
+	if s.slots != nil {
+		<-s.slots
 	}
 }
 
@@ -167,14 +309,32 @@ func (s *System) runAttempt(tx *Tx, fn func(tx *Tx) error) (aborted bool, err er
 	return false, err
 }
 
-// backoff sleeps for a random duration in an exponentially growing window.
-func (s *System) backoff(attempt int) {
+// backoff sleeps for a random duration in an exponentially growing window,
+// waking early (with ctx.Err()) if the context is cancelled. escalate > 0
+// lifts the window cap — the livelock detector's pressure valve.
+func (s *System) backoff(ctx context.Context, attempt, escalate int) error {
 	window := s.cfg.BackoffBase << uint(min(attempt, 20))
-	if window > s.cfg.BackoffCap {
-		window = s.cfg.BackoffCap
+	limit := s.cfg.BackoffCap << uint(min(escalate, 6))
+	if window > limit {
+		window = limit
 	}
 	if window <= 0 {
-		return
+		if ctx != nil {
+			return ctx.Err()
+		}
+		return nil
 	}
-	time.Sleep(time.Duration(rand.Int64N(int64(window))) + 1)
+	d := time.Duration(rand.Int64N(int64(window))) + 1
+	if ctx == nil {
+		time.Sleep(d)
+		return nil
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
