@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race test-short vet chaos bench
+.PHONY: build test test-race test-short vet check chaos bench bench-micro bench-json
 
 build:
 	$(GO) build ./...
@@ -17,10 +17,29 @@ test-short:
 vet:
 	$(GO) vet ./...
 
+# The default verification chain: build, vet, full tests, and the full suite
+# under the race detector (the single-owner fast path's safety argument is
+# checked here every time).
+check: build vet test test-race
+
 # One fault-injection run over the boosted set, heap, and pipeline queue with
 # serializability verdicts. Exits nonzero if any history fails to verify.
 chaos:
 	$(GO) run ./cmd/boostbench -experiment chaos
 
 bench:
-	$(GO) test -bench . -benchtime 200ms -run NONE ./...
+	$(GO) test -bench . -benchtime 200ms -benchmem -run NONE ./...
+
+# Hot-path microbenchmarks only (Tx lifecycle, lock acquire, boosted set ops)
+# with allocation counts.
+bench-micro:
+	$(GO) test -bench 'TxLifecycle|LockAcquire|BoostedSet' -benchmem -run NONE ./internal/bench/
+
+# Reproducible perf trajectory point: sweeps the hot-path microbenchmarks at
+# 1-16 goroutines, legacy (pre-overhaul) and fast-path variants in the same
+# run, and writes BENCH_PR2.json. Deterministic workload (fixed key hashing,
+# no PRNG); GOMAXPROCS pinned for run-to-run comparability.
+bench-json:
+	GOMAXPROCS=$${GOMAXPROCS:-$$(nproc)} \
+		$(GO) run ./cmd/boostbench -experiment benchjson \
+		-threads 1,2,4,8,16 -json-out BENCH_PR2.json

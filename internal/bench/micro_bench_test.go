@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"testing"
+
+	"tboost/internal/core"
+	"tboost/internal/hashset"
+	"tboost/internal/lockmgr"
+	"tboost/internal/skiplist"
+	"tboost/internal/stm"
+)
+
+// Microbenchmarks for the boosted hot path: transaction lifecycle, abstract
+// lock acquire/release, and one boosted set operation. Unlike the figure
+// benchmarks (which measure throughput over a window under contention),
+// these are plain b.N loops with -benchmem, so allocs/op regressions on the
+// per-call overhead the paper argues is small show up directly.
+//
+// Run: go test -bench 'Micro|TxLifecycle|LockAcquire|BoostedSet' -benchmem ./internal/bench
+
+func BenchmarkTxLifecycle(b *testing.B) {
+	b.Run("empty", func(b *testing.B) {
+		sys := stm.NewSystem(stm.Config{})
+		body := func(tx *stm.Tx) error { return nil }
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = sys.Atomic(body)
+		}
+	})
+	b.Run("logged", func(b *testing.B) {
+		// One undo entry plus one registered lock: the minimal footprint of
+		// a real boosted call (Rule 1 lock + Rule 3 inverse).
+		sys := stm.NewSystem(stm.Config{})
+		l := lockmgr.NewOwnerLock()
+		undo := func() {}
+		body := func(tx *stm.Tx) error {
+			l.Acquire(tx)
+			tx.Log(undo)
+			return nil
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = sys.Atomic(body)
+		}
+	})
+}
+
+func BenchmarkLockAcquire(b *testing.B) {
+	b.Run("uncontended", func(b *testing.B) {
+		sys := stm.NewSystem(stm.Config{})
+		l := lockmgr.NewOwnerLock()
+		body := func(tx *stm.Tx) error {
+			l.Acquire(tx)
+			return nil
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = sys.Atomic(body)
+		}
+	})
+	b.Run("reentrant", func(b *testing.B) {
+		// Second acquisition by the same transaction is the paper's
+		// "lockSet.add" guard: it must not touch the lock at all.
+		sys := stm.NewSystem(stm.Config{})
+		l := lockmgr.NewOwnerLock()
+		body := func(tx *stm.Tx) error {
+			l.Acquire(tx)
+			l.Acquire(tx)
+			l.Acquire(tx)
+			l.Acquire(tx)
+			return nil
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = sys.Atomic(body)
+		}
+	})
+	b.Run("lockmap-get", func(b *testing.B) {
+		m := lockmgr.NewLockMap[int64]()
+		for k := int64(0); k < 1024; k++ {
+			m.Get(k) // pre-install: steady state is the read path
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Get(int64(i) & 1023)
+		}
+	})
+}
+
+func BenchmarkBoostedSet(b *testing.B) {
+	b.Run("contains", func(b *testing.B) {
+		sys := stm.NewSystem(stm.Config{})
+		s := core.NewKeyedSet(hashset.New())
+		stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+			for k := int64(0); k < 128; k += 2 {
+				s.Add(tx, k)
+			}
+		})
+		var k int64
+		body := func(tx *stm.Tx) error {
+			s.Contains(tx, k)
+			return nil
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k = int64(i) & 127
+			_ = sys.Atomic(body)
+		}
+	})
+	b.Run("addremove", func(b *testing.B) {
+		// Effective add + effective remove of the same key: two boosted
+		// calls, each logging one inverse closure. The base hash set
+		// allocates nothing in steady state, so allocs/op here is the
+		// boosting layer's own footprint (2 ops per iteration).
+		sys := stm.NewSystem(stm.Config{})
+		s := core.NewKeyedSet(hashset.New())
+		var k int64
+		body := func(tx *stm.Tx) error {
+			s.Add(tx, k)
+			s.Remove(tx, k)
+			return nil
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k = int64(i) & 127
+			_ = sys.Atomic(body)
+		}
+	})
+	b.Run("skiplist-mixed", func(b *testing.B) {
+		// The Fig. 10 fast configuration, single-threaded, without think
+		// time: raw per-op boosted overhead over the lock-free skip list.
+		sys := stm.NewSystem(stm.Config{})
+		s := core.NewKeyedSet(skiplist.New())
+		stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+			for k := int64(0); k < 1024; k += 2 {
+				s.Add(tx, k)
+			}
+		})
+		var i int
+		body := func(tx *stm.Tx) error {
+			k := int64(i*2654435761) & 1023
+			switch i % 3 {
+			case 0:
+				s.Contains(tx, k)
+			case 1:
+				s.Add(tx, k)
+			default:
+				s.Remove(tx, k)
+			}
+			return nil
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i = 0; i < b.N; i++ {
+			_ = sys.Atomic(body)
+		}
+	})
+}

@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestMicroSweepSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("micro sweep in -short mode")
+	}
+	rep := MicroSweep([]int{1, 2}, 2_000)
+	wantCells := len(microCases()) * 2 /* variants */ * 2 /* goroutine counts */
+	if len(rep.Results) != wantCells {
+		t.Fatalf("got %d cells, want %d", len(rep.Results), wantCells)
+	}
+	for _, r := range rep.Results {
+		if r.Ops <= 0 || r.OpsPerSec <= 0 || r.NsPerOp <= 0 {
+			t.Fatalf("degenerate cell: %+v", r)
+		}
+	}
+	for _, c := range microCases() {
+		if _, ok := rep.SingleThreadSpeedup[c.name]; !ok {
+			t.Fatalf("missing single-thread speedup for %s", c.name)
+		}
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var back MicroReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if len(back.Results) != wantCells {
+		t.Fatalf("round-trip lost cells: %d", len(back.Results))
+	}
+	PrintMicro(&buf, rep) // must not panic
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"tboost/internal/hashset"
+	"tboost/internal/stm"
+)
+
+// Allocation budget of the boosted hot path (ISSUE 2 acceptance): a
+// steady-state boosted set operation may allocate at most one heap object —
+// the undo closure for an effective mutation — and read-only or reentrant
+// work must allocate nothing.
+
+func TestContainsAllocsZero(t *testing.T) {
+	sys := stm.NewSystem(stm.Config{})
+	s := NewKeyedSet(hashset.New())
+	stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+		for k := int64(0); k < 64; k++ {
+			s.Add(tx, k)
+		}
+	})
+	var k int64
+	body := func(tx *stm.Tx) error {
+		s.Contains(tx, k)
+		return nil
+	}
+	_ = sys.Atomic(body) // warm pool and lock table
+	avg := testing.AllocsPerRun(200, func() {
+		k = (k + 1) & 63
+		_ = sys.Atomic(body)
+	})
+	if avg > 0 {
+		t.Fatalf("steady-state Contains allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+func TestAddRemoveAllocsAtMostOnePerOp(t *testing.T) {
+	sys := stm.NewSystem(stm.Config{})
+	s := NewKeyedSet(hashset.New())
+	stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+		for k := int64(0); k < 64; k++ {
+			s.Add(tx, k) // install the per-key locks up front
+		}
+	})
+	stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+		for k := int64(0); k < 64; k++ {
+			s.Remove(tx, k)
+		}
+	})
+	var k int64
+	// Each run is two effective boosted ops (add then remove of an absent
+	// key), so the budget is two allocations: one undo closure per
+	// effective mutation. The base hash set allocates nothing for a
+	// re-added key.
+	body := func(tx *stm.Tx) error {
+		s.Add(tx, k)
+		s.Remove(tx, k)
+		return nil
+	}
+	_ = sys.Atomic(body)
+	avg := testing.AllocsPerRun(200, func() {
+		k = (k + 1) & 63
+		_ = sys.Atomic(body)
+	})
+	if avg > 2 {
+		t.Fatalf("add+remove allocates %.2f objects/run, want <= 2 (1 per boosted op)", avg)
+	}
+}
+
+func TestReentrantReacquireAllocsZero(t *testing.T) {
+	sys := stm.NewSystem(stm.Config{})
+	s := NewKeyedSet(hashset.New())
+	stm.MustAtomicOn(sys, func(tx *stm.Tx) { s.Add(tx, 7) })
+	// Repeated Contains on one key in one transaction: after the first
+	// call the per-key lock re-acquires reentrantly via the registered
+	// lock set, which must allocate nothing on top of the first call's
+	// zero.
+	body := func(tx *stm.Tx) error {
+		for i := 0; i < 8; i++ {
+			s.Contains(tx, 7)
+		}
+		return nil
+	}
+	_ = sys.Atomic(body)
+	avg := testing.AllocsPerRun(200, func() {
+		_ = sys.Atomic(body)
+	})
+	if avg > 0 {
+		t.Fatalf("reentrant re-acquire allocates %.2f objects/op, want 0", avg)
+	}
+}

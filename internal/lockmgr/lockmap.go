@@ -3,6 +3,7 @@ package lockmgr
 import (
 	"hash/maphash"
 	"sync"
+	"sync/atomic"
 
 	"tboost/internal/stm"
 )
@@ -10,11 +11,28 @@ import (
 // DefaultStripes is the stripe count used by NewLockMap.
 const DefaultStripes = 64
 
+// legacyMapReads forces LockMap.Get back onto the mutex-guarded read path.
+// It exists so the benchmark harness can measure the lock-free read path
+// against the pre-optimization behaviour in the same run; see
+// SetLegacyMapReads. Never enabled in production use.
+var legacyMapReads atomic.Bool
+
+// SetLegacyMapReads toggles the benchmark-only mutex-guarded LockMap read
+// path. It is not meant to be flipped while transactions are running: the
+// knob selects which Get implementation the whole process uses.
+func SetLegacyMapReads(on bool) { legacyMapReads.Store(on) }
+
 // LockMap associates an abstract OwnerLock with each key on demand — the
 // paper's LockKey class. It is a striped concurrent hash map with
 // putIfAbsent semantics: the first transaction to touch a key installs its
 // lock; locks are never removed (matching the paper's implementation on
 // ConcurrentHashMap).
+//
+// The steady state of a boosted workload is Get on keys whose locks are
+// already installed, so that path is lock-free: each stripe publishes an
+// immutable map through an atomic pointer, and readers only dereference it.
+// Installing a missing lock copies the stripe's map and swaps the pointer
+// under the stripe mutex — linear per install, but each key pays it once.
 //
 // Key-based locking may serialize some commuting calls (two add(x) calls
 // when x is present), but as the paper notes it provides enough concurrency
@@ -26,9 +44,9 @@ type LockMap[K comparable] struct {
 }
 
 type lockStripe[K comparable] struct {
-	mu    sync.Mutex
-	locks map[K]*OwnerLock
-	_     [40]byte // pad to reduce false sharing between stripes
+	cur atomic.Pointer[map[K]*OwnerLock] // immutable snapshot; swapped on install
+	mu  sync.Mutex                       // serializes installs
+	_   [48]byte                         // pad to reduce false sharing between stripes
 }
 
 // NewLockMap returns a LockMap with DefaultStripes stripes.
@@ -53,8 +71,9 @@ func NewLockMapPolicy[K comparable](n int, p Policy) *LockMap[K] {
 		stripes: make([]lockStripe[K], n),
 		policy:  p,
 	}
+	empty := make(map[K]*OwnerLock)
 	for i := range m.stripes {
-		m.stripes[i].locks = make(map[K]*OwnerLock)
+		m.stripes[i].cur.Store(&empty) // shared: snapshots are never mutated
 	}
 	return m
 }
@@ -64,16 +83,40 @@ func (m *LockMap[K]) stripe(key K) *lockStripe[K] {
 	return &m.stripes[h%uint64(len(m.stripes))]
 }
 
-// Get returns the abstract lock for key, creating it if absent.
+// Get returns the abstract lock for key, creating it if absent. The hit
+// path — every access after a key's first — takes no locks.
 func (m *LockMap[K]) Get(key K) *OwnerLock {
 	s := m.stripe(key)
-	s.mu.Lock()
-	l, ok := s.locks[key]
-	if !ok {
-		l = NewOwnerLockPolicy(m.policy)
-		s.locks[key] = l
+	if legacyMapReads.Load() {
+		s.mu.Lock()
+		l, ok := (*s.cur.Load())[key]
+		s.mu.Unlock()
+		if ok {
+			return l
+		}
+	} else if l, ok := (*s.cur.Load())[key]; ok {
+		return l
 	}
-	s.mu.Unlock()
+	return s.install(key, m.policy)
+}
+
+// install publishes a lock for a key not present in the stripe's snapshot:
+// copy-on-write under the stripe mutex, rechecking after locking because a
+// racing installer may have won.
+func (s *lockStripe[K]) install(key K, p Policy) *OwnerLock {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := *s.cur.Load()
+	if l, ok := old[key]; ok {
+		return l
+	}
+	next := make(map[K]*OwnerLock, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	l := NewOwnerLockPolicy(p)
+	next[key] = l
+	s.cur.Store(&next)
 	return l
 }
 
@@ -89,10 +132,7 @@ func (m *LockMap[K]) Lock(tx *stm.Tx, key K) {
 func (m *LockMap[K]) Len() int {
 	n := 0
 	for i := range m.stripes {
-		s := &m.stripes[i]
-		s.mu.Lock()
-		n += len(s.locks)
-		s.mu.Unlock()
+		n += len(*m.stripes[i].cur.Load())
 	}
 	return n
 }

@@ -18,7 +18,6 @@ package lockmgr
 import (
 	"errors"
 	"fmt"
-	"runtime"
 	"time"
 
 	"tboost/internal/faultpoint"
@@ -76,6 +75,7 @@ type OwnerLock struct {
 	mu     chanMutex
 	owner  *stm.Tx
 	gen    chan struct{} // closed on each release to wake all waiters
+	ownGen chan struct{} // closed on each ownership/registration change (waitOwnedBy)
 	policy Policy
 }
 
@@ -127,6 +127,7 @@ func (l *OwnerLock) TryAcquire(tx *stm.Tx, timeout time.Duration) bool {
 	switch faultpoint.Hit(faultpoint.LockRegistered) {
 	case faultpoint.Timeout:
 		tx.UnregisterLock(l)
+		l.wakeOwnershipWaiters()
 		return false
 	case faultpoint.Doom:
 		tx.Doom()
@@ -135,31 +136,83 @@ func (l *OwnerLock) TryAcquire(tx *stm.Tx, timeout time.Duration) bool {
 		return true
 	}
 	tx.UnregisterLock(l)
+	// A sibling branch blocked in waitOwnedBy is waiting on the
+	// registration this goroutine just removed; without a wake it would
+	// sleep out its whole timeout.
+	l.wakeOwnershipWaiters()
 	return false
+}
+
+// wakeOwnershipWaiters wakes goroutines blocked in waitOwnedBy. Called after
+// ownership or registration changes made outside l.mu's critical section.
+func (l *OwnerLock) wakeOwnershipWaiters() {
+	l.mu.lock()
+	l.notifyOwnershipLocked()
+	l.mu.unlock()
+}
+
+// notifyOwnershipLocked closes the current ownership-generation channel (if
+// any waiter armed one). Callers hold l.mu.
+func (l *OwnerLock) notifyOwnershipLocked() {
+	if l.ownGen != nil {
+		close(l.ownGen)
+		l.ownGen = nil
+	}
 }
 
 // waitOwnedBy waits until tx owns the lock (acquired by a sibling branch of
 // a multi-threaded transaction), or the registration disappears (the
-// sibling's acquisition failed), or the timeout expires.
+// sibling's acquisition failed), or tx is doomed, or the timeout expires.
+// It sleeps on the lock's ownership-generation channel rather than spinning:
+// every ownership or registration change closes the channel, so waiters wake
+// exactly when there is something new to observe.
 func (l *OwnerLock) waitOwnedBy(tx *stm.Tx, timeout time.Duration) bool {
-	deadline := time.Now().Add(timeout)
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	doomed := tx.DoomChan()
 	for {
-		if l.HeldBy(tx) {
+		l.mu.lock()
+		if l.owner == tx {
+			l.mu.unlock()
 			return true
 		}
+		if l.ownGen == nil {
+			l.ownGen = make(chan struct{})
+		}
+		wait := l.ownGen
+		l.mu.unlock()
+		// Check the registration only after capturing the wait channel:
+		// a sibling that unregisters after this check closes the channel
+		// we already hold, so the wakeup cannot be missed.
 		if !tx.Holds(l) {
 			return false // sibling acquisition failed and unregistered
 		}
-		if time.Now().After(deadline) {
+		select {
+		case <-wait:
+			// Ownership or registration changed; re-examine.
+		case <-doomed:
+			return false // wounded while waiting
+		case <-tx.Done():
+			return false // caller's context cancelled
+		case <-timer.C:
 			return false
 		}
-		runtime.Gosched()
 	}
 }
 
 func (l *OwnerLock) acquireSlow(tx *stm.Tx, timeout time.Duration) bool {
+	// The timer, its channel, and the doom channel are armed once for the
+	// whole wait (the budget spans all recontention rounds) and the timer
+	// is stopped on every exit path, so a doomed or wounded wait no longer
+	// leaks a live timer.
 	var timer *time.Timer
 	var expired <-chan time.Time
+	var doomed <-chan struct{}
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
 	for {
 		if tx.Doomed() {
 			return false // wounded while waiting: give way to our elder
@@ -167,10 +220,8 @@ func (l *OwnerLock) acquireSlow(tx *stm.Tx, timeout time.Duration) bool {
 		l.mu.lock()
 		if l.owner == nil {
 			l.owner = tx
+			l.notifyOwnershipLocked()
 			l.mu.unlock()
-			if timer != nil {
-				timer.Stop()
-			}
 			return true
 		}
 		if l.policy == WoundWait && l.owner.Birth() > tx.Birth() {
@@ -187,14 +238,13 @@ func (l *OwnerLock) acquireSlow(tx *stm.Tx, timeout time.Duration) bool {
 		if timer == nil {
 			timer = time.NewTimer(timeout)
 			expired = timer.C
+			doomed = tx.DoomChan()
 		}
-		doomed := tx.DoomChan()
-		// Failpoint between DoomChan creation and the select: a Delay
+		// Failpoint between DoomChan availability and the select: a Delay
 		// here widens the doom/wakeup race window; Timeout forces the
 		// expired path; Doom simulates a wound landing right now.
 		switch faultpoint.Hit(faultpoint.LockWait) {
 		case faultpoint.Timeout:
-			timer.Stop()
 			return false
 		case faultpoint.Doom:
 			tx.Doom()
@@ -203,10 +253,8 @@ func (l *OwnerLock) acquireSlow(tx *stm.Tx, timeout time.Duration) bool {
 		case <-wait:
 			// A release happened; recontend.
 		case <-doomed:
-			timer.Stop()
 			return false // wounded while waiting
 		case <-tx.Done():
-			timer.Stop()
 			return false // caller's context cancelled
 		case <-expired:
 			return false
@@ -235,6 +283,7 @@ func (l *OwnerLock) Unlock(tx *stm.Tx) {
 			close(l.gen)
 			l.gen = nil
 		}
+		l.notifyOwnershipLocked()
 	}
 	l.mu.unlock()
 }

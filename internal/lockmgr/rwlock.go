@@ -39,31 +39,30 @@ func (l *RWOwnerLock) TryRLock(tx *stm.Tx, timeout time.Duration) bool {
 	case faultpoint.Doom:
 		tx.Doom()
 	}
+	// Timer and doom channel are armed once for the whole wait and the
+	// timer stopped on every exit path (see acquireSlow for the rationale).
 	var timer *time.Timer
 	var expired <-chan time.Time
+	var doomed <-chan struct{}
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
 	for {
 		l.mu.lock()
 		if l.writer == tx {
 			l.mu.unlock()
-			if timer != nil {
-				timer.Stop()
-			}
 			return true // write mode subsumes read mode
 		}
 		if _, ok := l.readers[tx]; ok {
 			l.mu.unlock()
-			if timer != nil {
-				timer.Stop()
-			}
 			return true
 		}
 		if l.writer == nil {
 			l.readers[tx] = struct{}{}
 			l.mu.unlock()
 			tx.RegisterLock(l)
-			if timer != nil {
-				timer.Stop()
-			}
 			return true
 		}
 		wait := l.waitGen()
@@ -72,9 +71,9 @@ func (l *RWOwnerLock) TryRLock(tx *stm.Tx, timeout time.Duration) bool {
 		if timer == nil {
 			timer = time.NewTimer(timeout)
 			expired = timer.C
+			doomed = tx.DoomChan()
 		}
-		if !l.waitRelease(tx, wait, expired) {
-			timer.Stop()
+		if !l.waitRelease(tx, wait, doomed, expired) {
 			return false
 		}
 	}
@@ -91,13 +90,16 @@ func (l *RWOwnerLock) TryWLock(tx *stm.Tx, timeout time.Duration) bool {
 	}
 	var timer *time.Timer
 	var expired <-chan time.Time
+	var doomed <-chan struct{}
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
 	for {
 		l.mu.lock()
 		if l.writer == tx {
 			l.mu.unlock()
-			if timer != nil {
-				timer.Stop()
-			}
 			return true
 		}
 		_, isReader := l.readers[tx]
@@ -112,9 +114,6 @@ func (l *RWOwnerLock) TryWLock(tx *stm.Tx, timeout time.Duration) bool {
 			}
 			l.mu.unlock()
 			tx.RegisterLock(l)
-			if timer != nil {
-				timer.Stop()
-			}
 			return true
 		}
 		wait := l.waitGen()
@@ -123,9 +122,9 @@ func (l *RWOwnerLock) TryWLock(tx *stm.Tx, timeout time.Duration) bool {
 		if timer == nil {
 			timer = time.NewTimer(timeout)
 			expired = timer.C
+			doomed = tx.DoomChan()
 		}
-		if !l.waitRelease(tx, wait, expired) {
-			timer.Stop()
+		if !l.waitRelease(tx, wait, doomed, expired) {
 			return false
 		}
 	}
@@ -133,8 +132,7 @@ func (l *RWOwnerLock) TryWLock(tx *stm.Tx, timeout time.Duration) bool {
 
 // waitRelease blocks until the next release (true) or until the wait should
 // be abandoned (false): timeout expiry, a doom, or context cancellation.
-func (l *RWOwnerLock) waitRelease(tx *stm.Tx, wait chan struct{}, expired <-chan time.Time) bool {
-	doomed := tx.DoomChan()
+func (l *RWOwnerLock) waitRelease(tx *stm.Tx, wait <-chan struct{}, doomed <-chan struct{}, expired <-chan time.Time) bool {
 	switch faultpoint.Hit(faultpoint.LockWait) {
 	case faultpoint.Timeout:
 		return false

@@ -1,0 +1,259 @@
+package stm
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// The single-owner fast path and descriptor pooling must be invisible to
+// transaction semantics: state never leaks between the transactions that
+// share a pooled descriptor, the lock-set spill past lockSpill behaves like
+// the map it replaces, and a stale Doom aimed at a completed transaction
+// costs a later one at most a retry.
+
+func TestPooledDescriptorStateIsolation(t *testing.T) {
+	sys := NewSystem(Config{})
+	var l fpLock
+	err := sys.Atomic(func(tx *Tx) error {
+		tx.Log(func() {})
+		l.acquire(tx)
+		tx.OnCommit(func() {})
+		tx.OnAbort(func() {})
+		tx.AtCommit(func() {})
+		tx.OnValidate(func() error { return nil })
+		tx.SetExt("slot", "value")
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("first Atomic: %v", err)
+	}
+	// The next transaction on this system plausibly reuses the descriptor;
+	// every piece of per-transaction state must read as fresh.
+	err = sys.Atomic(func(tx *Tx) error {
+		if n := tx.UndoDepth(); n != 0 {
+			t.Errorf("undo depth leaked: %d", n)
+		}
+		if n := tx.LockCount(); n != 0 {
+			t.Errorf("lock count leaked: %d", n)
+		}
+		if v := tx.Ext("slot"); v != nil {
+			t.Errorf("ext slot leaked: %v", v)
+		}
+		if tx.Doomed() {
+			t.Error("doom leaked")
+		}
+		if tx.Attempt() != 0 {
+			t.Errorf("attempt leaked: %d", tx.Attempt())
+		}
+		if tx.Status() != Active {
+			t.Errorf("status = %v", tx.Status())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("second Atomic: %v", err)
+	}
+}
+
+func TestPooledDescriptorFreshAcrossUserAbort(t *testing.T) {
+	sys := NewSystem(Config{})
+	boom := errors.New("boom")
+	undone := false
+	err := sys.Atomic(func(tx *Tx) error {
+		tx.Log(func() { undone = true })
+		return boom
+	})
+	if err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if !undone {
+		t.Fatal("undo did not run on user abort")
+	}
+	err = sys.Atomic(func(tx *Tx) error {
+		if tx.UndoDepth() != 0 || tx.Cause() != nil {
+			t.Errorf("state leaked after user abort: depth=%d cause=%v",
+				tx.UndoDepth(), tx.Cause())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("second Atomic: %v", err)
+	}
+}
+
+// fpLock is a minimal Unlocker for lock-set tests.
+type fpLock struct{ unlocks atomic.Int32 }
+
+func (l *fpLock) acquire(tx *Tx) { tx.RegisterLock(l) }
+func (l *fpLock) Unlock(*Tx)     { l.unlocks.Add(1) }
+
+func TestLockSetSpillsToMapPastThreshold(t *testing.T) {
+	sys := NewSystem(Config{})
+	locks := make([]*fpLock, 3*lockSpill)
+	for i := range locks {
+		locks[i] = &fpLock{}
+	}
+	MustAtomicOn(sys, func(tx *Tx) {
+		for i, l := range locks {
+			if !tx.RegisterLock(l) {
+				t.Fatalf("lock %d: first registration returned false", i)
+			}
+			if tx.RegisterLock(l) {
+				t.Fatalf("lock %d: re-registration returned true", i)
+			}
+		}
+		for i, l := range locks {
+			if !tx.Holds(l) {
+				t.Fatalf("lock %d not held after spill", i)
+			}
+		}
+		if n := tx.LockCount(); n != len(locks) {
+			t.Fatalf("LockCount = %d, want %d", n, len(locks))
+		}
+		// Unregister one lock from the middle, spanning the spill boundary.
+		tx.UnregisterLock(locks[lockSpill])
+		if tx.Holds(locks[lockSpill]) {
+			t.Fatal("unregistered lock still held")
+		}
+		if !tx.RegisterLock(locks[lockSpill]) {
+			t.Fatal("re-registering an unregistered lock failed")
+		}
+	})
+	for i, l := range locks {
+		if got := l.unlocks.Load(); got != 1 {
+			t.Fatalf("lock %d unlocked %d times, want 1", i, got)
+		}
+	}
+	// The spill map must not follow the descriptor into its next life.
+	MustAtomicOn(sys, func(tx *Tx) {
+		if tx.lockIdx != nil {
+			t.Error("spill map survived descriptor reuse")
+		}
+	})
+}
+
+func TestStaleDoomOnRecycledDescriptorIsBenign(t *testing.T) {
+	sys := NewSystem(Config{})
+	var escaped *Tx
+	MustAtomicOn(sys, func(tx *Tx) { escaped = tx })
+	// Simulate the rwstm eager-mode hazard: a contention manager dooms a
+	// pointer to a transaction that already committed. The descriptor may
+	// be live again under an unrelated transaction; the doom must cost at
+	// most one spurious retry.
+	escaped.Doom()
+	ran := 0
+	err := sys.Atomic(func(tx *Tx) error {
+		ran++
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Atomic after stale doom: %v", err)
+	}
+	if ran == 0 {
+		t.Fatal("body never ran")
+	}
+	st := sys.Stats()
+	if st.Commits < 2 {
+		t.Fatalf("commits = %d, want >= 2", st.Commits)
+	}
+}
+
+func TestLegacyHotPathStillCommits(t *testing.T) {
+	sys := NewSystem(Config{LegacyHotPath: true})
+	var l fpLock
+	MustAtomicOn(sys, func(tx *Tx) {
+		l.acquire(tx)
+		tx.Log(func() {})
+		if !tx.parallel.Load() {
+			t.Error("legacy descriptor should start escalated")
+		}
+	})
+	if l.unlocks.Load() != 1 {
+		t.Fatalf("unlocks = %d, want 1", l.unlocks.Load())
+	}
+	st := sys.Stats()
+	if st.Commits != 1 || st.Starts != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestParallelEscalatesDescriptor(t *testing.T) {
+	sys := NewSystem(Config{})
+	MustAtomicOn(sys, func(tx *Tx) {
+		if tx.parallel.Load() {
+			t.Fatal("descriptor escalated before Parallel")
+		}
+		err := tx.Parallel(
+			func(tx *Tx) error {
+				for i := 0; i < 100; i++ {
+					tx.Log(func() {})
+					tx.OnCommit(func() {})
+				}
+				return nil
+			},
+			func(tx *Tx) error {
+				for i := 0; i < 100; i++ {
+					tx.Log(func() {})
+					tx.OnAbort(func() {})
+				}
+				return nil
+			},
+		)
+		if err != nil {
+			t.Fatalf("Parallel: %v", err)
+		}
+		if !tx.parallel.Load() {
+			t.Fatal("descriptor not escalated by Parallel")
+		}
+		if n := tx.UndoDepth(); n != 200 {
+			t.Fatalf("undo depth = %d, want 200", n)
+		}
+	})
+	// The escalation flag must reset for the system's next transaction.
+	MustAtomicOn(sys, func(tx *Tx) {
+		if tx.parallel.Load() {
+			t.Error("escalation leaked into a later transaction")
+		}
+	})
+}
+
+func TestEmptyAtomicSteadyStateAllocs(t *testing.T) {
+	sys := NewSystem(Config{})
+	body := func(tx *Tx) error { return nil }
+	_ = sys.Atomic(body) // warm the pool
+	avg := testing.AllocsPerRun(200, func() {
+		_ = sys.Atomic(body)
+	})
+	if avg > 0 {
+		t.Fatalf("empty Atomic allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+func TestShardedStatsCountExactly(t *testing.T) {
+	sys := NewSystem(Config{})
+	const gs, per = 8, 500
+	done := make(chan struct{})
+	for g := 0; g < gs; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < per; i++ {
+				MustAtomicOn(sys, func(tx *Tx) {})
+			}
+		}()
+	}
+	for g := 0; g < gs; g++ {
+		<-done
+	}
+	st := sys.Stats()
+	if st.Commits != gs*per {
+		t.Fatalf("commits = %d, want %d", st.Commits, gs*per)
+	}
+	if st.Starts < st.Commits {
+		t.Fatalf("starts = %d < commits = %d", st.Starts, st.Commits)
+	}
+	sys.ResetStats()
+	if st := sys.Stats(); st.Starts != 0 || st.Commits != 0 {
+		t.Fatalf("reset left counters: %+v", st)
+	}
+}

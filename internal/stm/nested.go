@@ -27,8 +27,8 @@ type savepoint struct {
 }
 
 func (tx *Tx) save() savepoint {
-	tx.mu.Lock()
-	defer tx.mu.Unlock()
+	tx.stateLock()
+	defer tx.stateUnlock()
 	return savepoint{
 		undo:       len(tx.undo),
 		locks:      len(tx.locks),
@@ -49,22 +49,26 @@ func (tx *Tx) save() savepoint {
 // Parallel branch is appending, so a Nested child must not run concurrently
 // with branches that log to the same transaction (see Nested).
 func (tx *Tx) rollbackTo(sp savepoint) {
-	tx.mu.Lock()
+	tx.stateLock()
 	childUndo := append([]func(){}, tx.undo[sp.undo:]...)
-	tx.undo = tx.undo[:sp.undo]
+	tx.undo = clearTail(tx.undo, sp.undo)
 
 	childLocks := append([]Unlocker{}, tx.locks[sp.locks:]...)
-	for _, l := range childLocks {
-		delete(tx.lockSet, l)
+	if tx.lockIdx != nil {
+		for _, l := range childLocks {
+			delete(tx.lockIdx, l)
+		}
 	}
+	clear(tx.locks[sp.locks:])
 	tx.locks = tx.locks[:sp.locks]
 
 	childOnAbort := append([]func(){}, tx.onAbort[sp.onAbort:]...)
-	tx.atCommit = tx.atCommit[:sp.atCommit]
-	tx.onCommit = tx.onCommit[:sp.onCommit]
-	tx.onAbort = tx.onAbort[:sp.onAbort]
+	tx.atCommit = clearTail(tx.atCommit, sp.atCommit)
+	tx.onCommit = clearTail(tx.onCommit, sp.onCommit)
+	tx.onAbort = clearTail(tx.onAbort, sp.onAbort)
+	clear(tx.onValidate[sp.onValidate:])
 	tx.onValidate = tx.onValidate[:sp.onValidate]
-	tx.mu.Unlock()
+	tx.stateUnlock()
 
 	for i := len(childUndo) - 1; i >= 0; i-- {
 		childUndo[i]()

@@ -21,6 +21,12 @@ import "sync"
 // unsynchronized per-transaction state in extension slots — the rwstm
 // baseline's read/write sets — must not be used from concurrent branches.
 func (tx *Tx) Parallel(fns ...func(tx *Tx) error) error {
+	// Escalate the descriptor out of single-owner mode before any branch
+	// can run: from here on, log/lock/handler accessors take tx.mu. The
+	// go statements below publish the flag to every branch, and the flag
+	// stays set for the rest of the attempt — escalation is one-way, so a
+	// branch never races a fast-path append from the coordinator.
+	tx.escalate()
 	errs := make([]error, len(fns))
 	panics := make([]any, len(fns))
 	var wg sync.WaitGroup

@@ -5,80 +5,113 @@ import (
 	"sync/atomic"
 )
 
-// Stats holds a System's monotonically increasing counters. All fields are
-// safe for concurrent update.
-type Stats struct {
-	Starts             atomic.Int64 // transaction attempts begun
-	Commits            atomic.Int64 // attempts that committed
-	Aborts             atomic.Int64 // attempts rolled back and retried
-	UserAborts         atomic.Int64 // attempts rolled back by a user error
-	LockTimeouts       atomic.Int64 // abstract-lock acquisitions that timed out
-	ValidationFailures atomic.Int64 // read-set validations that failed (rwstm)
+// Counter indices into a stats shard. The order is frozen by snapshot();
+// nCounters sizes the per-shard array.
+const (
+	cStarts = iota
+	cCommits
+	cAborts
+	cUserAborts
+	cLockTimeouts
+	cValidationFailures
 
 	// Aborts broken down by classified cause (see AbortKind). The sum of
-	// these five equals Aborts.
-	AbortsLockTimeout atomic.Int64
-	AbortsWounded     atomic.Int64
-	AbortsValidation  atomic.Int64
-	AbortsDoomed      atomic.Int64
-	AbortsOther       atomic.Int64
+	// these five equals cAborts.
+	cAbortsLockTimeout
+	cAbortsWounded
+	cAbortsValidation
+	cAbortsDoomed
+	cAbortsOther
 
 	// Contention-collapse protection.
-	AdmissionWaits   atomic.Int64 // Atomic calls that queued for an admission slot
-	AdmissionRejects atomic.Int64 // Atomic calls shed by admission control
-	Collapses        atomic.Int64 // Atomic calls shed by the livelock detector
+	cAdmissionWaits
+	cAdmissionRejects
+	cCollapses
+
+	nCounters
+)
+
+// statShards is the number of counter shards. A power of two so the shard
+// pick is a mask; 16 is plenty to spread commit-path increments on any
+// machine this runs on without making snapshot sums expensive.
+const statShards = 16
+
+// statShard is one padded cell of counters. The padding keeps adjacent
+// shards on separate cache lines so transactions hashing to different shards
+// never bounce a line between cores.
+type statShard struct {
+	counters [nCounters]atomic.Int64
+	_        [128 - (nCounters*8)%128]byte
+}
+
+// Stats holds a System's monotonically increasing counters, sharded so that
+// commit-path increments from concurrent transactions do not contend on one
+// cache line. Writers pick a shard from the transaction ID; readers sum all
+// shards. Counts are exact (every increment lands in exactly one shard);
+// only the read is weakly consistent across counters, which snapshot
+// tolerates the same way a single racing atomic load would.
+type Stats struct {
+	shards [statShards]statShard
+}
+
+// add bumps counter c on the shard selected by hint (typically the
+// transaction ID, so one transaction's increments stay on one line).
+func (s *Stats) add(hint uint64, c int) {
+	s.shards[hint&(statShards-1)].counters[c].Add(1)
+}
+
+// total sums counter c across shards. This is the cold read path: snapshots,
+// and the livelock detector's commit-progress probe (which runs only after a
+// long streak of contention aborts).
+func (s *Stats) total(c int) int64 {
+	var t int64
+	for i := range s.shards {
+		t += s.shards[i].counters[c].Load()
+	}
+	return t
 }
 
 // countAbortKind bumps the per-cause counter for one aborted attempt.
-func (s *Stats) countAbortKind(kind AbortKind) {
+func (s *Stats) countAbortKind(hint uint64, kind AbortKind) {
 	switch kind {
 	case KindLockTimeout:
-		s.AbortsLockTimeout.Add(1)
+		s.add(hint, cAbortsLockTimeout)
 	case KindWounded:
-		s.AbortsWounded.Add(1)
+		s.add(hint, cAbortsWounded)
 	case KindValidation:
-		s.AbortsValidation.Add(1)
+		s.add(hint, cAbortsValidation)
 	case KindDoomed:
-		s.AbortsDoomed.Add(1)
+		s.add(hint, cAbortsDoomed)
 	default:
-		s.AbortsOther.Add(1)
+		s.add(hint, cAbortsOther)
 	}
 }
 
 func (s *Stats) snapshot() StatsSnapshot {
 	return StatsSnapshot{
-		Starts:             s.Starts.Load(),
-		Commits:            s.Commits.Load(),
-		Aborts:             s.Aborts.Load(),
-		UserAborts:         s.UserAborts.Load(),
-		LockTimeouts:       s.LockTimeouts.Load(),
-		ValidationFailures: s.ValidationFailures.Load(),
-		AbortsLockTimeout:  s.AbortsLockTimeout.Load(),
-		AbortsWounded:      s.AbortsWounded.Load(),
-		AbortsValidation:   s.AbortsValidation.Load(),
-		AbortsDoomed:       s.AbortsDoomed.Load(),
-		AbortsOther:        s.AbortsOther.Load(),
-		AdmissionWaits:     s.AdmissionWaits.Load(),
-		AdmissionRejects:   s.AdmissionRejects.Load(),
-		Collapses:          s.Collapses.Load(),
+		Starts:             s.total(cStarts),
+		Commits:            s.total(cCommits),
+		Aborts:             s.total(cAborts),
+		UserAborts:         s.total(cUserAborts),
+		LockTimeouts:       s.total(cLockTimeouts),
+		ValidationFailures: s.total(cValidationFailures),
+		AbortsLockTimeout:  s.total(cAbortsLockTimeout),
+		AbortsWounded:      s.total(cAbortsWounded),
+		AbortsValidation:   s.total(cAbortsValidation),
+		AbortsDoomed:       s.total(cAbortsDoomed),
+		AbortsOther:        s.total(cAbortsOther),
+		AdmissionWaits:     s.total(cAdmissionWaits),
+		AdmissionRejects:   s.total(cAdmissionRejects),
+		Collapses:          s.total(cCollapses),
 	}
 }
 
 func (s *Stats) reset() {
-	s.Starts.Store(0)
-	s.Commits.Store(0)
-	s.Aborts.Store(0)
-	s.UserAborts.Store(0)
-	s.LockTimeouts.Store(0)
-	s.ValidationFailures.Store(0)
-	s.AbortsLockTimeout.Store(0)
-	s.AbortsWounded.Store(0)
-	s.AbortsValidation.Store(0)
-	s.AbortsDoomed.Store(0)
-	s.AbortsOther.Store(0)
-	s.AdmissionWaits.Store(0)
-	s.AdmissionRejects.Store(0)
-	s.Collapses.Store(0)
+	for i := range s.shards {
+		for c := 0; c < nCounters; c++ {
+			s.shards[i].counters[c].Store(0)
+		}
+	}
 }
 
 // StatsSnapshot is a point-in-time copy of a System's counters.

@@ -21,6 +21,18 @@
 // recovers it, rolls back the undo log in reverse order (Rule 3 of the
 // paper), releases all two-phase locks, runs post-abort handlers (Rule 4),
 // backs off, and retries. Panics never escape Atomic.
+//
+// # Hot-path engineering
+//
+// The per-call burden the paper claims is small — one abstract-lock
+// acquisition plus one undo-log append — is kept small here by a
+// single-owner fast path: until a transaction enters Parallel, its log,
+// lock-set, and handler state are touched only by the owning goroutine and
+// accessed without tx.mu. Parallel escalates the descriptor once (a one-way
+// flag per attempt), after which every accessor takes the mutex. Descriptors
+// and their slices are recycled across attempts and Atomic calls through a
+// sync.Pool, so a steady-state transaction allocates nothing. See DESIGN.md
+// §6 for the invariants.
 package stm
 
 import (
@@ -104,11 +116,40 @@ type Unlocker interface {
 // txIDs generates unique transaction identifiers.
 var txIDs atomic.Uint64
 
+// lockSpill is the lock-set size past which the linear-scan membership check
+// spills to a map. Almost every transaction holds a handful of abstract
+// locks (the paper's workloads hold one or two), so the common case is a
+// short scan over a slice that is already in cache; only lock-hungry
+// transactions pay for a map.
+const lockSpill = 16
+
+// txPool recycles transaction descriptors — and, transitively, the undo,
+// lock, and handler slices they carry — across retry attempts and Atomic
+// calls. Descriptors are returned to the pool with every reference cleared,
+// so the pool never pins user closures or locks.
+var txPool = sync.Pool{New: func() any { return new(Tx) }}
+
 // Tx is a transaction descriptor, created by Atomic and valid for one
 // attempt. A Tx is driven by one goroutine, except inside Parallel, which
 // lets multiple goroutines work on behalf of the same transaction (the
-// paper's multi-threaded-transactions extension); the descriptor's mutable
-// state is guarded for that case.
+// paper's multi-threaded-transactions extension).
+//
+// The descriptor's mutable state is split in two:
+//
+//   - The log/lock/handler state below tx.mu is single-owner: it is touched
+//     without locking until the transaction enters Parallel, which sets the
+//     one-way escalation flag; from then on every access goes through tx.mu.
+//   - The doom/cause state below asyncMu may be touched by other
+//     transactions' goroutines at any time (contention managers doom their
+//     victims asynchronously), so it is always guarded — by its own small
+//     mutex, off the single-owner fast path.
+//
+// Descriptors are pooled: once Atomic returns, the Tx may be reset and
+// reused by an unrelated transaction. Code must therefore never retain a
+// *Tx beyond the dynamic extent of the Atomic call that supplied it (see
+// DESIGN.md §6). A stale Doom on a recycled descriptor is tolerated — it
+// costs the new owner at most one spurious retry — but any other access is
+// a bug.
 type Tx struct {
 	id      uint64
 	birth   uint64 // first attempt's id; stable across retries (lock priority)
@@ -117,18 +158,26 @@ type Tx struct {
 	system  *System
 	ctx     context.Context // non-nil only under AtomicCtx
 
-	mu         sync.Mutex // guards the log/lock/handler state below
+	// parallel is the one-way escalation flag: false means the state below
+	// mu is owned exclusively by the goroutine running the attempt, true
+	// means Parallel branches may be sharing it. It is set only by the
+	// owning goroutine (entering Parallel) while no branch is running, and
+	// reset between attempts, so each accessor observes a stable value.
+	parallel atomic.Bool
+
+	mu         sync.Mutex // guards the state below only after escalation
 	undo       []func()   // inverse operations, applied in reverse on abort
 	locks      []Unlocker // two-phase locks, released at commit/abort
-	lockSet    map[Unlocker]struct{}
-	atCommit   []func()       // run at the commit point, before lock release
-	onCommit   []func()       // disposable actions deferred to after commit
-	onAbort    []func()       // disposable actions deferred to after abort
-	onValidate []func() error // pre-commit validation (rwstm read-set checks)
+	lockIdx    map[Unlocker]struct{} // non-nil once len(locks) > lockSpill
+	atCommit   []func()              // run at the commit point, before lock release
+	onCommit   []func()              // disposable actions deferred to after commit
+	onAbort    []func()              // disposable actions deferred to after abort
+	onValidate []func() error        // pre-commit validation (rwstm read-set checks)
 
 	ext map[any]any // extension slots for cooperating packages (e.g. rwstm)
 
 	doomed     atomic.Bool
+	asyncMu    sync.Mutex    // guards doomCh/doomClosed/abortCause (cross-goroutine)
 	doomCh     chan struct{} // lazily created; closed by Doom (see DoomChan)
 	doomClosed bool
 	abortCause error
@@ -178,6 +227,28 @@ func (tx *Tx) Done() <-chan struct{} {
 	return tx.ctx.Done()
 }
 
+// escalate flips the descriptor into shared mode. Called by Parallel before
+// any branch starts; from here until the next attempt every log/lock/handler
+// accessor takes tx.mu.
+func (tx *Tx) escalate() { tx.parallel.Store(true) }
+
+// stateLock/stateUnlock guard the log/lock/handler state only when the
+// transaction has escalated to shared mode. The flag cannot change while an
+// accessor is between the two calls: escalation happens only on the owning
+// goroutine with no branches running, and that goroutine cannot be inside an
+// accessor at the same time.
+func (tx *Tx) stateLock() {
+	if tx.parallel.Load() {
+		tx.mu.Lock()
+	}
+}
+
+func (tx *Tx) stateUnlock() {
+	if tx.parallel.Load() {
+		tx.mu.Unlock()
+	}
+}
+
 // Doom marks the transaction for asynchronous abort. Unlike Abort, Doom may
 // be called from any goroutine: contention managers use it to make a victim
 // abort itself (DSTM2-style "writer aborts visible readers"). The victim
@@ -185,12 +256,12 @@ func (tx *Tx) Done() <-chan struct{} {
 // unwinds normally.
 func (tx *Tx) Doom() {
 	tx.doomed.Store(true)
-	tx.mu.Lock()
+	tx.asyncMu.Lock()
 	if tx.doomCh != nil && !tx.doomClosed {
 		close(tx.doomCh)
 		tx.doomClosed = true
 	}
-	tx.mu.Unlock()
+	tx.asyncMu.Unlock()
 }
 
 // Doomed reports whether some other transaction has requested this one
@@ -201,8 +272,8 @@ func (tx *Tx) Doomed() bool { return tx.doomed.Load() }
 // wait loops can wake immediately instead of discovering the doom at their
 // next poll.
 func (tx *Tx) DoomChan() <-chan struct{} {
-	tx.mu.Lock()
-	defer tx.mu.Unlock()
+	tx.asyncMu.Lock()
+	defer tx.asyncMu.Unlock()
 	if tx.doomCh == nil {
 		tx.doomCh = make(chan struct{})
 		if tx.doomed.Load() {
@@ -228,18 +299,18 @@ func (tx *Tx) Abort(cause error) {
 // here: Cause may be called from other goroutines (Parallel branches, doom
 // diagnostics), so unguarded writes race.
 func (tx *Tx) setCause(cause error) {
-	tx.mu.Lock()
+	tx.asyncMu.Lock()
 	if tx.abortCause == nil {
 		tx.abortCause = cause // first cause wins under Parallel
 	}
-	tx.mu.Unlock()
+	tx.asyncMu.Unlock()
 }
 
 // Cause returns the error that aborted the transaction, or nil while it is
 // alive. Intended for post-abort diagnostics from OnAbort handlers.
 func (tx *Tx) Cause() error {
-	tx.mu.Lock()
-	defer tx.mu.Unlock()
+	tx.asyncMu.Lock()
+	defer tx.asyncMu.Unlock()
 	return tx.abortCause
 }
 
@@ -247,16 +318,20 @@ func (tx *Tx) Cause() error {
 // transaction aborts, logged operations run in reverse order of logging
 // (Rule 3: compensating actions). If it commits, the log is discarded.
 func (tx *Tx) Log(undo func()) {
-	tx.mu.Lock()
+	if tx.parallel.Load() {
+		tx.mu.Lock()
+		tx.undo = append(tx.undo, undo)
+		tx.mu.Unlock()
+		return
+	}
 	tx.undo = append(tx.undo, undo)
-	tx.mu.Unlock()
 }
 
 // UndoDepth reports how many inverse operations are currently logged.
 // It exists chiefly for tests and introspection.
 func (tx *Tx) UndoDepth() int {
-	tx.mu.Lock()
-	defer tx.mu.Unlock()
+	tx.stateLock()
+	defer tx.stateUnlock()
 	return len(tx.undo)
 }
 
@@ -267,27 +342,29 @@ func (tx *Tx) UndoDepth() int {
 // history recorder uses this to log commit events in commit order; most
 // code wants OnCommit instead.
 func (tx *Tx) AtCommit(f func()) {
-	tx.mu.Lock()
+	tx.stateLock()
 	tx.atCommit = append(tx.atCommit, f)
-	tx.mu.Unlock()
+	tx.stateUnlock()
 }
 
 // OnCommit registers a disposable action to run after the transaction
 // commits, in registration order. Per Rule 4 such actions must be disposable
 // method calls: postponable without any other transaction observing the
-// delay (for example releasing a transactional semaphore).
+// delay (for example releasing a transactional semaphore). Handlers must not
+// retain tx beyond their own invocation: the descriptor is recycled once
+// Atomic returns.
 func (tx *Tx) OnCommit(f func()) {
-	tx.mu.Lock()
+	tx.stateLock()
 	tx.onCommit = append(tx.onCommit, f)
-	tx.mu.Unlock()
+	tx.stateUnlock()
 }
 
 // OnAbort registers a disposable action to run after rollback completes,
 // in registration order (for example returning a unique ID to its pool).
 func (tx *Tx) OnAbort(f func()) {
-	tx.mu.Lock()
+	tx.stateLock()
 	tx.onAbort = append(tx.onAbort, f)
-	tx.mu.Unlock()
+	tx.stateUnlock()
 }
 
 // OnValidate registers a pre-commit validation handler. If any handler
@@ -295,9 +372,9 @@ func (tx *Tx) OnAbort(f func()) {
 // committing. The read/write-conflict STM baseline uses this to validate
 // its read set; pure boosted objects never need it.
 func (tx *Tx) OnValidate(f func() error) {
-	tx.mu.Lock()
+	tx.stateLock()
 	tx.onValidate = append(tx.onValidate, f)
-	tx.mu.Unlock()
+	tx.stateUnlock()
 }
 
 // RegisterLock records that the transaction holds lock l, returning true if
@@ -305,31 +382,61 @@ func (tx *Tx) OnValidate(f func() error) {
 // reentrant: only the first registration performs a real acquire, mirroring
 // the paper's "if (lockSet.add(lock))" guard.
 func (tx *Tx) RegisterLock(l Unlocker) bool {
-	tx.mu.Lock()
-	defer tx.mu.Unlock()
-	if _, held := tx.lockSet[l]; held {
+	if tx.parallel.Load() {
+		tx.mu.Lock()
+		ok := tx.registerLock(l)
+		tx.mu.Unlock()
+		return ok
+	}
+	return tx.registerLock(l)
+}
+
+func (tx *Tx) registerLock(l Unlocker) bool {
+	if tx.holdsLocked(l) {
 		return false
 	}
-	if tx.lockSet == nil {
-		tx.lockSet = make(map[Unlocker]struct{}, 8)
-	}
-	tx.lockSet[l] = struct{}{}
 	tx.locks = append(tx.locks, l)
+	if tx.lockIdx != nil {
+		tx.lockIdx[l] = struct{}{}
+	} else if len(tx.locks) > lockSpill {
+		tx.lockIdx = make(map[Unlocker]struct{}, 2*lockSpill)
+		for _, held := range tx.locks {
+			tx.lockIdx[held] = struct{}{}
+		}
+	}
 	return true
+}
+
+// holdsLocked is the membership check behind RegisterLock/Holds: a linear
+// scan of the (short) lock slice, or a map probe once the set has spilled.
+func (tx *Tx) holdsLocked(l Unlocker) bool {
+	if tx.lockIdx != nil {
+		_, held := tx.lockIdx[l]
+		return held
+	}
+	for _, held := range tx.locks {
+		if held == l {
+			return true
+		}
+	}
+	return false
 }
 
 // UnregisterLock removes a lock registration made by RegisterLock. Lock
 // managers call it when a timed acquisition fails after registration.
 func (tx *Tx) UnregisterLock(l Unlocker) {
-	tx.mu.Lock()
-	defer tx.mu.Unlock()
-	if _, held := tx.lockSet[l]; !held {
+	tx.stateLock()
+	defer tx.stateUnlock()
+	if !tx.holdsLocked(l) {
 		return
 	}
-	delete(tx.lockSet, l)
+	if tx.lockIdx != nil {
+		delete(tx.lockIdx, l)
+	}
 	for i, held := range tx.locks {
 		if held == l {
 			tx.locks = append(tx.locks[:i], tx.locks[i+1:]...)
+			tx.locks = tx.locks[:len(tx.locks):cap(tx.locks)]
 			break
 		}
 	}
@@ -337,16 +444,15 @@ func (tx *Tx) UnregisterLock(l Unlocker) {
 
 // Holds reports whether the transaction currently holds lock l.
 func (tx *Tx) Holds(l Unlocker) bool {
-	tx.mu.Lock()
-	defer tx.mu.Unlock()
-	_, held := tx.lockSet[l]
-	return held
+	tx.stateLock()
+	defer tx.stateUnlock()
+	return tx.holdsLocked(l)
 }
 
 // LockCount reports how many distinct locks the transaction holds.
 func (tx *Tx) LockCount() int {
-	tx.mu.Lock()
-	defer tx.mu.Unlock()
+	tx.stateLock()
+	defer tx.stateUnlock()
 	return len(tx.locks)
 }
 
@@ -354,28 +460,47 @@ func (tx *Tx) LockCount() int {
 // Cooperating packages (such as the rwstm baseline) use extension slots to
 // attach their per-transaction state without the runtime knowing about them.
 func (tx *Tx) SetExt(key, val any) {
-	tx.mu.Lock()
+	tx.stateLock()
 	if tx.ext == nil {
 		tx.ext = make(map[any]any, 2)
 	}
 	tx.ext[key] = val
-	tx.mu.Unlock()
+	tx.stateUnlock()
 }
 
 // Ext returns the extension value stored under key, or nil.
 func (tx *Tx) Ext(key any) any {
-	tx.mu.Lock()
-	defer tx.mu.Unlock()
+	tx.stateLock()
+	defer tx.stateUnlock()
 	return tx.ext[key]
 }
 
-// releaseLocks releases every registered lock in reverse acquisition order.
+// releaseLocks releases every registered lock in reverse acquisition order,
+// keeping the slice capacity for the next attempt. The spill map, if any, is
+// dropped rather than cleared: Go maps never shrink, so a single lock-hungry
+// transaction would otherwise leave every later user of the pooled
+// descriptor paying an O(buckets) clear per attempt.
 func (tx *Tx) releaseLocks() {
 	for i := len(tx.locks) - 1; i >= 0; i-- {
 		tx.locks[i].Unlock(tx)
 	}
-	tx.locks = nil
-	tx.lockSet = nil
+	clear(tx.locks)
+	tx.locks = tx.locks[:0]
+	tx.lockIdx = nil
+}
+
+// clearFuncs zeroes a closure slice and truncates it, retaining capacity
+// without pinning the closures (or anything they capture) in the pool.
+func clearFuncs(fns []func()) []func() {
+	clear(fns)
+	return fns[:0]
+}
+
+// clearTail zeroes fns[n:] and truncates to n — clearFuncs for a nested
+// savepoint rollback, which discards only the child's suffix.
+func clearTail(fns []func(), n int) []func() {
+	clear(fns[n:])
+	return fns[:n]
 }
 
 // rollback runs the undo log in reverse, then releases locks, then runs
@@ -389,15 +514,18 @@ func (tx *Tx) rollback() {
 		faultpoint.Hit(faultpoint.StmBetweenUndo) // delay window mid-inverse
 		tx.undo[i]()
 	}
-	tx.undo = nil
+	tx.undo = clearFuncs(tx.undo)
 	tx.releaseLocks()
 	tx.status.Store(int32(Aborted))
 	faultpoint.Hit(faultpoint.StmPostAbort) // delay window before disposables
 	for _, f := range tx.onAbort {
 		f()
 	}
-	tx.onAbort = nil
-	tx.onCommit = nil
+	tx.onAbort = clearFuncs(tx.onAbort)
+	tx.onCommit = clearFuncs(tx.onCommit)
+	tx.atCommit = clearFuncs(tx.atCommit)
+	clear(tx.onValidate)
+	tx.onValidate = tx.onValidate[:0]
 }
 
 // commit validates, then makes the transaction's effects permanent, releases
@@ -416,29 +544,74 @@ func (tx *Tx) commit() bool {
 	tx.status.Store(int32(Validating))
 	if faultpoint.Hit(faultpoint.StmValidate) == faultpoint.FailValidation {
 		tx.setCause(ErrInjectedValidation)
-		tx.system.stats.ValidationFailures.Add(1)
+		tx.system.stats.add(tx.id, cValidationFailures)
 		tx.rollback()
 		return false
 	}
 	for _, f := range tx.onValidate {
 		if err := f(); err != nil {
 			tx.setCause(err)
-			tx.system.stats.ValidationFailures.Add(1)
+			tx.system.stats.add(tx.id, cValidationFailures)
 			tx.rollback()
 			return false
 		}
 	}
+	clear(tx.onValidate)
+	tx.onValidate = tx.onValidate[:0]
 	tx.status.Store(int32(Committed))
 	for _, f := range tx.atCommit {
 		f()
 	}
-	tx.atCommit = nil
-	tx.undo = nil
+	tx.atCommit = clearFuncs(tx.atCommit)
+	tx.undo = clearFuncs(tx.undo)
 	tx.releaseLocks()
 	for _, f := range tx.onCommit {
 		f()
 	}
-	tx.onCommit = nil
-	tx.onAbort = nil
+	tx.onCommit = clearFuncs(tx.onCommit)
+	tx.onAbort = clearFuncs(tx.onAbort)
 	return true
+}
+
+// resetAttempt prepares the descriptor for one attempt. The log/lock/handler
+// slices were already truncated by the previous attempt's commit or rollback
+// (or are empty on a fresh descriptor); what must be renewed per attempt is
+// the identity, the lifecycle state, and the doom/cause state. The doom
+// reset takes asyncMu because a stale Doom from the descriptor's previous
+// life may land at any time (see the Tx doc comment).
+func (tx *Tx) resetAttempt(sys *System, ctx context.Context, id uint64, birth uint64, attempt int) {
+	tx.id = id
+	tx.birth = birth
+	tx.attempt = attempt
+	tx.system = sys
+	tx.ctx = ctx
+	tx.status.Store(int32(Active))
+	tx.parallel.Store(false)
+	if tx.ext != nil {
+		clear(tx.ext)
+	}
+	tx.doomed.Store(false)
+	tx.asyncMu.Lock()
+	tx.doomCh = nil
+	tx.doomClosed = false
+	tx.abortCause = nil
+	tx.asyncMu.Unlock()
+}
+
+// recycle returns the descriptor to the pool. Callers must guarantee the
+// attempt has fully committed or rolled back (all slices truncated) and that
+// no goroutine they control still holds the pointer. References that could
+// pin memory are dropped here rather than at reuse time.
+func (tx *Tx) recycle() {
+	tx.system = nil
+	tx.ctx = nil
+	if tx.ext != nil {
+		clear(tx.ext)
+	}
+	tx.asyncMu.Lock()
+	tx.doomCh = nil
+	tx.doomClosed = false
+	tx.abortCause = nil
+	tx.asyncMu.Unlock()
+	txPool.Put(tx)
 }

@@ -53,6 +53,14 @@ type Config struct {
 	// the system committing, the call is shed with ErrContentionCollapse
 	// instead of spinning forever. Zero disables the detector.
 	CollapseAfter int
+
+	// LegacyHotPath disables the single-owner fast path: every attempt
+	// allocates a fresh Tx descriptor (no pooling) that starts escalated,
+	// so all log/lock/handler accessors take tx.mu — the runtime's
+	// pre-optimization behaviour. It exists so the benchmark harness can
+	// measure the fast path against a baseline in the same binary and the
+	// same run; production systems leave it false.
+	LegacyHotPath bool
 }
 
 func (c Config) withDefaults() Config {
@@ -103,8 +111,10 @@ func (s *System) Stats() StatsSnapshot { return s.stats.snapshot() }
 func (s *System) ResetStats() { s.stats.reset() }
 
 // CountLockTimeout records a timed-out abstract-lock acquisition. Lock
-// managers call it just before aborting the acquiring transaction.
-func (s *System) CountLockTimeout() { s.stats.LockTimeouts.Add(1) }
+// managers call it just before aborting the acquiring transaction. This is
+// a cold path — the caller just slept through its whole lock budget — so it
+// does not bother with a shard hint.
+func (s *System) CountLockTimeout() { s.stats.add(0, cLockTimeouts) }
 
 // Atomic executes fn inside a transaction on the default system.
 // See System.Atomic.
@@ -152,6 +162,10 @@ func MustAtomicOn(sys *System, fn func(tx *Tx)) {
 // Under admission control (Config.MaxConcurrent) or the livelock detector
 // (Config.CollapseAfter), Atomic may instead return ErrContentionCollapse,
 // with the transaction rolled back and no effects applied.
+//
+// The *Tx passed to fn is only valid during fn's dynamic extent: once the
+// Atomic call returns, the descriptor is recycled for unrelated
+// transactions. Neither fn nor any handler it registers may retain it.
 func (s *System) Atomic(fn func(tx *Tx) error) error {
 	return s.run(nil, fn)
 }
@@ -180,6 +194,21 @@ func (s *System) run(ctx context.Context, fn func(tx *Tx) error) error {
 	}
 	defer s.releaseSlot()
 
+	if s.cfg.LegacyHotPath {
+		return s.runLoop(ctx, fn, nil)
+	}
+	tx := txPool.Get().(*Tx)
+	err := s.runLoop(ctx, fn, tx)
+	// Reached only on normal return: a foreign panic from fn propagates
+	// past us, deliberately leaving the descriptor out of the pool (the
+	// panicking frame may still reference it).
+	tx.recycle()
+	return err
+}
+
+// runLoop is the retry loop. tx is the pooled descriptor reused across
+// attempts, or nil in legacy mode (fresh escalated descriptor per attempt).
+func (s *System) runLoop(ctx context.Context, fn func(tx *Tx) error, tx *Tx) error {
 	var (
 		birth     uint64
 		conStreak int   // consecutive contention aborts (livelock detector)
@@ -187,29 +216,37 @@ func (s *System) run(ctx context.Context, fn func(tx *Tx) error) error {
 		baseline  int64 // system-wide commit count when the streak matured
 	)
 	for attempt := 0; ; attempt++ {
-		tx := &Tx{id: txIDs.Add(1), attempt: attempt, system: s, ctx: ctx}
+		id := txIDs.Add(1)
 		if birth == 0 {
-			birth = tx.id
+			birth = id
 		}
-		tx.birth = birth
-		s.stats.Starts.Add(1)
+		if tx == nil || s.cfg.LegacyHotPath {
+			tx = &Tx{id: id, birth: birth, attempt: attempt, system: s, ctx: ctx}
+			tx.escalate()
+			// Pre-overhaul lock-set representation: membership checks and
+			// registrations always go through a per-attempt map.
+			tx.lockIdx = make(map[Unlocker]struct{})
+		} else {
+			tx.resetAttempt(s, ctx, id, birth, attempt)
+		}
+		s.stats.add(id, cStarts)
 		aborted, err := s.runAttempt(tx, fn)
 		if !aborted {
 			if err != nil {
 				// User error: rolled back, do not retry.
-				s.stats.UserAborts.Add(1)
+				s.stats.add(id, cUserAborts)
 				return err
 			}
 			if tx.commit() {
-				s.stats.Commits.Add(1)
+				s.stats.add(id, cCommits)
 				return nil
 			}
 			// Validation failure or doom: rolled back inside commit.
 			aborted = true
 		}
 		kind := ClassifyAbort(tx.Cause())
-		s.stats.Aborts.Add(1)
-		s.stats.countAbortKind(kind)
+		s.stats.add(id, cAborts)
+		s.stats.countAbortKind(id, kind)
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
 				return err
@@ -226,14 +263,14 @@ func (s *System) run(ctx context.Context, fn func(tx *Tx) error) error {
 			conStreak++
 			switch {
 			case conStreak == s.cfg.CollapseAfter:
-				baseline = s.stats.Commits.Load()
+				baseline = s.stats.total(cCommits)
 			case conStreak > s.cfg.CollapseAfter:
 				escalate++
-				if now := s.stats.Commits.Load(); now != baseline {
+				if now := s.stats.total(cCommits); now != baseline {
 					baseline = now
 					conStreak = s.cfg.CollapseAfter // progress: re-arm window
 				} else if conStreak >= 2*s.cfg.CollapseAfter {
-					s.stats.Collapses.Add(1)
+					s.stats.add(id, cCollapses)
 					return ErrContentionCollapse
 				}
 			}
@@ -256,9 +293,9 @@ func (s *System) admit(ctx context.Context) error {
 		return nil
 	default:
 	}
-	s.stats.AdmissionWaits.Add(1)
+	s.stats.add(0, cAdmissionWaits)
 	if s.cfg.AdmissionTimeout <= 0 {
-		s.stats.AdmissionRejects.Add(1)
+		s.stats.add(0, cAdmissionRejects)
 		return ErrContentionCollapse
 	}
 	var done <-chan struct{}
@@ -273,7 +310,7 @@ func (s *System) admit(ctx context.Context) error {
 	case <-done:
 		return ctx.Err()
 	case <-timer.C:
-		s.stats.AdmissionRejects.Add(1)
+		s.stats.add(0, cAdmissionRejects)
 		return ErrContentionCollapse
 	}
 }

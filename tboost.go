@@ -27,6 +27,8 @@
 package tboost
 
 import (
+	"context"
+
 	"tboost/internal/core"
 	"tboost/internal/stm"
 )
@@ -54,10 +56,26 @@ var ErrAborted = stm.ErrAborted
 // budget.
 var ErrTooManyRetries = stm.ErrTooManyRetries
 
+// ErrDoomed is the abort cause recorded when a contention manager doomed
+// the transaction (it surfaces via tx.Cause in OnAbort handlers).
+var ErrDoomed = stm.ErrDoomed
+
+// ErrContentionCollapse is returned when admission control or the livelock
+// detector sheds the transaction instead of retrying it; callers should
+// shed load rather than immediately retry.
+var ErrContentionCollapse = stm.ErrContentionCollapse
+
 // Atomic executes fn inside a transaction on the default system, retrying
 // on conflict until it commits. See stm.System.Atomic for the full
-// contract.
+// contract. The *Tx passed to fn is recycled once the call returns; neither
+// fn nor its registered handlers may retain it.
 func Atomic(fn func(tx *Tx) error) error { return stm.Atomic(fn) }
+
+// AtomicCtx is Atomic with deadline and cancellation: backoff sleeps,
+// admission queueing, and abstract-lock waits all observe ctx.
+func AtomicCtx(ctx context.Context, fn func(tx *Tx) error) error {
+	return stm.AtomicCtx(ctx, fn)
+}
 
 // MustAtomic is Atomic for bodies that cannot fail; it panics if the
 // transaction ultimately cannot commit.
