@@ -34,7 +34,7 @@ func main() {
 
 	flavours := []struct {
 		name string
-		make func() *core.Set
+		make func() *core.Set[int64]
 	}{
 		{"skiplist-keyed", core.NewSkipListSet},
 		{"skiplist-coarse", core.NewSkipListSetCoarse},
@@ -80,7 +80,7 @@ func main() {
 	fmt.Println("all histories strictly serializable; aborted transactions invisible")
 }
 
-func runRound(s *core.Set, threads, txPerG, opsPerTx int, keyRange int64, seed uint64) (histories.History, func(int64) bool) {
+func runRound(s *core.Set[int64], threads, txPerG, opsPerTx int, keyRange int64, seed uint64) (histories.History, func(int64) bool) {
 	rec := histories.NewRecorder()
 	sys := stm.NewSystem(stm.Config{LockTimeout: 100 * time.Millisecond})
 	giveUp := errors.New("deliberate abort")

@@ -76,6 +76,29 @@ func ExampleTx_Parallel() {
 	// Output: true true
 }
 
+// The kernel's key space is generic: the same boosting spec serves a
+// string-keyed set, with per-tag abstract locks and inverse logging working
+// exactly as they do for integer keys.
+func ExampleNewHashSetOf() {
+	tags := tboost.NewHashSetOf[string]()
+	_ = tboost.Atomic(func(tx *tboost.Tx) error {
+		tags.Add(tx, "urgent")
+		tags.Add(tx, "backend")
+		return nil
+	})
+	failed := errors.New("validation failed")
+	_ = tboost.Atomic(func(tx *tboost.Tx) error {
+		tags.Add(tx, "frontend")  // rolled back
+		tags.Remove(tx, "urgent") // rolled back
+		return failed
+	})
+	tboost.MustAtomic(func(tx *tboost.Tx) error {
+		fmt.Println(tags.Contains(tx, "urgent"), tags.Contains(tx, "frontend"))
+		return nil
+	})
+	// Output: true false
+}
+
 // A transactional semaphore: the release is disposable — it takes effect
 // only when the transaction commits.
 func ExampleSemaphore() {

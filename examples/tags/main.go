@@ -1,0 +1,47 @@
+// Tags: a string-keyed boosted set — the generic kernel lets the same
+// boosting spec (per-key abstract locks, inverse logging, two-phase
+// commitment) run over any comparable key type, not just int64.
+//
+// A tag index is the natural string-keyed workload: transactions attach and
+// detach tags on a shared registry, and tags that differ never conflict —
+// per-key commutativity works exactly as it does for integer keys.
+//
+// Run: go run ./examples/tags
+package main
+
+import (
+	"errors"
+	"fmt"
+
+	"tboost"
+)
+
+func main() {
+	tags := tboost.NewHashSetOf[string]()
+
+	// Two transactions touching different tags proceed without conflict;
+	// within one transaction, all tag edits commit atomically.
+	err := tboost.Atomic(func(tx *tboost.Tx) error {
+		tags.Add(tx, "urgent")
+		tags.Add(tx, "backend")
+		return nil
+	})
+	fmt.Println("commit err:", err)
+
+	// An aborted transaction rolls its tag edits back by replaying
+	// inverses — remove("frontend"), re-add("urgent") — in reverse order.
+	failed := errors.New("validation failed")
+	err = tboost.Atomic(func(tx *tboost.Tx) error {
+		tags.Add(tx, "frontend")  // inverse: remove("frontend")
+		tags.Remove(tx, "urgent") // inverse: add("urgent")
+		return failed
+	})
+	fmt.Println("abort err:", err)
+
+	tboost.MustAtomic(func(tx *tboost.Tx) error {
+		for _, tag := range []string{"urgent", "backend", "frontend"} {
+			fmt.Printf("contains(%q) = %v\n", tag, tags.Contains(tx, tag))
+		}
+		return nil
+	})
+}

@@ -20,7 +20,7 @@ func benchSystem() *stm.System {
 
 // setOp performs one mixed set operation drawn from the workload's
 // contains/add/remove distribution.
-func setOp(tx *stm.Tx, r *rand.Rand, w Workload, s *core.Set) {
+func setOp(tx *stm.Tx, r *rand.Rand, w Workload, s *core.Set[int64]) {
 	k := r.Int64N(w.KeyRange)
 	p := r.IntN(100)
 	switch {
@@ -49,7 +49,7 @@ func shadowOp(tx *stm.Tx, r *rand.Rand, w Workload, t *shadowtree.Tree[struct{}]
 
 // prepopulateSet inserts every other key up to KeyRange/2 so lookups hit
 // half the time.
-func prepopulateSet(sys *stm.System, s *core.Set, w Workload) {
+func prepopulateSet(sys *stm.System, s *core.Set[int64], w Workload) {
 	stm.MustAtomicOn(sys, func(tx *stm.Tx) {
 		for k := int64(0); k < w.KeyRange; k += 2 {
 			s.Add(tx, k)
@@ -220,7 +220,7 @@ func AblationLockMapStripes(stripes []int) []Target {
 	for _, n := range stripes {
 		n := n
 		sys := benchSystem()
-		s := core.NewKeyedSetStripes(skiplist.New(), n)
+		s := core.NewKeyedSetStripes[int64](skiplist.New(), n)
 		out = append(out, Target{
 			Name:    "stripes-" + itoa(n),
 			Sys:     sys,
@@ -296,7 +296,7 @@ func PipelineTargets(stages, capacity int) []Target {
 // form constantly. TimeoutOnly stalls out the full timeout before
 // recovering; WoundWait resolves cycles immediately by age.
 func AblationContentionPolicy(timeout time.Duration) []Target {
-	mk := func(name string, s *core.Set, sys *stm.System) Target {
+	mk := func(name string, s *core.Set[int64], sys *stm.System) Target {
 		return Target{
 			Name:    name,
 			Sys:     sys,
@@ -314,8 +314,8 @@ func AblationContentionPolicy(timeout time.Duration) []Target {
 	toSys := stm.NewSystem(stm.Config{LockTimeout: timeout})
 	wwSys := stm.NewSystem(stm.Config{LockTimeout: timeout})
 	return []Target{
-		mk("timeout-only", core.NewKeyedSet(skiplist.New()), toSys),
-		mk("wound-wait", core.NewKeyedSetWoundWait(skiplist.New()), wwSys),
+		mk("timeout-only", core.NewKeyedSet[int64](skiplist.New()), toSys),
+		mk("wound-wait", core.NewKeyedSetWoundWait[int64](skiplist.New()), wwSys),
 	}
 }
 

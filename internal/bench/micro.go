@@ -77,7 +77,7 @@ type paddedInt64 struct {
 // microPopulate leaves the set holding the even keys of [0, keyRange) —
 // via add-all-then-remove-odds, so every key's per-key lock is installed
 // before measurement and the measured cells are pure steady state.
-func microPopulate(sys *stm.System, s *core.Set, keyRange int64) {
+func microPopulate(sys *stm.System, s *core.Set[int64], keyRange int64) {
 	stm.MustAtomicOn(sys, func(tx *stm.Tx) {
 		for k := int64(0); k < keyRange; k++ {
 			s.Add(tx, k)
@@ -123,7 +123,7 @@ func microCases() []microCase {
 			name: "boosted-set/contains",
 			make: func(cfg stm.Config, goroutines int) func(worker, i int) {
 				sys := stm.NewSystem(cfg)
-				s := core.NewKeyedSet(hashset.New())
+				s := core.NewKeyedSet[int64](hashset.New[int64]())
 				microPopulate(sys, s, 4096)
 				keys := make([]paddedInt64, goroutines)
 				bodies := make([]func(*stm.Tx) error, goroutines)
@@ -146,7 +146,7 @@ func microCases() []microCase {
 			name: "boosted-set/addremove",
 			make: func(cfg stm.Config, goroutines int) func(worker, i int) {
 				sys := stm.NewSystem(cfg)
-				s := core.NewKeyedSet(hashset.New())
+				s := core.NewKeyedSet[int64](hashset.New[int64]())
 				microPopulate(sys, s, 4096)
 				keys := make([]paddedInt64, goroutines)
 				bodies := make([]func(*stm.Tx) error, goroutines)
@@ -172,7 +172,7 @@ func microCases() []microCase {
 			name: "boosted-set/mixed",
 			make: func(cfg stm.Config, goroutines int) func(worker, i int) {
 				sys := stm.NewSystem(cfg)
-				s := core.NewKeyedSet(skiplist.New())
+				s := core.NewKeyedSet[int64](skiplist.New())
 				microPopulate(sys, s, 1024)
 				type opState struct {
 					k int64

@@ -95,7 +95,7 @@ func BenchmarkLockAcquire(b *testing.B) {
 func BenchmarkBoostedSet(b *testing.B) {
 	b.Run("contains", func(b *testing.B) {
 		sys := stm.NewSystem(stm.Config{})
-		s := core.NewKeyedSet(hashset.New())
+		s := core.NewKeyedSet[int64](hashset.New[int64]())
 		stm.MustAtomicOn(sys, func(tx *stm.Tx) {
 			for k := int64(0); k < 128; k += 2 {
 				s.Add(tx, k)
@@ -119,7 +119,7 @@ func BenchmarkBoostedSet(b *testing.B) {
 		// allocates nothing in steady state, so allocs/op here is the
 		// boosting layer's own footprint (2 ops per iteration).
 		sys := stm.NewSystem(stm.Config{})
-		s := core.NewKeyedSet(hashset.New())
+		s := core.NewKeyedSet[int64](hashset.New[int64]())
 		var k int64
 		body := func(tx *stm.Tx) error {
 			s.Add(tx, k)
@@ -137,7 +137,7 @@ func BenchmarkBoostedSet(b *testing.B) {
 		// The Fig. 10 fast configuration, single-threaded, without think
 		// time: raw per-op boosted overhead over the lock-free skip list.
 		sys := stm.NewSystem(stm.Config{})
-		s := core.NewKeyedSet(skiplist.New())
+		s := core.NewKeyedSet[int64](skiplist.New())
 		stm.MustAtomicOn(sys, func(tx *stm.Tx) {
 			for k := int64(0); k < 1024; k += 2 {
 				s.Add(tx, k)

@@ -1,0 +1,300 @@
+// Package boost is the generic transactional-boosting kernel: the one place
+// where the paper's methodology (Herlihy & Koskinen, PPoPP 2008) is executed
+// against the transaction runtime and the lock manager.
+//
+// The paper's four rules are a single recipe — wrap a linearizable base
+// object (Rule 1), serialize non-commuting calls with abstract locks
+// (Rule 2), log a compensating inverse for each effective call (Rule 3), and
+// defer disposable calls to after the outcome (Rule 4). Every boosted object
+// in internal/core used to re-implement that recipe by hand; here it is one
+// engine, and a boosted type is reduced to a *spec*:
+//
+//   - which lock Discipline the object uses (per-key, coarse, readers/writer,
+//     interval), chosen at construction;
+//   - per method, an Op descriptor: the call's abstract-lock Demand (its
+//     conflict footprint) plus the closures that make it undoable (Inverse)
+//     or deferrable (OnCommit/OnAbort).
+//
+// The Demand names what the *method* needs semantically; the Discipline
+// names how the *object* chose to approximate its conflict relation. Acquire
+// maps one onto the other, so the same spec runs unchanged under a per-key
+// table or a single coarse lock — the Fig. 10 ablation is a constructor
+// argument, not a second implementation.
+//
+// The kernel preserves the hot-path contract of DESIGN.md §6: descriptors
+// are plain values (no allocation), and the only allocation a boosted
+// mutation pays is its inverse closure.
+package boost
+
+import (
+	"cmp"
+	"fmt"
+
+	"tboost/internal/lockmgr"
+	"tboost/internal/stm"
+)
+
+// Demand classifies the abstract-lock footprint of one boosted method call —
+// the part of the conflict relation the call exposes to the lock manager.
+type Demand uint8
+
+const (
+	// DemandNone: the call commutes with everything (or the object's own
+	// linearizable base provides all the isolation it needs). No abstract
+	// lock is taken; the paper's unique-ID generator is the canonical case.
+	DemandNone Demand = iota
+	// DemandKey: the call conflicts only with calls on the same key
+	// (add/remove/contains on a set).
+	DemandKey
+	// DemandRange: the call conflicts with calls whose keys fall inside
+	// [Lo, Hi] (a range query over an ordered set).
+	DemandRange
+	// DemandShared: the call commutes with every other DemandShared call on
+	// the object but not with DemandExcl calls (heap add, counter add).
+	DemandShared
+	// DemandExcl: the call conflicts with every other locked call on the
+	// object (heap removeMin, counter get).
+	DemandExcl
+)
+
+// String returns the lower-case name of the demand.
+func (d Demand) String() string {
+	switch d {
+	case DemandNone:
+		return "none"
+	case DemandKey:
+		return "key"
+	case DemandRange:
+		return "range"
+	case DemandShared:
+		return "shared"
+	case DemandExcl:
+		return "excl"
+	default:
+		return fmt.Sprintf("demand(%d)", uint8(d))
+	}
+}
+
+// Op is the descriptor for one boosted method call: the abstract-lock demand
+// it presents to Acquire, and the closures Record hands to the runtime. An
+// Op is a plain value — building one allocates nothing beyond the closures
+// the caller chooses to fill in.
+type Op[K comparable] struct {
+	// Demand is the call's conflict footprint; Key or [Lo, Hi] qualify it
+	// for the key- and interval-granular demands.
+	Demand Demand
+	Key    K
+	Lo, Hi K
+
+	// Inverse is the compensating call logged for Rule 3; it runs (in
+	// reverse logging order) iff the transaction aborts. Nil for read-only
+	// or ineffective calls.
+	Inverse func()
+	// OnCommit is a disposable call deferred until after commit (Rule 4),
+	// e.g. releasing a semaphore or freeing storage.
+	OnCommit func()
+	// OnAbort is a disposable call deferred until after rollback completes,
+	// e.g. returning an unused ID to its pool.
+	OnAbort func()
+}
+
+// Key returns the descriptor for a call whose footprint is a single key.
+func Key[K comparable](k K) Op[K] { return Op[K]{Demand: DemandKey, Key: k} }
+
+// Span returns the descriptor for a call whose footprint is the interval
+// [lo, hi].
+func Span[K comparable](lo, hi K) Op[K] { return Op[K]{Demand: DemandRange, Lo: lo, Hi: hi} }
+
+// Shared returns the descriptor for a call that commutes with other Shared
+// calls on the same object.
+func Shared[K comparable]() Op[K] { return Op[K]{Demand: DemandShared} }
+
+// Excl returns the descriptor for a call that conflicts with every other
+// locked call on the same object.
+func Excl[K comparable]() Op[K] { return Op[K]{Demand: DemandExcl} }
+
+// Discipline is an object's abstract-lock strategy: how its constructor
+// chose to realize the conflict relation its methods demand.
+type Discipline uint8
+
+const (
+	// Unsynced objects take no abstract locks at all; their methods carry
+	// DemandNone and rely on inverses and disposables alone (semaphore,
+	// unique-ID, refcount, pool).
+	Unsynced Discipline = iota
+	// Keyed objects keep one abstract lock per key (the paper's LockKey).
+	Keyed
+	// Coarse objects funnel every locked call through one exclusive lock —
+	// correct for any demand, concurrent for none (Fig. 10's slow variant).
+	Coarse
+	// ReadWrite objects map shared demands to the read side and exclusive
+	// demands to the write side of a readers/writer lock (the boosted heap).
+	ReadWrite
+	// Ranged objects hold interval locks over an ordered key space; point
+	// demands lock the degenerate interval [k, k].
+	Ranged
+)
+
+// String returns the lower-case name of the discipline.
+func (d Discipline) String() string {
+	switch d {
+	case Unsynced:
+		return "unsynced"
+	case Keyed:
+		return "keyed"
+	case Coarse:
+		return "coarse"
+	case ReadWrite:
+		return "readwrite"
+	case Ranged:
+		return "ranged"
+	default:
+		return fmt.Sprintf("discipline(%d)", uint8(d))
+	}
+}
+
+// rangeTable is the interval-lock backend of a Ranged object. It is an
+// interface (rather than *lockmgr.RangeLock[K] directly) so Object[K] itself
+// needs only comparable K; the cmp.Ordered constraint lives on NewRanged.
+type rangeTable[K comparable] interface {
+	LockRange(tx *stm.Tx, lo, hi K)
+}
+
+// Object is the boosting engine for one transactional object: it executes
+// Op descriptors against the stm runtime and the lock manager. K is the
+// object's abstract key space; disciplines that never inspect keys (Coarse,
+// ReadWrite, Unsynced) may instantiate it with any comparable type.
+type Object[K comparable] struct {
+	disc   Discipline
+	keyed  *lockmgr.LockMap[K]
+	coarse *lockmgr.OwnerLock
+	rw     *lockmgr.RWOwnerLock
+	ranged rangeTable[K]
+}
+
+// NewKeyed returns an engine with one abstract lock per key.
+func NewKeyed[K comparable]() *Object[K] {
+	return &Object[K]{disc: Keyed, keyed: lockmgr.NewLockMap[K]()}
+}
+
+// NewKeyedStripes is NewKeyed with an explicit lock-table stripe count,
+// exposed for the striping ablation benchmarks.
+func NewKeyedStripes[K comparable](stripes int) *Object[K] {
+	return &Object[K]{disc: Keyed, keyed: lockmgr.NewLockMapStripes[K](stripes)}
+}
+
+// NewKeyedPolicy is NewKeyed with an explicit deadlock-handling policy on
+// the per-key locks (e.g. wound-wait).
+func NewKeyedPolicy[K comparable](stripes int, p lockmgr.Policy) *Object[K] {
+	return &Object[K]{disc: Keyed, keyed: lockmgr.NewLockMapPolicy[K](stripes, p)}
+}
+
+// NewCoarse returns an engine with a single exclusive abstract lock for all
+// locked calls.
+func NewCoarse[K comparable]() *Object[K] {
+	return &Object[K]{disc: Coarse, coarse: lockmgr.NewOwnerLock()}
+}
+
+// NewReadWrite returns an engine backed by a readers/writer abstract lock:
+// shared demands share, exclusive demands exclude.
+func NewReadWrite[K comparable]() *Object[K] {
+	return &Object[K]{disc: ReadWrite, rw: lockmgr.NewRWOwnerLock()}
+}
+
+// NewRanged returns an engine backed by interval locks over an ordered key
+// space.
+func NewRanged[K cmp.Ordered]() *Object[K] {
+	return &Object[K]{disc: Ranged, ranged: lockmgr.NewRangeLock[K]()}
+}
+
+// NewUnsynced returns an engine that takes no abstract locks; only
+// DemandNone descriptors (inverses and disposables) may pass through it.
+func NewUnsynced[K comparable]() *Object[K] {
+	return &Object[K]{disc: Unsynced}
+}
+
+// Discipline reports the engine's lock discipline.
+func (o *Object[K]) Discipline() Discipline { return o.disc }
+
+// KeyTable returns the per-key lock table of a Keyed engine (nil otherwise),
+// for tests and introspection.
+func (o *Object[K]) KeyTable() *lockmgr.LockMap[K] { return o.keyed }
+
+// Acquire satisfies op's abstract-lock demand under the object's discipline
+// before the base-object call runs. Acquisition is two-phase (held to
+// commit/abort) and reentrant, and aborts tx on timeout — all inherited from
+// the lock manager. A demand the discipline cannot express panics: that is a
+// spec bug, not a runtime condition.
+func (o *Object[K]) Acquire(tx *stm.Tx, op Op[K]) {
+	if op.Demand == DemandNone {
+		return
+	}
+	switch o.disc {
+	case Keyed:
+		if op.Demand != DemandKey {
+			panic("boost: keyed discipline cannot express demand " + op.Demand.String())
+		}
+		o.keyed.Lock(tx, op.Key)
+	case Coarse:
+		// One lock serializes everything: any demand is (conservatively)
+		// satisfied by exclusive ownership.
+		o.coarse.Acquire(tx)
+	case ReadWrite:
+		switch op.Demand {
+		case DemandShared:
+			o.rw.RLock(tx)
+		case DemandExcl:
+			o.rw.WLock(tx)
+		default:
+			panic("boost: readers/writer discipline cannot express demand " + op.Demand.String())
+		}
+	case Ranged:
+		switch op.Demand {
+		case DemandKey:
+			o.ranged.LockRange(tx, op.Key, op.Key)
+		case DemandRange:
+			o.ranged.LockRange(tx, op.Lo, op.Hi)
+		default:
+			panic("boost: ranged discipline cannot express demand " + op.Demand.String())
+		}
+	default: // Unsynced
+		panic("boost: unsynced object given lock demand " + op.Demand.String())
+	}
+}
+
+// Record hands op's closures to the runtime: the inverse joins the undo log
+// (replayed in reverse on abort), the disposables are deferred to after the
+// transaction's outcome. Callers invoke Record after the base-object call
+// has succeeded, so the inverse compensates exactly what happened.
+func (o *Object[K]) Record(tx *stm.Tx, op Op[K]) {
+	if op.Inverse != nil {
+		tx.Log(op.Inverse)
+	}
+	if op.OnCommit != nil {
+		tx.OnCommit(op.OnCommit)
+	}
+	if op.OnAbort != nil {
+		tx.OnAbort(op.OnAbort)
+	}
+}
+
+// Apply executes a whole descriptor: Acquire, then Record. It suits calls
+// whose inverse does not depend on the base call's result (a counter add);
+// calls that must first observe the base object's answer use Acquire, run
+// the call, and Record the outcome-dependent closures.
+func (o *Object[K]) Apply(tx *stm.Tx, op Op[K]) {
+	o.Acquire(tx, op)
+	o.Record(tx, op)
+}
+
+// Inverse logs a compensating inverse with the running transaction
+// (Rule 3): it runs iff tx aborts, in reverse logging order. This is the
+// kernel's only door to the undo log; boosted objects never call tx.Log.
+func Inverse(tx *stm.Tx, undo func()) { tx.Log(undo) }
+
+// OnCommit defers a disposable call to after tx commits (Rule 4).
+func OnCommit(tx *stm.Tx, f func()) { tx.OnCommit(f) }
+
+// OnAbort defers a disposable call to after tx's rollback completes
+// (Rule 4).
+func OnAbort(tx *stm.Tx, f func()) { tx.OnAbort(f) }

@@ -18,47 +18,56 @@ func (a rbSetAdapter) Contains(key int64) bool { return a.tree.Contains(key) }
 // coarse abstract lock — the boosted configuration of the Fig. 9 experiment
 // (no thread-level concurrency in the base, no transactional concurrency in
 // the wrapper, yet it beats the shadow-copy STM).
-func NewRBTreeSet() *Set {
-	return NewCoarseSet(rbSetAdapter{tree: rbtree.NewSync[struct{}]()})
+func NewRBTreeSet() *Set[int64] {
+	return NewCoarseSet[int64](rbSetAdapter{tree: rbtree.NewSync[struct{}]()})
 }
 
 // NewSkipListSet boosts the lock-free skip list with per-key abstract locks
 // — the paper's SkipListKey class (§3.1.1, the fast variant of Fig. 10).
-func NewSkipListSet() *Set {
-	return NewKeyedSet(skiplist.New())
+func NewSkipListSet() *Set[int64] {
+	return NewKeyedSet[int64](skiplist.New())
 }
 
 // NewSkipListSetCoarse boosts the same lock-free skip list with a single
 // abstract lock — the slow variant of Fig. 10. Identical base object, so any
 // throughput difference is attributable purely to abstract-lock granularity.
-func NewSkipListSetCoarse() *Set {
-	return NewCoarseSet(skiplist.New())
+func NewSkipListSetCoarse() *Set[int64] {
+	return NewCoarseSet[int64](skiplist.New())
 }
 
 // NewHashSet boosts the striped concurrent hash set with per-key abstract
 // locks (the black-box transactional hash table of the paper's related-work
 // discussion).
-func NewHashSet() *Set {
-	return NewKeyedSet(hashset.New())
+func NewHashSet() *Set[int64] {
+	return NewHashSetOf[int64]()
+}
+
+// NewHashSetOf boosts the striped concurrent hash set over any comparable
+// key type with per-key abstract locks — the generic entry point the kernel
+// makes possible: the same spec, lock discipline, and base container serve
+// string- or struct-keyed transactional sets.
+func NewHashSetOf[K comparable]() *Set[K] {
+	return NewKeyedSet[K](hashset.New[K]())
 }
 
 // NewLinkedListSet boosts the lock-coupling sorted linked list — the
 // introduction's motivating example of synchronization that transactions
 // based on read/write conflicts cannot express.
-func NewLinkedListSet() *Set {
-	return NewKeyedSet(linkedlist.New())
+func NewLinkedListSet() *Set[int64] {
+	return NewKeyedSet[int64](linkedlist.New())
 }
 
 // NewRBTreeMap boosts a synchronized red-black tree as a transactional map
 // with per-key abstract locks.
-func NewRBTreeMap[V any]() *Map[V] {
-	return NewMap[V](rbtree.NewSync[V]())
+func NewRBTreeMap[V any]() *Map[int64, V] {
+	return NewMap[int64, V](rbtree.NewSync[V]())
 }
 
 // Interface conformance checks for the substrates used as black boxes.
 var (
-	_ BaseSet = (*skiplist.Set)(nil)
-	_ BaseSet = (*hashset.Set)(nil)
-	_ BaseSet = (*linkedlist.Set)(nil)
-	_ BaseSet = rbSetAdapter{}
+	_ BaseSet[int64]  = (*skiplist.Set)(nil)
+	_ BaseSet[int64]  = (*hashset.Set[int64])(nil)
+	_ BaseSet[string] = (*hashset.Set[string])(nil)
+	_ BaseSet[int64]  = (*linkedlist.Set)(nil)
+	_ BaseSet[int64]  = rbSetAdapter{}
 )

@@ -3,47 +3,50 @@ package core
 import (
 	"sync/atomic"
 
-	"tboost/internal/lockmgr"
+	"tboost/internal/boost"
 	"tboost/internal/stm"
 )
 
 // Counter is a boosted transactional accumulator exploiting the
 // increment/read commutativity lattice: Add(δ) commutes with Add(δ') for
-// any deltas, so increments take only the *shared* mode of an abstract
-// readers/writer lock and proceed fully in parallel; Get does not commute
-// with Add, so it takes exclusive mode. (Note the inversion relative to a
-// storage-level readers/writer lock: here the "writers" share and the
-// "reader" excludes — conflict is a property of abstract semantics, not of
-// loads and stores.)
+// any deltas, so increments demand only the *shared* mode of the kernel's
+// readers/writer discipline and proceed fully in parallel; Get does not
+// commute with Add, so it demands exclusive mode. (Note the inversion
+// relative to a storage-level readers/writer lock: here the "writers" share
+// and the "reader" excludes — conflict is a property of abstract semantics,
+// not of loads and stores.)
 //
 // A shared counter is the paper's canonical read/write-conflict hot-spot
 // (§3.4); boosting turns it into a conflict-free fetch-and-add for the
 // common increment-only usage.
 type Counter struct {
 	value atomic.Int64
-	lock  *lockmgr.RWOwnerLock
+	obj   *boost.Object[int64]
 }
 
 // NewCounter returns a counter with the given initial value.
 func NewCounter(initial int64) *Counter {
-	c := &Counter{lock: lockmgr.NewRWOwnerLock()}
+	c := &Counter{obj: boost.NewReadWrite[int64]()}
 	c.value.Store(initial)
 	return c
 }
 
 // Add adds delta to the counter. The update takes effect immediately (the
 // base fetch-and-add is the linearization); the inverse subtracts it.
-// Concurrent transactional Adds never conflict.
+// Concurrent transactional Adds never conflict. The whole call is one
+// descriptor: shared demand plus a delta-determined inverse.
 func (c *Counter) Add(tx *stm.Tx, delta int64) {
-	c.lock.RLock(tx) // increments commute: shared mode
+	c.obj.Apply(tx, boost.Op[int64]{
+		Demand:  boost.DemandShared,
+		Inverse: func() { c.value.Add(-delta) },
+	})
 	c.value.Add(delta)
-	tx.Log(func() { c.value.Add(-delta) })
 }
 
 // Get returns the counter's value. Reading does not commute with adding,
-// so Get takes the exclusive mode, serializing against in-flight Adds.
+// so Get demands the exclusive mode, serializing against in-flight Adds.
 func (c *Counter) Get(tx *stm.Tx) int64 {
-	c.lock.WLock(tx)
+	c.obj.Acquire(tx, boost.Excl[int64]())
 	return c.value.Load()
 }
 

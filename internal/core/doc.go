@@ -15,9 +15,20 @@
 // their abstract semantics. Thread-level synchronization stays inside the
 // base object; transaction-level synchronization lives entirely here.
 //
+// Since the kernel extraction (DESIGN.md §7), the objects in this package
+// are thin *specs* over internal/boost: each method states its abstract-lock
+// demand and its outcome's inverse or disposables as an Op descriptor, and
+// the kernel executes the descriptor against internal/stm and
+// internal/lockmgr. No object in this package touches the undo log or the
+// lock manager directly, and the collection types are generic over their key
+// space (any comparable type; ordered types for range disciplines).
+//
 // The boosted objects provided:
 //
-//   - Set / Map: collections with per-key or coarse abstract locking (§3.1)
+//   - Set / Map / Multiset: collections with per-key or coarse abstract
+//     locking over any comparable key type (§3.1)
+//   - OrderedSet: a sorted set whose range queries hold interval-granular
+//     abstract locks
 //   - Heap: a priority queue with a readers/writer abstract lock and
 //     Holder-based add inverses (§3.2)
 //   - Queue + Semaphore: pipeline buffers with transactional conditional

@@ -3,8 +3,8 @@ package core
 import (
 	"sync/atomic"
 
+	"tboost/internal/boost"
 	"tboost/internal/cheap"
-	"tboost/internal/lockmgr"
 	"tboost/internal/stm"
 )
 
@@ -46,9 +46,15 @@ type BaseHeap[V any] interface {
 
 // Heap is a boosted transactional min-priority queue over any linearizable
 // base heap. Duplicate keys are allowed.
+//
+// The method specs are mode-independent: Add demands shared mode (adds
+// commute), RemoveMin and Min demand exclusive mode. RWLocked realizes the
+// demands with a readers/writer engine; Exclusive realizes them with a
+// coarse engine that maps both demands onto one lock — the two Fig. 11
+// configurations differ only in the kernel discipline behind the same spec.
 type Heap[V any] struct {
 	base BaseHeap[*Holder[V]]
-	lock *lockmgr.RWOwnerLock
+	obj  *boost.Object[int64]
 	mode HeapMode
 }
 
@@ -67,33 +73,32 @@ func NewHeapCapacity[V any](mode HeapMode, capacity int) *Heap[V] {
 // store *Holder[V] payloads (the holder indirection is how the boosting
 // layer synthesizes an inverse for Add, §3.2).
 func NewHeapFromBase[V any](base BaseHeap[*Holder[V]], mode HeapMode) *Heap[V] {
-	return &Heap[V]{base: base, lock: lockmgr.NewRWOwnerLock(), mode: mode}
+	obj := boost.NewReadWrite[int64]()
+	if mode == Exclusive {
+		obj = boost.NewCoarse[int64]()
+	}
+	return &Heap[V]{base: base, obj: obj, mode: mode}
 }
 
-func (h *Heap[V]) addLock(tx *stm.Tx) {
-	if h.mode == RWLocked {
-		h.lock.RLock(tx) // adds commute: shared mode suffices
-	} else {
-		h.lock.WLock(tx)
-	}
-}
+// Mode reports the heap's abstract-lock discipline.
+func (h *Heap[V]) Mode() HeapMode { return h.mode }
 
 // Add inserts val with the given priority key. The inverse marks the
 // holder deleted rather than restructuring the heap.
 func (h *Heap[V]) Add(tx *stm.Tx, key int64, val V) {
-	h.addLock(tx)
+	h.obj.Acquire(tx, boost.Shared[int64]()) // adds commute: shared demand
 	holder := &Holder[V]{Key: key, Val: val}
 	if !h.base.Add(key, holder) {
 		tx.Abort(stm.ErrAborted) // base heap at capacity; retry later
 	}
-	tx.Log(func() { holder.deleted.Store(true) })
+	h.obj.Record(tx, boost.Op[int64]{Inverse: func() { holder.deleted.Store(true) }})
 }
 
 // RemoveMin removes and returns the smallest key and its value; ok is false
 // if the heap is empty. Deleted holders surfacing at the root are discarded.
 // Inverse: put the removed holder back.
 func (h *Heap[V]) RemoveMin(tx *stm.Tx) (key int64, val V, ok bool) {
-	h.lock.WLock(tx) // removeMin commutes with nothing that observes the min
+	h.obj.Acquire(tx, boost.Excl[int64]()) // removeMin commutes with nothing that observes the min
 	for {
 		k, holder, found := h.base.RemoveMin()
 		if !found {
@@ -103,20 +108,20 @@ func (h *Heap[V]) RemoveMin(tx *stm.Tx) (key int64, val V, ok bool) {
 		if holder.deleted.Load() {
 			continue // lazily discard aborted adds
 		}
-		tx.Log(func() {
+		h.obj.Record(tx, boost.Op[int64]{Inverse: func() {
 			holder.deleted.Store(false)
 			h.base.Add(k, holder)
-		})
+		}})
 		return k, holder.Val, true
 	}
 }
 
 // Min returns the smallest key and value without removing them; ok is false
-// if the heap is empty. Needs no inverse (§3.2) but takes the exclusive lock
-// because its answer does not commute with removeMin or with adds of smaller
-// keys.
+// if the heap is empty. Needs no inverse (§3.2) but demands the exclusive
+// mode because its answer does not commute with removeMin or with adds of
+// smaller keys.
 func (h *Heap[V]) Min(tx *stm.Tx) (key int64, val V, ok bool) {
-	h.lock.WLock(tx)
+	h.obj.Acquire(tx, boost.Excl[int64]())
 	for {
 		k, holder, found := h.base.Min()
 		if !found {

@@ -1,54 +1,54 @@
 package core
 
 import (
-	"tboost/internal/lockmgr"
+	"tboost/internal/boost"
 	"tboost/internal/stm"
 )
 
 // BaseMap is the abstract specification a linearizable map must satisfy to
 // be boostable. Put and Delete return the previous binding, which is exactly
 // the information the inverse operation needs.
-type BaseMap[V any] interface {
-	Put(key int64, val V) (old V, existed bool)
-	Delete(key int64) (V, bool)
-	Get(key int64) (V, bool)
+type BaseMap[K comparable, V any] interface {
+	Put(key K, val V) (old V, existed bool)
+	Delete(key K) (V, bool)
+	Get(key K) (V, bool)
 }
 
 // Map is a boosted transactional map with per-key abstract locks. Two
 // transactions conflict only when they touch the same key — put(k1,·),
 // get(k2) and delete(k3) all commute for distinct keys regardless of how the
 // base map is laid out in memory.
-type Map[V any] struct {
-	base  BaseMap[V]
-	locks *lockmgr.LockMap[int64]
+type Map[K comparable, V any] struct {
+	base BaseMap[K, V]
+	obj  *boost.Object[K]
 }
 
 // NewMap boosts a linearizable base map.
-func NewMap[V any](base BaseMap[V]) *Map[V] {
-	return &Map[V]{base: base, locks: lockmgr.NewLockMap[int64]()}
+func NewMap[K comparable, V any](base BaseMap[K, V]) *Map[K, V] {
+	return &Map[K, V]{base: base, obj: boost.NewKeyed[K]()}
 }
 
 // Put binds val to key, returning the previous value and whether one
-// existed. Inverse logged: restore the old binding (or delete the key if it
-// was fresh).
-func (m *Map[V]) Put(tx *stm.Tx, key int64, val V) (V, bool) {
-	m.locks.Lock(tx, key)
+// existed. Inverse recorded: restore the old binding (or delete the key if
+// it was fresh).
+func (m *Map[K, V]) Put(tx *stm.Tx, key K, val V) (V, bool) {
+	m.obj.Acquire(tx, boost.Key(key))
 	old, existed := m.base.Put(key, val)
 	if existed {
-		tx.Log(func() { m.base.Put(key, old) })
+		m.obj.Record(tx, boost.Op[K]{Inverse: func() { m.base.Put(key, old) }})
 	} else {
-		tx.Log(func() { m.base.Delete(key) })
+		m.obj.Record(tx, boost.Op[K]{Inverse: func() { m.base.Delete(key) }})
 	}
 	return old, existed
 }
 
 // Delete removes key, returning its value and whether it was present.
-// Inverse logged: re-insert the removed binding.
-func (m *Map[V]) Delete(tx *stm.Tx, key int64) (V, bool) {
-	m.locks.Lock(tx, key)
+// Inverse recorded: re-insert the removed binding.
+func (m *Map[K, V]) Delete(tx *stm.Tx, key K) (V, bool) {
+	m.obj.Acquire(tx, boost.Key(key))
 	old, existed := m.base.Delete(key)
 	if existed {
-		tx.Log(func() { m.base.Put(key, old) })
+		m.obj.Record(tx, boost.Op[K]{Inverse: func() { m.base.Put(key, old) }})
 	}
 	return old, existed
 }
@@ -56,19 +56,19 @@ func (m *Map[V]) Delete(tx *stm.Tx, key int64) (V, bool) {
 // Get returns the value bound to key. Read-only; no inverse, but the key's
 // abstract lock is held to serialize against concurrent writers of the same
 // key.
-func (m *Map[V]) Get(tx *stm.Tx, key int64) (V, bool) {
-	m.locks.Lock(tx, key)
+func (m *Map[K, V]) Get(tx *stm.Tx, key K) (V, bool) {
+	m.obj.Acquire(tx, boost.Key(key))
 	return m.base.Get(key)
 }
 
 // Update applies fn to the current binding of key and stores the result.
 // The read and write happen under one abstract-lock acquisition, so the
 // read-modify-write is atomic with respect to other transactions.
-func (m *Map[V]) Update(tx *stm.Tx, key int64, fn func(V, bool) V) {
-	m.locks.Lock(tx, key)
+func (m *Map[K, V]) Update(tx *stm.Tx, key K, fn func(V, bool) V) {
+	m.obj.Acquire(tx, boost.Key(key))
 	old, existed := m.base.Get(key)
 	m.Put(tx, key, fn(old, existed))
 }
 
 // Base returns the underlying linearizable map for quiescent inspection.
-func (m *Map[V]) Base() BaseMap[V] { return m.base }
+func (m *Map[K, V]) Base() BaseMap[K, V] { return m.base }

@@ -1,54 +1,57 @@
 package core
 
 import (
+	"tboost/internal/boost"
 	"tboost/internal/hashset"
-	"tboost/internal/lockmgr"
 	"tboost/internal/stm"
 )
 
-// Multiset is a boosted transactional bag of int64 keys. Unlike the Set,
-// add(x) always changes the bag (multisets admit duplicates), so its
-// inverse is unconditional: removeOne(x). Per-key abstract locking gives
-// the same commutativity-based concurrency as the boosted Set: operations
-// on distinct keys never conflict.
-type Multiset struct {
-	base  *hashset.MultiSet
-	locks *lockmgr.LockMap[int64]
+// Multiset is a boosted transactional bag of keys. Unlike the Set, add(x)
+// always changes the bag (multisets admit duplicates), so its inverse is
+// unconditional: removeOne(x). Per-key abstract locking gives the same
+// commutativity-based concurrency as the boosted Set: operations on
+// distinct keys never conflict.
+type Multiset[K comparable] struct {
+	base *hashset.MultiSet[K]
+	obj  *boost.Object[K]
 }
 
 // NewMultiset returns a boosted bag over a striped concurrent multiset.
-func NewMultiset() *Multiset {
-	return &Multiset{base: hashset.NewMultiSet(), locks: lockmgr.NewLockMap[int64]()}
+func NewMultiset[K comparable]() *Multiset[K] {
+	return &Multiset[K]{base: hashset.NewMultiSet[K](), obj: boost.NewKeyed[K]()}
 }
 
 // Add inserts one occurrence of key and returns the resulting count.
-// Inverse: removeOne(key).
-func (m *Multiset) Add(tx *stm.Tx, key int64) int {
-	m.locks.Lock(tx, key)
-	n := m.base.Add(key)
-	tx.Log(func() { m.base.RemoveOne(key) })
-	return n
+// Inverse: removeOne(key), unconditionally — Apply takes the whole
+// descriptor at once because the inverse does not depend on the result.
+func (m *Multiset[K]) Add(tx *stm.Tx, key K) int {
+	m.obj.Apply(tx, boost.Op[K]{
+		Demand:  boost.DemandKey,
+		Key:     key,
+		Inverse: func() { m.base.RemoveOne(key) },
+	})
+	return m.base.Add(key)
 }
 
 // RemoveOne deletes one occurrence of key, reporting whether one existed.
 // Inverse: add(key) when an occurrence was removed; noop otherwise.
-func (m *Multiset) RemoveOne(tx *stm.Tx, key int64) bool {
-	m.locks.Lock(tx, key)
-	ok := m.base.RemoveOne(key)
-	if ok {
-		tx.Log(func() { m.base.Add(key) })
+func (m *Multiset[K]) RemoveOne(tx *stm.Tx, key K) bool {
+	m.obj.Acquire(tx, boost.Key(key))
+	if !m.base.RemoveOne(key) {
+		return false
 	}
-	return ok
+	m.obj.Record(tx, boost.Op[K]{Inverse: func() { m.base.Add(key) }})
+	return true
 }
 
 // Count returns the number of occurrences of key. Read-only; the key's
 // abstract lock still serializes it against concurrent mutators of the
 // same key.
-func (m *Multiset) Count(tx *stm.Tx, key int64) int {
-	m.locks.Lock(tx, key)
+func (m *Multiset[K]) Count(tx *stm.Tx, key K) int {
+	m.obj.Acquire(tx, boost.Key(key))
 	return m.base.Count(key)
 }
 
 // Base returns the underlying linearizable multiset for quiescent
 // inspection.
-func (m *Multiset) Base() *hashset.MultiSet { return m.base }
+func (m *Multiset[K]) Base() *hashset.MultiSet[K] { return m.base }

@@ -14,7 +14,7 @@ import (
 // --- Multiset ---
 
 func TestMultisetBasics(t *testing.T) {
-	m := NewMultiset()
+	m := NewMultiset[int64]()
 	sys := newSys()
 	stm.MustAtomicOn(sys, func(tx *stm.Tx) {
 		if n := m.Add(tx, 5); n != 1 {
@@ -39,7 +39,7 @@ func TestMultisetBasics(t *testing.T) {
 }
 
 func TestMultisetUndoRestoresCounts(t *testing.T) {
-	m := NewMultiset()
+	m := NewMultiset[int64]()
 	sys := newSys()
 	stm.MustAtomicOn(sys, func(tx *stm.Tx) {
 		m.Add(tx, 1)
@@ -62,7 +62,7 @@ func TestMultisetUndoRestoresCounts(t *testing.T) {
 }
 
 func TestMultisetConcurrentAccounting(t *testing.T) {
-	m := NewMultiset()
+	m := NewMultiset[int64]()
 	sys := stm.NewSystem(stm.Config{LockTimeout: 200 * time.Millisecond})
 	var net [8]atomic.Int64
 	var wg sync.WaitGroup

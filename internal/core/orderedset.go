@@ -1,61 +1,61 @@
 package core
 
 import (
-	"tboost/internal/lockmgr"
+	"tboost/internal/boost"
 	"tboost/internal/skiplist"
 	"tboost/internal/stm"
 )
 
 // OrderedSet is a boosted transactional sorted set supporting range
 // queries, synchronized by interval-granular abstract locks. Point
-// operations lock [k, k]; a range query locks its whole interval, so it
-// conflicts exactly with updates *inside* the range and commutes with
-// everything outside — the argument-dependent conflict predicate that
-// key-granularity locking cannot express.
+// operations demand the degenerate interval [k, k]; a range query demands
+// its whole interval, so it conflicts exactly with updates *inside* the
+// range and commutes with everything outside — the argument-dependent
+// conflict predicate that key-granularity locking cannot express.
 //
 // The base object is the same lock-free skip list as the boosted Set; only
-// the abstract-lock discipline differs.
+// the kernel discipline (Ranged instead of Keyed) differs.
 type OrderedSet struct {
-	base  *skiplist.Set
-	locks *lockmgr.RangeLock
+	base *skiplist.Set
+	obj  *boost.Object[int64]
 }
 
 // NewOrderedSet returns a boosted sorted set over a lock-free skip list.
 func NewOrderedSet() *OrderedSet {
-	return &OrderedSet{base: skiplist.New(), locks: lockmgr.NewRangeLock()}
+	return &OrderedSet{base: skiplist.New(), obj: boost.NewRanged[int64]()}
 }
 
 // Add inserts key, reporting whether the set changed.
 func (s *OrderedSet) Add(tx *stm.Tx, key int64) bool {
-	s.locks.LockKey(tx, key)
-	result := s.base.Add(key)
-	if result {
-		tx.Log(func() { s.base.Remove(key) })
+	s.obj.Acquire(tx, boost.Key(key))
+	if !s.base.Add(key) {
+		return false
 	}
-	return result
+	s.obj.Record(tx, boost.Op[int64]{Inverse: func() { s.base.Remove(key) }})
+	return true
 }
 
 // Remove deletes key, reporting whether the set changed.
 func (s *OrderedSet) Remove(tx *stm.Tx, key int64) bool {
-	s.locks.LockKey(tx, key)
-	result := s.base.Remove(key)
-	if result {
-		tx.Log(func() { s.base.Add(key) })
+	s.obj.Acquire(tx, boost.Key(key))
+	if !s.base.Remove(key) {
+		return false
 	}
-	return result
+	s.obj.Record(tx, boost.Op[int64]{Inverse: func() { s.base.Add(key) }})
+	return true
 }
 
 // Contains reports whether key is present.
 func (s *OrderedSet) Contains(tx *stm.Tx, key int64) bool {
-	s.locks.LockKey(tx, key)
+	s.obj.Acquire(tx, boost.Key(key))
 	return s.base.Contains(key)
 }
 
-// CountRange returns the number of keys in [lo, hi]. It locks the interval,
-// serializing against concurrent updates within it while updates outside
-// proceed in parallel.
+// CountRange returns the number of keys in [lo, hi]. It demands the
+// interval, serializing against concurrent updates within it while updates
+// outside proceed in parallel.
 func (s *OrderedSet) CountRange(tx *stm.Tx, lo, hi int64) int {
-	s.locks.LockRange(tx, lo, hi)
+	s.obj.Acquire(tx, boost.Span(lo, hi))
 	n := 0
 	s.base.AscendRange(lo, hi, func(int64) bool { n++; return true })
 	return n
@@ -63,7 +63,7 @@ func (s *OrderedSet) CountRange(tx *stm.Tx, lo, hi int64) int {
 
 // KeysRange returns the keys in [lo, hi] in ascending order.
 func (s *OrderedSet) KeysRange(tx *stm.Tx, lo, hi int64) []int64 {
-	s.locks.LockRange(tx, lo, hi)
+	s.obj.Acquire(tx, boost.Span(lo, hi))
 	var out []int64
 	s.base.AscendRange(lo, hi, func(k int64) bool { out = append(out, k); return true })
 	return out
@@ -72,7 +72,7 @@ func (s *OrderedSet) KeysRange(tx *stm.Tx, lo, hi int64) []int64 {
 // SumRange returns the sum of keys in [lo, hi] — a representative
 // aggregate query.
 func (s *OrderedSet) SumRange(tx *stm.Tx, lo, hi int64) int64 {
-	s.locks.LockRange(tx, lo, hi)
+	s.obj.Acquire(tx, boost.Span(lo, hi))
 	var sum int64
 	s.base.AscendRange(lo, hi, func(k int64) bool { sum += k; return true })
 	return sum

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"tboost/internal/boost"
 
 	"tboost/internal/stm"
 )
@@ -40,7 +41,7 @@ func (p *Pool[T]) Alloc(tx *stm.Tx) T {
 	}
 	p.allocs++
 	p.mu.Unlock()
-	tx.Log(func() { p.putBack(v, true) })
+	boost.Inverse(tx, func() { p.putBack(v, true) })
 	return v
 }
 
@@ -48,7 +49,7 @@ func (p *Pool[T]) Alloc(tx *stm.Tx) T {
 // is indistinguishable from a slow allocator, and batching frees is
 // explicitly sanctioned by the paper.
 func (p *Pool[T]) Free(tx *stm.Tx, v T) {
-	tx.OnCommit(func() { p.putBack(v, false) })
+	boost.OnCommit(tx, func() { p.putBack(v, false) })
 }
 
 func (p *Pool[T]) putBack(v T, undoingAlloc bool) {

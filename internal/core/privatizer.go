@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"tboost/internal/boost"
 	"time"
 
 	"tboost/internal/stm"
@@ -61,8 +62,8 @@ func (p *Privatizer) Access(tx *stm.Tx) {
 				timer.Stop()
 			}
 			// Undo on abort; disposable decrement after commit.
-			tx.Log(func() { p.exit() })
-			tx.OnCommit(func() { p.exit() })
+			boost.Inverse(tx, func() { p.exit() })
+			boost.OnCommit(tx, func() { p.exit() })
 			return
 		}
 		wait := p.waitCh()

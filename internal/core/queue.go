@@ -1,6 +1,7 @@
 package core
 
 import (
+	"tboost/internal/boost"
 	"time"
 
 	"tboost/internal/deque"
@@ -55,7 +56,7 @@ func (q *Queue[T]) Offer(tx *stm.Tx, v T) {
 	q.full.Acquire(tx) // immediate: reserves a slot, inverse logged inside
 	q.base.OfferLast(v)
 	q.empty.Release(tx) // disposable: publishes the item at commit
-	tx.Log(func() { q.base.TakeLast() })
+	boost.Inverse(tx, func() { q.base.TakeLast() })
 }
 
 // Take dequeues the oldest committed item, blocking while none is
@@ -65,7 +66,7 @@ func (q *Queue[T]) Take(tx *stm.Tx) T {
 	q.empty.Acquire(tx) // immediate: claims a committed item
 	v := q.base.TakeFirst()
 	q.full.Release(tx) // disposable: frees the slot at commit
-	tx.Log(func() { q.base.OfferFirst(v) })
+	boost.Inverse(tx, func() { q.base.OfferFirst(v) })
 	return v
 }
 

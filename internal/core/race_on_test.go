@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector instruments this build.
+// Allocation-budget tests skip under it: instrumentation adds its own heap
+// traffic, so AllocsPerRun no longer measures the code under test.
+const raceEnabled = true

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"tboost/internal/boost"
 
 	"tboost/internal/stm"
 )
@@ -33,14 +34,14 @@ func NewRefCount(initial int64, onZero func()) *RefCount {
 // an aborted Inc leaves no trace).
 func (r *RefCount) Inc(tx *stm.Tx) {
 	r.add(1)
-	tx.Log(func() { r.add(-1) })
+	boost.Inverse(tx, func() { r.add(-1) })
 }
 
 // Dec schedules a decrement for after tx commits. The call is disposable:
 // no transaction can observe whether a pending decrement has happened yet,
 // because the count may only be compared against zero by the reclaimer.
 func (r *RefCount) Dec(tx *stm.Tx) {
-	tx.OnCommit(func() { r.add(-1) })
+	boost.OnCommit(tx, func() { r.add(-1) })
 }
 
 func (r *RefCount) add(d int64) {

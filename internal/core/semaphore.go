@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"sync"
+	"tboost/internal/boost"
 	"time"
 
 	"tboost/internal/faultpoint"
@@ -27,7 +28,7 @@ const DefaultSemTimeout = time.Second
 
 // Semaphore is the paper's transactional semaphore (§3.3): Acquire
 // decrements immediately, blocking while the committed count is zero, and
-// logs an increment as its inverse; Release is disposable — it increments
+// records an increment as its inverse; Release is disposable — it increments
 // only when the transaction commits. The paper notes such semaphores cannot
 // be built from read/write conflict detection without deadlock; they require
 // boosting.
@@ -78,7 +79,7 @@ func (s *Semaphore) Acquire(tx *stm.Tx) {
 		tx.System().CountLockTimeout()
 		tx.Abort(ErrSemTimeout)
 	}
-	tx.Log(func() { s.increment() })
+	boost.Inverse(tx, func() { s.increment() })
 }
 
 func (s *Semaphore) acquireTimeout(tx *stm.Tx, timeout time.Duration) bool {
@@ -122,7 +123,7 @@ func (s *Semaphore) acquireTimeout(tx *stm.Tx, timeout time.Duration) bool {
 // disposable: deferring it is unobservable, because no transaction can
 // distinguish "not yet released" from "about to be released".
 func (s *Semaphore) Release(tx *stm.Tx) {
-	tx.OnCommit(func() { s.increment() })
+	boost.OnCommit(tx, func() { s.increment() })
 }
 
 func (s *Semaphore) increment() {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"tboost/internal/boost"
 	"tboost/internal/lockmgr"
 	"tboost/internal/stm"
 )
@@ -9,99 +10,90 @@ import (
 // be boostable: Add and Remove report whether the set changed, which is what
 // determines each call's inverse (Fig. 1 of the paper). Implementations must
 // be linearizable under concurrent calls; the boosting layer never looks
-// inside them.
-type BaseSet interface {
-	Add(key int64) bool
-	Remove(key int64) bool
-	Contains(key int64) bool
+// inside them. The key space is any comparable type: boosting never orders,
+// hashes, or otherwise inspects keys — it only demands their abstract locks.
+type BaseSet[K comparable] interface {
+	Add(key K) bool
+	Remove(key K) bool
+	Contains(key K) bool
 }
 
-// locker is the abstract-lock discipline: per-key locks give maximal
-// practical commutativity-based concurrency, a single coarse lock gives
-// none. Both are correct; Fig. 10 quantifies the difference.
-type locker interface {
-	lock(tx *stm.Tx, key int64)
-}
-
-type keyedLocker struct{ locks *lockmgr.LockMap[int64] }
-
-func (l keyedLocker) lock(tx *stm.Tx, key int64) { l.locks.Lock(tx, key) }
-
-type coarseLocker struct{ lock_ *lockmgr.OwnerLock }
-
-func (l coarseLocker) lock(tx *stm.Tx, _ int64) { l.lock_.Acquire(tx) }
-
-// Set is a boosted transactional set: the paper's SkipListKey pattern,
-// generic over any BaseSet. Every method must be called inside stm.Atomic
-// with the current transaction.
-type Set struct {
-	base  BaseSet
-	locks locker
+// Set is a boosted transactional set: the paper's SkipListKey pattern as a
+// spec over the generic boosting kernel. Each method declares its conflict
+// footprint (the key it touches) and its outcome's inverse; the kernel
+// executes that descriptor against the lock manager and the undo log. Every
+// method must be called inside stm.Atomic with the current transaction.
+type Set[K comparable] struct {
+	base BaseSet[K]
+	obj  *boost.Object[K]
 }
 
 // NewKeyedSet boosts base with one abstract lock per key (the paper's
 // LockKey discipline). Transactions touching disjoint keys proceed fully in
 // parallel, synchronizing only inside the linearizable base object.
-func NewKeyedSet(base BaseSet) *Set {
-	return &Set{base: base, locks: keyedLocker{locks: lockmgr.NewLockMap[int64]()}}
+func NewKeyedSet[K comparable](base BaseSet[K]) *Set[K] {
+	return &Set[K]{base: base, obj: boost.NewKeyed[K]()}
 }
 
 // NewKeyedSetStripes is NewKeyedSet with an explicit lock-table stripe
 // count, exposed for the striping ablation benchmarks.
-func NewKeyedSetStripes(base BaseSet, stripes int) *Set {
-	return &Set{base: base, locks: keyedLocker{locks: lockmgr.NewLockMapStripes[int64](stripes)}}
+func NewKeyedSetStripes[K comparable](base BaseSet[K], stripes int) *Set[K] {
+	return &Set[K]{base: base, obj: boost.NewKeyedStripes[K](stripes)}
 }
 
 // NewKeyedSetWoundWait is NewKeyedSet with wound-wait contention management
 // on the per-key locks: deadlocks between multi-key transactions are
 // resolved by age (the older transaction wounds the younger) instead of by
 // timeout.
-func NewKeyedSetWoundWait(base BaseSet) *Set {
-	return &Set{base: base, locks: keyedLocker{
-		locks: lockmgr.NewLockMapPolicy[int64](lockmgr.DefaultStripes, lockmgr.WoundWait),
-	}}
+func NewKeyedSetWoundWait[K comparable](base BaseSet[K]) *Set[K] {
+	return &Set[K]{base: base, obj: boost.NewKeyedPolicy[K](lockmgr.DefaultStripes, lockmgr.WoundWait)}
 }
 
 // NewCoarseSet boosts base with a single abstract lock for all method calls
 // — the conservative discipline Fig. 10 compares against, and the right
 // choice for bases with no thread-level concurrency (e.g. a synchronized
-// red-black tree, Fig. 9).
-func NewCoarseSet(base BaseSet) *Set {
-	return &Set{base: base, locks: coarseLocker{lock_: lockmgr.NewOwnerLock()}}
+// red-black tree, Fig. 9). The per-method specs below are unchanged: the
+// kernel maps the same key demands onto the coarse lock.
+func NewCoarseSet[K comparable](base BaseSet[K]) *Set[K] {
+	return &Set[K]{base: base, obj: boost.NewCoarse[K]()}
 }
 
-// Add inserts key, reporting whether the set changed. Inverse logged:
+// Add inserts key, reporting whether the set changed. Inverse recorded:
 // add(x)/true -> remove(x); add(x)/false -> noop.
-func (s *Set) Add(tx *stm.Tx, key int64) bool {
-	s.locks.lock(tx, key)
-	result := s.base.Add(key)
-	if result {
-		tx.Log(func() { s.base.Remove(key) })
+func (s *Set[K]) Add(tx *stm.Tx, key K) bool {
+	s.obj.Acquire(tx, boost.Key(key))
+	if !s.base.Add(key) {
+		return false
 	}
-	return result
+	s.obj.Record(tx, boost.Op[K]{Inverse: func() { s.base.Remove(key) }})
+	return true
 }
 
-// Remove deletes key, reporting whether the set changed. Inverse logged:
+// Remove deletes key, reporting whether the set changed. Inverse recorded:
 // remove(x)/true -> add(x); remove(x)/false -> noop.
-func (s *Set) Remove(tx *stm.Tx, key int64) bool {
-	s.locks.lock(tx, key)
-	result := s.base.Remove(key)
-	if result {
-		tx.Log(func() { s.base.Add(key) })
+func (s *Set[K]) Remove(tx *stm.Tx, key K) bool {
+	s.obj.Acquire(tx, boost.Key(key))
+	if !s.base.Remove(key) {
+		return false
 	}
-	return result
+	s.obj.Record(tx, boost.Op[K]{Inverse: func() { s.base.Add(key) }})
+	return true
 }
 
 // Contains reports whether key is present. No inverse is needed, but the
-// abstract lock is still acquired: contains(x) does not commute with
+// abstract lock is still demanded: contains(x) does not commute with
 // add(x)/remove(x) that change the answer, and key-based locking is the
 // paper's practical approximation of that conflict relation.
-func (s *Set) Contains(tx *stm.Tx, key int64) bool {
-	s.locks.lock(tx, key)
+func (s *Set[K]) Contains(tx *stm.Tx, key K) bool {
+	s.obj.Acquire(tx, boost.Key(key))
 	return s.base.Contains(key)
 }
 
 // Base returns the underlying linearizable set, for quiescent inspection
 // (tests, verification). Touching it while transactions run forfeits
 // serializability.
-func (s *Set) Base() BaseSet { return s.base }
+func (s *Set[K]) Base() BaseSet[K] { return s.base }
+
+// Engine returns the kernel object executing this set's descriptors, for
+// tests and introspection.
+func (s *Set[K]) Engine() *boost.Object[K] { return s.obj }

@@ -2,12 +2,14 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"math/rand/v2"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"tboost/internal/hashset"
 	"tboost/internal/skiplist"
 	"tboost/internal/stm"
 )
@@ -16,123 +18,158 @@ func newSys() *stm.System {
 	return stm.NewSystem(stm.Config{LockTimeout: 30 * time.Millisecond})
 }
 
-// each boosted set flavour, so every test can run against all of them
-var setFlavours = []struct {
-	name string
-	make func() *Set
-}{
-	{"skiplist-keyed", NewSkipListSet},
-	{"skiplist-coarse", NewSkipListSetCoarse},
-	{"rbtree-coarse", NewRBTreeSet},
-	{"hashset-keyed", NewHashSet},
-	{"linkedlist-keyed", NewLinkedListSet},
+// setFlavour is one boosted set configuration under test. The suite below
+// is generic over the key type: every flavour of every key type runs the
+// same semantics, undo, conflict, and stress tests — the "shared generic
+// test harness" that lets a string-keyed set prove itself against the exact
+// suite the int64 sets pass.
+type setFlavour[K comparable] struct {
+	name   string
+	coarse bool // single abstract lock: any two keys conflict
+	make   func() *Set[K]
 }
 
-func TestSetBasicSemantics(t *testing.T) {
-	for _, f := range setFlavours {
+func int64Flavours() []setFlavour[int64] {
+	return []setFlavour[int64]{
+		{"skiplist-keyed", false, NewSkipListSet},
+		{"skiplist-coarse", true, NewSkipListSetCoarse},
+		{"rbtree-coarse", true, NewRBTreeSet},
+		{"hashset-keyed", false, NewHashSet},
+		{"linkedlist-keyed", false, NewLinkedListSet},
+	}
+}
+
+func stringFlavours() []setFlavour[string] {
+	return []setFlavour[string]{
+		{"hashset-keyed", false, NewHashSetOf[string]},
+		{"hashset-coarse", true, func() *Set[string] { return NewCoarseSet[string](hashset.New[string]()) }},
+		{"hashset-woundwait", false, func() *Set[string] { return NewKeyedSetWoundWait[string](hashset.New[string]()) }},
+	}
+}
+
+// runSetSuite runs every suite test against every flavour. key maps the
+// suite's abstract small-integer key space into K; distinct ints must map
+// to distinct keys.
+func runSetSuite[K comparable](t *testing.T, flavours []setFlavour[K], key func(int64) K) {
+	for _, f := range flavours {
 		t.Run(f.name, func(t *testing.T) {
-			s := f.make()
-			sys := newSys()
-			stm.MustAtomicOn(sys, func(tx *stm.Tx) {
-				if !s.Add(tx, 5) {
-					t.Error("Add(5) = false on empty set")
-				}
-				if s.Add(tx, 5) {
-					t.Error("duplicate Add(5) = true")
-				}
-				if !s.Contains(tx, 5) {
-					t.Error("Contains(5) = false")
-				}
-				if s.Contains(tx, 6) {
-					t.Error("Contains(6) = true")
-				}
-				if !s.Remove(tx, 5) {
-					t.Error("Remove(5) = false")
-				}
-				if s.Remove(tx, 5) {
-					t.Error("second Remove(5) = true")
-				}
-			})
+			t.Run("basic-semantics", func(t *testing.T) { suiteBasicSemantics(t, f.make(), key) })
+			t.Run("undo-on-abort", func(t *testing.T) { suiteUndoOnAbort(t, f.make(), key) })
+			t.Run("undo-order-reverse", func(t *testing.T) { suiteUndoOrderReverse(t, f.make(), key) })
+			t.Run("commit-keeps-effects", func(t *testing.T) { suiteCommitKeepsEffects(t, f.make(), key) })
+			t.Run("lock-released-after-commit", func(t *testing.T) { suiteLockReleasedAfterCommit(t, f.make(), key) })
+			if f.coarse {
+				t.Run("any-keys-conflict", func(t *testing.T) { suiteAnyKeysConflict(t, f.make(), key) })
+			} else {
+				t.Run("disjoint-keys-no-conflict", func(t *testing.T) { suiteDisjointKeysNoConflict(t, f.make(), key) })
+				t.Run("same-key-conflicts", func(t *testing.T) { suiteSameKeyConflicts(t, f.make(), key) })
+			}
+			t.Run("concurrent-accounting", func(t *testing.T) { suiteConcurrentAccounting(t, f.make(), key) })
+			t.Run("abort-storm", func(t *testing.T) { suiteAbortStorm(t, f.make(), key) })
 		})
 	}
 }
 
-func TestSetUndoOnAbort(t *testing.T) {
-	for _, f := range setFlavours {
-		t.Run(f.name, func(t *testing.T) {
-			s := f.make()
-			sys := newSys()
-			stm.MustAtomicOn(sys, func(tx *stm.Tx) {
-				s.Add(tx, 1)
-				s.Add(tx, 2)
-			})
-			boom := errors.New("boom")
-			err := sys.Atomic(func(tx *stm.Tx) error {
-				s.Add(tx, 3)    // inverse: remove(3)
-				s.Remove(tx, 1) // inverse: add(1)
-				s.Add(tx, 3)    // false: no inverse
-				s.Remove(tx, 9) // false: no inverse
-				return boom
-			})
-			if !errors.Is(err, boom) {
-				t.Fatalf("err = %v", err)
-			}
-			// Rule 3: the base object is exactly as before the transaction.
-			base := s.Base()
-			if !base.Contains(1) {
-				t.Error("aborted Remove(1) left 1 missing")
-			}
-			if !base.Contains(2) {
-				t.Error("key 2 lost")
-			}
-			if base.Contains(3) {
-				t.Error("aborted Add(3) left 3 present")
-			}
-		})
+func TestSetSuiteInt64(t *testing.T) {
+	runSetSuite(t, int64Flavours(), func(i int64) int64 { return i })
+}
+
+func TestSetSuiteString(t *testing.T) {
+	runSetSuite(t, stringFlavours(), func(i int64) string { return fmt.Sprintf("key-%04d", i) })
+}
+
+func suiteBasicSemantics[K comparable](t *testing.T, s *Set[K], key func(int64) K) {
+	sys := newSys()
+	stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+		if !s.Add(tx, key(5)) {
+			t.Error("Add(5) = false on empty set")
+		}
+		if s.Add(tx, key(5)) {
+			t.Error("duplicate Add(5) = true")
+		}
+		if !s.Contains(tx, key(5)) {
+			t.Error("Contains(5) = false")
+		}
+		if s.Contains(tx, key(6)) {
+			t.Error("Contains(6) = true")
+		}
+		if !s.Remove(tx, key(5)) {
+			t.Error("Remove(5) = false")
+		}
+		if s.Remove(tx, key(5)) {
+			t.Error("second Remove(5) = true")
+		}
+	})
+}
+
+func suiteUndoOnAbort[K comparable](t *testing.T, s *Set[K], key func(int64) K) {
+	sys := newSys()
+	stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+		s.Add(tx, key(1))
+		s.Add(tx, key(2))
+	})
+	boom := errors.New("boom")
+	err := sys.Atomic(func(tx *stm.Tx) error {
+		s.Add(tx, key(3))    // inverse: remove(3)
+		s.Remove(tx, key(1)) // inverse: add(1)
+		s.Add(tx, key(3))    // false: no inverse
+		s.Remove(tx, key(9)) // false: no inverse
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// Rule 3: the base object is exactly as before the transaction.
+	base := s.Base()
+	if !base.Contains(key(1)) {
+		t.Error("aborted Remove(1) left 1 missing")
+	}
+	if !base.Contains(key(2)) {
+		t.Error("key 2 lost")
+	}
+	if base.Contains(key(3)) {
+		t.Error("aborted Add(3) left 3 present")
 	}
 }
 
-func TestSetUndoOrderIsReverse(t *testing.T) {
+func suiteUndoOrderReverse[K comparable](t *testing.T, s *Set[K], key func(int64) K) {
 	// add(7); remove(7) inside one tx, then abort: replaying inverses in
 	// the wrong order would leave 7 present.
-	s := NewSkipListSet()
 	sys := newSys()
 	boom := errors.New("boom")
 	_ = sys.Atomic(func(tx *stm.Tx) error {
-		s.Add(tx, 7)
-		s.Remove(tx, 7)
+		s.Add(tx, key(7))
+		s.Remove(tx, key(7))
 		return boom
 	})
-	if s.Base().Contains(7) {
+	if s.Base().Contains(key(7)) {
 		t.Fatal("abort of add+remove left key present (undo order wrong)")
 	}
 }
 
-func TestSetCommitKeepsEffects(t *testing.T) {
-	s := NewSkipListSet()
+func suiteCommitKeepsEffects[K comparable](t *testing.T, s *Set[K], key func(int64) K) {
 	sys := newSys()
 	stm.MustAtomicOn(sys, func(tx *stm.Tx) {
-		s.Add(tx, 10)
-		s.Add(tx, 20)
-		s.Remove(tx, 10)
+		s.Add(tx, key(10))
+		s.Add(tx, key(20))
+		s.Remove(tx, key(10))
 	})
-	if s.Base().Contains(10) || !s.Base().Contains(20) {
+	if s.Base().Contains(key(10)) || !s.Base().Contains(key(20)) {
 		t.Fatal("committed effects wrong")
 	}
 }
 
-func TestKeyedSetDisjointKeysDoNotConflict(t *testing.T) {
+func suiteDisjointKeysNoConflict[K comparable](t *testing.T, s *Set[K], key func(int64) K) {
 	// Paper §1: add(2) and add(4) have no inherent conflict; the boosted
-	// skip list must run them concurrently. We hold one transaction open
+	// set must run them concurrently. We hold one transaction open
 	// mid-flight and verify another on a different key completes.
-	s := NewSkipListSet()
 	sys := stm.NewSystem(stm.Config{LockTimeout: 50 * time.Millisecond, MaxRetries: 1})
 	inFlight := make(chan struct{})
 	release := make(chan struct{})
 	done := make(chan error, 1)
 	go func() {
 		done <- sys.Atomic(func(tx *stm.Tx) error {
-			s.Add(tx, 2)
+			s.Add(tx, key(2))
 			close(inFlight)
 			<-release
 			return nil
@@ -140,7 +177,7 @@ func TestKeyedSetDisjointKeysDoNotConflict(t *testing.T) {
 	}()
 	<-inFlight
 	if err := sys.Atomic(func(tx *stm.Tx) error {
-		s.Add(tx, 4)
+		s.Add(tx, key(4))
 		return nil
 	}); err != nil {
 		t.Fatalf("disjoint-key transaction blocked: %v", err)
@@ -151,15 +188,14 @@ func TestKeyedSetDisjointKeysDoNotConflict(t *testing.T) {
 	}
 }
 
-func TestKeyedSetSameKeyConflicts(t *testing.T) {
-	s := NewSkipListSet()
+func suiteSameKeyConflicts[K comparable](t *testing.T, s *Set[K], key func(int64) K) {
 	sys := stm.NewSystem(stm.Config{LockTimeout: 10 * time.Millisecond, MaxRetries: 1})
 	inFlight := make(chan struct{})
 	release := make(chan struct{})
 	done := make(chan error, 1)
 	go func() {
 		done <- sys.Atomic(func(tx *stm.Tx) error {
-			s.Add(tx, 2)
+			s.Add(tx, key(2))
 			close(inFlight)
 			<-release
 			return nil
@@ -167,7 +203,7 @@ func TestKeyedSetSameKeyConflicts(t *testing.T) {
 	}()
 	<-inFlight
 	err := sys.Atomic(func(tx *stm.Tx) error {
-		s.Remove(tx, 2) // same key: must wait, time out, abort
+		s.Remove(tx, key(2)) // same key: must wait, time out, abort
 		return nil
 	})
 	close(release)
@@ -179,15 +215,14 @@ func TestKeyedSetSameKeyConflicts(t *testing.T) {
 	}
 }
 
-func TestCoarseSetAnyKeysConflict(t *testing.T) {
-	s := NewSkipListSetCoarse()
+func suiteAnyKeysConflict[K comparable](t *testing.T, s *Set[K], key func(int64) K) {
 	sys := stm.NewSystem(stm.Config{LockTimeout: 10 * time.Millisecond, MaxRetries: 1})
 	inFlight := make(chan struct{})
 	release := make(chan struct{})
 	done := make(chan error, 1)
 	go func() {
 		done <- sys.Atomic(func(tx *stm.Tx) error {
-			s.Add(tx, 2)
+			s.Add(tx, key(2))
 			close(inFlight)
 			<-release
 			return nil
@@ -195,7 +230,7 @@ func TestCoarseSetAnyKeysConflict(t *testing.T) {
 	}()
 	<-inFlight
 	err := sys.Atomic(func(tx *stm.Tx) error {
-		s.Add(tx, 4) // different key, same coarse lock: conflict
+		s.Add(tx, key(4)) // different key, same coarse lock: conflict
 		return nil
 	})
 	close(release)
@@ -205,13 +240,12 @@ func TestCoarseSetAnyKeysConflict(t *testing.T) {
 	<-done
 }
 
-func TestSetLockReleasedAfterCommitAllowsNextTx(t *testing.T) {
-	s := NewSkipListSet()
+func suiteLockReleasedAfterCommit[K comparable](t *testing.T, s *Set[K], key func(int64) K) {
 	sys := newSys()
 	for i := 0; i < 50; i++ {
 		stm.MustAtomicOn(sys, func(tx *stm.Tx) {
-			s.Add(tx, 1)
-			s.Remove(tx, 1)
+			s.Add(tx, key(1))
+			s.Remove(tx, key(1))
 		})
 	}
 	if st := sys.Stats(); st.Aborts != 0 {
@@ -219,68 +253,63 @@ func TestSetLockReleasedAfterCommitAllowsNextTx(t *testing.T) {
 	}
 }
 
-func TestSetConcurrentAccounting(t *testing.T) {
-	for _, f := range setFlavours {
-		t.Run(f.name, func(t *testing.T) {
-			s := f.make()
-			sys := stm.NewSystem(stm.Config{LockTimeout: 100 * time.Millisecond})
-			const keyRange = 32
-			const goroutines = 8
-			const opsPerG = 300
-			var adds, removes [keyRange]atomic.Int64
-			var wg sync.WaitGroup
-			for g := 0; g < goroutines; g++ {
-				g := g
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					r := rand.New(rand.NewPCG(uint64(g), 42))
-					for i := 0; i < opsPerG; i++ {
-						k := int64(r.IntN(keyRange))
-						isAdd := r.IntN(2) == 0
-						err := sys.Atomic(func(tx *stm.Tx) error {
-							var changed bool
-							if isAdd {
-								changed = s.Add(tx, k)
-							} else {
-								changed = s.Remove(tx, k)
-							}
-							// Record the committed effect; OnCommit runs only
-							// if this attempt commits, and the response was
-							// decided under the key's abstract lock.
-							if changed {
-								tx.OnCommit(func() {
-									if isAdd {
-										adds[k].Add(1)
-									} else {
-										removes[k].Add(1)
-									}
-								})
-							}
-							return nil
-						})
-						if err != nil {
-							t.Errorf("Atomic: %v", err)
-							return
-						}
+func suiteConcurrentAccounting[K comparable](t *testing.T, s *Set[K], key func(int64) K) {
+	sys := stm.NewSystem(stm.Config{LockTimeout: 100 * time.Millisecond})
+	const keyRange = 32
+	const goroutines = 8
+	const opsPerG = 300
+	var adds, removes [keyRange]atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := rand.New(rand.NewPCG(uint64(g), 42))
+			for i := 0; i < opsPerG; i++ {
+				k := int64(r.IntN(keyRange))
+				isAdd := r.IntN(2) == 0
+				err := sys.Atomic(func(tx *stm.Tx) error {
+					var changed bool
+					if isAdd {
+						changed = s.Add(tx, key(k))
+					} else {
+						changed = s.Remove(tx, key(k))
 					}
-				}()
-			}
-			wg.Wait()
-			for k := 0; k < keyRange; k++ {
-				present := int64(0)
-				if s.Base().Contains(int64(k)) {
-					present = 1
+					// Record the committed effect; OnCommit runs only
+					// if this attempt commits, and the response was
+					// decided under the key's abstract lock.
+					if changed {
+						tx.OnCommit(func() {
+							if isAdd {
+								adds[k].Add(1)
+							} else {
+								removes[k].Add(1)
+							}
+						})
+					}
+					return nil
+				})
+				if err != nil {
+					t.Errorf("Atomic: %v", err)
+					return
 				}
-				if d := adds[k].Load() - removes[k].Load(); d != present {
-					t.Errorf("key %d: committed adds-removes = %d, present = %d", k, d, present)
-				}
 			}
-		})
+		}()
+	}
+	wg.Wait()
+	for k := 0; k < keyRange; k++ {
+		present := int64(0)
+		if s.Base().Contains(key(int64(k))) {
+			present = 1
+		}
+		if d := adds[k].Load() - removes[k].Load(); d != present {
+			t.Errorf("key %d: committed adds-removes = %d, present = %d", k, d, present)
+		}
 	}
 }
 
-func TestSetAbortStorm(t *testing.T) {
+func suiteAbortStorm[K comparable](t *testing.T, s *Set[K], key func(int64) K) {
 	// A third of transactions deliberately fail after mutating hot keys.
 	// Rolled-back work must leave per-key semantics intact. Every
 	// operation is recorded — in lock-acquisition order, which IS the
@@ -292,7 +321,6 @@ func TestSetAbortStorm(t *testing.T) {
 		isAdd   bool
 		changed bool
 	}
-	s := NewSkipListSet()
 	sys := stm.NewSystem(stm.Config{LockTimeout: 100 * time.Millisecond})
 	const keyRange = 8
 	var logMu [keyRange]sync.Mutex
@@ -313,9 +341,9 @@ func TestSetAbortStorm(t *testing.T) {
 				err := sys.Atomic(func(tx *stm.Tx) error {
 					var changed bool
 					if isAdd {
-						changed = s.Add(tx, k)
+						changed = s.Add(tx, key(k))
 					} else {
-						changed = s.Remove(tx, k)
+						changed = s.Remove(tx, key(k))
 					}
 					// Record while the key's abstract lock is held,
 					// so the log order matches serialization order.
@@ -353,7 +381,7 @@ func TestSetAbortStorm(t *testing.T) {
 				present = false
 			}
 		}
-		if got := s.Base().Contains(int64(k)); got != present {
+		if got := s.Base().Contains(key(int64(k))); got != present {
 			t.Errorf("key %d: base Contains = %v, committed history implies %v", k, got, present)
 		}
 	}
@@ -362,13 +390,13 @@ func TestSetAbortStorm(t *testing.T) {
 func TestSkipListBaseStaysLockFreeUnderBoost(t *testing.T) {
 	// Sanity: the boosted wrapper really uses the given base object.
 	base := skiplist.New()
-	s := NewKeyedSet(base)
+	s := NewKeyedSet[int64](base)
 	sys := newSys()
 	stm.MustAtomicOn(sys, func(tx *stm.Tx) { s.Add(tx, 77) })
 	if !base.Contains(77) {
 		t.Fatal("base object unaffected by boosted Add")
 	}
-	if s.Base() != BaseSet(base) {
+	if s.Base() != BaseSet[int64](base) {
 		t.Fatal("Base() identity lost")
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"tboost/internal/boost"
 	"tboost/internal/idgen"
 	"tboost/internal/stm"
 )
@@ -25,7 +26,7 @@ func NewUniqueID() *UniqueID {
 // aborts, the ID is released back to the pool after the abort completes.
 func (u *UniqueID) AssignID(tx *stm.Tx) int64 {
 	id := u.base.AssignID()
-	tx.OnAbort(func() { u.base.ReleaseID(id) })
+	boost.OnAbort(tx, func() { u.base.ReleaseID(id) })
 	return id
 }
 

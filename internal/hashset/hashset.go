@@ -1,5 +1,6 @@
-// Package hashset implements a striped-lock concurrent hash set of int64
-// keys. The paper's related-work discussion observes that building a
+// Package hashset implements striped-lock concurrent hash containers over
+// any comparable key type (sets, multisets). The paper's related-work
+// discussion observes that building a
 // highly-concurrent transactional hash table with open nesting requires
 // reimplementing the hash table itself, while boosting treats it as a black
 // box — this package is that black box.
@@ -13,41 +14,41 @@ import (
 // DefaultStripes is the stripe count used by New.
 const DefaultStripes = 64
 
-// Set is a concurrent hash set of int64 keys with per-stripe locking.
+// Set is a concurrent hash set of K keys with per-stripe locking.
 // Create with New or NewStripes.
-type Set struct {
+type Set[K comparable] struct {
 	seed    maphash.Seed
-	stripes []stripe
+	stripes []stripe[K]
 }
 
-type stripe struct {
+type stripe[K comparable] struct {
 	mu   sync.RWMutex
-	keys map[int64]struct{}
+	keys map[K]struct{}
 	_    [32]byte // pad to reduce false sharing
 }
 
 // New returns an empty set with DefaultStripes stripes.
-func New() *Set { return NewStripes(DefaultStripes) }
+func New[K comparable]() *Set[K] { return NewStripes[K](DefaultStripes) }
 
 // NewStripes returns an empty set with n stripes (minimum 1).
-func NewStripes(n int) *Set {
+func NewStripes[K comparable](n int) *Set[K] {
 	if n < 1 {
 		n = 1
 	}
-	s := &Set{seed: maphash.MakeSeed(), stripes: make([]stripe, n)}
+	s := &Set[K]{seed: maphash.MakeSeed(), stripes: make([]stripe[K], n)}
 	for i := range s.stripes {
-		s.stripes[i].keys = make(map[int64]struct{})
+		s.stripes[i].keys = make(map[K]struct{})
 	}
 	return s
 }
 
-func (s *Set) stripe(key int64) *stripe {
+func (s *Set[K]) stripe(key K) *stripe[K] {
 	h := maphash.Comparable(s.seed, key)
 	return &s.stripes[h%uint64(len(s.stripes))]
 }
 
 // Add inserts key, reporting whether the set changed.
-func (s *Set) Add(key int64) bool {
+func (s *Set[K]) Add(key K) bool {
 	st := s.stripe(key)
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -59,7 +60,7 @@ func (s *Set) Add(key int64) bool {
 }
 
 // Remove deletes key, reporting whether the set changed.
-func (s *Set) Remove(key int64) bool {
+func (s *Set[K]) Remove(key K) bool {
 	st := s.stripe(key)
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -71,7 +72,7 @@ func (s *Set) Remove(key int64) bool {
 }
 
 // Contains reports whether key is present.
-func (s *Set) Contains(key int64) bool {
+func (s *Set[K]) Contains(key K) bool {
 	st := s.stripe(key)
 	st.mu.RLock()
 	defer st.mu.RUnlock()
@@ -80,7 +81,7 @@ func (s *Set) Contains(key int64) bool {
 }
 
 // Len returns the number of keys.
-func (s *Set) Len() int {
+func (s *Set[K]) Len() int {
 	n := 0
 	for i := range s.stripes {
 		st := &s.stripes[i]
@@ -92,8 +93,8 @@ func (s *Set) Len() int {
 }
 
 // Keys returns all keys in unspecified order.
-func (s *Set) Keys() []int64 {
-	var out []int64
+func (s *Set[K]) Keys() []K {
+	var out []K
 	for i := range s.stripes {
 		st := &s.stripes[i]
 		st.mu.RLock()

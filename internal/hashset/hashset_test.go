@@ -9,7 +9,7 @@ import (
 )
 
 func TestBasicOps(t *testing.T) {
-	s := New()
+	s := New[int64]()
 	if !s.Add(7) || s.Add(7) {
 		t.Fatal("Add semantics wrong")
 	}
@@ -25,7 +25,7 @@ func TestBasicOps(t *testing.T) {
 }
 
 func TestStripesClamped(t *testing.T) {
-	s := NewStripes(-3)
+	s := NewStripes[int64](-3)
 	s.Add(1)
 	if !s.Contains(1) {
 		t.Fatal("single-stripe set broken")
@@ -33,7 +33,7 @@ func TestStripesClamped(t *testing.T) {
 }
 
 func TestLenAndKeys(t *testing.T) {
-	s := New()
+	s := New[int64]()
 	for k := int64(0); k < 100; k++ {
 		s.Add(k)
 	}
@@ -53,7 +53,7 @@ func TestLenAndKeys(t *testing.T) {
 }
 
 func TestQuickModelEquivalence(t *testing.T) {
-	s := New()
+	s := New[int64]()
 	model := map[int64]bool{}
 	f := func(k int64, add bool) bool {
 		if add {
@@ -73,7 +73,7 @@ func TestQuickModelEquivalence(t *testing.T) {
 }
 
 func TestConcurrentAccounting(t *testing.T) {
-	s := NewStripes(8)
+	s := NewStripes[int64](8)
 	const keyRange = 64
 	var adds, removes [keyRange]atomic.Int64
 	var wg sync.WaitGroup

@@ -5,41 +5,41 @@ import (
 	"sync"
 )
 
-// MultiSet is a concurrent multiset (bag) of int64 keys with per-stripe
+// MultiSet is a concurrent multiset (bag) of K keys with per-stripe
 // locking: a linearizable base object for a boosted transactional bag.
-type MultiSet struct {
+type MultiSet[K comparable] struct {
 	seed    maphash.Seed
-	stripes []multiStripe
+	stripes []multiStripe[K]
 }
 
-type multiStripe struct {
+type multiStripe[K comparable] struct {
 	mu     sync.RWMutex
-	counts map[int64]int
+	counts map[K]int
 	_      [32]byte
 }
 
 // NewMultiSet returns an empty multiset with DefaultStripes stripes.
-func NewMultiSet() *MultiSet { return NewMultiSetStripes(DefaultStripes) }
+func NewMultiSet[K comparable]() *MultiSet[K] { return NewMultiSetStripes[K](DefaultStripes) }
 
 // NewMultiSetStripes returns an empty multiset with n stripes (minimum 1).
-func NewMultiSetStripes(n int) *MultiSet {
+func NewMultiSetStripes[K comparable](n int) *MultiSet[K] {
 	if n < 1 {
 		n = 1
 	}
-	m := &MultiSet{seed: maphash.MakeSeed(), stripes: make([]multiStripe, n)}
+	m := &MultiSet[K]{seed: maphash.MakeSeed(), stripes: make([]multiStripe[K], n)}
 	for i := range m.stripes {
-		m.stripes[i].counts = make(map[int64]int)
+		m.stripes[i].counts = make(map[K]int)
 	}
 	return m
 }
 
-func (m *MultiSet) stripe(key int64) *multiStripe {
+func (m *MultiSet[K]) stripe(key K) *multiStripe[K] {
 	h := maphash.Comparable(m.seed, key)
 	return &m.stripes[h%uint64(len(m.stripes))]
 }
 
 // Add inserts one occurrence of key, returning the new count.
-func (m *MultiSet) Add(key int64) int {
+func (m *MultiSet[K]) Add(key K) int {
 	st := m.stripe(key)
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -48,7 +48,7 @@ func (m *MultiSet) Add(key int64) int {
 }
 
 // RemoveOne deletes one occurrence of key, reporting whether one existed.
-func (m *MultiSet) RemoveOne(key int64) bool {
+func (m *MultiSet[K]) RemoveOne(key K) bool {
 	st := m.stripe(key)
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -65,7 +65,7 @@ func (m *MultiSet) RemoveOne(key int64) bool {
 }
 
 // Count returns the number of occurrences of key.
-func (m *MultiSet) Count(key int64) int {
+func (m *MultiSet[K]) Count(key K) int {
 	st := m.stripe(key)
 	st.mu.RLock()
 	defer st.mu.RUnlock()
@@ -73,7 +73,7 @@ func (m *MultiSet) Count(key int64) int {
 }
 
 // Len returns the total number of occurrences across all keys.
-func (m *MultiSet) Len() int {
+func (m *MultiSet[K]) Len() int {
 	n := 0
 	for i := range m.stripes {
 		st := &m.stripes[i]

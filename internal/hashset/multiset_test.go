@@ -8,7 +8,7 @@ import (
 )
 
 func TestMultiSetBasics(t *testing.T) {
-	m := NewMultiSet()
+	m := NewMultiSet[int64]()
 	if m.Count(5) != 0 {
 		t.Fatal("fresh count != 0")
 	}
@@ -36,7 +36,7 @@ func TestMultiSetBasics(t *testing.T) {
 }
 
 func TestMultiSetLenAcrossKeys(t *testing.T) {
-	m := NewMultiSetStripes(4)
+	m := NewMultiSetStripes[int64](4)
 	for k := int64(0); k < 10; k++ {
 		for i := int64(0); i <= k; i++ {
 			m.Add(k)
@@ -48,7 +48,7 @@ func TestMultiSetLenAcrossKeys(t *testing.T) {
 }
 
 func TestMultiSetStripesClamped(t *testing.T) {
-	m := NewMultiSetStripes(0)
+	m := NewMultiSetStripes[int64](0)
 	m.Add(1)
 	if m.Count(1) != 1 {
 		t.Fatal("single-stripe multiset broken")
@@ -56,7 +56,7 @@ func TestMultiSetStripesClamped(t *testing.T) {
 }
 
 func TestMultiSetQuickModel(t *testing.T) {
-	m := NewMultiSet()
+	m := NewMultiSet[int64]()
 	model := map[int64]int{}
 	f := func(k int64, add bool) bool {
 		k = k % 32
@@ -77,7 +77,7 @@ func TestMultiSetQuickModel(t *testing.T) {
 }
 
 func TestMultiSetConcurrentNet(t *testing.T) {
-	m := NewMultiSet()
+	m := NewMultiSet[int64]()
 	const keyRange = 16
 	var net [keyRange]int64
 	var mu sync.Mutex

@@ -16,7 +16,7 @@ import (
 // both under the same lock, so record order = serialization order for
 // conflicting calls).
 type recordingSet struct {
-	set *core.Set
+	set *core.Set[int64]
 	rec *Recorder
 }
 
@@ -41,7 +41,7 @@ func (r recordingSet) contains(tx *stm.Tx, k int64) bool {
 // runRecordedWorkload drives a boosted set with concurrent multi-operation
 // transactions (some deliberately aborting) and returns the recorded
 // history.
-func runRecordedWorkload(t *testing.T, s *core.Set, goroutines, txPerG, opsPerTx, keyRange int) History {
+func runRecordedWorkload(t *testing.T, s *core.Set[int64], goroutines, txPerG, opsPerTx, keyRange int) History {
 	t.Helper()
 	rec := NewRecorder()
 	rs := recordingSet{set: s, rec: rec}
@@ -93,7 +93,7 @@ func runRecordedWorkload(t *testing.T, s *core.Set, goroutines, txPerG, opsPerTx
 func TestBoostedSetStrictlySerializable(t *testing.T) {
 	flavours := []struct {
 		name string
-		make func() *core.Set
+		make func() *core.Set[int64]
 	}{
 		{"skiplist-keyed", core.NewSkipListSet},
 		{"skiplist-coarse", core.NewSkipListSetCoarse},

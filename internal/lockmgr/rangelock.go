@@ -1,6 +1,7 @@
 package lockmgr
 
 import (
+	"cmp"
 	"sync"
 	"time"
 
@@ -13,32 +14,33 @@ import (
 // the argument-dependent conflict predicates of the commutativity-locking
 // literature its related-work section cites: a range query commutes with
 // any update outside the range, and the interval lock encodes precisely
-// that.
+// that. The key space is any ordered type: the interval discipline only
+// needs <=, so string- and float-keyed boosted collections can use it too.
 //
 // Point operations lock the degenerate interval [k, k], so they interact
 // correctly with range operations on the same structure. Intervals held by
 // one transaction accumulate until commit/abort (two-phase), and
 // acquisition is reentrant: an interval already covered by the
 // transaction's holdings is granted immediately.
-type RangeLock struct {
+type RangeLock[K cmp.Ordered] struct {
 	mu   sync.Mutex
-	held []heldInterval
+	held []heldInterval[K]
 	gen  chan struct{} // closed on each release to wake waiters
 }
 
-type heldInterval struct {
-	lo, hi int64
+type heldInterval[K cmp.Ordered] struct {
+	lo, hi K
 	tx     *stm.Tx
 }
 
 // NewRangeLock returns an empty interval lock manager.
-func NewRangeLock() *RangeLock {
-	return &RangeLock{}
+func NewRangeLock[K cmp.Ordered]() *RangeLock[K] {
+	return &RangeLock[K]{}
 }
 
 // TryLockRange attempts to lock [lo, hi] for tx, waiting up to timeout for
 // conflicting intervals to be released. It returns true on success.
-func (r *RangeLock) TryLockRange(tx *stm.Tx, lo, hi int64, timeout time.Duration) bool {
+func (r *RangeLock[K]) TryLockRange(tx *stm.Tx, lo, hi K, timeout time.Duration) bool {
 	if lo > hi {
 		lo, hi = hi, lo
 	}
@@ -66,7 +68,7 @@ func (r *RangeLock) TryLockRange(tx *stm.Tx, lo, hi int64, timeout time.Duration
 			return true
 		}
 		if !conflict {
-			r.held = append(r.held, heldInterval{lo: lo, hi: hi, tx: tx})
+			r.held = append(r.held, heldInterval[K]{lo: lo, hi: hi, tx: tx})
 			r.mu.Unlock()
 			tx.RegisterLock(r)
 			if timer != nil {
@@ -94,7 +96,7 @@ func (r *RangeLock) TryLockRange(tx *stm.Tx, lo, hi int64, timeout time.Duration
 
 // LockRange locks [lo, hi] for tx with the system's default timeout,
 // aborting tx on expiry.
-func (r *RangeLock) LockRange(tx *stm.Tx, lo, hi int64) {
+func (r *RangeLock[K]) LockRange(tx *stm.Tx, lo, hi K) {
 	if !r.TryLockRange(tx, lo, hi, tx.System().LockTimeout()) {
 		tx.System().CountLockTimeout()
 		tx.Abort(ErrTimeout)
@@ -102,13 +104,13 @@ func (r *RangeLock) LockRange(tx *stm.Tx, lo, hi int64) {
 }
 
 // LockKey locks the single key k (the interval [k, k]).
-func (r *RangeLock) LockKey(tx *stm.Tx, k int64) {
+func (r *RangeLock[K]) LockKey(tx *stm.Tx, k K) {
 	r.LockRange(tx, k, k)
 }
 
 // Unlock releases every interval tx holds. Called by the stm runtime at
 // commit/abort.
-func (r *RangeLock) Unlock(tx *stm.Tx) {
+func (r *RangeLock[K]) Unlock(tx *stm.Tx) {
 	r.mu.Lock()
 	kept := r.held[:0]
 	for _, h := range r.held {
@@ -126,10 +128,10 @@ func (r *RangeLock) Unlock(tx *stm.Tx) {
 
 // Holdings reports how many intervals are currently held (all
 // transactions). For tests.
-func (r *RangeLock) Holdings() int {
+func (r *RangeLock[K]) Holdings() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return len(r.held)
 }
 
-var _ stm.Unlocker = (*RangeLock)(nil)
+var _ stm.Unlocker = (*RangeLock[int64])(nil)

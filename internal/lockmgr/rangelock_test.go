@@ -10,7 +10,7 @@ import (
 
 func TestRangeLockDisjointIntervalsNoConflict(t *testing.T) {
 	sys := newSys()
-	r := NewRangeLock()
+	r := NewRangeLock[int64]()
 	held := make(chan struct{})
 	release := make(chan struct{})
 	done := make(chan error, 1)
@@ -40,7 +40,7 @@ func TestRangeLockDisjointIntervalsNoConflict(t *testing.T) {
 
 func TestRangeLockOverlapConflicts(t *testing.T) {
 	sys := stm.NewSystem(stm.Config{LockTimeout: 10 * time.Millisecond, MaxRetries: 1})
-	r := NewRangeLock()
+	r := NewRangeLock[int64]()
 	held := make(chan struct{})
 	release := make(chan struct{})
 	done := make(chan error, 1)
@@ -69,7 +69,7 @@ func TestRangeLockOverlapConflicts(t *testing.T) {
 
 func TestRangeLockReentrantCovered(t *testing.T) {
 	sys := newSys()
-	r := NewRangeLock()
+	r := NewRangeLock[int64]()
 	run(t, sys, func(tx *stm.Tx) {
 		r.LockRange(tx, 0, 100)
 		r.LockRange(tx, 10, 20) // covered: immediate, no new holding
@@ -85,7 +85,7 @@ func TestRangeLockReentrantCovered(t *testing.T) {
 
 func TestRangeLockSameTxOverlappingExtend(t *testing.T) {
 	sys := newSys()
-	r := NewRangeLock()
+	r := NewRangeLock[int64]()
 	run(t, sys, func(tx *stm.Tx) {
 		r.LockRange(tx, 0, 10)
 		r.LockRange(tx, 5, 20) // overlaps own holding: allowed, adds entry
@@ -100,7 +100,7 @@ func TestRangeLockSameTxOverlappingExtend(t *testing.T) {
 
 func TestRangeLockReleasedOnAbort(t *testing.T) {
 	sys := newSys()
-	r := NewRangeLock()
+	r := NewRangeLock[int64]()
 	attempts := 0
 	err := sys.Atomic(func(tx *stm.Tx) error {
 		attempts++
@@ -123,7 +123,7 @@ func TestRangeLockReleasedOnAbort(t *testing.T) {
 
 func TestRangeLockSwappedBounds(t *testing.T) {
 	sys := newSys()
-	r := NewRangeLock()
+	r := NewRangeLock[int64]()
 	run(t, sys, func(tx *stm.Tx) {
 		r.LockRange(tx, 10, 0) // normalized to [0,10]
 		if r.Holdings() != 1 {
@@ -134,7 +134,7 @@ func TestRangeLockSwappedBounds(t *testing.T) {
 
 func TestRangeLockWaiterWakesOnRelease(t *testing.T) {
 	sys := stm.NewSystem(stm.Config{LockTimeout: 2 * time.Second})
-	r := NewRangeLock()
+	r := NewRangeLock[int64]()
 	held := make(chan struct{})
 	go func() {
 		_ = sys.Atomic(func(tx *stm.Tx) error {

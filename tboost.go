@@ -84,12 +84,20 @@ func MustAtomic(fn func(tx *Tx) error) { stm.MustAtomic(fn) }
 // NewSystem returns an isolated transaction domain.
 func NewSystem(cfg Config) *System { return stm.NewSystem(cfg) }
 
-// Set is a boosted transactional set of int64 keys.
-type Set = core.Set
+// SetOf is a boosted transactional set over any comparable key type,
+// backed by the generic boosting kernel (internal/boost).
+type SetOf[K comparable] = core.Set[K]
 
-// BaseSet is the linearizable black-box interface a set must satisfy to be
-// boosted.
-type BaseSet = core.BaseSet
+// Set is a boosted transactional set of int64 keys — the original API,
+// now an instantiation of SetOf.
+type Set = core.Set[int64]
+
+// BaseSetOf is the linearizable black-box interface a set must satisfy to
+// be boosted, generic over the key type.
+type BaseSetOf[K comparable] = core.BaseSet[K]
+
+// BaseSet is the int64-keyed instantiation of BaseSetOf.
+type BaseSet = core.BaseSet[int64]
 
 // NewSkipListSet returns a transactional set backed by a lock-free skip
 // list with one abstract lock per key — the paper's SkipListKey.
@@ -113,13 +121,44 @@ func NewHashSet() *Set { return core.NewHashSet() }
 func NewLinkedListSet() *Set { return core.NewLinkedListSet() }
 
 // NewKeyedSet boosts any linearizable BaseSet with per-key abstract locks.
-func NewKeyedSet(base BaseSet) *Set { return core.NewKeyedSet(base) }
+func NewKeyedSet(base BaseSet) *Set { return core.NewKeyedSet[int64](base) }
 
 // NewCoarseSet boosts any linearizable BaseSet with a single abstract lock.
-func NewCoarseSet(base BaseSet) *Set { return core.NewCoarseSet(base) }
+func NewCoarseSet(base BaseSet) *Set { return core.NewCoarseSet[int64](base) }
 
-// Map is a boosted transactional map from int64 to V.
-type Map[V any] = core.Map[V]
+// NewKeyedSetOf boosts any linearizable base set over any comparable key
+// type with per-key abstract locks: the same commutativity discipline as
+// NewKeyedSet, for string-, struct-, or otherwise-keyed collections.
+func NewKeyedSetOf[K comparable](base BaseSetOf[K]) *SetOf[K] {
+	return core.NewKeyedSet[K](base)
+}
+
+// NewCoarseSetOf boosts any linearizable base set over any comparable key
+// type with a single abstract lock.
+func NewCoarseSetOf[K comparable](base BaseSetOf[K]) *SetOf[K] {
+	return core.NewCoarseSet[K](base)
+}
+
+// NewHashSetOf returns a transactional set over any comparable key type,
+// backed by a striped concurrent hash set with per-key abstract locks —
+// e.g. NewHashSetOf[string]() for a string-keyed set.
+func NewHashSetOf[K comparable]() *SetOf[K] { return core.NewHashSetOf[K]() }
+
+// MapOf is a boosted transactional map over any comparable key type.
+type MapOf[K comparable, V any] = core.Map[K, V]
+
+// BaseMapOf is the linearizable black-box interface a map must satisfy to
+// be boosted.
+type BaseMapOf[K comparable, V any] = core.BaseMap[K, V]
+
+// Map is a boosted transactional map from int64 to V — the original API,
+// now an instantiation of MapOf.
+type Map[V any] = core.Map[int64, V]
+
+// NewMapOf boosts any linearizable base map with per-key abstract locks.
+func NewMapOf[K comparable, V any](base BaseMapOf[K, V]) *MapOf[K, V] {
+	return core.NewMap[K, V](base)
+}
 
 // NewRBTreeMap returns a transactional map backed by a synchronized
 // red-black tree with per-key abstract locks.
@@ -188,11 +227,18 @@ type OrderedSet = core.OrderedSet
 // NewOrderedSet returns a boosted sorted set over a lock-free skip list.
 func NewOrderedSet() *OrderedSet { return core.NewOrderedSet() }
 
-// Multiset is a boosted transactional bag with per-key abstract locks.
-type Multiset = core.Multiset
+// MultisetOf is a boosted transactional bag over any comparable key type
+// with per-key abstract locks.
+type MultisetOf[K comparable] = core.Multiset[K]
+
+// Multiset is a boosted transactional bag of int64 keys.
+type Multiset = core.Multiset[int64]
 
 // NewMultiset returns a boosted bag over a striped concurrent multiset.
-func NewMultiset() *Multiset { return core.NewMultiset() }
+func NewMultiset() *Multiset { return core.NewMultiset[int64]() }
+
+// NewMultisetOf returns a boosted bag over any comparable key type.
+func NewMultisetOf[K comparable]() *MultisetOf[K] { return core.NewMultiset[K]() }
 
 // Counter is a boosted transactional accumulator: increments commute and
 // run in parallel; reads serialize against in-flight increments.
