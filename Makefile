@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race test-short vet check chaos bench bench-micro bench-json
+.PHONY: build test test-race test-short vet check fuzz-lockmgr chaos bench bench-micro bench-json
 
 build:
 	$(GO) build ./...
@@ -17,10 +17,14 @@ test-short:
 vet:
 	$(GO) vet ./...
 
-# The default verification chain: build, vet, full tests, and the full suite
+# The default verification chain: build, vet, full tests, the full suite
 # under the race detector (the single-owner fast path's safety argument is
-# checked here every time).
-check: build vet test test-race
+# checked here every time), and a short fuzz pass that cross-checks the
+# striped interval table against the single-mutex reference model.
+check: build vet test test-race fuzz-lockmgr
+
+fuzz-lockmgr:
+	$(GO) test -run NONE -fuzz FuzzStripedRangeLockEquivalence -fuzztime 10s ./internal/lockmgr/
 
 # One fault-injection run over the boosted set, heap, and pipeline queue with
 # serializability verdicts. Exits nonzero if any history fails to verify.
@@ -33,13 +37,18 @@ bench:
 # Hot-path microbenchmarks only (Tx lifecycle, lock acquire, boosted set ops)
 # with allocation counts.
 bench-micro:
-	$(GO) test -bench 'TxLifecycle|LockAcquire|BoostedSet' -benchmem -run NONE ./internal/bench/
+	$(GO) test -bench 'TxLifecycle|LockAcquire|BoostedSet|OrderedSet' -benchmem -run NONE ./internal/bench/
 
-# Reproducible perf trajectory point: sweeps the hot-path microbenchmarks at
+# Reproducible perf trajectory points: sweeps the hot-path microbenchmarks at
 # 1-16 goroutines, legacy (pre-overhaul) and fast-path variants in the same
-# run, and writes BENCH_PR2.json. Deterministic workload (fixed key hashing,
-# no PRNG); GOMAXPROCS pinned for run-to-run comparability.
+# run (BENCH_PR2.json), then the interval-lock sweep — legacy single-mutex vs
+# striped range table over disjoint and overlapping transactional workloads
+# (BENCH_PR4.json). Deterministic workloads (fixed key hashing, no PRNG);
+# GOMAXPROCS pinned for run-to-run comparability.
 bench-json:
 	GOMAXPROCS=$${GOMAXPROCS:-$$(nproc)} \
 		$(GO) run ./cmd/boostbench -experiment benchjson \
 		-threads 1,2,4,8,16 -json-out BENCH_PR2.json
+	GOMAXPROCS=$${GOMAXPROCS:-$$(nproc)} \
+		$(GO) run ./cmd/boostbench -experiment rangemix \
+		-threads 1,2,4,8,16 -json-out BENCH_PR4.json

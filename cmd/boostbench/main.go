@@ -33,9 +33,9 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig9|fig10|fig11|aborts|stripes|pipeline|timeout|policy|heapbases|chaos|benchjson|all")
-		jsonOut    = flag.String("json-out", "", "benchjson: also write the report to this file (e.g. BENCH_PR2.json)")
-		microOps   = flag.Int("micro-ops", 0, "benchjson: operations per sweep cell (0 = default)")
+		experiment = flag.String("experiment", "all", "fig9|fig10|fig11|aborts|stripes|pipeline|timeout|policy|heapbases|chaos|benchjson|rangemix|all")
+		jsonOut    = flag.String("json-out", "", "benchjson/rangemix: also write the report to this file (e.g. BENCH_PR2.json)")
+		microOps   = flag.Int("micro-ops", 0, "benchjson/rangemix: operations (transactions) per sweep cell (0 = default)")
 		chaosSeed  = flag.Uint64("chaos-seed", 0, "chaos: use a randomized fault schedule with this seed (0 = default schedule)")
 		chaosTx    = flag.Int("chaos-tx", 0, "chaos: transactions per worker (0 = default)")
 		threads    = flag.String("threads", "1,2,4,8,16,32", "comma-separated thread counts")
@@ -193,6 +193,29 @@ func main() {
 			fmt.Printf("deterministic keys, GOMAXPROCS=%d, goroutines %v\n\n", runtime.GOMAXPROCS(0), threadCounts)
 			rep := bench.MicroSweep(threadCounts, *microOps)
 			bench.PrintMicro(os.Stdout, rep)
+			if *jsonOut != "" {
+				f, err := os.Create(*jsonOut)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "boostbench:", err)
+					os.Exit(1)
+				}
+				if err := rep.WriteJSON(f); err == nil {
+					err = f.Close()
+				} else {
+					f.Close()
+				}
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "boostbench:", err)
+					os.Exit(1)
+				}
+				fmt.Printf("\nwrote %s\n", *jsonOut)
+			}
+		},
+		"rangemix": func() {
+			fmt.Println("=== Interval-lock sweep: legacy single-mutex vs striped, same run ===")
+			fmt.Printf("deterministic keys, GOMAXPROCS=%d, goroutines %v\n\n", runtime.GOMAXPROCS(0), threadCounts)
+			rep := bench.RangeSweep(threadCounts, *microOps)
+			bench.PrintRange(os.Stdout, rep)
 			if *jsonOut != "" {
 				f, err := os.Create(*jsonOut)
 				if err != nil {

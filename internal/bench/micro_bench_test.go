@@ -133,6 +133,26 @@ func BenchmarkBoostedSet(b *testing.B) {
 			_ = sys.Atomic(body)
 		}
 	})
+	b.Run("struct-keyed", func(b *testing.B) {
+		// Composite struct key ({tenant, item} packed by value): the generic
+		// key path must hash and compare the struct without boxing it, so
+		// allocs/op here must match the int64-keyed addremove budget.
+		type tenantItem struct{ tenant, item int32 }
+		sys := stm.NewSystem(stm.Config{})
+		s := core.NewHashSetOf[tenantItem]()
+		var k tenantItem
+		body := func(tx *stm.Tx) error {
+			s.Add(tx, k)
+			s.Remove(tx, k)
+			return nil
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k = tenantItem{tenant: int32(i) & 7, item: int32(i) & 127}
+			_ = sys.Atomic(body)
+		}
+	})
 	b.Run("skiplist-mixed", func(b *testing.B) {
 		// The Fig. 10 fast configuration, single-threaded, without think
 		// time: raw per-op boosted overhead over the lock-free skip list.
@@ -159,6 +179,65 @@ func BenchmarkBoostedSet(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i = 0; i < b.N; i++ {
+			_ = sys.Atomic(body)
+		}
+	})
+}
+
+func BenchmarkOrderedSet(b *testing.B) {
+	// OrderedSet routes point operations through the striped interval table
+	// instead of the per-key LockMap; these benchmarks pin its per-op cost
+	// against the keyed-set numbers above and measure the range-query path.
+	newPopulated := func() (*stm.System, *core.OrderedSet[int64]) {
+		sys := stm.NewSystem(stm.Config{})
+		s := core.NewOrderedSet()
+		stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+			for k := int64(0); k < 1024; k += 2 {
+				s.Add(tx, k)
+			}
+		})
+		return sys, s
+	}
+	b.Run("contains", func(b *testing.B) {
+		sys, s := newPopulated()
+		var k int64
+		body := func(tx *stm.Tx) error {
+			s.Contains(tx, k)
+			return nil
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k = int64(i) & 1023
+			_ = sys.Atomic(body)
+		}
+	})
+	b.Run("addremove", func(b *testing.B) {
+		sys, s := newPopulated()
+		var k int64
+		body := func(tx *stm.Tx) error {
+			s.Add(tx, k)
+			s.Remove(tx, k)
+			return nil
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k = int64(i)&511 + 1025 // outside the populated evens: effective ops
+			_ = sys.Atomic(body)
+		}
+	})
+	b.Run("countrange", func(b *testing.B) {
+		sys, s := newPopulated()
+		var lo int64
+		body := func(tx *stm.Tx) error {
+			s.CountRange(tx, lo, lo+127)
+			return nil
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			lo = int64(i) & 511
 			_ = sys.Atomic(body)
 		}
 	})

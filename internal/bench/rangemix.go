@@ -1,0 +1,356 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"tboost/internal/core"
+	"tboost/internal/lockmgr"
+	"tboost/internal/stm"
+)
+
+// Range-lock sweep behind `make bench-json` / `boostbench -experiment
+// rangemix`. It measures the ordered set's interval-lock hot paths in two
+// variants run back to back in the same process:
+//
+//   - "legacy": lockmgr.SetLegacyRangeLocks routes the ordered set onto the
+//     single-mutex RangeLock — every acquisition funnels through one lock
+//     and an O(total-held) scan, every release wakes every waiter.
+//   - "striped": the production StripedRangeLock.
+//
+// The headline workload is rangemix/disjoint: each worker owns a 512-key
+// segment and runs transactions of 256 point operations plus a periodic
+// 128-key CountRange inside its segment. Workers never contend on keys, so
+// any slowdown at higher goroutine counts is pure lock-manager overhead:
+// under the legacy manager each point op scans every interval held by every
+// in-flight transaction (hundreds at 8 workers) under the global mutex,
+// while the striped manager decides it with a lock-free snapshot read and
+// one owner acquisition. As with the micro sweep, keys come from a fixed
+// multiplicative hash, so runs are deterministic.
+
+// RangeResult is one cell of the sweep. Ops counts transactions, and each
+// transaction performs rangeTxOps point operations (plus the periodic range
+// query), so ns_per_op is per transaction.
+type RangeResult struct {
+	Name        string  `json:"name"`
+	Variant     string  `json:"variant"` // "legacy" or "striped"
+	Goroutines  int     `json:"goroutines"`
+	Ops         int64   `json:"ops"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// RangeReport is the full sweep, serialized to BENCH_PR4.json.
+type RangeReport struct {
+	GeneratedBy string `json:"generated_by"`
+	NumCPU      int    `json:"num_cpu"`
+	Goroutines  []int  `json:"goroutines"`
+	// SpeedupAt8 maps each workload to striped ops/sec divided by legacy
+	// ops/sec at eight goroutines — the acceptance metric: the striped
+	// manager must not collapse as concurrent holdings accumulate.
+	SpeedupAt8 map[string]float64 `json:"speedup_at_8"`
+	Results    []RangeResult      `json:"results"`
+}
+
+const (
+	rangeTxOps    = 256 // point operations per disjoint-workload transaction
+	overlapTxOps  = 256 // point operations per overlap-workload update transaction
+	rangeSegment  = 512 // keys per worker segment in the disjoint workload
+	rangeQuerySz  = 128 // CountRange window width
+	rangeQueryNth = 4   // every Nth transaction issues a range query
+)
+
+// rangeCase builds one workload; make returns the per-transaction function
+// for fresh state, constructed after the legacy/striped toggle is set.
+// txDiv divides the sweep's per-cell transaction budget for workloads whose
+// transactions are long.
+type rangeCase struct {
+	name  string
+	txDiv int
+	make  func(cfg stm.Config, goroutines int) func(worker, i int)
+}
+
+// rangeWorkerState keeps per-worker mutable state off shared cache lines.
+type rangeWorkerState struct {
+	i int
+	_ [56]byte
+}
+
+func rangeCases() []rangeCase {
+	return []rangeCase{
+		{
+			// Disjoint mixed workload: per-worker segments, zero semantic
+			// contention, long transactions that accumulate holdings. The
+			// scalability headline. The Gosched after every operation is
+			// zero-duration think time (the paper's methodology, scaled to
+			// microbenchmark length): it interleaves the in-flight
+			// transactions at operation granularity, so every worker's
+			// two-phase holdings are concurrently visible regardless of how
+			// many cores the host has — the regime the legacy manager's
+			// global O(total-held) scan pays for and the striped manager's
+			// per-stripe O(1) paths do not.
+			name:  "rangemix/disjoint",
+			txDiv: 8,
+			make: func(cfg stm.Config, goroutines int) func(worker, i int) {
+				sys := stm.NewSystem(cfg)
+				s := core.NewOrderedSet()
+				keyRange := int64(goroutines) * rangeSegment
+				rangePopulate(sys, s, keyRange)
+				states := make([]rangeWorkerState, goroutines)
+				bodies := make([]func(*stm.Tx) error, goroutines)
+				for w := range bodies {
+					w := w
+					segBase := int64(w) * rangeSegment
+					bodies[w] = func(tx *stm.Tx) error {
+						i := states[w].i
+						for j := 0; j < rangeTxOps; j++ {
+							k := segBase + microKey(w, i*rangeTxOps+j, rangeSegment)
+							switch j % 3 {
+							case 0:
+								s.Contains(tx, k)
+							case 1:
+								s.Add(tx, k)
+							default:
+								s.Remove(tx, k)
+							}
+							runtime.Gosched()
+						}
+						if i%rangeQueryNth == 0 {
+							lo := segBase + int64(i*37%(rangeSegment-rangeQuerySz))
+							s.CountRange(tx, lo, lo+rangeQuerySz-1)
+						}
+						return nil
+					}
+				}
+				return func(worker, i int) {
+					states[worker].i = i
+					_ = sys.Atomic(bodies[worker])
+				}
+			},
+		},
+		{
+			// Cross-segment contention: every worker alternates between
+			// update transactions (point ops in its own segment, as in the
+			// disjoint workload) and reader transactions — one CountRange over
+			// a window roaming the whole table, the transaction's only demand.
+			// Queries genuinely conflict with in-flight updates, so both
+			// managers pay real waits, but the workload is deadlock-free by
+			// construction: a reader waits holding nothing (single demand),
+			// and an updater's points can only wait on a *granted* roaming
+			// query, whose transaction is by then committing. Wait chains
+			// terminate; no timeout storms, so the cell measures the lock
+			// managers rather than retry-backoff luck.
+			name:  "rangemix/overlap",
+			txDiv: 8,
+			make: func(cfg stm.Config, goroutines int) func(worker, i int) {
+				sys := stm.NewSystem(cfg)
+				s := core.NewOrderedSet()
+				keyRange := int64(goroutines) * rangeSegment
+				rangePopulate(sys, s, keyRange)
+				states := make([]rangeWorkerState, goroutines)
+				bodies := make([]func(*stm.Tx) error, goroutines)
+				for w := range bodies {
+					w := w
+					segBase := int64(w) * rangeSegment
+					bodies[w] = func(tx *stm.Tx) error {
+						i := states[w].i
+						if i%rangeQueryNth == 0 {
+							lo := int64(uint64(w*2654435761+i*40503) % uint64(keyRange-rangeQuerySz))
+							s.CountRange(tx, lo, lo+rangeQuerySz-1)
+							return nil
+						}
+						for j := 0; j < overlapTxOps; j++ {
+							k := segBase + microKey(w, i*overlapTxOps+j, rangeSegment)
+							switch j % 3 {
+							case 0:
+								s.Contains(tx, k)
+							case 1:
+								s.Add(tx, k)
+							default:
+								s.Remove(tx, k)
+							}
+							runtime.Gosched()
+						}
+						return nil
+					}
+				}
+				return func(worker, i int) {
+					states[worker].i = i
+					_ = sys.Atomic(bodies[worker])
+				}
+			},
+		},
+		{
+			// Single point read per transaction: the ordered set's answer to
+			// boosted-set/contains, for comparing the interval-lock point
+			// fast path against the keyed-lock numbers.
+			name:  "orderedset/contains",
+			txDiv: 1,
+			make: func(cfg stm.Config, goroutines int) func(worker, i int) {
+				sys := stm.NewSystem(cfg)
+				s := core.NewOrderedSet()
+				rangePopulate(sys, s, 4096)
+				keys := make([]paddedInt64, goroutines)
+				bodies := make([]func(*stm.Tx) error, goroutines)
+				for w := range bodies {
+					w := w
+					bodies[w] = func(tx *stm.Tx) error {
+						s.Contains(tx, keys[w].v)
+						return nil
+					}
+				}
+				return func(worker, i int) {
+					keys[worker].v = microKey(worker, i, 4096)
+					_ = sys.Atomic(bodies[worker])
+				}
+			},
+		},
+		{
+			// Effective add + remove per transaction: the mutation path with
+			// two undo closures, through the interval point path.
+			name:  "orderedset/addremove",
+			txDiv: 1,
+			make: func(cfg stm.Config, goroutines int) func(worker, i int) {
+				sys := stm.NewSystem(cfg)
+				s := core.NewOrderedSet()
+				rangePopulate(sys, s, 4096)
+				keys := make([]paddedInt64, goroutines)
+				bodies := make([]func(*stm.Tx) error, goroutines)
+				for w := range bodies {
+					w := w
+					bodies[w] = func(tx *stm.Tx) error {
+						s.Add(tx, keys[w].v)
+						s.Remove(tx, keys[w].v)
+						return nil
+					}
+				}
+				return func(worker, i int) {
+					keys[worker].v = microKey(worker, i, 2048)*2 + 1
+					_ = sys.Atomic(bodies[worker])
+				}
+			},
+		},
+	}
+}
+
+// rangePopulate mirrors microPopulate for the ordered set: even keys
+// present, every key's point lock installed before measurement.
+func rangePopulate(sys *stm.System, s *core.OrderedSet[int64], keyRange int64) {
+	stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+		for k := int64(0); k < keyRange; k++ {
+			s.Add(tx, k)
+		}
+	})
+	stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+		for k := int64(1); k < keyRange; k += 2 {
+			s.Remove(tx, k)
+		}
+	})
+}
+
+// runRangeCell measures one (case, variant, goroutines) cell.
+func runRangeCell(c rangeCase, variant string, goroutines, totalTx int) RangeResult {
+	lockmgr.SetLegacyRangeLocks(variant == "legacy")
+	defer lockmgr.SetLegacyRangeLocks(false)
+	// Neither workload can deadlock (disjoint never waits; overlap's wait
+	// chains terminate at a committing reader), so the timeout is a backstop
+	// for scheduler stalls, not a load-bearing recovery mechanism.
+	cfg := stm.Config{LockTimeout: 10 * time.Millisecond}
+
+	op := c.make(cfg, goroutines)
+	txPerG := totalTx / goroutines
+
+	var wg sync.WaitGroup
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := 0; i < txPerG; i++ {
+				op(worker, i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+
+	ops := int64(txPerG * goroutines)
+	return RangeResult{
+		Name:        c.name,
+		Variant:     variant,
+		Goroutines:  goroutines,
+		Ops:         ops,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(ops),
+		OpsPerSec:   float64(ops) / elapsed.Seconds(),
+		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(ops),
+	}
+}
+
+// RangeSweep runs every range workload at each goroutine count, legacy
+// variant first, then striped, and computes the 8-goroutine speedups.
+// totalTx is the transaction count per cell (split across workers).
+func RangeSweep(goroutines []int, totalTx int) RangeReport {
+	if len(goroutines) == 0 {
+		goroutines = []int{1, 2, 4, 8, 16}
+	}
+	if totalTx <= 0 {
+		totalTx = 20_000
+	}
+	rep := RangeReport{
+		GeneratedBy: "boostbench -experiment rangemix",
+		NumCPU:      runtime.NumCPU(),
+		Goroutines:  goroutines,
+		SpeedupAt8:  map[string]float64{},
+	}
+	at8 := map[string]map[string]float64{} // name -> variant -> ops/sec at 8 goroutines
+	for _, c := range rangeCases() {
+		for _, variant := range []string{"legacy", "striped"} {
+			for _, g := range goroutines {
+				r := runRangeCell(c, variant, g, totalTx/c.txDiv)
+				rep.Results = append(rep.Results, r)
+				if g == 8 {
+					if at8[c.name] == nil {
+						at8[c.name] = map[string]float64{}
+					}
+					at8[c.name][variant] = r.OpsPerSec
+				}
+			}
+		}
+	}
+	for name, v := range at8 {
+		if v["legacy"] > 0 {
+			rep.SpeedupAt8[name] = v["striped"] / v["legacy"]
+		}
+	}
+	return rep
+}
+
+// WriteJSON serializes the report, indented, to w.
+func (r RangeReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// PrintRange writes the sweep as a table plus the speedup summary.
+func PrintRange(out io.Writer, r RangeReport) {
+	fmt.Fprintf(out, "%-22s %-8s %3s %14s %10s %12s\n",
+		"workload", "variant", "g", "tx/sec", "ns/tx", "allocs/tx")
+	for _, res := range r.Results {
+		fmt.Fprintf(out, "%-22s %-8s %3d %14.0f %10.1f %12.3f\n",
+			res.Name, res.Variant, res.Goroutines, res.OpsPerSec, res.NsPerOp, res.AllocsPerOp)
+	}
+	fmt.Fprintln(out)
+	for name, ratio := range r.SpeedupAt8 {
+		fmt.Fprintf(out, "speedup at 8 goroutines %-22s %.2fx\n", name, ratio)
+	}
+}

@@ -202,9 +202,21 @@ func NewReadWrite[K comparable]() *Object[K] {
 }
 
 // NewRanged returns an engine backed by interval locks over an ordered key
-// space.
+// space: the stripe-partitioned manager by default, or the pre-PR 4
+// single-mutex manager when the lockmgr.SetLegacyRangeLocks benchmark knob
+// is set at construction time.
 func NewRanged[K cmp.Ordered]() *Object[K] {
-	return &Object[K]{disc: Ranged, ranged: lockmgr.NewRangeLock[K]()}
+	if lockmgr.LegacyRangeLocks() {
+		return &Object[K]{disc: Ranged, ranged: lockmgr.NewRangeLock[K]()}
+	}
+	return &Object[K]{disc: Ranged, ranged: lockmgr.NewStripedRangeLock[K]()}
+}
+
+// NewRangedPartition is NewRanged with an explicit stripe count and key
+// partition for the striped interval-lock table (ablations, or key spaces
+// whose default partition clusters badly).
+func NewRangedPartition[K cmp.Ordered](stripes int, p lockmgr.Partition[K]) *Object[K] {
+	return &Object[K]{disc: Ranged, ranged: lockmgr.NewStripedRangeLockConfig(stripes, p)}
 }
 
 // NewUnsynced returns an engine that takes no abstract locks; only

@@ -65,7 +65,8 @@ func NewRBTreeMap[V any]() *Map[int64, V] {
 
 // Interface conformance checks for the substrates used as black boxes.
 var (
-	_ BaseSet[int64]  = (*skiplist.Set)(nil)
+	_ BaseSet[int64]  = (*skiplist.Set[int64])(nil)
+	_ BaseSet[string] = (*skiplist.Set[string])(nil)
 	_ BaseSet[int64]  = (*hashset.Set[int64])(nil)
 	_ BaseSet[string] = (*hashset.Set[string])(nil)
 	_ BaseSet[int64]  = (*linkedlist.Set)(nil)

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"cmp"
+
 	"tboost/internal/boost"
+	"tboost/internal/lockmgr"
 	"tboost/internal/skiplist"
 	"tboost/internal/stm"
 )
@@ -13,71 +16,65 @@ import (
 // range and commutes with everything outside — the argument-dependent
 // conflict predicate that key-granularity locking cannot express.
 //
-// The base object is the same lock-free skip list as the boosted Set; only
-// the kernel discipline (Ranged instead of Keyed) differs.
-type OrderedSet struct {
-	base *skiplist.Set
-	obj  *boost.Object[int64]
+// The key space is any cmp.Ordered type: the base object is the generic
+// lock-free skip list, and the interval locks come from the striped range
+// manager, whose point fast path gives ordered point ops the same cost
+// profile as the keyed Set. Point operations (Add/Remove/Contains) are the
+// embedded Set's — only the Ranged discipline differs — so an OrderedSet
+// can stand in wherever a Set is expected.
+type OrderedSet[K cmp.Ordered] struct {
+	Set[K]
+	sl *skiplist.Set[K]
 }
 
-// NewOrderedSet returns a boosted sorted set over a lock-free skip list.
-func NewOrderedSet() *OrderedSet {
-	return &OrderedSet{base: skiplist.New(), obj: boost.NewRanged[int64]()}
+// NewOrderedSet returns a boosted sorted set of int64 keys (the original
+// facade key type) over a lock-free skip list.
+func NewOrderedSet() *OrderedSet[int64] {
+	return NewOrderedSetOf[int64]()
 }
 
-// Add inserts key, reporting whether the set changed.
-func (s *OrderedSet) Add(tx *stm.Tx, key int64) bool {
-	s.obj.Acquire(tx, boost.Key(key))
-	if !s.base.Add(key) {
-		return false
-	}
-	s.obj.Record(tx, boost.Op[int64]{Inverse: func() { s.base.Remove(key) }})
-	return true
+// NewOrderedSetOf returns a boosted sorted set over a lock-free skip list
+// for any ordered key type.
+func NewOrderedSetOf[K cmp.Ordered]() *OrderedSet[K] {
+	sl := skiplist.NewOf[K]()
+	return &OrderedSet[K]{Set: Set[K]{base: sl, obj: boost.NewRanged[K]()}, sl: sl}
 }
 
-// Remove deletes key, reporting whether the set changed.
-func (s *OrderedSet) Remove(tx *stm.Tx, key int64) bool {
-	s.obj.Acquire(tx, boost.Key(key))
-	if !s.base.Remove(key) {
-		return false
-	}
-	s.obj.Record(tx, boost.Op[int64]{Inverse: func() { s.base.Add(key) }})
-	return true
-}
-
-// Contains reports whether key is present.
-func (s *OrderedSet) Contains(tx *stm.Tx, key int64) bool {
-	s.obj.Acquire(tx, boost.Key(key))
-	return s.base.Contains(key)
+// NewOrderedSetPartition is NewOrderedSetOf with an explicit stripe count
+// and key partition for the interval-lock table.
+func NewOrderedSetPartition[K cmp.Ordered](stripes int, p lockmgr.Partition[K]) *OrderedSet[K] {
+	sl := skiplist.NewOf[K]()
+	return &OrderedSet[K]{Set: Set[K]{base: sl, obj: boost.NewRangedPartition(stripes, p)}, sl: sl}
 }
 
 // CountRange returns the number of keys in [lo, hi]. It demands the
 // interval, serializing against concurrent updates within it while updates
 // outside proceed in parallel.
-func (s *OrderedSet) CountRange(tx *stm.Tx, lo, hi int64) int {
+func (s *OrderedSet[K]) CountRange(tx *stm.Tx, lo, hi K) int {
 	s.obj.Acquire(tx, boost.Span(lo, hi))
 	n := 0
-	s.base.AscendRange(lo, hi, func(int64) bool { n++; return true })
+	s.sl.AscendRange(lo, hi, func(K) bool { n++; return true })
 	return n
 }
 
 // KeysRange returns the keys in [lo, hi] in ascending order.
-func (s *OrderedSet) KeysRange(tx *stm.Tx, lo, hi int64) []int64 {
+func (s *OrderedSet[K]) KeysRange(tx *stm.Tx, lo, hi K) []K {
 	s.obj.Acquire(tx, boost.Span(lo, hi))
-	var out []int64
-	s.base.AscendRange(lo, hi, func(k int64) bool { out = append(out, k); return true })
+	var out []K
+	s.sl.AscendRange(lo, hi, func(k K) bool { out = append(out, k); return true })
 	return out
 }
 
 // SumRange returns the sum of keys in [lo, hi] — a representative
-// aggregate query.
-func (s *OrderedSet) SumRange(tx *stm.Tx, lo, hi int64) int64 {
+// aggregate query. (For string keys the + is concatenation, which is mostly
+// useful for tests.)
+func (s *OrderedSet[K]) SumRange(tx *stm.Tx, lo, hi K) K {
 	s.obj.Acquire(tx, boost.Span(lo, hi))
-	var sum int64
-	s.base.AscendRange(lo, hi, func(k int64) bool { sum += k; return true })
+	var sum K
+	s.sl.AscendRange(lo, hi, func(k K) bool { sum += k; return true })
 	return sum
 }
 
 // Base returns the underlying linearizable skip list for quiescent
 // inspection.
-func (s *OrderedSet) Base() *skiplist.Set { return s.base }
+func (s *OrderedSet[K]) Base() *skiplist.Set[K] { return s.sl }

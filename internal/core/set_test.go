@@ -36,6 +36,9 @@ func int64Flavours() []setFlavour[int64] {
 		{"rbtree-coarse", true, NewRBTreeSet},
 		{"hashset-keyed", false, NewHashSet},
 		{"linkedlist-keyed", false, NewLinkedListSet},
+		// The ordered set is a Set whose lock discipline is interval-based;
+		// point ops must behave exactly like a keyed flavour.
+		{"skiplist-ranged", false, func() *Set[int64] { return &NewOrderedSet().Set }},
 	}
 }
 
@@ -44,6 +47,9 @@ func stringFlavours() []setFlavour[string] {
 		{"hashset-keyed", false, NewHashSetOf[string]},
 		{"hashset-coarse", true, func() *Set[string] { return NewCoarseSet[string](hashset.New[string]()) }},
 		{"hashset-woundwait", false, func() *Set[string] { return NewKeyedSetWoundWait[string](hashset.New[string]()) }},
+		// The generic ordered set over string keys: skip-list base plus the
+		// striped interval locks' string partition, under the full suite.
+		{"ordered-skiplist-ranged", false, func() *Set[string] { return &NewOrderedSetOf[string]().Set }},
 	}
 }
 

@@ -231,7 +231,7 @@ func TestUninitializedLockPanics(t *testing.T) {
 		}
 	}()
 	var l OwnerLock
-	l.Locked()
+	l.Unlock(nil) // Locked/HeldBy are lock-free reads now; Unlock still guards
 }
 
 // --- RWOwnerLock ---

@@ -112,11 +112,13 @@ func NewOwnerLockPolicy(p Policy) *OwnerLock {
 // On success the lock is registered with tx for automatic two-phase release.
 func (l *OwnerLock) TryAcquire(tx *stm.Tx, timeout time.Duration) bool {
 	if !tx.RegisterLock(l) {
-		// Already registered by this transaction. Usually that means the
-		// lock is held (reentrancy), but inside stm.Parallel another
-		// branch may have registered it and still be acquiring: wait for
-		// ownership to land before letting this branch proceed.
-		if l.HeldBy(tx) {
+		// Already registered by this transaction. For a single-goroutine
+		// transaction that settles it: the goroutine now here completed the
+		// registering acquisition (or unwound it, removing the registration)
+		// before issuing this call, so reentrancy is decided without touching
+		// the lock. Inside stm.Parallel another branch may have registered it
+		// and still be acquiring: check ownership and wait for it to land.
+		if !tx.Shared() || l.HeldBy(tx) {
 			return true
 		}
 		return l.waitOwnedBy(tx, timeout)
@@ -295,6 +297,18 @@ func (l *OwnerLock) HeldBy(tx *stm.Tx) bool {
 	held := l.owner == tx
 	l.mu.unlock()
 	return held
+}
+
+// ownedByOther reports whether a transaction other than tx owns the lock —
+// the conflict probe of the striped range manager's owner scans. It takes
+// the lock's own mutex: together with the seq-cst rmark counter this is what
+// makes the striped point fast path sound (see confirmKey) without the point
+// path ever paying an atomic owner store.
+func (l *OwnerLock) ownedByOther(tx *stm.Tx) bool {
+	l.mu.lock()
+	o := l.owner
+	l.mu.unlock()
+	return o != nil && o != tx
 }
 
 // Locked reports whether any transaction owns the lock.

@@ -1,0 +1,105 @@
+package lockmgr
+
+import (
+	"cmp"
+	"math"
+)
+
+// Partition maps an ordered key space onto the stripes of a
+// StripedRangeLock. Rank must be monotone: a <= b implies
+// Rank(a) <= Rank(b) (equal ranks for distinct keys are fine — they only
+// collocate keys in a stripe, never mis-order them). Keys are grouped into
+// blocks of 2^BlockShift consecutive rank units, and blocks are dealt
+// cyclically across the stripes, so both a concentrated key space (keys
+// 0..4095) and a spread-out one hit every stripe. A range [lo, hi] covers
+// the cyclic window of stripes its blocks map to; a window wider than half
+// the table escalates to a whole-table demand.
+type Partition[K cmp.Ordered] struct {
+	// Rank is the monotone key-to-rank function. A nil Rank makes the
+	// table fall back to a single stripe: correct for any ordered type,
+	// concurrent for none.
+	Rank func(K) uint64
+	// BlockShift is log2 of the block width in rank units.
+	BlockShift uint
+}
+
+// signFlip converts two's-complement order to unsigned order.
+const signFlip = uint64(1) << 63
+
+// DefaultPartition returns the built-in partition for K: a range-shift rank
+// for the integer kinds (blocks of 64 consecutive integers), a sign-corrected
+// bit rank for floats, and a big-endian prefix rank over the first bytes for
+// strings. Ordered types it does not recognize (defined types, in
+// particular) get a nil Rank, which NewStripedRangeLockConfig turns into a
+// single-stripe table — correct, but without stripe parallelism.
+func DefaultPartition[K cmp.Ordered]() Partition[K] {
+	var zero K
+	const intShift = 6     // 64 consecutive integers per block
+	const floatShift = 48  // exponent-band blocks; real float workloads plug their own
+	const stringShift = 56 // first byte selects the block
+	switch any(zero).(type) {
+	case int:
+		return part[K](func(k int) uint64 { return uint64(int64(k)) ^ signFlip }, intShift)
+	case int8:
+		return part[K](func(k int8) uint64 { return uint64(int64(k)) ^ signFlip }, 0)
+	case int16:
+		return part[K](func(k int16) uint64 { return uint64(int64(k)) ^ signFlip }, intShift)
+	case int32:
+		return part[K](func(k int32) uint64 { return uint64(int64(k)) ^ signFlip }, intShift)
+	case int64:
+		return part[K](func(k int64) uint64 { return uint64(k) ^ signFlip }, intShift)
+	case uint:
+		return part[K](func(k uint) uint64 { return uint64(k) }, intShift)
+	case uint8:
+		return part[K](func(k uint8) uint64 { return uint64(k) }, 0)
+	case uint16:
+		return part[K](func(k uint16) uint64 { return uint64(k) }, intShift)
+	case uint32:
+		return part[K](func(k uint32) uint64 { return uint64(k) }, intShift)
+	case uint64:
+		return part[K](func(k uint64) uint64 { return k }, intShift)
+	case uintptr:
+		return part[K](func(k uintptr) uint64 { return uint64(k) }, intShift)
+	case float32:
+		return part[K](func(k float32) uint64 { return floatRank(float64(k)) }, floatShift)
+	case float64:
+		return part[K](floatRank, floatShift)
+	case string:
+		return part[K](stringRank, stringShift)
+	default:
+		return Partition[K]{}
+	}
+}
+
+// part adapts a concrete rank function to the generic Partition. The type
+// assertion is exact — f's dynamic type is func(K) uint64 whenever the
+// type-switch case matched K — so keys are never boxed per operation.
+func part[K cmp.Ordered](f any, shift uint) Partition[K] {
+	return Partition[K]{Rank: f.(func(K) uint64), BlockShift: shift}
+}
+
+// floatRank is the standard total-order transform on IEEE 754 bits:
+// negative values have their bits inverted, non-negative values get the sign
+// bit set, making unsigned rank order match numeric order (with -0 < +0,
+// which is harmless for interval conflict detection).
+func floatRank(f float64) uint64 {
+	b := math.Float64bits(f)
+	if b&signFlip != 0 {
+		return ^b
+	}
+	return b | signFlip
+}
+
+// stringRank packs the first eight bytes big-endian: lexicographic order on
+// strings maps to unsigned order on ranks, with strings sharing an 8-byte
+// prefix collocated (monotone, not injective — which Partition permits).
+func stringRank(s string) uint64 {
+	var r uint64
+	for i := 0; i < 8; i++ {
+		r <<= 8
+		if i < len(s) {
+			r |= uint64(s[i])
+		}
+	}
+	return r
+}

@@ -3,6 +3,7 @@ package lockmgr
 import (
 	"cmp"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tboost/internal/stm"
@@ -22,10 +23,17 @@ import (
 // one transaction accumulate until commit/abort (two-phase), and
 // acquisition is reentrant: an interval already covered by the
 // transaction's holdings is granted immediately.
+//
+// Every acquisition — even a disjoint point op — funnels through the one
+// mutex and an O(held) scan, and every release wakes every waiter.
+// StripedRangeLock removes both costs; this manager is kept as the
+// SetLegacyRangeLocks benchmark baseline and as the reference model the
+// striped fuzz test checks grant/block equivalence against.
 type RangeLock[K cmp.Ordered] struct {
-	mu   sync.Mutex
-	held []heldInterval[K]
-	gen  chan struct{} // closed on each release to wake waiters
+	mu       sync.Mutex
+	held     []heldInterval[K]
+	gen      chan struct{} // closed on each release to wake waiters
+	spurious atomic.Uint64 // wakeups that re-checked and re-blocked
 }
 
 type heldInterval[K cmp.Ordered] struct {
@@ -44,8 +52,17 @@ func (r *RangeLock[K]) TryLockRange(tx *stm.Tx, lo, hi K, timeout time.Duration)
 	if lo > hi {
 		lo, hi = hi, lo
 	}
+	// One timer for the whole wait, armed on first block and stopped on
+	// every exit path — the one-shot discipline of OwnerLock.acquireSlow
+	// (the timeout return used to leak a live timer).
 	var timer *time.Timer
 	var expired <-chan time.Time
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+	woke := false
 	for {
 		r.mu.Lock()
 		covered := false
@@ -62,18 +79,12 @@ func (r *RangeLock[K]) TryLockRange(tx *stm.Tx, lo, hi K, timeout time.Duration)
 		}
 		if covered {
 			r.mu.Unlock()
-			if timer != nil {
-				timer.Stop()
-			}
 			return true
 		}
 		if !conflict {
 			r.held = append(r.held, heldInterval[K]{lo: lo, hi: hi, tx: tx})
 			r.mu.Unlock()
 			tx.RegisterLock(r)
-			if timer != nil {
-				timer.Stop()
-			}
 			return true
 		}
 		if r.gen == nil {
@@ -82,12 +93,19 @@ func (r *RangeLock[K]) TryLockRange(tx *stm.Tx, lo, hi K, timeout time.Duration)
 		wait := r.gen
 		r.mu.Unlock()
 
+		if woke {
+			// Woken by a release that did not clear our conflict: the
+			// single gen channel broadcasts every release to every waiter.
+			r.spurious.Add(1)
+		}
 		if timer == nil {
 			timer = time.NewTimer(timeout)
 			expired = timer.C
+			rangeTimerArms.Add(1)
 		}
 		select {
 		case <-wait:
+			woke = true
 		case <-expired:
 			return false
 		}
@@ -95,11 +113,10 @@ func (r *RangeLock[K]) TryLockRange(tx *stm.Tx, lo, hi K, timeout time.Duration)
 }
 
 // LockRange locks [lo, hi] for tx with the system's default timeout,
-// aborting tx on expiry.
+// aborting tx on failure with the cause that explains it.
 func (r *RangeLock[K]) LockRange(tx *stm.Tx, lo, hi K) {
 	if !r.TryLockRange(tx, lo, hi, tx.System().LockTimeout()) {
-		tx.System().CountLockTimeout()
-		tx.Abort(ErrTimeout)
+		abortAcquireFailure(tx)
 	}
 }
 
@@ -133,5 +150,10 @@ func (r *RangeLock[K]) Holdings() int {
 	defer r.mu.Unlock()
 	return len(r.held)
 }
+
+// SpuriousWakeups reports how many wait-loop wakeups re-checked and found
+// their conflict still standing — the thundering-herd cost of the single
+// broadcast channel.
+func (r *RangeLock[K]) SpuriousWakeups() uint64 { return r.spurious.Load() }
 
 var _ stm.Unlocker = (*RangeLock[int64])(nil)

@@ -11,12 +11,12 @@ import (
 
 // dumpBottom walks the bottom level raw (no helping) and reports every node
 // with its mark state. Diagnostic helper for linearizability failures.
-func (s *Set) dumpBottom() string {
+func (s *Set[K]) dumpBottom() string {
 	var b strings.Builder
 	ref := s.head.next[0].Load()
 	for ref.n.sentinel != 1 {
 		next := ref.n.next[0].Load()
-		fmt.Fprintf(&b, "%d(h=%d,marked=%v) ", ref.n.key, len(ref.n.next), next.marked)
+		fmt.Fprintf(&b, "%v(h=%d,marked=%v) ", ref.n.key, len(ref.n.next), next.marked)
 		ref = next
 	}
 	return b.String()
@@ -24,7 +24,7 @@ func (s *Set) dumpBottom() string {
 
 // findRaw reports whether an unmarked node with key exists at the bottom
 // level, walking raw without helping.
-func (s *Set) findRaw(key int64) bool {
+func (s *Set[K]) findRaw(key K) bool {
 	ref := s.head.next[0].Load()
 	for ref.n.sentinel != 1 {
 		next := ref.n.next[0].Load()

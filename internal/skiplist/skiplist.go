@@ -1,7 +1,11 @@
-// Package skiplist implements a lock-free concurrent skip-list set of int64
-// keys, in the style of the java.util.concurrent ConcurrentSkipListSet the
-// paper boosts (Herlihy–Shavit "LockFreeSkipList": CAS-linked levels with
+// Package skiplist implements a lock-free concurrent skip-list set, in the
+// style of the java.util.concurrent ConcurrentSkipListSet the paper boosts
+// (Herlihy–Shavit "LockFreeSkipList": CAS-linked levels with
 // logically-deleted marks and helping removal during traversal).
+//
+// The key type is any cmp.Ordered: the algorithm needs nothing but <, so
+// int64, string and float keys share one implementation (New keeps the
+// original int64 construction; NewOf picks the key type).
 //
 // The set is linearizable and non-blocking: add, remove and contains
 // synchronize only through compare-and-swap on individual links. Boosting
@@ -9,6 +13,7 @@
 package skiplist
 
 import (
+	"cmp"
 	"math/rand/v2"
 	"sync/atomic"
 )
@@ -23,24 +28,24 @@ const pHeight = 0.5
 // succ is a successor reference paired with this node's logical-deletion
 // mark at that level. Go has no AtomicMarkableReference, so the (pointer,
 // mark) pair is boxed and swung atomically as one *succ.
-type succ struct {
-	n      *node
+type succ[K cmp.Ordered] struct {
+	n      *node[K]
 	marked bool
 }
 
-type node struct {
-	key      int64
+type node[K cmp.Ordered] struct {
+	key      K
 	sentinel int8 // -1 head, +1 tail, 0 ordinary
-	next     []atomic.Pointer[succ]
+	next     []atomic.Pointer[succ[K]]
 }
 
-func newNode(key int64, height int, sentinel int8) *node {
-	return &node{key: key, sentinel: sentinel, next: make([]atomic.Pointer[succ], height)}
+func newNode[K cmp.Ordered](key K, height int, sentinel int8) *node[K] {
+	return &node[K]{key: key, sentinel: sentinel, next: make([]atomic.Pointer[succ[K]], height)}
 }
 
 // less reports whether a's position precedes key (treating sentinels as
 // ±infinity).
-func (n *node) less(key int64) bool {
+func (n *node[K]) less(key K) bool {
 	switch n.sentinel {
 	case -1:
 		return true
@@ -51,24 +56,30 @@ func (n *node) less(key int64) bool {
 	}
 }
 
-func (n *node) equals(key int64) bool {
+func (n *node[K]) equals(key K) bool {
 	return n.sentinel == 0 && n.key == key
 }
 
-// Set is a lock-free sorted set of int64 keys. Create with New.
-type Set struct {
-	head *node
+// Set is a lock-free sorted set of K keys. Create with New or NewOf.
+type Set[K cmp.Ordered] struct {
+	head *node[K]
 	size atomic.Int64
 }
 
-// New returns an empty set.
-func New() *Set {
-	head := newNode(0, maxLevel, -1)
-	tail := newNode(0, maxLevel, 1)
+// New returns an empty int64 set (the seed repository's original key type).
+func New() *Set[int64] {
+	return NewOf[int64]()
+}
+
+// NewOf returns an empty set over any ordered key type.
+func NewOf[K cmp.Ordered]() *Set[K] {
+	var zero K
+	head := newNode(zero, maxLevel, -1)
+	tail := newNode(zero, maxLevel, 1)
 	for i := range head.next {
-		head.next[i].Store(&succ{n: tail})
+		head.next[i].Store(&succ[K]{n: tail})
 	}
-	return &Set{head: head}
+	return &Set[K]{head: head}
 }
 
 // randomHeight draws a tower height with geometric distribution.
@@ -83,7 +94,7 @@ func randomHeight() int {
 // find locates key, filling preds/succs for levels [0,maxLevel) and
 // physically unlinking any marked nodes encountered (helping). It returns
 // true if an unmarked node with the key is present at the bottom level.
-func (s *Set) find(key int64, preds, succs []*node) bool {
+func (s *Set[K]) find(key K, preds, succs []*node[K]) bool {
 retry:
 	for {
 		pred := s.head
@@ -101,7 +112,7 @@ retry:
 				nextRef := curr.n.nextRef(level)
 				for nextRef != nil && nextRef.marked {
 					// curr is logically deleted at this level; help unlink.
-					snipped := pred.next[level].CompareAndSwap(curr, &succ{n: nextRef.n})
+					snipped := pred.next[level].CompareAndSwap(curr, &succ[K]{n: nextRef.n})
 					if !snipped {
 						continue retry
 					}
@@ -127,7 +138,7 @@ retry:
 
 // nextRef loads the successor reference at level, or nil if the node's tower
 // does not reach that level (tail nodes and short towers).
-func (n *node) nextRef(level int) *succ {
+func (n *node[K]) nextRef(level int) *succ[K] {
 	if level >= len(n.next) {
 		return nil
 	}
@@ -136,23 +147,23 @@ func (n *node) nextRef(level int) *succ {
 
 // Add inserts key, reporting whether the set changed (false if key was
 // already present).
-func (s *Set) Add(key int64) bool {
+func (s *Set[K]) Add(key K) bool {
 	height := randomHeight()
-	var preds, succs [maxLevel]*node
+	var preds, succs [maxLevel]*node[K]
 	for {
 		if s.find(key, preds[:], succs[:]) {
 			return false
 		}
 		n := newNode(key, height, 0)
 		for level := 0; level < height; level++ {
-			n.next[level].Store(&succ{n: succs[level]})
+			n.next[level].Store(&succ[K]{n: succs[level]})
 		}
 		// Linearization point: CAS the bottom-level link.
 		bottom := preds[0].next[0].Load()
 		if bottom.n != succs[0] || bottom.marked {
 			continue
 		}
-		if !preds[0].next[0].CompareAndSwap(bottom, &succ{n: n}) {
+		if !preds[0].next[0].CompareAndSwap(bottom, &succ[K]{n: n}) {
 			continue
 		}
 		s.size.Add(1)
@@ -171,7 +182,7 @@ func (s *Set) Add(key int64) bool {
 					}
 					if succs[level] != n {
 						// re-point our forward link before retrying
-						if !n.next[level].CompareAndSwap(cur, &succ{n: succs[level]}) {
+						if !n.next[level].CompareAndSwap(cur, &succ[K]{n: succs[level]}) {
 							continue
 						}
 					}
@@ -180,7 +191,7 @@ func (s *Set) Add(key int64) bool {
 					}
 					continue
 				}
-				if preds[level].next[level].CompareAndSwap(pl, &succ{n: n}) {
+				if preds[level].next[level].CompareAndSwap(pl, &succ[K]{n: n}) {
 					break
 				}
 			}
@@ -191,8 +202,8 @@ func (s *Set) Add(key int64) bool {
 
 // Remove deletes key, reporting whether the set changed (false if key was
 // absent).
-func (s *Set) Remove(key int64) bool {
-	var preds, succs [maxLevel]*node
+func (s *Set[K]) Remove(key K) bool {
+	var preds, succs [maxLevel]*node[K]
 	for {
 		if !s.find(key, preds[:], succs[:]) {
 			return false
@@ -202,7 +213,7 @@ func (s *Set) Remove(key int64) bool {
 		for level := len(victim.next) - 1; level >= 1; level-- {
 			ref := victim.next[level].Load()
 			for !ref.marked {
-				victim.next[level].CompareAndSwap(ref, &succ{n: ref.n, marked: true})
+				victim.next[level].CompareAndSwap(ref, &succ[K]{n: ref.n, marked: true})
 				ref = victim.next[level].Load()
 			}
 		}
@@ -212,7 +223,7 @@ func (s *Set) Remove(key int64) bool {
 			if ref.marked {
 				break // someone else removed it
 			}
-			if victim.next[0].CompareAndSwap(ref, &succ{n: ref.n, marked: true}) {
+			if victim.next[0].CompareAndSwap(ref, &succ[K]{n: ref.n, marked: true}) {
 				s.size.Add(-1)
 				s.find(key, preds[:], succs[:]) // physical unlink
 				return true
@@ -225,15 +236,15 @@ func (s *Set) Remove(key int64) bool {
 
 // Contains reports whether key is in the set. It is wait-free: a single
 // traversal with no helping.
-func (s *Set) Contains(key int64) bool {
+func (s *Set[K]) Contains(key K) bool {
 	pred := s.head
-	var curr *succ
+	var curr *succ[K]
 	for level := maxLevel - 1; level >= 0; level-- {
 		curr = pred.next[level].Load()
 		for {
 			ref := curr.n.nextRef(level)
 			for ref != nil && ref.marked {
-				curr = &succ{n: ref.n}
+				curr = &succ[K]{n: ref.n}
 				ref = curr.n.nextRef(level)
 			}
 			if curr.n.less(key) {
@@ -249,7 +260,7 @@ func (s *Set) Contains(key int64) bool {
 
 // Len returns the current number of keys. It is accurate when quiescent and
 // approximate under concurrency.
-func (s *Set) Len() int {
+func (s *Set[K]) Len() int {
 	return int(s.size.Load())
 }
 
@@ -258,7 +269,7 @@ func (s *Set) Len() int {
 // nodes; under concurrent mutation it observes some linearizable snapshot
 // of each individual key (callers wanting an atomic range view must
 // serialize externally — the boosted ordered set uses a range lock).
-func (s *Set) AscendRange(lo, hi int64, fn func(key int64) bool) {
+func (s *Set[K]) AscendRange(lo, hi K, fn func(key K) bool) {
 	// Descend to the first node >= lo.
 	pred := s.head
 	for level := maxLevel - 1; level >= 0; level-- {
@@ -266,7 +277,7 @@ func (s *Set) AscendRange(lo, hi int64, fn func(key int64) bool) {
 		for {
 			ref := curr.n.nextRef(level)
 			for ref != nil && ref.marked {
-				curr = &succ{n: ref.n}
+				curr = &succ[K]{n: ref.n}
 				ref = curr.n.nextRef(level)
 			}
 			if curr.n.less(lo) {
@@ -289,21 +300,21 @@ func (s *Set) AscendRange(lo, hi int64, fn func(key int64) bool) {
 				return
 			}
 		}
-		ref = &succ{n: next.n}
+		ref = &succ[K]{n: next.n}
 	}
 }
 
 // Keys returns the keys in ascending order via a bottom-level traversal.
 // Intended for tests and quiescent snapshots.
-func (s *Set) Keys() []int64 {
-	var out []int64
+func (s *Set[K]) Keys() []K {
+	var out []K
 	ref := s.head.next[0].Load()
 	for ref.n.sentinel != 1 {
 		next := ref.n.next[0].Load()
 		if !next.marked {
 			out = append(out, ref.n.key)
 		}
-		ref = &succ{n: next.n}
+		ref = &succ[K]{n: next.n}
 	}
 	return out
 }

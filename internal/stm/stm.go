@@ -165,9 +165,9 @@ type Tx struct {
 	// reset between attempts, so each accessor observes a stable value.
 	parallel atomic.Bool
 
-	mu         sync.Mutex // guards the state below only after escalation
-	undo       []func()   // inverse operations, applied in reverse on abort
-	locks      []Unlocker // two-phase locks, released at commit/abort
+	mu         sync.Mutex            // guards the state below only after escalation
+	undo       []func()              // inverse operations, applied in reverse on abort
+	locks      []Unlocker            // two-phase locks, released at commit/abort
 	lockIdx    map[Unlocker]struct{} // non-nil once len(locks) > lockSpill
 	atCommit   []func()              // run at the commit point, before lock release
 	onCommit   []func()              // disposable actions deferred to after commit
@@ -231,6 +231,14 @@ func (tx *Tx) Done() <-chan struct{} {
 // any branch starts; from here until the next attempt every log/lock/handler
 // accessor takes tx.mu.
 func (tx *Tx) escalate() { tx.parallel.Store(true) }
+
+// Shared reports whether the transaction has escalated to multi-goroutine
+// mode (Parallel has run during the current attempt). While false, all
+// transactional state is touched by one goroutine only, so lock managers may
+// treat "registered with tx" as "owned by tx" without synchronizing: the
+// goroutine that registered a lock completed (or unwound) its acquisition
+// before issuing the current call.
+func (tx *Tx) Shared() bool { return tx.parallel.Load() }
 
 // stateLock/stateUnlock guard the log/lock/handler state only when the
 // transaction has escalated to shared mode. The flag cannot change while an

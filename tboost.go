@@ -27,6 +27,7 @@
 package tboost
 
 import (
+	"cmp"
 	"context"
 
 	"tboost/internal/core"
@@ -219,13 +220,23 @@ type Semaphore = core.Semaphore
 // count.
 func NewSemaphore(initial int) *Semaphore { return core.NewSemaphore(initial) }
 
-// OrderedSet is a boosted transactional sorted set with range queries,
-// synchronized by interval-granular abstract locks: range operations
-// conflict exactly with updates inside their interval.
-type OrderedSet = core.OrderedSet
+// OrderedSetOf is a boosted transactional sorted set over any ordered key
+// type, with range queries synchronized by stripe-partitioned
+// interval-granular abstract locks: range operations conflict exactly with
+// updates inside their interval, and point operations ride a per-stripe
+// lock-free fast path.
+type OrderedSetOf[K cmp.Ordered] = core.OrderedSet[K]
+
+// OrderedSet is the int64-keyed boosted sorted set (the original facade
+// type, now an alias of the generic one).
+type OrderedSet = core.OrderedSet[int64]
 
 // NewOrderedSet returns a boosted sorted set over a lock-free skip list.
 func NewOrderedSet() *OrderedSet { return core.NewOrderedSet() }
+
+// NewOrderedSetOf returns a boosted sorted set over a lock-free skip list
+// for any ordered key type.
+func NewOrderedSetOf[K cmp.Ordered]() *OrderedSetOf[K] { return core.NewOrderedSetOf[K]() }
 
 // MultisetOf is a boosted transactional bag over any comparable key type
 // with per-key abstract locks.
