@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race test-short vet check fuzz-lockmgr chaos bench bench-micro bench-json
+.PHONY: build test test-race test-short vet check fuzz-lockmgr fuzz-contention fuzz-contention-race chaos chaos-race bench bench-micro bench-json
 
 build:
 	$(GO) build ./...
@@ -19,17 +19,31 @@ vet:
 
 # The default verification chain: build, vet, full tests, the full suite
 # under the race detector (the single-owner fast path's safety argument is
-# checked here every time), and a short fuzz pass that cross-checks the
-# striped interval table against the single-mutex reference model.
-check: build vet test test-race fuzz-lockmgr
+# checked here every time), and two short fuzz passes: the striped interval
+# table against the single-mutex reference model, and the wound-wait/detect
+# contention policies against the timeout oracle. Go allows one -fuzz pattern
+# per invocation, hence two targets.
+check: build vet test test-race fuzz-lockmgr fuzz-contention
 
 fuzz-lockmgr:
 	$(GO) test -run NONE -fuzz FuzzStripedRangeLockEquivalence -fuzztime 10s ./internal/lockmgr/
+
+fuzz-contention:
+	$(GO) test -run NONE -fuzz FuzzContentionPolicies -fuzztime 10s ./internal/lockmgr/
+
+fuzz-contention-race:
+	$(GO) test -race -run NONE -fuzz FuzzContentionPolicies -fuzztime 10s ./internal/lockmgr/
 
 # One fault-injection run over the boosted set, heap, and pipeline queue with
 # serializability verdicts. Exits nonzero if any history fails to verify.
 chaos:
 	$(GO) run ./cmd/boostbench -experiment chaos
+
+# The chaos suite (fault schedules + the deadlock storm under all three
+# contention policies) under the race detector — the scheduled robustness CI
+# job runs this.
+chaos-race:
+	$(GO) test -race -count=1 ./internal/chaos/
 
 bench:
 	$(GO) test -bench . -benchtime 200ms -benchmem -run NONE ./...

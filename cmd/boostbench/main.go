@@ -10,6 +10,7 @@
 //	boostbench -experiment aborts # abort-rate comparison (§4.1 claim)
 //	boostbench -experiment stripes # ablation: lock-table striping
 //	boostbench -experiment chaos  # fault-injection run with serializability verdicts
+//	boostbench -experiment deadlock # contention-policy sweep on a deadlock-prone mix
 //	boostbench -experiment all
 //
 // Flags tune the workload; the defaults mirror the paper's methodology
@@ -33,9 +34,9 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig9|fig10|fig11|aborts|stripes|pipeline|timeout|policy|heapbases|chaos|benchjson|rangemix|all")
-		jsonOut    = flag.String("json-out", "", "benchjson/rangemix: also write the report to this file (e.g. BENCH_PR2.json)")
-		microOps   = flag.Int("micro-ops", 0, "benchjson/rangemix: operations (transactions) per sweep cell (0 = default)")
+		experiment = flag.String("experiment", "all", "fig9|fig10|fig11|aborts|stripes|pipeline|timeout|policy|heapbases|chaos|benchjson|rangemix|deadlock|all")
+		jsonOut    = flag.String("json-out", "", "benchjson/rangemix/deadlock: also write the report to this file (e.g. BENCH_PR2.json)")
+		microOps   = flag.Int("micro-ops", 0, "benchjson/rangemix/deadlock: operations (transactions) per sweep cell (0 = default)")
 		chaosSeed  = flag.Uint64("chaos-seed", 0, "chaos: use a randomized fault schedule with this seed (0 = default schedule)")
 		chaosTx    = flag.Int("chaos-tx", 0, "chaos: transactions per worker (0 = default)")
 		threads    = flag.String("threads", "1,2,4,8,16,32", "comma-separated thread counts")
@@ -216,6 +217,29 @@ func main() {
 			fmt.Printf("deterministic keys, GOMAXPROCS=%d, goroutines %v\n\n", runtime.GOMAXPROCS(0), threadCounts)
 			rep := bench.RangeSweep(threadCounts, *microOps)
 			bench.PrintRange(os.Stdout, rep)
+			if *jsonOut != "" {
+				f, err := os.Create(*jsonOut)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "boostbench:", err)
+					os.Exit(1)
+				}
+				if err := rep.WriteJSON(f); err == nil {
+					err = f.Close()
+				} else {
+					f.Close()
+				}
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "boostbench:", err)
+					os.Exit(1)
+				}
+				fmt.Printf("\nwrote %s\n", *jsonOut)
+			}
+		},
+		"deadlock": func() {
+			fmt.Println("=== Deadlock-policy sweep: timeout vs wound-wait vs detect ===")
+			fmt.Printf("reverse-order overlap mix, GOMAXPROCS=%d, goroutines %v\n\n", runtime.GOMAXPROCS(0), threadCounts)
+			rep := bench.DeadlockSweep(threadCounts, *microOps)
+			bench.PrintDeadlock(os.Stdout, rep)
 			if *jsonOut != "" {
 				f, err := os.Create(*jsonOut)
 				if err != nil {

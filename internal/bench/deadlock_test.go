@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestDeadlockSweepShape runs a miniature policy sweep and checks the report
+// plumbing: every (workload, policy, goroutines) cell present, abort-rate and
+// uncontended summaries populated, and the printed table carrying the
+// escalation/spurious columns the CLI surfaces.
+func TestDeadlockSweepShape(t *testing.T) {
+	rep := DeadlockSweep([]int{1, 2}, 16)
+	// 3 policies x (2 flavours x 2 goroutine counts + 1 uncontended cell).
+	if want := 3 * (2*2 + 1); len(rep.Results) != want {
+		t.Fatalf("got %d cells, want %d", len(rep.Results), want)
+	}
+	seen := map[string]bool{}
+	for _, r := range rep.Results {
+		seen[r.Policy] = true
+		if r.Tx <= 0 || r.TxPerSec <= 0 {
+			t.Errorf("%s/%s@%d: empty cell: %+v", r.Workload, r.Policy, r.Goroutines, r)
+		}
+	}
+	for _, p := range []string{"timeout", "wound-wait", "detect"} {
+		if !seen[p] {
+			t.Errorf("policy %s missing from results", p)
+		}
+		if _, ok := rep.UncontendedNsPerTx[p]; !ok {
+			t.Errorf("policy %s missing from uncontended summary", p)
+		}
+	}
+	var buf bytes.Buffer
+	PrintDeadlock(&buf, rep)
+	out := buf.String()
+	for _, want := range []string{"esc", "spur", "wounds", "uncontended ns/tx", "deadlock/keyed", "deadlock/ranged"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed sweep missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDeadlockSweepDirection is the acceptance shape: at 8 goroutines on the
+// reverse-order keyed mix, wound-wait must abort no more than the timeout
+// oracle — a wound resolves a cycle with one targeted abort where the oracle
+// burns a whole lock budget and often kills both parties.
+func TestDeadlockSweepDirection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test needs a real measurement window")
+	}
+	rep := DeadlockSweep([]int{8}, 0)
+	to, ww := rep.AbortRateAt8["timeout"], rep.AbortRateAt8["wound-wait"]
+	t.Logf("abort rate at 8 goroutines: timeout %.1f%%, wound-wait %.1f%%, detect %.1f%%",
+		100*to, 100*ww, 100*rep.AbortRateAt8["detect"])
+	if to == 0 {
+		t.Skip("no contention materialized under the timeout oracle; nothing to compare")
+	}
+	// Slack for single-CPU scheduling noise: the direction must hold, with a
+	// small tolerance rather than strict inequality on one noisy run.
+	if ww > to*1.1 {
+		t.Errorf("wound-wait abort rate %.3f clearly above timeout %.3f", ww, to)
+	}
+}

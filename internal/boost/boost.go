@@ -183,8 +183,12 @@ func NewKeyedStripes[K comparable](stripes int) *Object[K] {
 	return &Object[K]{disc: Keyed, keyed: lockmgr.NewLockMapStripes[K](stripes)}
 }
 
-// NewKeyedPolicy is NewKeyed with an explicit deadlock-handling policy on
-// the per-key locks (e.g. wound-wait).
+// NewKeyedPolicy is NewKeyed with an explicit contention policy on the
+// per-key locks (e.g. lockmgr.WoundWait), overriding the system-wide
+// stm.Config.Contention choice. Engines built without an explicit policy —
+// every other constructor here — inherit the policy of the System their
+// transactions run on, so setting Contention in one place governs every
+// boosted object.
 func NewKeyedPolicy[K comparable](stripes int, p lockmgr.Policy) *Object[K] {
 	return &Object[K]{disc: Keyed, keyed: lockmgr.NewLockMapPolicy[K](stripes, p)}
 }
@@ -231,6 +235,26 @@ func (o *Object[K]) Discipline() Discipline { return o.disc }
 // KeyTable returns the per-key lock table of a Keyed engine (nil otherwise),
 // for tests and introspection.
 func (o *Object[K]) KeyTable() *lockmgr.LockMap[K] { return o.keyed }
+
+// rangeStats is the introspection face of the striped interval-lock manager.
+// The legacy single-mutex RangeLock does not implement it (no escalation
+// concept), so RangeStats reports ok=false there.
+type rangeStats interface {
+	Escalations() uint64
+	SpuriousWakeups() uint64
+}
+
+// RangeStats surfaces the interval-lock table's contention counters for a
+// Ranged engine: whole-table escalations taken and wait-loop wakeups that
+// re-checked and re-blocked. ok is false for non-Ranged engines and for the
+// legacy single-mutex manager.
+func (o *Object[K]) RangeStats() (escalations, spurious uint64, ok bool) {
+	rs, ok := o.ranged.(rangeStats)
+	if !ok {
+		return 0, 0, false
+	}
+	return rs.Escalations(), rs.SpuriousWakeups(), true
+}
 
 // Acquire satisfies op's abstract-lock demand under the object's discipline
 // before the base-object call runs. Acquisition is two-phase (held to

@@ -1,0 +1,244 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tboost/internal/core"
+	"tboost/internal/faultpoint"
+	"tboost/internal/histories"
+	"tboost/internal/lockmgr"
+	"tboost/internal/stm"
+)
+
+// StormConfig sizes a deadlock storm: a workload built to deadlock, not
+// merely to contend. Workers acquire keyed locks (boosted skip-list set) and
+// interval locks (boosted ordered set) in parity-reversed orders, so ABBA
+// cycles form constantly — within the key space, within the interval table,
+// and across the two structures. The defaults suit a 1-CPU race-detector run.
+type StormConfig struct {
+	Goroutines    int           // workers (default 6; half run each order)
+	TxPerG        int           // transactions per worker (default 20)
+	KeyRange      int           // key universe (default 12; small => overlap)
+	Span          int           // interval width of the range demands (default 4)
+	LockTimeout   time.Duration // abstract-lock budget (default 15ms)
+	CollapseAfter int           // livelock-detector arming (default 16)
+	Delay         time.Duration // faultpoint delay at lock waits (default 100µs)
+	HoldTime      time.Duration // dwell between a tx's two lock demands (default 300µs)
+	Seed          uint64        // workload RNG seed (default 1)
+}
+
+func (c StormConfig) withDefaults() StormConfig {
+	if c.Goroutines <= 0 {
+		c.Goroutines = 6
+	}
+	if c.TxPerG <= 0 {
+		c.TxPerG = 20
+	}
+	if c.KeyRange <= 0 {
+		c.KeyRange = 12
+	}
+	if c.Span <= 0 {
+		c.Span = 4
+	}
+	if c.LockTimeout <= 0 {
+		c.LockTimeout = 15 * time.Millisecond
+	}
+	if c.CollapseAfter <= 0 {
+		c.CollapseAfter = 16
+	}
+	if c.Delay <= 0 {
+		c.Delay = 100 * time.Microsecond
+	}
+	if c.HoldTime <= 0 {
+		c.HoldTime = 300 * time.Microsecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// StormSchedule delays lock waits: every stalled acquisition parks inside the
+// window where dooms, wakeups, and timer expiry race, which is exactly where
+// a contention policy can lose a wakeup or wound the wrong transaction.
+func StormSchedule(d time.Duration) Schedule {
+	return Schedule{
+		{faultpoint.LockWait, faultpoint.Trigger{Effect: faultpoint.Delay, Delay: d, EveryN: 7}},
+	}
+}
+
+// StormReport is the outcome of one deadlock storm under one policy.
+type StormReport struct {
+	Policy     string
+	Expected   int64             // transactions the workload submitted
+	Events     int               // committed history length
+	Shed       int               // Atomic calls that gave up (collapse)
+	MaxLatency time.Duration     // slowest single Atomic call, queueing included
+	Stats      stm.StatsSnapshot // the storm System's counters
+	Err        error             // nil iff both histories checked out
+}
+
+// String formats the report for logs.
+func (r StormReport) String() string {
+	verdict := "serializable"
+	if r.Err != nil {
+		verdict = r.Err.Error()
+	}
+	return fmt.Sprintf("storm[%s] expected=%d events=%d shed=%d maxLatency=%v ages(%s) %s [%s]",
+		r.Policy, r.Expected, r.Events, r.Shed, r.MaxLatency.Round(time.Millisecond),
+		r.Stats.CommitAgeString(), r.Stats.String(), verdict)
+}
+
+// RunStorm drives the deadlock storm under the given contention policy and
+// verifies both committed histories (keyed set and ordered set, the latter
+// including its range queries) against the sequential set specification, plus
+// Theorem 5.4 on the quiescent bases. Retries are unbounded: under WoundWait
+// and Detect every submitted transaction must eventually commit — only
+// contention collapse is an accepted way to give up, and the policy tests
+// assert it never happens for them.
+func RunStorm(cfg StormConfig, policy lockmgr.ContentionPolicy) StormReport {
+	cfg = cfg.withDefaults()
+	Disarm()
+	StormSchedule(cfg.Delay).Arm()
+	defer Disarm()
+
+	keyed := core.NewSkipListSet()
+	ordered := core.NewOrderedSet()
+	rec := histories.NewRecorder()
+	sys := stm.NewSystem(stm.Config{
+		LockTimeout:   cfg.LockTimeout,
+		Contention:    policy,
+		CollapseAfter: cfg.CollapseAfter,
+	})
+
+	var (
+		shed   atomic.Int64
+		maxLat atomic.Int64 // nanoseconds
+		fatal  errOnce
+		wg     sync.WaitGroup
+	)
+	for g := 0; g < cfg.Goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := rand.New(rand.NewPCG(cfg.Seed, uint64(g)))
+			reversed := g%2 == 1
+			for i := 0; i < cfg.TxPerG; i++ {
+				k1 := int64(r.IntN(cfg.KeyRange))
+				k2 := int64(r.IntN(cfg.KeyRange))
+				lo := int64(r.IntN(cfg.KeyRange))
+				hi := lo + int64(cfg.Span)
+				start := time.Now()
+				err := sys.Atomic(func(tx *stm.Tx) error {
+					keyedOps := func() {
+						a, b := k1, k2
+						if reversed {
+							a, b = b, a
+						}
+						ok := keyed.Add(tx, a)
+						rec.RecordCall(tx.ID(), "set", "add", []int64{a}, histories.Resp{OK: ok})
+						ok = keyed.Remove(tx, b)
+						rec.RecordCall(tx.ID(), "set", "remove", []int64{b}, histories.Resp{OK: ok})
+					}
+					rangedOps := func() {
+						// The range query demands [lo, hi]; the point update
+						// lands inside it, so the two orders below conflict
+						// whenever spans overlap.
+						if reversed {
+							n := ordered.CountRange(tx, lo, hi)
+							rec.RecordCall(tx.ID(), "oset", "countRange", []int64{lo, hi}, histories.Resp{Val: int64(n), OK: true})
+							ok := ordered.Add(tx, lo)
+							rec.RecordCall(tx.ID(), "oset", "add", []int64{lo}, histories.Resp{OK: ok})
+						} else {
+							ok := ordered.Add(tx, hi)
+							rec.RecordCall(tx.ID(), "oset", "add", []int64{hi}, histories.Resp{OK: ok})
+							n := ordered.CountRange(tx, lo, hi)
+							rec.RecordCall(tx.ID(), "oset", "countRange", []int64{lo, hi}, histories.Resp{Val: int64(n), OK: true})
+						}
+					}
+					// Adversarial structure order: half the workers lock
+					// keyed-then-ranged, half ranged-then-keyed, so wait
+					// cycles also span the two lock structures. The dwell
+					// between the halves is what lets opposing workers take
+					// their first lock before demanding the second — without
+					// it a short transaction commits before anyone opposes
+					// it (especially on one CPU) and no deadlock ever forms.
+					if reversed {
+						rangedOps()
+						time.Sleep(cfg.HoldTime)
+						keyedOps()
+					} else {
+						keyedOps()
+						time.Sleep(cfg.HoldTime)
+						rangedOps()
+					}
+					tx.AtCommit(func() { rec.Commit(tx.ID()) })
+					return nil
+				})
+				if d := time.Since(start).Nanoseconds(); true {
+					for {
+						old := maxLat.Load()
+						if d <= old || maxLat.CompareAndSwap(old, d) {
+							break
+						}
+					}
+				}
+				if err != nil {
+					if !shedable(err) {
+						fatal.set(fmt.Errorf("storm worker %d: unexpected error: %w", g, err))
+						return
+					}
+					shed.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	h := rec.History()
+	out := StormReport{
+		Policy:     policy.Name(),
+		Expected:   int64(cfg.Goroutines * cfg.TxPerG),
+		Events:     len(h),
+		Shed:       int(shed.Load()),
+		MaxLatency: time.Duration(maxLat.Load()),
+		Stats:      sys.Stats(),
+	}
+	if err := fatal.get(); err != nil {
+		out.Err = err
+		return out
+	}
+	specs := map[string]histories.Spec{
+		"set":  histories.SetSpec{},
+		"oset": histories.SetSpec{},
+	}
+	if err := histories.CheckStrictSerializability(h, specs); err != nil {
+		out.Err = err
+		return out
+	}
+	finals, err := histories.FinalStates(h, specs)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	for k := int64(0); k < int64(cfg.KeyRange); k++ {
+		want, _, _ := finals["set"].Apply("contains", []int64{k})
+		if got := keyed.Base().Contains(k); got != want.OK {
+			out.Err = fmt.Errorf("theorem 5.4 violated on keyed set at key %d: base=%v history=%v", k, got, want.OK)
+			return out
+		}
+	}
+	for k := int64(0); k < int64(cfg.KeyRange+cfg.Span); k++ {
+		want, _, _ := finals["oset"].Apply("contains", []int64{k})
+		if got := ordered.Base().Contains(k); got != want.OK {
+			out.Err = fmt.Errorf("theorem 5.4 violated on ordered set at key %d: base=%v history=%v", k, got, want.OK)
+			return out
+		}
+	}
+	return out
+}

@@ -42,11 +42,20 @@ func NewKeyedSetStripes[K comparable](base BaseSet[K], stripes int) *Set[K] {
 }
 
 // NewKeyedSetWoundWait is NewKeyedSet with wound-wait contention management
-// on the per-key locks: deadlocks between multi-key transactions are
+// pinned on the per-key locks: deadlocks between multi-key transactions are
 // resolved by age (the older transaction wounds the younger) instead of by
-// timeout.
+// timeout, regardless of the System's configured policy. A plain NewKeyedSet
+// already inherits whatever stm.Config.Contention selects; this constructor
+// exists for mixing policies across objects in one system.
 func NewKeyedSetWoundWait[K comparable](base BaseSet[K]) *Set[K] {
-	return &Set[K]{base: base, obj: boost.NewKeyedPolicy[K](lockmgr.DefaultStripes, lockmgr.WoundWait)}
+	return NewKeyedSetPolicy(base, lockmgr.WoundWait)
+}
+
+// NewKeyedSetPolicy is NewKeyedSet with an explicit contention policy pinned
+// on the per-key locks (lockmgr.Timeout, lockmgr.WoundWait, or a
+// lockmgr.NewDetect instance), overriding the system-wide choice.
+func NewKeyedSetPolicy[K comparable](base BaseSet[K], p lockmgr.ContentionPolicy) *Set[K] {
+	return &Set[K]{base: base, obj: boost.NewKeyedPolicy[K](lockmgr.DefaultStripes, p)}
 }
 
 // NewCoarseSet boosts base with a single abstract lock for all method calls

@@ -47,6 +47,22 @@ func (s setState) clone() setState {
 }
 
 func (s setState) Apply(method string, args []int64) (Resp, State, bool) {
+	if method == "countRange" {
+		// Range aggregate over an ordered integer set: Val is the number of
+		// members in [args[0], args[1]]. Used by the deadlock-storm chaos
+		// scenario to check that interval demands serialize range queries
+		// against the updates inside their span.
+		if len(args) != 2 {
+			return Resp{}, s, false
+		}
+		var n int64
+		for k := range s {
+			if k >= args[0] && k <= args[1] {
+				n++
+			}
+		}
+		return Resp{Val: n, OK: true}, s, true
+	}
 	if len(args) != 1 {
 		return Resp{}, s, false
 	}

@@ -1,0 +1,134 @@
+package lockmgr
+
+import (
+	"errors"
+
+	"tboost/internal/stm"
+)
+
+// ErrDeadlockVictim is the cause used to abort a transaction the Detect
+// policy chose as the victim of a wait-for cycle.
+var ErrDeadlockVictim = errors.New("lockmgr: aborted as deadlock-cycle victim")
+
+func init() {
+	stm.RegisterAbortKind(ErrDeadlockVictim, stm.KindDeadlock)
+}
+
+// ContentionPolicy is the pluggable conflict-resolution layer consulted at
+// every blocking point in OwnerLock, RWOwnerLock, LockMap, and
+// StripedRangeLock. The interface itself is defined in stm (so stm.Config
+// can carry a policy without an import cycle); this package provides the
+// three implementations:
+//
+//   - Timeout: do nothing at the blocking point — the timed acquisition is
+//     the whole policy, exactly the paper's discipline. Kept as the oracle
+//     the fuzzers compare the richer policies against.
+//   - WoundWait: an older waiter dooms ("wounds") the younger holder instead
+//     of sleeping out its timeout. Deadlock-free by construction and
+//     starvation-free by aging (see the WoundWait doc).
+//   - Detect (via NewDetect): maintain a wait-for graph at block/unblock
+//     edges, detect cycles on insertion, and doom the youngest transaction
+//     in the cycle. For workloads where wounding is too aggressive — no
+//     transaction is ever aborted unless it is provably part of a cycle.
+//
+// A lock built without an explicit policy consults the system-wide choice in
+// stm.Config.Contention on each blocked acquisition, so every boosted object
+// inherits the policy of the System its transactions run on.
+type ContentionPolicy = stm.ContentionPolicy
+
+// Policy is the historical name for ContentionPolicy, kept so existing
+// constructor signatures (NewOwnerLockPolicy, NewLockMapPolicy,
+// boost.NewKeyedPolicy) read as before.
+type Policy = stm.ContentionPolicy
+
+// Exported policy values. TimeoutOnly is retained as the historical name of
+// Timeout. Detect is a process-wide detector instance for convenience; use
+// NewDetect for an isolated wait-for graph per System (cheaper mutex, no
+// cross-system edges).
+var (
+	// Timeout recovers from deadlock by timed acquisition only (the
+	// paper's discipline: "timeouts avoid deadlock").
+	Timeout ContentionPolicy = timeoutPolicy{}
+	// TimeoutOnly is the historical name of Timeout.
+	TimeoutOnly = Timeout
+	// WoundWait applies the classic wound-wait rule from the database
+	// literature the paper builds on: an older requester (smaller Birth)
+	// dooms a younger lock holder, which aborts at its next acquisition or
+	// commit; a younger requester waits. Deadlocks cannot form (the
+	// waits-for graph is ordered by age); timeouts remain as a backstop.
+	WoundWait ContentionPolicy = woundWaitPolicy{}
+	// Detect is a shared deadlock-detecting policy instance.
+	Detect = NewDetect()
+)
+
+// timeoutPolicy is the paper's discipline: the blocking point does nothing
+// and the timed acquisition breaks any deadlock.
+type timeoutPolicy struct{}
+
+func (timeoutPolicy) Name() string                 { return "timeout" }
+func (timeoutPolicy) OnConflict(waiter, _ *stm.Tx) {}
+func (timeoutPolicy) OnWaitEnd(_ *stm.Tx)          {}
+
+// woundWaitPolicy implements wound-wait. Birth timestamps are assigned from
+// the global transaction-ID sequence on a transaction's first attempt and
+// preserved across retries (stm.Tx.Birth), so a transaction ages as it
+// retries: the oldest live transaction has the globally smallest birth, no
+// waiter can be older than it, and therefore it is never wounded — it can
+// only wound. That is the starvation-freedom argument (DESIGN.md §9).
+type woundWaitPolicy struct{}
+
+func (woundWaitPolicy) Name() string { return "wound-wait" }
+
+func (woundWaitPolicy) OnConflict(waiter, holder *stm.Tx) {
+	if holder.Birth() > waiter.Birth() {
+		// Wound the younger holder; it aborts at its next acquisition or
+		// commit and releases the lock the waiter wants.
+		waiter.System().CountWound(waiter.ID())
+		holder.DoomWith(ErrWounded)
+	}
+}
+
+func (woundWaitPolicy) OnWaitEnd(_ *stm.Tx) {}
+
+// detectPolicy maintains a wait-for graph across the blocking points that
+// consult it and dooms the youngest member of any cycle the newest edge
+// closes. Zero aborts unless a cycle actually exists.
+type detectPolicy struct {
+	g waitForGraph
+}
+
+// NewDetect returns a fresh deadlock-detecting policy with its own wait-for
+// graph. Give each System its own instance unless transactions from several
+// systems contend on the same locks (then they must share a graph to see
+// cross-system cycles).
+func NewDetect() ContentionPolicy {
+	return &detectPolicy{g: waitForGraph{edges: make(map[uint64]waitEdge)}}
+}
+
+func (d *detectPolicy) Name() string { return "detect" }
+
+func (d *detectPolicy) OnConflict(waiter, holder *stm.Tx) {
+	if waiter == holder {
+		return
+	}
+	if victim := d.g.observe(waiter, holder); victim != nil {
+		waiter.System().CountDeadlockCycle(waiter.ID())
+		victim.DoomWith(ErrDeadlockVictim)
+	}
+}
+
+func (d *detectPolicy) OnWaitEnd(waiter *stm.Tx) {
+	d.g.drop(waiter.ID())
+}
+
+// effectivePolicy resolves the policy a blocking point should consult: the
+// lock's own (construction-time) policy if set, else the system-wide policy
+// of the waiting transaction's System. Called on slow paths only — an
+// acquisition that never blocks never evaluates the policy, which is what
+// keeps the uncontended fast path at its PR 4 cost.
+func effectivePolicy(own ContentionPolicy, tx *stm.Tx) ContentionPolicy {
+	if own != nil {
+		return own
+	}
+	return tx.System().Contention()
+}

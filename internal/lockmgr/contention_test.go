@@ -1,0 +1,405 @@
+package lockmgr
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tboost/internal/stm"
+)
+
+// TestSystemPolicyInherited: locks built with no explicit policy consult
+// stm.Config.Contention, so setting the policy in one place governs plain
+// NewOwnerLock / NewLockMap locks (and through them every boosted object).
+func TestSystemPolicyInherited(t *testing.T) {
+	sys := stm.NewSystem(stm.Config{
+		LockTimeout: 2 * time.Second,
+		Contention:  WoundWait,
+	})
+	l := NewOwnerLock() // no per-lock policy: inherits WoundWait from sys
+
+	olderStarted := make(chan struct{})
+	youngerHolds := make(chan struct{})
+	var youngerAttempts atomic.Int32
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // older
+		defer wg.Done()
+		err := sys.Atomic(func(tx *stm.Tx) error {
+			if tx.Attempt() == 0 {
+				close(olderStarted)
+				<-youngerHolds
+			}
+			l.Acquire(tx) // must wound the younger holder via the system policy
+			return nil
+		})
+		if err != nil {
+			t.Errorf("older: %v", err)
+		}
+	}()
+	go func() { // younger: grabs the lock, then dawdles toward commit
+		defer wg.Done()
+		<-olderStarted
+		err := sys.Atomic(func(tx *stm.Tx) error {
+			youngerAttempts.Add(1)
+			l.Acquire(tx)
+			if tx.Attempt() == 0 {
+				close(youngerHolds)
+				time.Sleep(50 * time.Millisecond)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Errorf("younger: %v", err)
+		}
+	}()
+	wg.Wait()
+	if youngerAttempts.Load() < 2 {
+		t.Fatalf("younger committed without being wounded (attempts=%d): system policy not consulted", youngerAttempts.Load())
+	}
+	st := sys.Stats()
+	if st.WoundsIssued < 1 {
+		t.Errorf("WoundsIssued = %d, want >= 1", st.WoundsIssued)
+	}
+	if st.AbortsWounded < 1 {
+		t.Errorf("AbortsWounded = %d, want >= 1 (%s)", st.AbortsWounded, st.CauseString())
+	}
+	if st.CommitAge[0]+st.CommitAge[1]+st.CommitAge[2]+st.CommitAge[3] != st.Commits {
+		t.Errorf("commit-age histogram %v does not sum to commits %d", st.CommitAge, st.Commits)
+	}
+}
+
+// TestDetectResolvesABBA: the Detect policy breaks an ABBA deadlock well
+// before the (long) timeout by finding the cycle in the wait-for graph, and
+// the graph drains once the storm is over.
+func TestDetectResolvesABBA(t *testing.T) {
+	det := NewDetect()
+	sys := stm.NewSystem(stm.Config{
+		LockTimeout: 30 * time.Second,
+		Contention:  det,
+	})
+	a := NewOwnerLock()
+	b := NewOwnerLock()
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := sys.Atomic(func(tx *stm.Tx) error {
+				first, second := a, b
+				if i == 1 {
+					first, second = b, a
+				}
+				first.Acquire(tx)
+				time.Sleep(5 * time.Millisecond) // guarantee the overlap
+				second.Acquire(tx)
+				return nil
+			})
+			if err != nil {
+				t.Errorf("tx %d: %v", i, err)
+			}
+		}()
+	}
+	doneCh := make(chan struct{})
+	go func() { wg.Wait(); close(doneCh) }()
+	select {
+	case <-doneCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Detect failed to resolve the deadlock")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("resolution took %v; Detect should not wait out the 30s timeout", elapsed)
+	}
+	st := sys.Stats()
+	if st.DeadlockCycles < 1 {
+		t.Errorf("DeadlockCycles = %d, want >= 1", st.DeadlockCycles)
+	}
+	if st.AbortsDeadlock < 1 {
+		t.Errorf("AbortsDeadlock = %d, want >= 1 (%s)", st.AbortsDeadlock, st.CauseString())
+	}
+	if n := DetectWaiting(det); n != 0 {
+		t.Errorf("wait-for graph holds %d edges at quiescence, want 0", n)
+	}
+}
+
+// TestDetectVictimIsYoungest: when Detect finds a cycle, it dooms the
+// youngest member — the older transaction commits on its first attempt.
+func TestDetectVictimIsYoungest(t *testing.T) {
+	sys := stm.NewSystem(stm.Config{
+		LockTimeout: 30 * time.Second,
+		Contention:  NewDetect(),
+	})
+	a := NewOwnerLock()
+	b := NewOwnerLock()
+
+	olderHoldsA := make(chan struct{})
+	youngerHoldsB := make(chan struct{})
+	var olderAttempts, youngerAttempts atomic.Int32
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // older: starts first, holds a, then wants b
+		defer wg.Done()
+		err := sys.Atomic(func(tx *stm.Tx) error {
+			olderAttempts.Add(1)
+			a.Acquire(tx)
+			if tx.Attempt() == 0 {
+				close(olderHoldsA)
+				<-youngerHoldsB
+			}
+			b.Acquire(tx)
+			return nil
+		})
+		if err != nil {
+			t.Errorf("older: %v", err)
+		}
+	}()
+	go func() { // younger: holds b, then wants a — closes the cycle
+		defer wg.Done()
+		<-olderHoldsA
+		err := sys.Atomic(func(tx *stm.Tx) error {
+			youngerAttempts.Add(1)
+			b.Acquire(tx)
+			if tx.Attempt() == 0 {
+				close(youngerHoldsB)
+			}
+			a.Acquire(tx)
+			return nil
+		})
+		if err != nil {
+			t.Errorf("younger: %v", err)
+		}
+	}()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("cycle never resolved")
+	}
+	if got := olderAttempts.Load(); got != 1 {
+		t.Errorf("older attempts = %d, want 1 (the victim must be the youngest)", got)
+	}
+	if got := youngerAttempts.Load(); got < 2 {
+		t.Errorf("younger attempts = %d, want >= 2 (it should have been the victim)", got)
+	}
+}
+
+// TestDeadlockVictimCauseClassified: a transaction doomed with
+// ErrDeadlockVictim aborts with that cause at its next acquisition, and the
+// stats classify it as a deadlock abort — including on the readers/writer
+// lock, whose failure path used to misreport every failure as a timeout.
+func TestDeadlockVictimCauseClassified(t *testing.T) {
+	sys := stm.NewSystem(stm.Config{LockTimeout: 100 * time.Millisecond})
+	rw := NewRWOwnerLock()
+	blockerDone := make(chan struct{})
+	blockerHolds := make(chan struct{})
+	go func() {
+		_ = sys.Atomic(func(tx *stm.Tx) error {
+			rw.WLock(tx)
+			if tx.Attempt() == 0 {
+				close(blockerHolds)
+				<-blockerDone
+			}
+			return nil
+		})
+	}()
+	<-blockerHolds
+	var sawCause error
+	attempts := 0
+	err := sys.Atomic(func(tx *stm.Tx) error {
+		attempts++
+		if attempts == 1 {
+			tx.DoomWith(ErrDeadlockVictim)
+			tx.OnAbort(func() { sawCause = tx.Cause() })
+			rw.RLock(tx) // writer held: must fall into the failure path
+			t.Error("unreachable: doomed acquisition returned")
+		}
+		return nil
+	})
+	close(blockerDone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(sawCause, ErrDeadlockVictim) {
+		t.Fatalf("abort cause = %v, want ErrDeadlockVictim", sawCause)
+	}
+	if st := sys.Stats(); st.AbortsDeadlock != 1 {
+		t.Fatalf("AbortsDeadlock = %d, want 1 (%s)", st.AbortsDeadlock, st.CauseString())
+	}
+}
+
+// TestStripedRangeContentionPolicies: an ABBA deadlock between two range
+// demands on the striped interval manager is resolved quickly by both
+// WoundWait and Detect via the system-wide policy (no per-lock plumbing),
+// despite a timeout far longer than the test budget.
+func TestStripedRangeContentionPolicies(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		policy ContentionPolicy
+	}{
+		{"wound-wait", WoundWait},
+		{"detect", NewDetect()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sys := stm.NewSystem(stm.Config{
+				LockTimeout: 30 * time.Second,
+				Contention:  tc.policy,
+			})
+			rl := NewStripedRangeLock[int64]()
+			var wg sync.WaitGroup
+			start := time.Now()
+			for i := 0; i < 2; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					err := sys.Atomic(func(tx *stm.Tx) error {
+						lo1, hi1, lo2, hi2 := int64(0), int64(10), int64(1000), int64(1010)
+						if i == 1 {
+							lo1, hi1, lo2, hi2 = lo2, hi2, lo1, hi1
+						}
+						rl.LockRange(tx, lo1, hi1)
+						time.Sleep(5 * time.Millisecond)
+						rl.LockRange(tx, lo2, hi2)
+						return nil
+					})
+					if err != nil {
+						t.Errorf("tx %d: %v", i, err)
+					}
+				}()
+			}
+			done := make(chan struct{})
+			go func() { wg.Wait(); close(done) }()
+			select {
+			case <-done:
+			case <-time.After(10 * time.Second):
+				t.Fatalf("%s failed to resolve the range deadlock", tc.name)
+			}
+			if elapsed := time.Since(start); elapsed > 5*time.Second {
+				t.Fatalf("resolution took %v", elapsed)
+			}
+			if rl.Holdings() != 0 {
+				t.Fatalf("holdings leaked: %d", rl.Holdings())
+			}
+		})
+	}
+}
+
+// TestOldestNeverWounded is the starvation-freedom regression: the oldest
+// live transaction has the globally smallest birth, so under wound-wait no
+// waiter can wound it — it commits on its first attempt even while younger
+// transactions deadlock and wound each other around it.
+func TestOldestNeverWounded(t *testing.T) {
+	sys := stm.NewSystem(stm.Config{
+		LockTimeout: 10 * time.Second,
+		Contention:  WoundWait,
+	})
+	m := NewLockMap[int]()
+	const keys = 4
+
+	oldestStarted := make(chan struct{})
+	stormDone := make(chan struct{})
+	var oldestAttempts atomic.Int32
+	var oldestCause error
+	oldestDone := make(chan struct{})
+	go func() { // the oldest: starts before the storm, crawls across every key
+		defer close(oldestDone)
+		err := sys.Atomic(func(tx *stm.Tx) error {
+			if n := oldestAttempts.Add(1); n == 1 {
+				tx.OnAbort(func() { oldestCause = tx.Cause() })
+			}
+			if tx.Attempt() == 0 {
+				close(oldestStarted)
+			}
+			for k := 0; k < keys; k++ {
+				m.Lock(tx, k)
+				time.Sleep(2 * time.Millisecond) // hold while the storm rages
+			}
+			return nil
+		})
+		if err != nil {
+			t.Errorf("oldest: %v", err)
+		}
+	}()
+	<-oldestStarted
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				_ = sys.Atomic(func(tx *stm.Tx) error {
+					// Adversarial orders: even workers ascend, odd descend.
+					if g%2 == 0 {
+						m.Lock(tx, i%keys)
+						m.Lock(tx, (i+1)%keys)
+					} else {
+						m.Lock(tx, (i+1)%keys)
+						m.Lock(tx, i%keys)
+					}
+					return nil
+				})
+			}
+		}()
+	}
+	go func() { wg.Wait(); close(stormDone) }()
+	select {
+	case <-oldestDone:
+	case <-time.After(20 * time.Second):
+		t.Fatal("oldest transaction starved")
+	}
+	select {
+	case <-stormDone:
+	case <-time.After(20 * time.Second):
+		t.Fatal("storm did not finish")
+	}
+	if got := oldestAttempts.Load(); got != 1 {
+		t.Fatalf("oldest ran %d attempts (abort cause %v), want 1: it must never be wounded",
+			got, oldestCause)
+	}
+}
+
+// TestAdaptiveTimeoutTracksWaits: with AdaptiveTimeout set, observed lock
+// waits shrink the acquisition budget below the configured ceiling, clamped
+// above the floor of ceiling/16.
+func TestAdaptiveTimeoutTracksWaits(t *testing.T) {
+	const ceiling = 800 * time.Millisecond
+	sys := stm.NewSystem(stm.Config{LockTimeout: ceiling, AdaptiveTimeout: true})
+	if got := sys.LockTimeout(); got != ceiling {
+		t.Fatalf("LockTimeout with no observations = %v, want the configured %v", got, ceiling)
+	}
+	l := NewOwnerLock()
+	holderHas := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = sys.Atomic(func(tx *stm.Tx) error {
+			l.Acquire(tx)
+			close(holderHas)
+			<-release
+			return nil
+		})
+	}()
+	<-holderHas
+	time.AfterFunc(4*time.Millisecond, func() { close(release) })
+	if err := sys.Atomic(func(tx *stm.Tx) error {
+		l.Acquire(tx) // blocks ~4ms, feeding the EWMA on grant
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if sys.WaitEWMA() <= 0 {
+		t.Fatal("lock wait was not observed by the EWMA")
+	}
+	got := sys.LockTimeout()
+	if got >= ceiling {
+		t.Errorf("adaptive LockTimeout = %v, want below the %v ceiling", got, ceiling)
+	}
+	if floor := ceiling / 16; got < floor {
+		t.Errorf("adaptive LockTimeout = %v, below the %v floor", got, floor)
+	}
+}

@@ -1,0 +1,154 @@
+package lockmgr
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"sync"
+	"sync/atomic"
+
+	"tboost/internal/stm"
+)
+
+const (
+	cfuzzTxs   = 4 // concurrent transactions per program
+	cfuzzOps   = 4 // lock demands per transaction
+	cfuzzKeys  = 8 // key universe (small => heavy overlap, real cycles)
+	cfuzzSleep = 50 * time.Microsecond
+)
+
+// cfuzzProgram is a deterministic multi-key transaction program decoded from
+// fuzz bytes: each transaction locks a fixed key sequence (duplicates are
+// fine — locks are reentrant) and increments a counter per demand, with the
+// inverse logged for rollback.
+type cfuzzProgram [cfuzzTxs][]int
+
+// decodeProgram derives a program from raw bytes: 4 bytes per transaction,
+// key = byte % keys. The low bit of the byte also decides whether the worker
+// dwells after the demand, which is what lets opposing workers interleave on
+// one CPU.
+func decodeProgram(data []byte) (cfuzzProgram, bool) {
+	var p cfuzzProgram
+	if len(data) < 2 {
+		return p, false
+	}
+	i := 0
+	for w := 0; w < cfuzzTxs; w++ {
+		for j := 0; j < cfuzzOps && i < len(data); j++ {
+			p[w] = append(p[w], int(data[i]))
+			i++
+		}
+	}
+	return p, true
+}
+
+// runProgram executes the program under policy p on a fresh System and
+// LockMap, with unbounded retries, and returns the final counters plus the
+// per-transaction commit counts. A hang (lost wakeup, unresolved deadlock)
+// fails the test via the watchdog.
+func runProgram(t *testing.T, prog cfuzzProgram, p ContentionPolicy) ([cfuzzKeys]int64, [cfuzzTxs]int32) {
+	t.Helper()
+	sys := stm.NewSystem(stm.Config{
+		LockTimeout: 10 * time.Millisecond, // the oracle's only liveness mechanism
+		Contention:  p,
+	})
+	m := NewLockMap[int]()
+	var vals [cfuzzKeys]atomic.Int64
+	var commits [cfuzzTxs]atomic.Int32
+	var wg sync.WaitGroup
+	for w := 0; w < cfuzzTxs; w++ {
+		w := w
+		if len(prog[w]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := sys.Atomic(func(tx *stm.Tx) error {
+				for _, b := range prog[w] {
+					k := b % cfuzzKeys
+					m.Lock(tx, k)
+					vals[k].Add(1)
+					tx.Log(func() { vals[k].Add(-1) })
+					if b&1 == 1 {
+						time.Sleep(cfuzzSleep) // dwell while holding: forms real cycles
+					} else {
+						runtime.Gosched()
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Errorf("policy %s: tx %d failed permanently: %v", p.Name(), w, err)
+				return
+			}
+			commits[w].Add(1)
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("policy %s: program hung (lost wakeup or unresolved deadlock)", p.Name())
+	}
+	var snap [cfuzzKeys]int64
+	for k := range snap {
+		snap[k] = vals[k].Load()
+	}
+	var cs [cfuzzTxs]int32
+	for w := range cs {
+		cs[w] = commits[w].Load()
+	}
+	return snap, cs
+}
+
+// FuzzContentionPolicies runs byte-derived multi-key transaction programs —
+// overlapping key sets, adversarial orders, dwell while holding — under the
+// Timeout oracle, WoundWait, and Detect, and demands identical observable
+// semantics from all three:
+//
+//   - every transaction commits exactly once (liveness: no lost wakeups, no
+//     unresolved deadlock; safety: no transaction is wounded after its commit
+//     point, which would show up as a rolled-back committed effect);
+//   - the final counter state equals the program's computed expectation and
+//     therefore the oracle's — policies may abort *different* transactions
+//     along the way, but committed effects must land exactly once each.
+func FuzzContentionPolicies(f *testing.F) {
+	f.Add([]byte{1, 3, 3, 1, 3, 1, 1, 3})                         // two txs, ABBA with dwell
+	f.Add([]byte{0, 2, 4, 6, 6, 4, 2, 0, 1, 5, 5, 1, 7, 7, 7, 7}) // four txs, reversed chains
+	f.Add([]byte{9, 9, 9, 9, 9, 9, 9, 9})                         // all on one key, reentrant repeats
+	f.Add([]byte{1, 11, 5, 15, 15, 5, 11, 1, 3, 13, 13, 3})       // odd bytes: every op dwells
+	f.Fuzz(func(t *testing.T, data []byte) {
+		prog, ok := decodeProgram(data)
+		if !ok {
+			return
+		}
+		var want [cfuzzKeys]int64
+		for w := range prog {
+			for _, b := range prog[w] {
+				want[b%cfuzzKeys]++
+			}
+		}
+		oracle, oracleCommits := runProgram(t, prog, Timeout)
+		if oracle != want {
+			t.Fatalf("oracle final state %v, program implies %v", oracle, want)
+		}
+		for _, p := range []ContentionPolicy{WoundWait, NewDetect()} {
+			got, commits := runProgram(t, prog, p)
+			if got != oracle {
+				t.Fatalf("policy %s final state %v diverges from oracle %v", p.Name(), got, oracle)
+			}
+			for w := range commits {
+				if len(prog[w]) == 0 {
+					continue
+				}
+				if commits[w] != oracleCommits[w] || commits[w] != 1 {
+					t.Fatalf("policy %s: tx %d committed %d times (oracle %d), want exactly 1",
+						p.Name(), w, commits[w], oracleCommits[w])
+				}
+			}
+		}
+	})
+}

@@ -40,7 +40,7 @@ func SetLegacyMapReads(on bool) { legacyMapReads.Store(on) }
 type LockMap[K comparable] struct {
 	seed    maphash.Seed
 	stripes []lockStripe[K]
-	policy  Policy
+	policy  ContentionPolicy // nil: per-key locks consult the waiter's System
 }
 
 type lockStripe[K comparable] struct {
@@ -55,14 +55,17 @@ func NewLockMap[K comparable]() *LockMap[K] {
 }
 
 // NewLockMapStripes returns a LockMap with n stripes (minimum 1). Stripe
-// count is an engineering knob: the ablation benchmarks sweep it.
+// count is an engineering knob: the ablation benchmarks sweep it. Blocked
+// acquisitions consult the waiting transaction's system-wide contention
+// policy.
 func NewLockMapStripes[K comparable](n int) *LockMap[K] {
-	return NewLockMapPolicy[K](n, TimeoutOnly)
+	return NewLockMapPolicy[K](n, nil)
 }
 
 // NewLockMapPolicy returns a LockMap whose per-key locks use the given
-// deadlock-handling policy.
-func NewLockMapPolicy[K comparable](n int, p Policy) *LockMap[K] {
+// contention policy, overriding the system-wide choice (nil is
+// NewLockMapStripes).
+func NewLockMapPolicy[K comparable](n int, p ContentionPolicy) *LockMap[K] {
 	if n < 1 {
 		n = 1
 	}

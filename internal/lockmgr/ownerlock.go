@@ -38,10 +38,14 @@ func init() {
 }
 
 // abortAcquireFailure aborts tx after a failed timed acquisition, choosing
-// the cause that explains the failure: a wound, the caller's cancelled
-// context, or a plain timeout. It never returns.
+// the cause that explains the failure: the doom's recorded cause (a wound or
+// a deadlock-victim selection — ErrWounded when the doomer left no cause),
+// the caller's cancelled context, or a plain timeout. It never returns.
 func abortAcquireFailure(tx *stm.Tx) {
 	if tx.Doomed() {
+		if cause := tx.Cause(); cause != nil {
+			tx.Abort(cause)
+		}
 		tx.Abort(ErrWounded)
 	}
 	if err := tx.Context().Err(); err != nil {
@@ -51,22 +55,6 @@ func abortAcquireFailure(tx *stm.Tx) {
 	tx.Abort(ErrTimeout)
 }
 
-// Policy selects the deadlock-handling discipline of an abstract lock.
-type Policy int
-
-const (
-	// TimeoutOnly recovers from deadlock by timed acquisition (the
-	// paper's discipline: "timeouts avoid deadlock").
-	TimeoutOnly Policy = iota
-	// WoundWait additionally applies the classic wound-wait rule from the
-	// database literature the paper builds on: an older requester
-	// (smaller Birth) dooms a younger lock holder, which aborts at its
-	// next acquisition or commit; a younger requester waits. Deadlocks
-	// cannot form (the waits-for graph is ordered by age); timeouts
-	// remain as a backstop.
-	WoundWait
-)
-
 // OwnerLock is an exclusive two-phase lock owned by a transaction. The zero
 // value is an unlocked lock ready for use. Acquisition is reentrant per
 // transaction; release happens automatically when the owning transaction
@@ -74,9 +62,9 @@ const (
 type OwnerLock struct {
 	mu     chanMutex
 	owner  *stm.Tx
-	gen    chan struct{} // closed on each release to wake all waiters
-	ownGen chan struct{} // closed on each ownership/registration change (waitOwnedBy)
-	policy Policy
+	gen    chan struct{}    // closed on each release to wake all waiters
+	ownGen chan struct{}    // closed on each ownership/registration change (waitOwnedBy)
+	policy ContentionPolicy // nil: consult the waiter's System (see effectivePolicy)
 }
 
 // chanMutex is a tiny non-blocking-friendly mutex built on a 1-buffered
@@ -95,15 +83,17 @@ func (m *chanMutex) lock() {
 
 func (m *chanMutex) unlock() { <-m.ch }
 
-// NewOwnerLock returns a fresh exclusive abstract lock with the TimeoutOnly
-// policy.
+// NewOwnerLock returns a fresh exclusive abstract lock. Blocked acquisitions
+// consult the contention policy of the waiting transaction's System
+// (stm.Config.Contention; timed acquisition alone when unset).
 func NewOwnerLock() *OwnerLock {
-	return NewOwnerLockPolicy(TimeoutOnly)
+	return NewOwnerLockPolicy(nil)
 }
 
-// NewOwnerLockPolicy returns a fresh exclusive abstract lock with the given
-// deadlock-handling policy.
-func NewOwnerLockPolicy(p Policy) *OwnerLock {
+// NewOwnerLockPolicy returns a fresh exclusive abstract lock with an explicit
+// contention policy that overrides the system-wide choice (pass Timeout,
+// WoundWait, or a NewDetect instance). A nil policy is NewOwnerLock.
+func NewOwnerLockPolicy(p ContentionPolicy) *OwnerLock {
 	return &OwnerLock{mu: chanMutex{ch: make(chan struct{}, 1)}, policy: p}
 }
 
@@ -210,9 +200,15 @@ func (l *OwnerLock) acquireSlow(tx *stm.Tx, timeout time.Duration) bool {
 	var timer *time.Timer
 	var expired <-chan time.Time
 	var doomed <-chan struct{}
+	var waitStart time.Time
+	cp := effectivePolicy(l.policy, tx)
+	conflicted := false
 	defer func() {
 		if timer != nil {
 			timer.Stop()
+		}
+		if conflicted {
+			cp.OnWaitEnd(tx)
 		}
 	}()
 	for {
@@ -224,12 +220,18 @@ func (l *OwnerLock) acquireSlow(tx *stm.Tx, timeout time.Duration) bool {
 			l.owner = tx
 			l.notifyOwnershipLocked()
 			l.mu.unlock()
+			if timer != nil {
+				// Granted after blocking: feed the adaptive-timeout
+				// estimator with how long the wait actually took.
+				tx.System().ObserveWait(time.Since(waitStart))
+			}
 			return true
 		}
-		if l.policy == WoundWait && l.owner.Birth() > tx.Birth() {
-			// Wound the younger holder; it aborts at its next
-			// acquisition or commit and releases this lock.
-			l.owner.Doom()
+		if cp != nil {
+			// The blocking point: l.mu is held, so l.owner is the grant
+			// holder at this instant (it cannot release in between).
+			conflicted = true
+			cp.OnConflict(tx, l.owner)
 		}
 		if l.gen == nil {
 			l.gen = make(chan struct{})
@@ -241,6 +243,7 @@ func (l *OwnerLock) acquireSlow(tx *stm.Tx, timeout time.Duration) bool {
 			timer = time.NewTimer(timeout)
 			expired = timer.C
 			doomed = tx.DoomChan()
+			waitStart = time.Now()
 		}
 		// Failpoint between DoomChan availability and the select: a Delay
 		// here widens the doom/wakeup race window; Timeout forces the
@@ -299,14 +302,20 @@ func (l *OwnerLock) HeldBy(tx *stm.Tx) bool {
 	return held
 }
 
-// ownedByOther reports whether a transaction other than tx owns the lock —
-// the conflict probe of the striped range manager's owner scans. It takes
+// otherOwnerConflict reports whether a transaction other than tx owns the
+// lock — the conflict probe of the striped range manager's owner scans —
+// and, when one does and cp is non-nil, reports the conflict to the
+// contention policy while l.mu still pins the owner (an owner cannot release
+// without this mutex, so the pointer handed to OnConflict is live). It takes
 // the lock's own mutex: together with the seq-cst rmark counter this is what
 // makes the striped point fast path sound (see confirmKey) without the point
 // path ever paying an atomic owner store.
-func (l *OwnerLock) ownedByOther(tx *stm.Tx) bool {
+func (l *OwnerLock) otherOwnerConflict(tx *stm.Tx, cp ContentionPolicy) bool {
 	l.mu.lock()
 	o := l.owner
+	if o != nil && o != tx && cp != nil {
+		cp.OnConflict(tx, o)
+	}
 	l.mu.unlock()
 	return o != nil && o != tx
 }

@@ -14,6 +14,9 @@ import (
 //
 // The paper's boosted heap uses an RWOwnerLock to let commuting add() calls
 // run concurrently in shared mode while removeMin() takes exclusive mode.
+// Blocked acquisitions consult the waiting transaction's system-wide
+// contention policy, reporting every conflicting grant holder (the writer
+// for a read demand; the writer and each other reader for a write demand).
 type RWOwnerLock struct {
 	mu      chanMutex
 	writer  *stm.Tx
@@ -44,9 +47,15 @@ func (l *RWOwnerLock) TryRLock(tx *stm.Tx, timeout time.Duration) bool {
 	var timer *time.Timer
 	var expired <-chan time.Time
 	var doomed <-chan struct{}
+	var waitStart time.Time
+	cp := effectivePolicy(nil, tx)
+	conflicted := false
 	defer func() {
 		if timer != nil {
 			timer.Stop()
+		}
+		if conflicted {
+			cp.OnWaitEnd(tx)
 		}
 	}()
 	for {
@@ -63,7 +72,14 @@ func (l *RWOwnerLock) TryRLock(tx *stm.Tx, timeout time.Duration) bool {
 			l.readers[tx] = struct{}{}
 			l.mu.unlock()
 			tx.RegisterLock(l)
+			if timer != nil {
+				tx.System().ObserveWait(time.Since(waitStart))
+			}
 			return true
+		}
+		if cp != nil {
+			conflicted = true
+			cp.OnConflict(tx, l.writer)
 		}
 		wait := l.waitGen()
 		l.mu.unlock()
@@ -72,6 +88,7 @@ func (l *RWOwnerLock) TryRLock(tx *stm.Tx, timeout time.Duration) bool {
 			timer = time.NewTimer(timeout)
 			expired = timer.C
 			doomed = tx.DoomChan()
+			waitStart = time.Now()
 		}
 		if !l.waitRelease(tx, wait, doomed, expired) {
 			return false
@@ -91,9 +108,15 @@ func (l *RWOwnerLock) TryWLock(tx *stm.Tx, timeout time.Duration) bool {
 	var timer *time.Timer
 	var expired <-chan time.Time
 	var doomed <-chan struct{}
+	var waitStart time.Time
+	cp := effectivePolicy(nil, tx)
+	conflicted := false
 	defer func() {
 		if timer != nil {
 			timer.Stop()
+		}
+		if conflicted {
+			cp.OnWaitEnd(tx)
 		}
 	}()
 	for {
@@ -114,7 +137,21 @@ func (l *RWOwnerLock) TryWLock(tx *stm.Tx, timeout time.Duration) bool {
 			}
 			l.mu.unlock()
 			tx.RegisterLock(l)
+			if timer != nil {
+				tx.System().ObserveWait(time.Since(waitStart))
+			}
 			return true
+		}
+		if cp != nil {
+			conflicted = true
+			if l.writer != nil {
+				cp.OnConflict(tx, l.writer)
+			}
+			for r := range l.readers {
+				if r != tx {
+					cp.OnConflict(tx, r)
+				}
+			}
 		}
 		wait := l.waitGen()
 		l.mu.unlock()
@@ -123,6 +160,7 @@ func (l *RWOwnerLock) TryWLock(tx *stm.Tx, timeout time.Duration) bool {
 			timer = time.NewTimer(timeout)
 			expired = timer.C
 			doomed = tx.DoomChan()
+			waitStart = time.Now()
 		}
 		if !l.waitRelease(tx, wait, doomed, expired) {
 			return false
@@ -160,20 +198,19 @@ func (l *RWOwnerLock) waitGen() chan struct{} {
 }
 
 // RLock acquires shared mode with the system's default timeout, aborting tx
-// on expiry.
+// on failure with the cause that explains it (wound, deadlock-victim doom,
+// cancelled context, or timeout).
 func (l *RWOwnerLock) RLock(tx *stm.Tx) {
 	if !l.TryRLock(tx, tx.System().LockTimeout()) {
-		tx.System().CountLockTimeout()
-		tx.Abort(ErrTimeout)
+		abortAcquireFailure(tx)
 	}
 }
 
 // WLock acquires exclusive mode with the system's default timeout, aborting
-// tx on expiry.
+// tx on failure with the cause that explains it.
 func (l *RWOwnerLock) WLock(tx *stm.Tx) {
 	if !l.TryWLock(tx, tx.System().LockTimeout()) {
-		tx.System().CountLockTimeout()
-		tx.Abort(ErrTimeout)
+		abortAcquireFailure(tx)
 	}
 }
 

@@ -322,20 +322,28 @@ func installStripeKey[K cmp.Ordered](s *rangeStripe[K], k K) *OwnerLock {
 	return l
 }
 
-// conflictsLocked reports whether granting [lo, hi] to tx conflicts with a
+// conflictLocked reports whether granting [lo, hi] to tx conflicts with a
 // granted holding of another transaction registered in this stripe: an
-// overlapping interval, or an owned key lock inside the range. Callers hold
-// s.mu with s.rmark already bumped. Each ownership probe takes the key
-// lock's own mutex, so it serializes against the critical section in which
-// a racing point acquisition stores its ownership: either the probe runs
-// second and observes the owner (conflict detected), or it runs first — and
-// then the point's later rmark load is ordered after our bump through that
-// same mutex handoff, so the point takes the s.mu-locked confirm path and
-// queues behind this decision.
-func (s *rangeStripe[K]) conflictsLocked(tx *stm.Tx, lo, hi K) bool {
+// overlapping interval, or an owned key lock inside the range. When cp is
+// non-nil the first conflict found is also reported to the contention policy
+// (cp.OnConflict), at the one moment the holder is provably live: an
+// interval holder cannot deregister without s.mu (held by the caller), and a
+// key owner is reported inside the key lock's own mutex, which pins it
+// against release and descriptor recycling. Callers hold s.mu with s.rmark
+// already bumped. Each ownership probe takes the key lock's own mutex, so it
+// serializes against the critical section in which a racing point
+// acquisition stores its ownership: either the probe runs second and
+// observes the owner (conflict detected), or it runs first — and then the
+// point's later rmark load is ordered after our bump through that same mutex
+// handoff, so the point takes the s.mu-locked confirm path and queues behind
+// this decision.
+func (s *rangeStripe[K]) conflictLocked(tx *stm.Tx, lo, hi K, cp ContentionPolicy) bool {
 	for i := range s.ivals {
 		e := &s.ivals[i]
 		if e.tx != tx && e.lo <= hi && lo <= e.hi {
+			if cp != nil {
+				cp.OnConflict(tx, e.tx)
+			}
 			return true
 		}
 	}
@@ -350,7 +358,7 @@ func (s *rangeStripe[K]) conflictsLocked(tx *stm.Tx, lo, hi K) bool {
 		}
 	}
 	for ; i < len(es) && es[i].k <= hi; i++ {
-		if es[i].l.ownedByOther(tx) {
+		if es[i].l.otherOwnerConflict(tx, cp) {
 			return true
 		}
 	}
@@ -437,9 +445,15 @@ func (t *StripedRangeLock[K]) confirmKey(tx *stm.Tx, s *rangeStripe[K], l *Owner
 	var timer *time.Timer
 	var expired <-chan time.Time
 	var doomed <-chan struct{}
+	var waitStart time.Time
+	cp := effectivePolicy(nil, tx)
+	conflicted := false
 	defer func() {
 		if timer != nil {
 			timer.Stop()
+		}
+		if conflicted {
+			cp.OnWaitEnd(tx)
 		}
 	}()
 	woke := false
@@ -453,11 +467,19 @@ func (t *StripedRangeLock[K]) confirmKey(tx *stm.Tx, s *rangeStripe[K], l *Owner
 			e := &s.ivals[i]
 			if e.tx != tx && e.lo <= k && k <= e.hi {
 				blocked = true
+				if cp != nil {
+					// e.tx is pinned: deregistering needs s.mu.
+					conflicted = true
+					cp.OnConflict(tx, e.tx)
+				}
 				break
 			}
 		}
 		if !blocked {
 			s.mu.Unlock()
+			if timer != nil {
+				tx.System().ObserveWait(time.Since(waitStart))
+			}
 			return true
 		}
 		if s.gen == nil {
@@ -474,6 +496,7 @@ func (t *StripedRangeLock[K]) confirmKey(tx *stm.Tx, s *rangeStripe[K], l *Owner
 			timer = time.NewTimer(timeout)
 			expired = timer.C
 			doomed = tx.DoomChan()
+			waitStart = time.Now()
 			rangeTimerArms.Add(1)
 		}
 		switch faultpoint.Hit(faultpoint.LockWait) {
@@ -510,9 +533,15 @@ func (t *StripedRangeLock[K]) tryLockSpan(tx *stm.Tx, h *rangeHoldings[K], lo, h
 	var timer *time.Timer
 	var expired <-chan time.Time
 	var doomed <-chan struct{}
+	var waitStart time.Time
+	cp := effectivePolicy(nil, tx)
+	conflicted := false
 	defer func() {
 		if timer != nil {
 			timer.Stop()
+		}
+		if conflicted {
+			cp.OnWaitEnd(tx)
 		}
 	}()
 	woke := false
@@ -527,7 +556,10 @@ func (t *StripedRangeLock[K]) tryLockSpan(tx *stm.Tx, h *rangeHoldings[K], lo, h
 			s.mu.Lock()
 			s.rmark.Add(1)
 			locked++
-			if s.conflictsLocked(tx, lo, hi) {
+			if s.conflictLocked(tx, lo, hi, cp) {
+				if cp != nil {
+					conflicted = true
+				}
 				if s.gen == nil {
 					s.gen = make(chan struct{})
 				}
@@ -553,6 +585,9 @@ func (t *StripedRangeLock[K]) tryLockSpan(tx *stm.Tx, h *rangeHoldings[K], lo, h
 			if escalated {
 				t.escalations.Add(1)
 			}
+			if timer != nil {
+				tx.System().ObserveWait(time.Since(waitStart))
+			}
 			return true
 		}
 		for i := 0; i < locked; i++ {
@@ -567,6 +602,7 @@ func (t *StripedRangeLock[K]) tryLockSpan(tx *stm.Tx, h *rangeHoldings[K], lo, h
 			timer = time.NewTimer(timeout)
 			expired = timer.C
 			doomed = tx.DoomChan()
+			waitStart = time.Now()
 			rangeTimerArms.Add(1)
 		}
 		switch faultpoint.Hit(faultpoint.LockWait) {

@@ -1,0 +1,117 @@
+package lockmgr
+
+import (
+	"sync"
+
+	"tboost/internal/stm"
+)
+
+// maxChase bounds the chain walk of a cycle check. Because each waiter has
+// exactly one outgoing edge the walk needs no visited set; a bound this deep
+// is never reached by real lock chains (it would mean 64 transactions blocked
+// in single file) and guards the walk against pathological graphs built from
+// stale edges.
+const maxChase = 64
+
+// waitEdge records that the transaction with ID waiterID is blocked on the
+// transaction holder (with ID holderID). IDs — not descriptors — are the
+// identities: stm recycles Tx descriptors through a pool, so a *Tx pointer
+// may be reincarnated as an unrelated transaction, while IDs are drawn from
+// a global sequence and never reused. Edges are keyed and followed by ID;
+// the descriptor pointer is retained only to doom the chosen victim, and
+// birth values are captured at edge insertion so victim selection does not
+// read a possibly-recycled descriptor.
+type waitEdge struct {
+	holderID    uint64
+	holder      *stm.Tx
+	holderBirth uint64
+	waiter      *stm.Tx
+	waiterBirth uint64
+}
+
+// waitForGraph is the Detect policy's wait-for graph, maintained at
+// block/unblock edges of the lock managers' wait loops. Each waiter has at
+// most one outgoing edge (a goroutine blocks on one lock at a time; a new
+// conflict round replaces the edge), so the graph is functional and cycle
+// detection on insertion is a single bounded chain walk — no general graph
+// search, no allocation.
+//
+// Soundness (DESIGN.md §9): an edge waiter→holder is inserted while the
+// lock's internal mutex is held, i.e. while holder truly holds a grant that
+// blocks waiter, and removed by OnWaitEnd when the wait ends. The walk
+// follows edges by never-reused transaction ID, so a descriptor recycled
+// into a new transaction cannot splice two unrelated chains: the stale
+// edge's IDs simply no longer match any live waiter and the walk stops.
+// Edges can be stale in one direction only — a wait that ended but whose
+// OnWaitEnd has not yet run — so a detected "cycle" may include a
+// just-released wait; dooming its youngest member is then unnecessary but
+// harmless (the victim retries once, with its birth preserved). A real
+// deadlock, by contrast, is stable: its edges stay in the graph until the
+// cycle-closing insertion finds them, so every true cycle is detected.
+type waitForGraph struct {
+	mu    sync.Mutex
+	edges map[uint64]waitEdge // waiter ID → its single outgoing edge
+}
+
+// observe inserts (or replaces) the edge waiter→holder, then checks whether
+// the edge closed a cycle. If it did, observe returns the youngest member of
+// the cycle (largest birth — the transaction that has invested the least
+// and, under retry-with-preserved-birth, will age into immunity); otherwise
+// nil.
+func (g *waitForGraph) observe(waiter, holder *stm.Tx) *stm.Tx {
+	wid := waiter.ID()
+	e := waitEdge{
+		holderID:    holder.ID(),
+		holder:      holder,
+		holderBirth: holder.Birth(),
+		waiter:      waiter,
+		waiterBirth: waiter.Birth(),
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.edges[wid] = e
+
+	victim := waiter
+	victimBirth := e.waiterBirth
+	cur := e
+	for range maxChase {
+		if cur.holderBirth > victimBirth {
+			victim, victimBirth = cur.holder, cur.holderBirth
+		}
+		if cur.holderID == wid {
+			return victim // the chain returned to the inserting waiter: cycle
+		}
+		next, ok := g.edges[cur.holderID]
+		if !ok {
+			return nil // chain ends at a transaction that is not waiting
+		}
+		cur = next
+	}
+	return nil
+}
+
+// drop removes the waiter's outgoing edge when its wait ends.
+func (g *waitForGraph) drop(waiterID uint64) {
+	g.mu.Lock()
+	delete(g.edges, waiterID)
+	g.mu.Unlock()
+}
+
+// waiting reports how many transactions currently have outgoing edges.
+// For tests: the graph must drain to empty at quiescence (no leaked edges).
+func (g *waitForGraph) waiting() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.edges)
+}
+
+// DetectWaiting reports the number of live wait-for edges inside a policy
+// returned by NewDetect, or -1 if p is not such a policy. The chaos harness
+// uses it as a quiescent-state check: after every transaction has finished,
+// a non-empty graph means a blocking point leaked an edge.
+func DetectWaiting(p ContentionPolicy) int {
+	if d, ok := p.(*detectPolicy); ok {
+		return d.g.waiting()
+	}
+	return -1
+}

@@ -1,0 +1,41 @@
+package stm
+
+// ContentionPolicy decides what happens when a transaction is about to block
+// on an abstract lock held by another transaction. The paper's only policy is
+// the timed acquisition itself ("threads that wait too long for a lock abort
+// themselves", §3.1); it notes "a more sophisticated scheme is possible" —
+// this interface is where such schemes plug in. Implementations live in
+// lockmgr (Timeout, WoundWait, Detect); the interface lives here so that
+// stm.Config can carry a policy without importing lockmgr (which imports stm).
+//
+// Contract, which every lock structure's blocking point honours:
+//
+//   - OnConflict(waiter, holder) is called once per wait round, immediately
+//     before waiter blocks on a lock whose conflicting grant is held by
+//     holder, with the lock's internal mutex held — so holder is the grant
+//     holder at the instant of the call (it cannot release between the check
+//     and the call). Implementations must be brief, must not block, and must
+//     not call back into lock acquisition or release; dooming either
+//     transaction (Tx.Doom / Tx.DoomWith) is the intended side effect.
+//   - OnWaitEnd(waiter) is called exactly once when waiter leaves the
+//     blocking point — granted, timed out, doomed, or cancelled — provided
+//     OnConflict was called at least once during the wait. Policies that
+//     track waiting state (the wait-for graph) clear it here.
+//
+// A holder observed by OnConflict is live at that instant, but it may commit
+// and its descriptor may be recycled immediately after the lock's mutex is
+// released. A policy that dooms a holder it recorded earlier therefore risks
+// dooming an unrelated transaction that reused the descriptor; the runtime
+// tolerates this (a stale doom costs at most one spurious retry, see
+// Tx.recycle), and policies must treat dooming as a heuristic signal, never
+// as a correctness obligation.
+type ContentionPolicy interface {
+	// Name identifies the policy in reports and benchmark output.
+	Name() string
+	// OnConflict is invoked when waiter is about to block on a grant held
+	// by holder. See the contract above.
+	OnConflict(waiter, holder *Tx)
+	// OnWaitEnd is invoked when waiter leaves a blocking point where
+	// OnConflict fired. See the contract above.
+	OnWaitEnd(waiter *Tx)
+}

@@ -26,6 +26,12 @@ const (
 	// KindDoomed: a contention manager asynchronously doomed the
 	// transaction and it discovered the doom at commit.
 	KindDoomed
+	// KindDeadlock: the Detect contention policy chose this transaction as
+	// the victim of a wait-for cycle.
+	KindDeadlock
+
+	// NumAbortKinds is the number of classified kinds, for coverage tests.
+	NumAbortKinds
 )
 
 // String returns the kind's name.
@@ -39,6 +45,8 @@ func (k AbortKind) String() string {
 		return "validation"
 	case KindDoomed:
 		return "doomed"
+	case KindDeadlock:
+		return "deadlock"
 	default:
 		return "other"
 	}

@@ -16,17 +16,29 @@ const (
 	cValidationFailures
 
 	// Aborts broken down by classified cause (see AbortKind). The sum of
-	// these five equals cAborts.
+	// these six equals cAborts.
 	cAbortsLockTimeout
 	cAbortsWounded
 	cAbortsValidation
 	cAbortsDoomed
+	cAbortsDeadlock
 	cAbortsOther
 
 	// Contention-collapse protection.
 	cAdmissionWaits
 	cAdmissionRejects
 	cCollapses
+
+	// Contention-management activity.
+	cWoundsIssued   // older transactions dooming younger holders (wound-wait)
+	cDeadlockCycles // wait-for cycles detected and broken (Detect)
+
+	// Age-at-commit histogram: which attempt finally committed. Under a
+	// starvation-free policy the tail stays thin.
+	cCommitAge0  // committed on the first attempt
+	cCommitAge1  // committed on the second attempt
+	cCommitAge23 // committed on attempt 3 or 4
+	cCommitAge4p // committed on attempt 5 or later
 
 	nCounters
 )
@@ -82,8 +94,24 @@ func (s *Stats) countAbortKind(hint uint64, kind AbortKind) {
 		s.add(hint, cAbortsValidation)
 	case KindDoomed:
 		s.add(hint, cAbortsDoomed)
+	case KindDeadlock:
+		s.add(hint, cAbortsDeadlock)
 	default:
 		s.add(hint, cAbortsOther)
+	}
+}
+
+// countCommitAge buckets the attempt index that finally committed.
+func (s *Stats) countCommitAge(hint uint64, attempt int) {
+	switch {
+	case attempt == 0:
+		s.add(hint, cCommitAge0)
+	case attempt == 1:
+		s.add(hint, cCommitAge1)
+	case attempt <= 3:
+		s.add(hint, cCommitAge23)
+	default:
+		s.add(hint, cCommitAge4p)
 	}
 }
 
@@ -99,10 +127,19 @@ func (s *Stats) snapshot() StatsSnapshot {
 		AbortsWounded:      s.total(cAbortsWounded),
 		AbortsValidation:   s.total(cAbortsValidation),
 		AbortsDoomed:       s.total(cAbortsDoomed),
+		AbortsDeadlock:     s.total(cAbortsDeadlock),
 		AbortsOther:        s.total(cAbortsOther),
 		AdmissionWaits:     s.total(cAdmissionWaits),
 		AdmissionRejects:   s.total(cAdmissionRejects),
 		Collapses:          s.total(cCollapses),
+		WoundsIssued:       s.total(cWoundsIssued),
+		DeadlockCycles:     s.total(cDeadlockCycles),
+		CommitAge: [4]int64{
+			s.total(cCommitAge0),
+			s.total(cCommitAge1),
+			s.total(cCommitAge23),
+			s.total(cCommitAge4p),
+		},
 	}
 }
 
@@ -127,11 +164,26 @@ type StatsSnapshot struct {
 	AbortsWounded     int64
 	AbortsValidation  int64
 	AbortsDoomed      int64
+	AbortsDeadlock    int64
 	AbortsOther       int64
 
 	AdmissionWaits   int64
 	AdmissionRejects int64
 	Collapses        int64
+
+	// WoundsIssued counts older transactions dooming the younger holder
+	// they were about to block on (wound-wait); DeadlockCycles counts
+	// wait-for cycles detected and broken by the Detect policy. Note the
+	// asymmetry with the per-cause abort counters: a wound issued is
+	// recorded by the wounding system immediately, while AbortsWounded is
+	// recorded when the victim discovers the doom — a victim that commits
+	// before noticing never records the abort.
+	WoundsIssued   int64
+	DeadlockCycles int64
+
+	// CommitAge is the age-at-commit histogram: how many transactions
+	// committed on attempt 1, attempt 2, attempts 3-4, and attempt >= 5.
+	CommitAge [4]int64
 }
 
 // AbortRatio returns aborts divided by attempts started, in [0,1].
@@ -155,6 +207,8 @@ func (s StatsSnapshot) AbortsByKind(kind AbortKind) int64 {
 		return s.AbortsValidation
 	case KindDoomed:
 		return s.AbortsDoomed
+	case KindDeadlock:
+		return s.AbortsDeadlock
 	default:
 		return s.AbortsOther
 	}
@@ -173,18 +227,34 @@ func (s StatsSnapshot) Sub(earlier StatsSnapshot) StatsSnapshot {
 		AbortsWounded:      s.AbortsWounded - earlier.AbortsWounded,
 		AbortsValidation:   s.AbortsValidation - earlier.AbortsValidation,
 		AbortsDoomed:       s.AbortsDoomed - earlier.AbortsDoomed,
+		AbortsDeadlock:     s.AbortsDeadlock - earlier.AbortsDeadlock,
 		AbortsOther:        s.AbortsOther - earlier.AbortsOther,
 		AdmissionWaits:     s.AdmissionWaits - earlier.AdmissionWaits,
 		AdmissionRejects:   s.AdmissionRejects - earlier.AdmissionRejects,
 		Collapses:          s.Collapses - earlier.Collapses,
+		WoundsIssued:       s.WoundsIssued - earlier.WoundsIssued,
+		DeadlockCycles:     s.DeadlockCycles - earlier.DeadlockCycles,
+		CommitAge: [4]int64{
+			s.CommitAge[0] - earlier.CommitAge[0],
+			s.CommitAge[1] - earlier.CommitAge[1],
+			s.CommitAge[2] - earlier.CommitAge[2],
+			s.CommitAge[3] - earlier.CommitAge[3],
+		},
 	}
 }
 
 // CauseString formats the per-cause abort breakdown as one compact segment.
+// It names every classified AbortKind; a coverage test holds it to that.
 func (s StatsSnapshot) CauseString() string {
-	return fmt.Sprintf("timeout=%d wounded=%d validation=%d doomed=%d other=%d",
+	return fmt.Sprintf("lock-timeout=%d wounded=%d validation=%d doomed=%d deadlock=%d other=%d",
 		s.AbortsLockTimeout, s.AbortsWounded, s.AbortsValidation,
-		s.AbortsDoomed, s.AbortsOther)
+		s.AbortsDoomed, s.AbortsDeadlock, s.AbortsOther)
+}
+
+// CommitAgeString formats the age-at-commit histogram.
+func (s StatsSnapshot) CommitAgeString() string {
+	return fmt.Sprintf("attempt1=%d attempt2=%d attempt3-4=%d attempt5+=%d",
+		s.CommitAge[0], s.CommitAge[1], s.CommitAge[2], s.CommitAge[3])
 }
 
 // String formats the snapshot as a single human-readable line.
@@ -192,6 +262,9 @@ func (s StatsSnapshot) String() string {
 	line := fmt.Sprintf("starts=%d commits=%d aborts=%d (ratio %.3f, %s) lockTimeouts=%d validationFailures=%d",
 		s.Starts, s.Commits, s.Aborts, s.AbortRatio(), s.CauseString(),
 		s.LockTimeouts, s.ValidationFailures)
+	if s.WoundsIssued > 0 || s.DeadlockCycles > 0 {
+		line += fmt.Sprintf(" wounds=%d cycles=%d", s.WoundsIssued, s.DeadlockCycles)
+	}
 	if s.AdmissionRejects > 0 || s.Collapses > 0 || s.AdmissionWaits > 0 {
 		line += fmt.Sprintf(" admissionWaits=%d admissionRejects=%d collapses=%d",
 			s.AdmissionWaits, s.AdmissionRejects, s.Collapses)

@@ -1,0 +1,123 @@
+package stm
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCauseStringCoversAllKinds pins CauseString to the AbortKind enum: every
+// classified kind must appear by name in the formatted breakdown, and each
+// must be wired to its own counter. Adding a kind without extending
+// CauseString/AbortsByKind fails here, not in a chaos log nobody reads.
+func TestCauseStringCoversAllKinds(t *testing.T) {
+	snap := StatsSnapshot{
+		AbortsLockTimeout: 11,
+		AbortsWounded:     22,
+		AbortsValidation:  33,
+		AbortsDoomed:      44,
+		AbortsDeadlock:    55,
+		AbortsOther:       66,
+	}
+	line := snap.CauseString()
+	seen := make(map[string]bool)
+	for k := AbortKind(0); k < NumAbortKinds; k++ {
+		name := k.String()
+		if name == "" {
+			t.Fatalf("kind %d has an empty name", k)
+		}
+		if seen[name] {
+			t.Fatalf("kind %d reuses the name %q", k, name)
+		}
+		seen[name] = true
+		want := name + "=" + strconv.FormatInt(snap.AbortsByKind(k), 10)
+		if !strings.Contains(line, want) {
+			t.Errorf("CauseString %q is missing %q for kind %v", line, want, k)
+		}
+	}
+	// The six counters were given distinct values; if AbortsByKind collapsed
+	// two kinds onto one field, the set of reported values would shrink.
+	vals := make(map[int64]bool)
+	for k := AbortKind(0); k < NumAbortKinds; k++ {
+		vals[snap.AbortsByKind(k)] = true
+	}
+	if len(vals) != int(NumAbortKinds) {
+		t.Errorf("AbortsByKind maps %d kinds onto %d counters", NumAbortKinds, len(vals))
+	}
+}
+
+// TestCommitAgeHistogram drives transactions to commit at known attempts and
+// checks the buckets; the histogram is what makes the starvation-freedom
+// claim observable (an aged transaction that keeps losing shows up as a fat
+// 5+ bucket).
+func TestCommitAgeHistogram(t *testing.T) {
+	sys := NewSystem(Config{BackoffBase: time.Microsecond})
+	commitAt := func(attempt int) {
+		err := sys.Atomic(func(tx *Tx) error {
+			if tx.Attempt() < attempt {
+				tx.Abort(ErrInjectedValidation)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	commitAt(0)
+	commitAt(0)
+	commitAt(1)
+	commitAt(3)
+	commitAt(5)
+	st := sys.Stats()
+	if want := [4]int64{2, 1, 1, 1}; st.CommitAge != want {
+		t.Fatalf("CommitAge = %v, want %v (%s)", st.CommitAge, want, st.CommitAgeString())
+	}
+	if st.AbortsValidation != 1+3+5 {
+		t.Errorf("AbortsValidation = %d, want 9", st.AbortsValidation)
+	}
+	sum := st.CommitAge[0] + st.CommitAge[1] + st.CommitAge[2] + st.CommitAge[3]
+	if sum != st.Commits {
+		t.Errorf("histogram sums to %d, commits = %d", sum, st.Commits)
+	}
+	for _, name := range []string{"attempt1=2", "attempt2=1", "attempt3-4=1", "attempt5+=1"} {
+		if !strings.Contains(st.CommitAgeString(), name) {
+			t.Errorf("CommitAgeString %q missing %q", st.CommitAgeString(), name)
+		}
+	}
+}
+
+// TestAdaptiveTimeoutClamps exercises the EWMA-driven budget directly:
+// unset => configured value; tiny waits => floor at ceiling/16; huge waits
+// => never above the configured ceiling; feature off => observations ignored.
+func TestAdaptiveTimeoutClamps(t *testing.T) {
+	const ceiling = 1600 * time.Millisecond
+	sys := NewSystem(Config{LockTimeout: ceiling, AdaptiveTimeout: true})
+	if got := sys.LockTimeout(); got != ceiling {
+		t.Fatalf("no observations: LockTimeout = %v, want %v", got, ceiling)
+	}
+	for i := 0; i < 64; i++ {
+		sys.ObserveWait(10 * time.Microsecond)
+	}
+	if got, floor := sys.LockTimeout(), ceiling/16; got != floor {
+		t.Errorf("tiny waits: LockTimeout = %v, want the %v floor", got, floor)
+	}
+	for i := 0; i < 64; i++ {
+		sys.ObserveWait(10 * time.Second)
+	}
+	if got := sys.LockTimeout(); got != ceiling {
+		t.Errorf("huge waits: LockTimeout = %v, want clamped to the %v ceiling", got, ceiling)
+	}
+
+	fixed := NewSystem(Config{LockTimeout: ceiling})
+	fixed.ObserveWait(10 * time.Microsecond)
+	if got := fixed.LockTimeout(); got != ceiling {
+		t.Errorf("AdaptiveTimeout off: LockTimeout = %v, want the configured %v", got, ceiling)
+	}
+	if fixed.WaitEWMA() != 0 {
+		// ObserveWait is a no-op when the feature is off: the lock managers
+		// call it unconditionally on every contended grant, and the off
+		// configuration must not pay the CAS loop.
+		t.Errorf("AdaptiveTimeout off: WaitEWMA = %v, want 0", fixed.WaitEWMA())
+	}
+}

@@ -272,6 +272,20 @@ func (tx *Tx) Doom() {
 	tx.asyncMu.Unlock()
 }
 
+// DoomWith dooms the transaction and records cause as its abort cause, so
+// the retry loop's per-cause stats classify the abort by what actually
+// happened (wounded vs deadlock victim) rather than by where the doom was
+// discovered. Because setCause is first-write-wins, a transaction doomed by
+// several managers keeps the first cause; like Doom, DoomWith is safe to call
+// from any goroutine and safe against recycled descriptors (a stale doom
+// costs at most one spurious retry).
+func (tx *Tx) DoomWith(cause error) {
+	if cause != nil {
+		tx.setCause(cause)
+	}
+	tx.Doom()
+}
+
 // Doomed reports whether some other transaction has requested this one
 // abort. Cooperating packages poll it on each transactional access.
 func (tx *Tx) Doomed() bool { return tx.doomed.Load() }

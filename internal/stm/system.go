@@ -3,6 +3,7 @@ package stm
 import (
 	"context"
 	"math/rand/v2"
+	"sync/atomic"
 	"time"
 )
 
@@ -28,8 +29,26 @@ type Config struct {
 	// LockTimeout is the default timed-acquisition budget lock managers
 	// should use for abstract locks created under this system. Zero
 	// selects 10 milliseconds. (Timeouts are how two-phase locking
-	// recovers from deadlock, per the paper.)
+	// recovers from deadlock, per the paper.) With AdaptiveTimeout set it
+	// becomes the budget's ceiling rather than its value.
 	LockTimeout time.Duration
+
+	// Contention selects the conflict-resolution policy the system's lock
+	// managers consult at every blocking point (lockmgr.Timeout,
+	// lockmgr.WoundWait, lockmgr.NewDetect()...). Nil means plain timed
+	// acquisition — the paper's discipline. Locks constructed with an
+	// explicit per-lock policy override this system-wide choice.
+	Contention ContentionPolicy
+
+	// AdaptiveTimeout tunes the residual timeout backstop to the workload:
+	// the system keeps an exponentially weighted moving average of observed
+	// lock-wait durations and sets the acquisition budget to a small
+	// multiple of it, clamped to [LockTimeout/16, LockTimeout]. Under a
+	// policy that resolves deadlocks itself (WoundWait, Detect) waits are
+	// short and genuine, so a tight backstop converts a rare missed case
+	// into a fast retry instead of a full stall; with no waits observed yet
+	// the budget is simply LockTimeout.
+	AdaptiveTimeout bool
 
 	// MaxConcurrent caps the number of concurrently active transactions
 	// (admission control). Zero means unlimited. When the cap is reached,
@@ -84,6 +103,11 @@ type System struct {
 	cfg   Config
 	stats Stats
 	slots chan struct{} // admission slots; nil when MaxConcurrent == 0
+
+	// ewmaWait is the adaptive-timeout estimator: an EWMA (alpha = 1/8) of
+	// observed lock-wait durations in nanoseconds, updated by ObserveWait
+	// from lock-manager slow paths. Zero means no wait observed yet.
+	ewmaWait atomic.Uint64
 }
 
 // NewSystem returns a System with the given configuration.
@@ -101,8 +125,62 @@ var Default = NewSystem(Config{})
 // Config returns the system's effective configuration.
 func (s *System) Config() Config { return s.cfg }
 
-// LockTimeout returns the system's default abstract-lock acquisition budget.
-func (s *System) LockTimeout() time.Duration { return s.cfg.LockTimeout }
+// LockTimeout returns the system's abstract-lock acquisition budget. Without
+// AdaptiveTimeout it is the configured constant; with it, a small multiple
+// (8x) of the observed-wait EWMA, clamped to [configured/16, configured], so
+// the backstop tracks how long waits actually last on this workload.
+func (s *System) LockTimeout() time.Duration {
+	base := s.cfg.LockTimeout
+	if !s.cfg.AdaptiveTimeout {
+		return base
+	}
+	e := s.ewmaWait.Load()
+	if e == 0 {
+		return base
+	}
+	d := 8 * time.Duration(e)
+	if floor := base / 16; d < floor {
+		d = floor
+	}
+	if d > base {
+		d = base
+	}
+	return d
+}
+
+// Contention returns the system-wide contention policy, or nil when the
+// system uses plain timed acquisition. Lock managers consult it at blocking
+// points unless the individual lock was built with an explicit policy.
+func (s *System) Contention() ContentionPolicy { return s.cfg.Contention }
+
+// ObserveWait feeds one completed lock wait into the adaptive-timeout
+// estimator. Lock managers call it from slow paths only (an acquisition that
+// never blocked observes nothing), so the CAS loop is uncontended in the
+// steady state.
+func (s *System) ObserveWait(d time.Duration) {
+	if !s.cfg.AdaptiveTimeout || d <= 0 {
+		return
+	}
+	for {
+		old := s.ewmaWait.Load()
+		var next uint64
+		if old == 0 {
+			next = uint64(d)
+		} else {
+			next = old - old/8 + uint64(d)/8
+			if next == 0 {
+				next = 1
+			}
+		}
+		if s.ewmaWait.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// WaitEWMA returns the current observed-wait estimate, zero if no wait has
+// been observed (or AdaptiveTimeout is off). For reports and tests.
+func (s *System) WaitEWMA() time.Duration { return time.Duration(s.ewmaWait.Load()) }
 
 // Stats returns a snapshot of the system's counters.
 func (s *System) Stats() StatsSnapshot { return s.stats.snapshot() }
@@ -115,6 +193,15 @@ func (s *System) ResetStats() { s.stats.reset() }
 // a cold path — the caller just slept through its whole lock budget — so it
 // does not bother with a shard hint.
 func (s *System) CountLockTimeout() { s.stats.add(0, cLockTimeouts) }
+
+// CountWound records one wound issued under wound-wait: an older transaction
+// doomed the younger holder it was about to block on. hint spreads the
+// increment across stat shards (pass the wounding transaction's ID).
+func (s *System) CountWound(hint uint64) { s.stats.add(hint, cWoundsIssued) }
+
+// CountDeadlockCycle records one wait-for cycle detected (and broken) by the
+// Detect contention policy.
+func (s *System) CountDeadlockCycle(hint uint64) { s.stats.add(hint, cDeadlockCycles) }
 
 // Atomic executes fn inside a transaction on the default system.
 // See System.Atomic.
@@ -239,6 +326,10 @@ func (s *System) runLoop(ctx context.Context, fn func(tx *Tx) error, tx *Tx) err
 			}
 			if tx.commit() {
 				s.stats.add(id, cCommits)
+				// Age-at-commit histogram: under a starvation-free policy
+				// the tail buckets stay small, because aged transactions
+				// win their conflicts instead of retrying indefinitely.
+				s.stats.countCommitAge(id, attempt)
 				return nil
 			}
 			// Validation failure or doom: rolled back inside commit.
@@ -259,7 +350,7 @@ func (s *System) runLoop(ctx context.Context, fn func(tx *Tx) error, tx *Tx) err
 		// collapse if nobody else is committing either — somebody
 		// winning means the system makes progress and this call merely
 		// needs (escalated) patience.
-		if s.cfg.CollapseAfter > 0 && (kind == KindLockTimeout || kind == KindWounded) {
+		if s.cfg.CollapseAfter > 0 && (kind == KindLockTimeout || kind == KindWounded || kind == KindDeadlock) {
 			conStreak++
 			switch {
 			case conStreak == s.cfg.CollapseAfter:
