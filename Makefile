@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race test-short vet check fuzz-lockmgr fuzz-contention fuzz-contention-race chaos chaos-race bench bench-micro bench-json
+.PHONY: build test test-race test-short vet check fuzz-lockmgr fuzz-contention fuzz-contention-race fuzz-codec chaos chaos-race chaos-crash bench bench-micro bench-json
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,11 @@ fuzz-contention:
 fuzz-contention-race:
 	$(GO) test -race -run NONE -fuzz FuzzContentionPolicies -fuzztime 10s ./internal/lockmgr/
 
+# WAL op/frame codec round-trip with one-byte corruption: a mutated frame
+# must be rejected or decode identically, never to a different op stream.
+fuzz-codec:
+	$(GO) test -run NONE -fuzz FuzzOpCodecRoundTrip -fuzztime 10s ./internal/wal/
+
 # One fault-injection run over the boosted set, heap, and pipeline queue with
 # serializability verdicts. Exits nonzero if any history fails to verify.
 chaos:
@@ -44,6 +49,12 @@ chaos:
 # job runs this.
 chaos-race:
 	$(GO) test -race -count=1 ./internal/chaos/
+
+# Crash matrix: kill the WAL at each named failpoint, recover, and verify
+# the acknowledgment contract against the recorded history. Writes
+# divergence reports to $CRASH_ARTIFACT_DIR on failure.
+chaos-crash:
+	$(GO) test -race -run 'TestCrashMatrix' -count=1 -v ./internal/chaos/
 
 bench:
 	$(GO) test -bench . -benchtime 200ms -benchmem -run NONE ./...

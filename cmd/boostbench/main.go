@@ -11,6 +11,7 @@
 //	boostbench -experiment stripes # ablation: lock-table striping
 //	boostbench -experiment chaos  # fault-injection run with serializability verdicts
 //	boostbench -experiment deadlock # contention-policy sweep on a deadlock-prone mix
+//	boostbench -experiment durability # WAL group-commit sweep: fsyncs/commit vs window
 //	boostbench -experiment all
 //
 // Flags tune the workload; the defaults mirror the paper's methodology
@@ -34,7 +35,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig9|fig10|fig11|aborts|stripes|pipeline|timeout|policy|heapbases|chaos|benchjson|rangemix|deadlock|all")
+		experiment = flag.String("experiment", "all", "fig9|fig10|fig11|aborts|stripes|pipeline|timeout|policy|heapbases|chaos|benchjson|rangemix|deadlock|durability|all")
 		jsonOut    = flag.String("json-out", "", "benchjson/rangemix/deadlock: also write the report to this file (e.g. BENCH_PR2.json)")
 		microOps   = flag.Int("micro-ops", 0, "benchjson/rangemix/deadlock: operations (transactions) per sweep cell (0 = default)")
 		chaosSeed  = flag.Uint64("chaos-seed", 0, "chaos: use a randomized fault schedule with this seed (0 = default schedule)")
@@ -240,6 +241,33 @@ func main() {
 			fmt.Printf("reverse-order overlap mix, GOMAXPROCS=%d, goroutines %v\n\n", runtime.GOMAXPROCS(0), threadCounts)
 			rep := bench.DeadlockSweep(threadCounts, *microOps)
 			bench.PrintDeadlock(os.Stdout, rep)
+			if *jsonOut != "" {
+				f, err := os.Create(*jsonOut)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "boostbench:", err)
+					os.Exit(1)
+				}
+				if err := rep.WriteJSON(f); err == nil {
+					err = f.Close()
+				} else {
+					f.Close()
+				}
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "boostbench:", err)
+					os.Exit(1)
+				}
+				fmt.Printf("\nwrote %s\n", *jsonOut)
+			}
+		},
+		"durability": func() {
+			fmt.Println("=== Durability sweep: WAL off/async/group-commit windows ===")
+			fmt.Printf("disjoint-key write mix, GOMAXPROCS=%d, goroutines %v\n\n", runtime.GOMAXPROCS(0), threadCounts)
+			rep, err := bench.DurabilitySweep(threadCounts, *microOps)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "boostbench:", err)
+				os.Exit(1)
+			}
+			bench.PrintDurability(os.Stdout, rep)
 			if *jsonOut != "" {
 				f, err := os.Create(*jsonOut)
 				if err != nil {

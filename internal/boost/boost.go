@@ -170,6 +170,41 @@ type Object[K comparable] struct {
 	coarse *lockmgr.OwnerLock
 	rw     *lockmgr.RWOwnerLock
 	ranged rangeTable[K]
+
+	// journal, when bound, receives the forward image of every effective
+	// mutation (see Emit). Nil — the default — makes Emit a no-op, so
+	// undurable objects pay one predictable branch.
+	journal Journal[K]
+}
+
+// Journal receives forward operation images from a boosted object. The WAL
+// implements it per object (binding the object's key codec and registered
+// ID); the kernel only routes. Emit is called from inside boosted methods,
+// after the abstract locks for the call are held.
+type Journal[K comparable] interface {
+	Emit(tx *stm.Tx, kind uint8, key K, aux []byte)
+}
+
+// BindJournal attaches j to the object; every subsequent effective mutation
+// that the object's spec reports via Emit flows to j. Binding is a
+// configuration-time action (before the object is shared between
+// goroutines); rebinding or nil-binding mid-flight is not supported.
+func (o *Object[K]) BindJournal(j Journal[K]) { o.journal = j }
+
+// Journaled reports whether a journal is bound.
+func (o *Object[K]) Journaled() bool { return o.journal != nil }
+
+// Emit reports one effective forward mutation to the bound journal, if any.
+// Specs call it exactly where they log the matching inverse: an op enters
+// the redo stream iff its compensation enters the undo log, which keeps the
+// two logs describing the same state delta. kind is an opcode in the
+// object's namespace; aux carries any payload beyond the key (e.g. a map
+// value), and may be retained only until Emit returns.
+func (o *Object[K]) Emit(tx *stm.Tx, kind uint8, key K, aux []byte) {
+	if o.journal == nil {
+		return
+	}
+	o.journal.Emit(tx, kind, key, aux)
 }
 
 // NewKeyed returns an engine with one abstract lock per key.

@@ -1,0 +1,542 @@
+package chaos
+
+// Crash-chaos: kill the durability engine at its worst moments and demand
+// that recovery honors the acknowledgment contract. The harness drives two
+// durable boosted sets through a concurrent workload while a faultpoint
+// Crash freezes the WAL at a named site (mid-batch torn write, pre-fsync
+// loss, post-fsync-pre-ack, mid-checkpoint, mid-truncate), then audits the
+// surviving directory and a full recovery against what the workload actually
+// observed:
+//
+//	ack    — every transaction whose Atomic call returned nil (acknowledged
+//	         durable) survives: it is covered by the authoritative
+//	         checkpoint or present in the surviving records;
+//	phantom— every surviving record belongs to a transaction that committed
+//	         in memory, and its ops are exactly that transaction's effective
+//	         forward calls (no partial transactions, no inventions);
+//	state  — the durable transaction subset is strictly serializable against
+//	         the sequential spec, and replaying exactly that subset
+//	         reproduces the recovered base state key for key.
+//
+// Transactions that committed in memory but were never acknowledged
+// (ErrNotDurable) may appear whole or not at all — both are legal; partial
+// appearance is not.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"tboost/internal/core"
+	"tboost/internal/faultpoint"
+	"tboost/internal/histories"
+	"tboost/internal/stm"
+	"tboost/internal/wal"
+)
+
+// CrashSites lists the five kill points the crash matrix covers.
+func CrashSites() []string {
+	return []string{
+		faultpoint.WalMidBatch,
+		faultpoint.WalPreFsync,
+		faultpoint.WalPostFsync,
+		faultpoint.WalMidCheckpoint,
+		faultpoint.WalMidTruncate,
+	}
+}
+
+// CrashConfig sizes one crash-chaos run.
+type CrashConfig struct {
+	Site        string        // faultpoint to kill at (required)
+	Dir         string        // WAL directory (required; caller owns cleanup)
+	Goroutines  int           // concurrent workers in the crash phase (default 4)
+	TxPerG      int           // transactions per worker per phase (default 50)
+	OpsPerTx    int           // calls per transaction (default 3)
+	KeyRange    int           // keys per set (default 16)
+	Seed        uint64        // workload RNG seed (default 1)
+	GroupWindow time.Duration // WAL group-commit window (default 2ms, to form batches)
+	ArtifactDir string        // where to drop a divergence report (default $CRASH_ARTIFACT_DIR)
+}
+
+func (c CrashConfig) withDefaults() CrashConfig {
+	if c.Goroutines <= 0 {
+		c.Goroutines = 4
+	}
+	if c.TxPerG <= 0 {
+		c.TxPerG = 50
+	}
+	if c.OpsPerTx <= 0 {
+		c.OpsPerTx = 3
+	}
+	if c.KeyRange <= 0 {
+		c.KeyRange = 16
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.GroupWindow <= 0 {
+		c.GroupWindow = 2 * time.Millisecond
+	}
+	if c.ArtifactDir == "" {
+		c.ArtifactDir = os.Getenv("CRASH_ARTIFACT_DIR")
+	}
+	return c
+}
+
+// CrashReport is the outcome of one crash-chaos run.
+type CrashReport struct {
+	Site         string
+	Crashed      bool   // the faultpoint actually fired
+	Acked        int    // transactions acknowledged durable
+	Unacked      int    // committed in memory, never acknowledged
+	Records      int    // records surviving in the directory
+	Stale        int    // records skipped as checkpoint-covered
+	Checkpoint   uint64 // authoritative checkpoint's covered-LSN bound (0 = none)
+	TornRecovery bool   // recovery truncated a torn tail
+	Err          error  // nil iff every check passed
+}
+
+func (r CrashReport) String() string {
+	verdict := "recovered consistent"
+	if r.Err != nil {
+		verdict = r.Err.Error()
+	}
+	return fmt.Sprintf("%-22s crashed=%-5v acked=%-4d unacked=%-3d records=%-4d stale=%-3d ckpt=%-4d torn=%-5v %s",
+		r.Site, r.Crashed, r.Acked, r.Unacked, r.Records, r.Stale, r.Checkpoint, r.TornRecovery, verdict)
+}
+
+// fwdOp is the harness's own record of one effective forward call, kept to
+// cross-examine the log's records.
+type fwdOp struct {
+	obj  string
+	kind uint8
+	key  int64
+}
+
+// txLedger tracks, per committed transaction, what the workload knows the
+// log should know.
+type txLedger struct {
+	mu      sync.Mutex
+	eff     map[uint64][]fwdOp // effective ops of memory-committed txs
+	acked   map[uint64]bool
+	unacked map[uint64]bool // committed in memory, barrier failed
+}
+
+func newLedger() *txLedger {
+	return &txLedger{eff: map[uint64][]fwdOp{}, acked: map[uint64]bool{}, unacked: map[uint64]bool{}}
+}
+
+func (t *txLedger) committed(id uint64, ops []fwdOp) {
+	t.mu.Lock()
+	t.eff[id] = ops
+	t.mu.Unlock()
+}
+
+func (t *txLedger) ack(id uint64, durable bool) {
+	t.mu.Lock()
+	if durable {
+		t.acked[id] = true
+	} else {
+		t.unacked[id] = true
+	}
+	t.mu.Unlock()
+}
+
+// snapshotCommitted returns the IDs committed in memory so far — taken at
+// quiescent points to mark what a checkpoint covers.
+func (t *txLedger) snapshotCommitted() map[uint64]bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[uint64]bool, len(t.eff))
+	for id := range t.eff {
+		out[id] = true
+	}
+	return out
+}
+
+// ckAttempt remembers a Checkpoint call: the covered-LSN bound it returned
+// (0 if it crashed before reporting) and which transactions were committed
+// when it started. The run is quiescent around every checkpoint, so the
+// snapshot is exact.
+type ckAttempt struct {
+	lsn     uint64
+	covered map[uint64]bool
+}
+
+// RunCrash executes one crash-chaos run: build state, checkpoint, crash at
+// cfg.Site, then audit the directory and a full recovery.
+func RunCrash(cfg CrashConfig) CrashReport {
+	cfg = cfg.withDefaults()
+	rep := CrashReport{Site: cfg.Site}
+	if cfg.Dir == "" {
+		rep.Err = errors.New("crash: CrashConfig.Dir is required")
+		return rep
+	}
+	Disarm()
+	defer Disarm()
+
+	opts := wal.Options{
+		Mode:         wal.Group,
+		GroupWindow:  cfg.GroupWindow,
+		SegmentBytes: 512, // rotate often so checkpoints have segments to prune
+		Dir:          cfg.Dir,
+	}
+	log, err := wal.Open(opts)
+	if err != nil {
+		rep.Err = err
+		return rep
+	}
+	alpha := core.NewHashSetOf[int64]()
+	beta := core.NewHashSetOf[int64]()
+	if err := core.BindSet(log, "alpha", wal.Int64Codec, alpha); err != nil {
+		rep.Err = err
+		return rep
+	}
+	if err := core.BindSet(log, "beta", wal.Int64Codec, beta); err != nil {
+		rep.Err = err
+		return rep
+	}
+	if _, err := log.Recover(); err != nil {
+		rep.Err = err
+		return rep
+	}
+	sys := stm.NewSystem(stm.Config{
+		Durability:  log,
+		LockTimeout: 25 * time.Millisecond,
+		MaxRetries:  50,
+	})
+	sets := map[string]*core.Set[int64]{"alpha": alpha, "beta": beta}
+
+	rec := histories.NewRecorder()
+	led := newLedger()
+	var attempts []ckAttempt
+
+	checkpoint := func() error {
+		covered := led.snapshotCommitted()
+		lsn, err := log.Checkpoint()
+		attempts = append(attempts, ckAttempt{lsn: lsn, covered: covered})
+		return err
+	}
+
+	// Phase A: base state, no faults, then a clean checkpoint — so every
+	// run exercises checkpoint-load + record-replay recovery, not just
+	// record replay.
+	if err := runCrashWorkers(cfg, 0, sys, sets, rec, led); err != nil {
+		rep.Err = fmt.Errorf("crash: phase A: %w", err)
+		return rep
+	}
+	if sys.ActiveTx() != 0 {
+		rep.Err = errors.New("crash: phase A not quiescent")
+		return rep
+	}
+	if err := checkpoint(); err != nil {
+		rep.Err = fmt.Errorf("crash: phase A checkpoint: %w", err)
+		return rep
+	}
+
+	// Phase B: more traffic on top of the checkpoint.
+	if err := runCrashWorkers(cfg, 1, sys, sets, rec, led); err != nil {
+		rep.Err = fmt.Errorf("crash: phase B: %w", err)
+		return rep
+	}
+
+	// Phase C: the kill. Checkpoint sites crash inside an explicit
+	// Checkpoint call at a quiescent point; writer sites crash under
+	// concurrent load.
+	switch cfg.Site {
+	case faultpoint.WalMidCheckpoint, faultpoint.WalMidTruncate:
+		faultpoint.Enable(cfg.Site, faultpoint.Trigger{Effect: faultpoint.Crash, OneShot: true})
+		err := checkpoint()
+		faultpoint.Disable(cfg.Site)
+		if !errors.Is(err, wal.ErrCrashed) {
+			rep.Err = fmt.Errorf("crash: checkpoint at %s returned %v, want ErrCrashed", cfg.Site, err)
+			return rep
+		}
+	default:
+		// EveryN lets a few batches through before the kill so the crash
+		// lands mid-workload, not on the first record.
+		faultpoint.Enable(cfg.Site, faultpoint.Trigger{Effect: faultpoint.Crash, OneShot: true, EveryN: 3})
+		err := runCrashWorkers(cfg, 2, sys, sets, rec, led)
+		faultpoint.Disable(cfg.Site)
+		if err != nil {
+			rep.Err = fmt.Errorf("crash: phase C: %w", err)
+			return rep
+		}
+	}
+	rep.Crashed = log.Crashed()
+	if !rep.Crashed {
+		rep.Err = fmt.Errorf("crash: site %s never fired", cfg.Site)
+		return rep
+	}
+	log.Close()
+
+	led.mu.Lock()
+	rep.Acked, rep.Unacked = len(led.acked), len(led.unacked)
+	led.mu.Unlock()
+
+	verifyCrash(cfg, &rep, rec.History(), led, attempts)
+	if rep.Err != nil {
+		writeCrashArtifact(cfg, rep, led)
+	}
+	return rep
+}
+
+// runCrashWorkers drives one phase of the workload. Phase 0 is sequential
+// (deterministic base state); later phases run cfg.Goroutines workers.
+// Workers stop quietly once the log has crashed (ErrNotDurable).
+func runCrashWorkers(cfg CrashConfig, phase int, sys *stm.System, sets map[string]*core.Set[int64], rec *histories.Recorder, led *txLedger) error {
+	workers := cfg.Goroutines
+	if phase == 0 {
+		workers = 1
+	}
+	names := []string{"alpha", "beta"}
+	giveUp := errors.New("crash: deliberate user abort")
+	var fatal errOnce
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := rand.New(rand.NewPCG(cfg.Seed+uint64(phase)*97, uint64(g)))
+			for i := 0; i < cfg.TxPerG; i++ {
+				fail := phase > 0 && r.IntN(6) == 0
+				type callPlan struct {
+					op   int
+					name string
+					key  int64
+				}
+				plan := make([]callPlan, cfg.OpsPerTx)
+				for j := range plan {
+					plan[j] = callPlan{
+						op:   r.IntN(3),
+						name: names[r.IntN(2)],
+						key:  int64(r.IntN(cfg.KeyRange)),
+					}
+				}
+				var id uint64
+				err := sys.Atomic(func(tx *stm.Tx) error {
+					id = tx.ID()
+					var eff []fwdOp
+					for _, p := range plan {
+						set := sets[p.name]
+						switch p.op {
+						case 0:
+							ok := set.Add(tx, p.key)
+							rec.RecordCall(id, p.name, "add", []int64{p.key}, histories.Resp{OK: ok})
+							if ok {
+								eff = append(eff, fwdOp{p.name, core.RedoAdd, p.key})
+							}
+						case 1:
+							ok := set.Remove(tx, p.key)
+							rec.RecordCall(id, p.name, "remove", []int64{p.key}, histories.Resp{OK: ok})
+							if ok {
+								eff = append(eff, fwdOp{p.name, core.RedoRemove, p.key})
+							}
+						default:
+							ok := set.Contains(tx, p.key)
+							rec.RecordCall(id, p.name, "contains", []int64{p.key}, histories.Resp{OK: ok})
+						}
+					}
+					if fail {
+						return giveUp
+					}
+					tx.AtCommit(func() {
+						rec.Commit(id)
+						led.committed(id, eff)
+					})
+					return nil
+				})
+				switch {
+				case err == nil:
+					led.ack(id, true)
+				case errors.Is(err, stm.ErrNotDurable):
+					led.ack(id, false)
+					return // the log is dead; nothing more to do
+				case errors.Is(err, giveUp):
+				case shedable(err):
+				default:
+					fatal.set(fmt.Errorf("worker %d: %w", g, err))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return fatal.get()
+}
+
+// verifyCrash audits the post-crash directory and a full recovery.
+func verifyCrash(cfg CrashConfig, rep *CrashReport, hist histories.History, led *txLedger, attempts []ckAttempt) {
+	dump, err := wal.DumpDir(cfg.Dir)
+	if err != nil {
+		rep.Err = fmt.Errorf("crash: dump: %w", err)
+		return
+	}
+	rep.Records = len(dump.Records)
+	rep.Stale = dump.Stale
+
+	// Which checkpoint is authoritative, and which transactions does it
+	// cover? Match the surviving checkpoint's LSN bound to the attempt that
+	// produced it (a mid-truncate crash publishes the checkpoint even
+	// though the call reported ErrCrashed).
+	ckCovered := map[uint64]bool{}
+	if dump.Checkpoint != nil {
+		rep.Checkpoint = dump.Checkpoint.NextLSN
+		found := false
+		for _, a := range attempts {
+			if a.lsn == dump.Checkpoint.NextLSN {
+				ckCovered = a.covered
+				found = true
+			}
+		}
+		if !found {
+			// The crashed attempt (lsn reported as 0) must be the publisher.
+			last := attempts[len(attempts)-1]
+			if last.lsn != 0 {
+				rep.Err = fmt.Errorf("crash: surviving checkpoint LSN %d matches no attempt", dump.Checkpoint.NextLSN)
+				return
+			}
+			ckCovered = last.covered
+		}
+	}
+
+	led.mu.Lock()
+	defer led.mu.Unlock()
+
+	// Phantom check: every surviving record is a whole memory-committed
+	// transaction, op for op.
+	names := []string{"alpha", "beta"}
+	dumpTx := map[uint64]bool{}
+	for _, r := range dump.Records {
+		if dumpTx[r.TxID] {
+			rep.Err = fmt.Errorf("crash: tx %d appears in two records", r.TxID)
+			return
+		}
+		dumpTx[r.TxID] = true
+		eff, ok := led.eff[r.TxID]
+		if !ok {
+			rep.Err = fmt.Errorf("crash: phantom record for tx %d (never committed in memory)", r.TxID)
+			return
+		}
+		if len(r.Ops) != len(eff) {
+			rep.Err = fmt.Errorf("crash: tx %d record has %d ops, workload performed %d (partial tx?)", r.TxID, len(r.Ops), len(eff))
+			return
+		}
+		for i, op := range r.Ops {
+			if int(op.Obj) >= len(names) {
+				rep.Err = fmt.Errorf("crash: tx %d op %d names unknown object %d", r.TxID, i, op.Obj)
+				return
+			}
+			key, n, derr := wal.Int64Codec.Decode(op.Data)
+			if derr != nil || n != len(op.Data) {
+				rep.Err = fmt.Errorf("crash: tx %d op %d key undecodable: %v", r.TxID, i, derr)
+				return
+			}
+			want := eff[i]
+			if names[op.Obj] != want.obj || op.Kind != want.kind || key != want.key {
+				rep.Err = fmt.Errorf("crash: tx %d op %d is %s/%d/%d, workload performed %s/%d/%d",
+					r.TxID, i, names[op.Obj], op.Kind, key, want.obj, want.kind, want.key)
+				return
+			}
+		}
+	}
+
+	// Ack check: everything acknowledged durable must survive — via the
+	// checkpoint or via a record. (The converse is free: unacked durable
+	// transactions are allowed, that is exactly the post-fsync-pre-ack
+	// case.) Acked transactions with no effective forward ops never reach
+	// the log; they have nothing to lose.
+	for id := range led.acked {
+		if len(led.eff[id]) == 0 {
+			continue
+		}
+		if !ckCovered[id] && !dumpTx[id] {
+			rep.Err = fmt.Errorf("crash: ACKED tx %d lost (not in checkpoint coverage or records)", id)
+			return
+		}
+	}
+
+	// State check: recover for real, then demand (a) the durable subset of
+	// the recorded history is strictly serializable and (b) replaying
+	// exactly that subset reproduces the recovered base state.
+	log2, err := wal.Open(wal.Options{Mode: wal.Group, Dir: cfg.Dir})
+	if err != nil {
+		rep.Err = err
+		return
+	}
+	defer log2.Close()
+	alpha2 := core.NewHashSetOf[int64]()
+	beta2 := core.NewHashSetOf[int64]()
+	if err := core.BindSet(log2, "alpha", wal.Int64Codec, alpha2); err != nil {
+		rep.Err = err
+		return
+	}
+	if err := core.BindSet(log2, "beta", wal.Int64Codec, beta2); err != nil {
+		rep.Err = err
+		return
+	}
+	res, err := log2.Recover()
+	if err != nil {
+		rep.Err = fmt.Errorf("crash: recovery failed: %w", err)
+		return
+	}
+	rep.TornRecovery = res.TornBytes > 0
+
+	durable := func(id uint64) bool { return ckCovered[id] || dumpTx[id] }
+	var filtered histories.History
+	for _, e := range hist {
+		if durable(e.Tx) {
+			filtered = append(filtered, e)
+		}
+	}
+	specs := map[string]histories.Spec{"alpha": histories.SetSpec{}, "beta": histories.SetSpec{}}
+	finals, err := histories.FinalStates(filtered, specs)
+	if err != nil {
+		rep.Err = fmt.Errorf("crash: durable subset not serializable: %w", err)
+		return
+	}
+	recovered := map[string]*core.Set[int64]{"alpha": alpha2, "beta": beta2}
+	for _, name := range names {
+		for k := int64(0); k < int64(cfg.KeyRange); k++ {
+			want, _, _ := finals[name].Apply("contains", []int64{k})
+			if got := recovered[name].Base().Contains(k); got != want.OK {
+				rep.Err = fmt.Errorf("crash: recovered %s diverges at key %d: base=%v, durable history=%v",
+					name, k, got, want.OK)
+				return
+			}
+		}
+	}
+}
+
+// writeCrashArtifact drops a human-readable divergence report for CI to
+// upload. Best-effort: artifact failures never mask the verdict.
+func writeCrashArtifact(cfg CrashConfig, rep CrashReport, led *txLedger) {
+	if cfg.ArtifactDir == "" {
+		return
+	}
+	if err := os.MkdirAll(cfg.ArtifactDir, 0o755); err != nil {
+		return
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "site: %s\nverdict: %v\n%s\n\n", cfg.Site, rep.Err, rep.String())
+	dump, err := wal.DumpDir(cfg.Dir)
+	if err == nil {
+		if dump.Checkpoint != nil {
+			fmt.Fprintf(&b, "checkpoint nextLSN=%d sections=%d\n", dump.Checkpoint.NextLSN, len(dump.Checkpoint.Sections))
+		}
+		for _, r := range dump.Records {
+			fmt.Fprintf(&b, "record lsn=%d tx=%d ops=%d\n", r.LSN, r.TxID, len(r.Ops))
+		}
+	}
+	led.mu.Lock()
+	fmt.Fprintf(&b, "\nacked=%d unacked=%d committedInMem=%d\n", len(led.acked), len(led.unacked), len(led.eff))
+	led.mu.Unlock()
+	name := "crash-" + strings.ReplaceAll(cfg.Site, "/", "-") + ".txt"
+	os.WriteFile(filepath.Join(cfg.ArtifactDir, name), []byte(b.String()), 0o644)
+}

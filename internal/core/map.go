@@ -21,6 +21,10 @@ type BaseMap[K comparable, V any] interface {
 type Map[K comparable, V any] struct {
 	base BaseMap[K, V]
 	obj  *boost.Object[K]
+
+	// encVal serializes a value for the redo journal; set by BindMap. Nil
+	// (the default) keeps the map undurable and Put emission free.
+	encVal func(V) []byte
 }
 
 // NewMap boosts a linearizable base map.
@@ -39,6 +43,9 @@ func (m *Map[K, V]) Put(tx *stm.Tx, key K, val V) (V, bool) {
 	} else {
 		m.obj.Record(tx, boost.Op[K]{Inverse: func() { m.base.Delete(key) }})
 	}
+	if m.encVal != nil {
+		m.obj.Emit(tx, RedoAdd, key, m.encVal(val))
+	}
 	return old, existed
 }
 
@@ -49,6 +56,7 @@ func (m *Map[K, V]) Delete(tx *stm.Tx, key K) (V, bool) {
 	old, existed := m.base.Delete(key)
 	if existed {
 		m.obj.Record(tx, boost.Op[K]{Inverse: func() { m.base.Put(key, old) }})
+		m.obj.Emit(tx, RedoRemove, key, nil)
 	}
 	return old, existed
 }

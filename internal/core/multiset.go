@@ -30,6 +30,7 @@ func (m *Multiset[K]) Add(tx *stm.Tx, key K) int {
 		Key:     key,
 		Inverse: func() { m.base.RemoveOne(key) },
 	})
+	m.obj.Emit(tx, RedoAdd, key, nil)
 	return m.base.Add(key)
 }
 
@@ -41,6 +42,7 @@ func (m *Multiset[K]) RemoveOne(tx *stm.Tx, key K) bool {
 		return false
 	}
 	m.obj.Record(tx, boost.Op[K]{Inverse: func() { m.base.Add(key) }})
+	m.obj.Emit(tx, RedoRemove, key, nil)
 	return true
 }
 

@@ -75,6 +75,7 @@ func (s *Set[K]) Add(tx *stm.Tx, key K) bool {
 		return false
 	}
 	s.obj.Record(tx, boost.Op[K]{Inverse: func() { s.base.Remove(key) }})
+	s.obj.Emit(tx, RedoAdd, key, nil)
 	return true
 }
 
@@ -86,6 +87,7 @@ func (s *Set[K]) Remove(tx *stm.Tx, key K) bool {
 		return false
 	}
 	s.obj.Record(tx, boost.Op[K]{Inverse: func() { s.base.Add(key) }})
+	s.obj.Emit(tx, RedoRemove, key, nil)
 	return true
 }
 

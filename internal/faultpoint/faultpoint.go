@@ -46,6 +46,12 @@ const (
 	Timeout
 	// FailValidation: behave as if pre-commit validation failed.
 	FailValidation
+	// Crash: simulate a process kill at this site. The WAL interprets it by
+	// freezing the log writer exactly where it stands — bytes already
+	// written stay written, nothing later is, and no waiter is ever
+	// acknowledged — so a recovery pass over the surviving files can be
+	// checked against what was acknowledged before the "kill".
+	Crash
 )
 
 // String returns the effect name.
@@ -61,6 +67,8 @@ func (e Effect) String() string {
 		return "timeout"
 	case FailValidation:
 		return "fail-validation"
+	case Crash:
+		return "crash"
 	default:
 		return fmt.Sprintf("effect(%d)", int(e))
 	}
@@ -98,6 +106,27 @@ const (
 	// RWWriteBack is hit after validation succeeds, before the rwstm
 	// commit protocol writes shadow copies back.
 	RWWriteBack = "rwstm/write-back"
+	// WalMidBatch is hit between record writes of one WAL batch. Crash here
+	// leaves a torn batch: a prefix of the batch's records fully written,
+	// then half of the next record's bytes.
+	WalMidBatch = "wal/mid-batch"
+	// WalPreFsync is hit after a batch's records are written, before the
+	// fsync that makes them durable. Crash here loses the whole batch (the
+	// file is rewound to the batch's start), modelling unsynced page-cache
+	// loss.
+	WalPreFsync = "wal/pre-fsync"
+	// WalPostFsync is hit after the fsync succeeds, before waiting
+	// committers are acknowledged. Crash here yields durable-but-unacked
+	// transactions, the case recovery is allowed to resurrect.
+	WalPostFsync = "wal/post-fsync-pre-ack"
+	// WalMidCheckpoint is hit between object sections while a checkpoint is
+	// being written. Crash here abandons the half-written checkpoint, which
+	// recovery must ignore in favour of the previous one (or none).
+	WalMidCheckpoint = "wal/mid-checkpoint"
+	// WalMidTruncate is hit between segment deletions while old WAL
+	// segments are pruned after a checkpoint. Crash here leaves stale
+	// segments whose records recovery must skip by LSN.
+	WalMidTruncate = "wal/mid-truncate"
 )
 
 // Sites returns every canonical site name, sorted.
@@ -106,6 +135,8 @@ func Sites() []string {
 		StmPreCommit, StmValidate, StmMidRollback, StmBetweenUndo,
 		StmPostAbort, LockRegistered, LockWait, SemAcquire,
 		RWValidate, RWWriteBack,
+		WalMidBatch, WalPreFsync, WalPostFsync, WalMidCheckpoint,
+		WalMidTruncate,
 	}
 }
 

@@ -72,6 +72,24 @@ func (m *MultiSet[K]) Count(key K) int {
 	return st.counts[key]
 }
 
+// Range calls fn for each distinct key with its occurrence count until fn
+// returns false. Each stripe is visited under its read lock; the traversal
+// as a whole is not atomic, so callers wanting a consistent snapshot must be
+// quiescent (the checkpoint contract).
+func (m *MultiSet[K]) Range(fn func(key K, count int) bool) {
+	for i := range m.stripes {
+		st := &m.stripes[i]
+		st.mu.RLock()
+		for k, c := range st.counts {
+			if !fn(k, c) {
+				st.mu.RUnlock()
+				return
+			}
+		}
+		st.mu.RUnlock()
+	}
+}
+
 // Len returns the total number of occurrences across all keys.
 func (m *MultiSet[K]) Len() int {
 	n := 0

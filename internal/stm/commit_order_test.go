@@ -1,0 +1,220 @@
+package stm_test
+
+// Ordering pins for the durability path. The WAL's correctness rests on
+// commit-time sequencing guarantees that nothing else in the test suite
+// nails down explicitly:
+//
+//  1. when the DurabilitySink's Commit runs, every Redo op of the
+//     transaction is present, in emission order, and the AtCommit handlers
+//     have already run (the sink sees the final redo stream);
+//  2. the sink runs before lock release and before OnCommit disposables,
+//     and its wait (the durability barrier) completes before the outcome
+//     reaches the caller;
+//  3. an aborting transaction never reaches the sink;
+//  4. a rolled-back nested child contributes nothing to the redo stream;
+//  5. a failing barrier surfaces as ErrNotDurable while the commit stands.
+
+import (
+	"errors"
+	"testing"
+
+	"tboost/internal/stm"
+)
+
+// captureSink records what it is handed and when, and can fail its barrier.
+type captureSink struct {
+	calls   [][]stm.RedoOp
+	txIDs   []uint64
+	seq     *[]string // shared event sequence, appended under the caller's control
+	waitErr error
+}
+
+func (s *captureSink) Commit(txID uint64, ops []stm.RedoOp) func() error {
+	cp := make([]stm.RedoOp, len(ops))
+	for i, op := range ops {
+		cp[i] = stm.RedoOp{Obj: op.Obj, Kind: op.Kind, Data: append([]byte(nil), op.Data...)}
+	}
+	s.calls = append(s.calls, cp)
+	s.txIDs = append(s.txIDs, txID)
+	if s.seq != nil {
+		*s.seq = append(*s.seq, "sink")
+	}
+	return func() error {
+		if s.seq != nil {
+			*s.seq = append(*s.seq, "wait")
+		}
+		return s.waitErr
+	}
+}
+
+func TestSinkSeesAllPriorOpsInOrder(t *testing.T) {
+	var seq []string
+	sink := &captureSink{seq: &seq}
+	sys := stm.NewSystem(stm.Config{Durability: sink})
+
+	err := sys.Atomic(func(tx *stm.Tx) error {
+		tx.Redo(stm.RedoOp{Obj: 1, Kind: 1, Data: []byte{10}})
+		tx.AtCommit(func() {
+			// AtCommit runs at the commit point; an op emitted here (as a
+			// commit-time touch-up would) must still reach the sink.
+			seq = append(seq, "atCommit")
+			tx.Redo(stm.RedoOp{Obj: 1, Kind: 2, Data: []byte{11}})
+		})
+		tx.OnCommit(func() { seq = append(seq, "onCommit") })
+		tx.Redo(stm.RedoOp{Obj: 2, Kind: 1, Data: []byte{12}})
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Atomic: %v", err)
+	}
+	if len(sink.calls) != 1 {
+		t.Fatalf("sink called %d times, want 1", len(sink.calls))
+	}
+	ops := sink.calls[0]
+	if len(ops) != 3 || ops[0].Data[0] != 10 || ops[1].Data[0] != 12 || ops[2].Data[0] != 11 {
+		t.Fatalf("sink saw %+v, want emission order 10,12,11", ops)
+	}
+	want := []string{"atCommit", "sink", "wait", "onCommit"}
+	if len(seq) != len(want) {
+		t.Fatalf("sequence = %v, want %v", seq, want)
+	}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("sequence = %v, want %v", seq, want)
+		}
+	}
+}
+
+func TestSinkRunsBeforeLockRelease(t *testing.T) {
+	// The log's replay-order argument needs conflicting transactions to
+	// enter the sink in serialization order, which holds iff the sink runs
+	// under the transaction's abstract locks. Pin it directly: a lock
+	// registered with the transaction must still be held (unreleased) when
+	// the sink runs.
+	released := false
+	sink := &captureSink{}
+	probe := &orderProbe{sink: sink, released: &released}
+	sys := stm.NewSystem(stm.Config{Durability: probe})
+
+	err := sys.Atomic(func(tx *stm.Tx) error {
+		tx.Redo(stm.RedoOp{Obj: 1, Kind: 1})
+		// Locks release in reverse registration order after the sink call;
+		// model one with the exported registration hook.
+		tx.RegisterLock(markUnlocker{released: &released})
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Atomic: %v", err)
+	}
+	if !probe.sawHeld {
+		t.Fatal("sink ran after lock release")
+	}
+	if !released {
+		t.Fatal("lock never released")
+	}
+}
+
+type markUnlocker struct{ released *bool }
+
+func (m markUnlocker) Unlock(*stm.Tx) { *m.released = true }
+
+type orderProbe struct {
+	sink     *captureSink
+	released *bool
+	sawHeld  bool
+}
+
+func (p *orderProbe) Commit(txID uint64, ops []stm.RedoOp) func() error {
+	p.sawHeld = !*p.released
+	return p.sink.Commit(txID, ops)
+}
+
+func TestAbortNeverReachesSink(t *testing.T) {
+	sink := &captureSink{}
+	sys := stm.NewSystem(stm.Config{Durability: sink})
+	boom := errors.New("boom")
+	if err := sys.Atomic(func(tx *stm.Tx) error {
+		tx.Redo(stm.RedoOp{Obj: 1, Kind: 1})
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(sink.calls) != 0 {
+		t.Fatalf("sink called on abort: %+v", sink.calls)
+	}
+	// The descriptor is recycled; the next transaction must not inherit the
+	// aborted one's redo ops.
+	if err := sys.Atomic(func(tx *stm.Tx) error {
+		tx.Redo(stm.RedoOp{Obj: 2, Kind: 2})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.calls) != 1 || len(sink.calls[0]) != 1 || sink.calls[0][0].Obj != 2 {
+		t.Fatalf("stale redo leaked into next tx: %+v", sink.calls)
+	}
+}
+
+func TestNestedRollbackDropsChildRedo(t *testing.T) {
+	sink := &captureSink{}
+	sys := stm.NewSystem(stm.Config{Durability: sink})
+	childErr := errors.New("child")
+	err := sys.Atomic(func(tx *stm.Tx) error {
+		tx.Redo(stm.RedoOp{Obj: 1, Kind: 1})
+		if err := tx.Nested(func(tx *stm.Tx) error {
+			tx.Redo(stm.RedoOp{Obj: 1, Kind: 2})
+			tx.Redo(stm.RedoOp{Obj: 1, Kind: 3})
+			return childErr
+		}); !errors.Is(err, childErr) {
+			return err
+		}
+		if n := tx.RedoLen(); n != 1 {
+			t.Errorf("RedoLen after child rollback = %d, want 1", n)
+		}
+		tx.Redo(stm.RedoOp{Obj: 1, Kind: 4})
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Atomic: %v", err)
+	}
+	ops := sink.calls[0]
+	if len(ops) != 2 || ops[0].Kind != 1 || ops[1].Kind != 4 {
+		t.Fatalf("sink saw %+v, want kinds 1,4 only", ops)
+	}
+}
+
+func TestFailedBarrierSurfacesErrNotDurable(t *testing.T) {
+	cause := errors.New("disk gone")
+	sink := &captureSink{waitErr: cause}
+	sys := stm.NewSystem(stm.Config{Durability: sink})
+	committed := false
+	err := sys.Atomic(func(tx *stm.Tx) error {
+		tx.Redo(stm.RedoOp{Obj: 1, Kind: 1})
+		tx.OnCommit(func() { committed = true })
+		return nil
+	})
+	if !errors.Is(err, stm.ErrNotDurable) || !errors.Is(err, cause) {
+		t.Fatalf("err = %v, want ErrNotDurable wrapping the cause", err)
+	}
+	if !committed {
+		t.Fatal("OnCommit skipped: the tx DID commit in memory")
+	}
+	if got := sys.Stats().Commits; got != 1 {
+		t.Fatalf("Commits = %d, want 1 (not-durable still commits)", got)
+	}
+	// The failure must not stick to the recycled descriptor.
+	if err := sys.Atomic(func(tx *stm.Tx) error { return nil }); err != nil {
+		t.Fatalf("next tx inherited durability failure: %v", err)
+	}
+}
+
+func TestReadOnlyTxSkipsSink(t *testing.T) {
+	sink := &captureSink{}
+	sys := stm.NewSystem(stm.Config{Durability: sink})
+	if err := sys.Atomic(func(tx *stm.Tx) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.calls) != 0 {
+		t.Fatalf("read-only tx reached the sink: %+v", sink.calls)
+	}
+}

@@ -1,0 +1,78 @@
+package stm
+
+import "errors"
+
+// This file is the runtime's entire durability surface. Boosting's undo log
+// is operation-level, so the stream of committed forward operations is
+// already a logical redo log; the runtime's only jobs are to carry that
+// stream on the transaction descriptor and to hand it to a sink at the
+// right instant. Everything else — encoding, batching, fsync, recovery —
+// lives in internal/wal behind the DurabilitySink interface.
+
+// RedoOp is one serialized logical operation of a transaction's redo
+// stream: the forward image of an effective boosted call. Obj identifies
+// the durable object (assigned when the object registers with the WAL),
+// Kind is an opcode in that object's namespace, and Data is the
+// codec-encoded key plus any payload. The runtime treats all three as
+// opaque.
+type RedoOp struct {
+	Obj  uint32
+	Kind uint8
+	Data []byte
+}
+
+// DurabilitySink receives each committing transaction's redo stream.
+//
+// Commit is called at the transaction's commit point with its abstract
+// locks still held, so conflicting transactions reach the sink in
+// serialization order and the sink's append order is a legal replay order.
+// The sink must capture ops (encode or copy) before returning — the slice
+// and its Data buffers are invalid afterwards.
+//
+// The returned wait function is the durability barrier: the runtime calls
+// it after releasing the transaction's locks and before the outcome is
+// released to the caller, so lock hold times stay short while the
+// acknowledgment still implies durability. A nil wait means the sink needs
+// no barrier (async or disabled modes). A non-nil error from wait marks
+// the transaction as committed in memory but not acknowledged durable;
+// Atomic surfaces it as ErrNotDurable.
+type DurabilitySink interface {
+	Commit(txID uint64, ops []RedoOp) (wait func() error)
+}
+
+// ErrNotDurable is returned by Atomic when the transaction committed in
+// memory — its effects are applied and its locks released — but the
+// durability barrier failed, so the commit was never acknowledged as
+// durable. After a crash and recovery such a transaction may or may not
+// reappear (whole, never partially); callers needing certainty must treat
+// it as unresolved and re-check.
+var ErrNotDurable = errors.New("stm: transaction committed in memory but not acknowledged durable")
+
+// Redo appends one forward operation to the transaction's redo stream. The
+// boosting kernel calls it (via a journal binding) for each effective
+// mutation of a durable object; the stream is handed to the system's
+// DurabilitySink iff the transaction commits, and discarded on abort.
+func (tx *Tx) Redo(op RedoOp) {
+	if tx.parallel.Load() {
+		tx.mu.Lock()
+		tx.redo = append(tx.redo, op)
+		tx.mu.Unlock()
+		return
+	}
+	tx.redo = append(tx.redo, op)
+}
+
+// RedoLen reports how many redo operations are currently recorded. For
+// tests and introspection.
+func (tx *Tx) RedoLen() int {
+	tx.stateLock()
+	defer tx.stateUnlock()
+	return len(tx.redo)
+}
+
+// clearRedo zeroes the redo slice (dropping the Data buffers it pins) and
+// truncates it, keeping capacity for the descriptor's next life.
+func clearRedo(ops []RedoOp) []RedoOp {
+	clear(ops)
+	return ops[:0]
+}

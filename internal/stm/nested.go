@@ -23,7 +23,7 @@ package stm
 // savepoint captures the transaction's log/lock/handler positions at child
 // entry.
 type savepoint struct {
-	undo, locks, atCommit, onCommit, onAbort, onValidate int
+	undo, redo, locks, atCommit, onCommit, onAbort, onValidate int
 }
 
 func (tx *Tx) save() savepoint {
@@ -31,6 +31,7 @@ func (tx *Tx) save() savepoint {
 	defer tx.stateUnlock()
 	return savepoint{
 		undo:       len(tx.undo),
+		redo:       len(tx.redo),
 		locks:      len(tx.locks),
 		atCommit:   len(tx.atCommit),
 		onCommit:   len(tx.onCommit),
@@ -52,6 +53,11 @@ func (tx *Tx) rollbackTo(sp savepoint) {
 	tx.stateLock()
 	childUndo := append([]func(){}, tx.undo[sp.undo:]...)
 	tx.undo = clearTail(tx.undo, sp.undo)
+
+	// The child's forward ops leave the redo stream with it: a rolled-back
+	// child must contribute nothing to the durable log.
+	clear(tx.redo[sp.redo:])
+	tx.redo = tx.redo[:sp.redo]
 
 	childLocks := append([]Unlocker{}, tx.locks[sp.locks:]...)
 	if tx.lockIdx != nil {

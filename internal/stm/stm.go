@@ -167,6 +167,7 @@ type Tx struct {
 
 	mu         sync.Mutex            // guards the state below only after escalation
 	undo       []func()              // inverse operations, applied in reverse on abort
+	redo       []RedoOp              // forward ops for the durability sink (committed txs only)
 	locks      []Unlocker            // two-phase locks, released at commit/abort
 	lockIdx    map[Unlocker]struct{} // non-nil once len(locks) > lockSpill
 	atCommit   []func()              // run at the commit point, before lock release
@@ -181,6 +182,11 @@ type Tx struct {
 	doomCh     chan struct{} // lazily created; closed by Doom (see DoomChan)
 	doomClosed bool
 	abortCause error
+
+	// durErr records a failed durability barrier: the attempt committed in
+	// memory but was never acknowledged durable. Written and read only by
+	// the goroutine driving the attempt (commit runs post-Parallel).
+	durErr error
 }
 
 // abortSignal is the private panic payload used to unwind an aborting
@@ -537,6 +543,7 @@ func (tx *Tx) rollback() {
 		tx.undo[i]()
 	}
 	tx.undo = clearFuncs(tx.undo)
+	tx.redo = clearRedo(tx.redo) // an aborted tx contributes nothing to the log
 	tx.releaseLocks()
 	tx.status.Store(int32(Aborted))
 	faultpoint.Hit(faultpoint.StmPostAbort) // delay window before disposables
@@ -586,7 +593,27 @@ func (tx *Tx) commit() bool {
 	}
 	tx.atCommit = clearFuncs(tx.atCommit)
 	tx.undo = clearFuncs(tx.undo)
+	// Durability: hand the redo stream to the sink while the abstract locks
+	// are still held, so conflicting transactions enter the log in
+	// serialization order. The sink encodes synchronously and returns a
+	// wait; the fsync itself is awaited only after lock release, keeping
+	// hold times independent of disk latency. Because the log is appended
+	// in lock order and fsyncs cover prefixes, a transaction can never be
+	// durable before one it depends on.
+	var wait func() error
+	if sink := tx.system.cfg.Durability; sink != nil && len(tx.redo) > 0 {
+		wait = sink.Commit(tx.id, tx.redo)
+	}
+	tx.redo = clearRedo(tx.redo)
 	tx.releaseLocks()
+	if wait != nil {
+		// Pre-release durability barrier: the outcome is not released to
+		// the caller until the log has fsynced this transaction's record
+		// (or definitively failed to).
+		if err := wait(); err != nil {
+			tx.durErr = err
+		}
+	}
 	for _, f := range tx.onCommit {
 		f()
 	}
@@ -609,6 +636,7 @@ func (tx *Tx) resetAttempt(sys *System, ctx context.Context, id uint64, birth ui
 	tx.ctx = ctx
 	tx.status.Store(int32(Active))
 	tx.parallel.Store(false)
+	tx.durErr = nil
 	if tx.ext != nil {
 		clear(tx.ext)
 	}

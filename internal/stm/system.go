@@ -2,6 +2,7 @@ package stm
 
 import (
 	"context"
+	"fmt"
 	"math/rand/v2"
 	"sync/atomic"
 	"time"
@@ -73,6 +74,13 @@ type Config struct {
 	// instead of spinning forever. Zero disables the detector.
 	CollapseAfter int
 
+	// Durability selects the sink that persists committed transactions'
+	// redo streams (normally a *wal.Log). Nil means durability off: no
+	// redo stream is retained and commits never wait on storage. With a
+	// sink configured, the sink's own mode decides what an acknowledgment
+	// means — see wal.Options (off / async / group commit).
+	Durability DurabilitySink
+
 	// LegacyHotPath disables the single-owner fast path: every attempt
 	// allocates a fresh Tx descriptor (no pooling) that starts escalated,
 	// so all log/lock/handler accessors take tx.mu — the runtime's
@@ -108,6 +116,11 @@ type System struct {
 	// observed lock-wait durations in nanoseconds, updated by ObserveWait
 	// from lock-manager slow paths. Zero means no wait observed yet.
 	ewmaWait atomic.Uint64
+
+	// active counts in-flight Atomic calls, maintained only when a
+	// durability sink is configured (checkpoints need a quiescence check;
+	// the undurable hot path should not pay for one).
+	active atomic.Int64
 }
 
 // NewSystem returns a System with the given configuration.
@@ -187,6 +200,11 @@ func (s *System) Stats() StatsSnapshot { return s.stats.snapshot() }
 
 // ResetStats zeroes the system's counters.
 func (s *System) ResetStats() { s.stats.reset() }
+
+// ActiveTx reports the number of in-flight Atomic calls. Maintained only
+// when the system has a durability sink configured (it exists for the
+// checkpoint quiescence check; with durability off it always reads zero).
+func (s *System) ActiveTx() int64 { return s.active.Load() }
 
 // CountLockTimeout records a timed-out abstract-lock acquisition. Lock
 // managers call it just before aborting the acquiring transaction. This is
@@ -280,6 +298,10 @@ func (s *System) run(ctx context.Context, fn func(tx *Tx) error) error {
 		return err
 	}
 	defer s.releaseSlot()
+	if s.cfg.Durability != nil {
+		s.active.Add(1)
+		defer s.active.Add(-1)
+	}
 
 	if s.cfg.LegacyHotPath {
 		return s.runLoop(ctx, fn, nil)
@@ -330,6 +352,13 @@ func (s *System) runLoop(ctx context.Context, fn func(tx *Tx) error, tx *Tx) err
 				// the tail buckets stay small, because aged transactions
 				// win their conflicts instead of retrying indefinitely.
 				s.stats.countCommitAge(id, attempt)
+				if derr := tx.durErr; derr != nil {
+					// Committed in memory, never acknowledged durable: the
+					// effects are applied and will not be retried, but the
+					// caller must not treat them as surviving a crash.
+					tx.durErr = nil
+					return fmt.Errorf("%w: %w", ErrNotDurable, derr)
+				}
 				return nil
 			}
 			// Validation failure or doom: rolled back inside commit.

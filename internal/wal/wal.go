@@ -1,0 +1,516 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tboost/internal/faultpoint"
+	"tboost/internal/stm"
+)
+
+// Mode selects what a durability acknowledgment means.
+type Mode int
+
+const (
+	// Off: Commit is a no-op. The sink can stay configured (benchmarks
+	// sweep modes through one surface) while costing only the nil-check in
+	// stm's commit path plus an interface call.
+	Off Mode = iota
+	// Async: records are appended and fsynced in the background; Commit
+	// never waits. An acknowledgment means "committed in memory"; a crash
+	// may lose a suffix of acknowledged transactions (whole, never
+	// partial).
+	Async
+	// Group: Commit's wait function blocks until the record's batch is
+	// fsynced — the group-commit barrier. One fsync acknowledges every
+	// committer in the batch.
+	Group
+)
+
+// String returns the lower-case mode name.
+func (m Mode) String() string {
+	switch m {
+	case Off:
+		return "off"
+	case Async:
+		return "async"
+	case Group:
+		return "group"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Options configures a Log.
+type Options struct {
+	// Mode selects the acknowledgment discipline (default Off, which makes
+	// the zero Options explicit-opt-in).
+	Mode Mode
+	// GroupWindow is how long the log writer lingers after a batch's first
+	// record before fsyncing, letting concurrent committers pile on. Zero
+	// means fsync as soon as the writer is free — batching then happens
+	// naturally while the previous fsync is in flight.
+	GroupWindow time.Duration
+	// GroupBytes flushes a batch early once it holds at least this many
+	// bytes, bounding latency under write bursts. Zero selects 1 MiB.
+	GroupBytes int
+	// SegmentBytes rotates to a new segment file once the current one
+	// exceeds this size. Zero selects 4 MiB.
+	SegmentBytes int64
+	// MaxPending bounds the bytes buffered ahead of the writer; appenders
+	// block past it (backpressure — pair with stm.Config.MaxConcurrent so
+	// admission control, not goroutine pileup, absorbs overload). Zero
+	// selects 8 MiB.
+	MaxPending int
+	// Dir is the log directory (segments + checkpoint). Required.
+	Dir string
+}
+
+func (o *Options) fill() {
+	if o.GroupBytes <= 0 {
+		o.GroupBytes = 1 << 20
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.MaxPending <= 0 {
+		o.MaxPending = 8 << 20
+	}
+}
+
+// ErrCrashed is reported by durability waits and subsequent operations after
+// a simulated crash (faultpoint Crash effect) froze the log writer. In the
+// simulation it stands in for "the process died before this transaction was
+// acknowledged".
+var ErrCrashed = errors.New("wal: log crashed (simulated)")
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// Stats is a snapshot of the log's counters, for benchmarks and tests. The
+// group-commit win is Fsyncs/Commits < 1.
+type Stats struct {
+	Commits    uint64 // transactions appended
+	Records    uint64 // records written to segments (== Commits unless crashed)
+	Batches    uint64 // flush batches (== fsync attempts)
+	Fsyncs     uint64 // fsyncs completed
+	DurableLSN uint64 // highest LSN known fsynced
+}
+
+// batch is one group-commit unit: the frames accumulated since the writer
+// last took work, flushed and fsynced together. Waiters (Group-mode
+// committers) block on done.
+type batch struct {
+	buf     []byte
+	recEnds []int // cumulative end offsets of each frame in buf, for torn-write simulation
+	lastLSN uint64
+	done    chan struct{}
+	err     error
+}
+
+// Log is a segmented logical WAL. It implements stm.DurabilitySink. The
+// lifecycle is: Open → register durable objects (Bind / RegisterRaw) →
+// Recover → serve Commit. Checkpoint may be called at any quiescent point
+// afterwards.
+type Log struct {
+	opts Options
+
+	// mu guards the append state: the open batch, LSN assignment, and the
+	// registration table before Recover. Because stm calls Commit with the
+	// transaction's abstract locks held, the order in which conflicting
+	// transactions pass through mu equals their serialization order.
+	mu        sync.Mutex
+	drain     *sync.Cond // signalled when pending bytes shrink
+	flushDone *sync.Cond // signalled after every batch completes (Sync waits here)
+	cur       *batch
+	nextLSN   uint64
+	pending   int // bytes buffered ahead of the writer
+	recovered bool
+	closed    bool
+	crashed   bool
+	ioerr     error // why the log froze: ErrCrashed (simulated) or a real I/O error
+
+	kick chan struct{} // wakes the writer; buffered, lossy
+	wg   sync.WaitGroup
+
+	// Segment state, owned by the writer goroutine after Recover.
+	f           *os.File
+	segSize     int64
+	curSegStart uint64
+	ckptLSN     uint64 // first LSN NOT covered by the loaded/last checkpoint
+	objs        []regEntry
+	objIndex    map[string]uint32
+
+	commits atomic.Uint64
+	records atomic.Uint64
+	batches atomic.Uint64
+	fsyncs  atomic.Uint64
+	durable atomic.Uint64
+}
+
+// Open creates (or reopens) a log rooted at opts.Dir. No recovery happens
+// yet: register every durable object first, then call Recover — replay needs
+// the objects, and object IDs are registration indices, so registration
+// order must be stable across restarts (Recover verifies names).
+func Open(opts Options) (*Log, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("wal: Options.Dir is required")
+	}
+	opts.fill()
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: create dir: %w", err)
+	}
+	l := &Log{
+		opts:     opts,
+		nextLSN:  1,
+		kick:     make(chan struct{}, 1),
+		objIndex: map[string]uint32{},
+	}
+	l.drain = sync.NewCond(&l.mu)
+	l.flushDone = sync.NewCond(&l.mu)
+	return l, nil
+}
+
+// Commit implements stm.DurabilitySink: it encodes the transaction's redo
+// stream as one record in the open batch and returns the mode's barrier.
+// Called with the transaction's abstract locks held (see package comment);
+// the work under l.mu is pure serialization — byte appends — with the fsync
+// deferred to the writer goroutine so lock hold times stay short.
+func (l *Log) Commit(txID uint64, ops []stm.RedoOp) (wait func() error) {
+	if l.opts.Mode == Off {
+		return nil
+	}
+	l.mu.Lock()
+	if !l.recovered || l.closed || l.crashed {
+		err := l.stateErr()
+		l.mu.Unlock()
+		return func() error { return err }
+	}
+	// Backpressure: block while the writer is more than MaxPending bytes
+	// behind. Safe to sleep here even with abstract locks held — the writer
+	// needs no abstract locks to drain, so this cannot deadlock; it only
+	// slows committers, which is the point.
+	for l.pending > l.opts.MaxPending && !l.closed && !l.crashed {
+		l.drain.Wait()
+	}
+	if l.closed || l.crashed {
+		err := l.stateErr()
+		l.mu.Unlock()
+		return func() error { return err }
+	}
+
+	if l.cur == nil {
+		l.cur = &batch{done: make(chan struct{})}
+	}
+	b := l.cur
+	lsn := l.nextLSN
+	l.nextLSN++
+	start := len(b.buf)
+	b.buf = append(b.buf, make([]byte, frameHeader)...)
+	b.buf = appendPayload(b.buf, lsn, txID, redoRaw(ops))
+	frameFinish(b.buf, start)
+	b.recEnds = append(b.recEnds, len(b.buf))
+	b.lastLSN = lsn
+	l.pending += len(b.buf) - start
+	l.commits.Add(1)
+	mode := l.opts.Mode
+	l.mu.Unlock()
+
+	select {
+	case l.kick <- struct{}{}:
+	default:
+	}
+	if mode != Group {
+		return nil
+	}
+	return func() error {
+		<-b.done
+		return b.err
+	}
+}
+
+// redoRaw views []stm.RedoOp as the codec's rawOp slice without copying.
+func redoRaw(ops []stm.RedoOp) []rawOp {
+	raw := make([]rawOp, len(ops))
+	for i, op := range ops {
+		raw[i] = rawOp{data: op.Data, obj: op.Obj, kind: op.Kind}
+	}
+	return raw
+}
+
+func (l *Log) stateErr() error {
+	switch {
+	case l.crashed:
+		return l.ioerr
+	case l.closed:
+		return ErrClosed
+	default:
+		return errors.New("wal: Commit before Recover")
+	}
+}
+
+// Sync blocks until every record appended before the call is fsynced. It is
+// the explicit barrier for Async mode and for checkpoints.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	if l.crashed || l.closed || !l.recovered {
+		err := l.stateErr()
+		l.mu.Unlock()
+		return err
+	}
+	target := l.nextLSN - 1
+	l.mu.Unlock()
+	if target == 0 || l.durable.Load() >= target {
+		return nil
+	}
+	select {
+	case l.kick <- struct{}{}:
+	default:
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.durable.Load() < target && !l.crashed && !l.closed {
+		l.flushDone.Wait()
+	}
+	if l.durable.Load() >= target {
+		return nil
+	}
+	return l.stateErr()
+}
+
+// Close flushes pending records, stops the writer, and closes the segment.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	started := l.recovered
+	l.drain.Broadcast()
+	l.flushDone.Broadcast()
+	l.mu.Unlock()
+	if started {
+		close(l.kick)
+		l.wg.Wait()
+	}
+	if l.f != nil {
+		err := l.f.Close()
+		l.f = nil
+		return err
+	}
+	return nil
+}
+
+// Stats snapshots the counters.
+func (l *Log) Stats() Stats {
+	return Stats{
+		Commits:    l.commits.Load(),
+		Records:    l.records.Load(),
+		Batches:    l.batches.Load(),
+		Fsyncs:     l.fsyncs.Load(),
+		DurableLSN: l.durable.Load(),
+	}
+}
+
+// Crashed reports whether a simulated crash froze the log.
+func (l *Log) Crashed() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.crashed
+}
+
+// writerLoop is the single log writer: it takes the open batch, writes its
+// frames to the segment, fsyncs once, and acknowledges every waiter in the
+// batch. Records appended while an fsync is in flight pile into the next
+// batch — that is the natural group commit; GroupWindow adds deliberate
+// lingering on top.
+func (l *Log) writerLoop() {
+	defer l.wg.Done()
+	for range l.kick {
+		if l.opts.GroupWindow > 0 {
+			time.Sleep(l.opts.GroupWindow)
+		}
+		for {
+			l.mu.Lock()
+			b := l.cur
+			if b == nil || len(b.recEnds) == 0 {
+				l.mu.Unlock()
+				break
+			}
+			// Linger inside the window only until the batch is big enough.
+			l.cur = &batch{done: make(chan struct{})}
+			l.mu.Unlock()
+
+			l.flush(b)
+
+			l.mu.Lock()
+			l.pending -= len(b.buf)
+			l.drain.Broadcast()
+			crashed := l.crashed
+			l.mu.Unlock()
+			if crashed {
+				// Freeze: drain remaining kicks without writing; every
+				// future waiter fails fast in Commit.
+				for range l.kick {
+				}
+				return
+			}
+		}
+	}
+	// Closed: flush whatever is left.
+	l.mu.Lock()
+	b := l.cur
+	l.cur = nil
+	l.mu.Unlock()
+	if b != nil && len(b.recEnds) > 0 && !l.Crashed() {
+		l.flush(b)
+	}
+}
+
+// flush writes one batch to the segment and fsyncs. The three faultpoint
+// sites simulate a process kill at the three interesting instants:
+//
+//	WalMidBatch   — torn write: a prefix of the batch's frames plus half of
+//	                the next frame reach the file; recovery must truncate.
+//	WalPreFsync   — the whole batch written but not synced: the file is
+//	                rewound to the batch start, modelling page-cache loss.
+//	WalPostFsync  — durable but unacknowledged: the records survive, the
+//	                committers never hear back. Recovery may resurrect them.
+//
+// On crash the batch's waiters are failed with ErrCrashed (the ack never
+// happened), and the log freezes.
+func (l *Log) flush(b *batch) {
+	l.batches.Add(1)
+	if err := l.rotateIfNeeded(b); err != nil {
+		l.completeBatch(b, err, 0)
+		return
+	}
+	startOff, _ := l.f.Seek(0, 1) // io.SeekCurrent without the import
+
+	wrote := 0
+	prev := 0
+	for i, end := range b.recEnds {
+		if i > 0 && faultpoint.Hit(faultpoint.WalMidBatch) == faultpoint.Crash {
+			// Torn write: half of the next frame follows the full prefix.
+			torn := b.buf[prev : prev+(end-prev)/2]
+			l.f.Write(torn)
+			l.crash(b)
+			return
+		}
+		if _, err := l.f.Write(b.buf[prev:end]); err != nil {
+			l.completeBatch(b, fmt.Errorf("wal: write: %w", err), 0)
+			return
+		}
+		wrote += end - prev
+		prev = end
+	}
+
+	if faultpoint.Hit(faultpoint.WalPreFsync) == faultpoint.Crash {
+		// Unsynced loss: rewind the file to the batch start, as if the
+		// kernel never wrote these pages back.
+		l.f.Truncate(startOff)
+		l.f.Seek(startOff, 0)
+		l.crash(b)
+		return
+	}
+	if err := l.f.Sync(); err != nil {
+		l.completeBatch(b, fmt.Errorf("wal: fsync: %w", err), 0)
+		return
+	}
+	l.fsyncs.Add(1)
+	l.records.Add(uint64(len(b.recEnds)))
+	l.segSize += int64(wrote)
+	if faultpoint.Hit(faultpoint.WalPostFsync) == faultpoint.Crash {
+		// Durable but unacked: the records stay; the waiters never learn.
+		l.crash(b)
+		return
+	}
+	l.completeBatch(b, nil, b.lastLSN)
+}
+
+// completeBatch settles a batch: on success it advances the durable LSN; on
+// any error — a simulated crash or a real I/O failure — it freezes the log
+// (no further writes, every future committer fails fast) and fails the open
+// next batch too, whose committers would otherwise block on a writer that no
+// longer runs.
+func (l *Log) completeBatch(b *batch, err error, durableLSN uint64) {
+	l.mu.Lock()
+	if durableLSN > 0 {
+		l.durable.Store(durableLSN)
+	}
+	var next *batch
+	if err != nil && !l.crashed {
+		l.crashed = true
+		l.ioerr = err
+		next = l.cur
+		l.cur = nil
+	}
+	l.flushDone.Broadcast()
+	l.drain.Broadcast()
+	l.mu.Unlock()
+	b.err = err
+	close(b.done)
+	if next != nil && next != b {
+		next.err = err
+		close(next.done)
+	}
+}
+
+// crash settles b as killed: the faultpoint path for simulated process
+// death.
+func (l *Log) crash(b *batch) { l.completeBatch(b, ErrCrashed, 0) }
+
+// Segment files: wal-<start LSN, hex>.seg, beginning with a 16-byte header
+// (magic + start LSN). Frames follow back to back.
+const (
+	segMagic  = "TBWALSG1"
+	segHeader = 16
+)
+
+func segName(startLSN uint64) string { return fmt.Sprintf("wal-%016x.seg", startLSN) }
+
+func (l *Log) rotateIfNeeded(b *batch) error {
+	if l.f != nil && l.segSize < l.opts.SegmentBytes {
+		return nil
+	}
+	if l.f != nil {
+		if err := l.f.Close(); err != nil {
+			return err
+		}
+		l.f = nil
+	}
+	firstLSN := b.lastLSN - uint64(len(b.recEnds)) + 1
+	return l.openSegment(firstLSN)
+}
+
+func (l *Log) openSegment(startLSN uint64) error {
+	f, err := os.OpenFile(filepath.Join(l.opts.Dir, segName(startLSN)),
+		os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: open segment: %w", err)
+	}
+	var hdr [segHeader]byte
+	copy(hdr[:], segMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], startLSN)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: segment header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: segment header sync: %w", err)
+	}
+	l.f = f
+	l.segSize = segHeader
+	l.mu.Lock()
+	l.curSegStart = startLSN
+	l.mu.Unlock()
+	return nil
+}

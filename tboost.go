@@ -32,6 +32,7 @@ import (
 
 	"tboost/internal/core"
 	"tboost/internal/stm"
+	"tboost/internal/wal"
 )
 
 // Tx is a transaction descriptor, passed to every transactional method.
@@ -280,3 +281,81 @@ type Pool[T any] = core.Pool[T]
 
 // NewPool returns a pool that calls fresh when its free list is empty.
 func NewPool[T any](fresh func() T) *Pool[T] { return core.NewPool[T](fresh) }
+
+// --- Durability ---
+//
+// Boosting's operation-level undo logs have a redo twin: the committed
+// forward-op stream is a logical write-ahead log. Open a WAL, bind boosted
+// objects to named log sections, call Recover, and point a System at the log
+// via Config.Durability. Committed transactions append their forward ops in
+// serialization order; in Group mode Atomic does not return success until an
+// fsync covers the transaction. See the package example and README
+// "Durability".
+
+// WAL is a segmented logical write-ahead log for boosted objects: group
+// commit, checkpoint/replay recovery, torn-tail detection. It implements
+// the DurabilitySink consumed by Config.Durability.
+type WAL = wal.Log
+
+// WALOptions configures OpenWAL.
+type WALOptions = wal.Options
+
+// WALMode selects the durability contract: WALOff disables writes, WALAsync
+// acks before I/O (data loss window = unflushed tail), WALGroup holds each
+// commit until a group fsync covers it.
+type WALMode = wal.Mode
+
+// WAL durability modes.
+const (
+	WALOff   = wal.Off
+	WALAsync = wal.Async
+	WALGroup = wal.Group
+)
+
+// ErrNotDurable wraps the cause when a transaction committed in memory but
+// its durability barrier failed; the effects stand but are not guaranteed to
+// survive a crash. Check with errors.Is.
+var ErrNotDurable = stm.ErrNotDurable
+
+// OpenWAL opens (or creates) a log in opts.Dir. Bind objects, then call
+// Recover before the first transaction.
+func OpenWAL(opts WALOptions) (*WAL, error) { return wal.Open(opts) }
+
+// Codec serializes keys (or values) for the WAL, generic over the type.
+type Codec[T any] = wal.Codec[T]
+
+// Ready-made codecs for common key types.
+var (
+	Int64Codec  = wal.Int64Codec
+	Uint64Codec = wal.Uint64Codec
+	StringCodec = wal.StringCodec
+)
+
+// CodecFunc builds a Codec from an append function and a decode function —
+// the hook for struct or composite keys.
+func CodecFunc[T any](app func(buf []byte, v T) []byte, dec func(b []byte) (T, int, error)) Codec[T] {
+	return wal.CodecFunc(app, dec)
+}
+
+// BindSet registers a boosted set under name in the log: its committed
+// add/remove ops are journaled forward, and Recover replays them. Bind
+// before Recover; registration order must be stable across restarts.
+func BindSet[K comparable](l *WAL, name string, codec Codec[K], s *SetOf[K]) error {
+	return core.BindSet(l, name, codec, s)
+}
+
+// BindOrderedSet registers a boosted ordered set for durability.
+func BindOrderedSet[K cmp.Ordered](l *WAL, name string, codec Codec[K], o *OrderedSetOf[K]) error {
+	return core.BindOrderedSet(l, name, codec, o)
+}
+
+// BindMap registers a boosted map for durability; values are journaled with
+// their own codec.
+func BindMap[K comparable, V any](l *WAL, name string, kc Codec[K], vc Codec[V], m *MapOf[K, V]) error {
+	return core.BindMap(l, name, kc, vc, m)
+}
+
+// BindMultiset registers a boosted multiset for durability.
+func BindMultiset[K comparable](l *WAL, name string, codec Codec[K], m *MultisetOf[K]) error {
+	return core.BindMultiset(l, name, codec, m)
+}
