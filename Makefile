@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race test-short vet check fuzz-lockmgr fuzz-contention fuzz-contention-race fuzz-codec chaos chaos-race chaos-crash bench bench-micro bench-json
+.PHONY: build test test-race test-short vet check fuzz-lockmgr fuzz-contention fuzz-contention-race fuzz-codec fuzz-lazy chaos chaos-race chaos-crash bench bench-micro bench-json
 
 build:
 	$(GO) build ./...
@@ -22,14 +22,22 @@ vet:
 # checked here every time), and two short fuzz passes: the striped interval
 # table against the single-mutex reference model, and the wound-wait/detect
 # contention policies against the timeout oracle. Go allows one -fuzz pattern
-# per invocation, hence two targets.
-check: build vet test test-race fuzz-lockmgr fuzz-contention
+# per invocation, hence separate targets; fuzz-lazy differentially checks
+# the lazy discipline (deferral + commit-time fusion) against the eager
+# oracle on identical op programs.
+check: build vet test test-race fuzz-lockmgr fuzz-contention fuzz-lazy
 
 fuzz-lockmgr:
 	$(GO) test -run NONE -fuzz FuzzStripedRangeLockEquivalence -fuzztime 10s ./internal/lockmgr/
 
 fuzz-contention:
 	$(GO) test -run NONE -fuzz FuzzContentionPolicies -fuzztime 10s ./internal/lockmgr/
+
+# Lazy-vs-eager equivalence: byte programs over a set, multiset, map, and
+# ordered set (with nested txs and early-flushing range queries) must give
+# bit-identical answers, outcomes, and final states in both disciplines.
+fuzz-lazy:
+	$(GO) test -run NONE -fuzz FuzzLazyEagerEquivalence -fuzztime 10s ./internal/core/
 
 fuzz-contention-race:
 	$(GO) test -race -run NONE -fuzz FuzzContentionPolicies -fuzztime 10s ./internal/lockmgr/

@@ -12,6 +12,7 @@
 //	boostbench -experiment chaos  # fault-injection run with serializability verdicts
 //	boostbench -experiment deadlock # contention-policy sweep on a deadlock-prone mix
 //	boostbench -experiment durability # WAL group-commit sweep: fsyncs/commit vs window
+//	boostbench -experiment fusion # lazy vs eager boosting: commit-time fusion sweep
 //	boostbench -experiment all
 //
 // Flags tune the workload; the defaults mirror the paper's methodology
@@ -35,9 +36,9 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig9|fig10|fig11|aborts|stripes|pipeline|timeout|policy|heapbases|chaos|benchjson|rangemix|deadlock|durability|all")
-		jsonOut    = flag.String("json-out", "", "benchjson/rangemix/deadlock: also write the report to this file (e.g. BENCH_PR2.json)")
-		microOps   = flag.Int("micro-ops", 0, "benchjson/rangemix/deadlock: operations (transactions) per sweep cell (0 = default)")
+		experiment = flag.String("experiment", "all", "fig9|fig10|fig11|aborts|stripes|pipeline|timeout|policy|heapbases|chaos|benchjson|rangemix|deadlock|durability|fusion|all")
+		jsonOut    = flag.String("json-out", "", "benchjson/rangemix/deadlock/fusion: also write the report to this file (e.g. BENCH_PR2.json)")
+		microOps   = flag.Int("micro-ops", 0, "benchjson/rangemix/deadlock/fusion: operations (transactions) per sweep cell (0 = default)")
 		chaosSeed  = flag.Uint64("chaos-seed", 0, "chaos: use a randomized fault schedule with this seed (0 = default schedule)")
 		chaosTx    = flag.Int("chaos-tx", 0, "chaos: transactions per worker (0 = default)")
 		threads    = flag.String("threads", "1,2,4,8,16,32", "comma-separated thread counts")
@@ -241,6 +242,29 @@ func main() {
 			fmt.Printf("reverse-order overlap mix, GOMAXPROCS=%d, goroutines %v\n\n", runtime.GOMAXPROCS(0), threadCounts)
 			rep := bench.DeadlockSweep(threadCounts, *microOps)
 			bench.PrintDeadlock(os.Stdout, rep)
+			if *jsonOut != "" {
+				f, err := os.Create(*jsonOut)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "boostbench:", err)
+					os.Exit(1)
+				}
+				if err := rep.WriteJSON(f); err == nil {
+					err = f.Close()
+				} else {
+					f.Close()
+				}
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "boostbench:", err)
+					os.Exit(1)
+				}
+				fmt.Printf("\nwrote %s\n", *jsonOut)
+			}
+		},
+		"fusion": func() {
+			fmt.Println("=== Lazy vs eager boosting: commit-time fusion sweep ===")
+			fmt.Printf("ABBA + churn mixes, GOMAXPROCS=%d, goroutines %v\n\n", runtime.GOMAXPROCS(0), threadCounts)
+			rep := bench.FusionSweep(threadCounts, *microOps)
+			bench.PrintFusion(os.Stdout, rep)
 			if *jsonOut != "" {
 				f, err := os.Create(*jsonOut)
 				if err != nil {

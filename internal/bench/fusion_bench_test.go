@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"testing"
+
+	"tboost/internal/core"
+	"tboost/internal/stm"
+)
+
+// The uncontended micro-benchmarks behind the fusion sweep's overhead cells,
+// in `go test -bench` form for profiling (-cpuprofile) and A/B runs. Two
+// base objects (skip list: traversal-heavy; hash set: O(1), where fixed
+// deferral machinery dominates) × two disciplines × two API flavours
+// (answering ops pay the lazy shadow read; quiet ops isolate machinery).
+
+func benchUncontendedSet(b *testing.B, set *core.Set[int64], quiet bool) {
+	sys := stm.NewSystem(stm.Config{LockTimeout: fuTimeout})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k1 := microKey(0, i, fuKeys)
+		k2 := k1 + 1
+		_ = sys.Atomic(func(tx *stm.Tx) error {
+			if quiet {
+				set.AddQuiet(tx, k1)
+				set.RemoveQuiet(tx, k2)
+			} else {
+				set.Add(tx, k1)
+				set.Remove(tx, k2)
+			}
+			return nil
+		})
+	}
+}
+
+func skiplistSet(lazy bool) *core.Set[int64] {
+	s, _ := fusionSets(lazy)
+	return s
+}
+
+func BenchmarkUncontendedEager(b *testing.B) { benchUncontendedSet(b, skiplistSet(false), false) }
+func BenchmarkUncontendedLazy(b *testing.B)  { benchUncontendedSet(b, skiplistSet(true), false) }
+func BenchmarkUncontendedQuietEager(b *testing.B) {
+	benchUncontendedSet(b, skiplistSet(false), true)
+}
+func BenchmarkUncontendedQuietLazy(b *testing.B) {
+	benchUncontendedSet(b, skiplistSet(true), true)
+}

@@ -1,0 +1,25 @@
+package bench
+
+import (
+	"testing"
+
+	"tboost/internal/core"
+)
+
+// Hash-base flavours of the uncontended probes (see fusion_bench_test.go).
+
+func hashSet(lazy bool) *core.Set[int64] {
+	if lazy {
+		return core.NewLazyHashSetOf[int64]()
+	}
+	return core.NewHashSetOf[int64]()
+}
+
+func BenchmarkUncontendedHashEager(b *testing.B) { benchUncontendedSet(b, hashSet(false), false) }
+func BenchmarkUncontendedHashLazy(b *testing.B)  { benchUncontendedSet(b, hashSet(true), false) }
+func BenchmarkUncontendedHashQuietEager(b *testing.B) {
+	benchUncontendedSet(b, hashSet(false), true)
+}
+func BenchmarkUncontendedHashQuietLazy(b *testing.B) {
+	benchUncontendedSet(b, hashSet(true), true)
+}

@@ -29,6 +29,8 @@ package boost
 import (
 	"cmp"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"tboost/internal/lockmgr"
 	"tboost/internal/stm"
@@ -170,6 +172,18 @@ type Object[K comparable] struct {
 	coarse *lockmgr.OwnerLock
 	rw     *lockmgr.RWOwnerLock
 	ranged rangeTable[K]
+
+	// lazy selects the deferred execution discipline (see lazy.go): specs
+	// append to a per-tx pending log instead of mutating the base, and the
+	// commit-time drain fuses and applies. Chosen at construction.
+	lazy bool
+	// logPool recycles this object's pending logs across transactions and
+	// retry attempts, so steady-state lazy ops allocate nothing.
+	logPool sync.Pool
+	// lazyLogged / lazyFused are the fusion counters: mutation entries
+	// drained, and entries algebraic elimination removed (see LazyStats).
+	lazyLogged atomic.Uint64
+	lazyFused  atomic.Uint64
 
 	// journal, when bound, receives the forward image of every effective
 	// mutation (see Emit). Nil — the default — makes Emit a no-op, so

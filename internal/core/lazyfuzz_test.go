@@ -1,0 +1,217 @@
+package core
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"tboost/internal/stm"
+)
+
+// FuzzLazyEagerEquivalence interprets fuzz input bytes as a program of
+// transactions over four objects — a set, a multiset, a map, and an ordered
+// set with range queries — and runs the same program twice on separate
+// Systems: once against eager objects, once against their lazy twins. Every
+// op's return value, every transaction's outcome (commit / user abort), and
+// the final object states must match bit-for-bit: fusion and deferral are
+// invisible to sequential semantics.
+//
+// Byte encoding: op = b>>5, k = b&7, v = (b>>3)&3.
+//
+//	0  set.Add(k), or AddQuiet(k) when v==3 (answer-free: no observation)
+//	1  set.Remove(k), or RemoveQuiet(k) when v==3
+//	2  set.Contains(k)
+//	3  multiset: v&1==0 Add(k), else RemoveOne(k)
+//	4  map: v<2 Put(k, b), v==2 Get(k), v==3 Delete(k)
+//	5  ordered: v==0 Add(k), v==1 Remove(k), v==2 CountRange(k,k+4),
+//	   v==3 SumRange(0,7)  — ranges early-flush the lazy pending log
+//	6  end tx: v&1==1 abort (user error), else commit
+//	7  nested: v&1==0 begin child (runs until next 6/7 terminator);
+//	   v&1==1 end child with abort at depth>0, user-abort tx at depth 0
+//
+// Run continuously with:
+//
+//	go test -fuzz FuzzLazyEagerEquivalence ./internal/core
+func FuzzLazyEagerEquivalence(f *testing.F) {
+	f.Add([]byte{0x00, 0x20, 0x00, 0xc0, 0x00, 0x20}) // add/remove/add, commit, add again
+	f.Add([]byte{0x00, 0x01, 0xd0, 0x02})             // cross-key ops ending in user abort
+	f.Add([]byte{0xe0, 0x00, 0x68, 0xe8, 0x01, 0xc0}) // nested child aborts, parent commits
+	f.Add([]byte{0x61, 0x61, 0x69, 0xa0, 0xb0, 0xc0}) // multiset deltas + range queries
+	f.Add([]byte{0x80, 0x98, 0x90, 0x88, 0xc0})       // map put/delete/get churn
+	f.Add([]byte{0x1a, 0x22, 0xc0, 0x42, 0x3a, 0xc0}) // quiet add, answering remove, quiet remove
+	seed := make([]byte, 96)
+	r := rand.New(rand.NewPCG(7, 7))
+	for i := range seed {
+		seed[i] = byte(r.IntN(256))
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, prog []byte) {
+		eager := newEagerWorld()
+		lazy := newLazyWorld()
+		et, eo := runLazyEagerProgram(eager, prog)
+		lt, lo := runLazyEagerProgram(lazy, prog)
+		if len(eo) != len(lo) {
+			t.Fatalf("tx count diverged: eager %d, lazy %d", len(eo), len(lo))
+		}
+		for i := range eo {
+			if eo[i] != lo[i] {
+				t.Fatalf("tx %d outcome diverged: eager commit=%v, lazy commit=%v", i, eo[i], lo[i])
+			}
+		}
+		if len(et) != len(lt) {
+			t.Fatalf("trace length diverged: eager %d, lazy %d", len(et), len(lt))
+		}
+		for i := range et {
+			if et[i] != lt[i] {
+				t.Fatalf("trace[%d] diverged: eager %d, lazy %d", i, et[i], lt[i])
+			}
+		}
+	})
+}
+
+type lazyEagerWorld struct {
+	sys *stm.System
+	set *Set[int64]
+	ms  *Multiset[int64]
+	mp  *Map[int64, int64]
+	os  *OrderedSet[int64]
+}
+
+func newEagerWorld() *lazyEagerWorld {
+	return &lazyEagerWorld{
+		sys: stm.NewSystem(stm.Config{BackoffBase: time.Nanosecond, BackoffCap: time.Nanosecond}),
+		set: NewHashSetOf[int64](),
+		ms:  NewMultiset[int64](),
+		mp:  NewRBTreeMap[int64](),
+		os:  NewOrderedSet(),
+	}
+}
+
+func newLazyWorld() *lazyEagerWorld {
+	return &lazyEagerWorld{
+		sys: stm.NewSystem(stm.Config{BackoffBase: time.Nanosecond, BackoffCap: time.Nanosecond}),
+		set: NewLazyHashSetOf[int64](),
+		ms:  NewLazyMultiset[int64](),
+		mp:  NewLazyRBTreeMap[int64](),
+		os:  NewLazyOrderedSet(),
+	}
+}
+
+var errFuzzUserAbort = errors.New("fuzz: user abort")
+
+type lazyEagerExec struct {
+	prog  []byte
+	pc    int
+	trace []int64
+}
+
+func (e *lazyEagerExec) rec(vals ...int64) { e.trace = append(e.trace, vals...) }
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// runLazyEagerProgram executes the program single-threaded: control flow
+// depends only on the program bytes, never on op results, so both worlds
+// consume the byte stream identically. Each transaction's body resets the
+// program counter and trace to the attempt's start, keeping replays (none are
+// expected without concurrency, but the engine is free to retry) idempotent.
+// The returned trace ends with a full read-back of every object's final
+// state, so final-state divergence fails the same comparison as return-value
+// divergence.
+func runLazyEagerProgram(w *lazyEagerWorld, prog []byte) (trace []int64, outcomes []bool) {
+	e := &lazyEagerExec{prog: prog}
+	for e.pc < len(e.prog) {
+		pcStart, traceStart := e.pc, len(e.trace)
+		err := w.sys.Atomic(func(tx *stm.Tx) error {
+			e.pc, e.trace = pcStart, e.trace[:traceStart]
+			return e.body(tx, w, 0)
+		})
+		outcomes = append(outcomes, err == nil)
+	}
+	stm.MustAtomicOn(w.sys, func(tx *stm.Tx) {
+		for k := int64(0); k < 8; k++ {
+			e.rec(b2i(w.set.Contains(tx, k)))
+			e.rec(int64(w.ms.Count(tx, k)))
+			mv, mok := w.mp.Get(tx, k)
+			e.rec(mv, b2i(mok))
+		}
+		for _, k := range w.os.KeysRange(tx, 0, 7) {
+			e.rec(k)
+		}
+	})
+	return e.trace, outcomes
+}
+
+func (e *lazyEagerExec) body(tx *stm.Tx, w *lazyEagerWorld, depth int) error {
+	for e.pc < len(e.prog) {
+		b := e.prog[e.pc]
+		e.pc++
+		k, v := int64(b&7), (b>>3)&3
+		switch b >> 5 {
+		case 0:
+			if v == 3 {
+				w.set.AddQuiet(tx, k)
+			} else {
+				e.rec(b2i(w.set.Add(tx, k)))
+			}
+		case 1:
+			if v == 3 {
+				w.set.RemoveQuiet(tx, k)
+			} else {
+				e.rec(b2i(w.set.Remove(tx, k)))
+			}
+		case 2:
+			e.rec(b2i(w.set.Contains(tx, k)))
+		case 3:
+			if v&1 == 0 {
+				e.rec(int64(w.ms.Add(tx, k)))
+			} else {
+				e.rec(b2i(w.ms.RemoveOne(tx, k)))
+			}
+		case 4:
+			switch {
+			case v < 2:
+				old, ok := w.mp.Put(tx, k, int64(b))
+				e.rec(old, b2i(ok))
+			case v == 2:
+				val, ok := w.mp.Get(tx, k)
+				e.rec(val, b2i(ok))
+			default:
+				old, ok := w.mp.Delete(tx, k)
+				e.rec(old, b2i(ok))
+			}
+		case 5:
+			switch v {
+			case 0:
+				e.rec(b2i(w.os.Add(tx, k)))
+			case 1:
+				e.rec(b2i(w.os.Remove(tx, k)))
+			case 2:
+				e.rec(int64(w.os.CountRange(tx, k, k+4)))
+			default:
+				e.rec(w.os.SumRange(tx, 0, 7))
+			}
+		case 6:
+			if v&1 == 1 {
+				return errFuzzUserAbort
+			}
+			return nil
+		case 7:
+			if v&1 == 1 {
+				// At depth>0 this aborts the child only; at depth 0 it is a
+				// user abort of the whole transaction.
+				return errFuzzUserAbort
+			}
+			err := tx.Nested(func(tx *stm.Tx) error {
+				return e.body(tx, w, depth+1)
+			})
+			e.rec(b2i(err == nil))
+		}
+	}
+	return nil
+}

@@ -25,6 +25,12 @@ type Map[K comparable, V any] struct {
 	// encVal serializes a value for the redo journal; set by BindMap. Nil
 	// (the default) keeps the map undurable and Put emission free.
 	encVal func(V) []byte
+
+	// lazyEq compares an observed binding against the current one during a
+	// lazy drain's validation. Non-nil iff the map was built lazy:
+	// NewLazyMap constrains V to comparable so the comparison is
+	// well-defined, a bound the eager Map does not need.
+	lazyEq func(obsVal any, obsOK bool, cur V, curOK bool) bool
 }
 
 // NewMap boosts a linearizable base map.
@@ -33,9 +39,15 @@ func NewMap[K comparable, V any](base BaseMap[K, V]) *Map[K, V] {
 }
 
 // Put binds val to key, returning the previous value and whether one
-// existed. Inverse recorded: restore the old binding (or delete the key if
-// it was fresh).
+// existed. Eager: inverse recorded — restore the old binding (or delete the
+// key if it was fresh). Lazy: the put is deferred; fusion keeps only the
+// last binding written per key.
 func (m *Map[K, V]) Put(tx *stm.Tx, key K, val V) (V, bool) {
+	if m.obj.Lazy() {
+		lg, old, existed := m.lazyBinding(tx, key)
+		lg.Append(boost.LazyEntry[K]{Kind: boost.LazyPut, Key: key, Val: val})
+		return old, existed
+	}
 	m.obj.Acquire(tx, boost.Key(key))
 	old, existed := m.base.Put(key, val)
 	if existed {
@@ -50,8 +62,14 @@ func (m *Map[K, V]) Put(tx *stm.Tx, key K, val V) (V, bool) {
 }
 
 // Delete removes key, returning its value and whether it was present.
-// Inverse recorded: re-insert the removed binding.
+// Eager: inverse recorded — re-insert the removed binding. Lazy: deferred;
+// a delete of a key the transaction observed absent fuses away entirely.
 func (m *Map[K, V]) Delete(tx *stm.Tx, key K) (V, bool) {
+	if m.obj.Lazy() {
+		lg, old, existed := m.lazyBinding(tx, key)
+		lg.Append(boost.LazyEntry[K]{Kind: boost.LazyDelete, Key: key})
+		return old, existed
+	}
 	m.obj.Acquire(tx, boost.Key(key))
 	old, existed := m.base.Delete(key)
 	if existed {
@@ -61,21 +79,50 @@ func (m *Map[K, V]) Delete(tx *stm.Tx, key K) (V, bool) {
 	return old, existed
 }
 
-// Get returns the value bound to key. Read-only; no inverse, but the key's
-// abstract lock is held to serialize against concurrent writers of the same
-// key.
+// Get returns the value bound to key. Eager: read-only, no inverse, but the
+// key's abstract lock is held to serialize against concurrent writers of the
+// same key. Lazy: answered from the pending log or an optimistic observation
+// validated at commit.
 func (m *Map[K, V]) Get(tx *stm.Tx, key K) (V, bool) {
+	if m.obj.Lazy() {
+		_, val, ok := m.lazyBinding(tx, key)
+		return val, ok
+	}
 	m.obj.Acquire(tx, boost.Key(key))
 	return m.base.Get(key)
 }
 
 // Update applies fn to the current binding of key and stores the result.
-// The read and write happen under one abstract-lock acquisition, so the
-// read-modify-write is atomic with respect to other transactions.
+// The read and write happen under one abstract-lock acquisition (eager) or
+// against one observation (lazy), so the read-modify-write is atomic with
+// respect to other transactions.
 func (m *Map[K, V]) Update(tx *stm.Tx, key K, fn func(V, bool) V) {
+	if m.obj.Lazy() {
+		old, existed := m.Get(tx, key)
+		m.Put(tx, key, fn(old, existed))
+		return
+	}
 	m.obj.Acquire(tx, boost.Key(key))
 	old, existed := m.base.Get(key)
 	m.Put(tx, key, fn(old, existed))
+}
+
+// lazyBinding returns the transaction's current view of key's binding: the
+// pending log's latest word, or, on first touch, an unlocked base read
+// recorded as the key's observation for commit-time validation.
+func (m *Map[K, V]) lazyBinding(tx *stm.Tx, key K) (*boost.LazyLog[K], V, bool) {
+	lg := m.obj.PendingLog(tx, m)
+	val, ok, known := lg.Binding(key)
+	if !known {
+		cur, exists := m.base.Get(key)
+		lg.ObserveBinding(key, cur, exists)
+		return lg, cur, exists
+	}
+	if !ok {
+		var zero V
+		return lg, zero, false
+	}
+	return lg, val.(V), true
 }
 
 // Base returns the underlying linearizable map for quiescent inspection.

@@ -22,9 +22,16 @@ func NewMultiset[K comparable]() *Multiset[K] {
 }
 
 // Add inserts one occurrence of key and returns the resulting count.
-// Inverse: removeOne(key), unconditionally — Apply takes the whole
+// Eager: inverse removeOne(key), unconditionally — Apply takes the whole
 // descriptor at once because the inverse does not depend on the result.
+// Lazy: a +1 delta joins the pending log; deltas on one key fuse into a
+// single net increment at commit (inc∘inc combine).
 func (m *Multiset[K]) Add(tx *stm.Tx, key K) int {
+	if m.obj.Lazy() {
+		lg, count := m.lazyCount(tx, key)
+		lg.Append(boost.LazyEntry[K]{Kind: boost.LazyInc, Key: key, N: 1})
+		return count + 1
+	}
 	m.obj.Apply(tx, boost.Op[K]{
 		Demand:  boost.DemandKey,
 		Key:     key,
@@ -35,8 +42,18 @@ func (m *Multiset[K]) Add(tx *stm.Tx, key K) int {
 }
 
 // RemoveOne deletes one occurrence of key, reporting whether one existed.
-// Inverse: add(key) when an occurrence was removed; noop otherwise.
+// Eager: inverse add(key) when an occurrence was removed; noop otherwise.
+// Lazy: a -1 delta, logged only when the transaction's view of the count is
+// positive.
 func (m *Multiset[K]) RemoveOne(tx *stm.Tx, key K) bool {
+	if m.obj.Lazy() {
+		lg, count := m.lazyCount(tx, key)
+		if count <= 0 {
+			return false
+		}
+		lg.Append(boost.LazyEntry[K]{Kind: boost.LazyInc, Key: key, N: -1})
+		return true
+	}
 	m.obj.Acquire(tx, boost.Key(key))
 	if !m.base.RemoveOne(key) {
 		return false
@@ -46,12 +63,29 @@ func (m *Multiset[K]) RemoveOne(tx *stm.Tx, key K) bool {
 	return true
 }
 
-// Count returns the number of occurrences of key. Read-only; the key's
-// abstract lock still serializes it against concurrent mutators of the
-// same key.
+// Count returns the number of occurrences of key. Eager: read-only, but the
+// key's abstract lock still serializes it against concurrent mutators of
+// the same key. Lazy: observed count plus the pending delta.
 func (m *Multiset[K]) Count(tx *stm.Tx, key K) int {
+	if m.obj.Lazy() {
+		_, count := m.lazyCount(tx, key)
+		return count
+	}
 	m.obj.Acquire(tx, boost.Key(key))
 	return m.base.Count(key)
+}
+
+// lazyCount returns the transaction's current view of key's occurrence
+// count: the observed base count (recorded on first touch, validated at
+// commit) plus the pending delta.
+func (m *Multiset[K]) lazyCount(tx *stm.Tx, key K) (*boost.LazyLog[K], int) {
+	lg := m.obj.PendingLog(tx, m)
+	obs, delta, known := lg.CountDelta(key)
+	if !known {
+		obs = int64(m.base.Count(key))
+		lg.ObserveCount(key, obs)
+	}
+	return lg, int(obs + delta)
 }
 
 // Base returns the underlying linearizable multiset for quiescent

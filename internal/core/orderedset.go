@@ -49,16 +49,25 @@ func NewOrderedSetPartition[K cmp.Ordered](stripes int, p lockmgr.Partition[K]) 
 
 // CountRange returns the number of keys in [lo, hi]. It demands the
 // interval, serializing against concurrent updates within it while updates
-// outside proceed in parallel.
+// outside proceed in parallel. On a lazy ordered set the pending point ops
+// are early-flushed first — a point-keyed log cannot answer a range — after
+// which the query runs eagerly under its interval lock.
 func (s *OrderedSet[K]) CountRange(tx *stm.Tx, lo, hi K) int {
+	if s.obj.Lazy() {
+		s.obj.FlushPending(tx)
+	}
 	s.obj.Acquire(tx, boost.Span(lo, hi))
 	n := 0
 	s.sl.AscendRange(lo, hi, func(K) bool { n++; return true })
 	return n
 }
 
-// KeysRange returns the keys in [lo, hi] in ascending order.
+// KeysRange returns the keys in [lo, hi] in ascending order (early-flushing
+// pending lazy ops first, as CountRange does).
 func (s *OrderedSet[K]) KeysRange(tx *stm.Tx, lo, hi K) []K {
+	if s.obj.Lazy() {
+		s.obj.FlushPending(tx)
+	}
 	s.obj.Acquire(tx, boost.Span(lo, hi))
 	var out []K
 	s.sl.AscendRange(lo, hi, func(k K) bool { out = append(out, k); return true })
@@ -67,8 +76,11 @@ func (s *OrderedSet[K]) KeysRange(tx *stm.Tx, lo, hi K) []K {
 
 // SumRange returns the sum of keys in [lo, hi] — a representative
 // aggregate query. (For string keys the + is concatenation, which is mostly
-// useful for tests.)
+// useful for tests.) Lazy sets early-flush first, as CountRange does.
 func (s *OrderedSet[K]) SumRange(tx *stm.Tx, lo, hi K) K {
+	if s.obj.Lazy() {
+		s.obj.FlushPending(tx)
+	}
 	s.obj.Acquire(tx, boost.Span(lo, hi))
 	var sum K
 	s.sl.AscendRange(lo, hi, func(k K) bool { sum += k; return true })

@@ -67,9 +67,19 @@ func NewCoarseSet[K comparable](base BaseSet[K]) *Set[K] {
 	return &Set[K]{base: base, obj: boost.NewCoarse[K]()}
 }
 
-// Add inserts key, reporting whether the set changed. Inverse recorded:
-// add(x)/true -> remove(x); add(x)/false -> noop.
+// Add inserts key, reporting whether the set changed. Eager: inverse
+// recorded add(x)/true -> remove(x), add(x)/false -> noop. Lazy: the add is
+// deferred to the pending log and the answer predicted from the log's view
+// of the key (see lazyPresence).
 func (s *Set[K]) Add(tx *stm.Tx, key K) bool {
+	if s.obj.Lazy() {
+		lg, present := s.lazyPresence(tx, key)
+		if present {
+			return false
+		}
+		lg.Append(boost.LazyEntry[K]{Kind: boost.LazyAdd, Key: key})
+		return true
+	}
 	s.obj.Acquire(tx, boost.Key(key))
 	if !s.base.Add(key) {
 		return false
@@ -79,9 +89,18 @@ func (s *Set[K]) Add(tx *stm.Tx, key K) bool {
 	return true
 }
 
-// Remove deletes key, reporting whether the set changed. Inverse recorded:
-// remove(x)/true -> add(x); remove(x)/false -> noop.
+// Remove deletes key, reporting whether the set changed. Eager: inverse
+// recorded remove(x)/true -> add(x); remove(x)/false -> noop. Lazy: the
+// removal is deferred.
 func (s *Set[K]) Remove(tx *stm.Tx, key K) bool {
+	if s.obj.Lazy() {
+		lg, present := s.lazyPresence(tx, key)
+		if !present {
+			return false
+		}
+		lg.Append(boost.LazyEntry[K]{Kind: boost.LazyRemove, Key: key})
+		return true
+	}
 	s.obj.Acquire(tx, boost.Key(key))
 	if !s.base.Remove(key) {
 		return false
@@ -91,13 +110,60 @@ func (s *Set[K]) Remove(tx *stm.Tx, key K) bool {
 	return true
 }
 
-// Contains reports whether key is present. No inverse is needed, but the
-// abstract lock is still demanded: contains(x) does not commute with
+// AddQuiet inserts key without reporting whether the set changed — the
+// answer-free half of the API (java.util-style sets return a bool from add;
+// most callers discard it). Eager: identical to Add with the answer unused.
+// Lazy: the discarded answer is a real saving — no answer means no
+// observation, so the deferred add skips the unlocked base read, the
+// read-your-writes scan, and commit-time validation entirely. It fuses as
+// an upsert ("make present"), whose apply succeeds whether or not the key
+// was already there.
+func (s *Set[K]) AddQuiet(tx *stm.Tx, key K) {
+	if s.obj.Lazy() {
+		s.obj.PendingLog(tx, s).Append(boost.LazyEntry[K]{Kind: boost.LazyAdd, Key: key})
+		return
+	}
+	s.Add(tx, key)
+}
+
+// RemoveQuiet deletes key without reporting whether the set changed; the
+// answer-free counterpart of Remove (see AddQuiet). Lazy: defers a "make
+// absent" upsert with no observation and no commit-time validation.
+func (s *Set[K]) RemoveQuiet(tx *stm.Tx, key K) {
+	if s.obj.Lazy() {
+		s.obj.PendingLog(tx, s).Append(boost.LazyEntry[K]{Kind: boost.LazyRemove, Key: key})
+		return
+	}
+	s.Remove(tx, key)
+}
+
+// Contains reports whether key is present. Eager: no inverse is needed, but
+// the abstract lock is still demanded — contains(x) does not commute with
 // add(x)/remove(x) that change the answer, and key-based locking is the
-// paper's practical approximation of that conflict relation.
+// paper's practical approximation of that conflict relation. Lazy: the
+// answer comes from the pending log (read-your-writes) or an optimistic
+// observation re-validated at commit; no lock until then.
 func (s *Set[K]) Contains(tx *stm.Tx, key K) bool {
+	if s.obj.Lazy() {
+		_, present := s.lazyPresence(tx, key)
+		return present
+	}
 	s.obj.Acquire(tx, boost.Key(key))
 	return s.base.Contains(key)
+}
+
+// lazyPresence returns the transaction's current view of key — the pending
+// log's latest word on it, or, on the transaction's first touch of the key,
+// an unlocked read of the base recorded as the key's observation (the entry
+// the commit-time drain re-validates under the abstract lock).
+func (s *Set[K]) lazyPresence(tx *stm.Tx, key K) (*boost.LazyLog[K], bool) {
+	lg := s.obj.PendingLog(tx, s)
+	present, known := lg.Membership(key)
+	if !known {
+		present = s.base.Contains(key)
+		lg.ObservePresence(key, present)
+	}
+	return lg, present
 }
 
 // Base returns the underlying linearizable set, for quiescent inspection

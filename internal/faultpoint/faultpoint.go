@@ -127,6 +127,12 @@ const (
 	// segments are pruned after a checkpoint. Crash here leaves stale
 	// segments whose records recovery must skip by LSN.
 	WalMidTruncate = "wal/mid-truncate"
+	// BoostLazyDrain is hit once per abstract key as the commit-time drain
+	// of a lazy object acquires its locks. Timeout here forces the
+	// lock-timeout-at-drain path (abort by log truncation, nothing applied);
+	// Doom exercises the doomed-mid-drain discovery before any op reaches
+	// the base object.
+	BoostLazyDrain = "boost/lazy-drain"
 )
 
 // Sites returns every canonical site name, sorted.
@@ -136,7 +142,7 @@ func Sites() []string {
 		StmPostAbort, LockRegistered, LockWait, SemAcquire,
 		RWValidate, RWWriteBack,
 		WalMidBatch, WalPreFsync, WalPostFsync, WalMidCheckpoint,
-		WalMidTruncate,
+		WalMidTruncate, BoostLazyDrain,
 	}
 }
 

@@ -1,0 +1,99 @@
+package histories
+
+import (
+	"fmt"
+	"sort"
+)
+
+// OpRec is one entry of a post-fusion op log: the net operation a lazy
+// transaction's commit-time drain actually applied to the base object. The
+// lazy discipline (internal/boost/lazy.go) emits one OpRec per surviving
+// fused op; annihilated pairs never appear. Op logs are what the durable
+// journal replays, so checking them against the sequential specs closes the
+// loop between the lazy drain and the formal model.
+type OpRec struct {
+	Tx     uint64
+	Object string
+	Method string
+	Key    int64
+}
+
+// CheckOpLog validates a post-fusion op log against the history it was
+// drained from and the sequential specification of each object:
+//
+//  1. every op must belong to a transaction h records as committed — a lazy
+//     drain emits nothing for aborted transactions (abort is log
+//     truncation), so an op from an uncommitted tx is a leak;
+//  2. replayed in h's commit order, every op must be legal AND effective in
+//     the sequential spec (add of a present key, remove of an absent one):
+//     fusion guarantees surviving ops are total, because an ineffective op
+//     would have been eliminated against the validated observation;
+//  3. the final abstract state reached by the op replay must equal the final
+//     state of the full committed history (FinalStates) — the fused stream
+//     and the method-call history describe the same object.
+//
+// The check is restricted to the objects that appear in the op log: eager
+// objects recorded in h have no op log and are checked by
+// CheckStrictSerializability alone.
+func CheckOpLog(h History, ops []OpRec, specs map[string]Spec) error {
+	committed := map[uint64]bool{}
+	for _, e := range h {
+		if e.Kind == EvCommit {
+			committed[e.Tx] = true
+		}
+	}
+
+	byTx := map[uint64][]OpRec{}
+	lazyObjs := map[string]bool{}
+	for i, op := range ops {
+		if !committed[op.Tx] {
+			return fmt.Errorf("histories: op log[%d] %s.%s(%d) from tx %d, which never committed",
+				i, op.Object, op.Method, op.Key, op.Tx)
+		}
+		if _, ok := specs[op.Object]; !ok {
+			return fmt.Errorf("histories: no specification for object %q", op.Object)
+		}
+		byTx[op.Tx] = append(byTx[op.Tx], op)
+		lazyObjs[op.Object] = true
+	}
+
+	// Replay the per-tx op groups in commit order. Within a transaction the
+	// drain applies ops in log order, which the recorded slice preserves.
+	states := map[string]State{}
+	for obj := range lazyObjs {
+		states[obj] = specs[obj].Init()
+	}
+	for _, tx := range h.CommitOrder() {
+		for _, op := range byTx[tx] {
+			resp, next, legal := states[op.Object].Apply(op.Method, []int64{op.Key})
+			if !legal {
+				return fmt.Errorf("histories: op log: tx %d: %s.%s(%d) is illegal in state %s",
+					tx, op.Object, op.Method, op.Key, states[op.Object])
+			}
+			if !resp.OK {
+				return fmt.Errorf("histories: op log: tx %d: %s.%s(%d) is a no-op in state %s — fusion should have eliminated it",
+					tx, op.Object, op.Method, op.Key, states[op.Object])
+			}
+			states[op.Object] = next
+		}
+	}
+
+	// The op replay and the full method-call history must agree on every
+	// lazy object's final state.
+	finals, err := FinalStates(h, specs)
+	if err != nil {
+		return err
+	}
+	objs := make([]string, 0, len(lazyObjs))
+	for obj := range lazyObjs {
+		objs = append(objs, obj)
+	}
+	sort.Strings(objs)
+	for _, obj := range objs {
+		if !states[obj].Equal(finals[obj]) {
+			return fmt.Errorf("histories: op log replay of %q ends in %s, but the committed history ends in %s",
+				obj, states[obj], finals[obj])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package histories
+
+import (
+	"strings"
+	"testing"
+)
+
+func opLogHistory() History {
+	r := NewRecorder()
+	r.Init(1)
+	r.RecordCall(1, "Set", "add", []int64{1}, Resp{OK: true})
+	r.RecordCall(1, "Set", "add", []int64{2}, Resp{OK: true})
+	r.Commit(1)
+	r.Init(2)
+	r.RecordCall(2, "Set", "contains", []int64{1}, Resp{OK: true})
+	r.Abort(2)
+	r.Aborted(2)
+	r.Init(3)
+	r.RecordCall(3, "Set", "remove", []int64{2}, Resp{OK: true})
+	r.Commit(3)
+	return r.History()
+}
+
+var opLogSpecs = map[string]Spec{"Set": SetSpec{}}
+
+func TestCheckOpLogAccepts(t *testing.T) {
+	ops := []OpRec{
+		{Tx: 1, Object: "Set", Method: "add", Key: 1},
+		{Tx: 1, Object: "Set", Method: "add", Key: 2},
+		{Tx: 3, Object: "Set", Method: "remove", Key: 2},
+	}
+	if err := CheckOpLog(opLogHistory(), ops, opLogSpecs); err != nil {
+		t.Fatalf("valid op log rejected: %v", err)
+	}
+}
+
+func TestCheckOpLogRejectsUncommittedTx(t *testing.T) {
+	ops := []OpRec{{Tx: 2, Object: "Set", Method: "remove", Key: 1}}
+	err := CheckOpLog(opLogHistory(), ops, opLogSpecs)
+	if err == nil || !strings.Contains(err.Error(), "never committed") {
+		t.Fatalf("op from aborted tx not rejected: %v", err)
+	}
+}
+
+func TestCheckOpLogRejectsIneffectiveOp(t *testing.T) {
+	// remove(5) commits fine in the history model but is a no-op the fusion
+	// pass should have annihilated against the observed-absent key.
+	ops := []OpRec{
+		{Tx: 1, Object: "Set", Method: "add", Key: 1},
+		{Tx: 1, Object: "Set", Method: "add", Key: 2},
+		{Tx: 1, Object: "Set", Method: "remove", Key: 5},
+		{Tx: 3, Object: "Set", Method: "remove", Key: 2},
+	}
+	err := CheckOpLog(opLogHistory(), ops, opLogSpecs)
+	if err == nil || !strings.Contains(err.Error(), "no-op") {
+		t.Fatalf("ineffective op not rejected: %v", err)
+	}
+}
+
+func TestCheckOpLogRejectsFinalStateDivergence(t *testing.T) {
+	// Dropping tx 3's remove leaves key 2 in the op-log replay but not in
+	// the committed history's final state.
+	ops := []OpRec{
+		{Tx: 1, Object: "Set", Method: "add", Key: 1},
+		{Tx: 1, Object: "Set", Method: "add", Key: 2},
+	}
+	err := CheckOpLog(opLogHistory(), ops, opLogSpecs)
+	if err == nil || !strings.Contains(err.Error(), "ends in") {
+		t.Fatalf("final-state divergence not rejected: %v", err)
+	}
+}

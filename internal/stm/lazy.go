@@ -1,0 +1,181 @@
+package stm
+
+// Lazy boosting support: per-transaction pending op logs drained at commit.
+//
+// Under the eager discipline every boosted call locks, mutates the base
+// object, and logs an inverse immediately; the runtime only ever sees the
+// undo log. Under the lazy discipline (Proust's half of the design space) a
+// boosted call appends a descriptor to a per-(transaction, object) pending
+// log and returns a predicted answer; nothing touches the base object until
+// commit. The runtime's role is deliberately small — it tracks which logs a
+// transaction has attached and drives a three-phase drain at the commit
+// point — while the log representation, fusion algebra, and validation rules
+// live in internal/boost, which implements LazyPending.
+//
+// The drain runs after the transaction's validation handlers succeed and
+// before it is marked Committed, so:
+//
+//   - an abort during the drain (lock timeout, doomed, observation
+//     mismatch) finds the base object untouched by this transaction's lazy
+//     ops: rollback is log truncation, no inverse replay;
+//   - the forward ops the drain emits land in tx.redo before the durability
+//     sink runs, so the WAL records the post-fusion stream;
+//   - AtCommit handlers (the history recorder's commit events) still run
+//     under the abstract locks the drain acquired, keeping commit order and
+//     lock order aligned.
+
+import "errors"
+
+// ErrLazyApply is the abort cause when phase C's validate-by-apply path
+// finds an optimistic observation stale: the net op's own base call failed
+// at the commit instant, proving a conflicting commit landed since the
+// unlocked read. It classifies as a validation abort, the same kind the
+// phase-B re-check reports.
+var ErrLazyApply = errors.New("stm: lazy apply-check failed; optimistic read out of date")
+
+func init() { RegisterAbortKind(ErrLazyApply, KindValidation) }
+
+// LazyPending is one object's pending op log attached to a transaction. It
+// is implemented by boost.LazyLog; the runtime drives it through the commit
+// drain and through nested-savepoint truncation without knowing the entry
+// representation.
+//
+// The drain is three-phase across all attached logs: every log fuses its
+// entries and acquires the abstract locks its surviving ops and observations
+// demand (PrepareCommit), then every log re-checks its optimistic
+// observations under those locks (ValidateCommit), and only then does any
+// log mutate the base (ApplyCommit). Nothing is applied before every
+// validation has passed, so an abort in the first two phases leaves no
+// trace; phase three consists of total base-object calls that cannot fail.
+type LazyPending interface {
+	// Len reports the number of pending entries (savepoint bookkeeping).
+	Len() int
+	// TruncateTo discards entries logged at index n and later (nested
+	// child rollback; abort is TruncateTo(0) via Recycle).
+	TruncateTo(n int)
+	// PrepareCommit fuses the log and acquires the abstract locks of every
+	// surviving op and observation. May abort tx (lock timeout, doom).
+	PrepareCommit(tx *Tx)
+	// ValidateCommit re-checks the log's optimistic observations against
+	// the base under the locks PrepareCommit acquired. Aborts tx on
+	// mismatch. Observations whose net op is validate-by-apply are
+	// skipped here; ApplyCommit answers for them.
+	ValidateCommit(tx *Tx)
+	// ApplyCommit applies the fused ops to the base object and emits their
+	// forward images to tx's redo stream. It returns false when a
+	// validate-by-apply op finds its observation stale at the commit
+	// instant — the log has already unapplied its own applied prefix, and
+	// the runtime must UnapplyCommit every log drained before it.
+	ApplyCommit(tx *Tx) bool
+	// UnapplyCommit inverts a completed ApplyCommit (newest op first),
+	// under the abstract locks PrepareCommit acquired. The runtime calls
+	// it only on the cross-log undo path after a later log's ApplyCommit
+	// returned false.
+	UnapplyCommit()
+	// Recycle clears the log and returns it to its owner's pool. The
+	// runtime calls it exactly once per attachment, after commit or
+	// rollback; the log must not be touched afterwards.
+	Recycle()
+}
+
+// lazyAttach pairs an attached pending log with the object identity used for
+// lookup. The object is compared by interface identity (pointer), which is
+// stable for the life of the boosted object.
+type lazyAttach struct {
+	obj any
+	log LazyPending
+}
+
+// LazyLookup returns the pending log previously attached for obj, or nil.
+// The scan is linear: transactions touch a handful of distinct objects, and
+// the slice is already in cache from the last append.
+func (tx *Tx) LazyLookup(obj any) LazyPending {
+	tx.stateLock()
+	defer tx.stateUnlock()
+	for i := range tx.lazy {
+		if tx.lazy[i].obj == obj {
+			return tx.lazy[i].log
+		}
+	}
+	return nil
+}
+
+// LazyAttach registers log as the pending log for obj. Callers must not
+// attach twice for the same object (use LazyLookup first); the kernel's
+// accessor enforces this.
+func (tx *Tx) LazyAttach(obj any, log LazyPending) {
+	tx.stateLock()
+	tx.lazy = append(tx.lazy, lazyAttach{obj: obj, log: log})
+	tx.stateUnlock()
+}
+
+// LazyCount reports how many pending logs are attached (tests,
+// introspection).
+func (tx *Tx) LazyCount() int {
+	tx.stateLock()
+	defer tx.stateUnlock()
+	return len(tx.lazy)
+}
+
+// drainLazy runs the three-phase commit drain over every attached log. It
+// returns false if the drain aborted the transaction (lock timeout, doom
+// discovered, observation mismatch), in which case the transaction has been
+// rolled back. commit() runs outside runAttempt's recover, so the abort
+// panic raised inside a drain phase is caught here and converted into the
+// rollback it requests; foreign panics propagate after rollback as usual.
+func (tx *Tx) drainLazy() (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if sig, isAbort := r.(abortSignal); isAbort && sig.tx == tx {
+				tx.rollback()
+				ok = false
+				return
+			}
+			tx.rollback()
+			panic(r)
+		}
+	}()
+	// Phase A: fuse + lock. After this loop the transaction holds every
+	// abstract lock its net effects and observations demand.
+	for i := range tx.lazy {
+		tx.lazy[i].log.PrepareCommit(tx)
+	}
+	// Phase B: validate every optimistic observation under the locks. A
+	// doom that landed while we were blocking on a drain lock is honoured
+	// here, before anything is applied.
+	for i := range tx.lazy {
+		tx.lazy[i].log.ValidateCommit(tx)
+	}
+	if tx.doomed.Load() {
+		tx.setCause(ErrDoomed)
+		tx.rollback()
+		return false
+	}
+	// Phase C: apply. Emit routes the post-fusion forward ops into tx.redo
+	// for the durability sink. A validate-by-apply op can still discover a
+	// stale observation here — its base call answers the phase-B question
+	// the drain skipped for it — in which case every log applied so far
+	// unapplies under the still-held locks and the transaction aborts as a
+	// validation failure (rollback discards the redo the prefix emitted).
+	for i := range tx.lazy {
+		if !tx.lazy[i].log.ApplyCommit(tx) {
+			for j := i - 1; j >= 0; j-- {
+				tx.lazy[j].log.UnapplyCommit()
+			}
+			tx.setCause(ErrLazyApply)
+			tx.rollback()
+			return false
+		}
+	}
+	return true
+}
+
+// clearLazy recycles every attached log and truncates the attachment slice,
+// keeping its capacity for the descriptor's next life.
+func (tx *Tx) clearLazy() {
+	for i := range tx.lazy {
+		tx.lazy[i].log.Recycle()
+		tx.lazy[i] = lazyAttach{}
+	}
+	tx.lazy = tx.lazy[:0]
+}

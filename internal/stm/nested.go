@@ -24,12 +24,20 @@ package stm
 // entry.
 type savepoint struct {
 	undo, redo, locks, atCommit, onCommit, onAbort, onValidate int
+
+	// lazyLogs is how many lazy pending logs were attached at child entry;
+	// lazyLens holds each such log's entry count, so a child rollback can
+	// truncate the logs the child appended to and recycle the ones it
+	// attached. lazyLens is allocated only when lazy logs exist — purely
+	// eager transactions pay nothing.
+	lazyLogs int
+	lazyLens []int
 }
 
 func (tx *Tx) save() savepoint {
 	tx.stateLock()
 	defer tx.stateUnlock()
-	return savepoint{
+	sp := savepoint{
 		undo:       len(tx.undo),
 		redo:       len(tx.redo),
 		locks:      len(tx.locks),
@@ -38,6 +46,14 @@ func (tx *Tx) save() savepoint {
 		onAbort:    len(tx.onAbort),
 		onValidate: len(tx.onValidate),
 	}
+	if n := len(tx.lazy); n > 0 {
+		sp.lazyLogs = n
+		sp.lazyLens = make([]int, n)
+		for i := range tx.lazy {
+			sp.lazyLens[i] = tx.lazy[i].log.Len()
+		}
+	}
+	return sp
 }
 
 // rollbackTo undoes everything logged after the savepoint: inverse
@@ -74,16 +90,39 @@ func (tx *Tx) rollbackTo(sp savepoint) {
 	tx.onAbort = clearTail(tx.onAbort, sp.onAbort)
 	clear(tx.onValidate[sp.onValidate:])
 	tx.onValidate = tx.onValidate[:sp.onValidate]
+
+	// Lazy pending logs mirror tx.redo: the child's deferred ops leave
+	// with it. Logs the child attached are detached here and recycled
+	// below; logs the parent had already attached are truncated back to
+	// their entry counts at child entry — but only after the child's undo
+	// replay, because an early-flush undo closure re-pends the entries it
+	// had applied, and the truncation must see the restored log.
+	var childLazy []lazyAttach
+	if len(tx.lazy) > sp.lazyLogs {
+		childLazy = append(childLazy, tx.lazy[sp.lazyLogs:]...)
+		clear(tx.lazy[sp.lazyLogs:])
+		tx.lazy = tx.lazy[:sp.lazyLogs]
+	}
 	tx.stateUnlock()
 
 	for i := len(childUndo) - 1; i >= 0; i-- {
 		childUndo[i]()
+	}
+	// Truncate the parent's surviving lazy logs back to their child-entry
+	// lengths. Nested children never run concurrently with Parallel
+	// branches (see Nested), so touching the logs outside the state lock
+	// here is safe.
+	for i := 0; i < sp.lazyLogs; i++ {
+		tx.lazy[i].log.TruncateTo(sp.lazyLens[i])
 	}
 	for i := len(childLocks) - 1; i >= 0; i-- {
 		childLocks[i].Unlock(tx)
 	}
 	for _, f := range childOnAbort {
 		f()
+	}
+	for _, a := range childLazy {
+		a.log.Recycle()
 	}
 }
 

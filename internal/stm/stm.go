@@ -168,6 +168,7 @@ type Tx struct {
 	mu         sync.Mutex            // guards the state below only after escalation
 	undo       []func()              // inverse operations, applied in reverse on abort
 	redo       []RedoOp              // forward ops for the durability sink (committed txs only)
+	lazy       []lazyAttach          // pending op logs of lazy boosted objects, drained at commit
 	locks      []Unlocker            // two-phase locks, released at commit/abort
 	lockIdx    map[Unlocker]struct{} // non-nil once len(locks) > lockSpill
 	atCommit   []func()              // run at the commit point, before lock release
@@ -544,6 +545,7 @@ func (tx *Tx) rollback() {
 	}
 	tx.undo = clearFuncs(tx.undo)
 	tx.redo = clearRedo(tx.redo) // an aborted tx contributes nothing to the log
+	tx.clearLazy()               // pending lazy ops never ran; abort is truncation
 	tx.releaseLocks()
 	tx.status.Store(int32(Aborted))
 	faultpoint.Hit(faultpoint.StmPostAbort) // delay window before disposables
@@ -587,6 +589,14 @@ func (tx *Tx) commit() bool {
 	}
 	clear(tx.onValidate)
 	tx.onValidate = tx.onValidate[:0]
+	// Commit-time drain of lazy boosted objects: fuse each pending log,
+	// acquire the surviving ops' abstract locks for the commit instant,
+	// re-validate optimistic reads, and apply. Runs before the Committed
+	// store so a drain abort is an ordinary pre-commit abort, and before
+	// the durability sink so tx.redo carries the post-fusion op stream.
+	if len(tx.lazy) > 0 && !tx.drainLazy() {
+		return false
+	}
 	tx.status.Store(int32(Committed))
 	for _, f := range tx.atCommit {
 		f()
@@ -605,6 +615,7 @@ func (tx *Tx) commit() bool {
 		wait = sink.Commit(tx.id, tx.redo)
 	}
 	tx.redo = clearRedo(tx.redo)
+	tx.clearLazy()
 	tx.releaseLocks()
 	if wait != nil {
 		// Pre-release durability barrier: the outcome is not released to

@@ -252,6 +252,57 @@ func NewMultiset() *Multiset { return core.NewMultiset[int64]() }
 // NewMultisetOf returns a boosted bag over any comparable key type.
 func NewMultisetOf[K comparable]() *MultisetOf[K] { return core.NewMultiset[K]() }
 
+// Lazy constructors: the deferred discipline. A lazy object appends each
+// mutation to a per-transaction pending log and answers from the log plus
+// an unlocked read of the base; abstract locks are taken only at the commit
+// instant, after algebraic fusion shrinks the log (add∘remove annihilate,
+// multiset deltas combine, map puts keep the last writer). Long transaction
+// bodies therefore stop holding locks across their think time, collapsing
+// the deadlock/abort windows eager boosting pays under contention. Answers
+// are still sequentially exact (read-your-writes); an optimistic
+// observation that goes stale aborts and retries at commit. Quiet set
+// mutations (AddQuiet/RemoveQuiet) defer with no observation at all.
+
+// NewLazySkipListSet is the lazy twin of NewSkipListSet.
+func NewLazySkipListSet() *Set { return core.NewLazySkipListSet() }
+
+// NewLazyHashSetOf is the lazy twin of NewHashSetOf.
+func NewLazyHashSetOf[K comparable]() *SetOf[K] { return core.NewLazyHashSetOf[K]() }
+
+// NewLazyKeyedSetOf boosts any linearizable base set lazily with per-key
+// abstract locks held only for the commit instant.
+func NewLazyKeyedSetOf[K comparable](base BaseSetOf[K]) *SetOf[K] {
+	return core.NewLazyKeyedSet[K](base)
+}
+
+// NewLazyCoarseSetOf boosts any linearizable base set lazily behind a
+// single abstract lock, held only for the commit instant.
+func NewLazyCoarseSetOf[K comparable](base BaseSetOf[K]) *SetOf[K] {
+	return core.NewLazyCoarseSet[K](base)
+}
+
+// NewLazyOrderedSet is the lazy twin of NewOrderedSet: point ops defer;
+// range queries early-flush the pending log and run under their interval
+// lock.
+func NewLazyOrderedSet() *OrderedSet { return core.NewLazyOrderedSet() }
+
+// NewLazyOrderedSetOf is the lazy twin of NewOrderedSetOf.
+func NewLazyOrderedSetOf[K cmp.Ordered]() *OrderedSetOf[K] { return core.NewLazyOrderedSetOf[K]() }
+
+// NewLazyMultisetOf is the lazy twin of NewMultisetOf: per-key deltas fuse
+// into one net increment per key at commit.
+func NewLazyMultisetOf[K comparable]() *MultisetOf[K] { return core.NewLazyMultiset[K]() }
+
+// NewLazyMapOf boosts a linearizable base map lazily. Unlike NewMapOf, V
+// must be comparable: commit-time validation compares observed bindings.
+func NewLazyMapOf[K, V comparable](base BaseMapOf[K, V]) *MapOf[K, V] {
+	return core.NewLazyMap[K, V](base)
+}
+
+// NewLazyRBTreeMap is the lazy twin of NewRBTreeMap (V bound to comparable;
+// see NewLazyMapOf).
+func NewLazyRBTreeMap[V comparable]() *Map[V] { return core.NewLazyRBTreeMap[V]() }
+
 // Counter is a boosted transactional accumulator: increments commute and
 // run in parallel; reads serialize against in-flight increments.
 type Counter = core.Counter
