@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race test-short vet check fuzz-lockmgr fuzz-contention fuzz-contention-race fuzz-codec fuzz-lazy chaos chaos-race chaos-crash bench bench-micro bench-json
+.PHONY: build test test-race test-short vet check fuzz-lockmgr fuzz-contention fuzz-contention-race fuzz-codec fuzz-lazy fuzz-snapshot fuzz-snapshot-race chaos chaos-race chaos-crash bench bench-micro bench-json bench-readmix
 
 build:
 	$(GO) build ./...
@@ -25,7 +25,7 @@ vet:
 # per invocation, hence separate targets; fuzz-lazy differentially checks
 # the lazy discipline (deferral + commit-time fusion) against the eager
 # oracle on identical op programs.
-check: build vet test test-race fuzz-lockmgr fuzz-contention fuzz-lazy
+check: build vet test test-race fuzz-lockmgr fuzz-contention fuzz-lazy fuzz-snapshot
 
 fuzz-lockmgr:
 	$(GO) test -run NONE -fuzz FuzzStripedRangeLockEquivalence -fuzztime 10s ./internal/lockmgr/
@@ -38,6 +38,16 @@ fuzz-contention:
 # bit-identical answers, outcomes, and final states in both disciplines.
 fuzz-lazy:
 	$(GO) test -run NONE -fuzz FuzzLazyEagerEquivalence -fuzztime 10s ./internal/core/
+
+# Snapshot-consistency differential: byte programs of writers run against
+# concurrent read-only snapshot scans; every scan must equal the sequential
+# spec replayed to its pinned sequence number, with zero reader aborts and
+# zero abstract-lock demands.
+fuzz-snapshot:
+	$(GO) test -run NONE -fuzz FuzzSnapshotConsistency -fuzztime 10s ./internal/core/
+
+fuzz-snapshot-race:
+	$(GO) test -race -run NONE -fuzz FuzzSnapshotConsistency -fuzztime 10s ./internal/core/
 
 fuzz-contention-race:
 	$(GO) test -race -run NONE -fuzz FuzzContentionPolicies -fuzztime 10s ./internal/lockmgr/
@@ -85,3 +95,11 @@ bench-json:
 	GOMAXPROCS=$${GOMAXPROCS:-$$(nproc)} \
 		$(GO) run ./cmd/boostbench -experiment rangemix \
 		-threads 1,2,4,8,16 -json-out BENCH_PR4.json
+
+# Multi-version read path: snapshot vs eager readers on 95/5 and 99/1
+# hot-range mixes at 1-16 goroutines, plus the writer-only version-overhead
+# probe (BENCH_PR8.json).
+bench-readmix:
+	GOMAXPROCS=$${GOMAXPROCS:-$$(nproc)} \
+		$(GO) run ./cmd/boostbench -experiment readmix \
+		-threads 1,2,4,8,16 -json-out BENCH_PR8.json

@@ -13,6 +13,7 @@
 //	boostbench -experiment deadlock # contention-policy sweep on a deadlock-prone mix
 //	boostbench -experiment durability # WAL group-commit sweep: fsyncs/commit vs window
 //	boostbench -experiment fusion # lazy vs eager boosting: commit-time fusion sweep
+//	boostbench -experiment readmix # snapshot vs eager readers on read-dominated mixes
 //	boostbench -experiment all
 //
 // Flags tune the workload; the defaults mirror the paper's methodology
@@ -36,9 +37,9 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig9|fig10|fig11|aborts|stripes|pipeline|timeout|policy|heapbases|chaos|benchjson|rangemix|deadlock|durability|fusion|all")
-		jsonOut    = flag.String("json-out", "", "benchjson/rangemix/deadlock/fusion: also write the report to this file (e.g. BENCH_PR2.json)")
-		microOps   = flag.Int("micro-ops", 0, "benchjson/rangemix/deadlock/fusion: operations (transactions) per sweep cell (0 = default)")
+		experiment = flag.String("experiment", "all", "fig9|fig10|fig11|aborts|stripes|pipeline|timeout|policy|heapbases|chaos|benchjson|rangemix|deadlock|durability|fusion|readmix|all")
+		jsonOut    = flag.String("json-out", "", "benchjson/rangemix/deadlock/fusion/readmix: also write the report to this file (e.g. BENCH_PR2.json)")
+		microOps   = flag.Int("micro-ops", 0, "benchjson/rangemix/deadlock/fusion/readmix: operations (transactions) per sweep cell (0 = default)")
 		chaosSeed  = flag.Uint64("chaos-seed", 0, "chaos: use a randomized fault schedule with this seed (0 = default schedule)")
 		chaosTx    = flag.Int("chaos-tx", 0, "chaos: transactions per worker (0 = default)")
 		threads    = flag.String("threads", "1,2,4,8,16,32", "comma-separated thread counts")
@@ -265,6 +266,29 @@ func main() {
 			fmt.Printf("ABBA + churn mixes, GOMAXPROCS=%d, goroutines %v\n\n", runtime.GOMAXPROCS(0), threadCounts)
 			rep := bench.FusionSweep(threadCounts, *microOps)
 			bench.PrintFusion(os.Stdout, rep)
+			if *jsonOut != "" {
+				f, err := os.Create(*jsonOut)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "boostbench:", err)
+					os.Exit(1)
+				}
+				if err := rep.WriteJSON(f); err == nil {
+					err = f.Close()
+				} else {
+					f.Close()
+				}
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "boostbench:", err)
+					os.Exit(1)
+				}
+				fmt.Printf("\nwrote %s\n", *jsonOut)
+			}
+		},
+		"readmix": func() {
+			fmt.Println("=== Multi-version read path: snapshot vs eager readers ===")
+			fmt.Printf("read-dominated hot-range mixes, GOMAXPROCS=%d, goroutines %v\n\n", runtime.GOMAXPROCS(0), threadCounts)
+			rep := bench.ReadmixSweep(threadCounts, *microOps)
+			bench.PrintReadmix(os.Stdout, rep)
 			if *jsonOut != "" {
 				f, err := os.Create(*jsonOut)
 				if err != nil {

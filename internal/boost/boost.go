@@ -189,6 +189,12 @@ type Object[K comparable] struct {
 	// mutation (see Emit). Nil — the default — makes Emit a no-op, so
 	// undurable objects pay one predictable branch.
 	journal Journal[K]
+
+	// vtab is the per-key version store backing lock-free snapshot reads;
+	// nil for unversioned engines (see versions.go). verPool recycles the
+	// per-tx pending version logs.
+	vtab    *versionTable[K]
+	verPool sync.Pool
 }
 
 // Journal receives forward operation images from a boosted object. The WAL
@@ -313,6 +319,13 @@ func (o *Object[K]) RangeStats() (escalations, spurious uint64, ok bool) {
 func (o *Object[K]) Acquire(tx *stm.Tx, op Op[K]) {
 	if op.Demand == DemandNone {
 		return
+	}
+	if tx.ReadOnly() && tx.System().StrictReadOnly() {
+		// The eager fallback for read-only transactions is legal by
+		// default; under StrictReadOnly the workload asserted its readers
+		// never leave the lock-free versioned path, so a demand here is a
+		// configuration bug (unversioned object in a snapshot read).
+		panic("boost: abstract-lock demand by read-only transaction under StrictReadOnly")
 	}
 	switch o.disc {
 	case Keyed:

@@ -152,10 +152,20 @@ type LazyLog[K comparable] struct {
 	accs   []lazyAcc[K]
 	accIdx map[K]int // non-nil once len(accs) > lazyAccSpill
 	net    []LazyEntry[K]
+
+	// ro marks a log attached by a read-only transaction: observations may
+	// accumulate (the eager-fallback read path), mutations panic. Set by
+	// PendingLog at attach time.
+	ro bool
 }
 
 // Append adds one entry to the pending log.
-func (lg *LazyLog[K]) Append(e LazyEntry[K]) { lg.ents = append(lg.ents, e) }
+func (lg *LazyLog[K]) Append(e LazyEntry[K]) {
+	if lg.ro && e.Kind != LazyObserve {
+		panic("boost: deferred mutation in read-only transaction")
+	}
+	lg.ents = append(lg.ents, e)
+}
 
 // ObservePresence records an unlocked membership read (sets).
 func (lg *LazyLog[K]) ObservePresence(key K, present bool) {
@@ -490,7 +500,7 @@ func (o *Object[K]) PendingLog(tx *stm.Tx, spec LazySpec[K]) *LazyLog[K] {
 	if lg == nil {
 		lg = new(LazyLog[K])
 	}
-	lg.obj, lg.spec = o, spec
+	lg.obj, lg.spec, lg.ro = o, spec, tx.ReadOnly()
 	tx.LazyAttach(o, lg)
 	return lg
 }

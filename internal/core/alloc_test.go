@@ -377,6 +377,83 @@ func TestPackedKeyOrderedSetAllocs(t *testing.T) {
 	}
 }
 
+// The multi-version read path's budgets (ISSUE 8 acceptance): a read-only
+// Contains/Get answered from a version chain allocates nothing in steady
+// state, and opening+closing a Snapshot handle costs at most the handle
+// itself.
+
+func TestSnapshotContainsAllocsZero(t *testing.T) {
+	skipIfRace(t)
+	sys := stm.NewSystem(stm.Config{})
+	s := NewKeyedSet(hashset.New[int64]())
+	// Activate versioning first so the writes below build version chains
+	// and the read-only Contains exercises the VersionAt hit path.
+	if err := sys.AtomicRO(func(tx *stm.Tx) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+		for k := int64(0); k < 64; k++ {
+			s.Add(tx, k)
+		}
+	})
+	var k int64
+	body := func(tx *stm.Tx) error {
+		s.Contains(tx, k)
+		return nil
+	}
+	_ = sys.AtomicRO(body)
+	avg := testing.AllocsPerRun(200, func() {
+		k = (k + 1) & 63
+		_ = sys.AtomicRO(body)
+	})
+	if avg > 0 {
+		t.Fatalf("read-only Contains allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+func TestSnapshotMapGetAllocsZero(t *testing.T) {
+	skipIfRace(t)
+	sys := stm.NewSystem(stm.Config{})
+	mp := NewMap[int64, int64](newMemMap[int64, int64]())
+	if err := sys.AtomicRO(func(tx *stm.Tx) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+		for k := int64(0); k < 64; k++ {
+			mp.Put(tx, k, k*10)
+		}
+	})
+	sn := sys.OpenSnapshot()
+	defer sn.Close()
+	var k int64
+	body := func(tx *stm.Tx) error {
+		mp.Get(tx, k)
+		return nil
+	}
+	_ = sn.Atomic(body)
+	avg := testing.AllocsPerRun(200, func() {
+		k = (k + 1) & 63
+		_ = sn.Atomic(body)
+	})
+	if avg > 0 {
+		t.Fatalf("snapshot Get allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+func TestSnapshotOpenCloseAllocsAtMostOne(t *testing.T) {
+	skipIfRace(t)
+	sys := stm.NewSystem(stm.Config{})
+	sn := sys.OpenSnapshot() // activate versioning and warm the pin table
+	sn.Close()
+	avg := testing.AllocsPerRun(200, func() {
+		sn := sys.OpenSnapshot()
+		sn.Close()
+	})
+	if avg > 1 {
+		t.Fatalf("Snapshot open+close allocates %.2f objects, want <= 1 (the handle)", avg)
+	}
+}
+
 func TestReentrantReacquireAllocsZero(t *testing.T) {
 	skipIfRace(t)
 	sys := stm.NewSystem(stm.Config{})

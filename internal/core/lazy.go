@@ -42,6 +42,14 @@ func (s *Set[K]) LazyApply(tx *stm.Tx, e *boost.LazyEntry[K], eager bool) bool {
 	// e points into the log's net-op scratch, which later fusions rebuild;
 	// closures that outlive this call must capture the key by value.
 	k := e.Key
+	// The drain (and the early flush) holds k's abstract lock, so the
+	// seed-before-mutate protocol applies here exactly as in the eager
+	// methods. A version recorded during the drain is discarded with the
+	// transaction if a later log's apply-check fails and LazyUnapply runs.
+	live := s.obj.VersioningLive(tx)
+	if live && s.obj.NeedsSeed(k) {
+		s.obj.SeedVersion(tx, k, boost.Version{Present: s.base.Contains(k)})
+	}
 	switch e.Kind {
 	case boost.LazyAdd:
 		if !s.base.Add(k) {
@@ -52,6 +60,9 @@ func (s *Set[K]) LazyApply(tx *stm.Tx, e *boost.LazyEntry[K], eager bool) bool {
 			s.obj.Record(tx, boost.Op[K]{Inverse: func() { s.base.Remove(k) }})
 		}
 		s.obj.Emit(tx, RedoAdd, k, nil)
+		if live {
+			s.obj.RecordVersion(tx, k, boost.Version{Present: true})
+		}
 	case boost.LazyRemove:
 		if !s.base.Remove(k) {
 			return !e.OK
@@ -61,6 +72,9 @@ func (s *Set[K]) LazyApply(tx *stm.Tx, e *boost.LazyEntry[K], eager bool) bool {
 			s.obj.Record(tx, boost.Op[K]{Inverse: func() { s.base.Add(k) }})
 		}
 		s.obj.Emit(tx, RedoRemove, k, nil)
+		if live {
+			s.obj.RecordVersion(tx, k, boost.Version{Present: false})
+		}
 	}
 	return true
 }
@@ -98,6 +112,10 @@ func (m *Multiset[K]) LazyApply(tx *stm.Tx, e *boost.LazyEntry[K], eager bool) b
 		return true
 	}
 	k := e.Key // capture by value: e points into reusable net-op scratch
+	live := m.obj.VersioningLive(tx)
+	if live && e.N != 0 && m.obj.NeedsSeed(k) {
+		m.seedCount(tx, k)
+	}
 	for n := e.N; n > 0; n-- {
 		m.base.Add(k)
 		if eager {
@@ -113,6 +131,10 @@ func (m *Multiset[K]) LazyApply(tx *stm.Tx, e *boost.LazyEntry[K], eager bool) b
 			m.obj.Record(tx, boost.Op[K]{Inverse: func() { m.base.Add(k) }})
 		}
 		m.obj.Emit(tx, RedoRemove, k, nil)
+	}
+	if live && e.N != 0 {
+		c := int64(m.base.Count(k))
+		m.obj.RecordVersion(tx, k, boost.Version{Present: c > 0, N: c})
 	}
 	return true
 }
@@ -143,6 +165,10 @@ func (m *Map[K, V]) LazyValidate(e boost.LazyEntry[K]) bool {
 // the entry for LazyUnapply.
 func (m *Map[K, V]) LazyApply(tx *stm.Tx, e *boost.LazyEntry[K], eager bool) bool {
 	k := e.Key // capture by value: e points into reusable net-op scratch
+	live := m.obj.VersioningLive(tx)
+	if live && m.obj.NeedsSeed(k) {
+		m.seedBinding(tx, k)
+	}
 	switch e.Kind {
 	case boost.LazyPut:
 		val := e.Val.(V)
@@ -157,6 +183,9 @@ func (m *Map[K, V]) LazyApply(tx *stm.Tx, e *boost.LazyEntry[K], eager bool) boo
 		if m.encVal != nil {
 			m.obj.Emit(tx, RedoAdd, k, m.encVal(val))
 		}
+		if live {
+			m.obj.RecordVersion(tx, k, boost.Version{Present: true, Val: val})
+		}
 		e.Val, e.OK = old, existed
 	case boost.LazyDelete:
 		old, existed := m.base.Delete(k)
@@ -167,6 +196,9 @@ func (m *Map[K, V]) LazyApply(tx *stm.Tx, e *boost.LazyEntry[K], eager bool) boo
 			m.obj.Record(tx, boost.Op[K]{Inverse: func() { m.base.Put(k, old) }})
 		}
 		m.obj.Emit(tx, RedoRemove, k, nil)
+		if live {
+			m.obj.RecordVersion(tx, k, boost.Version{Present: false})
+		}
 		e.Val, e.OK = old, existed
 	}
 	return true
@@ -200,20 +232,20 @@ var (
 // mutation defers to the pending log, locks are taken only for the commit
 // instant, and add∘remove pairs on one key annihilate before touching base.
 func NewLazyKeyedSet[K comparable](base BaseSet[K]) *Set[K] {
-	return &Set[K]{base: base, obj: boost.NewLazyKeyed[K]()}
+	return &Set[K]{base: base, obj: boost.NewLazyKeyed[K]().EnableVersions()}
 }
 
 // NewLazyKeyedSetStripes is NewLazyKeyedSet with an explicit lock-table
 // stripe count.
 func NewLazyKeyedSetStripes[K comparable](base BaseSet[K], stripes int) *Set[K] {
-	return &Set[K]{base: base, obj: boost.NewLazyKeyedStripes[K](stripes)}
+	return &Set[K]{base: base, obj: boost.NewLazyKeyedStripes[K](stripes).EnableVersions()}
 }
 
 // NewLazyCoarseSet boosts base lazily behind a single abstract lock, held
 // only for the commit instant — coarse hold time shrinks from the whole
 // body to the drain.
 func NewLazyCoarseSet[K comparable](base BaseSet[K]) *Set[K] {
-	return &Set[K]{base: base, obj: boost.NewLazyCoarse[K]()}
+	return &Set[K]{base: base, obj: boost.NewLazyCoarse[K]().EnableVersions()}
 }
 
 // NewLazyHashSetOf returns a lazy transactional set over the striped
@@ -238,13 +270,13 @@ func NewLazyOrderedSet() *OrderedSet[int64] {
 // the log and run eagerly under their interval lock.
 func NewLazyOrderedSetOf[K cmp.Ordered]() *OrderedSet[K] {
 	sl := skiplist.NewOf[K]()
-	return &OrderedSet[K]{Set: Set[K]{base: sl, obj: boost.NewLazyRanged[K]()}, sl: sl}
+	return &OrderedSet[K]{Set: Set[K]{base: sl, obj: boost.NewLazyRanged[K]().EnableVersions()}, sl: sl}
 }
 
 // NewLazyMultiset returns a lazy boosted bag: per-key deltas accumulate in
 // the pending log and fuse into one net increment per key at commit.
 func NewLazyMultiset[K comparable]() *Multiset[K] {
-	return &Multiset[K]{base: hashset.NewMultiSet[K](), obj: boost.NewLazyKeyed[K]()}
+	return &Multiset[K]{base: hashset.NewMultiSet[K](), obj: boost.NewLazyKeyed[K]().EnableVersions()}
 }
 
 // NewLazyRBTreeMap is the lazy counterpart of NewRBTreeMap, with V bound to
@@ -257,7 +289,7 @@ func NewLazyRBTreeMap[V comparable]() *Map[int64, V] {
 // be comparable: commit-time validation compares the observed binding
 // against the current one.
 func NewLazyMap[K, V comparable](base BaseMap[K, V]) *Map[K, V] {
-	m := &Map[K, V]{base: base, obj: boost.NewLazyKeyed[K]()}
+	m := &Map[K, V]{base: base, obj: boost.NewLazyKeyed[K]().EnableVersions()}
 	m.lazyEq = func(obsVal any, obsOK bool, cur V, curOK bool) bool {
 		if obsOK != curOK {
 			return false

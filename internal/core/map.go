@@ -35,7 +35,7 @@ type Map[K comparable, V any] struct {
 
 // NewMap boosts a linearizable base map.
 func NewMap[K comparable, V any](base BaseMap[K, V]) *Map[K, V] {
-	return &Map[K, V]{base: base, obj: boost.NewKeyed[K]()}
+	return &Map[K, V]{base: base, obj: boost.NewKeyed[K]().EnableVersions()}
 }
 
 // Put binds val to key, returning the previous value and whether one
@@ -49,6 +49,10 @@ func (m *Map[K, V]) Put(tx *stm.Tx, key K, val V) (V, bool) {
 		return old, existed
 	}
 	m.obj.Acquire(tx, boost.Key(key))
+	live := m.obj.VersioningLive(tx)
+	if live && m.obj.NeedsSeed(key) {
+		m.seedBinding(tx, key)
+	}
 	old, existed := m.base.Put(key, val)
 	if existed {
 		m.obj.Record(tx, boost.Op[K]{Inverse: func() { m.base.Put(key, old) }})
@@ -58,7 +62,20 @@ func (m *Map[K, V]) Put(tx *stm.Tx, key K, val V) (V, bool) {
 	if m.encVal != nil {
 		m.obj.Emit(tx, RedoAdd, key, m.encVal(val))
 	}
+	if live {
+		m.obj.RecordVersion(tx, key, boost.Version{Present: true, Val: val})
+	}
 	return old, existed
+}
+
+// seedBinding plants key's pre-transaction binding at the version floor.
+// Callers hold key's abstract lock, so the base read is stable.
+func (m *Map[K, V]) seedBinding(tx *stm.Tx, key K) {
+	if cur, ok := m.base.Get(key); ok {
+		m.obj.SeedVersion(tx, key, boost.Version{Present: true, Val: cur})
+	} else {
+		m.obj.SeedVersion(tx, key, boost.Version{Present: false})
+	}
 }
 
 // Delete removes key, returning its value and whether it was present.
@@ -71,10 +88,17 @@ func (m *Map[K, V]) Delete(tx *stm.Tx, key K) (V, bool) {
 		return old, existed
 	}
 	m.obj.Acquire(tx, boost.Key(key))
+	live := m.obj.VersioningLive(tx)
+	if live && m.obj.NeedsSeed(key) {
+		m.seedBinding(tx, key)
+	}
 	old, existed := m.base.Delete(key)
 	if existed {
 		m.obj.Record(tx, boost.Op[K]{Inverse: func() { m.base.Put(key, old) }})
 		m.obj.Emit(tx, RedoRemove, key, nil)
+		if live {
+			m.obj.RecordVersion(tx, key, boost.Version{Present: false})
+		}
 	}
 	return old, existed
 }
@@ -82,8 +106,20 @@ func (m *Map[K, V]) Delete(tx *stm.Tx, key K) (V, bool) {
 // Get returns the value bound to key. Eager: read-only, no inverse, but the
 // key's abstract lock is held to serialize against concurrent writers of the
 // same key. Lazy: answered from the pending log or an optimistic observation
-// validated at commit.
+// validated at commit. Read-only transactions on a versioned map answer from
+// the key's version chain at the pinned sequence number with no lock demand
+// (see Set.Contains for the chain-miss double-check argument).
 func (m *Map[K, V]) Get(tx *stm.Tx, key K) (V, bool) {
+	if tx.ReadOnly() && m.obj.Versioned() {
+		if v, ok := m.obj.VersionAt(key, tx.SnapshotSeq()); ok {
+			return versionVal[V](v)
+		}
+		cur, hit := m.base.Get(key)
+		if v, ok := m.obj.VersionAt(key, tx.SnapshotSeq()); ok {
+			return versionVal[V](v)
+		}
+		return cur, hit
+	}
 	if m.obj.Lazy() {
 		_, val, ok := m.lazyBinding(tx, key)
 		return val, ok
@@ -123,6 +159,16 @@ func (m *Map[K, V]) lazyBinding(tx *stm.Tx, key K) (*boost.LazyLog[K], V, bool) 
 		return lg, zero, false
 	}
 	return lg, val.(V), true
+}
+
+// versionVal unboxes a map version into the spec's (value, present) answer
+// shape.
+func versionVal[V any](v boost.Version) (V, bool) {
+	if !v.Present {
+		var zero V
+		return zero, false
+	}
+	return v.Val.(V), true
 }
 
 // Base returns the underlying linearizable map for quiescent inspection.

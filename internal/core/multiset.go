@@ -18,7 +18,7 @@ type Multiset[K comparable] struct {
 
 // NewMultiset returns a boosted bag over a striped concurrent multiset.
 func NewMultiset[K comparable]() *Multiset[K] {
-	return &Multiset[K]{base: hashset.NewMultiSet[K](), obj: boost.NewKeyed[K]()}
+	return &Multiset[K]{base: hashset.NewMultiSet[K](), obj: boost.NewKeyed[K]().EnableVersions()}
 }
 
 // Add inserts one occurrence of key and returns the resulting count.
@@ -37,8 +37,23 @@ func (m *Multiset[K]) Add(tx *stm.Tx, key K) int {
 		Key:     key,
 		Inverse: func() { m.base.RemoveOne(key) },
 	})
+	live := m.obj.VersioningLive(tx)
+	if live && m.obj.NeedsSeed(key) {
+		m.seedCount(tx, key)
+	}
 	m.obj.Emit(tx, RedoAdd, key, nil)
-	return m.base.Add(key)
+	n := m.base.Add(key)
+	if live {
+		m.obj.RecordVersion(tx, key, boost.Version{Present: true, N: int64(n)})
+	}
+	return n
+}
+
+// seedCount plants key's pre-transaction occurrence count at the version
+// floor. Callers hold key's abstract lock, so the base read is stable.
+func (m *Multiset[K]) seedCount(tx *stm.Tx, key K) {
+	c := int64(m.base.Count(key))
+	m.obj.SeedVersion(tx, key, boost.Version{Present: c > 0, N: c})
 }
 
 // RemoveOne deletes one occurrence of key, reporting whether one existed.
@@ -55,18 +70,40 @@ func (m *Multiset[K]) RemoveOne(tx *stm.Tx, key K) bool {
 		return true
 	}
 	m.obj.Acquire(tx, boost.Key(key))
+	live := m.obj.VersioningLive(tx)
+	if live && m.obj.NeedsSeed(key) {
+		m.seedCount(tx, key)
+	}
 	if !m.base.RemoveOne(key) {
 		return false
 	}
 	m.obj.Record(tx, boost.Op[K]{Inverse: func() { m.base.Add(key) }})
 	m.obj.Emit(tx, RedoRemove, key, nil)
+	if live {
+		n := int64(m.base.Count(key))
+		m.obj.RecordVersion(tx, key, boost.Version{Present: n > 0, N: n})
+	}
 	return true
 }
 
 // Count returns the number of occurrences of key. Eager: read-only, but the
 // key's abstract lock still serializes it against concurrent mutators of
-// the same key. Lazy: observed count plus the pending delta.
+// the same key. Lazy: observed count plus the pending delta. Read-only
+// transactions answer from the key's version chain — chains store the
+// absolute post-operation count, recorded under the key's exclusive lock,
+// so the snapshot read needs no lock demand (see Set.Contains for the
+// chain-miss double-check argument).
 func (m *Multiset[K]) Count(tx *stm.Tx, key K) int {
+	if tx.ReadOnly() && m.obj.Versioned() {
+		if v, ok := m.obj.VersionAt(key, tx.SnapshotSeq()); ok {
+			return int(v.N)
+		}
+		n := m.base.Count(key)
+		if v, ok := m.obj.VersionAt(key, tx.SnapshotSeq()); ok {
+			return int(v.N)
+		}
+		return n
+	}
 	if m.obj.Lazy() {
 		_, count := m.lazyCount(tx, key)
 		return count

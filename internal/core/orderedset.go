@@ -37,14 +37,14 @@ func NewOrderedSet() *OrderedSet[int64] {
 // for any ordered key type.
 func NewOrderedSetOf[K cmp.Ordered]() *OrderedSet[K] {
 	sl := skiplist.NewOf[K]()
-	return &OrderedSet[K]{Set: Set[K]{base: sl, obj: boost.NewRanged[K]()}, sl: sl}
+	return &OrderedSet[K]{Set: Set[K]{base: sl, obj: boost.NewRanged[K]().EnableVersions()}, sl: sl}
 }
 
 // NewOrderedSetPartition is NewOrderedSetOf with an explicit stripe count
 // and key partition for the interval-lock table.
 func NewOrderedSetPartition[K cmp.Ordered](stripes int, p lockmgr.Partition[K]) *OrderedSet[K] {
 	sl := skiplist.NewOf[K]()
-	return &OrderedSet[K]{Set: Set[K]{base: sl, obj: boost.NewRangedPartition(stripes, p)}, sl: sl}
+	return &OrderedSet[K]{Set: Set[K]{base: sl, obj: boost.NewRangedPartition(stripes, p).EnableVersions()}, sl: sl}
 }
 
 // CountRange returns the number of keys in [lo, hi]. It demands the
@@ -52,6 +52,13 @@ func NewOrderedSetPartition[K cmp.Ordered](stripes int, p lockmgr.Partition[K]) 
 // outside proceed in parallel. On a lazy ordered set the pending point ops
 // are early-flushed first — a point-keyed log cannot answer a range — after
 // which the query runs eagerly under its interval lock.
+//
+// Range queries stay eager even in read-only transactions: version chains
+// are point-keyed and cannot enumerate an interval, so a snapshot cannot
+// answer a range without a chain per key it doesn't know about. A read-only
+// transaction may still call them, but pays the interval-lock demand (and
+// panics under Config.StrictReadOnly); point reads via the embedded Set
+// remain lock-free.
 func (s *OrderedSet[K]) CountRange(tx *stm.Tx, lo, hi K) int {
 	if s.obj.Lazy() {
 		s.obj.FlushPending(tx)

@@ -32,13 +32,13 @@ type Set[K comparable] struct {
 // LockKey discipline). Transactions touching disjoint keys proceed fully in
 // parallel, synchronizing only inside the linearizable base object.
 func NewKeyedSet[K comparable](base BaseSet[K]) *Set[K] {
-	return &Set[K]{base: base, obj: boost.NewKeyed[K]()}
+	return &Set[K]{base: base, obj: boost.NewKeyed[K]().EnableVersions()}
 }
 
 // NewKeyedSetStripes is NewKeyedSet with an explicit lock-table stripe
 // count, exposed for the striping ablation benchmarks.
 func NewKeyedSetStripes[K comparable](base BaseSet[K], stripes int) *Set[K] {
-	return &Set[K]{base: base, obj: boost.NewKeyedStripes[K](stripes)}
+	return &Set[K]{base: base, obj: boost.NewKeyedStripes[K](stripes).EnableVersions()}
 }
 
 // NewKeyedSetWoundWait is NewKeyedSet with wound-wait contention management
@@ -55,7 +55,7 @@ func NewKeyedSetWoundWait[K comparable](base BaseSet[K]) *Set[K] {
 // on the per-key locks (lockmgr.Timeout, lockmgr.WoundWait, or a
 // lockmgr.NewDetect instance), overriding the system-wide choice.
 func NewKeyedSetPolicy[K comparable](base BaseSet[K], p lockmgr.ContentionPolicy) *Set[K] {
-	return &Set[K]{base: base, obj: boost.NewKeyedPolicy[K](lockmgr.DefaultStripes, p)}
+	return &Set[K]{base: base, obj: boost.NewKeyedPolicy[K](lockmgr.DefaultStripes, p).EnableVersions()}
 }
 
 // NewCoarseSet boosts base with a single abstract lock for all method calls
@@ -64,7 +64,7 @@ func NewKeyedSetPolicy[K comparable](base BaseSet[K], p lockmgr.ContentionPolicy
 // red-black tree, Fig. 9). The per-method specs below are unchanged: the
 // kernel maps the same key demands onto the coarse lock.
 func NewCoarseSet[K comparable](base BaseSet[K]) *Set[K] {
-	return &Set[K]{base: base, obj: boost.NewCoarse[K]()}
+	return &Set[K]{base: base, obj: boost.NewCoarse[K]().EnableVersions()}
 }
 
 // Add inserts key, reporting whether the set changed. Eager: inverse
@@ -81,11 +81,18 @@ func (s *Set[K]) Add(tx *stm.Tx, key K) bool {
 		return true
 	}
 	s.obj.Acquire(tx, boost.Key(key))
+	live := s.obj.VersioningLive(tx)
+	if live && s.obj.NeedsSeed(key) {
+		s.obj.SeedVersion(tx, key, boost.Version{Present: s.base.Contains(key)})
+	}
 	if !s.base.Add(key) {
 		return false
 	}
 	s.obj.Record(tx, boost.Op[K]{Inverse: func() { s.base.Remove(key) }})
 	s.obj.Emit(tx, RedoAdd, key, nil)
+	if live {
+		s.obj.RecordVersion(tx, key, boost.Version{Present: true})
+	}
 	return true
 }
 
@@ -102,11 +109,18 @@ func (s *Set[K]) Remove(tx *stm.Tx, key K) bool {
 		return true
 	}
 	s.obj.Acquire(tx, boost.Key(key))
+	live := s.obj.VersioningLive(tx)
+	if live && s.obj.NeedsSeed(key) {
+		s.obj.SeedVersion(tx, key, boost.Version{Present: s.base.Contains(key)})
+	}
 	if !s.base.Remove(key) {
 		return false
 	}
 	s.obj.Record(tx, boost.Op[K]{Inverse: func() { s.base.Add(key) }})
 	s.obj.Emit(tx, RedoRemove, key, nil)
+	if live {
+		s.obj.RecordVersion(tx, key, boost.Version{Present: false})
+	}
 	return true
 }
 
@@ -143,7 +157,24 @@ func (s *Set[K]) RemoveQuiet(tx *stm.Tx, key K) {
 // paper's practical approximation of that conflict relation. Lazy: the
 // answer comes from the pending log (read-your-writes) or an optimistic
 // observation re-validated at commit; no lock until then.
+//
+// Read-only transactions on a versioned set never reach either path: the
+// answer comes from the key's version chain at the snapshot's pinned
+// sequence number — no lock demand, no pending log, no way to conflict.
+// The chain miss (key never written since versioning activated) falls back
+// to a base read double-checked against the chain, which is sound because
+// writers seed a key's pre-state before their first base mutation of it.
 func (s *Set[K]) Contains(tx *stm.Tx, key K) bool {
+	if tx.ReadOnly() && s.obj.Versioned() {
+		if v, ok := s.obj.VersionAt(key, tx.SnapshotSeq()); ok {
+			return v.Present
+		}
+		hit := s.base.Contains(key)
+		if v, ok := s.obj.VersionAt(key, tx.SnapshotSeq()); ok {
+			return v.Present
+		}
+		return hit
+	}
 	if s.obj.Lazy() {
 		_, present := s.lazyPresence(tx, key)
 		return present

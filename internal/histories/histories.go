@@ -52,12 +52,19 @@ func (k EventKind) String() string {
 	}
 }
 
-// Event is one history event.
+// Event is one history event. Seq and RO extend the paper's alphabet for
+// the multi-version read path: a commit event may carry the transaction's
+// global commit sequence number (its serialization position in the
+// versioned kernel), and a read-only transaction's commit carries the
+// sequence number its snapshot was pinned at instead — the point in the
+// committed prefix at which all its reads logically occurred.
 type Event struct {
 	Kind   EventKind
 	Tx     uint64
 	Object string // which object the call addresses ("" for tx events)
 	Call   Call   // valid when Kind == EvCall
+	Seq    uint64 // commit sequence (writers) or pinned snapshot (readers)
+	RO     bool   // the transaction was a read-only snapshot transaction
 }
 
 // Call is a method call: invocation (method + args) plus response.
@@ -133,6 +140,18 @@ func (h History) Committed() History {
 	return out
 }
 
+// ReadOnly returns the set of transactions that committed as read-only
+// snapshot transactions (recorded with SnapshotCommit).
+func (h History) ReadOnly() map[uint64]bool {
+	out := map[uint64]bool{}
+	for _, e := range h {
+		if e.Kind == EvCommit && e.RO {
+			out[e.Tx] = true
+		}
+	}
+	return out
+}
+
 // Aborted returns the set of transactions that finished aborting.
 func (h History) Aborted() map[uint64]bool {
 	out := map[uint64]bool{}
@@ -173,6 +192,21 @@ func (r *Recorder) RecordCall(tx uint64, obj, method string, args []int64, resp 
 // Commit records ⟨tx commit⟩. Call from stm's AtCommit hook so commit events
 // appear in serialization order.
 func (r *Recorder) Commit(tx uint64) { r.append(Event{Kind: EvCommit, Tx: tx}) }
+
+// CommitAt records ⟨tx commit⟩ stamped with the transaction's global commit
+// sequence number (stm.Tx.CommitSeq, available inside AtCommit handlers).
+// Histories recorded with CommitAt can be checked with CheckSnapshotReads.
+func (r *Recorder) CommitAt(tx uint64, seq uint64) {
+	r.append(Event{Kind: EvCommit, Tx: tx, Seq: seq})
+}
+
+// SnapshotCommit records the commit of a read-only snapshot transaction,
+// stamped with the sequence number its snapshot was pinned at
+// (stm.Tx.SnapshotSeq). Its reads are checked against the committed prefix
+// up to pin, not against the final state — see CheckSnapshotReads.
+func (r *Recorder) SnapshotCommit(tx uint64, pin uint64) {
+	r.append(Event{Kind: EvCommit, Tx: tx, Seq: pin, RO: true})
+}
 
 // Abort records ⟨tx abort⟩.
 func (r *Recorder) Abort(tx uint64) { r.append(Event{Kind: EvAbort, Tx: tx}) }

@@ -1,0 +1,136 @@
+package lockmgr
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tboost/internal/stm"
+)
+
+// TestReaderNeverWounded pins the read-only exemption in wound-wait: an
+// older writer that conflicts with a younger read-only lock holder (a
+// fallback-path reader — snapshot readers hold no locks at all) must wait,
+// not wound. Without the exemption this is exactly the
+// TestWoundWaitOlderWoundsYounger scenario and the reader would be doomed
+// and forced through a second attempt.
+func TestReaderNeverWounded(t *testing.T) {
+	sys := stm.NewSystem(stm.Config{LockTimeout: 2 * time.Second})
+	l := NewOwnerLockPolicy(WoundWait)
+
+	// Activate versioning before any writer is in flight: the FIRST
+	// read-only transaction on a system waits out an activation grace
+	// period for every running transaction, and the writer below blocks
+	// mid-transaction on the reader starting — a circular wait if the
+	// reader's entry were also the activating one.
+	if err := sys.AtomicRO(func(tx *stm.Tx) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	// The OLDER transaction (the writer) starts first but acquires the
+	// lock second; the younger read-only transaction holds it.
+	writerStarted := make(chan struct{})
+	readerHolds := make(chan struct{})
+	var readerAttempts atomic.Int32
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // older writer
+		defer wg.Done()
+		err := sys.Atomic(func(tx *stm.Tx) error {
+			if tx.Attempt() == 0 {
+				close(writerStarted)
+				<-readerHolds
+			}
+			l.Acquire(tx) // would wound the younger holder, were it not read-only
+			return nil
+		})
+		if err != nil {
+			t.Errorf("writer: %v", err)
+		}
+	}()
+	go func() { // younger read-only holder: grabs the lock, dawdles toward commit
+		defer wg.Done()
+		<-writerStarted
+		err := sys.AtomicRO(func(tx *stm.Tx) error {
+			readerAttempts.Add(1)
+			l.Acquire(tx)
+			if tx.Attempt() == 0 {
+				close(readerHolds)
+				time.Sleep(50 * time.Millisecond)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Errorf("reader: %v", err)
+		}
+	}()
+	wg.Wait()
+	if n := readerAttempts.Load(); n != 1 {
+		t.Fatalf("read-only holder was wounded and retried (attempts=%d)", n)
+	}
+	st := sys.Stats()
+	if st.WoundsIssued != 0 {
+		t.Fatalf("wounds issued against a read-only holder: %d", st.WoundsIssued)
+	}
+	if st.ROAborts != 0 {
+		t.Fatalf("read-only transaction aborted: %d", st.ROAborts)
+	}
+	if l.Locked() {
+		t.Fatal("lock leaked")
+	}
+}
+
+// TestDetectVictimSkipsReader pins the Detect policy's victim selection: in
+// a wait-for cycle containing a writer and a (younger) read-only
+// transaction, the writer is sacrificed even though the reader is the
+// youngest member. A cycle of nothing but readers still picks a victim —
+// the youngest — so fallback-path reader deadlocks are broken.
+func TestDetectVictimSkipsReader(t *testing.T) {
+	sys := stm.NewSystem(stm.Config{})
+	// Pre-activate versioning: see TestReaderNeverWounded.
+	if err := sys.AtomicRO(func(tx *stm.Tx) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	defer close(done)
+
+	capture := func(ro bool) *stm.Tx {
+		ready := make(chan *stm.Tx, 1)
+		body := func(tx *stm.Tx) error {
+			ready <- tx
+			<-done
+			return nil
+		}
+		if ro {
+			go sys.AtomicRO(body)
+		} else {
+			go sys.Atomic(body)
+		}
+		return <-ready
+	}
+
+	// The writer starts first, so the reader is younger (larger birth) —
+	// the youngest-victim rule alone would pick the reader.
+	writer := capture(false)
+	reader := capture(true)
+
+	g := waitForGraph{edges: make(map[uint64]waitEdge)}
+	if v := g.observe(writer, reader); v != nil {
+		t.Fatalf("no cycle yet, got victim %d", v.ID())
+	}
+	if v := g.observe(reader, writer); v != writer {
+		t.Fatalf("victim should be the writer, not the younger reader")
+	}
+
+	// An all-reader cycle must still be broken: youngest member loses.
+	ro1 := capture(true)
+	ro2 := capture(true)
+	g2 := waitForGraph{edges: make(map[uint64]waitEdge)}
+	if v := g2.observe(ro1, ro2); v != nil {
+		t.Fatalf("no cycle yet, got victim %d", v.ID())
+	}
+	if v := g2.observe(ro2, ro1); v != ro2 {
+		t.Fatalf("all-reader cycle should doom the youngest reader")
+	}
+}

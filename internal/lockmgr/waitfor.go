@@ -25,8 +25,10 @@ type waitEdge struct {
 	holderID    uint64
 	holder      *stm.Tx
 	holderBirth uint64
+	holderRO    bool
 	waiter      *stm.Tx
 	waiterBirth uint64
+	waiterRO    bool
 }
 
 // waitForGraph is the Detect policy's wait-for graph, maintained at
@@ -57,15 +59,21 @@ type waitForGraph struct {
 // the edge closed a cycle. If it did, observe returns the youngest member of
 // the cycle (largest birth — the transaction that has invested the least
 // and, under retry-with-preserved-birth, will age into immunity); otherwise
-// nil.
+// nil. Read-only transactions are skipped in victim selection: the youngest
+// *writer* in the cycle is preferred, and only a cycle consisting entirely
+// of read-only (fallback-path) transactions sacrifices a reader. The RO flag
+// is captured at edge insertion, like the births, so victim selection never
+// reads a possibly-recycled descriptor.
 func (g *waitForGraph) observe(waiter, holder *stm.Tx) *stm.Tx {
 	wid := waiter.ID()
 	e := waitEdge{
 		holderID:    holder.ID(),
 		holder:      holder,
 		holderBirth: holder.Birth(),
+		holderRO:    holder.ReadOnly(),
 		waiter:      waiter,
 		waiterBirth: waiter.Birth(),
+		waiterRO:    waiter.ReadOnly(),
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -73,13 +81,27 @@ func (g *waitForGraph) observe(waiter, holder *stm.Tx) *stm.Tx {
 
 	victim := waiter
 	victimBirth := e.waiterBirth
+	var victimRW *stm.Tx // youngest non-read-only member seen so far
+	var victimRWBirth uint64
+	if !e.waiterRO {
+		victimRW, victimRWBirth = waiter, e.waiterBirth
+	}
 	cur := e
 	for range maxChase {
 		if cur.holderBirth > victimBirth {
 			victim, victimBirth = cur.holder, cur.holderBirth
 		}
+		if !cur.holderRO && (victimRW == nil || cur.holderBirth > victimRWBirth) {
+			victimRW, victimRWBirth = cur.holder, cur.holderBirth
+		}
 		if cur.holderID == wid {
-			return victim // the chain returned to the inserting waiter: cycle
+			// The chain returned to the inserting waiter: cycle. Prefer
+			// the youngest writer; an all-reader cycle falls back to the
+			// youngest member so the cycle is still broken.
+			if victimRW != nil {
+				return victimRW
+			}
+			return victim
 		}
 		next, ok := g.edges[cur.holderID]
 		if !ok {

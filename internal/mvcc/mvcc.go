@@ -1,0 +1,224 @@
+// Package mvcc is the snapshot manager of the multi-version read path: a
+// global commit sequence clock, a registry of pinned snapshot sequence
+// numbers, and the retention accounting that bounds per-key version history.
+//
+// The design is the classic seqno/snapshot-pin idiom of LSM storage engines,
+// transplanted onto the boosting kernel:
+//
+//   - Committing transactions that recorded versioned mutations draw a
+//     sequence number from the clock *while still holding their abstract
+//     locks*, so sequence order equals serialization order (and, with a WAL
+//     configured, log append order — both happen in the same locked region).
+//   - The clock splits allocation from publication: Begin hands out the next
+//     sequence, Publish makes it visible only after the transaction's version
+//     records have landed in the per-key chains, and only in sequence order.
+//     A reader that pins the visible sequence therefore never observes a
+//     half-flushed commit.
+//   - Read-only transactions pin the visible sequence for their duration and
+//     read the newest version at-or-below their pin; version garbage
+//     collection reclaims chain entries strictly below the trim bound
+//     (min of the oldest pin and the visible sequence).
+//
+// The manager itself is dependency-free; internal/stm owns one per System
+// and internal/boost consults it when appending and trimming version chains.
+// A versioned object must be driven by transactions of a single System: pins
+// registered with one manager do not protect chains trimmed under another.
+package mvcc
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// NoPin is the trim bound reported when no snapshot is pinned: every version
+// below the currently visible sequence is reclaimable (the newest entry per
+// key is always retained).
+const NoPin = ^uint64(0)
+
+// Manager is the snapshot manager for one transaction System. All methods
+// are safe for concurrent use.
+type Manager struct {
+	// next is the allocation clock; visible trails it, advancing in
+	// sequence order as committers publish. Sequence 0 means "before all
+	// versioned history" and is used for chain floor (seed) entries.
+	next    atomic.Uint64
+	visible atomic.Uint64
+
+	// active is the one-way versioning switch: writers record versions only
+	// once the first snapshot pin has activated the manager (after an epoch
+	// grace period drained the transactions that predate it — see
+	// stm.System). Until then the whole multi-version path costs writers a
+	// single atomic load.
+	active atomic.Bool
+
+	mu     sync.Mutex
+	pins   map[uint64]int // pinned sequence → pin count
+	oldest uint64         // min key of pins; valid while len(pins) > 0
+
+	retained  atomic.Int64  // live version-chain entries across all tables
+	reclaimed atomic.Uint64 // entries trimmed since the manager was created
+}
+
+// NewManager returns an empty manager: sequence clock at zero, no pins,
+// versioning inactive.
+func NewManager() *Manager {
+	return &Manager{pins: make(map[uint64]int)}
+}
+
+// Active reports whether versioning has been switched on (a snapshot pin has
+// existed at some point). Writers consult it before paying any version
+// bookkeeping; it is monotone, so a false answer can never invalidate a pin
+// taken later — activation drains the transactions that answered false.
+func (m *Manager) Active() bool { return m.active.Load() }
+
+// Activate flips the one-way versioning switch, reporting whether this call
+// performed the transition. The caller (stm's activation path) must complete
+// its grace period — waiting out every transaction that may have skipped
+// version recording — before registering the first pin.
+func (m *Manager) Activate() bool {
+	return m.active.CompareAndSwap(false, true)
+}
+
+// Begin allocates the next commit sequence number. Call while holding the
+// committing transaction's abstract locks, after the point of no return:
+// between Begin and Publish only in-memory version flushing may run.
+func (m *Manager) Begin() uint64 { return m.next.Add(1) }
+
+// Publish makes seq visible to new pins. Publication is strictly in-order:
+// Publish(seq) waits until seq-1 is visible, so a reader pinning the visible
+// sequence observes a prefix-closed set of commits with every version record
+// already in place. The wait is a bounded spin — predecessors only flush
+// in-memory version records between their Begin and Publish.
+func (m *Manager) Publish(seq uint64) {
+	for !m.visible.CompareAndSwap(seq-1, seq) {
+		runtime.Gosched()
+	}
+}
+
+// Visible returns the newest published sequence number.
+func (m *Manager) Visible() uint64 { return m.visible.Load() }
+
+// Pin registers a snapshot at the current visible sequence and returns it.
+// Every Pin must be matched by exactly one Unpin with the returned sequence.
+// The visible read and the registration happen under one mutex acquisition,
+// ordered against TrimBound: a trim computed after Pin returns can never
+// reclaim the version a pinned reader needs.
+func (m *Manager) Pin() uint64 {
+	m.mu.Lock()
+	seq := m.visible.Load()
+	if len(m.pins) == 0 || seq < m.oldest {
+		m.oldest = seq
+	}
+	m.pins[seq]++
+	m.mu.Unlock()
+	return seq
+}
+
+// Unpin releases one pin previously returned by Pin. Reclamation is lazy:
+// chain entries freed by this release are trimmed by subsequent version
+// appends (or an explicit compaction sweep), not here.
+func (m *Manager) Unpin(seq uint64) {
+	m.mu.Lock()
+	n := m.pins[seq] - 1
+	if n > 0 {
+		m.pins[seq] = n
+	} else {
+		delete(m.pins, seq)
+		if seq == m.oldest && len(m.pins) > 0 {
+			min := NoPin
+			for p := range m.pins {
+				if p < min {
+					min = p
+				}
+			}
+			m.oldest = min
+		}
+	}
+	m.mu.Unlock()
+}
+
+// OldestPin returns the smallest pinned sequence, or NoPin when no snapshot
+// is pinned.
+func (m *Manager) OldestPin() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.pins) == 0 {
+		return NoPin
+	}
+	return m.oldest
+}
+
+// ActivePins reports how many pins are currently registered (counting
+// multiplicity).
+func (m *Manager) ActivePins() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, c := range m.pins {
+		n += c
+	}
+	return n
+}
+
+// TrimBound returns the sequence below which chain entries may be reclaimed:
+// the newest entry at-or-below the bound must be kept per key (it is the
+// state some live or future pin reads); everything older goes. The bound is
+// min(oldest pin, visible): capping at the visible sequence protects a
+// reader that pins concurrently with a committer's trim — any future pin is
+// at least the visible sequence the trim saw, so the entries it needs
+// survive. Taken under the pin mutex so it is ordered against Pin.
+func (m *Manager) TrimBound() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	bound := m.visible.Load()
+	if len(m.pins) > 0 && m.oldest < bound {
+		bound = m.oldest
+	}
+	return bound
+}
+
+// NoteRetained adds n to the live version-entry gauge. Version tables call
+// it when appending chain entries.
+func (m *Manager) NoteRetained(n int) { m.retained.Add(int64(n)) }
+
+// NoteReclaimed moves n entries from the live gauge to the reclaimed
+// counter. Version tables call it when trimming.
+func (m *Manager) NoteReclaimed(n int) {
+	m.retained.Add(-int64(n))
+	m.reclaimed.Add(uint64(n))
+}
+
+// Stats is a point-in-time view of the manager, the visible face of version
+// retention: a long-lived pin shows up as a growing VersionsRetained gauge,
+// and reclamation after its release shows up in VersionsReclaimed.
+type Stats struct {
+	Visible           uint64 // newest published commit sequence
+	ActivePins        int    // registered pins, counting multiplicity
+	OldestPin         uint64 // smallest pinned sequence; NoPin when none
+	VersionsRetained  int64  // live version-chain entries across all tables
+	VersionsReclaimed uint64 // entries trimmed since creation
+	Active            bool   // versioning switched on
+}
+
+// Stats returns the manager's current counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	oldest := NoPin
+	if len(m.pins) > 0 {
+		oldest = m.oldest
+	}
+	pins := 0
+	for _, c := range m.pins {
+		pins += c
+	}
+	m.mu.Unlock()
+	return Stats{
+		Visible:           m.visible.Load(),
+		ActivePins:        pins,
+		OldestPin:         oldest,
+		VersionsRetained:  m.retained.Load(),
+		VersionsReclaimed: m.reclaimed.Load(),
+		Active:            m.active.Load(),
+	}
+}

@@ -32,6 +32,11 @@ type savepoint struct {
 	// eager transactions pay nothing.
 	lazyLogs int
 	lazyLens []int
+
+	// versLogs/versLens give pending version logs the same treatment:
+	// version records of a rolled-back child must never be published.
+	versLogs int
+	versLens []int
 }
 
 func (tx *Tx) save() savepoint {
@@ -51,6 +56,13 @@ func (tx *Tx) save() savepoint {
 		sp.lazyLens = make([]int, n)
 		for i := range tx.lazy {
 			sp.lazyLens[i] = tx.lazy[i].log.Len()
+		}
+	}
+	if n := len(tx.vers); n > 0 {
+		sp.versLogs = n
+		sp.versLens = make([]int, n)
+		for i := range tx.vers {
+			sp.versLens[i] = tx.vers[i].log.Len()
 		}
 	}
 	return sp
@@ -103,6 +115,16 @@ func (tx *Tx) rollbackTo(sp savepoint) {
 		clear(tx.lazy[sp.lazyLogs:])
 		tx.lazy = tx.lazy[:sp.lazyLogs]
 	}
+
+	// Version logs mirror the lazy logs: records the child pended leave
+	// with it (they were never published — publication happens only at the
+	// top-level commit), logs it attached are recycled below.
+	var childVers []versionAttach
+	if len(tx.vers) > sp.versLogs {
+		childVers = append(childVers, tx.vers[sp.versLogs:]...)
+		clear(tx.vers[sp.versLogs:])
+		tx.vers = tx.vers[:sp.versLogs]
+	}
 	tx.stateUnlock()
 
 	for i := len(childUndo) - 1; i >= 0; i-- {
@@ -115,6 +137,9 @@ func (tx *Tx) rollbackTo(sp savepoint) {
 	for i := 0; i < sp.lazyLogs; i++ {
 		tx.lazy[i].log.TruncateTo(sp.lazyLens[i])
 	}
+	for i := 0; i < sp.versLogs; i++ {
+		tx.vers[i].log.TruncateTo(sp.versLens[i])
+	}
 	for i := len(childLocks) - 1; i >= 0; i-- {
 		childLocks[i].Unlock(tx)
 	}
@@ -122,6 +147,9 @@ func (tx *Tx) rollbackTo(sp savepoint) {
 		f()
 	}
 	for _, a := range childLazy {
+		a.log.Recycle()
+	}
+	for _, a := range childVers {
 		a.log.Recycle()
 	}
 }

@@ -1,0 +1,206 @@
+package stm
+
+// Read-only transactions over the versioned kernel.
+//
+// A read-only transaction pins the snapshot manager's visible sequence and
+// answers reads from version chains at that sequence: no abstract-lock
+// demands, no contention-policy interaction, no possibility of abort or
+// wounding. Where an object keeps no history (unsynced/heap disciplines, or
+// versioning disabled), its reads fall back to ordinary eager locking — the
+// transaction is still read-only (mutations panic) but degrades to the
+// locked discipline for those objects, and its locked reads observe live
+// state rather than the pin. Snapshot guarantees therefore hold across the
+// versioned objects a read-only transaction touches; mixing in unversioned
+// objects yields per-object consistency only.
+//
+// # Activation and the epoch grace period
+//
+// Version bookkeeping (seeding chains, recording post-op versions) costs
+// writers nothing until the first snapshot pin: objects consult the
+// manager's one-way Active flag, a single atomic load. The first pin flips
+// the flag and then waits out a grace period — every transaction that may
+// have begun before the flip (and so may mutate without recording versions)
+// must finish before the pin is registered. The grace period is implemented
+// with two generations of sharded begun/ended counters: every Atomic call
+// enters the current generation on start and exits it on return; activation
+// flips the flag, bumps the generation, and spins until the old generation
+// drains. Chains are empty at activation, so readers fall back to the base
+// object for pre-activation state — safe precisely because the drain
+// guarantees no transaction is mid-mutation without having seeded first.
+//
+// Do not open a snapshot or run a read-only transaction from inside another
+// transaction's body on the same system: if that transaction predates
+// activation, the grace period waits for it while it waits for the grace
+// period.
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// roParams carries the read-only mode through the retry loop.
+type roParams struct {
+	ro  bool
+	seq uint64 // pinned snapshot sequence; valid when ro
+}
+
+// AtomicRO executes fn as a read-only transaction on the default system.
+// See System.AtomicRO.
+func AtomicRO(fn func(tx *Tx) error) error { return Default.AtomicRO(fn) }
+
+// AtomicRO executes fn as a read-only transaction: a snapshot of the
+// system's versioned state is pinned for the duration of the call, and reads
+// of versioned objects answer from version chains at the pinned sequence
+// with no lock demands and no possibility of abort or wounding. Mutating
+// calls (anything that logs an inverse or registers deferred effects) panic.
+//
+// The first read-only call on a system activates version retention and waits
+// a grace period for in-flight writers; subsequent calls pin in O(1). For
+// many reads against one snapshot, OpenSnapshot amortizes the pin.
+func (s *System) AtomicRO(fn func(tx *Tx) error) error {
+	seq := s.pinSnapshot()
+	defer s.snaps.Unpin(seq)
+	return s.runWith(nil, fn, roParams{ro: true, seq: seq})
+}
+
+// AtomicROCtx is AtomicRO with deadline and cancellation, mirroring
+// AtomicCtx.
+func (s *System) AtomicROCtx(ctx context.Context, fn func(tx *Tx) error) error {
+	seq := s.pinSnapshot()
+	defer s.snaps.Unpin(seq)
+	if ctx == nil {
+		return s.runWith(nil, fn, roParams{ro: true, seq: seq})
+	}
+	return s.runWith(ctx, fn, roParams{ro: true, seq: seq})
+}
+
+// Snapshot is a pinned view of a system's versioned state. All read-only
+// transactions run through it observe the same sequence, so repeated scans
+// are mutually consistent. A snapshot pins version history: garbage
+// collection cannot reclaim chain entries its sequence still needs, which a
+// long-lived snapshot makes visible as a growing VersionsRetained stat.
+// Close releases the pin; using a closed snapshot panics.
+type Snapshot struct {
+	sys    *System
+	seq    uint64
+	closed atomic.Bool
+}
+
+// OpenSnapshot pins the current visible sequence and returns a handle for
+// running read-only transactions against it. The caller must Close it.
+func (s *System) OpenSnapshot() *Snapshot {
+	return &Snapshot{sys: s, seq: s.pinSnapshot()}
+}
+
+// Seq returns the snapshot's pinned commit sequence number.
+func (sn *Snapshot) Seq() uint64 { return sn.seq }
+
+// Atomic executes fn as a read-only transaction at the snapshot's sequence.
+func (sn *Snapshot) Atomic(fn func(tx *Tx) error) error {
+	if sn.closed.Load() {
+		panic("stm: Atomic on closed Snapshot")
+	}
+	return sn.sys.runWith(nil, fn, roParams{ro: true, seq: sn.seq})
+}
+
+// AtomicCtx is Atomic honouring ctx.
+func (sn *Snapshot) AtomicCtx(ctx context.Context, fn func(tx *Tx) error) error {
+	if sn.closed.Load() {
+		panic("stm: AtomicCtx on closed Snapshot")
+	}
+	if ctx == nil {
+		return sn.sys.runWith(nil, fn, roParams{ro: true, seq: sn.seq})
+	}
+	return sn.sys.runWith(ctx, fn, roParams{ro: true, seq: sn.seq})
+}
+
+// Close releases the snapshot's pin, letting garbage collection reclaim
+// versions only it was holding. Close is idempotent.
+func (sn *Snapshot) Close() {
+	if sn.closed.CompareAndSwap(false, true) {
+		sn.sys.snaps.Unpin(sn.seq)
+	}
+}
+
+// pinSnapshot activates versioning if this is the system's first pin (with
+// the grace period — see the package comment above) and registers a pin at
+// the visible sequence.
+func (s *System) pinSnapshot() uint64 {
+	if !s.versReady.Load() {
+		s.activateVersioning()
+	}
+	return s.snaps.Pin()
+}
+
+// activateVersioning performs the one-way switch to version retention:
+// activate the manager (new transactions start recording versions), bump the
+// epoch generation, and wait until every transaction of the old generation —
+// any of which may have skipped version recording — has finished. Only then
+// is the system ready to pin: versReady gates concurrent first-pinners so
+// none registers a pin before the grace period completes.
+func (s *System) activateVersioning() {
+	s.epochMu.Lock()
+	defer s.epochMu.Unlock()
+	if s.versReady.Load() {
+		return
+	}
+	if s.snaps.Activate() {
+		old := s.gen.Load()
+		s.gen.Store(old + 1)
+		for !s.epochs[old&1].drained() {
+			time.Sleep(10 * time.Microsecond)
+		}
+	}
+	s.versReady.Store(true)
+}
+
+// epochShard is one padded cell of the generation's begun/ended counters,
+// sharded like the stats so concurrent transaction starts do not bounce a
+// cache line.
+type epochShard struct {
+	begun atomic.Int64
+	ended atomic.Int64
+	_     [112]byte
+}
+
+// epochGen is one generation of entry/exit counters. Two generations
+// alternate by parity of System.gen; the grace period drains the old one.
+type epochGen struct {
+	shards [statShards]epochShard
+}
+
+// drained reports whether every transaction that entered this generation has
+// exited. Ended is summed before begun so a transaction completing between
+// the two sums skews toward begun > ended — a false "not drained", never a
+// false "drained".
+func (g *epochGen) drained() bool {
+	var b, e int64
+	for i := range g.shards {
+		e += g.shards[i].ended.Load()
+	}
+	for i := range g.shards {
+		b += g.shards[i].begun.Load()
+	}
+	return b == e
+}
+
+// epochEnter counts the calling Atomic into the current generation and
+// returns the shard to exit through. The re-check handles the race with a
+// concurrent generation bump: if the generation moved while we were
+// entering, our begun increment may postdate the drain's reads, so we back
+// out and enter the new generation instead (where the activation that bumped
+// it already guarantees version recording). If the re-check still sees our
+// generation, the increment is ordered before the bump and the drain will
+// wait for us.
+func (s *System) epochEnter(hint uint64) *epochShard {
+	for {
+		g := s.gen.Load()
+		sh := &s.epochs[g&1].shards[hint&(statShards-1)]
+		sh.begun.Add(1)
+		if s.gen.Load() == g {
+			return sh
+		}
+		sh.begun.Add(-1)
+	}
+}

@@ -40,6 +40,15 @@ const (
 	cCommitAge23 // committed on attempt 3 or 4
 	cCommitAge4p // committed on attempt 5 or later
 
+	// Read-only (snapshot) transactions. ROAborts and ReaderLockDemands
+	// are both zero for workloads whose readers stay on the lock-free
+	// versioned path; either going non-zero means eager fallback (or user
+	// aborts) crept in.
+	cROStarts
+	cROCommits
+	cROAborts
+	cReaderLockDemands // abstract locks demanded by read-only txs (fallback)
+
 	nCounters
 )
 
@@ -140,6 +149,10 @@ func (s *Stats) snapshot() StatsSnapshot {
 			s.total(cCommitAge23),
 			s.total(cCommitAge4p),
 		},
+		ROStarts:          s.total(cROStarts),
+		ROCommits:         s.total(cROCommits),
+		ROAborts:          s.total(cROAborts),
+		ReaderLockDemands: s.total(cReaderLockDemands),
 	}
 }
 
@@ -184,6 +197,15 @@ type StatsSnapshot struct {
 	// CommitAge is the age-at-commit histogram: how many transactions
 	// committed on attempt 1, attempt 2, attempts 3-4, and attempt >= 5.
 	CommitAge [4]int64
+
+	// Read-only (snapshot) transaction counters. A workload whose readers
+	// stay on the lock-free versioned path shows ROAborts == 0 and
+	// ReaderLockDemands == 0; non-zero values mean some reads fell back to
+	// eager locking (unversioned objects) or user code aborted.
+	ROStarts          int64
+	ROCommits         int64
+	ROAborts          int64
+	ReaderLockDemands int64
 }
 
 // AbortRatio returns aborts divided by attempts started, in [0,1].
@@ -240,6 +262,10 @@ func (s StatsSnapshot) Sub(earlier StatsSnapshot) StatsSnapshot {
 			s.CommitAge[2] - earlier.CommitAge[2],
 			s.CommitAge[3] - earlier.CommitAge[3],
 		},
+		ROStarts:          s.ROStarts - earlier.ROStarts,
+		ROCommits:         s.ROCommits - earlier.ROCommits,
+		ROAborts:          s.ROAborts - earlier.ROAborts,
+		ReaderLockDemands: s.ReaderLockDemands - earlier.ReaderLockDemands,
 	}
 }
 
@@ -268,6 +294,10 @@ func (s StatsSnapshot) String() string {
 	if s.AdmissionRejects > 0 || s.Collapses > 0 || s.AdmissionWaits > 0 {
 		line += fmt.Sprintf(" admissionWaits=%d admissionRejects=%d collapses=%d",
 			s.AdmissionWaits, s.AdmissionRejects, s.Collapses)
+	}
+	if s.ROStarts > 0 {
+		line += fmt.Sprintf(" roStarts=%d roCommits=%d roAborts=%d readerLockDemands=%d",
+			s.ROStarts, s.ROCommits, s.ROAborts, s.ReaderLockDemands)
 	}
 	return line
 }

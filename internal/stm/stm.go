@@ -178,6 +178,25 @@ type Tx struct {
 
 	ext map[any]any // extension slots for cooperating packages (e.g. rwstm)
 
+	// vers holds the pending version logs of versioned boosted objects this
+	// transaction mutated; flushed at the commit point under a fresh commit
+	// sequence number, discarded on abort (see version.go).
+	vers []versionAttach
+
+	// readOnly marks a snapshot transaction (AtomicRO / Snapshot.Atomic):
+	// snapSeq is its pinned sequence and mutating accessors panic. Set once
+	// per attempt before fn runs; read concurrently by contention managers
+	// selecting victims, which is safe for the same reason Birth reads are —
+	// it is stable for the descriptor's whole attempt and the reader holds a
+	// lock-internal mutex ordered after the attempt began.
+	readOnly bool
+	snapSeq  uint64
+
+	// commitSeq is the commit sequence number assigned by flushVersions;
+	// zero for transactions that mutated no versioned object. Read by
+	// AtCommit handlers (the history recorder).
+	commitSeq uint64
+
 	doomed     atomic.Bool
 	asyncMu    sync.Mutex    // guards doomCh/doomClosed/abortCause (cross-goroutine)
 	doomCh     chan struct{} // lazily created; closed by Doom (see DoomChan)
@@ -210,6 +229,23 @@ func (tx *Tx) Birth() uint64 { return tx.birth }
 
 // Status returns the transaction's current lifecycle state.
 func (tx *Tx) Status() Status { return Status(tx.status.Load()) }
+
+// ReadOnly reports whether this is a snapshot transaction (AtomicRO or
+// Snapshot.Atomic). Read-only transactions answer versioned reads from their
+// pinned snapshot, may not mutate, and are never chosen as contention
+// victims while lock-free.
+func (tx *Tx) ReadOnly() bool { return tx.readOnly }
+
+// SnapshotSeq returns the pinned snapshot sequence of a read-only
+// transaction, or zero for ordinary transactions. Versioned objects answer
+// this transaction's reads at this sequence.
+func (tx *Tx) SnapshotSeq() uint64 { return tx.snapSeq }
+
+// CommitSeq returns the commit sequence number assigned when the
+// transaction's version records were published, or zero if it mutated no
+// versioned object (or has not reached its commit point). Meaningful inside
+// AtCommit handlers and after commit.
+func (tx *Tx) CommitSeq() uint64 { return tx.commitSeq }
 
 // System returns the system this transaction runs under.
 func (tx *Tx) System() *System { return tx.system }
@@ -347,6 +383,9 @@ func (tx *Tx) Cause() error {
 // transaction aborts, logged operations run in reverse order of logging
 // (Rule 3: compensating actions). If it commits, the log is discarded.
 func (tx *Tx) Log(undo func()) {
+	if tx.readOnly {
+		panic("stm: mutation (undo log append) in read-only transaction")
+	}
 	if tx.parallel.Load() {
 		tx.mu.Lock()
 		tx.undo = append(tx.undo, undo)
@@ -383,6 +422,9 @@ func (tx *Tx) AtCommit(f func()) {
 // retain tx beyond their own invocation: the descriptor is recycled once
 // Atomic returns.
 func (tx *Tx) OnCommit(f func()) {
+	if tx.readOnly {
+		panic("stm: OnCommit in read-only transaction")
+	}
 	tx.stateLock()
 	tx.onCommit = append(tx.onCommit, f)
 	tx.stateUnlock()
@@ -391,6 +433,9 @@ func (tx *Tx) OnCommit(f func()) {
 // OnAbort registers a disposable action to run after rollback completes,
 // in registration order (for example returning a unique ID to its pool).
 func (tx *Tx) OnAbort(f func()) {
+	if tx.readOnly {
+		panic("stm: OnAbort in read-only transaction")
+	}
 	tx.stateLock()
 	tx.onAbort = append(tx.onAbort, f)
 	tx.stateUnlock()
@@ -423,6 +468,12 @@ func (tx *Tx) RegisterLock(l Unlocker) bool {
 func (tx *Tx) registerLock(l Unlocker) bool {
 	if tx.holdsLocked(l) {
 		return false
+	}
+	if tx.readOnly {
+		// A read-only transaction demanding an abstract lock is on the
+		// eager fallback path (unversioned object). Counted so workloads
+		// can assert their snapshot reads are truly lock-free.
+		tx.system.stats.add(tx.id, cReaderLockDemands)
 	}
 	tx.locks = append(tx.locks, l)
 	if tx.lockIdx != nil {
@@ -546,6 +597,7 @@ func (tx *Tx) rollback() {
 	tx.undo = clearFuncs(tx.undo)
 	tx.redo = clearRedo(tx.redo) // an aborted tx contributes nothing to the log
 	tx.clearLazy()               // pending lazy ops never ran; abort is truncation
+	tx.discardVers()             // pending versions were never published
 	tx.releaseLocks()
 	tx.status.Store(int32(Aborted))
 	faultpoint.Hit(faultpoint.StmPostAbort) // delay window before disposables
@@ -559,6 +611,13 @@ func (tx *Tx) rollback() {
 	tx.onValidate = tx.onValidate[:0]
 }
 
+// lockFreeReader reports whether the transaction is a snapshot reader that
+// never left the lock-free path: read-only, holding no abstract locks and no
+// pending lazy logs. Such a transaction can never legitimately be doomed.
+func (tx *Tx) lockFreeReader() bool {
+	return tx.readOnly && len(tx.locks) == 0 && len(tx.lazy) == 0
+}
+
 // commit validates, then makes the transaction's effects permanent, releases
 // locks, and runs post-commit disposables. It returns false if validation
 // failed or the transaction was doomed by a contention manager, in which
@@ -567,7 +626,11 @@ func (tx *Tx) commit() bool {
 	if faultpoint.Hit(faultpoint.StmPreCommit) == faultpoint.Doom {
 		tx.Doom() // injected contention-manager doom, discovered below
 	}
-	if tx.doomed.Load() {
+	if tx.doomed.Load() && !tx.lockFreeReader() {
+		// A lock-free snapshot reader holds nothing a contention manager
+		// could legitimately want, so a doom here can only be stale noise
+		// from the descriptor's previous life (see the Tx doc comment) —
+		// honouring it would make "readers never abort" probabilistic.
 		tx.setCause(ErrDoomed)
 		tx.rollback()
 		return false
@@ -598,6 +661,12 @@ func (tx *Tx) commit() bool {
 		return false
 	}
 	tx.status.Store(int32(Committed))
+	// Publish pending version records under a fresh commit sequence while
+	// the abstract locks are still held: sequence order = serialization
+	// order = WAL append order for conflicting transactions (version.go).
+	if len(tx.vers) > 0 {
+		tx.flushVersions()
+	}
 	for _, f := range tx.atCommit {
 		f()
 	}
@@ -648,6 +717,9 @@ func (tx *Tx) resetAttempt(sys *System, ctx context.Context, id uint64, birth ui
 	tx.status.Store(int32(Active))
 	tx.parallel.Store(false)
 	tx.durErr = nil
+	tx.readOnly = false
+	tx.snapSeq = 0
+	tx.commitSeq = 0
 	if tx.ext != nil {
 		clear(tx.ext)
 	}

@@ -4,8 +4,11 @@ import (
 	"context"
 	"fmt"
 	"math/rand/v2"
+	"sync"
 	"sync/atomic"
 	"time"
+
+	"tboost/internal/mvcc"
 )
 
 // Config controls a System's retry policy and overload protection.
@@ -81,6 +84,14 @@ type Config struct {
 	// means — see wal.Options (off / async / group commit).
 	Durability DurabilitySink
 
+	// StrictReadOnly makes a read-only transaction's eager fallback a
+	// programming error: boosted objects panic instead of demanding an
+	// abstract lock on behalf of a snapshot transaction. Use it to assert a
+	// read-mostly workload touches only versioned objects and its readers
+	// are genuinely lock-free. Off by default — the fallback is the
+	// documented behaviour for unversioned disciplines.
+	StrictReadOnly bool
+
 	// LegacyHotPath disables the single-owner fast path: every attempt
 	// allocates a fresh Tx descriptor (no pooling) that starts escalated,
 	// so all log/lock/handler accessors take tx.mu — the runtime's
@@ -121,16 +132,36 @@ type System struct {
 	// durability sink is configured (checkpoints need a quiescence check;
 	// the undurable hot path should not pay for one).
 	active atomic.Int64
+
+	// snaps is the snapshot manager: commit sequence clock, pin registry,
+	// version-retention accounting. Versioning stays inactive (writers pay
+	// one atomic load) until the first pin — see readonly.go.
+	snaps *mvcc.Manager
+
+	// Epoch grace machinery for versioning activation: every Atomic call
+	// enters the generation selected by gen's parity and exits it on
+	// return; activation bumps gen and drains the old generation under
+	// epochMu. versReady gates pins until the first activation's grace
+	// period has completed.
+	gen       atomic.Uint64
+	epochs    [2]epochGen
+	epochMu   sync.Mutex
+	versReady atomic.Bool
 }
 
 // NewSystem returns a System with the given configuration.
 func NewSystem(cfg Config) *System {
-	s := &System{cfg: cfg.withDefaults()}
+	s := &System{cfg: cfg.withDefaults(), snaps: mvcc.NewManager()}
 	if s.cfg.MaxConcurrent > 0 {
 		s.slots = make(chan struct{}, s.cfg.MaxConcurrent)
 	}
 	return s
 }
+
+// Snapshots returns the system's snapshot manager. Boosted objects consult
+// it for the activation flag and the version-GC trim bound; reports read its
+// Stats.
+func (s *System) Snapshots() *mvcc.Manager { return s.snaps }
 
 // Default is the process-wide system used by the package-level Atomic.
 var Default = NewSystem(Config{})
@@ -160,6 +191,12 @@ func (s *System) LockTimeout() time.Duration {
 	}
 	return d
 }
+
+// StrictReadOnly reports whether the system treats a read-only
+// transaction's abstract-lock demand as a programming error (see
+// Config.StrictReadOnly). Exposed as a method so boosted objects check it
+// without copying the whole Config.
+func (s *System) StrictReadOnly() bool { return s.cfg.StrictReadOnly }
 
 // Contention returns the system-wide contention policy, or nil when the
 // system uses plain timed acquisition. Lock managers consult it at blocking
@@ -289,6 +326,10 @@ func (s *System) AtomicCtx(ctx context.Context, fn func(tx *Tx) error) error {
 }
 
 func (s *System) run(ctx context.Context, fn func(tx *Tx) error) error {
+	return s.runWith(ctx, fn, roParams{})
+}
+
+func (s *System) runWith(ctx context.Context, fn func(tx *Tx) error, ro roParams) error {
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -302,12 +343,18 @@ func (s *System) run(ctx context.Context, fn func(tx *Tx) error) error {
 		s.active.Add(1)
 		defer s.active.Add(-1)
 	}
+	// Count this call into the current versioning epoch (readonly.go). The
+	// shard is random so concurrent starts spread across cache lines; the
+	// deferred exit is on the same shard the entry landed on, even if the
+	// generation has moved on since.
+	esh := s.epochEnter(rand.Uint64())
+	defer esh.ended.Add(1)
 
 	if s.cfg.LegacyHotPath {
-		return s.runLoop(ctx, fn, nil)
+		return s.runLoop(ctx, fn, nil, ro)
 	}
 	tx := txPool.Get().(*Tx)
-	err := s.runLoop(ctx, fn, tx)
+	err := s.runLoop(ctx, fn, tx, ro)
 	// Reached only on normal return: a foreign panic from fn propagates
 	// past us, deliberately leaving the descriptor out of the pool (the
 	// panicking frame may still reference it).
@@ -317,7 +364,7 @@ func (s *System) run(ctx context.Context, fn func(tx *Tx) error) error {
 
 // runLoop is the retry loop. tx is the pooled descriptor reused across
 // attempts, or nil in legacy mode (fresh escalated descriptor per attempt).
-func (s *System) runLoop(ctx context.Context, fn func(tx *Tx) error, tx *Tx) error {
+func (s *System) runLoop(ctx context.Context, fn func(tx *Tx) error, tx *Tx, ro roParams) error {
 	var (
 		birth     uint64
 		conStreak int   // consecutive contention aborts (livelock detector)
@@ -338,7 +385,12 @@ func (s *System) runLoop(ctx context.Context, fn func(tx *Tx) error, tx *Tx) err
 		} else {
 			tx.resetAttempt(s, ctx, id, birth, attempt)
 		}
+		tx.readOnly = ro.ro
+		tx.snapSeq = ro.seq
 		s.stats.add(id, cStarts)
+		if ro.ro {
+			s.stats.add(id, cROStarts)
+		}
 		aborted, err := s.runAttempt(tx, fn)
 		if !aborted {
 			if err != nil {
@@ -348,6 +400,9 @@ func (s *System) runLoop(ctx context.Context, fn func(tx *Tx) error, tx *Tx) err
 			}
 			if tx.commit() {
 				s.stats.add(id, cCommits)
+				if ro.ro {
+					s.stats.add(id, cROCommits)
+				}
 				// Age-at-commit histogram: under a starvation-free policy
 				// the tail buckets stay small, because aged transactions
 				// win their conflicts instead of retrying indefinitely.
@@ -367,6 +422,11 @@ func (s *System) runLoop(ctx context.Context, fn func(tx *Tx) error, tx *Tx) err
 		kind := ClassifyAbort(tx.Cause())
 		s.stats.add(id, cAborts)
 		s.stats.countAbortKind(id, kind)
+		if ro.ro {
+			// Reachable only off the lock-free path: an eager-fallback
+			// read hit a lock timeout, or user code called tx.Abort.
+			s.stats.add(id, cROAborts)
+		}
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
 				return err

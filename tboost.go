@@ -86,6 +86,41 @@ func MustAtomic(fn func(tx *Tx) error) { stm.MustAtomic(fn) }
 // NewSystem returns an isolated transaction domain.
 func NewSystem(cfg Config) *System { return stm.NewSystem(cfg) }
 
+// DefaultSystem returns the process-wide system the package-level Atomic,
+// ReadOnly, and MustAtomic run on — pass it to APIs that take an explicit
+// *System (OpenSnapshot, ReadOnlyOn, OpenWAL).
+func DefaultSystem() *System { return stm.Default }
+
+// --- Read-only snapshot transactions ---
+//
+// Versioned boosted objects (the keyed/coarse/ranged sets, maps, multisets
+// and their lazy twins) retain a bounded history of committed per-key
+// versions. A read-only transaction pins the newest published commit
+// sequence number and answers every read from that committed prefix: it
+// demands no abstract locks, never conflicts with writers, cannot be
+// wounded or chosen as a deadlock victim, and cannot abort. Objects without
+// version history (Counter, Heap, Queue, Semaphore, the ordered sets' range
+// queries) fall back to eager locking inside a read-only transaction — set
+// Config.StrictReadOnly to turn that fallback into a panic.
+
+// Snapshot is a pinned read-only view of a System: every transaction run
+// through it observes the same commit sequence number until Close releases
+// the pin (and with it the version history the pin retains).
+type Snapshot = stm.Snapshot
+
+// ReadOnly executes fn as a lock-free read-only transaction on the default
+// system, pinned at the newest committed state. Mutations inside fn panic.
+func ReadOnly(fn func(tx *Tx) error) error { return stm.AtomicRO(fn) }
+
+// ReadOnlyOn is ReadOnly against an explicit System (sys.AtomicRO).
+func ReadOnlyOn(sys *System, fn func(tx *Tx) error) error { return sys.AtomicRO(fn) }
+
+// OpenSnapshot pins the system's newest committed state and returns a
+// handle that runs any number of read-only transactions against that fixed
+// point in serialization order. Close it promptly: a live pin retains
+// version history on every versioned object.
+func OpenSnapshot(sys *System) *Snapshot { return sys.OpenSnapshot() }
+
 // SetOf is a boosted transactional set over any comparable key type,
 // backed by the generic boosting kernel (internal/boost).
 type SetOf[K comparable] = core.Set[K]
