@@ -176,13 +176,16 @@ func (o *Object[K]) DisableVersions() *Object[K] {
 func (o *Object[K]) Versioned() bool { return o.vtab != nil }
 
 // VersioningLive reports whether this engine should record versions for
-// mutations of tx: the table exists and the system's snapshot manager has
-// been activated by a pin. This is the writers' one-load fast-path gate —
-// false means skip all version bookkeeping, and the activation grace period
-// (stm readonly.go) guarantees no pin can depend on what this transaction
-// skips.
+// mutations of tx: the table exists and the snapshot manager was active when
+// tx's Atomic call began (the decision is latched at epoch entry — see
+// stm.Tx.RecordsVersions). The latch, not the manager's live flag, is what
+// specs must consult: a transaction that began before activation answers
+// false for its entire run, so it can never pass NeedsSeed mid-flight and
+// plant a floor derived from its own uncommitted earlier mutation. False
+// means skip all version bookkeeping; the activation grace period (stm
+// readonly.go) guarantees no pin can depend on what this transaction skips.
 func (o *Object[K]) VersioningLive(tx *stm.Tx) bool {
-	return o.vtab != nil && tx.System().Snapshots().Active()
+	return o.vtab != nil && tx.RecordsVersions()
 }
 
 // NeedsSeed reports whether key's chain is empty, i.e. the caller's

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"sync"
 	"testing"
 
@@ -217,5 +218,39 @@ func TestVersionGCReclaimsBelowOldestPin(t *testing.T) {
 	}
 	if st := sys.Snapshots().Stats(); st.VersionsReclaimed == 0 {
 		t.Fatal("VersionsReclaimed stayed 0 after trim")
+	}
+}
+
+// TestPreActivationWriterNeverSeeds pins the per-call versioning latch: a
+// transaction that begins while versioning is dormant must not start seeding
+// or recording mid-flight when the manager activates under it. Before the
+// latch, the second mutation below passed NeedsSeed and planted a sequence-0
+// floor read from the base — a state containing the transaction's own
+// uncommitted first mutation — and that floor survived the abort, leaving a
+// never-committed state in the chain for every future snapshot to read.
+func TestPreActivationWriterNeverSeeds(t *testing.T) {
+	sys := stm.NewSystem(stm.Config{})
+	s := NewKeyedSet(hashset.New[int64]())
+
+	sentinel := errors.New("roll back")
+	err := sys.Atomic(func(tx *stm.Tx) error {
+		s.Add(tx, 7) // dormant: no seed, no record
+		// Simulate the mid-transaction activation flip (a real first pin
+		// additionally drains; the flip alone is the hazardous half).
+		sys.Snapshots().Activate()
+		s.Remove(tx, 7) // latched false: still no seed, no record
+		return sentinel
+	})
+	if err != sentinel {
+		t.Fatalf("Atomic = %v, want sentinel", err)
+	}
+	if n := s.Engine().VersionChainLen(7); n != 0 {
+		t.Fatalf("aborted pre-activation writer left %d version entries, want 0", n)
+	}
+
+	// A call that begins after activation latches true and versions normally.
+	stm.MustAtomicOn(sys, func(tx *stm.Tx) { s.Add(tx, 7) })
+	if n := s.Engine().VersionChainLen(7); n == 0 {
+		t.Fatal("post-activation writer recorded no versions")
 	}
 }

@@ -89,7 +89,9 @@ func (m *Manager) Begin() uint64 { return m.next.Add(1) }
 // Publish(seq) waits until seq-1 is visible, so a reader pinning the visible
 // sequence observes a prefix-closed set of commits with every version record
 // already in place. The wait is a bounded spin — predecessors only flush
-// in-memory version records between their Begin and Publish.
+// in-memory version records between their Begin and Publish, and every Begin
+// is paired with a Publish even when a flush panics (stm defers the publish),
+// so the spin can never wedge on an abandoned sequence.
 func (m *Manager) Publish(seq uint64) {
 	for !m.visible.CompareAndSwap(seq-1, seq) {
 		runtime.Gosched()

@@ -16,22 +16,29 @@ package stm
 // # Activation and the epoch grace period
 //
 // Version bookkeeping (seeding chains, recording post-op versions) costs
-// writers nothing until the first snapshot pin: objects consult the
-// manager's one-way Active flag, a single atomic load. The first pin flips
-// the flag and then waits out a grace period — every transaction that may
-// have begun before the flip (and so may mutate without recording versions)
-// must finish before the pin is registered. The grace period is implemented
-// with two generations of sharded begun/ended counters: every Atomic call
-// enters the current generation on start and exits it on return; activation
-// flips the flag, bumps the generation, and spins until the old generation
-// drains. Chains are empty at activation, so readers fall back to the base
-// object for pre-activation state — safe precisely because the drain
-// guarantees no transaction is mid-mutation without having seeded first.
+// writers nothing until the first snapshot pin: each Atomic call latches the
+// manager's one-way Active flag once, at epoch entry — a single atomic load.
+// The first pin flips the flag and then waits out a grace period — every
+// transaction that may have begun before the flip (and so latched false,
+// mutating without recording versions) must finish before the pin is
+// registered. The grace period is implemented with two generations of
+// sharded begun/ended counters: every Atomic call enters the current
+// generation on start and exits it on return; activation flips the flag,
+// bumps the generation, and spins until the old generation drains. The
+// latch makes version recording all-or-nothing per call: a transaction
+// either seeds and records for every mutation or for none, never flipping
+// mid-flight (a mid-flight flip could seed a chain floor from the
+// transaction's own uncommitted state — the floor would outlive its abort).
+// Chains are empty at activation, so readers fall back to the base object
+// for pre-activation state — safe precisely because the drain guarantees no
+// transaction is mid-mutation without having seeded first.
 //
 // Do not open a snapshot or run a read-only transaction from inside another
 // transaction's body on the same system: if that transaction predates
 // activation, the grace period waits for it while it waits for the grace
-// period.
+// period. The drain is bounded (activationDrainBudget) so this misuse
+// surfaces as a panic naming the hazard rather than a silent permanent
+// hang.
 
 import (
 	"context"
@@ -43,6 +50,11 @@ import (
 type roParams struct {
 	ro  bool
 	seq uint64 // pinned snapshot sequence; valid when ro
+
+	// versLive is the per-call versioning latch, filled in by runWith right
+	// after the epoch entry (never by callers): every attempt of the call
+	// either records versions for all its mutations or for none.
+	versLive bool
 }
 
 // AtomicRO executes fn as a read-only transaction on the default system.
@@ -133,12 +145,25 @@ func (s *System) pinSnapshot() uint64 {
 	return s.snaps.Pin()
 }
 
+// activationDrainBudget bounds how long the activation grace period waits
+// for pre-activation transactions to finish before concluding it is wedged.
+// A legitimate drain lasts about as long as the slowest in-flight Atomic
+// call; a wait this much longer almost certainly means a transaction cannot
+// finish because it is itself blocked on this activation — the documented
+// nested AtomicRO/OpenSnapshot hazard — so the pinner panics with a message
+// naming it instead of hanging (and taking every later pinner with it).
+// Variable so tests can tighten it.
+var activationDrainBudget = 30 * time.Second
+
 // activateVersioning performs the one-way switch to version retention:
 // activate the manager (new transactions start recording versions), bump the
 // epoch generation, and wait until every transaction of the old generation —
 // any of which may have skipped version recording — has finished. Only then
 // is the system ready to pin: versReady gates concurrent first-pinners so
-// none registers a pin before the grace period completes.
+// none registers a pin before the grace period completes. The drain runs
+// even when a previous pinner already flipped the switch but panicked on the
+// drain budget: whoever sets versReady has seen the pre-activation
+// generation empty.
 func (s *System) activateVersioning() {
 	s.epochMu.Lock()
 	defer s.epochMu.Unlock()
@@ -146,11 +171,21 @@ func (s *System) activateVersioning() {
 		return
 	}
 	if s.snaps.Activate() {
-		old := s.gen.Load()
-		s.gen.Store(old + 1)
-		for !s.epochs[old&1].drained() {
-			time.Sleep(10 * time.Microsecond)
+		s.gen.Add(1)
+	}
+	// The generation is bumped exactly once per system (by this call or by
+	// an earlier one that panicked below), so gen-1 is always the
+	// pre-activation generation to drain.
+	old := s.gen.Load() - 1
+	deadline := time.Now().Add(activationDrainBudget)
+	for !s.epochs[old&1].drained() {
+		if time.Now().After(deadline) {
+			panic("stm: snapshot activation stalled: a transaction begun " +
+				"before the first pin did not finish within the drain budget — " +
+				"likely AtomicRO/OpenSnapshot called from inside a running " +
+				"transaction on the same System (see internal/stm/readonly.go)")
 		}
+		time.Sleep(10 * time.Microsecond)
 	}
 	s.versReady.Store(true)
 }

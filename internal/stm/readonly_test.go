@@ -1,0 +1,97 @@
+package stm
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// flushRec is a VersionPending stub whose flush can be made to panic,
+// standing in for a broken boost-side version log.
+type flushRec struct {
+	panicOnFlush bool
+}
+
+func (f *flushRec) Len() int       { return 1 }
+func (f *flushRec) TruncateTo(int) {}
+func (f *flushRec) Recycle()       {}
+func (f *flushRec) FlushVersions(tx *Tx, seq uint64) {
+	if f.panicOnFlush {
+		panic("flushRec: injected flush failure")
+	}
+}
+
+// TestPublishRunsWhenFlushPanics pins the Begin→Publish pairing: FlushVersions
+// is contractually infallible, but if an implementation panics anyway the
+// drawn sequence must still be published during unwind — Publish is strictly
+// in-order, so an abandoned sequence would spin every later versioned
+// committer forever instead of failing only the broken transaction.
+func TestPublishRunsWhenFlushPanics(t *testing.T) {
+	s := NewSystem(Config{})
+	objA, objB := new(int), new(int)
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected the injected flush panic to propagate")
+			}
+		}()
+		_ = s.Atomic(func(tx *Tx) error {
+			tx.VersionAttach(objA, &flushRec{panicOnFlush: true})
+			return nil
+		})
+	}()
+	if got := s.Snapshots().Visible(); got != 1 {
+		t.Fatalf("Visible after panicked flush = %d, want 1", got)
+	}
+
+	// The next versioned commit must publish promptly rather than spin on
+	// the hole the panicked transaction would otherwise have left.
+	done := make(chan error, 1)
+	go func() {
+		done <- s.Atomic(func(tx *Tx) error {
+			tx.VersionAttach(objB, &flushRec{})
+			return nil
+		})
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("versioned commit wedged behind a panicked flush")
+	}
+	if got := s.Snapshots().Visible(); got != 2 {
+		t.Fatalf("Visible after follow-up commit = %d, want 2", got)
+	}
+}
+
+// TestActivationDrainBoundedPanics pins the misuse diagnostic: the first pin
+// taken from inside a running transaction on the same system cannot drain
+// the grace period (the enclosing transaction is waiting on it), and must
+// surface as a panic naming the hazard instead of a silent permanent hang.
+// Once the misusing transaction unwinds, the system must recover — the next
+// pinner redoes the drain the panicked one never completed.
+func TestActivationDrainBoundedPanics(t *testing.T) {
+	old := activationDrainBudget
+	activationDrainBudget = 50 * time.Millisecond
+	defer func() { activationDrainBudget = old }()
+
+	s := NewSystem(Config{})
+	var recovered any
+	func() {
+		defer func() { recovered = recover() }()
+		_ = s.Atomic(func(tx *Tx) error {
+			return s.AtomicRO(func(*Tx) error { return nil })
+		})
+	}()
+	msg, ok := recovered.(string)
+	if !ok || !strings.Contains(msg, "activation stalled") {
+		t.Fatalf("panic payload = %v, want activation-stalled message", recovered)
+	}
+
+	if err := s.AtomicRO(func(*Tx) error { return nil }); err != nil {
+		t.Fatalf("AtomicRO after recovered misuse: %v", err)
+	}
+}

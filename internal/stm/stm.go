@@ -192,6 +192,17 @@ type Tx struct {
 	readOnly bool
 	snapSeq  uint64
 
+	// versLive is the versioning decision latched for the whole Atomic call
+	// at the moment it entered its epoch generation (runWith): true means
+	// every versioned mutation of this transaction seeds and records, false
+	// means none do. Latching is what keeps the activation grace period's
+	// all-or-nothing invariant — a mid-call flip of the manager's Active
+	// flag must not be observed per operation, or a writer could plant a
+	// seed derived from its own uncommitted earlier mutation (the chain
+	// floor would then survive its abort). Set once per attempt before fn
+	// runs, like readOnly.
+	versLive bool
+
 	// commitSeq is the commit sequence number assigned by flushVersions;
 	// zero for transactions that mutated no versioned object. Read by
 	// AtCommit handlers (the history recorder).
@@ -240,6 +251,16 @@ func (tx *Tx) ReadOnly() bool { return tx.readOnly }
 // transaction, or zero for ordinary transactions. Versioned objects answer
 // this transaction's reads at this sequence.
 func (tx *Tx) SnapshotSeq() uint64 { return tx.snapSeq }
+
+// RecordsVersions reports whether this transaction participates in version
+// recording: the snapshot manager was already active when the Atomic call
+// entered its versioning epoch. The answer is latched for the whole call —
+// a transaction that began before activation answers false for every
+// operation, even if activation happens mid-flight, and the activation
+// grace period waits for it; a transaction that entered the post-activation
+// generation always answers true. Versioned objects consult it (through
+// their own VersioningLive) before any seed/record bookkeeping.
+func (tx *Tx) RecordsVersions() bool { return tx.versLive }
 
 // CommitSeq returns the commit sequence number assigned when the
 // transaction's version records were published, or zero if it mutated no
@@ -719,6 +740,7 @@ func (tx *Tx) resetAttempt(sys *System, ctx context.Context, id uint64, birth ui
 	tx.durErr = nil
 	tx.readOnly = false
 	tx.snapSeq = 0
+	tx.versLive = false
 	tx.commitSeq = 0
 	if tx.ext != nil {
 		clear(tx.ext)

@@ -349,6 +349,15 @@ func (s *System) runWith(ctx context.Context, fn func(tx *Tx) error, ro roParams
 	// generation has moved on since.
 	esh := s.epochEnter(rand.Uint64())
 	defer esh.ended.Add(1)
+	// Latch the versioning decision for the whole call, here and only here
+	// — after the epoch entry, so the activation grace period's invariant
+	// holds: a call that latches false records no versions at all and the
+	// drain waits for it; a call that entered the post-activation generation
+	// necessarily latches true (Activate's store precedes the generation
+	// bump). Consulting the live flag per operation instead would let a
+	// writer flip to recording mid-transaction and seed a chain floor from
+	// its own uncommitted state.
+	ro.versLive = s.snaps.Active()
 
 	if s.cfg.LegacyHotPath {
 		return s.runLoop(ctx, fn, nil, ro)
@@ -387,6 +396,7 @@ func (s *System) runLoop(ctx context.Context, fn func(tx *Tx) error, tx *Tx, ro 
 		}
 		tx.readOnly = ro.ro
 		tx.snapSeq = ro.seq
+		tx.versLive = ro.versLive
 		s.stats.add(id, cStarts)
 		if ro.ro {
 			s.stats.add(id, cROStarts)

@@ -82,10 +82,15 @@ func (tx *Tx) flushVersions() {
 	m := tx.system.snaps
 	seq := m.Begin()
 	tx.commitSeq = seq
+	// Publication is unconditional from here: Publish is in-order, so a seq
+	// drawn but never published would spin every later committer forever.
+	// FlushVersions must not fail, but if one panics anyway the deferred
+	// publish runs during unwind — the panic still propagates (this commit
+	// is broken), the rest of the system keeps committing.
+	defer m.Publish(seq)
 	for i := range tx.vers {
 		tx.vers[i].log.FlushVersions(tx, seq)
 	}
-	m.Publish(seq)
 	tx.clearVers()
 }
 
