@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race test-short vet check fuzz-lockmgr fuzz-contention fuzz-contention-race fuzz-codec fuzz-lazy fuzz-snapshot fuzz-snapshot-race chaos chaos-race chaos-crash bench bench-micro bench-json bench-readmix
+.PHONY: build test test-race test-short vet check fuzz-lockmgr fuzz-contention fuzz-contention-race fuzz-codec fuzz-lazy fuzz-snapshot fuzz-snapshot-race fuzz-adaptive fuzz-adaptive-race chaos chaos-race chaos-crash bench bench-micro bench-json bench-readmix bench-adaptive
 
 build:
 	$(GO) build ./...
@@ -25,7 +25,7 @@ vet:
 # per invocation, hence separate targets; fuzz-lazy differentially checks
 # the lazy discipline (deferral + commit-time fusion) against the eager
 # oracle on identical op programs.
-check: build vet test test-race fuzz-lockmgr fuzz-contention fuzz-lazy fuzz-snapshot
+check: build vet test test-race fuzz-lockmgr fuzz-contention fuzz-lazy fuzz-snapshot fuzz-adaptive
 
 fuzz-lockmgr:
 	$(GO) test -run NONE -fuzz FuzzStripedRangeLockEquivalence -fuzztime 10s ./internal/lockmgr/
@@ -48,6 +48,17 @@ fuzz-snapshot:
 
 fuzz-snapshot-race:
 	$(GO) test -race -run NONE -fuzz FuzzSnapshotConsistency -fuzztime 10s ./internal/core/
+
+# Adaptive-vs-static equivalence: the same byte programs, with forced
+# Coarse↔Keyed migrations fired between every pair of transactions, must give
+# bit-identical answers and outcomes on adaptive (and lazy adaptive) objects
+# as on the static-keyed reference — runtime granularity is invisible to
+# sequential semantics.
+fuzz-adaptive:
+	$(GO) test -run NONE -fuzz FuzzAdaptiveStaticEquivalence -fuzztime 10s ./internal/core/
+
+fuzz-adaptive-race:
+	$(GO) test -race -run NONE -fuzz FuzzAdaptiveStaticEquivalence -fuzztime 120s ./internal/core/
 
 fuzz-contention-race:
 	$(GO) test -race -run NONE -fuzz FuzzContentionPolicies -fuzztime 10s ./internal/lockmgr/
@@ -103,3 +114,12 @@ bench-readmix:
 	GOMAXPROCS=$${GOMAXPROCS:-$$(nproc)} \
 		$(GO) run ./cmd/boostbench -experiment readmix \
 		-threads 1,2,4,8,16 -json-out BENCH_PR8.json
+
+# Adaptive granularity sweep: static-coarse vs static-keyed vs adaptive over
+# uniform and zipf-hot-key skews at 1-8 goroutines (BENCH_PR9.json). The
+# acceptance summary at the bottom checks adaptive tracks the better static
+# within 10% in every cell and beats static-coarse >= 1.5x where keyed wins.
+bench-adaptive:
+	GOMAXPROCS=$${GOMAXPROCS:-$$(nproc)} \
+		$(GO) run ./cmd/boostbench -experiment adaptive \
+		-json-out BENCH_PR9.json

@@ -14,6 +14,7 @@
 //	boostbench -experiment durability # WAL group-commit sweep: fsyncs/commit vs window
 //	boostbench -experiment fusion # lazy vs eager boosting: commit-time fusion sweep
 //	boostbench -experiment readmix # snapshot vs eager readers on read-dominated mixes
+//	boostbench -experiment adaptive # static coarse/keyed vs runtime-adaptive granularity
 //	boostbench -experiment all
 //
 // Flags tune the workload; the defaults mirror the paper's methodology
@@ -37,9 +38,9 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig9|fig10|fig11|aborts|stripes|pipeline|timeout|policy|heapbases|chaos|benchjson|rangemix|deadlock|durability|fusion|readmix|all")
-		jsonOut    = flag.String("json-out", "", "benchjson/rangemix/deadlock/fusion/readmix: also write the report to this file (e.g. BENCH_PR2.json)")
-		microOps   = flag.Int("micro-ops", 0, "benchjson/rangemix/deadlock/fusion/readmix: operations (transactions) per sweep cell (0 = default)")
+		experiment = flag.String("experiment", "all", "fig9|fig10|fig11|aborts|stripes|pipeline|timeout|policy|heapbases|chaos|benchjson|rangemix|deadlock|durability|fusion|readmix|adaptive|all")
+		jsonOut    = flag.String("json-out", "", "benchjson/rangemix/deadlock/fusion/readmix/adaptive: also write the report to this file (e.g. BENCH_PR2.json)")
+		microOps   = flag.Int("micro-ops", 0, "benchjson/rangemix/deadlock/fusion/readmix/adaptive: operations (transactions) per sweep cell (0 = default)")
 		chaosSeed  = flag.Uint64("chaos-seed", 0, "chaos: use a randomized fault schedule with this seed (0 = default schedule)")
 		chaosTx    = flag.Int("chaos-tx", 0, "chaos: transactions per worker (0 = default)")
 		threads    = flag.String("threads", "1,2,4,8,16,32", "comma-separated thread counts")
@@ -289,6 +290,37 @@ func main() {
 			fmt.Printf("read-dominated hot-range mixes, GOMAXPROCS=%d, goroutines %v\n\n", runtime.GOMAXPROCS(0), threadCounts)
 			rep := bench.ReadmixSweep(threadCounts, *microOps)
 			bench.PrintReadmix(os.Stdout, rep)
+			if *jsonOut != "" {
+				f, err := os.Create(*jsonOut)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "boostbench:", err)
+					os.Exit(1)
+				}
+				if err := rep.WriteJSON(f); err == nil {
+					err = f.Close()
+				} else {
+					f.Close()
+				}
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "boostbench:", err)
+					os.Exit(1)
+				}
+				fmt.Printf("\nwrote %s\n", *jsonOut)
+			}
+		},
+		"adaptive": func() {
+			fmt.Println("=== Adaptive lock granularity: static coarse/keyed vs runtime promotion ===")
+			// The acceptance grid is fixed at {1,2,4,8} goroutines unless
+			// -threads was given explicitly.
+			gs := []int{1, 2, 4, 8}
+			flag.Visit(func(f *flag.Flag) {
+				if f.Name == "threads" {
+					gs = threadCounts
+				}
+			})
+			fmt.Printf("dwell-inside-lock add/remove mix, GOMAXPROCS=%d, goroutines %v\n\n", runtime.GOMAXPROCS(0), gs)
+			rep := bench.AdaptiveSweep(gs, *microOps)
+			bench.PrintAdaptive(os.Stdout, rep)
 			if *jsonOut != "" {
 				f, err := os.Create(*jsonOut)
 				if err != nil {

@@ -1,0 +1,273 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"time"
+
+	"tboost/internal/core"
+	"tboost/internal/stm"
+)
+
+// Adaptive-granularity sweep behind `boostbench -experiment adaptive`
+// (BENCH_PR9.json) — the evaluation for runtime Coarse→Keyed promotion.
+//
+// Every cell runs the same transaction shape: add a key, dwell 50µs with the
+// abstract locks held (the paper's think-time-inside-the-transaction regime),
+// remove the key. The dwell makes lock granularity the measured quantity and
+// keeps the sweep honest on small hosts: parallelism among dwelling
+// transactions needs overlapping sleeps, not spare cores. Under the coarse
+// discipline every transaction serializes on the one lock (throughput ≈
+// 1/dwell regardless of goroutines); under the keyed discipline disjoint-key
+// transactions overlap.
+//
+// The grid is {coarse, keyed, adaptive} × goroutines {1,2,4,8} × skew
+// {uniform over 256 keys, zipf-hot (90% of ops on one hot key)}. Uniform
+// cells at 2+ goroutines are keyed-favored; zipf-hot cells serialize on the
+// hot key under either granularity, so the statics converge and the sweep
+// checks that adaptivity does not overshoot. The adaptive variant runs the
+// stock default thresholds — promotion is earned from the contention meter
+// during the warmup phase every variant gets, never forced.
+//
+// Acceptance: adaptive within 10% of the better static in every cell
+// (min_adaptive_vs_best_static >= 0.9), and adaptive >= 1.5x static-coarse
+// in at least two contended keyed-favored cells (keyed_favored_wins >= 2).
+type AdaptiveResult struct {
+	Skew       string `json:"skew"`    // "uniform" or "zipf-hot"
+	Variant    string `json:"variant"` // "coarse", "keyed", "adaptive"
+	Goroutines int    `json:"goroutines"`
+	Tx         int64  `json:"tx"`
+
+	TxPerSec float64 `json:"tx_per_sec"`
+	NsPerTx  float64 `json:"ns_per_tx"`
+
+	AbortRate float64 `json:"abort_rate"`
+	Aborts    int64   `json:"aborts"`
+
+	// Adaptive-variant telemetry from boost.AdaptiveStats (empty/zero for the
+	// static cells): the object's final granularity phase, completed
+	// migrations, and the raw contention signal.
+	Phase      string  `json:"phase,omitempty"`
+	Promotions uint64  `json:"promotions,omitempty"`
+	Demotions  uint64  `json:"demotions,omitempty"`
+	Conflicts  uint64  `json:"conflicts,omitempty"`
+	WaitEWMAUs float64 `json:"wait_ewma_us,omitempty"`
+}
+
+// AdaptiveReport is the full sweep, serialized to BENCH_PR9.json.
+type AdaptiveReport struct {
+	GeneratedBy string `json:"generated_by"`
+	NumCPU      int    `json:"num_cpu"`
+	Goroutines  []int  `json:"goroutines"`
+	// AdaptiveVsBestStatic maps "skew/g" to adaptive tx/sec divided by the
+	// better static variant's tx/sec in that cell. The acceptance metric is
+	// the minimum across cells: >= 0.9 (within 10% everywhere).
+	AdaptiveVsBestStatic    map[string]float64 `json:"adaptive_vs_best_static"`
+	MinAdaptiveVsBestStatic float64            `json:"min_adaptive_vs_best_static"`
+	// AdaptiveVsCoarse maps "skew/g" to adaptive tx/sec over static-coarse
+	// tx/sec. KeyedFavoredWins counts the contended keyed-favored cells
+	// (static keyed >= 1.5x static coarse) where adaptive also reaches 1.5x
+	// coarse; acceptance requires >= 2.
+	AdaptiveVsCoarse map[string]float64 `json:"adaptive_vs_coarse"`
+	KeyedFavoredWins int                `json:"keyed_favored_wins"`
+	Results          []AdaptiveResult   `json:"results"`
+}
+
+const (
+	adKeys      = 256                   // uniform key range
+	adHotPct    = 90                    // zipf-hot: percent of ops on the hot key
+	adDwell     = 50 * time.Microsecond // lock-hold window per transaction
+	adTimeout   = 100 * time.Millisecond
+	adTxPerCell = 1200 // measured transactions per cell
+	adWarmupTx  = 48   // warmup transactions per goroutine (earns promotion)
+	adTrials    = 2    // best-of trials per cell
+)
+
+// adKey draws one key under the cell's skew.
+func adKey(r *rand.Rand, zipf bool) int64 {
+	if zipf && r.IntN(100) < adHotPct {
+		return 0
+	}
+	return r.Int64N(adKeys)
+}
+
+// runAdaptiveCell measures one (variant, skew, goroutines) cell: a fresh
+// system and set, a warmup phase (where the adaptive variant earns any
+// promotion from its contention meter), then the timed phase.
+func runAdaptiveCell(variant string, zipf bool, goroutines, txPerG int) AdaptiveResult {
+	sys := stm.NewSystem(stm.Config{LockTimeout: adTimeout})
+	var s *core.Set[int64]
+	switch variant {
+	case "coarse":
+		s = core.NewSkipListSetCoarse()
+	case "keyed":
+		s = core.NewSkipListSet()
+	case "adaptive":
+		s = core.NewAdaptiveSkipListSet(sys)
+	}
+	stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+		for k := int64(0); k < adKeys; k += 2 {
+			s.Add(tx, k)
+		}
+	})
+
+	worker := func(g, n int, seed uint64) {
+		r := rand.New(rand.NewPCG(uint64(g), seed))
+		for i := 0; i < n; i++ {
+			_ = sys.Atomic(func(tx *stm.Tx) error {
+				k := adKey(r, zipf)
+				s.Add(tx, k)
+				time.Sleep(adDwell)
+				s.Remove(tx, k)
+				return nil
+			})
+		}
+	}
+
+	run := func(n int, seed uint64) time.Duration {
+		var wg sync.WaitGroup
+		start := time.Now()
+		for g := 0; g < goroutines; g++ {
+			g := g
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				worker(g, n, seed)
+			}()
+		}
+		wg.Wait()
+		return time.Since(start)
+	}
+
+	run(adWarmupTx, 0xada9) // warmup: adaptive promotion happens here or never
+	before := sys.Stats()
+	elapsed := run(txPerG, 0xbe7c)
+	st := sys.Stats().Sub(before)
+
+	tx := int64(goroutines * txPerG)
+	res := AdaptiveResult{
+		Variant:    variant,
+		Goroutines: goroutines,
+		Tx:         tx,
+		TxPerSec:   float64(tx) / elapsed.Seconds(),
+		NsPerTx:    float64(elapsed.Nanoseconds()) / float64(tx),
+		AbortRate:  st.AbortRatio(),
+		Aborts:     st.Aborts,
+		Skew:       "uniform",
+	}
+	if zipf {
+		res.Skew = "zipf-hot"
+	}
+	if as, ok := s.Engine().AdaptiveStats(); ok {
+		res.Phase = as.Phase
+		res.Promotions = as.Promotions
+		res.Demotions = as.Demotions
+		res.Conflicts = as.Conflicts
+		res.WaitEWMAUs = float64(as.WaitEWMA.Nanoseconds()) / 1e3
+	}
+	return res
+}
+
+// AdaptiveSweep runs the static-coarse / static-keyed / adaptive grid.
+// totalTx overrides the per-cell transaction budget (0 = default).
+func AdaptiveSweep(goroutines []int, totalTx int) AdaptiveReport {
+	if len(goroutines) == 0 {
+		goroutines = []int{1, 2, 4, 8}
+	}
+	if totalTx <= 0 {
+		totalTx = adTxPerCell
+	}
+	rep := AdaptiveReport{
+		GeneratedBy:             "boostbench -experiment adaptive",
+		NumCPU:                  runtime.NumCPU(),
+		Goroutines:              goroutines,
+		AdaptiveVsBestStatic:    map[string]float64{},
+		AdaptiveVsCoarse:        map[string]float64{},
+		MinAdaptiveVsBestStatic: 0,
+	}
+	perSec := map[string]float64{} // "variant/skew/g" -> best tx/sec
+	for _, zipf := range []bool{false, true} {
+		for _, variant := range []string{"coarse", "keyed", "adaptive"} {
+			for _, g := range goroutines {
+				txPerG := totalTx / g
+				if txPerG == 0 {
+					txPerG = 1
+				}
+				var best AdaptiveResult
+				for trial := 0; trial < adTrials; trial++ {
+					r := runAdaptiveCell(variant, zipf, g, txPerG)
+					if trial == 0 || r.TxPerSec > best.TxPerSec {
+						best = r
+					}
+				}
+				rep.Results = append(rep.Results, best)
+				perSec[fmt.Sprintf("%s/%s/%d", variant, best.Skew, g)] = best.TxPerSec
+			}
+		}
+	}
+
+	first := true
+	for _, skew := range []string{"uniform", "zipf-hot"} {
+		for _, g := range goroutines {
+			cell := fmt.Sprintf("%s/%d", skew, g)
+			coarse := perSec["coarse/"+cell]
+			keyed := perSec["keyed/"+cell]
+			adaptive := perSec["adaptive/"+cell]
+			bestStatic := coarse
+			if keyed > bestStatic {
+				bestStatic = keyed
+			}
+			if bestStatic > 0 {
+				ratio := adaptive / bestStatic
+				rep.AdaptiveVsBestStatic[cell] = ratio
+				if first || ratio < rep.MinAdaptiveVsBestStatic {
+					rep.MinAdaptiveVsBestStatic = ratio
+					first = false
+				}
+			}
+			if coarse > 0 {
+				vsCoarse := adaptive / coarse
+				rep.AdaptiveVsCoarse[cell] = vsCoarse
+				if g > 1 && keyed >= 1.5*coarse && vsCoarse >= 1.5 {
+					rep.KeyedFavoredWins++
+				}
+			}
+		}
+	}
+	return rep
+}
+
+// WriteJSON serializes the report, indented, to w.
+func (r AdaptiveReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// PrintAdaptive writes the sweep as a table plus the acceptance summary.
+func PrintAdaptive(out io.Writer, r AdaptiveReport) {
+	fmt.Fprintf(out, "%-9s %-9s %3s %10s %10s %7s  %-7s %5s %5s %9s %10s\n",
+		"skew", "variant", "g", "tx/sec", "ns/tx", "abort%", "phase", "promo", "demo", "conflicts", "ewma(µs)")
+	for _, res := range r.Results {
+		fmt.Fprintf(out, "%-9s %-9s %3d %10.1f %10.1f %6.1f%%  %-7s %5d %5d %9d %10.1f\n",
+			res.Skew, res.Variant, res.Goroutines, res.TxPerSec, res.NsPerTx,
+			100*res.AbortRate, res.Phase, res.Promotions, res.Demotions,
+			res.Conflicts, res.WaitEWMAUs)
+	}
+	fmt.Fprintln(out)
+	for _, skew := range []string{"uniform", "zipf-hot"} {
+		for _, g := range r.Goroutines {
+			cell := fmt.Sprintf("%s/%d", skew, g)
+			if ratio, ok := r.AdaptiveVsBestStatic[cell]; ok {
+				fmt.Fprintf(out, "%-12s adaptive/best-static %5.2fx   adaptive/coarse %5.2fx\n",
+					cell, ratio, r.AdaptiveVsCoarse[cell])
+			}
+		}
+	}
+	fmt.Fprintf(out, "min adaptive/best-static        %6.2fx (budget >= 0.90x)\n", r.MinAdaptiveVsBestStatic)
+	fmt.Fprintf(out, "keyed-favored cells at >= 1.5x  %6d (need >= 2)\n", r.KeyedFavoredWins)
+}

@@ -1,0 +1,395 @@
+package boost
+
+// Adaptive lock granularity: the Fig. 10 ablation as a runtime policy.
+//
+// The paper's coarse-vs-keyed comparison is frozen at construction time
+// everywhere else in this kernel: NewCoarse is cheap while uncontended (one
+// lock, no table, no hashing) and collapses under contention; NewKeyed scales
+// and pays the table on every call. An Adaptive engine starts Coarse and
+// *promotes itself* to Keyed when the coarse lock's contention meter — a
+// per-lock conflict count and blocked-wait EWMA fed from the lock manager's
+// slow path (lockmgr.ContentionMeter) — shows sustained blocking. With
+// auto-demotion enabled it returns to Coarse after a sustained quiet period.
+//
+// # The migration protocol
+//
+// The hard part is switching disciplines while transactions hold abstract
+// locks under the old one. Two-phase locking is preserved by a three-state
+// mode machine plus two latches already proven out elsewhere in the runtime:
+//
+//	Coarse ──publish──▶ Bridge ──DrainCalls──▶ Keyed        (promotion)
+//	Keyed  ──publish──▶ Bridge ──DrainCalls──▶ Coarse       (demotion)
+//
+//   - Per-transaction discipline latch (stm.Tx.DisciplineLatch, mirroring
+//     the versLive latch): a transaction latches the object's mode at its
+//     FIRST lock demand on the object and locks under that mode for its
+//     whole attempt — including the commit-time lazy drain and WAL emit
+//     instants, which therefore never observe a granularity their locks do
+//     not cover. A migration can never split one transaction's footprint
+//     across tables.
+//
+//   - Bridge mode: a transaction that latches Bridge acquires BOTH the
+//     coarse lock and the per-key lock, coarse strictly first (a single
+//     global order, so bridge transactions cannot deadlock on the pair).
+//
+//   - Drain barrier (stm.System.DrainCalls): the migration goroutine
+//     publishes Bridge, then waits until every Atomic call that began under
+//     the old terminal mode has returned, and only then publishes the new
+//     terminal mode.
+//
+// Soundness: any two conflicting calls always share at least one abstract
+// lock. Coarse↔Coarse and Coarse↔Bridge share the coarse lock; Bridge↔Bridge
+// share both; Bridge↔Keyed share the per-key lock. The only unprotected pair
+// would be Coarse↔Keyed — impossible, because the drain barrier separates
+// the two terminal populations: the Bridge publish is a seq-cst store
+// sequenced before the barrier's generation bump, so a transaction whose
+// call entered the post-bump generation must latch Bridge or later, and
+// every call from the pre-bump generation (the only ones that can have
+// latched the old terminal mode) has returned before the new terminal mode
+// is published. The same argument covers demotion with the roles swapped,
+// and repeated migrations compose because each barrier fully drains before
+// the next terminal publish. DESIGN.md §13 carries the full argument.
+//
+// Version seeding and WAL emission need no special casing: both run under
+// the call's abstract locks, and every mode gives a transaction exclusive
+// ownership of the keys it locks (coarse ownership is a superset of per-key
+// ownership), so the seed-before-first-mutation and emit-under-lock
+// contracts hold across a migration.
+//
+// # Cost when dormant
+//
+// A locked call on an adaptive engine that never migrates pays, beyond the
+// static coarse path: one atomic load (the mode read inside latch) and a
+// linear scan of the transaction's (tiny, pooled) latch list. The contention
+// meter lives entirely on the lock manager's blocked path, so the signal
+// collection adds zero allocations and zero atomics to uncontended calls —
+// the alloc pin in internal/core/alloc_test.go holds the kernel to the
+// allocation half of that contract.
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"tboost/internal/faultpoint"
+	"tboost/internal/lockmgr"
+	"tboost/internal/stm"
+)
+
+// Adaptive mode values, stored in the object's mode word and in per-tx
+// latches. The zero value is Coarse: adaptive objects start coarse.
+const (
+	adaptModeCoarse uint32 = iota
+	adaptModeBridge
+	adaptModeKeyed
+)
+
+// AdaptiveConfig tunes an adaptive engine's promotion and demotion policy.
+// The zero value selects the defaults noted per field; DefaultAdaptiveConfig
+// returns them explicitly.
+type AdaptiveConfig struct {
+	// PromoteConflicts is how many blocked coarse-lock acquisitions must
+	// accumulate (since construction or the last demotion) before promotion
+	// is considered. Default 8. It is the flap guard on the conflict axis: a
+	// freshly demoted object must re-earn the full count.
+	PromoteConflicts uint64
+	// PromoteWait is the blocked-wait EWMA threshold: promotion also
+	// requires the coarse lock's average blocked wait to reach it. Default
+	// 20µs (a genuine scheduler-visible stall, not a cache miss).
+	PromoteWait time.Duration
+	// DemoteAfter enables auto-demotion when positive: after promotion a
+	// governor goroutine samples the meter every DemoteAfter and demotes
+	// once DemoteWindows consecutive windows pass with zero new conflicts.
+	// Zero (the default) disables auto-demotion — promotion is one-way,
+	// which keeps behaviour deterministic for differential tests.
+	DemoteAfter time.Duration
+	// DemoteWindows is the consecutive-quiet-window count required to
+	// demote (hysteresis). Default 3; values below 1 are raised to 1.
+	DemoteWindows int
+	// Stripes is the per-key lock table's stripe count. Default
+	// lockmgr.DefaultStripes.
+	Stripes int
+}
+
+// DefaultAdaptiveConfig returns the documented defaults.
+func DefaultAdaptiveConfig() AdaptiveConfig {
+	return AdaptiveConfig{
+		PromoteConflicts: 8,
+		PromoteWait:      20 * time.Microsecond,
+		DemoteAfter:      0,
+		DemoteWindows:    3,
+		Stripes:          lockmgr.DefaultStripes,
+	}
+}
+
+func (c AdaptiveConfig) withDefaults() AdaptiveConfig {
+	d := DefaultAdaptiveConfig()
+	if c.PromoteConflicts == 0 {
+		c.PromoteConflicts = d.PromoteConflicts
+	}
+	if c.PromoteWait == 0 {
+		c.PromoteWait = d.PromoteWait
+	}
+	if c.DemoteWindows < 1 {
+		c.DemoteWindows = d.DemoteWindows
+	}
+	if c.Stripes < 1 {
+		c.Stripes = d.Stripes
+	}
+	return c
+}
+
+// adaptCore is the discipline state machine of one adaptive object. It is
+// deliberately not generic: the per-tx latch keys on its pointer identity,
+// and the migration machinery never touches keys.
+type adaptCore struct {
+	sys   *stm.System
+	meter *lockmgr.ContentionMeter
+	cfg   AdaptiveConfig
+
+	// mode is the live discipline, moved only by migrate (Coarse/Keyed) with
+	// the Bridge value in between. Every locked call loads it at most once
+	// per (tx, object) — the latch.
+	mode atomic.Uint32
+	// migrating serializes migrations: exactly one goroutine may be between
+	// the Bridge publish and the terminal publish.
+	migrating atomic.Bool
+	// promoBase is the meter's conflict count at the last demotion (zero at
+	// construction): promotion triggers on conflicts *since then*, so a
+	// demoted object re-earns promotion from scratch (hysteresis).
+	promoBase atomic.Uint64
+
+	promotions atomic.Uint64
+	demotions  atomic.Uint64
+}
+
+// latch returns the mode tx locks this object under, latching the live mode
+// on the transaction's first demand here. It also pins the engine to the
+// system it was constructed for: the drain barrier only waits out calls on
+// a.sys, so a transaction from another system would undermine the migration
+// protocol — that is a configuration bug, reported loudly.
+func (a *adaptCore) latch(tx *stm.Tx) uint32 {
+	if tx.System() != a.sys {
+		panic("boost: adaptive object used by a transaction on a different stm.System than it was constructed for")
+	}
+	if m, ok := tx.DisciplineLookup(a); ok {
+		return m
+	}
+	m := a.mode.Load()
+	tx.DisciplineLatch(a, m)
+	return m
+}
+
+// onWaitObserved is the meter's notify hook: it runs on a transaction
+// goroutine each time a blocked abstract-lock wait completes, which is
+// exactly when the promotion predicate can newly become true. The migration
+// itself runs on its own goroutine — the drain barrier must not wait for the
+// very call that triggered it.
+func (a *adaptCore) onWaitObserved() {
+	if a.mode.Load() != adaptModeCoarse {
+		return
+	}
+	if a.meter.Conflicts()-a.promoBase.Load() < a.cfg.PromoteConflicts {
+		return
+	}
+	if a.meter.WaitEWMA() < a.cfg.PromoteWait {
+		return
+	}
+	if !a.migrating.CompareAndSwap(false, true) {
+		return // a migration is already in flight
+	}
+	go a.migrate(adaptModeKeyed)
+}
+
+// migrate moves the live mode to target through the bridge + drain protocol.
+// The caller must have won the migrating flag; migrate releases it.
+func (a *adaptCore) migrate(target uint32) {
+	defer a.migrating.Store(false)
+	if a.mode.Load() == target {
+		return
+	}
+	// Publish the transitional mode: from this instant every transaction
+	// latching fresh holds both tables.
+	a.mode.Store(adaptModeBridge)
+	// Chaos hook: a Delay here pins the object in bridge mode with live
+	// traffic, the window the soundness argument is about.
+	faultpoint.Hit(faultpoint.BoostPromote)
+	// Grace period: every call that could have latched the old terminal
+	// mode returns before the new terminal mode becomes observable.
+	a.sys.DrainCalls()
+	a.mode.Store(target)
+	if target == adaptModeKeyed {
+		a.promotions.Add(1)
+		a.sys.CountPromotion()
+		if a.cfg.DemoteAfter > 0 {
+			go a.governor()
+		}
+	} else {
+		// Demotion: future promotions count conflicts from here, so the
+		// object must re-earn the keyed table (no flapping on stale counts).
+		a.promoBase.Store(a.meter.Conflicts())
+		a.demotions.Add(1)
+		a.sys.CountDemotion()
+	}
+}
+
+// force synchronously runs a migration to target, waiting out any in-flight
+// migration first. Test/chaos hook; see Object.ForcePromote.
+func (a *adaptCore) force(target uint32) {
+	for !a.migrating.CompareAndSwap(false, true) {
+		runtime.Gosched()
+	}
+	a.migrate(target)
+}
+
+// governor is the auto-demotion watcher, alive only while the object is
+// Keyed with DemoteAfter set. It samples the meter's conflict count every
+// window; DemoteWindows consecutive windows without a new conflict demote
+// the object, after which the governor exits (a later promotion starts a
+// fresh one).
+func (a *adaptCore) governor() {
+	quiet := 0
+	last := a.meter.Conflicts()
+	for {
+		time.Sleep(a.cfg.DemoteAfter)
+		if a.mode.Load() != adaptModeKeyed {
+			return // demoted by force, or mid-migration; stand down
+		}
+		cur := a.meter.Conflicts()
+		if cur != last {
+			last, quiet = cur, 0
+			continue
+		}
+		quiet++
+		if quiet < a.cfg.DemoteWindows {
+			continue
+		}
+		if a.migrating.CompareAndSwap(false, true) {
+			a.migrate(adaptModeCoarse)
+		}
+		return
+	}
+}
+
+// NewAdaptive returns an engine that starts with one coarse abstract lock
+// and promotes itself to a per-key table when the coarse lock's contention
+// meter crosses the default thresholds (see AdaptiveConfig). The engine is
+// bound to sys at construction: the migration drain barrier is a property of
+// one system's call epochs, so transactions from any other system panic.
+//
+// Promotion is driven by evidence only the lock manager sees, costs nothing
+// while the object is uncontended, and takes effect for transactions that
+// begin after the migration's drain barrier; transactions in flight keep the
+// granularity they latched. Demotion is off by default — use
+// NewAdaptiveConfig with DemoteAfter to enable it.
+func NewAdaptive[K comparable](sys *stm.System) *Object[K] {
+	return NewAdaptiveConfig[K](sys, AdaptiveConfig{})
+}
+
+// NewAdaptiveConfig is NewAdaptive with explicit thresholds.
+func NewAdaptiveConfig[K comparable](sys *stm.System, cfg AdaptiveConfig) *Object[K] {
+	if sys == nil {
+		panic("boost: NewAdaptive requires the stm.System the object will run on")
+	}
+	a := &adaptCore{sys: sys, cfg: cfg.withDefaults()}
+	a.meter = lockmgr.NewContentionMeter(a.onWaitObserved)
+	o := &Object[K]{
+		disc:   Adaptive,
+		adapt:  a,
+		coarse: lockmgr.NewOwnerLock(),
+		keyed:  lockmgr.NewLockMapStripes[K](a.cfg.Stripes),
+	}
+	// One meter spans both granularities: while coarse it feeds the
+	// promotion predicate; while keyed its conflict count is the governor's
+	// quiet-period signal.
+	o.coarse.SetMeter(a.meter)
+	o.keyed.SetMeter(a.meter)
+	return o
+}
+
+// NewLazyAdaptive is the lazy twin of NewAdaptive: mutations defer to the
+// per-transaction pending log and the commit-time drain acquires its locks
+// under whatever granularity the transaction latched (its first lock demand
+// is usually the drain itself, so lazy transactions adopt a promotion at
+// their very next commit).
+func NewLazyAdaptive[K comparable](sys *stm.System) *Object[K] {
+	return lazify(NewAdaptiveConfig[K](sys, AdaptiveConfig{}))
+}
+
+// NewLazyAdaptiveConfig is NewLazyAdaptive with explicit thresholds.
+func NewLazyAdaptiveConfig[K comparable](sys *stm.System, cfg AdaptiveConfig) *Object[K] {
+	return lazify(NewAdaptiveConfig[K](sys, cfg))
+}
+
+// ForcePromote synchronously migrates an adaptive engine to the keyed
+// granularity, regardless of the contention meter, and returns true. It
+// reports false for non-adaptive engines. Promotion runs the full protocol —
+// bridge publish, drain barrier, terminal publish — so on return every live
+// transaction's latched granularity is Bridge or Keyed.
+//
+// ForcePromote must not be called from inside a transaction on the same
+// System: the drain barrier would wait for that transaction's Atomic call to
+// return while the call waits for ForcePromote (the stm drain budget turns
+// the mistake into a panic). Tests that need a promotion concurrent with a
+// live transaction run it on another goroutine, exactly like production
+// promotions.
+func (o *Object[K]) ForcePromote() bool {
+	if o.adapt == nil {
+		return false
+	}
+	o.adapt.force(adaptModeKeyed)
+	return true
+}
+
+// ForceDemote synchronously migrates an adaptive engine to the coarse
+// granularity (the same contract and caveats as ForcePromote).
+func (o *Object[K]) ForceDemote() bool {
+	if o.adapt == nil {
+		return false
+	}
+	o.adapt.force(adaptModeCoarse)
+	return true
+}
+
+// AdaptiveStats is a point-in-time view of an adaptive engine's discipline
+// state and contention signal, surfaced in benchmark report tables.
+type AdaptiveStats struct {
+	// Phase is the live mode: "coarse", "bridge", or "keyed".
+	Phase string
+	// Effective is the live granularity as a Discipline: Coarse or Keyed
+	// (the bridge reports Coarse — the coarse lock covers its footprint).
+	Effective Discipline
+	// Promotions and Demotions count completed migrations on this object.
+	Promotions, Demotions uint64
+	// Conflicts is the cumulative blocked-acquisition count across both
+	// granularities; WaitEWMA the blocked-wait moving average — the raw
+	// promotion signal.
+	Conflicts uint64
+	WaitEWMA  time.Duration
+}
+
+// AdaptiveStats reports the engine's adaptive state; ok is false for
+// non-adaptive engines.
+func (o *Object[K]) AdaptiveStats() (s AdaptiveStats, ok bool) {
+	a := o.adapt
+	if a == nil {
+		return AdaptiveStats{}, false
+	}
+	s = AdaptiveStats{
+		Effective:  Coarse,
+		Promotions: a.promotions.Load(),
+		Demotions:  a.demotions.Load(),
+		Conflicts:  a.meter.Conflicts(),
+		WaitEWMA:   a.meter.WaitEWMA(),
+	}
+	switch a.mode.Load() {
+	case adaptModeCoarse:
+		s.Phase = "coarse"
+	case adaptModeBridge:
+		s.Phase = "bridge"
+	default:
+		s.Phase = "keyed"
+		s.Effective = Keyed
+	}
+	return s, true
+}

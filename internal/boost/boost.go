@@ -135,6 +135,11 @@ const (
 	// Ranged objects hold interval locks over an ordered key space; point
 	// demands lock the degenerate interval [k, k].
 	Ranged
+	// Adaptive objects choose between Coarse and Keyed at runtime: one
+	// coarse lock while quiet, promotion to a per-key table when contention
+	// statistics cross a threshold (and optionally back). See adaptive.go
+	// for the migration protocol.
+	Adaptive
 )
 
 // String returns the lower-case name of the discipline.
@@ -150,6 +155,8 @@ func (d Discipline) String() string {
 		return "readwrite"
 	case Ranged:
 		return "ranged"
+	case Adaptive:
+		return "adaptive"
 	default:
 		return fmt.Sprintf("discipline(%d)", uint8(d))
 	}
@@ -172,6 +179,7 @@ type Object[K comparable] struct {
 	coarse *lockmgr.OwnerLock
 	rw     *lockmgr.RWOwnerLock
 	ranged rangeTable[K]
+	adapt  *adaptCore // non-nil iff disc == Adaptive (keyed and coarse both set)
 
 	// lazy selects the deferred execution discipline (see lazy.go): specs
 	// append to a per-tx pending log instead of mutating the base, and the
@@ -284,12 +292,44 @@ func NewUnsynced[K comparable]() *Object[K] {
 	return &Object[K]{disc: Unsynced}
 }
 
-// Discipline reports the engine's lock discipline.
+// Discipline reports the engine's constructed lock discipline. For an
+// Adaptive engine this is the constant Adaptive, whatever granularity it is
+// currently running at: callers that branch on how a *transaction's* calls
+// actually lock must use LatchedDiscipline, which answers through the per-tx
+// latch and therefore cannot disagree with the locks the transaction holds.
 func (o *Object[K]) Discipline() Discipline { return o.disc }
 
-// KeyTable returns the per-key lock table of a Keyed engine (nil otherwise),
-// for tests and introspection.
+// LatchedDiscipline reports the effective lock discipline of tx's calls on
+// this object: for static engines it is Discipline(); for an Adaptive engine
+// it is the granularity tx latched at its first lock demand here — Coarse or
+// Keyed, with the transitional bridge reporting Coarse because the coarse
+// lock covers the whole footprint. A transaction that has not yet demanded a
+// lock latches now, so the answer is guaranteed to match every subsequent
+// locked call this transaction makes. Discipline-dependent callers (WAL
+// binding adapters, version seeding, tests inspecting lock tables) must use
+// this, never the raw mode, or a migration landing between two of their ops
+// could split one transaction's view across granularities.
+func (o *Object[K]) LatchedDiscipline(tx *stm.Tx) Discipline {
+	if o.disc != Adaptive {
+		return o.disc
+	}
+	if o.adapt.latch(tx) == adaptModeKeyed {
+		return Keyed
+	}
+	return Coarse
+}
+
+// KeyTable returns the per-key lock table of a Keyed engine, for tests and
+// introspection. Adaptive engines also return their table — it exists for
+// the object's whole life — but whether a given transaction's locks are in
+// it is a per-tx question: consult LatchedDiscipline, not the table's mere
+// presence. Nil for every other discipline.
 func (o *Object[K]) KeyTable() *lockmgr.LockMap[K] { return o.keyed }
+
+// CoarseLock returns the single abstract lock of a Coarse engine, or the
+// coarse half of an Adaptive engine (nil otherwise), for tests and
+// introspection.
+func (o *Object[K]) CoarseLock() *lockmgr.OwnerLock { return o.coarse }
 
 // rangeStats is the introspection face of the striped interval-lock manager.
 // The legacy single-mutex RangeLock does not implement it (no escalation
@@ -333,6 +373,25 @@ func (o *Object[K]) Acquire(tx *stm.Tx, op Op[K]) {
 			panic("boost: keyed discipline cannot express demand " + op.Demand.String())
 		}
 		o.keyed.Lock(tx, op.Key)
+	case Adaptive:
+		if op.Demand != DemandKey {
+			panic("boost: adaptive discipline cannot express demand " + op.Demand.String())
+		}
+		// Lock under the granularity this transaction latched at its first
+		// demand on this object — never the live mode, which a concurrent
+		// migration may move mid-transaction (see adaptive.go).
+		switch o.adapt.latch(tx) {
+		case adaptModeCoarse:
+			o.coarse.Acquire(tx)
+		case adaptModeBridge:
+			// The bridge holds both tables, coarse strictly first: every
+			// bridge call orders the pair identically, so two bridge
+			// transactions cannot deadlock between the tables.
+			o.coarse.Acquire(tx)
+			o.keyed.Lock(tx, op.Key)
+		default: // adaptModeKeyed
+			o.keyed.Lock(tx, op.Key)
+		}
 	case Coarse:
 		// One lock serializes everything: any demand is (conservatively)
 		// satisfied by exclusive ownership.

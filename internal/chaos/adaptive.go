@@ -1,0 +1,218 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tboost/internal/core"
+	"tboost/internal/faultpoint"
+	"tboost/internal/histories"
+	"tboost/internal/lockmgr"
+	"tboost/internal/stm"
+)
+
+// Adaptive-granularity chaos: granularity migrations fired into the middle of
+// a deadlock storm. The workload is the RunStorm shape — parity-reversed lock
+// orders over a point-keyed set and an ordered set, delays injected into lock
+// waits so doom/wakeup/expiry races stay open — but the point-keyed set is an
+// adaptive engine, and a driver goroutine force-promotes and force-demotes it
+// for the storm's whole duration while the boost/promote failpoint pins each
+// migration's bridge window open with live traffic inside it. What must
+// survive: strict serializability of the committed history, Theorem 5.4 on
+// the quiescent base, and progress (no lost wakeups — every worker drains its
+// transaction budget; under wound-wait/detect every transaction commits).
+
+// AdaptiveStormSchedule is StormSchedule plus a delay inside every migration's
+// bridge window, so each promotion/demotion holds the object in bridge mode —
+// both lock tables live — while stalled waiters, wounds, and timer expiries
+// race around it.
+func AdaptiveStormSchedule(lockDelay, bridgeDelay time.Duration) Schedule {
+	return Schedule{
+		{faultpoint.LockWait, faultpoint.Trigger{Effect: faultpoint.Delay, Delay: lockDelay, EveryN: 7}},
+		{faultpoint.BoostPromote, faultpoint.Trigger{Effect: faultpoint.Delay, Delay: bridgeDelay}},
+	}
+}
+
+// AdaptiveStormReport extends the storm verdict with migration telemetry.
+type AdaptiveStormReport struct {
+	StormReport
+	Promotions uint64 // completed Coarse→Keyed migrations during the storm
+	Demotions  uint64 // completed Keyed→Coarse migrations during the storm
+	FinalPhase string // the object's granularity phase when the storm ended
+}
+
+// String formats the report for logs.
+func (r AdaptiveStormReport) String() string {
+	return fmt.Sprintf("%s migrations(promote=%d demote=%d final=%s)",
+		r.StormReport, r.Promotions, r.Demotions, r.FinalPhase)
+}
+
+// RunAdaptiveStorm drives the deadlock storm against an adaptive point-keyed
+// set under the given contention policy, with a migration driver toggling the
+// granularity for the storm's whole duration.
+func RunAdaptiveStorm(cfg StormConfig, policy lockmgr.ContentionPolicy) AdaptiveStormReport {
+	cfg = cfg.withDefaults()
+	Disarm()
+	AdaptiveStormSchedule(cfg.Delay, 4*cfg.Delay).Arm()
+	defer Disarm()
+
+	sys := stm.NewSystem(stm.Config{
+		LockTimeout:   cfg.LockTimeout,
+		Contention:    policy,
+		CollapseAfter: cfg.CollapseAfter,
+	})
+	keyed := core.NewAdaptiveSkipListSet(sys)
+	ordered := core.NewOrderedSet()
+	rec := histories.NewRecorder()
+
+	var (
+		shed   atomic.Int64
+		maxLat atomic.Int64 // nanoseconds
+		fatal  errOnce
+		wg     sync.WaitGroup
+	)
+	for g := 0; g < cfg.Goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := rand.New(rand.NewPCG(cfg.Seed, uint64(g)))
+			reversed := g%2 == 1
+			for i := 0; i < cfg.TxPerG; i++ {
+				k1 := int64(r.IntN(cfg.KeyRange))
+				k2 := int64(r.IntN(cfg.KeyRange))
+				lo := int64(r.IntN(cfg.KeyRange))
+				hi := lo + int64(cfg.Span)
+				start := time.Now()
+				err := sys.Atomic(func(tx *stm.Tx) error {
+					keyedOps := func() {
+						a, b := k1, k2
+						if reversed {
+							a, b = b, a
+						}
+						ok := keyed.Add(tx, a)
+						rec.RecordCall(tx.ID(), "set", "add", []int64{a}, histories.Resp{OK: ok})
+						ok = keyed.Remove(tx, b)
+						rec.RecordCall(tx.ID(), "set", "remove", []int64{b}, histories.Resp{OK: ok})
+					}
+					rangedOps := func() {
+						if reversed {
+							n := ordered.CountRange(tx, lo, hi)
+							rec.RecordCall(tx.ID(), "oset", "countRange", []int64{lo, hi}, histories.Resp{Val: int64(n), OK: true})
+							ok := ordered.Add(tx, lo)
+							rec.RecordCall(tx.ID(), "oset", "add", []int64{lo}, histories.Resp{OK: ok})
+						} else {
+							ok := ordered.Add(tx, hi)
+							rec.RecordCall(tx.ID(), "oset", "add", []int64{hi}, histories.Resp{OK: ok})
+							n := ordered.CountRange(tx, lo, hi)
+							rec.RecordCall(tx.ID(), "oset", "countRange", []int64{lo, hi}, histories.Resp{Val: int64(n), OK: true})
+						}
+					}
+					if reversed {
+						rangedOps()
+						time.Sleep(cfg.HoldTime)
+						keyedOps()
+					} else {
+						keyedOps()
+						time.Sleep(cfg.HoldTime)
+						rangedOps()
+					}
+					tx.AtCommit(func() { rec.Commit(tx.ID()) })
+					return nil
+				})
+				if d := time.Since(start).Nanoseconds(); true {
+					for {
+						old := maxLat.Load()
+						if d <= old || maxLat.CompareAndSwap(old, d) {
+							break
+						}
+					}
+				}
+				if err != nil {
+					if !shedable(err) {
+						fatal.set(fmt.Errorf("adaptive storm worker %d: unexpected error: %w", g, err))
+						return
+					}
+					shed.Add(1)
+				}
+			}
+		}()
+	}
+
+	// Migration driver: promote/demote in a tight loop until the workers
+	// drain. Each Force* runs the full protocol synchronously — bridge
+	// publish, the armed faultpoint delay, the call-drain barrier — so every
+	// iteration lands a complete migration inside the storm.
+	stop := make(chan struct{})
+	var driver sync.WaitGroup
+	driver.Add(1)
+	go func() {
+		defer driver.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				keyed.Engine().ForcePromote()
+			} else {
+				keyed.Engine().ForceDemote()
+			}
+			time.Sleep(cfg.Delay)
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	driver.Wait()
+
+	h := rec.History()
+	out := AdaptiveStormReport{StormReport: StormReport{
+		Policy:     policy.Name(),
+		Expected:   int64(cfg.Goroutines * cfg.TxPerG),
+		Events:     len(h),
+		Shed:       int(shed.Load()),
+		MaxLatency: time.Duration(maxLat.Load()),
+		Stats:      sys.Stats(),
+	}}
+	if as, ok := keyed.Engine().AdaptiveStats(); ok {
+		out.Promotions = as.Promotions
+		out.Demotions = as.Demotions
+		out.FinalPhase = as.Phase
+	}
+	if err := fatal.get(); err != nil {
+		out.Err = err
+		return out
+	}
+	specs := map[string]histories.Spec{
+		"set":  histories.SetSpec{},
+		"oset": histories.SetSpec{},
+	}
+	if err := histories.CheckStrictSerializability(h, specs); err != nil {
+		out.Err = err
+		return out
+	}
+	finals, err := histories.FinalStates(h, specs)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	for k := int64(0); k < int64(cfg.KeyRange); k++ {
+		want, _, _ := finals["set"].Apply("contains", []int64{k})
+		if got := keyed.Base().Contains(k); got != want.OK {
+			out.Err = fmt.Errorf("theorem 5.4 violated on adaptive set at key %d: base=%v history=%v", k, got, want.OK)
+			return out
+		}
+	}
+	for k := int64(0); k < int64(cfg.KeyRange+cfg.Span); k++ {
+		want, _, _ := finals["oset"].Apply("contains", []int64{k})
+		if got := ordered.Base().Contains(k); got != want.OK {
+			out.Err = fmt.Errorf("theorem 5.4 violated on ordered set at key %d: base=%v history=%v", k, got, want.OK)
+			return out
+		}
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"tboost/internal/lockmgr"
+)
+
+// TestAdaptiveStormPolicies fires granularity migrations into the middle of
+// the deadlock storm under each contention policy. Strict serializability and
+// the Theorem 5.4 audit must hold under all three; progress assertions mirror
+// TestDeadlockStormPolicies (timeout is the shed-tolerant baseline). The
+// migration driver must complete at least one full promote+demote round —
+// a storm that never migrated proved nothing.
+func TestAdaptiveStormPolicies(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		policy lockmgr.ContentionPolicy
+	}{
+		{"timeout", lockmgr.Timeout},
+		{"wound-wait", lockmgr.WoundWait},
+		{"detect", lockmgr.NewDetect()},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			rep := RunAdaptiveStorm(StormConfig{}, tc.policy)
+			t.Logf("%s", rep)
+			if rep.Err != nil {
+				t.Fatalf("adaptive storm under %s violated serializability: %v", tc.name, rep.Err)
+			}
+			if rep.Promotions < 1 || rep.Demotions < 1 {
+				t.Fatalf("storm migrated promote=%d demote=%d times; need at least one full round", rep.Promotions, rep.Demotions)
+			}
+			if tc.name == "timeout" {
+				return // baseline: liveness comes only from timeouts; no progress assertions
+			}
+			if rep.Shed != 0 {
+				t.Errorf("%d transactions gave up under %s; every transaction must commit", rep.Shed, tc.name)
+			}
+			if rep.Stats.Collapses != 0 {
+				t.Errorf("ErrContentionCollapse fired %d times under %s, want 0", rep.Stats.Collapses, tc.name)
+			}
+			if rep.Stats.Commits != rep.Expected {
+				t.Errorf("commits = %d, want %d under %s", rep.Stats.Commits, rep.Expected, tc.name)
+			}
+			if limit := 30 * time.Second; rep.MaxLatency > limit {
+				t.Errorf("max transaction latency %v exceeds %v under %s", rep.MaxLatency, limit, tc.name)
+			}
+			if tc.name == "detect" {
+				if n := lockmgr.DetectWaiting(tc.policy); n != 0 {
+					t.Errorf("wait-for graph holds %d edges after the storm, want 0", n)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"tboost/internal/hashset"
+	"tboost/internal/rbtree"
+	"tboost/internal/stm"
+)
+
+// FuzzAdaptiveStaticEquivalence interprets fuzz input bytes as a program of
+// transactions over three objects — a set, a multiset, and a map — and runs
+// the same program on three separate Systems: against static-keyed objects
+// (the reference), against adaptive objects, and against lazy adaptive
+// objects. Between transactions the runner forces granularity migrations on
+// the adaptive worlds (promote, then demote, round-robin — the test hook the
+// migration protocol exposes), so transactions run before, after, and across
+// repeated Coarse↔Keyed transitions. Every op's return value, every
+// transaction's outcome (commit / user abort), and the final object states
+// must match the static-keyed reference bit-for-bit: lock granularity, and
+// migrating it at runtime, is invisible to sequential semantics.
+//
+// Byte encoding: op = b>>5, k = b&7, v = (b>>3)&3.
+//
+//	0  set.Add(k), or AddQuiet(k) when v==3
+//	1  set.Remove(k), or RemoveQuiet(k) when v==3
+//	2  set.Contains(k)
+//	3  multiset: v&1==0 Add(k), else RemoveOne(k)
+//	4  map: v<2 Put(k, b), v==2 Get(k), v==3 Delete(k)
+//	5  v<2 multiset.Count(k), else map.Get(k^1)
+//	6  end tx: v&1==1 abort (user error), else commit
+//	7  nested: v&1==0 begin child (runs until next 6/7 terminator);
+//	   v&1==1 end child with abort at depth>0, user-abort tx at depth 0
+//
+// Run continuously with:
+//
+//	go test -fuzz FuzzAdaptiveStaticEquivalence ./internal/core
+func FuzzAdaptiveStaticEquivalence(f *testing.F) {
+	f.Add([]byte{0x00, 0x20, 0x00, 0xc0, 0x00, 0x20}) // add/remove/add, commit, add again
+	f.Add([]byte{0x00, 0x01, 0xd0, 0x02})             // cross-key ops ending in user abort
+	f.Add([]byte{0xe0, 0x00, 0x68, 0xe8, 0x01, 0xc0}) // nested child aborts, parent commits
+	f.Add([]byte{0x61, 0x61, 0x69, 0xa0, 0xa8, 0xc0}) // multiset deltas + counts
+	f.Add([]byte{0x80, 0x98, 0x90, 0x88, 0xc0})       // map put/delete/get churn
+	f.Add([]byte{0xc0, 0x00, 0xc0, 0x00, 0xc0, 0x00}) // many tiny txs: migration per boundary
+	seed := make([]byte, 96)
+	r := rand.New(rand.NewPCG(9, 9))
+	for i := range seed {
+		seed[i] = byte(r.IntN(256))
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, prog []byte) {
+		ref := newAdaptiveFuzzWorld("keyed")
+		rt, ro := runAdaptiveFuzzProgram(ref, prog)
+		for _, kind := range []string{"adaptive", "lazy-adaptive"} {
+			w := newAdaptiveFuzzWorld(kind)
+			wt, wo := runAdaptiveFuzzProgram(w, prog)
+			if len(ro) != len(wo) {
+				t.Fatalf("%s: tx count diverged: keyed %d, got %d", kind, len(ro), len(wo))
+			}
+			for i := range ro {
+				if ro[i] != wo[i] {
+					t.Fatalf("%s: tx %d outcome diverged: keyed commit=%v, got commit=%v", kind, i, ro[i], wo[i])
+				}
+			}
+			if len(rt) != len(wt) {
+				t.Fatalf("%s: trace length diverged: keyed %d, got %d", kind, len(rt), len(wt))
+			}
+			for i := range rt {
+				if rt[i] != wt[i] {
+					t.Fatalf("%s: trace[%d] diverged: keyed %d, got %d", kind, i, rt[i], wt[i])
+				}
+			}
+		}
+	})
+}
+
+type adaptiveFuzzWorld struct {
+	sys *stm.System
+	set *Set[int64]
+	ms  *Multiset[int64]
+	mp  *Map[int64, int64]
+}
+
+func newAdaptiveFuzzWorld(kind string) *adaptiveFuzzWorld {
+	sys := stm.NewSystem(stm.Config{BackoffBase: time.Nanosecond, BackoffCap: time.Nanosecond})
+	w := &adaptiveFuzzWorld{sys: sys}
+	switch kind {
+	case "keyed":
+		w.set = NewHashSetOf[int64]()
+		w.ms = NewMultiset[int64]()
+		w.mp = NewRBTreeMap[int64]()
+	case "adaptive":
+		w.set = NewAdaptiveSet[int64](sys, hashset.New[int64]())
+		w.ms = NewAdaptiveMultiset[int64](sys)
+		w.mp = NewAdaptiveMap[int64, int64](sys, rbtree.NewSync[int64]())
+	case "lazy-adaptive":
+		w.set = NewLazyAdaptiveSet[int64](sys, hashset.New[int64]())
+		w.ms = NewLazyAdaptiveMultiset[int64](sys)
+		w.mp = NewLazyAdaptiveMap[int64, int64](sys, rbtree.NewSync[int64]())
+	}
+	return w
+}
+
+// forceMigration is the mid-run promotion hook: between transactions the
+// runner walks the adaptive worlds through promote → demote → promote …
+// (no-ops on the static reference, where ForcePromote reports false).
+func (w *adaptiveFuzzWorld) forceMigration(step int) {
+	if step%2 == 0 {
+		w.set.Engine().ForcePromote()
+		w.ms.Engine().ForcePromote()
+		w.mp.Engine().ForcePromote()
+	} else {
+		w.set.Engine().ForceDemote()
+		w.ms.Engine().ForceDemote()
+		w.mp.Engine().ForceDemote()
+	}
+}
+
+// runAdaptiveFuzzProgram executes the program single-threaded, exactly like
+// runLazyEagerProgram: control flow depends only on the program bytes, each
+// transaction body resets pc and trace to the attempt's start, and the trace
+// ends with a full read-back of every object's final state.
+func runAdaptiveFuzzProgram(w *adaptiveFuzzWorld, prog []byte) (trace []int64, outcomes []bool) {
+	e := &lazyEagerExec{prog: prog}
+	for e.pc < len(e.prog) {
+		pcStart, traceStart := e.pc, len(e.trace)
+		err := w.sys.Atomic(func(tx *stm.Tx) error {
+			e.pc, e.trace = pcStart, e.trace[:traceStart]
+			return adaptiveFuzzBody(e, tx, w, 0)
+		})
+		outcomes = append(outcomes, err == nil)
+		// Migration fires OUTSIDE the transaction (a sync ForcePromote inside
+		// would drain-wait on its own call): the next transaction latches the
+		// new granularity, which must change nothing observable.
+		w.forceMigration(len(outcomes))
+	}
+	stm.MustAtomicOn(w.sys, func(tx *stm.Tx) {
+		for k := int64(0); k < 8; k++ {
+			e.rec(b2i(w.set.Contains(tx, k)))
+			e.rec(int64(w.ms.Count(tx, k)))
+			mv, mok := w.mp.Get(tx, k)
+			e.rec(mv, b2i(mok))
+		}
+	})
+	return e.trace, outcomes
+}
+
+func adaptiveFuzzBody(e *lazyEagerExec, tx *stm.Tx, w *adaptiveFuzzWorld, depth int) error {
+	for e.pc < len(e.prog) {
+		b := e.prog[e.pc]
+		e.pc++
+		k, v := int64(b&7), (b>>3)&3
+		switch b >> 5 {
+		case 0:
+			if v == 3 {
+				w.set.AddQuiet(tx, k)
+			} else {
+				e.rec(b2i(w.set.Add(tx, k)))
+			}
+		case 1:
+			if v == 3 {
+				w.set.RemoveQuiet(tx, k)
+			} else {
+				e.rec(b2i(w.set.Remove(tx, k)))
+			}
+		case 2:
+			e.rec(b2i(w.set.Contains(tx, k)))
+		case 3:
+			if v&1 == 0 {
+				e.rec(int64(w.ms.Add(tx, k)))
+			} else {
+				e.rec(b2i(w.ms.RemoveOne(tx, k)))
+			}
+		case 4:
+			switch {
+			case v < 2:
+				old, ok := w.mp.Put(tx, k, int64(b))
+				e.rec(old, b2i(ok))
+			case v == 2:
+				val, ok := w.mp.Get(tx, k)
+				e.rec(val, b2i(ok))
+			default:
+				old, ok := w.mp.Delete(tx, k)
+				e.rec(old, b2i(ok))
+			}
+		case 5:
+			if v < 2 {
+				e.rec(int64(w.ms.Count(tx, k)))
+			} else {
+				val, ok := w.mp.Get(tx, k^1)
+				e.rec(val, b2i(ok))
+			}
+		case 6:
+			if v&1 == 1 {
+				return errFuzzUserAbort
+			}
+			return nil
+		case 7:
+			if v&1 == 1 {
+				return errFuzzUserAbort
+			}
+			err := tx.Nested(func(tx *stm.Tx) error {
+				return adaptiveFuzzBody(e, tx, w, depth+1)
+			})
+			e.rec(b2i(err == nil))
+		}
+	}
+	return nil
+}

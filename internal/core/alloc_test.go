@@ -454,6 +454,92 @@ func TestSnapshotOpenCloseAllocsAtMostOne(t *testing.T) {
 	}
 }
 
+// The adaptive engine's dormant-cost budgets (ISSUE 9 acceptance): an
+// adaptive object that never promotes must meet the static budgets exactly —
+// the contention meter lives on the lock manager's blocked path, so the
+// signal collection adds zero allocations to uncontended calls, and the
+// per-transaction discipline latch reuses its pooled backing array. The
+// promoted twin pins the same budgets on the keyed side of a migration.
+
+func TestAdaptiveDormantContainsAllocsZero(t *testing.T) {
+	skipIfRace(t)
+	sys := stm.NewSystem(stm.Config{})
+	s := NewAdaptiveSet[int64](sys, hashset.New[int64]())
+	stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+		for k := int64(0); k < 64; k++ {
+			s.Add(tx, k)
+		}
+	})
+	var k int64
+	body := func(tx *stm.Tx) error {
+		s.Contains(tx, k)
+		return nil
+	}
+	_ = sys.Atomic(body) // warm pools (incl. the tx discipline-latch backing)
+	avg := testing.AllocsPerRun(200, func() {
+		k = (k + 1) & 63
+		_ = sys.Atomic(body)
+	})
+	if avg > 0 {
+		t.Fatalf("dormant adaptive Contains allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+func TestAdaptiveDormantAddRemoveAllocsAtMostOnePerOp(t *testing.T) {
+	skipIfRace(t)
+	sys := stm.NewSystem(stm.Config{})
+	s := NewAdaptiveSet[int64](sys, hashset.New[int64]())
+	stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+		for k := int64(0); k < 64; k++ {
+			s.Add(tx, k)
+		}
+	})
+	stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+		for k := int64(0); k < 64; k++ {
+			s.Remove(tx, k)
+		}
+	})
+	var k int64
+	body := func(tx *stm.Tx) error {
+		s.Add(tx, k)
+		s.Remove(tx, k)
+		return nil
+	}
+	_ = sys.Atomic(body)
+	avg := testing.AllocsPerRun(200, func() {
+		k = (k + 1) & 63
+		_ = sys.Atomic(body)
+	})
+	if avg > 2 {
+		t.Fatalf("dormant adaptive add+remove allocates %.2f objects/run, want <= 2", avg)
+	}
+}
+
+func TestAdaptivePromotedContainsAllocsZero(t *testing.T) {
+	skipIfRace(t)
+	sys := stm.NewSystem(stm.Config{})
+	s := NewAdaptiveSet[int64](sys, hashset.New[int64]())
+	s.Engine().ForcePromote()
+	stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+		for k := int64(0); k < 64; k++ {
+			s.Add(tx, k) // installs the per-key locks
+		}
+	})
+	var k int64
+	body := func(tx *stm.Tx) error {
+		s.Contains(tx, k)
+		return nil
+	}
+	_ = sys.Atomic(body)
+	avg := testing.AllocsPerRun(200, func() {
+		k = (k + 1) & 63
+		_ = sys.Atomic(body)
+	})
+	if avg > 0 {
+		t.Fatalf("promoted adaptive Contains allocates %.2f objects/op, want 0", avg)
+	}
+}
+
 func TestReentrantReacquireAllocsZero(t *testing.T) {
 	skipIfRace(t)
 	sys := stm.NewSystem(stm.Config{})

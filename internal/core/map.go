@@ -173,3 +173,7 @@ func versionVal[V any](v boost.Version) (V, bool) {
 
 // Base returns the underlying linearizable map for quiescent inspection.
 func (m *Map[K, V]) Base() BaseMap[K, V] { return m.base }
+
+// Engine returns the kernel object executing this map's descriptors, for
+// tests and introspection.
+func (m *Map[K, V]) Engine() *boost.Object[K] { return m.obj }

@@ -128,3 +128,7 @@ func (m *Multiset[K]) lazyCount(tx *stm.Tx, key K) (*boost.LazyLog[K], int) {
 // Base returns the underlying linearizable multiset for quiescent
 // inspection.
 func (m *Multiset[K]) Base() *hashset.MultiSet[K] { return m.base }
+
+// Engine returns the kernel object executing this multiset's descriptors,
+// for tests and introspection.
+func (m *Multiset[K]) Engine() *boost.Object[K] { return m.obj }

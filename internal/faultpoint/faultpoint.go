@@ -133,6 +133,13 @@ const (
 	// Doom exercises the doomed-mid-drain discovery before any op reaches
 	// the base object.
 	BoostLazyDrain = "boost/lazy-drain"
+	// BoostPromote is hit by an adaptive engine's migration goroutine after
+	// the transitional bridge mode is published and before the call-epoch
+	// drain barrier. It runs outside any transaction, so only Delay is
+	// meaningful: a delay here holds the object in bridge mode (every new
+	// locked call paying both tables) while live transactions keep running,
+	// widening the exact window the migration protocol must keep sound.
+	BoostPromote = "boost/promote"
 )
 
 // Sites returns every canonical site name, sorted.
@@ -142,7 +149,7 @@ func Sites() []string {
 		StmPostAbort, LockRegistered, LockWait, SemAcquire,
 		RWValidate, RWWriteBack,
 		WalMidBatch, WalPreFsync, WalPostFsync, WalMidCheckpoint,
-		WalMidTruncate, BoostLazyDrain,
+		WalMidTruncate, BoostLazyDrain, BoostPromote,
 	}
 }
 

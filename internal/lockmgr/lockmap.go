@@ -41,6 +41,7 @@ type LockMap[K comparable] struct {
 	seed    maphash.Seed
 	stripes []lockStripe[K]
 	policy  ContentionPolicy // nil: per-key locks consult the waiter's System
+	meter   *ContentionMeter // nil: no contention accounting; inherited by every installed lock
 }
 
 type lockStripe[K comparable] struct {
@@ -81,6 +82,24 @@ func NewLockMapPolicy[K comparable](n int, p ContentionPolicy) *LockMap[K] {
 	return m
 }
 
+// SetMeter attaches a contention meter to the table: every lock already
+// installed and every lock installed afterwards feeds it, so the meter
+// aggregates the whole table's blocked-path activity. Configuration-time
+// only, before the table is shared (the adaptive engine calls it at
+// construction); the install path reads the field unsynchronized on that
+// contract.
+func (m *LockMap[K]) SetMeter(cm *ContentionMeter) {
+	m.meter = cm
+	for i := range m.stripes {
+		s := &m.stripes[i]
+		s.mu.Lock()
+		for _, l := range *s.cur.Load() {
+			l.SetMeter(cm)
+		}
+		s.mu.Unlock()
+	}
+}
+
 func (m *LockMap[K]) stripe(key K) *lockStripe[K] {
 	h := maphash.Comparable(m.seed, key)
 	return &m.stripes[h%uint64(len(m.stripes))]
@@ -100,13 +119,13 @@ func (m *LockMap[K]) Get(key K) *OwnerLock {
 	} else if l, ok := (*s.cur.Load())[key]; ok {
 		return l
 	}
-	return s.install(key, m.policy)
+	return s.install(key, m.policy, m.meter)
 }
 
 // install publishes a lock for a key not present in the stripe's snapshot:
 // copy-on-write under the stripe mutex, rechecking after locking because a
 // racing installer may have won.
-func (s *lockStripe[K]) install(key K, p Policy) *OwnerLock {
+func (s *lockStripe[K]) install(key K, p Policy, cm *ContentionMeter) *OwnerLock {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	old := *s.cur.Load()
@@ -118,6 +137,9 @@ func (s *lockStripe[K]) install(key K, p Policy) *OwnerLock {
 		next[k] = v
 	}
 	l := NewOwnerLockPolicy(p)
+	if cm != nil {
+		l.SetMeter(cm)
+	}
 	next[key] = l
 	s.cur.Store(&next)
 	return l

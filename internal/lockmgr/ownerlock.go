@@ -65,6 +65,7 @@ type OwnerLock struct {
 	gen    chan struct{}    // closed on each release to wake all waiters
 	ownGen chan struct{}    // closed on each ownership/registration change (waitOwnedBy)
 	policy ContentionPolicy // nil: consult the waiter's System (see effectivePolicy)
+	meter  *ContentionMeter // nil: no contention accounting (see meter.go)
 }
 
 // chanMutex is a tiny non-blocking-friendly mutex built on a 1-buffered
@@ -96,6 +97,12 @@ func NewOwnerLock() *OwnerLock {
 func NewOwnerLockPolicy(p ContentionPolicy) *OwnerLock {
 	return &OwnerLock{mu: chanMutex{ch: make(chan struct{}, 1)}, policy: p}
 }
+
+// SetMeter attaches a contention meter to the lock. Configuration-time only
+// (before the lock is contended for); the slow path reads the field without
+// synchronization, which is safe exactly because the field is set before the
+// lock is shared. The uncontended acquisition path never touches the meter.
+func (l *OwnerLock) SetMeter(m *ContentionMeter) { l.meter = m }
 
 // TryAcquire attempts to acquire the lock for tx, waiting up to timeout.
 // It returns true on success (including when tx already holds the lock).
@@ -222,10 +229,24 @@ func (l *OwnerLock) acquireSlow(tx *stm.Tx, timeout time.Duration) bool {
 			l.mu.unlock()
 			if timer != nil {
 				// Granted after blocking: feed the adaptive-timeout
-				// estimator with how long the wait actually took.
-				tx.System().ObserveWait(time.Since(waitStart))
+				// estimator with how long the wait actually took, and the
+				// per-lock meter (which may evaluate a granularity
+				// promotion on the fresh sample).
+				waited := time.Since(waitStart)
+				tx.System().ObserveWait(waited)
+				if l.meter != nil {
+					l.meter.observeWait(waited)
+				}
 			}
 			return true
+		}
+		if l.meter != nil {
+			// One conflict per blocking round, not per acquisition: under
+			// coarse-lock barging a starved waiter recontends (and loses) once
+			// per release inside a single acquisition, and each of those
+			// wasted wakeups is exactly the evidence a granularity promotion
+			// wants. Uncontended acquisitions never reach this branch.
+			l.meter.observeConflict()
 		}
 		if cp != nil {
 			// The blocking point: l.mu is held, so l.owner is the grant

@@ -1,0 +1,75 @@
+package stm
+
+// Adaptive lock-granularity support: per-transaction discipline latches and
+// the migration counters.
+//
+// An adaptive boosted object (internal/boost) changes its abstract-lock
+// discipline at runtime — one coarse lock while quiet, a per-key table under
+// contention. Two-phase locking survives the switch only if each transaction
+// is internally consistent: every locked call a transaction makes on one
+// object must go through the same discipline, or a migration landing between
+// two ops of one transaction would split its footprint across lock tables
+// and conflicting transactions could stop sharing any lock. The latch list
+// here provides that consistency, mirroring the versLive latch: the first
+// lock demand a transaction makes on an adaptive object records the object's
+// mode, and every later demand (including the commit-time lazy drain) reuses
+// the recorded mode. The latch dies with the attempt — a retry re-reads the
+// live mode with an empty footprint, which is always safe.
+//
+// The runtime stores an opaque uint32 per object; the mode encoding belongs
+// to internal/boost. Lookup is a linear scan over a pooled slice, exactly
+// like the lazy and version attach lists: transactions touch a handful of
+// adaptive objects, and steady state allocates nothing.
+
+// discAttach pairs an object identity with its latched lock-discipline mode.
+type discAttach struct {
+	obj  any
+	mode uint32
+}
+
+// DisciplineLookup returns the mode previously latched for obj and whether
+// one was latched this attempt.
+func (tx *Tx) DisciplineLookup(obj any) (uint32, bool) {
+	tx.stateLock()
+	defer tx.stateUnlock()
+	for i := range tx.disc {
+		if tx.disc[i].obj == obj {
+			return tx.disc[i].mode, true
+		}
+	}
+	return 0, false
+}
+
+// DisciplineLatch records mode as obj's lock discipline for the rest of this
+// attempt. Callers must not latch twice for the same object (use
+// DisciplineLookup first); the adaptive engine's accessor enforces this.
+func (tx *Tx) DisciplineLatch(obj any, mode uint32) {
+	tx.stateLock()
+	tx.disc = append(tx.disc, discAttach{obj: obj, mode: mode})
+	tx.stateUnlock()
+}
+
+// DisciplineCount reports how many discipline latches are held (tests).
+func (tx *Tx) DisciplineCount() int {
+	tx.stateLock()
+	defer tx.stateUnlock()
+	return len(tx.disc)
+}
+
+// clearDisc drops every discipline latch, keeping the slice capacity for the
+// descriptor's next life. Called when the attempt's lock footprint is
+// released: a nested child abort keeps its latches, like its locks.
+func (tx *Tx) clearDisc() {
+	for i := range tx.disc {
+		tx.disc[i] = discAttach{}
+	}
+	tx.disc = tx.disc[:0]
+}
+
+// CountPromotion records one coarse-to-keyed granularity promotion completed
+// by an adaptive boosted object on this system.
+func (s *System) CountPromotion() { s.stats.add(0, cPromotions) }
+
+// CountDemotion records one keyed-to-coarse granularity demotion completed by
+// an adaptive boosted object on this system.
+func (s *System) CountDemotion() { s.stats.add(0, cDemotions) }

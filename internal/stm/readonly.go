@@ -173,9 +173,10 @@ func (s *System) activateVersioning() {
 	if s.snaps.Activate() {
 		s.gen.Add(1)
 	}
-	// The generation is bumped exactly once per system (by this call or by
-	// an earlier one that panicked below), so gen-1 is always the
-	// pre-activation generation to drain.
+	// Generation bumps serialize under epochMu (this activation, and any
+	// DrainCalls barrier), so gen-1 here is exactly the generation that was
+	// current when Activate flipped the flag — the one whose transactions
+	// may have latched versLive=false and must be waited out.
 	old := s.gen.Load() - 1
 	deadline := time.Now().Add(activationDrainBudget)
 	for !s.epochs[old&1].drained() {
@@ -188,6 +189,43 @@ func (s *System) activateVersioning() {
 		time.Sleep(10 * time.Microsecond)
 	}
 	s.versReady.Store(true)
+}
+
+// DrainCalls is a grace-period barrier over the system's Atomic calls: it
+// opens a new call-epoch generation and returns only when every Atomic (and
+// AtomicRO) call that entered the previous generation has returned. Callers
+// use it to retire a per-call latched decision — any call still running under
+// the old value of some latch is gone when DrainCalls returns, so a state
+// machine that publishes a transitional value *before* the barrier and its
+// final value *after* knows the two terminal populations never overlap (the
+// adaptive lock-granularity migration in internal/boost is the client; the
+// versioning activation above is the same pattern with the latch inlined).
+//
+// The ordering argument: the transitional publish (a seq-cst atomic store)
+// precedes the generation bump (another seq-cst store) in the barrier
+// goroutine, so a call whose epochEnter observed the new generation must,
+// on any later load of the latched state, observe the transitional value or
+// newer — never the old terminal value. Calls that raced into the old
+// generation are simply waited for.
+//
+// DrainCalls must not be invoked from inside a transaction on the same
+// System: the barrier would wait for that transaction's call to return while
+// the call waits for the barrier. The drain budget turns that misuse into a
+// panic naming the hazard, exactly like the activation drain.
+func (s *System) DrainCalls() {
+	s.epochMu.Lock()
+	defer s.epochMu.Unlock()
+	old := s.gen.Add(1) - 1
+	deadline := time.Now().Add(activationDrainBudget)
+	for !s.epochs[old&1].drained() {
+		if time.Now().After(deadline) {
+			panic("stm: call drain stalled: a transaction begun before the " +
+				"barrier did not finish within the drain budget — likely " +
+				"DrainCalls (or an adaptive-lock ForcePromote/ForceDemote) " +
+				"invoked from inside a running transaction on the same System")
+		}
+		time.Sleep(10 * time.Microsecond)
+	}
 }
 
 // epochShard is one padded cell of the generation's begun/ended counters,

@@ -49,6 +49,11 @@ const (
 	cROAborts
 	cReaderLockDemands // abstract locks demanded by read-only txs (fallback)
 
+	// Adaptive lock-granularity migrations completed by boosted objects on
+	// this system (coarse->keyed and keyed->coarse respectively).
+	cPromotions
+	cDemotions
+
 	nCounters
 )
 
@@ -153,6 +158,8 @@ func (s *Stats) snapshot() StatsSnapshot {
 		ROCommits:         s.total(cROCommits),
 		ROAborts:          s.total(cROAborts),
 		ReaderLockDemands: s.total(cReaderLockDemands),
+		Promotions:        s.total(cPromotions),
+		Demotions:         s.total(cDemotions),
 	}
 }
 
@@ -206,6 +213,14 @@ type StatsSnapshot struct {
 	ROCommits         int64
 	ROAborts          int64
 	ReaderLockDemands int64
+
+	// Adaptive lock-granularity migrations completed by boosted objects on
+	// this system: Promotions counts coarse-to-keyed switches, Demotions the
+	// reverse. Per-object detail (current discipline, contention EWMA) lives
+	// on the object itself (boost.Object.AdaptiveStats); these counters are
+	// the system-wide roll-up.
+	Promotions int64
+	Demotions  int64
 }
 
 // AbortRatio returns aborts divided by attempts started, in [0,1].
@@ -266,6 +281,8 @@ func (s StatsSnapshot) Sub(earlier StatsSnapshot) StatsSnapshot {
 		ROCommits:         s.ROCommits - earlier.ROCommits,
 		ROAborts:          s.ROAborts - earlier.ROAborts,
 		ReaderLockDemands: s.ReaderLockDemands - earlier.ReaderLockDemands,
+		Promotions:        s.Promotions - earlier.Promotions,
+		Demotions:         s.Demotions - earlier.Demotions,
 	}
 }
 
@@ -298,6 +315,9 @@ func (s StatsSnapshot) String() string {
 	if s.ROStarts > 0 {
 		line += fmt.Sprintf(" roStarts=%d roCommits=%d roAborts=%d readerLockDemands=%d",
 			s.ROStarts, s.ROCommits, s.ROAborts, s.ReaderLockDemands)
+	}
+	if s.Promotions > 0 || s.Demotions > 0 {
+		line += fmt.Sprintf(" promotions=%d demotions=%d", s.Promotions, s.Demotions)
 	}
 	return line
 }

@@ -183,6 +183,13 @@ type Tx struct {
 	// sequence number, discarded on abort (see version.go).
 	vers []versionAttach
 
+	// disc holds the per-object lock-discipline latches of adaptive boosted
+	// objects this transaction touched: the mode each object was in at the
+	// transaction's first lock demand on it, pinned for the rest of the
+	// attempt so a concurrent granularity migration cannot split the
+	// transaction's lock footprint across tables (see adapt.go).
+	disc []discAttach
+
 	// readOnly marks a snapshot transaction (AtomicRO / Snapshot.Atomic):
 	// snapSeq is its pinned sequence and mutating accessors panic. Set once
 	// per attempt before fn runs; read concurrently by contention managers
@@ -620,6 +627,7 @@ func (tx *Tx) rollback() {
 	tx.clearLazy()               // pending lazy ops never ran; abort is truncation
 	tx.discardVers()             // pending versions were never published
 	tx.releaseLocks()
+	tx.clearDisc() // discipline latches die with the footprint they pinned
 	tx.status.Store(int32(Aborted))
 	faultpoint.Hit(faultpoint.StmPostAbort) // delay window before disposables
 	for _, f := range tx.onAbort {
@@ -707,6 +715,7 @@ func (tx *Tx) commit() bool {
 	tx.redo = clearRedo(tx.redo)
 	tx.clearLazy()
 	tx.releaseLocks()
+	tx.clearDisc() // discipline latches die with the footprint they pinned
 	if wait != nil {
 		// Pre-release durability barrier: the outcome is not released to
 		// the caller until the log has fsynced this transaction's record

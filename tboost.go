@@ -30,6 +30,7 @@ import (
 	"cmp"
 	"context"
 
+	"tboost/internal/boost"
 	"tboost/internal/core"
 	"tboost/internal/stm"
 	"tboost/internal/wal"
@@ -337,6 +338,73 @@ func NewLazyMapOf[K, V comparable](base BaseMapOf[K, V]) *MapOf[K, V] {
 // NewLazyRBTreeMap is the lazy twin of NewRBTreeMap (V bound to comparable;
 // see NewLazyMapOf).
 func NewLazyRBTreeMap[V comparable]() *Map[V] { return core.NewLazyRBTreeMap[V]() }
+
+// Adaptive constructors: runtime lock granularity. An adaptive object starts
+// with one coarse abstract lock (cheap while uncontended) and promotes itself
+// to a per-key lock table when the lock manager's contention meter — blocked
+// acquisitions and a blocked-wait moving average, collected only on the slow
+// path — shows sustained blocking. Promotion migrates safely under live
+// transactions: each transaction keeps the granularity it latched at its
+// first lock demand, a transitional bridge mode holds both footprints, and a
+// call-drain barrier separates the two steady states. Adaptive objects are
+// bound to their System at construction (the barrier is per-system); with
+// AdaptiveConfig.DemoteAfter set they also demote back after sustained quiet.
+// Inspect an object via its Engine().AdaptiveStats(); system-wide migration
+// counts appear in Stats().
+
+// AdaptiveConfig tunes promotion/demotion thresholds for adaptive objects.
+// The zero value selects the documented defaults.
+type AdaptiveConfig = boost.AdaptiveConfig
+
+// AdaptiveStats is a point-in-time view of one adaptive object's granularity
+// phase and contention signal, from Engine().AdaptiveStats().
+type AdaptiveStats = boost.AdaptiveStats
+
+// NewAdaptiveSkipListSet is the adaptive sibling of NewSkipListSet /
+// NewSkipListSetCoarse: the same base skip list, with the coarse-vs-keyed
+// choice made at runtime by contention.
+func NewAdaptiveSkipListSet(sys *System) *Set { return core.NewAdaptiveSkipListSet(sys) }
+
+// NewAdaptiveSetOf boosts any linearizable base set with the adaptive
+// discipline under default thresholds.
+func NewAdaptiveSetOf[K comparable](sys *System, base BaseSetOf[K]) *SetOf[K] {
+	return core.NewAdaptiveSet[K](sys, base)
+}
+
+// NewAdaptiveSetConfigOf is NewAdaptiveSetOf with explicit thresholds.
+func NewAdaptiveSetConfigOf[K comparable](sys *System, base BaseSetOf[K], cfg AdaptiveConfig) *SetOf[K] {
+	return core.NewAdaptiveSetConfig[K](sys, base, cfg)
+}
+
+// NewAdaptiveMapOf boosts a linearizable base map with the adaptive
+// discipline.
+func NewAdaptiveMapOf[K comparable, V any](sys *System, base BaseMapOf[K, V]) *MapOf[K, V] {
+	return core.NewAdaptiveMap[K, V](sys, base)
+}
+
+// NewAdaptiveMultisetOf returns an adaptively boosted multiset.
+func NewAdaptiveMultisetOf[K comparable](sys *System) *MultisetOf[K] {
+	return core.NewAdaptiveMultiset[K](sys)
+}
+
+// NewLazyAdaptiveSkipListSet is the lazy twin of NewAdaptiveSkipListSet.
+func NewLazyAdaptiveSkipListSet(sys *System) *Set { return core.NewLazyAdaptiveSkipListSet(sys) }
+
+// NewLazyAdaptiveSetOf is the lazy twin of NewAdaptiveSetOf.
+func NewLazyAdaptiveSetOf[K comparable](sys *System, base BaseSetOf[K]) *SetOf[K] {
+	return core.NewLazyAdaptiveSet[K](sys, base)
+}
+
+// NewLazyAdaptiveMapOf is the lazy twin of NewAdaptiveMapOf (V bound to
+// comparable; see NewLazyMapOf).
+func NewLazyAdaptiveMapOf[K, V comparable](sys *System, base BaseMapOf[K, V]) *MapOf[K, V] {
+	return core.NewLazyAdaptiveMap[K, V](sys, base)
+}
+
+// NewLazyAdaptiveMultisetOf is the lazy twin of NewAdaptiveMultisetOf.
+func NewLazyAdaptiveMultisetOf[K comparable](sys *System) *MultisetOf[K] {
+	return core.NewLazyAdaptiveMultiset[K](sys)
+}
 
 // Counter is a boosted transactional accumulator: increments commute and
 // run in parallel; reads serialize against in-flight increments.
