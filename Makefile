@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race test-short vet check fuzz-lockmgr fuzz-contention fuzz-contention-race fuzz-codec fuzz-lazy fuzz-snapshot fuzz-snapshot-race fuzz-adaptive fuzz-adaptive-race chaos chaos-race chaos-crash bench bench-micro bench-json bench-readmix bench-adaptive
+.PHONY: build test test-race test-short vet check fuzz-lockmgr fuzz-contention fuzz-contention-race fuzz-codec fuzz-lazy fuzz-snapshot fuzz-snapshot-race fuzz-adaptive fuzz-adaptive-race fuzz-2pc fuzz-2pc-race chaos chaos-race chaos-crash chaos-2pc bench bench-micro bench-json bench-readmix bench-adaptive bench-twopc
 
 build:
 	$(GO) build ./...
@@ -25,7 +25,7 @@ vet:
 # per invocation, hence separate targets; fuzz-lazy differentially checks
 # the lazy discipline (deferral + commit-time fusion) against the eager
 # oracle on identical op programs.
-check: build vet test test-race fuzz-lockmgr fuzz-contention fuzz-lazy fuzz-snapshot fuzz-adaptive
+check: build vet test test-race fuzz-lockmgr fuzz-contention fuzz-lazy fuzz-snapshot fuzz-adaptive fuzz-2pc
 
 fuzz-lockmgr:
 	$(GO) test -run NONE -fuzz FuzzStripedRangeLockEquivalence -fuzztime 10s ./internal/lockmgr/
@@ -63,6 +63,17 @@ fuzz-adaptive-race:
 fuzz-contention-race:
 	$(GO) test -race -run NONE -fuzz FuzzContentionPolicies -fuzztime 10s ./internal/lockmgr/
 
+# Two-phase-commit atomicity differential: byte programs of cross-System
+# spans (some poisoned with injected stm faults or branch errors) against a
+# sequential model that applies a span's ops iff Span succeeded — a failed
+# span must leave no trace on any participant, a successful one must land
+# whole on all of them. Read-only spans re-check the final state lock-free.
+fuzz-2pc:
+	$(GO) test -run NONE -fuzz FuzzTwoPhaseAtomicity -fuzztime 10s ./internal/txncoord/
+
+fuzz-2pc-race:
+	$(GO) test -race -run NONE -fuzz FuzzTwoPhaseAtomicity -fuzztime 120s ./internal/txncoord/
+
 # WAL op/frame codec round-trip with one-byte corruption: a mutated frame
 # must be rejected or decode identically, never to a different op stream.
 fuzz-codec:
@@ -84,6 +95,15 @@ chaos-race:
 # divergence reports to $CRASH_ARTIFACT_DIR on failure.
 chaos-crash:
 	$(GO) test -race -run 'TestCrashMatrix' -count=1 -v ./internal/chaos/
+
+# Two-phase-commit crash matrix: kill a participant or the coordinator at
+# each named 2PC failpoint (pre-prepare, post-prepare/pre-vote,
+# pre-decision, post-decision/pre-notify, pre-commit-apply), recover the
+# whole deployment, and audit span atomicity: no acknowledged span lost, no
+# half-applied span, every in-doubt transaction resolved. Divergence reports
+# (forensic dumps of both participant logs) land in $CRASH_ARTIFACT_DIR.
+chaos-2pc:
+	$(GO) test -race -run 'TestTwopcCrashMatrix' -count=1 -v ./internal/chaos/
 
 bench:
 	$(GO) test -bench . -benchtime 200ms -benchmem -run NONE ./...
@@ -114,6 +134,15 @@ bench-readmix:
 	GOMAXPROCS=$${GOMAXPROCS:-$$(nproc)} \
 		$(GO) run ./cmd/boostbench -experiment readmix \
 		-threads 1,2,4,8,16 -json-out BENCH_PR8.json
+
+# Two-phase-commit evaluation: span commit cost (ns/tx and fsyncs/tx vs a
+# one-System durable transaction) and read-only-span throughput vs locked
+# cross-System reads under writer pressure (BENCH_PR10.json). Exits nonzero
+# if read-only spans demanded any abstract lock or aborted.
+bench-twopc:
+	GOMAXPROCS=$${GOMAXPROCS:-$$(nproc)} \
+		$(GO) run ./cmd/boostbench -experiment twopc \
+		-json-out BENCH_PR10.json
 
 # Adaptive granularity sweep: static-coarse vs static-keyed vs adaptive over
 # uniform and zipf-hot-key skews at 1-8 goroutines (BENCH_PR9.json). The

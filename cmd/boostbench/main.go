@@ -15,6 +15,7 @@
 //	boostbench -experiment fusion # lazy vs eager boosting: commit-time fusion sweep
 //	boostbench -experiment readmix # snapshot vs eager readers on read-dominated mixes
 //	boostbench -experiment adaptive # static coarse/keyed vs runtime-adaptive granularity
+//	boostbench -experiment twopc  # cross-System spans: commit cost + read-only spans
 //	boostbench -experiment all
 //
 // Flags tune the workload; the defaults mirror the paper's methodology
@@ -38,9 +39,9 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig9|fig10|fig11|aborts|stripes|pipeline|timeout|policy|heapbases|chaos|benchjson|rangemix|deadlock|durability|fusion|readmix|adaptive|all")
-		jsonOut    = flag.String("json-out", "", "benchjson/rangemix/deadlock/fusion/readmix/adaptive: also write the report to this file (e.g. BENCH_PR2.json)")
-		microOps   = flag.Int("micro-ops", 0, "benchjson/rangemix/deadlock/fusion/readmix/adaptive: operations (transactions) per sweep cell (0 = default)")
+		experiment = flag.String("experiment", "all", "fig9|fig10|fig11|aborts|stripes|pipeline|timeout|policy|heapbases|chaos|benchjson|rangemix|deadlock|durability|fusion|readmix|adaptive|twopc|all")
+		jsonOut    = flag.String("json-out", "", "benchjson/rangemix/deadlock/fusion/readmix/adaptive/twopc: also write the report to this file (e.g. BENCH_PR2.json)")
+		microOps   = flag.Int("micro-ops", 0, "benchjson/rangemix/deadlock/fusion/readmix/adaptive/twopc: operations (transactions) per sweep cell (0 = default)")
 		chaosSeed  = flag.Uint64("chaos-seed", 0, "chaos: use a randomized fault schedule with this seed (0 = default schedule)")
 		chaosTx    = flag.Int("chaos-tx", 0, "chaos: transactions per worker (0 = default)")
 		threads    = flag.String("threads", "1,2,4,8,16,32", "comma-separated thread counts")
@@ -337,6 +338,33 @@ func main() {
 					os.Exit(1)
 				}
 				fmt.Printf("\nwrote %s\n", *jsonOut)
+			}
+		},
+		"twopc": func() {
+			fmt.Println("=== Two-phase commit: span cost and read-only-span throughput ===")
+			fmt.Printf("two durable participants + durable coordinator, GOMAXPROCS=%d\n\n", runtime.GOMAXPROCS(0))
+			rep := bench.TwopcSweep(*microOps)
+			bench.PrintTwopc(os.Stdout, rep)
+			if *jsonOut != "" {
+				f, err := os.Create(*jsonOut)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "boostbench:", err)
+					os.Exit(1)
+				}
+				if err := rep.WriteJSON(f); err == nil {
+					err = f.Close()
+				} else {
+					f.Close()
+				}
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "boostbench:", err)
+					os.Exit(1)
+				}
+				fmt.Printf("\nwrote %s\n", *jsonOut)
+			}
+			if rep.ROSpanAborts != 0 || rep.ROSpanLockDemands != 0 {
+				fmt.Fprintln(os.Stderr, "boostbench: read-only spans took locks or aborted")
+				os.Exit(1)
 			}
 		},
 		"durability": func() {

@@ -124,3 +124,39 @@ func TestFacadeErrorsExported(t *testing.T) {
 		t.Fatal("ErrAborted not exported")
 	}
 }
+
+// TestFacadeTwoPhaseCommit drives a volatile cross-System span and a
+// read-only span through the facade exports.
+func TestFacadeTwoPhaseCommit(t *testing.T) {
+	a, b := tboost.NewSystem(tboost.Config{}), tboost.NewSystem(tboost.Config{})
+	sa, sb := tboost.NewHashSetOf[int64](), tboost.NewHashSetOf[int64]()
+	coord, err := tboost.NewCoordinator(
+		[]tboost.Participant{{Sys: a}, {Sys: b}},
+		tboost.CoordinatorOptions{PrepareTimeout: time.Second},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	if _, err := coord.Span(
+		func(tx *tboost.Tx, _ uint64) error { sa.Add(tx, 1); return nil },
+		func(tx *tboost.Tx, _ uint64) error { sb.Add(tx, 2); return nil },
+	); err != nil {
+		t.Fatal(err)
+	}
+	span := coord.ReadOnlySpan()
+	defer span.Close()
+	var on0, on1 bool
+	if err := span.Atomic(0, func(tx *tboost.Tx) error { on0 = sa.Contains(tx, 1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := span.Atomic(1, func(tx *tboost.Tx) error { on1 = sb.Contains(tx, 2); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !on0 || !on1 {
+		t.Fatalf("read-only span missed span effects: %v %v", on0, on1)
+	}
+	if tboost.ErrBackpressure == nil || tboost.ErrNoPreparedSink == nil || tboost.ErrCoordinatorCrashed == nil {
+		t.Fatal("2pc sentinels not exported")
+	}
+}

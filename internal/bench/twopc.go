@@ -1,0 +1,347 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"tboost/internal/core"
+	"tboost/internal/stm"
+	"tboost/internal/txncoord"
+	"tboost/internal/wal"
+)
+
+// Two-phase-commit sweep behind `boostbench -experiment twopc`
+// (BENCH_PR10.json) — the evaluation for the cross-System transaction layer.
+// Two questions, two workload families:
+//
+//   - commit cost: what does a span pay over a plain one-System durable
+//     transaction? Single-worker, disjoint-key add transactions against
+//     Group-mode logs; the span cells run the same payload split over two
+//     participants through the coordinator (prepare force-log per
+//     participant + decision force-log + commit markers) while the single
+//     cells commit the whole payload in one System. Reported as ns/tx and
+//     fsyncs per transaction — the protocol's floor is visible in the fsync
+//     ratio (a span forces at least three writes where a transaction forces
+//     at most one).
+//
+//   - read path: cross-System read-only traffic through ReadOnlySpan
+//     (matched MVCC pins, no locks, no votes) vs the locked alternative —
+//     one eager Atomic per participant whose Contains calls demand abstract
+//     locks — while writer spans keep both participants hot. The span cells
+//     must report zero reader aborts and zero reader abstract-lock demands
+//     (the acceptance criterion); the throughput ratio is reported.
+type TwopcResult struct {
+	Workload   string `json:"workload"` // "commit/single", "commit/span", "reads/rospan", "reads/locked"
+	Goroutines int    `json:"goroutines"`
+	Tx         int64  `json:"tx"`
+	Reads      int64  `json:"reads,omitempty"`
+
+	NsPerTx     float64 `json:"ns_per_tx"`
+	TxPerSec    float64 `json:"tx_per_sec"`
+	ReadsPerSec float64 `json:"reads_per_sec,omitempty"`
+
+	Fsyncs            int64   `json:"fsyncs,omitempty"`
+	FsyncsPerTx       float64 `json:"fsyncs_per_tx,omitempty"`
+	ROAborts          int64   `json:"ro_aborts"`
+	ReaderLockDemands int64   `json:"reader_lock_demands"`
+}
+
+// TwopcReport is the full sweep, serialized to BENCH_PR10.json.
+type TwopcReport struct {
+	GeneratedBy string `json:"generated_by"`
+	NumCPU      int    `json:"num_cpu"`
+	// SpanCommitOverhead is span ns/tx divided by single-System ns/tx at one
+	// worker — the protocol's latency price. Reported, unbudgeted (it is
+	// dominated by the extra forced fsyncs).
+	SpanCommitOverhead float64 `json:"span_commit_overhead"`
+	// SpanFsyncsPerTx and SingleFsyncsPerTx expose the forced-write floor.
+	SpanFsyncsPerTx   float64 `json:"span_fsyncs_per_tx"`
+	SingleFsyncsPerTx float64 `json:"single_fsyncs_per_tx"`
+	// ROSpanVsLockedReads is read-only-span reads/sec divided by locked
+	// cross-System reads/sec under writer pressure.
+	ROSpanVsLockedReads float64 `json:"rospan_vs_locked_reads"`
+	// ROSpanAborts and ROSpanLockDemands must both be zero: read-only spans
+	// are lock-free by construction (the acceptance criterion).
+	ROSpanAborts      int64         `json:"rospan_aborts"`
+	ROSpanLockDemands int64         `json:"rospan_lock_demands"`
+	Results           []TwopcResult `json:"results"`
+}
+
+const (
+	tpCommitTx = 300 // durable commit transactions per cell (fsync-bound)
+	tpReadTx   = 1500
+	tpKeys     = 64
+	tpScan     = 16
+	tpReadersG = 4
+)
+
+// runTwopcSingle measures the one-System durable baseline: each transaction
+// adds two disjoint keys to one set behind a Group-mode log.
+func runTwopcSingle(txs int) TwopcResult {
+	dir, err := os.MkdirTemp("", "twopc-bench-")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	l, err := wal.Open(wal.Options{Dir: dir, Mode: wal.Group})
+	if err != nil {
+		panic(err)
+	}
+	defer l.Close()
+	set := core.NewHashSetOf[int64]()
+	if err := core.BindSet(l, "set", wal.Int64Codec, set); err != nil {
+		panic(err)
+	}
+	if _, err := l.Recover(); err != nil {
+		panic(err)
+	}
+	sys := stm.NewSystem(stm.Config{Durability: l})
+
+	start := time.Now()
+	for i := 0; i < txs; i++ {
+		k := int64(i * 2)
+		stm.MustAtomicOn(sys, func(tx *stm.Tx) {
+			set.Add(tx, k)
+			set.Add(tx, k+1)
+		})
+	}
+	el := time.Since(start)
+	fs := l.Stats().Fsyncs
+	return TwopcResult{
+		Workload: "commit/single", Goroutines: 1, Tx: int64(txs),
+		NsPerTx:  float64(el.Nanoseconds()) / float64(txs),
+		TxPerSec: float64(txs) / el.Seconds(),
+		Fsyncs:   int64(fs), FsyncsPerTx: float64(fs) / float64(txs),
+	}
+}
+
+// runTwopcSpan measures the same payload as a two-participant span: one key
+// per participant per span, full 2PC (prepare force-logs, durable decision,
+// commit markers).
+func runTwopcSpan(txs int) TwopcResult {
+	root, err := os.MkdirTemp("", "twopc-bench-")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(root)
+	var logs [2]*wal.Log
+	var sets [2]*core.Set[int64]
+	parts := make([]txncoord.Participant, 2)
+	for i := 0; i < 2; i++ {
+		l, err := wal.Open(wal.Options{Dir: filepath.Join(root, fmt.Sprintf("p%d", i)), Mode: wal.Group})
+		if err != nil {
+			panic(err)
+		}
+		defer l.Close()
+		sets[i] = core.NewHashSetOf[int64]()
+		if err := core.BindSet(l, "set", wal.Int64Codec, sets[i]); err != nil {
+			panic(err)
+		}
+		if _, err := l.Recover(); err != nil {
+			panic(err)
+		}
+		logs[i] = l
+		parts[i] = txncoord.Participant{Sys: stm.NewSystem(stm.Config{Durability: l}), Log: l}
+	}
+	coord, err := txncoord.New(parts, txncoord.Options{Dir: filepath.Join(root, "coord")})
+	if err != nil {
+		panic(err)
+	}
+	defer coord.Close()
+
+	start := time.Now()
+	for i := 0; i < txs; i++ {
+		k := int64(i)
+		_, err := coord.Span(
+			func(tx *stm.Tx, _ uint64) error { sets[0].Add(tx, k); return nil },
+			func(tx *stm.Tx, _ uint64) error { sets[1].Add(tx, k); return nil },
+		)
+		if err != nil {
+			panic(err)
+		}
+	}
+	el := time.Since(start)
+	fs := logs[0].Stats().Fsyncs + logs[1].Stats().Fsyncs + coord.LogStats().Fsyncs
+	return TwopcResult{
+		Workload: "commit/span", Goroutines: 1, Tx: int64(txs),
+		NsPerTx:  float64(el.Nanoseconds()) / float64(txs),
+		TxPerSec: float64(txs) / el.Seconds(),
+		Fsyncs:   int64(fs), FsyncsPerTx: float64(fs) / float64(txs),
+	}
+}
+
+// runTwopcReads measures cross-System read throughput under writer-span
+// pressure. rospan selects ReadOnlySpan scans; otherwise each "read" runs
+// one eager Atomic per participant, demanding the scanned keys' locks.
+func runTwopcReads(rospan bool, goroutines, txPerG int) TwopcResult {
+	sets := [2]*core.Set[int64]{core.NewHashSetOf[int64](), core.NewHashSetOf[int64]()}
+	parts := make([]txncoord.Participant, 2)
+	for i := range parts {
+		parts[i] = txncoord.Participant{Sys: stm.NewSystem(stm.Config{LockTimeout: 10 * time.Millisecond})}
+	}
+	coord, err := txncoord.New(parts, txncoord.Options{})
+	if err != nil {
+		panic(err)
+	}
+	defer coord.Close()
+	for i := 0; i < 2; i++ {
+		i := i
+		stm.MustAtomicOn(parts[i].Sys, func(tx *stm.Tx) {
+			for k := int64(0); k < tpKeys; k += 2 {
+				sets[i].Add(tx, k)
+			}
+		})
+	}
+	if rospan {
+		// Activate versioning before timing so the span path is warm.
+		coord.ReadOnlySpan().Close()
+	}
+
+	stop := make(chan struct{})
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		for k := int64(1); ; k += 2 {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			kk := k % tpKeys
+			_, _ = coord.Span(
+				func(tx *stm.Tx, _ uint64) error {
+					if !sets[0].Add(tx, kk) {
+						sets[0].Remove(tx, kk)
+					}
+					time.Sleep(20 * time.Microsecond) // dwell inside the locks
+					return nil
+				},
+				func(tx *stm.Tx, _ uint64) error {
+					if !sets[1].Add(tx, kk) {
+						sets[1].Remove(tx, kk)
+					}
+					return nil
+				},
+			)
+		}
+	}()
+
+	before := [2]stm.StatsSnapshot{parts[0].Sys.Stats(), parts[1].Sys.Stats()}
+	var reads int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < txPerG; i++ {
+				base := int64((g*txPerG + i) % (tpKeys - tpScan))
+				if rospan {
+					span := coord.ReadOnlySpan()
+					for p := 0; p < 2; p++ {
+						p := p
+						_ = span.Atomic(p, func(tx *stm.Tx) error {
+							for k := base; k < base+tpScan; k++ {
+								sets[p].Contains(tx, k)
+							}
+							return nil
+						})
+					}
+					span.Close()
+				} else {
+					for p := 0; p < 2; p++ {
+						p := p
+						_ = parts[p].Sys.Atomic(func(tx *stm.Tx) error {
+							for k := base; k < base+tpScan; k++ {
+								sets[p].Contains(tx, k)
+							}
+							return nil
+						})
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	el := time.Since(start)
+	close(stop)
+	writerWG.Wait()
+
+	reads = int64(goroutines*txPerG) * 2 * tpScan
+	var roAborts, lockDemands int64
+	for i := 0; i < 2; i++ {
+		s := parts[i].Sys.Stats()
+		roAborts += s.ROAborts - before[i].ROAborts
+		lockDemands += s.ReaderLockDemands - before[i].ReaderLockDemands
+	}
+	name := "reads/locked"
+	if rospan {
+		name = "reads/rospan"
+	}
+	txs := int64(goroutines * txPerG)
+	return TwopcResult{
+		Workload: name, Goroutines: goroutines, Tx: txs, Reads: reads,
+		NsPerTx:     float64(el.Nanoseconds()) / float64(txs),
+		TxPerSec:    float64(txs) / el.Seconds(),
+		ReadsPerSec: float64(reads) / el.Seconds(),
+		ROAborts:    roAborts, ReaderLockDemands: lockDemands,
+	}
+}
+
+// TwopcSweep runs the full grid. txOverride scales the commit cells when
+// nonzero (-micro-ops).
+func TwopcSweep(txOverride int) TwopcReport {
+	commitTx, readTx := tpCommitTx, tpReadTx
+	if txOverride > 0 {
+		commitTx, readTx = txOverride, txOverride
+	}
+	rep := TwopcReport{GeneratedBy: "boostbench -experiment twopc", NumCPU: runtime.NumCPU()}
+
+	single := runTwopcSingle(commitTx)
+	span := runTwopcSpan(commitTx)
+	locked := runTwopcReads(false, tpReadersG, readTx)
+	rospan := runTwopcReads(true, tpReadersG, readTx)
+	rep.Results = []TwopcResult{single, span, locked, rospan}
+
+	rep.SpanCommitOverhead = span.NsPerTx / single.NsPerTx
+	rep.SpanFsyncsPerTx = span.FsyncsPerTx
+	rep.SingleFsyncsPerTx = single.FsyncsPerTx
+	rep.ROSpanVsLockedReads = rospan.ReadsPerSec / locked.ReadsPerSec
+	rep.ROSpanAborts = rospan.ROAborts
+	rep.ROSpanLockDemands = rospan.ReaderLockDemands
+	return rep
+}
+
+// WriteJSON serializes the report.
+func (r TwopcReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// PrintTwopc renders the sweep for the terminal.
+func PrintTwopc(w io.Writer, r TwopcReport) {
+	fmt.Fprintf(w, "%-14s %3s %10s %12s %12s %10s %9s %7s\n",
+		"workload", "g", "tx", "ns/tx", "reads/s", "fsync/tx", "ro-abort", "lockdem")
+	for _, c := range r.Results {
+		fmt.Fprintf(w, "%-14s %3d %10d %12.0f %12.0f %10.2f %9d %7d\n",
+			c.Workload, c.Goroutines, c.Tx, c.NsPerTx, c.ReadsPerSec, c.FsyncsPerTx, c.ROAborts, c.ReaderLockDemands)
+	}
+	fmt.Fprintf(w, "\nspan commit overhead: %.2fx ns/tx (fsyncs %.2f vs %.2f per tx)\n",
+		r.SpanCommitOverhead, r.SpanFsyncsPerTx, r.SingleFsyncsPerTx)
+	fmt.Fprintf(w, "read-only span vs locked reads: %.2fx reads/sec\n", r.ROSpanVsLockedReads)
+	status := "PASS"
+	if r.ROSpanAborts != 0 || r.ROSpanLockDemands != 0 {
+		status = "FAIL"
+	}
+	fmt.Fprintf(w, "lock-free read-only spans: aborts=%d lock-demands=%d [%s]\n",
+		r.ROSpanAborts, r.ROSpanLockDemands, status)
+}

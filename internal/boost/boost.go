@@ -435,6 +435,17 @@ func (o *Object[K]) Record(tx *stm.Tx, op Op[K]) {
 	}
 }
 
+// Relock re-acquires the abstract lock for one logged key on behalf of an
+// adopted in-doubt transaction during recovery: the same keyed demand the
+// original call made, held to the adopted transaction's commit or abort so
+// conflicting traffic blocks exactly as it did before the crash. Valid for
+// every durable-bindable discipline (Keyed, Adaptive, Coarse, Ranged — all
+// of which can express DemandKey); recovery runs before traffic, so the
+// acquisition cannot contend.
+func (o *Object[K]) Relock(tx *stm.Tx, key K) {
+	o.Acquire(tx, Key(key))
+}
+
 // Apply executes a whole descriptor: Acquire, then Record. It suits calls
 // whose inverse does not depend on the base call's result (a counter add);
 // calls that must first observe the base object's answer use Acquire, run

@@ -1,0 +1,493 @@
+package chaos
+
+// Two-phase-commit crash matrix: kill one protocol role at each of the five
+// interesting instants and demand that recovery restores span atomicity.
+//
+// The harness drives concurrent cross-System spans over two durable
+// participants and a durable coordinator. Every span stamps a sentinel key
+// (sentinelBase+gid) into BOTH participants' sets alongside random ops, so
+// span atomicity is directly observable: after a crash, recovery, and
+// in-doubt resolution, each sentinel must be present on both participants or
+// on neither — a half-applied span is the one outcome the protocol exists to
+// prevent. On top of the sentinel check the harness audits:
+//
+//	ack      — every span whose Span call returned nil survives recovery on
+//	           both participants (the acknowledgment was a durable promise);
+//	decision — every span the coordinator's decision log committed survives,
+//	           acknowledged or not (the decision record IS the commit point);
+//	in-doubt — after Coordinator.Recover, no participant has an unresolved
+//	           prepared transaction;
+//	state    — replaying the committed spans' effective ops in commit order
+//	           reproduces each participant's recovered base key for key.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"tboost/internal/core"
+	"tboost/internal/faultpoint"
+	"tboost/internal/stm"
+	"tboost/internal/txncoord"
+	"tboost/internal/wal"
+)
+
+// TwopcSites lists the five kill points of the 2PC crash matrix: two
+// participant-side instants around the vote, two coordinator-side instants
+// around the decision, and the participant-side instant before the commit
+// marker applies.
+func TwopcSites() []string {
+	return []string{
+		faultpoint.TwopcPrePrepare,
+		faultpoint.TwopcPostPrepare,
+		faultpoint.TwopcPreDecision,
+		faultpoint.TwopcPostDecision,
+		faultpoint.TwopcPreApply,
+	}
+}
+
+// sentinelBase offsets sentinel keys out of the random-op key range.
+const sentinelBase int64 = 10000
+
+// TwopcConfig sizes one 2PC crash run.
+type TwopcConfig struct {
+	Site        string // faultpoint to kill at (required)
+	Dir         string // root directory; p0/, p1/, coord/ are created inside (required)
+	Goroutines  int    // concurrent span drivers (default 4)
+	SpansPerG   int    // spans per driver per phase (default 40)
+	KeyRange    int    // random-op keys per participant (default 16)
+	Seed        uint64 // workload RNG seed (default 1)
+	ArtifactDir string // where to drop a divergence report (default $CRASH_ARTIFACT_DIR)
+}
+
+func (c TwopcConfig) withDefaults() TwopcConfig {
+	if c.Goroutines <= 0 {
+		c.Goroutines = 4
+	}
+	if c.SpansPerG <= 0 {
+		c.SpansPerG = 40
+	}
+	if c.KeyRange <= 0 {
+		c.KeyRange = 16
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.ArtifactDir == "" {
+		c.ArtifactDir = os.Getenv("CRASH_ARTIFACT_DIR")
+	}
+	return c
+}
+
+// TwopcReport is the outcome of one 2PC crash run.
+type TwopcReport struct {
+	Site     string
+	Crashed  bool  // the faultpoint actually fired
+	Acked    int   // spans acknowledged (Span returned nil)
+	Decided  int   // spans with a durable commit decision
+	InDoubt  []int // per-participant in-doubt count found at recovery
+	Resolved bool  // every in-doubt transaction resolved after Recover
+	Err      error // nil iff every check passed
+}
+
+func (r TwopcReport) String() string {
+	verdict := "recovered consistent"
+	if r.Err != nil {
+		verdict = r.Err.Error()
+	}
+	return fmt.Sprintf("%-28s crashed=%-5v acked=%-4d decided=%-4d indoubt=%v resolved=%-5v %s",
+		r.Site, r.Crashed, r.Acked, r.Decided, r.InDoubt, r.Resolved, verdict)
+}
+
+// spanLedger tracks what the workload knows about every span, per
+// participant: effective forward ops recorded at prepare time, gids in
+// commit-notify order, and which spans were acknowledged.
+type spanLedger struct {
+	mu    sync.Mutex
+	eff   [2]map[uint64][]fwdOp // per participant: gid → effective ops of its branch
+	order [2][]uint64           // per participant: gids in commit (AtCommit) order
+	acked map[uint64]bool
+}
+
+func newSpanLedger() *spanLedger {
+	return &spanLedger{
+		eff:   [2]map[uint64][]fwdOp{{}, {}},
+		acked: map[uint64]bool{},
+	}
+}
+
+func (l *spanLedger) prepared(part int, gid uint64, ops []fwdOp) {
+	l.mu.Lock()
+	l.eff[part][gid] = ops
+	l.mu.Unlock()
+}
+
+func (l *spanLedger) committed(part int, gid uint64) {
+	l.mu.Lock()
+	l.order[part] = append(l.order[part], gid)
+	l.mu.Unlock()
+}
+
+func (l *spanLedger) ack(gid uint64) {
+	l.mu.Lock()
+	l.acked[gid] = true
+	l.mu.Unlock()
+}
+
+// twopcRig is one live 2PC deployment: two durable participants and a
+// durable coordinator.
+type twopcRig struct {
+	logs  [2]*wal.Log
+	sets  [2]*core.Set[int64]
+	syss  [2]*stm.System
+	coord *txncoord.Coordinator
+}
+
+func openTwopcRig(root string) (*twopcRig, error) {
+	rig := &twopcRig{}
+	for i := 0; i < 2; i++ {
+		log, err := wal.Open(wal.Options{
+			Mode:        wal.Group,
+			GroupWindow: 500 * time.Microsecond,
+			Dir:         filepath.Join(root, fmt.Sprintf("p%d", i)),
+		})
+		if err != nil {
+			return nil, err
+		}
+		set := core.NewHashSetOf[int64]()
+		if err := core.BindSet(log, "set", wal.Int64Codec, set); err != nil {
+			return nil, err
+		}
+		if _, err := log.Recover(); err != nil {
+			return nil, err
+		}
+		rig.logs[i] = log
+		rig.sets[i] = set
+		rig.syss[i] = stm.NewSystem(stm.Config{
+			Durability:  log,
+			LockTimeout: 25 * time.Millisecond,
+			MaxRetries:  50,
+		})
+	}
+	coord, err := txncoord.New(
+		[]txncoord.Participant{
+			{Sys: rig.syss[0], Log: rig.logs[0]},
+			{Sys: rig.syss[1], Log: rig.logs[1]},
+		},
+		txncoord.Options{
+			Dir:            filepath.Join(root, "coord"),
+			PrepareTimeout: 250 * time.Millisecond,
+			Retries:        2,
+			Backoff:        time.Millisecond,
+		},
+	)
+	if err != nil {
+		return nil, err
+	}
+	rig.coord = coord
+	return rig, nil
+}
+
+func (rig *twopcRig) close() {
+	rig.coord.Close()
+	rig.logs[0].Close()
+	rig.logs[1].Close()
+}
+
+// RunTwopc executes one 2PC crash run: concurrent spans, a kill at cfg.Site,
+// then recovery + in-doubt resolution on a rebuilt deployment and the full
+// audit.
+func RunTwopc(cfg TwopcConfig) TwopcReport {
+	cfg = cfg.withDefaults()
+	rep := TwopcReport{Site: cfg.Site}
+	if cfg.Dir == "" {
+		rep.Err = errors.New("twopc: TwopcConfig.Dir is required")
+		return rep
+	}
+	Disarm()
+	defer Disarm()
+
+	rig, err := openTwopcRig(cfg.Dir)
+	if err != nil {
+		rep.Err = err
+		return rep
+	}
+	led := newSpanLedger()
+
+	// Phase A: clean spans, so the crash lands on a log with history.
+	if err := runSpanWorkers(cfg, 0, rig, led); err != nil {
+		rep.Err = fmt.Errorf("twopc: phase A: %w", err)
+		return rep
+	}
+
+	// Phase B: the kill, under concurrent load. EveryN lets a few spans
+	// through so the crash lands mid-workload.
+	faultpoint.Enable(cfg.Site, faultpoint.Trigger{Effect: faultpoint.Crash, OneShot: true, EveryN: 3})
+	err = runSpanWorkers(cfg, 1, rig, led)
+	fired := faultpoint.Counts(cfg.Site).Fires > 0 // read before Disable resets the site
+	faultpoint.Disable(cfg.Site)
+	if err != nil {
+		rep.Err = fmt.Errorf("twopc: phase B: %w", err)
+		return rep
+	}
+	if !fired {
+		rep.Err = fmt.Errorf("twopc: site %s never fired", cfg.Site)
+		return rep
+	}
+	rep.Crashed = true
+
+	// The simulated kill froze exactly one role; every other component shuts
+	// down cleanly (the standard single-failure 2PC model).
+	rig.close()
+
+	led.mu.Lock()
+	rep.Acked = len(led.acked)
+	led.mu.Unlock()
+
+	verifyTwopc(cfg, &rep, led)
+	if rep.Err != nil {
+		writeTwopcArtifact(cfg, rep, led)
+	}
+	return rep
+}
+
+// runSpanWorkers drives one phase of concurrent spans. Each span stamps its
+// sentinel into both participants and performs random ops on a small shared
+// key range (real contention). Workers treat post-crash failures as the end
+// of the run; pre-crash failures are fatal.
+func runSpanWorkers(cfg TwopcConfig, phase int, rig *twopcRig, led *spanLedger) error {
+	crashFired := func() bool {
+		return faultpoint.Counts(cfg.Site).Fires > 0
+	}
+	var fatal errOnce
+	var wg sync.WaitGroup
+	for g := 0; g < cfg.Goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := rand.New(rand.NewPCG(cfg.Seed+uint64(phase)*131, uint64(g)))
+			retries := 0
+			for i := 0; i < cfg.SpansPerG; i++ {
+				// The random plan is fixed before the span starts: the two
+				// branches run in parallel goroutines and retry, so they must
+				// not share (or re-roll) the driver's RNG mid-flight.
+				type planOp struct {
+					add bool
+					key int64
+				}
+				var plan [2][]planOp
+				for part := 0; part < 2; part++ {
+					for j := 0; j < 2; j++ {
+						plan[part] = append(plan[part], planOp{
+							add: r.IntN(2) == 0,
+							key: int64(r.IntN(cfg.KeyRange)),
+						})
+					}
+				}
+				branch := func(part int) txncoord.Branch {
+					return func(tx *stm.Tx, gid uint64) error {
+						var eff []fwdOp
+						if rig.sets[part].Add(tx, sentinelBase+int64(gid)) {
+							eff = append(eff, fwdOp{"set", core.RedoAdd, sentinelBase + int64(gid)})
+						}
+						for _, p := range plan[part] {
+							if p.add {
+								if rig.sets[part].Add(tx, p.key) {
+									eff = append(eff, fwdOp{"set", core.RedoAdd, p.key})
+								}
+							} else {
+								if rig.sets[part].Remove(tx, p.key) {
+									eff = append(eff, fwdOp{"set", core.RedoRemove, p.key})
+								}
+							}
+						}
+						led.prepared(part, gid, eff)
+						tx.AtCommit(func() { led.committed(part, gid) })
+						return nil
+					}
+				}
+				gid, err := rig.coord.Span(branch(0), branch(1))
+				switch {
+				case err == nil:
+					led.ack(gid)
+				case crashFired():
+					return // expected fallout of the kill: stop driving
+				case shedable(err) || errors.Is(err, context.DeadlineExceeded):
+					// Transient: an admission shed, or a cross-span lock
+					// deadlock broken by the vote timeout (the span aborted
+					// cleanly everywhere). Re-drive it as a fresh span.
+					if retries++; retries > 200 {
+						fatal.set(fmt.Errorf("span driver %d: no progress after %d transient aborts (last: %v)", g, retries, err))
+						return
+					}
+					i--
+				default:
+					fatal.set(fmt.Errorf("span driver %d: %w", g, err))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return fatal.get()
+}
+
+// verifyTwopc rebuilds the deployment from the surviving directories and
+// audits atomicity, acknowledgment, decision durability, in-doubt
+// resolution, and final state.
+func verifyTwopc(cfg TwopcConfig, rep *TwopcReport, led *spanLedger) {
+	// Forensic pass first: DumpDir must classify every surviving two-phase
+	// transaction, and no plain record may carry a meta op.
+	for i := 0; i < 2; i++ {
+		dump, err := wal.DumpDir(filepath.Join(cfg.Dir, fmt.Sprintf("p%d", i)))
+		if err != nil {
+			rep.Err = fmt.Errorf("twopc: dump p%d: %w", i, err)
+			return
+		}
+		for _, p := range dump.Prepares {
+			if p.Decision != "commit" && p.Decision != "abort" && p.Decision != "in-doubt" {
+				rep.Err = fmt.Errorf("twopc: p%d gid %d has decision %q", i, p.GID, p.Decision)
+				return
+			}
+		}
+	}
+
+	// Rebuild for real.
+	rig, err := openTwopcRig(cfg.Dir)
+	if err != nil {
+		rep.Err = fmt.Errorf("twopc: rebuild: %w", err)
+		return
+	}
+	defer rig.close()
+	rep.InDoubt = []int{len(rig.logs[0].InDoubt()), len(rig.logs[1].InDoubt())}
+	if err := rig.coord.Recover(); err != nil {
+		rep.Err = fmt.Errorf("twopc: coordinator recovery: %w", err)
+		return
+	}
+	if n0, n1 := len(rig.logs[0].InDoubt()), len(rig.logs[1].InDoubt()); n0 != 0 || n1 != 0 {
+		rep.Err = fmt.Errorf("twopc: %d+%d in-doubt transactions survive Recover", n0, n1)
+		return
+	}
+	rep.Resolved = true
+
+	decided := map[uint64]bool{}
+	for _, gid := range rig.coord.Decided() {
+		decided[gid] = true
+	}
+	rep.Decided = len(decided)
+
+	led.mu.Lock()
+	defer led.mu.Unlock()
+
+	// Committed spans are exactly: acknowledged ones, plus ones whose commit
+	// decision survives in the coordinator's log (acked or not — the
+	// decision record is the commit point). An acked span missing its
+	// decision would mean Span acknowledged before the decision was durable.
+	committed := map[uint64]bool{}
+	for gid := range led.acked {
+		if !decided[gid] {
+			rep.Err = fmt.Errorf("twopc: span %d acknowledged but its decision record is lost", gid)
+			return
+		}
+		committed[gid] = true
+	}
+	for gid := range decided {
+		committed[gid] = true
+	}
+
+	// Atomicity via sentinels: every gid either on both participants or on
+	// neither, and exactly the committed ones survive.
+	maxGID := uint64(0)
+	for i := 0; i < 2; i++ {
+		for gid := range led.eff[i] {
+			if gid > maxGID {
+				maxGID = gid
+			}
+		}
+	}
+	for gid := uint64(1); gid <= maxGID; gid++ {
+		on0 := rig.sets[0].Base().Contains(sentinelBase + int64(gid))
+		on1 := rig.sets[1].Base().Contains(sentinelBase + int64(gid))
+		if on0 != on1 {
+			rep.Err = fmt.Errorf("twopc: HALF-APPLIED span %d: sentinel on p0=%v p1=%v", gid, on0, on1)
+			return
+		}
+		if committed[gid] && !on0 {
+			rep.Err = fmt.Errorf("twopc: COMMITTED span %d lost (decided=%v acked=%v)", gid, decided[gid], led.acked[gid])
+			return
+		}
+		if !committed[gid] && on0 {
+			rep.Err = fmt.Errorf("twopc: aborted span %d survives on both participants", gid)
+			return
+		}
+	}
+
+	// State check: per participant, replay the committed spans' effective
+	// ops — notify order first, then committed-but-never-notified spans (they
+	// held their locks to the crash, so no surviving span conflicts after
+	// them; appending last is a legal serialization).
+	for i := 0; i < 2; i++ {
+		model := map[int64]bool{}
+		apply := func(gid uint64) {
+			for _, op := range led.eff[i][gid] {
+				model[op.key] = op.kind == core.RedoAdd
+			}
+		}
+		notified := map[uint64]bool{}
+		for _, gid := range led.order[i] {
+			if committed[gid] {
+				apply(gid)
+				notified[gid] = true
+			}
+		}
+		var tail []uint64
+		for gid := range committed {
+			if !notified[gid] {
+				tail = append(tail, gid)
+			}
+		}
+		sort.Slice(tail, func(a, b int) bool { return tail[a] < tail[b] })
+		for _, gid := range tail {
+			apply(gid)
+		}
+		for k := int64(0); k < int64(cfg.KeyRange); k++ {
+			if got := rig.sets[i].Base().Contains(k); got != model[k] {
+				rep.Err = fmt.Errorf("twopc: p%d diverges at key %d: base=%v model=%v", i, k, got, model[k])
+				return
+			}
+		}
+	}
+}
+
+// writeTwopcArtifact drops a human-readable divergence report for CI to
+// upload. Best-effort.
+func writeTwopcArtifact(cfg TwopcConfig, rep TwopcReport, led *spanLedger) {
+	if cfg.ArtifactDir == "" {
+		return
+	}
+	if err := os.MkdirAll(cfg.ArtifactDir, 0o755); err != nil {
+		return
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "site: %s\nverdict: %v\n%s\n\n", cfg.Site, rep.Err, rep.String())
+	for i := 0; i < 2; i++ {
+		dump, err := wal.DumpDir(filepath.Join(cfg.Dir, fmt.Sprintf("p%d", i)))
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(&b, "participant %d:\n%s\n", i, wal.FormatDump(dump))
+	}
+	led.mu.Lock()
+	fmt.Fprintf(&b, "acked=%d order0=%d order1=%d\n", len(led.acked), len(led.order[0]), len(led.order[1]))
+	led.mu.Unlock()
+	name := "twopc-" + strings.ReplaceAll(cfg.Site, "/", "-") + ".txt"
+	os.WriteFile(filepath.Join(cfg.ArtifactDir, name), []byte(b.String()), 0o644)
+}

@@ -4,7 +4,9 @@ import (
 	"cmp"
 	"fmt"
 
+	"tboost/internal/boost"
 	"tboost/internal/hashset"
+	"tboost/internal/stm"
 	"tboost/internal/wal"
 )
 
@@ -36,7 +38,7 @@ func BindSet[K comparable](l *wal.Log, name string, codec wal.Codec[K], s *Set[K
 	if _, ok := s.base.(keyLister[K]); !ok {
 		return fmt.Errorf("core: BindSet(%q): base %T cannot enumerate keys for checkpoints", name, s.base)
 	}
-	d := &setDurable[K]{base: s.base, codec: codec}
+	d := &setDurable[K]{base: s.base, codec: codec, obj: s.obj}
 	b, err := wal.Bind(l, name, codec, d)
 	if err != nil {
 		return err
@@ -55,6 +57,7 @@ func BindOrderedSet[K cmp.Ordered](l *wal.Log, name string, codec wal.Codec[K], 
 type setDurable[K comparable] struct {
 	base  BaseSet[K]
 	codec wal.Codec[K]
+	obj   *boost.Object[K]
 }
 
 func (d *setDurable[K]) Replay(kind uint8, data []byte) error {
@@ -82,6 +85,17 @@ func (d *setDurable[K]) Replay(kind uint8, data []byte) error {
 	return nil
 }
 
+// Relock implements wal.Relocker: decode the op's key and re-take the same
+// keyed abstract lock the original call held, for in-doubt recovery.
+func (d *setDurable[K]) Relock(tx *stm.Tx, kind uint8, data []byte) error {
+	key, _, err := d.codec.Decode(data)
+	if err != nil {
+		return err
+	}
+	d.obj.Relock(tx, key)
+	return nil
+}
+
 func (d *setDurable[K]) Snapshot(emit func(kind uint8, data []byte) error) error {
 	for _, key := range d.base.(keyLister[K]).Keys() {
 		if err := emit(RedoAdd, d.codec.Append(nil, key)); err != nil {
@@ -97,7 +111,7 @@ func BindMap[K comparable, V any](l *wal.Log, name string, kc wal.Codec[K], vc w
 	if _, ok := m.base.(keyLister[K]); !ok {
 		return fmt.Errorf("core: BindMap(%q): base %T cannot enumerate keys for checkpoints", name, m.base)
 	}
-	d := &mapDurable[K, V]{base: m.base, kc: kc, vc: vc}
+	d := &mapDurable[K, V]{base: m.base, kc: kc, vc: vc, obj: m.obj}
 	b, err := wal.Bind(l, name, kc, d)
 	if err != nil {
 		return err
@@ -111,6 +125,7 @@ type mapDurable[K comparable, V any] struct {
 	base BaseMap[K, V]
 	kc   wal.Codec[K]
 	vc   wal.Codec[V]
+	obj  *boost.Object[K]
 }
 
 func (d *mapDurable[K, V]) Replay(kind uint8, data []byte) error {
@@ -142,6 +157,16 @@ func (d *mapDurable[K, V]) Replay(kind uint8, data []byte) error {
 	return nil
 }
 
+// Relock implements wal.Relocker (see setDurable.Relock).
+func (d *mapDurable[K, V]) Relock(tx *stm.Tx, kind uint8, data []byte) error {
+	key, _, err := d.kc.Decode(data)
+	if err != nil {
+		return err
+	}
+	d.obj.Relock(tx, key)
+	return nil
+}
+
 func (d *mapDurable[K, V]) Snapshot(emit func(kind uint8, data []byte) error) error {
 	for _, key := range d.base.(keyLister[K]).Keys() {
 		val, ok := d.base.Get(key)
@@ -160,7 +185,7 @@ func (d *mapDurable[K, V]) Snapshot(emit func(kind uint8, data []byte) error) er
 // BindMultiset makes m durable under name. Checkpoints compress each key's
 // occurrences into one RedoAddN op.
 func BindMultiset[K comparable](l *wal.Log, name string, codec wal.Codec[K], m *Multiset[K]) error {
-	d := &multisetDurable[K]{base: m.base, codec: codec}
+	d := &multisetDurable[K]{base: m.base, codec: codec, obj: m.obj}
 	b, err := wal.Bind(l, name, codec, d)
 	if err != nil {
 		return err
@@ -172,6 +197,7 @@ func BindMultiset[K comparable](l *wal.Log, name string, codec wal.Codec[K], m *
 type multisetDurable[K comparable] struct {
 	base  *hashset.MultiSet[K]
 	codec wal.Codec[K]
+	obj   *boost.Object[K]
 }
 
 func (d *multisetDurable[K]) Replay(kind uint8, data []byte) error {
@@ -204,6 +230,16 @@ func (d *multisetDurable[K]) Replay(kind uint8, data []byte) error {
 	default:
 		return fmt.Errorf("core: multiset replay: unknown op kind %d", kind)
 	}
+	return nil
+}
+
+// Relock implements wal.Relocker (see setDurable.Relock).
+func (d *multisetDurable[K]) Relock(tx *stm.Tx, kind uint8, data []byte) error {
+	key, _, err := d.codec.Decode(data)
+	if err != nil {
+		return err
+	}
+	d.obj.Relock(tx, key)
 	return nil
 }
 

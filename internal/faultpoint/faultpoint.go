@@ -140,6 +140,34 @@ const (
 	// locked call paying both tables) while live transactions keep running,
 	// widening the exact window the migration protocol must keep sound.
 	BoostPromote = "boost/promote"
+	// TwopcPrePrepare is hit by a participant log at the top of Prepare,
+	// before the prepare record is appended. Crash here kills the
+	// participant with nothing logged: presumed abort, the span must be
+	// absent on every participant after recovery.
+	TwopcPrePrepare = "wal/2pc-pre-prepare"
+	// TwopcPostPrepare is hit by a participant log after its prepare record
+	// is durable, before the vote returns to the coordinator. Crash here is
+	// the classic in-doubt case: the participant holds a durable prepare it
+	// never voted, and recovery must resolve it from the coordinator's
+	// decision log (or the presumed-abort rule).
+	TwopcPostPrepare = "wal/2pc-post-prepare-pre-vote"
+	// TwopcPreDecision is hit by the coordinator after every participant
+	// voted yes, before the commit decision is force-logged. Crash here
+	// leaves every participant prepared with no decision anywhere: recovery
+	// presumed-aborts the whole span.
+	TwopcPreDecision = "txncoord/pre-decision"
+	// TwopcPostDecision is hit by the coordinator after the commit decision
+	// is durable, before any participant is notified. Crash here commits the
+	// span at recovery: every participant is in-doubt and the decision log
+	// says commit.
+	TwopcPostDecision = "txncoord/post-decision-pre-notify"
+	// TwopcPreApply is hit by a participant log at the top of a commit
+	// Decide, before the commit marker is appended. Crash here models a
+	// participant dying between the coordinator's decision and its own
+	// marker: its sibling may already be committed, and recovery must commit
+	// the in-doubt half from the coordinator's decision to restore span
+	// atomicity.
+	TwopcPreApply = "wal/2pc-pre-commit-apply"
 )
 
 // Sites returns every canonical site name, sorted.
@@ -150,6 +178,8 @@ func Sites() []string {
 		RWValidate, RWWriteBack,
 		WalMidBatch, WalPreFsync, WalPostFsync, WalMidCheckpoint,
 		WalMidTruncate, BoostLazyDrain, BoostPromote,
+		TwopcPrePrepare, TwopcPostPrepare, TwopcPreDecision,
+		TwopcPostDecision, TwopcPreApply,
 	}
 }
 

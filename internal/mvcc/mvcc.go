@@ -117,6 +117,30 @@ func (m *Manager) Pin() uint64 {
 	return seq
 }
 
+// PinAtLeast registers a pin at the current visible sequence, first waiting
+// (a bounded spin — publication is in-order and never abandons a sequence)
+// until the visible clock has reached at least seq. Cross-System read-only
+// spans use it for matched-sequence pinning: a coordinator that knows a
+// span's commit sequence on this participant can guarantee its pin covers
+// that span, even if it races the participant's publication. Like Pin, the
+// returned sequence must be released with exactly one Unpin.
+func (m *Manager) PinAtLeast(seq uint64) uint64 {
+	for {
+		m.mu.Lock()
+		vis := m.visible.Load()
+		if vis >= seq {
+			if len(m.pins) == 0 || vis < m.oldest {
+				m.oldest = vis
+			}
+			m.pins[vis]++
+			m.mu.Unlock()
+			return vis
+		}
+		m.mu.Unlock()
+		runtime.Gosched()
+	}
+}
+
 // Unpin releases one pin previously returned by Pin. Reclamation is lazy:
 // chain entries freed by this release are trimmed by subsequent version
 // appends (or an explicit compaction sweep), not here.

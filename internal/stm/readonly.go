@@ -105,6 +105,19 @@ func (s *System) OpenSnapshot() *Snapshot {
 	return &Snapshot{sys: s, seq: s.pinSnapshot()}
 }
 
+// OpenSnapshotAtLeast is OpenSnapshot with a floor: the pin is taken only
+// once the system's visible commit sequence has reached seq (a bounded spin;
+// publication is in-order and never abandons a sequence). A cross-System
+// coordinator uses it to pin each participant at matched sequences — at or
+// past the last span it committed there — so a read-only span can never
+// observe a span on one participant and miss it on another.
+func (s *System) OpenSnapshotAtLeast(seq uint64) *Snapshot {
+	if !s.versReady.Load() {
+		s.activateVersioning()
+	}
+	return &Snapshot{sys: s, seq: s.snaps.PinAtLeast(seq)}
+}
+
 // Seq returns the snapshot's pinned commit sequence number.
 func (sn *Snapshot) Seq() uint64 { return sn.seq }
 

@@ -60,6 +60,10 @@ const (
 	Aborting
 	// Aborted means rollback finished; the transaction left no trace.
 	Aborted
+	// Prepared means the transaction passed validation and its prepare
+	// record is force-logged: effects applied, locks held, undo intact,
+	// parked until a coordinator's Commit or Abort (see twopc.go).
+	Prepared
 )
 
 // String returns the lower-case name of the status.
@@ -75,6 +79,8 @@ func (s Status) String() string {
 		return "aborting"
 	case Aborted:
 		return "aborted"
+	case Prepared:
+		return "prepared"
 	default:
 		return fmt.Sprintf("status(%d)", int32(s))
 	}

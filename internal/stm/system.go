@@ -147,6 +147,11 @@ type System struct {
 	epochs    [2]epochGen
 	epochMu   sync.Mutex
 	versReady atomic.Bool
+
+	// overload is the durability sink's backpressure face, cached at
+	// construction so the admission path pays one nil check instead of a
+	// per-call type assertion. Non-nil iff the sink reports overload.
+	overload OverloadSink
 }
 
 // NewSystem returns a System with the given configuration.
@@ -154,6 +159,9 @@ func NewSystem(cfg Config) *System {
 	s := &System{cfg: cfg.withDefaults(), snaps: mvcc.NewManager()}
 	if s.cfg.MaxConcurrent > 0 {
 		s.slots = make(chan struct{}, s.cfg.MaxConcurrent)
+	}
+	if o, ok := s.cfg.Durability.(OverloadSink); ok {
+		s.overload = o
 	}
 	return s
 }
@@ -334,6 +342,15 @@ func (s *System) runWith(ctx context.Context, fn func(tx *Tx) error, ro roParams
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+	}
+	// Write-controller backpressure: while the durability sink's writer is
+	// more than MaxPending bytes behind, shed mutating transactions here —
+	// before they execute, acquire abstract locks, or enter the log — via
+	// the same typed-error path as admission control. Read-only transactions
+	// pass: they never append to the log.
+	if !ro.ro && s.overload != nil && s.overload.Overloaded() {
+		s.stats.add(0, cAdmissionRejects)
+		return fmt.Errorf("%w: %w", ErrContentionCollapse, ErrBackpressure)
 	}
 	if err := s.admit(ctx); err != nil {
 		return err

@@ -1,0 +1,153 @@
+package txncoord
+
+import (
+	"errors"
+	"testing"
+
+	"tboost/internal/core"
+	"tboost/internal/faultpoint"
+	"tboost/internal/stm"
+)
+
+// FuzzTwoPhaseAtomicity is a differential fuzzer for span atomicity: a byte
+// program drives a sequence of cross-System spans — some poisoned with
+// injected stm faults or branch user errors — against a two-participant
+// volatile deployment, alongside a trivial sequential model that applies a
+// span's operations iff Span returned nil. Atomicity is exactly the
+// statement that the two agree: a failed span leaves no effect on either
+// participant, a successful one leaves every effect on both. The final
+// state is also read back through a read-only span, which must match the
+// model and take zero abstract locks.
+//
+// Program encoding, one span per chunk:
+//
+//	byte 0    — fault selector: 0 none, 1 doom at stm/pre-commit (one shot),
+//	            2 fail validation (one shot), 3 branch user error on
+//	            participant bit 2
+//	bytes 1-4 — two ops per participant: bit 0 add/remove, bits 1-3 key
+const fuzzKeyRange = 8
+
+func FuzzTwoPhaseAtomicity(f *testing.F) {
+	f.Add([]byte{0, 0x02, 0x05, 0x08, 0x0b})
+	f.Add([]byte{1, 0x02, 0x03, 0x04, 0x05, 0, 0x02, 0x03, 0x04, 0x05})
+	f.Add([]byte{2, 0x0f, 0x0e, 0x0d, 0x0c, 3, 0x0f, 0x0e, 0x0d, 0x0c})
+	f.Add([]byte{7, 0x01, 0x01, 0x01, 0x01, 0, 0x01, 0x09, 0x01, 0x09})
+	f.Fuzz(func(t *testing.T, prog []byte) {
+		defer faultpoint.Reset()
+		faultpoint.Reset()
+
+		sets := [2]*core.Set[int64]{core.NewHashSetOf[int64](), core.NewHashSetOf[int64]()}
+		parts := make([]Participant, 2)
+		for i := range parts {
+			parts[i] = Participant{Sys: stm.NewSystem(stm.Config{MaxRetries: 50})}
+		}
+		coord, err := New(parts, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer coord.Close()
+
+		model := [2]map[int64]bool{{}, {}}
+		userErr := errors.New("fuzz: branch error")
+
+		for len(prog) >= 5 {
+			fault, chunk := prog[0], prog[1:5]
+			prog = prog[5:]
+
+			type planOp struct {
+				add bool
+				key int64
+			}
+			var plan [2][2]planOp
+			for i := 0; i < 2; i++ {
+				for j := 0; j < 2; j++ {
+					b := chunk[i*2+j]
+					plan[i][j] = planOp{add: b&1 == 0, key: int64(b>>1) % fuzzKeyRange}
+				}
+			}
+
+			switch fault & 3 {
+			case 1:
+				faultpoint.Enable(faultpoint.StmPreCommit, faultpoint.Trigger{Effect: faultpoint.Doom, OneShot: true})
+			case 2:
+				faultpoint.Enable(faultpoint.StmValidate, faultpoint.Trigger{Effect: faultpoint.FailValidation, OneShot: true})
+			}
+			errOn := -1
+			if fault&3 == 3 {
+				errOn = int(fault>>2) & 1
+			}
+
+			branch := func(part int) Branch {
+				return func(tx *stm.Tx, _ uint64) error {
+					for _, op := range plan[part] {
+						if op.add {
+							sets[part].Add(tx, op.key)
+						} else {
+							sets[part].Remove(tx, op.key)
+						}
+					}
+					if part == errOn {
+						return userErr
+					}
+					return nil
+				}
+			}
+			_, err := coord.Span(branch(0), branch(1))
+			faultpoint.Reset()
+			if errOn >= 0 && err == nil {
+				t.Fatal("span with an erroring branch committed")
+			}
+			if err != nil {
+				continue // model unchanged: the span must have had no effect
+			}
+			for i := 0; i < 2; i++ {
+				for _, op := range plan[i] {
+					model[i][op.key] = op.add
+				}
+			}
+		}
+
+		// Differential check 1: direct reads agree with the model.
+		for i := 0; i < 2; i++ {
+			for k := int64(0); k < fuzzKeyRange; k++ {
+				var on bool
+				if err := parts[i].Sys.Atomic(func(tx *stm.Tx) error {
+					on = sets[i].Contains(tx, k)
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+				if on != model[i][k] {
+					t.Fatalf("participant %d key %d: set=%v model=%v", i, k, on, model[i][k])
+				}
+			}
+		}
+
+		// Differential check 2: a read-only span sees the same state, with
+		// zero abstract-lock demands and zero read-only aborts.
+		before := [2]stm.StatsSnapshot{parts[0].Sys.Stats(), parts[1].Sys.Stats()}
+		span := coord.ReadOnlySpan()
+		defer span.Close()
+		for i := 0; i < 2; i++ {
+			for k := int64(0); k < fuzzKeyRange; k++ {
+				var on bool
+				if err := span.Atomic(i, func(tx *stm.Tx) error {
+					on = sets[i].Contains(tx, k)
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+				if on != model[i][k] {
+					t.Fatalf("ro span participant %d key %d: set=%v model=%v", i, k, on, model[i][k])
+				}
+			}
+			s := parts[i].Sys.Stats()
+			if d := s.ReaderLockDemands - before[i].ReaderLockDemands; d != 0 {
+				t.Fatalf("participant %d: read-only span demanded %d locks", i, d)
+			}
+			if d := s.ROAborts - before[i].ROAborts; d != 0 {
+				t.Fatalf("participant %d: read-only span aborted %d times", i, d)
+			}
+		}
+	})
+}

@@ -1,0 +1,269 @@
+package txncoord
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"tboost/internal/core"
+	"tboost/internal/faultpoint"
+	"tboost/internal/stm"
+	"tboost/internal/wal"
+)
+
+// rig is a two-participant deployment: each participant is one System with
+// one boosted set, optionally backed by a WAL in dir/p<i>.
+type rig struct {
+	logs  [2]*wal.Log
+	sets  [2]*core.Set[int64]
+	coord *Coordinator
+}
+
+// openRig builds the deployment. dir == "" runs everything volatile.
+func openRig(t *testing.T, dir string, opts Options) *rig {
+	t.Helper()
+	r := &rig{}
+	parts := make([]Participant, 2)
+	for i := 0; i < 2; i++ {
+		r.sets[i] = core.NewHashSetOf[int64]()
+		cfg := stm.Config{MaxRetries: 50}
+		if dir != "" {
+			l, err := wal.Open(wal.Options{Dir: filepath.Join(dir, "p"+string(rune('0'+i))), Mode: wal.Group})
+			if err != nil {
+				t.Fatalf("open log %d: %v", i, err)
+			}
+			if err := core.BindSet(l, "set", wal.Int64Codec, r.sets[i]); err != nil {
+				t.Fatalf("bind %d: %v", i, err)
+			}
+			if _, err := l.Recover(); err != nil {
+				t.Fatalf("recover %d: %v", i, err)
+			}
+			cfg.Durability = l
+			r.logs[i] = l
+		}
+		parts[i] = Participant{Sys: stm.NewSystem(cfg), Log: r.logs[i]}
+	}
+	if dir != "" && opts.Dir == "" {
+		opts.Dir = filepath.Join(dir, "coord")
+	}
+	c, err := New(parts, opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	r.coord = c
+	return r
+}
+
+func (r *rig) close() {
+	r.coord.Close()
+	for _, l := range r.logs {
+		if l != nil {
+			l.Close()
+		}
+	}
+}
+
+// addBranch returns a branch adding key to set.
+func addBranch(set *core.Set[int64], key int64) Branch {
+	return func(tx *stm.Tx, _ uint64) error {
+		set.Add(tx, key)
+		return nil
+	}
+}
+
+// contains reads set membership through a fresh transaction on sys.
+func contains(t *testing.T, sys *stm.System, set *core.Set[int64], key int64) bool {
+	t.Helper()
+	var on bool
+	if err := sys.Atomic(func(tx *stm.Tx) error {
+		on = set.Contains(tx, key)
+		return nil
+	}); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	return on
+}
+
+func TestSpanVolatile(t *testing.T) {
+	r := openRig(t, "", Options{})
+	defer r.close()
+	gid, err := r.coord.Span(addBranch(r.sets[0], 1), addBranch(r.sets[1], 2))
+	if err != nil {
+		t.Fatalf("Span: %v", err)
+	}
+	if gid == 0 {
+		t.Fatal("gid 0")
+	}
+	if !contains(t, r.coord.parts[0].Sys, r.sets[0], 1) || !contains(t, r.coord.parts[1].Sys, r.sets[1], 2) {
+		t.Fatal("span effects missing")
+	}
+}
+
+func TestSpanDurableSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	r := openRig(t, dir, Options{})
+	if _, err := r.coord.Span(addBranch(r.sets[0], 7), addBranch(r.sets[1], 8)); err != nil {
+		t.Fatalf("Span: %v", err)
+	}
+	r.close()
+
+	r2 := openRig(t, dir, Options{})
+	defer r2.close()
+	if err := r2.coord.Recover(); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if !contains(t, r2.coord.parts[0].Sys, r2.sets[0], 7) || !contains(t, r2.coord.parts[1].Sys, r2.sets[1], 8) {
+		t.Fatal("committed span lost across reopen")
+	}
+}
+
+func TestVoteFailureAbortsWholeSpan(t *testing.T) {
+	r := openRig(t, "", Options{})
+	defer r.close()
+	boom := errors.New("boom")
+	_, err := r.coord.Span(
+		addBranch(r.sets[0], 3),
+		func(tx *stm.Tx, _ uint64) error { return boom },
+	)
+	if !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	if contains(t, r.coord.parts[0].Sys, r.sets[0], 3) {
+		t.Fatal("aborted span left effects on the yes-voting participant")
+	}
+	// The deployment is still healthy: the aborted branch released its locks.
+	if _, err := r.coord.Span(addBranch(r.sets[0], 3), addBranch(r.sets[1], 4)); err != nil {
+		t.Fatalf("follow-up span: %v", err)
+	}
+	if !contains(t, r.coord.parts[0].Sys, r.sets[0], 3) {
+		t.Fatal("follow-up span missing")
+	}
+}
+
+func TestNilBranchSkipsParticipant(t *testing.T) {
+	r := openRig(t, "", Options{})
+	defer r.close()
+	if _, err := r.coord.Span(addBranch(r.sets[0], 11), nil); err != nil {
+		t.Fatalf("Span: %v", err)
+	}
+	if !contains(t, r.coord.parts[0].Sys, r.sets[0], 11) {
+		t.Fatal("participating branch missing")
+	}
+}
+
+// TestReadOnlySpanLockFree is the acceptance check for read-only spans:
+// cross-System reads over pinned snapshots take zero abstract locks and
+// suffer zero aborts, while observing every span published before the pin.
+func TestReadOnlySpanLockFree(t *testing.T) {
+	r := openRig(t, "", Options{})
+	defer r.close()
+	for k := int64(0); k < 8; k++ {
+		if _, err := r.coord.Span(addBranch(r.sets[0], k), addBranch(r.sets[1], k)); err != nil {
+			t.Fatalf("Span %d: %v", k, err)
+		}
+	}
+	before := [2]stm.StatsSnapshot{r.coord.parts[0].Sys.Stats(), r.coord.parts[1].Sys.Stats()}
+	span := r.coord.ReadOnlySpan()
+	defer span.Close()
+	for i := 0; i < 2; i++ {
+		for k := int64(0); k < 8; k++ {
+			var on bool
+			if err := span.Atomic(i, func(tx *stm.Tx) error {
+				on = r.sets[i].Contains(tx, k)
+				return nil
+			}); err != nil {
+				t.Fatalf("ro read p%d k%d: %v", i, k, err)
+			}
+			if !on {
+				t.Fatalf("ro span missed key %d on participant %d", k, i)
+			}
+		}
+	}
+	for i := 0; i < 2; i++ {
+		s := r.coord.parts[i].Sys.Stats()
+		if d := s.ReaderLockDemands - before[i].ReaderLockDemands; d != 0 {
+			t.Fatalf("participant %d: read-only span demanded %d abstract locks", i, d)
+		}
+		if d := s.ROAborts - before[i].ROAborts; d != 0 {
+			t.Fatalf("participant %d: read-only span aborted %d times", i, d)
+		}
+	}
+	if seqs := span.Seqs(); len(seqs) != 2 {
+		t.Fatalf("Seqs: %v", seqs)
+	}
+}
+
+// TestRecoverCommitsDecidedInDoubt crashes the coordinator after the
+// decision record is durable but before any participant hears it. Recovery
+// must find both branches in-doubt and commit them from the decision log.
+func TestRecoverCommitsDecidedInDoubt(t *testing.T) {
+	defer faultpoint.Reset()
+	dir := t.TempDir()
+	r := openRig(t, dir, Options{})
+	faultpoint.Enable(faultpoint.TwopcPostDecision, faultpoint.Trigger{Effect: faultpoint.Crash, OneShot: true})
+	gid, err := r.coord.Span(addBranch(r.sets[0], 21), addBranch(r.sets[1], 22))
+	if !errors.Is(err, ErrCoordinatorCrashed) {
+		t.Fatalf("want ErrCoordinatorCrashed, got %v", err)
+	}
+	faultpoint.Reset()
+	// A dead coordinator refuses further spans.
+	if _, err := r.coord.Span(addBranch(r.sets[0], 99), addBranch(r.sets[1], 99)); !errors.Is(err, ErrCoordinatorCrashed) {
+		t.Fatalf("dead coordinator accepted a span: %v", err)
+	}
+	r.close()
+
+	r2 := openRig(t, dir, Options{})
+	defer r2.close()
+	for i, l := range r2.logs {
+		if got := len(l.InDoubt()); got != 1 {
+			t.Fatalf("participant %d: %d in-doubt txs, want 1", i, got)
+		}
+	}
+	if err := r2.coord.Recover(); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	for i, l := range r2.logs {
+		if got := len(l.InDoubt()); got != 0 {
+			t.Fatalf("participant %d: %d in-doubt txs after Recover", i, got)
+		}
+	}
+	if !contains(t, r2.coord.parts[0].Sys, r2.sets[0], 21) || !contains(t, r2.coord.parts[1].Sys, r2.sets[1], 22) {
+		t.Fatal("decided span not committed by recovery")
+	}
+	// The recovered coordinator never reuses a resolved gid.
+	ngid, err := r2.coord.Span(addBranch(r2.sets[0], 30), addBranch(r2.sets[1], 30))
+	if err != nil {
+		t.Fatalf("post-recovery span: %v", err)
+	}
+	if ngid <= gid {
+		t.Fatalf("gid reused: recovered span got %d, crashed span had %d", ngid, gid)
+	}
+}
+
+// TestRecoverAbortsUndecidedInDoubt crashes the coordinator before the
+// decision: prepared branches survive in the logs, and recovery must
+// presume abort for them.
+func TestRecoverAbortsUndecidedInDoubt(t *testing.T) {
+	defer faultpoint.Reset()
+	dir := t.TempDir()
+	r := openRig(t, dir, Options{})
+	faultpoint.Enable(faultpoint.TwopcPreDecision, faultpoint.Trigger{Effect: faultpoint.Crash, OneShot: true})
+	if _, err := r.coord.Span(addBranch(r.sets[0], 41), addBranch(r.sets[1], 42)); !errors.Is(err, ErrCoordinatorCrashed) {
+		t.Fatalf("want ErrCoordinatorCrashed, got %v", err)
+	}
+	faultpoint.Reset()
+	r.close()
+
+	r2 := openRig(t, dir, Options{})
+	defer r2.close()
+	if err := r2.coord.Recover(); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if contains(t, r2.coord.parts[0].Sys, r2.sets[0], 41) || contains(t, r2.coord.parts[1].Sys, r2.sets[1], 42) {
+		t.Fatal("undecided span resurrected by recovery")
+	}
+	// The released locks admit new traffic on the same keys.
+	if _, err := r2.coord.Span(addBranch(r2.sets[0], 41), addBranch(r2.sets[1], 42)); err != nil {
+		t.Fatalf("post-recovery span: %v", err)
+	}
+}

@@ -1,0 +1,200 @@
+package wal_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tboost/internal/stm"
+	"tboost/internal/wal"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden forensic dumps")
+
+// fixedDurable is a Durable whose snapshot is a constant op list, so
+// checkpoint sections have a stable shape in golden output.
+type fixedDurable struct {
+	snap [][]byte
+}
+
+func (d *fixedDurable) Replay(kind uint8, data []byte) error { return nil }
+func (d *fixedDurable) Snapshot(emit func(kind uint8, data []byte) error) error {
+	for _, data := range d.snap {
+		if err := emit(1, data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkGolden compares FormatDump(DumpDir(dir)) to testdata/<name>.golden.
+// The format is the WAL's forensic surface — operators read these dumps off
+// crashed deployments — so any drift must be a deliberate, reviewed change
+// (run with -update to accept one).
+func checkGolden(t *testing.T, dir, name string) {
+	t.Helper()
+	d, err := wal.DumpDir(dir)
+	if err != nil {
+		t.Fatalf("DumpDir: %v", err)
+	}
+	got := wal.FormatDump(d)
+	path := filepath.Join("testdata", name+".golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run: go test ./internal/wal/ -run Golden -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("forensic dump drifted from %s\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// enc is Int64Codec's encoding, for building deterministic redo payloads.
+func enc(k int64) []byte { return wal.Int64Codec.Append(nil, k) }
+
+// TestGoldenDumpPrepared pins the forensic view of a log holding the three
+// two-phase outcomes: a decided-commit prepare, a decided-abort prepare, and
+// the in-doubt prepare a crashed coordinator left behind.
+func TestGoldenDumpPrepared(t *testing.T) {
+	dir := t.TempDir()
+	l, err := wal.Open(wal.Options{Dir: dir, Mode: wal.Group})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := wal.Bind(l, "set", wal.Int64Codec, &fixedDurable{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	op := func(k int64) []stm.RedoOp {
+		return []stm.RedoOp{{Obj: b.ID(), Kind: 1, Data: enc(k)}}
+	}
+	if w := l.Commit(1, op(42)); w != nil {
+		if err := w(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Prepare(2, 7, op(100)); err != nil { // stays in-doubt
+		t.Fatal(err)
+	}
+	if err := l.Prepare(3, 8, op(101)); err != nil { // decided commit
+		t.Fatal(err)
+	}
+	if w, err := l.Decide(3, 8, true); err != nil {
+		t.Fatal(err)
+	} else if w != nil {
+		if err := w(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Prepare(4, 9, op(102)); err != nil { // decided abort
+		t.Fatal(err)
+	}
+	if _, err := l.Decide(4, 9, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, dir, "prepared")
+}
+
+// TestGoldenDumpTornTail pins the view of a directory whose last frame was
+// cut mid-write: the torn flag is set and the damaged record is absent —
+// exactly what recovery would truncate.
+func TestGoldenDumpTornTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := wal.Open(wal.Options{Dir: dir, Mode: wal.Group})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := wal.Bind(l, "set", wal.Int64Codec, &fixedDurable{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	for k := int64(1); k <= 3; k++ {
+		if w := l.Commit(uint64(k), []stm.RedoOp{{Obj: b.ID(), Kind: 1, Data: enc(k)}}); w != nil {
+			if err := w(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments: %v %v", segs, err)
+	}
+	last := segs[len(segs)-1]
+	fi, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(last, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, dir, "torn")
+}
+
+// TestGoldenDumpStale pins the view of a checkpointed directory where the
+// active segment still holds pre-checkpoint records (as after an
+// interrupted prune): they dump as stale, not as replayable records.
+func TestGoldenDumpStale(t *testing.T) {
+	dir := t.TempDir()
+	l, err := wal.Open(wal.Options{Dir: dir, Mode: wal.Group})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := wal.Bind(l, "set", wal.Int64Codec, &fixedDurable{snap: [][]byte{enc(1), enc(2)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	for k := int64(1); k <= 2; k++ {
+		if w := l.Commit(uint64(k), []stm.RedoOp{{Obj: b.ID(), Kind: 1, Data: enc(k)}}); w != nil {
+			if err := w(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := l.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if w := l.Commit(3, []stm.RedoOp{{Obj: b.ID(), Kind: 1, Data: enc(3)}}); w != nil {
+		if err := w(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := wal.DumpDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(wal.FormatDump(d), "stale=") {
+		t.Fatal("format lost the stale field")
+	}
+	checkGolden(t, dir, "stale")
+}

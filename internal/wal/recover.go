@@ -81,6 +81,7 @@ type RecoverResult struct {
 	Stale         int    // records skipped because the checkpoint covers them
 	TornBytes     int64  // bytes truncated from the corrupt tail, if any
 	NextLSN       uint64 // first LSN the reopened log will assign
+	InDoubt       int    // prepared-but-undecided transactions (see Log.InDoubt)
 }
 
 // Recover rebuilds the registered objects from the directory — checkpoint
@@ -169,6 +170,41 @@ func (l *Log) Recover() (RecoverResult, error) {
 				return res, fmt.Errorf("%w: LSN %d out of order in %s", ErrCorrupt, rec.LSN, seg.path)
 			}
 			lastLSN = rec.LSN
+			if gid, kind, ok := metaOf(rec); ok {
+				// Two-phase-commit record. A prepare is stashed, not replayed:
+				// its effects are committed only if a commit marker follows. A
+				// commit marker replays the stash at the *marker's* stream
+				// position — sound because the original held its abstract
+				// locks from prepare to decision, so every record between the
+				// two commutes with it. An abort marker (or a marker-less
+				// prepare surviving to the end: presumed abort) drops it.
+				switch kind {
+				case metaPrepare:
+					ops := make([]Op, len(rec.Ops)-1)
+					copy(ops, rec.Ops[1:])
+					l.twopc.inDoubt[gid] = &inDoubtRec{gid: gid, txID: rec.TxID, lsn: rec.LSN, ops: ops}
+				case metaCommit:
+					in, have := l.twopc.inDoubt[gid]
+					if !have {
+						break // prepare checkpointed away with the marker's effects; nothing to do
+					}
+					delete(l.twopc.inDoubt, gid)
+					for _, op := range in.ops {
+						if int(op.Obj) >= len(l.objs) {
+							return res, fmt.Errorf("%w: prepared gid %d references unregistered object %d", ErrCorrupt, gid, op.Obj)
+						}
+						if err := l.objs[op.Obj].obj.Replay(op.Kind, op.Data); err != nil {
+							return res, fmt.Errorf("wal: replay prepared gid %d obj %q: %w", gid, l.objs[op.Obj].name, err)
+						}
+					}
+					res.Replayed++
+				case metaAbort:
+					delete(l.twopc.inDoubt, gid)
+				default:
+					return res, fmt.Errorf("%w: record %d has unknown meta kind %d", ErrCorrupt, rec.LSN, kind)
+				}
+				continue
+			}
 			for _, op := range rec.Ops {
 				if int(op.Obj) >= len(l.objs) {
 					return res, fmt.Errorf("%w: record %d references unregistered object %d", ErrCorrupt, rec.LSN, op.Obj)
@@ -181,6 +217,8 @@ func (l *Log) Recover() (RecoverResult, error) {
 		}
 		_ = i
 	}
+
+	res.InDoubt = len(l.twopc.inDoubt)
 
 	next := lastLSN + 1
 	if ck != nil && ck.NextLSN > next {
@@ -364,7 +402,6 @@ func (l *Log) crashNow() {
 	l.ioerr = ErrCrashed
 	next := l.cur
 	l.cur = nil
-	l.drain.Broadcast()
 	l.flushDone.Broadcast()
 	l.mu.Unlock()
 	if next != nil {
@@ -517,9 +554,20 @@ func loadCheckpoint(dir string) (*CheckpointDump, error) {
 // without mutating it.
 type Dump struct {
 	Checkpoint *CheckpointDump // nil when absent or invalid
-	Records    []Record        // records recovery would replay, in order
+	Records    []Record        // plain records recovery would replay, in order
+	Prepares   []PreparedDump  // two-phase transactions, in prepare order
 	Stale      int             // records a checkpoint covers (skipped)
 	Torn       bool            // a torn tail was detected (and would be cut)
+}
+
+// PreparedDump is one two-phase transaction's forensic view: its prepare
+// record joined with whatever decision marker the log holds for it.
+type PreparedDump struct {
+	GID      uint64
+	TxID     uint64
+	LSN      uint64 // the prepare record's LSN
+	Ops      []Op   // the branch's redo ops (meta op stripped)
+	Decision string // "commit", "abort", or "in-doubt"
 }
 
 // DumpDir decodes dir without mutating it, applying the same torn-tail and
@@ -548,8 +596,63 @@ func DumpDir(dir string) (Dump, error) {
 				d.Stale++
 				continue
 			}
+			if gid, kind, ok := metaOf(rec); ok {
+				switch kind {
+				case metaPrepare:
+					d.Prepares = append(d.Prepares, PreparedDump{
+						GID: gid, TxID: rec.TxID, LSN: rec.LSN,
+						Ops: rec.Ops[1:], Decision: "in-doubt",
+					})
+				case metaCommit, metaAbort:
+					decision := "abort"
+					if kind == metaCommit {
+						decision = "commit"
+					}
+					for i := range d.Prepares {
+						if d.Prepares[i].GID == gid && d.Prepares[i].Decision == "in-doubt" {
+							d.Prepares[i].Decision = decision
+							break
+						}
+					}
+				}
+				continue
+			}
 			d.Records = append(d.Records, rec)
 		}
 	}
 	return d, nil
+}
+
+// FormatDump renders a Dump as a stable line-oriented forensic listing: the
+// checkpoint's shape, then every surviving record and two-phase transaction
+// with its decision. The format is pinned by golden-output tests — treat any
+// change to it as a deliberate forensic-surface change, not cleanup.
+func FormatDump(d Dump) string {
+	var b strings.Builder
+	if d.Checkpoint == nil {
+		b.WriteString("checkpoint: none\n")
+	} else {
+		fmt.Fprintf(&b, "checkpoint: next-lsn=%d\n", d.Checkpoint.NextLSN)
+		for _, s := range d.Checkpoint.Sections {
+			fmt.Fprintf(&b, "  section %s ops=%d\n", s.Name, len(s.Ops))
+		}
+	}
+	fmt.Fprintf(&b, "stale=%d torn=%v\n", d.Stale, d.Torn)
+	fmt.Fprintf(&b, "records: %d\n", len(d.Records))
+	for _, r := range d.Records {
+		fmt.Fprintf(&b, "  lsn=%d tx=%d", r.LSN, r.TxID)
+		for _, op := range r.Ops {
+			fmt.Fprintf(&b, " [obj=%d kind=%d data=%x]", op.Obj, op.Kind, op.Data)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "prepared: %d\n", len(d.Prepares))
+	for _, p := range d.Prepares {
+		fmt.Fprintf(&b, "  gid=%d tx=%d lsn=%d decision=%s", p.GID, p.TxID, p.LSN, p.Decision)
+		for _, op := range p.Ops {
+			fmt.Fprintf(&b, " [obj=%d kind=%d data=%x]", op.Obj, op.Kind, op.Data)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
 }

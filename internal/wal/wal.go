@@ -63,11 +63,21 @@ type Options struct {
 	// SegmentBytes rotates to a new segment file once the current one
 	// exceeds this size. Zero selects 4 MiB.
 	SegmentBytes int64
-	// MaxPending bounds the bytes buffered ahead of the writer; appenders
-	// block past it (backpressure — pair with stm.Config.MaxConcurrent so
-	// admission control, not goroutine pileup, absorbs overload). Zero
-	// selects 8 MiB.
+	// MaxPending bounds the bytes buffered ahead of the writer. Past it the
+	// log reports itself Overloaded and stm's admission path sheds new
+	// transactions with ErrContentionCollapse *before* they execute —
+	// appenders themselves never block under the log mutex, so a slow fsync
+	// cannot stall committers that are already past admission (they hold
+	// abstract locks; sleeping them would spread the stall). Zero selects
+	// 8 MiB.
 	MaxPending int
+	// InDoubtDeadline, when positive, is the presumed-abort timer for
+	// adopted in-doubt transactions: if AdoptInDoubt re-acquired a prepared
+	// transaction's locks and no ResolveInDoubt decision arrives within the
+	// deadline, the transaction resolves as aborted — bounding how long an
+	// unreachable coordinator can block conflicting traffic. Zero disables
+	// the timer (the transaction blocks until explicitly resolved).
+	InDoubtDeadline time.Duration
 	// Dir is the log directory (segments + checkpoint). Required.
 	Dir string
 }
@@ -126,7 +136,6 @@ type Log struct {
 	// transaction's abstract locks held, the order in which conflicting
 	// transactions pass through mu equals their serialization order.
 	mu        sync.Mutex
-	drain     *sync.Cond // signalled when pending bytes shrink
 	flushDone *sync.Cond // signalled after every batch completes (Sync waits here)
 	cur       *batch
 	nextLSN   uint64
@@ -135,6 +144,16 @@ type Log struct {
 	closed    bool
 	crashed   bool
 	ioerr     error // why the log froze: ErrCrashed (simulated) or a real I/O error
+
+	// overloaded mirrors pending > MaxPending for lock-free reads: stm's
+	// admission path consults it (through stm.OverloadSink) to shed new
+	// transactions while the writer is behind, instead of letting appenders
+	// queue under mu. Updated only under mu, so it cannot stick.
+	overloaded atomic.Bool
+
+	// twopc holds the two-phase-commit state: prepared-but-undecided
+	// transactions found by Recover and their adopted lock holders.
+	twopc twopcState
 
 	kick chan struct{} // wakes the writer; buffered, lossy
 	wg   sync.WaitGroup
@@ -172,7 +191,8 @@ func Open(opts Options) (*Log, error) {
 		kick:     make(chan struct{}, 1),
 		objIndex: map[string]uint32{},
 	}
-	l.drain = sync.NewCond(&l.mu)
+	l.twopc.inDoubt = map[uint64]*inDoubtRec{}
+	l.twopc.adopted = map[uint64]*adoption{}
 	l.flushDone = sync.NewCond(&l.mu)
 	return l, nil
 }
@@ -186,25 +206,24 @@ func (l *Log) Commit(txID uint64, ops []stm.RedoOp) (wait func() error) {
 	if l.opts.Mode == Off {
 		return nil
 	}
+	l.commits.Add(1)
+	return l.append(txID, redoRaw(ops), l.opts.Mode == Group)
+}
+
+// append encodes one record into the open batch and kicks the writer. It is
+// the shared core of Commit, Prepare, and Decide: appenders never block on
+// backpressure — they only flip the Overloaded flag, which sheds *new*
+// transactions at admission (an appender here already executed and holds
+// abstract locks; sleeping it would spread the stall to its conflict set).
+// With barrier set, the returned wait blocks until the record's batch is
+// fsynced; otherwise wait is nil.
+func (l *Log) append(txID uint64, ops []rawOp, barrier bool) (wait func() error) {
 	l.mu.Lock()
 	if !l.recovered || l.closed || l.crashed {
 		err := l.stateErr()
 		l.mu.Unlock()
 		return func() error { return err }
 	}
-	// Backpressure: block while the writer is more than MaxPending bytes
-	// behind. Safe to sleep here even with abstract locks held — the writer
-	// needs no abstract locks to drain, so this cannot deadlock; it only
-	// slows committers, which is the point.
-	for l.pending > l.opts.MaxPending && !l.closed && !l.crashed {
-		l.drain.Wait()
-	}
-	if l.closed || l.crashed {
-		err := l.stateErr()
-		l.mu.Unlock()
-		return func() error { return err }
-	}
-
 	if l.cur == nil {
 		l.cur = &batch{done: make(chan struct{})}
 	}
@@ -213,20 +232,21 @@ func (l *Log) Commit(txID uint64, ops []stm.RedoOp) (wait func() error) {
 	l.nextLSN++
 	start := len(b.buf)
 	b.buf = append(b.buf, make([]byte, frameHeader)...)
-	b.buf = appendPayload(b.buf, lsn, txID, redoRaw(ops))
+	b.buf = appendPayload(b.buf, lsn, txID, ops)
 	frameFinish(b.buf, start)
 	b.recEnds = append(b.recEnds, len(b.buf))
 	b.lastLSN = lsn
 	l.pending += len(b.buf) - start
-	l.commits.Add(1)
-	mode := l.opts.Mode
+	if l.pending > l.opts.MaxPending {
+		l.overloaded.Store(true)
+	}
 	l.mu.Unlock()
 
 	select {
 	case l.kick <- struct{}{}:
 	default:
 	}
-	if mode != Group {
+	if !barrier {
 		return nil
 	}
 	return func() error {
@@ -234,6 +254,12 @@ func (l *Log) Commit(txID uint64, ops []stm.RedoOp) (wait func() error) {
 		return b.err
 	}
 }
+
+// Overloaded reports whether the writer is more than MaxPending bytes
+// behind. It implements stm.OverloadSink: systems configured with this log
+// shed new transactions with ErrContentionCollapse while it is set, the
+// admission-control analogue of blocking backpressure.
+func (l *Log) Overloaded() bool { return l.overloaded.Load() }
 
 // redoRaw views []stm.RedoOp as the codec's rawOp slice without copying.
 func redoRaw(ops []stm.RedoOp) []rawOp {
@@ -293,7 +319,6 @@ func (l *Log) Close() error {
 	}
 	l.closed = true
 	started := l.recovered
-	l.drain.Broadcast()
 	l.flushDone.Broadcast()
 	l.mu.Unlock()
 	if started {
@@ -352,7 +377,9 @@ func (l *Log) writerLoop() {
 
 			l.mu.Lock()
 			l.pending -= len(b.buf)
-			l.drain.Broadcast()
+			if l.pending <= l.opts.MaxPending {
+				l.overloaded.Store(false)
+			}
 			crashed := l.crashed
 			l.mu.Unlock()
 			if crashed {
@@ -453,7 +480,6 @@ func (l *Log) completeBatch(b *batch, err error, durableLSN uint64) {
 		l.cur = nil
 	}
 	l.flushDone.Broadcast()
-	l.drain.Broadcast()
 	l.mu.Unlock()
 	b.err = err
 	close(b.done)

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"tboost/internal/core"
+	"tboost/internal/faultpoint"
 	"tboost/internal/stm"
 	"tboost/internal/wal"
 )
@@ -369,8 +370,11 @@ func TestRegistrationDriftDetected(t *testing.T) {
 
 func TestBackpressureBounded(t *testing.T) {
 	dir := t.TempDir()
-	// A tiny MaxPending forces appenders to wait for the writer; the test
-	// just asserts progress (no deadlock) and full durability.
+	// A tiny MaxPending trips the overload shed: past it, new transactions
+	// are rejected at admission with ErrContentionCollapse instead of
+	// queueing under the log mutex. The documented recovery is back off and
+	// retry, which this load loop does — the assertions are progress (no
+	// deadlock) and full durability of everything admitted.
 	sys, set, l, _ := durableSet(t, dir, wal.Options{Mode: wal.Group, MaxPending: 64})
 	var wg sync.WaitGroup
 	for w := 0; w < 4; w++ {
@@ -379,9 +383,16 @@ func TestBackpressureBounded(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 20; i++ {
 				k := int64(w*100 + i)
-				if err := sys.Atomic(func(tx *stm.Tx) error { set.Add(tx, k); return nil }); err != nil {
-					t.Errorf("Atomic: %v", err)
-					return
+				for {
+					err := sys.Atomic(func(tx *stm.Tx) error { set.Add(tx, k); return nil })
+					if err == nil {
+						break
+					}
+					if !errors.Is(err, stm.ErrContentionCollapse) {
+						t.Errorf("Atomic: %v", err)
+						return
+					}
+					time.Sleep(100 * time.Microsecond)
 				}
 			}
 		}(w)
@@ -389,6 +400,59 @@ func TestBackpressureBounded(t *testing.T) {
 	wg.Wait()
 	if st := l.Stats(); st.Commits != 80 || st.DurableLSN != 80 {
 		t.Fatalf("stats = %+v, want 80 durable commits", st)
+	}
+	l.Close()
+}
+
+func TestBackpressureShedsNotStalls(t *testing.T) {
+	dir := t.TempDir()
+	// Regression for the slow-fsync stall: with the writer wedged behind a
+	// long fsync delay and MaxPending exceeded, unrelated appenders must be
+	// shed promptly with the typed admission error — never parked under the
+	// log mutex waiting for the writer to drain.
+	sys, set, l, _ := durableSet(t, dir, wal.Options{Mode: wal.Async, MaxPending: 64})
+	defer faultpoint.Reset()
+	faultpoint.Enable(faultpoint.WalPreFsync, faultpoint.Trigger{
+		Effect: faultpoint.Delay, Delay: 200 * time.Millisecond,
+	})
+
+	// Fill past MaxPending while the writer sleeps in its first fsync.
+	deadline := time.Now().Add(5 * time.Second)
+	for !l.Overloaded() {
+		if time.Now().After(deadline) {
+			t.Fatal("log never reported Overloaded")
+		}
+		err := sys.Atomic(func(tx *stm.Tx) error { set.Add(tx, int64(time.Now().UnixNano())); return nil })
+		if err != nil && !errors.Is(err, stm.ErrContentionCollapse) {
+			t.Fatal(err)
+		}
+	}
+
+	// An unrelated appender now gets a fast typed rejection, not a stall.
+	start := time.Now()
+	err := sys.Atomic(func(tx *stm.Tx) error { set.Add(tx, -1); return nil })
+	if !errors.Is(err, stm.ErrContentionCollapse) || !errors.Is(err, stm.ErrBackpressure) {
+		t.Fatalf("overloaded Atomic = %v, want ErrContentionCollapse wrapping ErrBackpressure", err)
+	}
+	if d := time.Since(start); d > 50*time.Millisecond {
+		t.Fatalf("shed took %v — appender stalled behind the slow fsync", d)
+	}
+
+	// Once the writer drains, the flag clears and admission resumes.
+	faultpoint.Reset()
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		err := sys.Atomic(func(tx *stm.Tx) error { set.Add(tx, -2); return nil })
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, stm.ErrContentionCollapse) {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("admission never recovered after the writer drained")
+		}
+		time.Sleep(time.Millisecond)
 	}
 	l.Close()
 }

@@ -33,6 +33,7 @@ import (
 	"tboost/internal/boost"
 	"tboost/internal/core"
 	"tboost/internal/stm"
+	"tboost/internal/txncoord"
 	"tboost/internal/wal"
 )
 
@@ -512,4 +513,51 @@ func BindMap[K comparable, V any](l *WAL, name string, kc Codec[K], vc Codec[V],
 // BindMultiset registers a boosted multiset for durability.
 func BindMultiset[K comparable](l *WAL, name string, codec Codec[K], m *MultisetOf[K]) error {
 	return core.BindMultiset(l, name, codec, m)
+}
+
+// --- Two-phase commit across Systems ---
+
+// PreparedTx is a participant-side transaction parked between a yes vote
+// and the coordinator's decision: effects applied, undo retained, abstract
+// locks held, prepare record force-logged. Commit or Abort settles it.
+type PreparedTx = stm.PreparedTx
+
+// ErrBackpressure marks transactions shed because the durability sink's
+// write controller is saturated; retry after a pause (it arrives wrapped in
+// ErrContentionCollapse).
+var ErrBackpressure = stm.ErrBackpressure
+
+// ErrNoPreparedSink is returned by System.Prepare when the configured
+// durability sink cannot host two-phase commit.
+var ErrNoPreparedSink = stm.ErrNoPreparedSink
+
+// Coordinator drives two-phase commit over a fixed list of participant
+// Systems: an eager vote round (prepare force-logs), a durable decision
+// record (the span's commit point), and a notify round. Recover resolves
+// in-doubt branches after a crash.
+type Coordinator = txncoord.Coordinator
+
+// Participant is one System under a Coordinator; Log is its WAL when
+// durable (needed for in-doubt recovery), nil for a volatile participant.
+type Participant = txncoord.Participant
+
+// Branch is one participant's part of a cross-System span.
+type Branch = txncoord.Branch
+
+// CoordinatorOptions configures NewCoordinator: decision-log directory
+// (empty = volatile), per-vote timeout, retry budget, and backoff.
+type CoordinatorOptions = txncoord.Options
+
+// ROSpan is a read-only cross-System span: per-participant MVCC snapshots
+// pinned at matched sequences — consistent across Systems, lock-free, and
+// abort-free.
+type ROSpan = txncoord.ROSpan
+
+// ErrCoordinatorCrashed is returned by Span after a simulated coordinator
+// crash; prepared branches stay parked for a recovered coordinator.
+var ErrCoordinatorCrashed = txncoord.ErrCoordinatorCrashed
+
+// NewCoordinator opens a two-phase-commit coordinator over parts.
+func NewCoordinator(parts []Participant, opts CoordinatorOptions) (*Coordinator, error) {
+	return txncoord.New(parts, opts)
 }
